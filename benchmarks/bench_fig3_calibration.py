@@ -1,0 +1,94 @@
+"""Figure 3: per-site walltime calibration across WLCG sites.
+
+The paper calibrates each site's per-core processing speed against production
+PanDA job records (random search, 50 sites) and reports the relative mean
+absolute error of simulated walltimes, separately for single-core and
+multi-core jobs, before and after calibration.  The headline number is the
+geometric mean across sites improving from **76% to 17%**.
+
+The reproduction generates a synthetic "historical" trace in which every site
+has a hidden true speed differing from its nominal configuration (the same
+kind of configuration misalignment), runs the identical calibration loop with
+random search, and records the per-site and geometric-mean errors.  The
+asserted shape: calibration reduces the geometric-mean error by a large
+factor (>= 2x) and lands it well below the uncalibrated level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atlas import PandaWorkloadModel, build_wlcg_infrastructure
+from repro.calibration import GridCalibrator
+
+#: Sites calibrated (the paper calibrates 50 and plots 10 of them).
+SITE_COUNT = 50
+#: Ground-truth jobs per site in the synthetic historical trace.
+JOBS_PER_SITE = 80
+#: Candidate evaluations allowed per site (random search budget).
+BUDGET = 40
+
+
+def _historical_trace(infrastructure, seed: int = 1):
+    """Synthetic PanDA-like historical trace with hidden per-site true speeds."""
+    model = PandaWorkloadModel(infrastructure, seed=seed)
+    jobs = []
+    for site in infrastructure.site_names:
+        jobs.extend(model.generate_site_trace(site, JOBS_PER_SITE))
+    return model, jobs
+
+
+def _calibrate(seed: int = 1):
+    infrastructure = build_wlcg_infrastructure(site_count=SITE_COUNT)
+    _model, jobs = _historical_trace(infrastructure, seed=seed)
+    calibrator = GridCalibrator(
+        infrastructure, jobs, optimizer="random", budget=BUDGET, mode="analytic", seed=seed
+    )
+    return calibrator.calibrate()
+
+
+@pytest.mark.benchmark(group="fig3-calibration")
+def test_calibration_improves_geometric_mean_error(benchmark, record_result):
+    """Random-search calibration shrinks the geometric-mean relative MAE."""
+    report = benchmark.pedantic(_calibrate, rounds=1, iterations=1)
+    summary = report.summary()
+
+    rows = [
+        {
+            "site": result.site,
+            "single_core_before": result.error_before["single_core"],
+            "single_core_after": result.error_after["single_core"],
+            "multi_core_before": result.error_before["multi_core"],
+            "multi_core_after": result.error_after["multi_core"],
+        }
+        for result in report.sites
+    ]
+    record_result(
+        "fig3_calibration",
+        {
+            "sites": rows,
+            "geomean_before_overall": summary["geomean_before_overall"],
+            "geomean_after_overall": summary["geomean_after_overall"],
+            "geomean_before_single": summary["geomean_before_single"],
+            "geomean_after_single": summary["geomean_after_single"],
+            "geomean_before_multi": summary["geomean_before_multi"],
+            "geomean_after_multi": summary["geomean_after_multi"],
+            "paper": "geometric-mean relative MAE improves from 76% to 17% across 50 sites",
+        },
+    )
+
+    before = summary["geomean_before_overall"]
+    after = summary["geomean_after_overall"]
+    assert len(report.sites) == SITE_COUNT
+    # Shape of the paper's result: a large uncalibrated error (tens of
+    # percent) dropping by a sizeable factor once the speed is calibrated.
+    assert before > 0.25, f"uncalibrated error unexpectedly small ({before:.2%})"
+    assert after < before / 2, (
+        f"calibration should at least halve the error (before={before:.2%}, after={after:.2%})"
+    )
+    assert after < 0.30, f"calibrated error should be small, got {after:.2%}"
+    # No site may get worse: SiteCalibrator falls back to the nominal speed.
+    assert all(
+        result.error_after["overall"] <= result.error_before["overall"] + 1e-9
+        for result in report.sites
+    )

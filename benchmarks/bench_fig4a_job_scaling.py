@@ -1,0 +1,91 @@
+"""Figure 4(a): job-scaling performance of the simulator.
+
+The paper increases the workload density on a single site from 1,000 to
+10,000 jobs and reports the simulator's wall-clock runtime, observing
+*sub-quadratic* growth (roughly 100 s at 1k jobs to ~2,500 s at 10k jobs on
+the authors' machine).
+
+The reproduction sweeps the same dimension at laptop-friendly sizes, fits the
+power law ``runtime = a * n_jobs ** b`` and asserts ``b < 2`` (the
+sub-quadratic claim).  Absolute runtimes are machine-dependent and not
+asserted; the series is written to ``benchmarks/results/fig4a_job_scaling.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import ExecutionConfig, Simulator, SyntheticWorkloadGenerator
+from repro.analysis.scaling import fit_power_law
+from repro.config.execution import MonitoringConfig
+from repro.config.generators import generate_grid
+from repro.workload.generator import WorkloadSpec
+
+#: Workload densities swept (the paper sweeps 1,000-10,000 on one site).
+JOB_COUNTS = [250, 500, 1000, 2000, 4000]
+#: Job count used for the single timed pytest-benchmark measurement.
+BENCHMARK_JOBS = 1000
+
+
+def _single_site_grid(seed: int = 0):
+    """One 2,000-core site, as in the paper's job-scaling experiment."""
+    return generate_grid(1, seed=seed, min_cores=2000, max_cores=2000)
+
+
+def _run_jobs(n_jobs: int, seed: int = 0) -> float:
+    """Simulate ``n_jobs`` on the single-site grid; return wall-clock seconds."""
+    infrastructure, topology = _single_site_grid(seed)
+    spec = WorkloadSpec(walltime_median=2 * 3600.0)
+    jobs = SyntheticWorkloadGenerator(infrastructure, spec=spec, seed=seed).generate(n_jobs)
+    execution = ExecutionConfig(
+        plugin="least_loaded",
+        monitoring=MonitoringConfig(enable_events=True, snapshot_interval=0.0),
+    )
+    simulator = Simulator(infrastructure, topology, execution)
+    result = simulator.run(jobs)
+    assert result.metrics.finished_jobs == n_jobs
+    return result.wallclock_seconds
+
+
+def _sweep() -> list:
+    """Run the full job-count sweep; return one row per workload density."""
+    series = []
+    for n_jobs in JOB_COUNTS:
+        started = time.perf_counter()
+        _run_jobs(n_jobs)
+        elapsed = time.perf_counter() - started
+        series.append({"jobs": n_jobs, "wallclock_seconds": elapsed})
+    return series
+
+
+@pytest.mark.benchmark(group="fig4a-job-scaling")
+def test_job_scaling_series_is_subquadratic(benchmark, record_result):
+    """Sweep the job counts and assert the fitted exponent stays below 2."""
+    series = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    fit = fit_power_law(
+        [row["jobs"] for row in series],
+        [row["wallclock_seconds"] for row in series],
+    )
+    record_result(
+        "fig4a_job_scaling",
+        {
+            "series": series,
+            "power_law_exponent": fit.exponent,
+            "power_law_r_squared": fit.r_squared,
+            "paper": "runtime grows sub-quadratically from ~100 s (1k jobs) to ~2,500 s (10k jobs)",
+        },
+    )
+    assert fit.is_subquadratic, (
+        f"job scaling should be sub-quadratic; fitted exponent {fit.exponent:.2f}"
+    )
+    # Runtime must actually grow with the workload (sanity on the shape).
+    assert series[-1]["wallclock_seconds"] > series[0]["wallclock_seconds"]
+
+
+@pytest.mark.benchmark(group="fig4a-job-scaling")
+def test_benchmark_single_site_1000_jobs(benchmark):
+    """pytest-benchmark timing of the paper's smallest point (1,000 jobs)."""
+    benchmark.pedantic(_run_jobs, args=(BENCHMARK_JOBS,), rounds=1, iterations=1)

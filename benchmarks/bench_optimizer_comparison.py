@@ -1,0 +1,103 @@
+"""Section 4.2: comparison of the four calibration optimizers.
+
+The paper evaluates four calibration approaches -- brute-force search, random
+sampling, Bayesian optimisation (BO) and CMA-ES -- under a per-site
+evaluation budget, and reports that random search achieves the lowest average
+error across 50 computing sites ("likely due to the parameter optimization
+landscape"), while brute force is theoretically optimal but computationally
+infeasible at 150 sites.
+
+The reproduction runs the identical per-site calibration with each optimizer
+under the same budget and records the geometric-mean relative MAE each one
+reaches, plus the wall-clock cost.  Asserted shape: every optimizer improves
+on the uncalibrated error, and random search is competitive with (within a
+small margin of) the best method, as in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.atlas import PandaWorkloadModel, build_wlcg_infrastructure
+from repro.calibration import GridCalibrator
+
+OPTIMIZERS = ["brute_force", "random", "bayesian", "cmaes"]
+SITE_COUNT = 20
+JOBS_PER_SITE = 60
+BUDGET = 25
+
+
+def _trace(infrastructure, seed: int = 4):
+    model = PandaWorkloadModel(infrastructure, seed=seed)
+    jobs = []
+    for site in infrastructure.site_names:
+        jobs.extend(model.generate_site_trace(site, JOBS_PER_SITE))
+    return jobs
+
+
+def _run_optimizer(name: str, infrastructure, jobs, seed: int = 4):
+    calibrator = GridCalibrator(
+        infrastructure, jobs, optimizer=name, budget=BUDGET, mode="analytic", seed=seed
+    )
+    started = time.perf_counter()
+    report = calibrator.calibrate()
+    elapsed = time.perf_counter() - started
+    summary = report.summary()
+    return {
+        "optimizer": name,
+        "geomean_before": summary["geomean_before_overall"],
+        "geomean_after": summary["geomean_after_overall"],
+        "wallclock_seconds": elapsed,
+    }
+
+
+@pytest.mark.benchmark(group="optimizer-comparison")
+def test_all_optimizers_improve_and_random_is_competitive(benchmark, record_result):
+    """Every optimizer beats the uncalibrated error; random search is competitive."""
+    infrastructure = build_wlcg_infrastructure(site_count=SITE_COUNT)
+    jobs = _trace(infrastructure)
+
+    rows = benchmark.pedantic(
+        lambda: [_run_optimizer(name, infrastructure, jobs) for name in OPTIMIZERS],
+        rounds=1,
+        iterations=1,
+    )
+    record_result(
+        "optimizer_comparison",
+        {
+            "budget_per_site": BUDGET,
+            "sites": SITE_COUNT,
+            "rows": rows,
+            "paper": "random search achieves the lowest average error across 50 sites "
+                     "within the evaluation budget",
+        },
+    )
+
+    for row in rows:
+        assert row["geomean_after"] < row["geomean_before"], (
+            f"{row['optimizer']} failed to improve on the uncalibrated error"
+        )
+
+    by_name = {row["optimizer"]: row for row in rows}
+    best_error = min(row["geomean_after"] for row in rows)
+    random_error = by_name["random"]["geomean_after"]
+    # The paper's observation: under a tight budget random search is at least
+    # competitive with the more sophisticated optimizers.  Allow a modest
+    # relative margin so the assertion checks the shape, not the noise.
+    assert random_error <= best_error * 1.5 + 1e-9, (
+        f"random search should be competitive: random={random_error:.3f}, best={best_error:.3f}"
+    )
+
+
+@pytest.mark.benchmark(group="optimizer-comparison")
+@pytest.mark.parametrize("name", OPTIMIZERS)
+def test_benchmark_optimizer(benchmark, name):
+    """pytest-benchmark timing of one full grid calibration per optimizer."""
+    infrastructure = build_wlcg_infrastructure(site_count=SITE_COUNT)
+    jobs = _trace(infrastructure)
+    result = benchmark.pedantic(
+        _run_optimizer, args=(name, infrastructure, jobs), rounds=1, iterations=1
+    )
+    assert result["geomean_after"] <= result["geomean_before"]

@@ -1,0 +1,99 @@
+"""Ablation: allocation-policy comparison through the plugin mechanism.
+
+CGSim's central feature is that scheduling policies are pluggable (paper
+Section 3.3); the evaluation repeatedly motivates "testing novel scheduling
+algorithms" as the use case.  This ablation runs the identical PanDA-like
+workload under every bundled policy and compares the operational metrics the
+paper lists (makespan, queue time, throughput), demonstrating that the policy
+choice visibly moves the numbers -- i.e. that the plugin seam is where the
+interesting decisions live.
+
+Asserted shape: informed policies (least-loaded / PanDA-style dispatcher)
+produce far shorter queue times than naive round-robin on a heterogeneous
+grid whose site capacities differ by an order of magnitude (100-2,000 cores,
+the paper's multi-site configuration) -- blind equal-count placement
+overloads the small sites and jobs wait there.  Makespan is recorded as well
+but not asserted: with heavy-tailed walltimes it is dominated by whichever
+site the longest job happens to land on, so it is a noisy discriminator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExecutionConfig, Simulator
+from repro.atlas import PandaWorkloadModel
+from repro.config.execution import MonitoringConfig
+from repro.config.generators import generate_grid
+
+POLICIES = [
+    "round_robin",
+    "random",
+    "least_loaded",
+    "weighted_capacity",
+    "panda_dispatcher",
+    "backfill",
+]
+SITE_COUNT = 12
+JOB_COUNT = 3000
+
+
+def _workload(seed: int = 8):
+    # Heterogeneous capacities (100-2,000 cores) make placement quality matter:
+    # a policy that ignores capacity overloads the small sites.
+    infrastructure, topology = generate_grid(
+        SITE_COUNT, seed=seed, min_cores=100, max_cores=2000
+    )
+    model = PandaWorkloadModel(infrastructure, seed=seed)
+    jobs = model.generate_trace(JOB_COUNT)
+    return infrastructure, topology, jobs
+
+
+def _run_policy(policy: str, infrastructure, topology, jobs) -> dict:
+    execution = ExecutionConfig(
+        plugin=policy, monitoring=MonitoringConfig(enable_events=False, snapshot_interval=0.0)
+    )
+    simulator = Simulator(infrastructure, topology, execution)
+    result = simulator.run([job.copy_for_replay() for job in jobs])
+    metrics = result.metrics
+    return {
+        "policy": policy,
+        "makespan_s": metrics.makespan,
+        "mean_queue_s": metrics.mean_queue_time,
+        "throughput_jobs_per_s": metrics.throughput,
+        "finished": metrics.finished_jobs,
+        "failed": metrics.failed_jobs,
+    }
+
+
+@pytest.mark.benchmark(group="plugin-policies")
+def test_policy_choice_changes_grid_behaviour(benchmark, record_result):
+    """All bundled policies complete the workload; informed ones beat round-robin."""
+    infrastructure, topology, jobs = _workload()
+    rows = benchmark.pedantic(
+        lambda: [_run_policy(policy, infrastructure, topology, jobs) for policy in POLICIES],
+        rounds=1,
+        iterations=1,
+    )
+    record_result(
+        "plugin_policy_ablation",
+        {
+            "sites": SITE_COUNT,
+            "jobs": JOB_COUNT,
+            "rows": rows,
+            "note": "scheduling-policy ablation exercised through the plugin mechanism",
+        },
+    )
+
+    by_name = {row["policy"]: row for row in rows}
+    for row in rows:
+        assert row["finished"] == JOB_COUNT, f"{row['policy']} lost jobs"
+        assert row["failed"] == 0
+
+    # Load-aware placement should drastically cut queueing compared with blind
+    # equal-count placement on a grid whose sites differ 20x in capacity.
+    assert by_name["least_loaded"]["mean_queue_s"] < by_name["round_robin"]["mean_queue_s"]
+    assert by_name["panda_dispatcher"]["mean_queue_s"] < by_name["round_robin"]["mean_queue_s"]
+    # And the policies must actually differ -- otherwise the plugin seam is dead code.
+    makespans = {round(row["makespan_s"], 3) for row in rows}
+    assert len(makespans) > 1, "every policy produced an identical makespan"

@@ -1,0 +1,98 @@
+"""Table 1: event-level monitoring data captured during a simulation.
+
+The paper's Table 1 shows a representative sample of the event-level records
+CGSim captures at every timestep: Event ID, Job ID, State, Site, Available
+Cores, Pending Jobs, Assigned Jobs and Finished Jobs.  The same rows feed the
+real-time dashboard and the ML dataset generation.
+
+The reproduction runs a WLCG-like simulation with monitoring enabled, checks
+that the recorded events carry exactly the Table 1 columns with consistent
+dynamics (cumulative finished counts are monotone, available cores never
+exceed the site's capacity, every job reaches a terminal state exactly once),
+and writes a representative sample to ``benchmarks/results/table1_events.json``.
+The pytest-benchmark measures the monitoring overhead: the same simulation
+with and without event collection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExecutionConfig, Simulator
+from repro.atlas import PandaWorkloadModel, wlcg_grid
+from repro.config.execution import MonitoringConfig
+
+#: Workload used for the monitoring-content checks.
+JOB_COUNT = 600
+SITE_COUNT = 8
+
+
+def _run(enable_events: bool, seed: int = 2):
+    infrastructure, topology = wlcg_grid(site_count=SITE_COUNT)
+    model = PandaWorkloadModel(infrastructure, seed=seed)
+    jobs = model.generate_trace(JOB_COUNT)
+    execution = ExecutionConfig(
+        plugin="panda_dispatcher",
+        monitoring=MonitoringConfig(enable_events=enable_events, snapshot_interval=0.0),
+    )
+    simulator = Simulator(infrastructure, topology, execution)
+    return infrastructure, simulator.run(jobs)
+
+
+@pytest.mark.benchmark(group="table1-event-dataset")
+def test_event_records_match_table1_schema(benchmark, record_result):
+    """Every recorded event carries the Table 1 columns with sane dynamics."""
+    infrastructure, result = benchmark.pedantic(_run, args=(True,), rounds=1, iterations=1)
+    events = result.collector.events
+    assert events, "monitoring produced no events"
+
+    capacity = {site.name: site.cores for site in infrastructure.sites}
+    finished_seen = {}
+    terminal_jobs = set()
+    previous_event_id = 0
+    for event in events:
+        row = event.to_row()
+        # Table 1 columns.
+        for column in (
+            "event_id",
+            "job_id",
+            "state",
+            "site",
+            "available_cores",
+            "pending_jobs",
+            "assigned_jobs",
+            "finished_jobs",
+        ):
+            assert column in row
+        # Event ids are unique and increasing (the event stream is ordered).
+        assert event.event_id > previous_event_id
+        previous_event_id = event.event_id
+        if event.site:
+            assert 0 <= event.available_cores <= capacity[event.site]
+            # Cumulative finished counts never decrease per site.
+            assert event.finished_jobs >= finished_seen.get(event.site, 0)
+            finished_seen[event.site] = event.finished_jobs
+        if event.state in ("finished", "failed"):
+            assert event.job_id not in terminal_jobs, "job reached a terminal state twice"
+            terminal_jobs.add(event.job_id)
+
+    # Every job appears exactly once in a terminal state.
+    assert len(terminal_jobs) == JOB_COUNT
+
+    sample = [e.to_row() for e in events if e.state == "finished"][:6]
+    record_result(
+        "table1_events",
+        {
+            "total_events": len(events),
+            "sample_rows": sample,
+            "paper": "Table 1 lists event-level rows: Event ID, Job ID, State, Site, "
+                     "Avail. Cores, Pending, Assigned, Finished",
+        },
+    )
+
+
+@pytest.mark.benchmark(group="table1-monitoring-overhead")
+@pytest.mark.parametrize("enable_events", [False, True], ids=["monitoring-off", "monitoring-on"])
+def test_benchmark_monitoring_overhead(benchmark, enable_events):
+    """Cost of event-level monitoring: the same run with collection on/off."""
+    benchmark.pedantic(_run, args=(enable_events,), rounds=1, iterations=1)

@@ -1,0 +1,66 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark module reproduces one table or figure of the paper (or one
+ablation DESIGN.md calls out).  Beyond the pytest-benchmark timings, each
+module records the *rows/series the paper reports* (relative errors, scaling
+series, speed-up factors) through the :func:`record_result` fixture; the
+records land in ``benchmarks/results/*.json`` so EXPERIMENTS.md can quote
+them verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+#: Directory the per-experiment result files are written to.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting the machine-readable experiment outputs."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir: Path):
+    """Write one experiment's rows/series to ``benchmarks/results/<name>.json``.
+
+    Usage::
+
+        def test_fig4a(record_result):
+            series = run_sweep()
+            record_result("fig4a_job_scaling", {"series": series})
+    """
+
+    def _record(name: str, payload: Dict) -> Path:
+        path = results_dir / f"{name}.json"
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    return _record
+
+
+def format_series(header: List[str], rows: List[List]) -> str:
+    """Small fixed-width formatter used by benches when printing their series."""
+    widths = [
+        max(len(str(header[i])), *(len(f"{row[i]:.4g}" if isinstance(row[i], float) else str(row[i]))
+                                   for row in rows))
+        for i in range(len(header))
+    ]
+    lines = ["  ".join(str(header[i]).ljust(widths[i]) for i in range(len(header)))]
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in rows:
+        cells = [
+            (f"{cell:.4g}" if isinstance(cell, float) else str(cell)).ljust(widths[i])
+            for i, cell in enumerate(row)
+        ]
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

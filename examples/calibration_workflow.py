@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Calibration workflow: reproduce the paper's Figure 3 methodology end to end.
+
+The paper calibrates CGSim against six months of production ATLAS PanDA job
+records: each WLCG site's per-core processing speed is tuned so that simulated
+job walltimes match the recorded ones, and the error is reported as the
+geometric mean (across sites) of the relative mean absolute error, separately
+for single-core and multi-core jobs.
+
+Production records are not public, so this example generates a synthetic
+"historical" trace in which every site has a *hidden* true speed that differs
+from its nominal configuration -- exactly the configuration-parameter
+misalignment the calibration has to recover.
+
+Run it with::
+
+    python examples/calibration_workflow.py [--sites 10] [--jobs-per-site 120]
+"""
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.reporting import format_table
+from repro.atlas import PandaWorkloadModel, build_wlcg_infrastructure
+from repro.calibration import GridCalibrator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sites", type=int, default=10, help="WLCG catalogue sites to use")
+    parser.add_argument("--jobs-per-site", type=int, default=120)
+    parser.add_argument("--optimizer", default="random",
+                        choices=["random", "bayesian", "cmaes", "brute_force"])
+    parser.add_argument("--budget", type=int, default=40,
+                        help="candidate evaluations per site")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    # 1. The grid under study: the first N sites of the built-in WLCG catalogue
+    #    with their *nominal* (HEPScore-derived) per-core speeds.
+    infrastructure = build_wlcg_infrastructure(site_count=args.sites)
+    print(f"Calibrating {len(infrastructure)} WLCG sites, "
+          f"{args.jobs_per_site} historical jobs per site\n")
+
+    # 2. The "historical" PanDA trace.  The workload model assigns every site a
+    #    hidden true speed; recorded walltimes reflect that true speed, so a
+    #    simulator configured with nominal speeds starts with a large error.
+    model = PandaWorkloadModel(infrastructure, seed=args.seed)
+    jobs = []
+    for site in infrastructure.site_names:
+        jobs.extend(model.generate_site_trace(site, args.jobs_per_site))
+    print(f"Generated {len(jobs)} ground-truth job records")
+
+    # 3. Per-site calibration of the core speed (the paper's dominant
+    #    parameter) with the chosen black-box optimizer.
+    calibrator = GridCalibrator(
+        infrastructure,
+        jobs,
+        optimizer=args.optimizer,
+        budget=args.budget,
+        seed=args.seed,
+    )
+    report = calibrator.calibrate()
+
+    # 4. The Figure-3 view: per-site relative MAE before/after calibration plus
+    #    the geometric means the paper quotes (76% -> 17% on real data).
+    rows = []
+    for site_result in report.sites:
+        rows.append(
+            {
+                "site": site_result.site,
+                "single-core before": site_result.error_before["single_core"],
+                "single-core after": site_result.error_after["single_core"],
+                "multi-core before": site_result.error_before["multi_core"],
+                "multi-core after": site_result.error_after["multi_core"],
+                "speed ratio": site_result.calibrated_speed / site_result.nominal_speed,
+            }
+        )
+    print()
+    print(format_table(rows))
+
+    summary = report.summary()
+    print()
+    print("Geometric-mean relative MAE across sites:")
+    print(f"  before calibration : {summary['geomean_before_overall'] * 100:6.1f}%")
+    print(f"  after calibration  : {summary['geomean_after_overall'] * 100:6.1f}%")
+
+    # 5. Sanity check against the hidden truth: the calibrated speeds should
+    #    land close to the true per-site speeds the workload model used.
+    truth = model.true_speeds()
+    recovered = report.calibrated_speeds()
+    ratios = [recovered[s] / truth[s] for s in recovered]
+    mean_ratio = sum(ratios) / len(ratios)
+    print(f"\nMean calibrated/true speed ratio: {mean_ratio:.3f} "
+          "(1.0 means the hidden truth was recovered exactly)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Writing a custom allocation-policy plugin.
+
+CGSim's headline feature is that users can test their own workload-allocation
+algorithms without touching the simulator core (paper Section 3.3): a plugin
+inherits from the abstract base class, implements ``assign_job`` and receives
+resource information through the hooks the simulator calls.
+
+This example implements two custom policies:
+
+* ``FastestQueuePolicy`` -- estimates, for every site, when the job would
+  start (queue drain time) and finish (drain + execution on that site's
+  cores), and picks the site with the earliest estimated completion; and
+* ``TierAffinityPolicy`` -- prefers Tier-2 sites for single-core analysis
+  jobs and Tier-1/Tier-0 sites for 8-core production jobs, a policy shape
+  that actually exists in ATLAS operations.
+
+Both are compared against the bundled baselines on the same workload.
+
+Run it with::
+
+    python examples/custom_plugin.py
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import ExecutionConfig, Simulator
+from repro.analysis.reporting import format_table
+from repro.atlas import PandaWorkloadModel, wlcg_grid
+from repro.config.execution import MonitoringConfig
+from repro.plugins import AllocationPolicy, ResourceView
+from repro.plugins.registry import register_policy
+from repro.workload.job import Job
+
+
+@register_policy("fastest_queue")
+class FastestQueuePolicy(AllocationPolicy):
+    """Pick the site with the earliest estimated completion time for this job.
+
+    The estimate combines how long the site's current backlog takes to drain
+    (backlog core-demand over total cores, scaled by relative speed) with the
+    job's own execution time at that site's speed.  This is the kind of
+    "minimum expected turnaround" brokerage a production dispatcher
+    approximates.
+    """
+
+    def __init__(self, reference_speed: float = 10e9, **options) -> None:
+        super().__init__(reference_speed=reference_speed, **options)
+        self.reference_speed = float(reference_speed)
+
+    def initialize(self, platform_description: dict) -> None:
+        zones = platform_description.get("zones", {})
+        speeds = [z["mean_core_speed"] for z in zones.values() if z.get("mean_core_speed")]
+        if speeds:
+            self.reference_speed = float(sum(speeds) / len(speeds))
+
+    def assign_job(self, job: Job, resources: ResourceView) -> Optional[str]:
+        eligible = resources.sites_that_fit(job.cores)
+        if not eligible:
+            return None
+
+        def completion_estimate(site) -> float:
+            speed = max(site.core_speed, 1e-9)
+            # Drain time of the work already at the site (rough: one core-slot
+            # of backlog per queued/running job, at the job's own width).
+            backlog_cores = site.backlog * max(1, job.cores)
+            drain = backlog_cores / max(site.total_cores, 1)
+            # Execution time of this job at this site.
+            execution = job.work / (speed * job.cores) if job.work > 0 else 0.0
+            return drain * (self.reference_speed / speed) + execution
+
+        return min(eligible, key=lambda s: (completion_estimate(s), s.name)).name
+
+
+@register_policy("tier_affinity")
+class TierAffinityPolicy(AllocationPolicy):
+    """Route multi-core production jobs to Tier-0/1, single-core jobs to Tier-2.
+
+    Falls back to the least-loaded eligible site when the preferred tier has
+    no site that fits.
+    """
+
+    def assign_job(self, job: Job, resources: ResourceView) -> Optional[str]:
+        preferred_tiers = {"0", "1"} if job.cores > 1 else {"2"}
+        eligible = resources.sites_that_fit(job.cores)
+        if not eligible:
+            return None
+        preferred = [s for s in eligible if s.properties.get("tier") in preferred_tiers]
+        pool = preferred or eligible
+        return min(pool, key=lambda s: (s.load_fraction, s.backlog, s.name)).name
+
+
+def main() -> None:
+    infrastructure, topology = wlcg_grid(site_count=15)
+    model = PandaWorkloadModel(infrastructure, seed=11)
+    jobs = model.generate_trace(1500)
+    print(f"Grid: {len(infrastructure)} sites; workload: {len(jobs)} jobs\n")
+
+    rows = []
+    for policy in ["round_robin", "least_loaded", "panda_dispatcher",
+                   "fastest_queue", "tier_affinity"]:
+        execution = ExecutionConfig(
+            plugin=policy, monitoring=MonitoringConfig(snapshot_interval=0.0)
+        )
+        result = Simulator(infrastructure, topology, execution).run(
+            [job.copy_for_replay() for job in jobs]
+        )
+        rows.append(
+            {
+                "policy": policy,
+                "makespan_h": result.metrics.makespan / 3600.0,
+                "mean_queue_min": result.metrics.mean_queue_time / 60.0,
+                "throughput_jobs_per_h": result.metrics.throughput * 3600.0,
+            }
+        )
+    print(format_table(rows))
+    print("\nThe two custom policies were registered with @register_policy and used"
+          "\nby name through the ExecutionConfig -- no simulator code was modified.")
+
+
+if __name__ == "__main__":
+    main()

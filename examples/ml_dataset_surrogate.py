@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Event-level dataset generation and a walltime surrogate model.
+
+A key motivation of CGSim is the automatic generation of event-level datasets
+"suitable for AI-assisted performance modeling" (paper Sections 1 and 4.3.2):
+every run produces a structured record stream that can be exported and used
+to train fast surrogate models.
+
+This example:
+
+1. runs a WLCG-like simulation with event monitoring enabled;
+2. exports the Table-1-style event dataset and the per-job learning dataset;
+3. trains the bundled ridge-regression surrogate to predict job walltime from
+   static job/site features;
+4. evaluates it on a held-out split (MAE, RMSE, R^2, relative MAE).
+
+Run it with::
+
+    python examples/ml_dataset_surrogate.py [--jobs 1500] [--outdir ml_output]
+"""
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro import ExecutionConfig, Simulator
+from repro.atlas import PandaWorkloadModel, wlcg_grid
+from repro.config.execution import MonitoringConfig
+from repro.mldata import KNNSurrogate, RidgeSurrogate, build_event_dataset, build_job_dataset
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1500)
+    parser.add_argument("--sites", type=int, default=15)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--outdir", type=Path, default=Path("ml_output"))
+    args = parser.parse_args()
+
+    # 1. Simulate with full event-level monitoring (Table 1 rows).
+    infrastructure, topology = wlcg_grid(site_count=args.sites)
+    model = PandaWorkloadModel(infrastructure, seed=args.seed)
+    jobs = model.generate_trace(args.jobs)
+    execution = ExecutionConfig(
+        plugin="panda_dispatcher",
+        monitoring=MonitoringConfig(enable_events=True, snapshot_interval=600.0),
+    )
+    result = Simulator(infrastructure, topology, execution).run(jobs)
+    print(f"Simulated {result.metrics.finished_jobs} jobs; "
+          f"recorded {len(result.collector.events)} events "
+          f"and {len(result.collector.snapshots)} site snapshots")
+
+    # 2. Export the ML-ready datasets.
+    args.outdir.mkdir(parents=True, exist_ok=True)
+    event_dataset = build_event_dataset(result)
+    job_dataset = build_job_dataset(result, infrastructure)
+    event_path = event_dataset.to_csv(args.outdir / "events.csv")
+    job_path = job_dataset.to_csv(args.outdir / "jobs.csv")
+    print(f"Wrote {len(event_dataset)} event rows to {event_path}")
+    print(f"Wrote {len(job_dataset)} job rows to {job_path}")
+
+    # 3. Train the surrogate on 75% of the jobs, hold out 25%.
+    train, test = job_dataset.train_test_split(test_fraction=0.25, seed=args.seed)
+    surrogate = RidgeSurrogate(alpha=1.0, target="walltime", log_target=True).fit(train)
+
+    # 4. Evaluate against the simulator (the surrogate's "ground truth"), and
+    #    compare with the non-parametric kNN baseline on the same split.
+    evaluation = surrogate.evaluate(test)
+    knn_evaluation = KNNSurrogate(k=7).fit(train).evaluate(test)
+    print("\nSurrogate quality on the held-out set:")
+    print(f"  {'model':<16} {'MAE (h)':>9} {'RMSE (h)':>9} {'R^2':>7} {'relative MAE':>13}")
+    for name, ev in [("ridge (log)", evaluation), ("kNN (k=7)", knn_evaluation)]:
+        print(f"  {name:<16} {ev.mae / 3600:>9.2f} {ev.rmse / 3600:>9.2f} "
+              f"{ev.r2:>7.3f} {ev.relative_mae * 100:>12.1f}%")
+    print("\nThe surrogates predict walltimes orders of magnitude faster than the"
+          "\nsimulator -- this is the ML-assisted-simulation workflow the dataset"
+          "\ngeneration feature exists to enable.")
+
+
+if __name__ == "__main__":
+    main()

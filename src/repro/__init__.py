@@ -1,0 +1,110 @@
+"""CGSim reproduction: a simulation framework for large-scale distributed computing.
+
+This package is a from-scratch Python reproduction of **CGSim** (SC'25 PMBS
+workshop): a simulator for WLCG-scale computing grids built, in the original,
+on top of SimGrid.  Here every layer is implemented in pure Python:
+
+* :mod:`repro.des` -- the discrete-event kernel (SimGrid substitute).
+* :mod:`repro.platform` -- hosts, links, zones, routing, flow-level network
+  sharing and CPU models.
+* :mod:`repro.config` -- the three JSON inputs (infrastructure, topology,
+  execution parameters).
+* :mod:`repro.workload` -- the standardized job structure, traces and
+  synthetic PanDA-like workload generation.
+* :mod:`repro.core` -- the simulation core: main-server sender actor, per-site
+  receiver actors, data manager, metrics and the :class:`~repro.core.Simulator`
+  facade.
+* :mod:`repro.plugins` -- the allocation-policy plugin system with bundled
+  policies.
+* :mod:`repro.faults` -- fault injection: job failure models, site outage
+  schedules and PanDA-style automatic retries.
+* :mod:`repro.monitoring` -- event-level monitoring, SQLite/CSV output and the
+  dashboard.
+* :mod:`repro.calibration` -- the walltime/queue-time calibration framework
+  with brute-force, random, Bayesian and CMA-ES optimizers.
+* :mod:`repro.mldata` -- ML-ready event dataset assembly and a surrogate
+  baseline.
+* :mod:`repro.atlas` -- the ATLAS/WLCG case-study builders.
+
+Quickstart
+----------
+>>> from repro import generate_grid, SyntheticWorkloadGenerator, Simulator
+>>> infra, topo = generate_grid(4, seed=1)
+>>> jobs = SyntheticWorkloadGenerator(infra, seed=1).generate(100)
+>>> result = Simulator(infra, topo).run(jobs)
+>>> result.metrics.finished_jobs
+100
+"""
+
+from repro.config import (
+    ExecutionConfig,
+    InfrastructureConfig,
+    LinkConfig,
+    MonitoringConfig,
+    OutputConfig,
+    SiteConfig,
+    TopologyConfig,
+    load_simulation_inputs,
+)
+from repro.config.generators import generate_grid, generate_sites
+from repro.faults import FaultInjector, JobFailureModel, OutageWindow, SiteOutageModel
+from repro.core import (
+    DataManager,
+    JobManager,
+    MainServer,
+    SimulationMetrics,
+    SimulationResult,
+    Simulator,
+    SiteRuntime,
+    compute_metrics,
+)
+from repro.monitoring import Dashboard, MonitoringCollector, SQLiteStore
+from repro.plugins import AllocationPolicy, ResourceView, available_policies, create_policy
+from repro.workload import Job, JobState, SyntheticWorkloadGenerator, WorkloadSpec, load_trace, save_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "SiteConfig",
+    "InfrastructureConfig",
+    "LinkConfig",
+    "TopologyConfig",
+    "ExecutionConfig",
+    "MonitoringConfig",
+    "OutputConfig",
+    "load_simulation_inputs",
+    "generate_grid",
+    "generate_sites",
+    # workload
+    "Job",
+    "JobState",
+    "SyntheticWorkloadGenerator",
+    "WorkloadSpec",
+    "load_trace",
+    "save_trace",
+    # core
+    "Simulator",
+    "SimulationResult",
+    "SimulationMetrics",
+    "compute_metrics",
+    "MainServer",
+    "SiteRuntime",
+    "JobManager",
+    "DataManager",
+    # plugins
+    "AllocationPolicy",
+    "ResourceView",
+    "available_policies",
+    "create_policy",
+    # fault injection
+    "JobFailureModel",
+    "SiteOutageModel",
+    "OutageWindow",
+    "FaultInjector",
+    # monitoring
+    "MonitoringCollector",
+    "SQLiteStore",
+    "Dashboard",
+]

@@ -1,0 +1,8 @@
+"""Allow ``python -m repro`` to behave like the ``cgsim`` command."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Analysis helpers: statistics, scaling-law fits and report tables.
+
+These are the post-processing pieces the evaluation section needs: geometric
+means and bootstrap confidence intervals for the calibration figures,
+power-law fits for the scalability study (sub-quadratic job scaling,
+near-linear site scaling) and plain-text report tables for the benchmark
+harness output.
+"""
+
+from repro.analysis.reporting import format_table, metrics_table, site_table
+from repro.analysis.scaling import ScalingFit, fit_power_law, linearity_score
+from repro.analysis.stats import bootstrap_ci, geometric_mean, relative_mae, speedup
+
+__all__ = [
+    "geometric_mean",
+    "relative_mae",
+    "bootstrap_ci",
+    "speedup",
+    "fit_power_law",
+    "linearity_score",
+    "ScalingFit",
+    "format_table",
+    "metrics_table",
+    "site_table",
+]

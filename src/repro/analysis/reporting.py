@@ -1,0 +1,64 @@
+"""Plain-text report tables.
+
+The benchmark harness prints the rows/series of every reproduced table and
+figure; these helpers format them consistently (fixed-width columns, numeric
+rounding) so EXPERIMENTS.md and the bench output stay readable without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.metrics import SimulationMetrics
+
+__all__ = ["format_table", "metrics_table", "site_table"]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], columns: Optional[List[str]] = None) -> str:
+    """Format a list of dict rows as a fixed-width text table."""
+    rows = list(rows)
+    if not rows:
+        return "(empty table)"
+    columns = columns or list(rows[0].keys())
+    rendered = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def metrics_table(metrics: SimulationMetrics) -> str:
+    """One-row table with the grid-level metrics of a run."""
+    row = {
+        "jobs": metrics.total_jobs,
+        "finished": metrics.finished_jobs,
+        "failed": metrics.failed_jobs,
+        "makespan_s": metrics.makespan,
+        "mean_walltime_s": metrics.mean_walltime,
+        "mean_queue_s": metrics.mean_queue_time,
+        "throughput_jobs_per_s": metrics.throughput,
+        "failure_rate": metrics.failure_rate,
+    }
+    return format_table([row])
+
+
+def site_table(metrics: SimulationMetrics) -> str:
+    """Per-site breakdown table of a run."""
+    rows = [m.to_row() for m in metrics.per_site.values()]
+    return format_table(rows) if rows else "(no per-site data)"

@@ -1,0 +1,83 @@
+"""Scaling-law fits for the scalability experiments.
+
+The paper characterises CGSim's runtime scaling qualitatively: job scaling is
+*sub-quadratic* and multi-site scaling is *near-linear*.  These helpers turn
+measured ``(size, runtime)`` series into a fitted power law
+``runtime ≈ a * size^b`` so the benchmark harness can assert those shapes
+(``b < 2`` and ``b ≈ 1`` respectively) rather than absolute numbers that
+depend on the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.errors import CGSimError
+
+__all__ = ["ScalingFit", "fit_power_law", "linearity_score"]
+
+
+@dataclass
+class ScalingFit:
+    """Result of fitting ``runtime = a * size**b``."""
+
+    prefactor: float
+    exponent: float
+    r_squared: float
+
+    def predict(self, size: float) -> float:
+        """Predicted runtime at ``size``."""
+        return self.prefactor * size**self.exponent
+
+    @property
+    def is_subquadratic(self) -> bool:
+        """True when the fitted exponent is below 2 (the Figure 4a claim)."""
+        return self.exponent < 2.0
+
+    @property
+    def is_near_linear(self) -> bool:
+        """True when the fitted exponent lies in [0.5, 1.5] (the Figure 4b claim)."""
+        return 0.5 <= self.exponent <= 1.5
+
+
+def fit_power_law(sizes: Sequence[float], runtimes: Sequence[float]) -> ScalingFit:
+    """Least-squares power-law fit in log-log space."""
+    sizes = np.asarray(list(sizes), dtype=float)
+    runtimes = np.asarray(list(runtimes), dtype=float)
+    if sizes.shape != runtimes.shape or sizes.size < 2:
+        raise CGSimError("need at least two (size, runtime) pairs of equal length")
+    if np.any(sizes <= 0) or np.any(runtimes <= 0):
+        raise CGSimError("sizes and runtimes must be positive for a log-log fit")
+    log_x = np.log(sizes)
+    log_y = np.log(runtimes)
+    design = np.column_stack([np.ones_like(log_x), log_x])
+    coefficients, *_ = np.linalg.lstsq(design, log_y, rcond=None)
+    predictions = design @ coefficients
+    residual = float(np.sum((log_y - predictions) ** 2))
+    total = float(np.sum((log_y - log_y.mean()) ** 2))
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return ScalingFit(
+        prefactor=float(np.exp(coefficients[0])),
+        exponent=float(coefficients[1]),
+        r_squared=r_squared,
+    )
+
+
+def linearity_score(sizes: Sequence[float], runtimes: Sequence[float]) -> float:
+    """R^2 of a direct linear (through-origin allowed) fit ``runtime ~ size``.
+
+    A value close to 1 indicates near-linear scaling.
+    """
+    sizes = np.asarray(list(sizes), dtype=float)
+    runtimes = np.asarray(list(runtimes), dtype=float)
+    if sizes.shape != runtimes.shape or sizes.size < 2:
+        raise CGSimError("need at least two (size, runtime) pairs of equal length")
+    design = np.column_stack([np.ones_like(sizes), sizes])
+    coefficients, *_ = np.linalg.lstsq(design, runtimes, rcond=None)
+    predictions = design @ coefficients
+    residual = float(np.sum((runtimes - predictions) ** 2))
+    total = float(np.sum((runtimes - runtimes.mean()) ** 2))
+    return 1.0 - residual / total if total > 0 else 1.0

@@ -1,0 +1,50 @@
+"""Statistical helpers shared by the evaluation harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.calibration.objective import geometric_mean, relative_mae  # re-exported
+from repro.utils.errors import CGSimError
+
+__all__ = ["geometric_mean", "relative_mae", "bootstrap_ci", "speedup"]
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    seed: int = 0,
+) -> Tuple[float, float, float]:
+    """Bootstrap confidence interval of ``statistic`` over ``values``.
+
+    Returns ``(point_estimate, low, high)``.  Used by the benchmark harness
+    to attach uncertainty to the calibration-error aggregates ("multiple runs
+    per configuration to ensure statistical correctness").
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise CGSimError("bootstrap over an empty sample")
+    if not 0 < confidence < 1:
+        raise CGSimError("confidence must lie in (0, 1)")
+    rng = np.random.default_rng(seed)
+    point = float(statistic(array))
+    resampled = np.empty(n_resamples)
+    for i in range(n_resamples):
+        sample = array[rng.integers(0, array.size, size=array.size)]
+        resampled[i] = statistic(sample)
+    alpha = (1 - confidence) / 2
+    low, high = np.quantile(resampled, [alpha, 1 - alpha])
+    return point, float(low), float(high)
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Speed-up factor ``baseline / improved`` (e.g. the 6x distributed-vs-single claim)."""
+    if improved <= 0:
+        raise CGSimError("improved duration must be positive")
+    if baseline < 0:
+        raise CGSimError("baseline duration must be >= 0")
+    return baseline / improved

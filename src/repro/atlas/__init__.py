@@ -1,0 +1,31 @@
+"""ATLAS / WLCG case study.
+
+The paper's evaluation simulates the subset of the WLCG supporting the ATLAS
+experiment: ~200 computing centres coordinated by PanDA (workload management)
+and Rucio (data management).  This package provides the pieces specific to
+that case study:
+
+* :mod:`~repro.atlas.sites_data` -- a built-in catalogue of WLCG-like sites
+  (Tier-0/1/2 hierarchy, realistic core counts, HEPScore-derived speeds);
+* :mod:`~repro.atlas.wlcg` -- builders turning the catalogue into
+  infrastructure + topology configurations of any size;
+* :mod:`~repro.atlas.panda` -- PanDA-flavoured workload helpers (production
+  trace generation following PanDA's dispatching behaviour, replay support);
+* :mod:`~repro.atlas.rucio` -- a Rucio-flavoured wrapper over the data
+  manager that pre-places dataset replicas across the grid.
+"""
+
+from repro.atlas.panda import PandaWorkloadModel
+from repro.atlas.rucio import RucioCatalog
+from repro.atlas.sites_data import WLCG_SITES, WLCGSiteSpec
+from repro.atlas.wlcg import build_wlcg_infrastructure, build_wlcg_topology, wlcg_grid
+
+__all__ = [
+    "WLCG_SITES",
+    "WLCGSiteSpec",
+    "build_wlcg_infrastructure",
+    "build_wlcg_topology",
+    "wlcg_grid",
+    "PandaWorkloadModel",
+    "RucioCatalog",
+]

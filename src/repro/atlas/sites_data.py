@@ -1,0 +1,117 @@
+"""Built-in catalogue of WLCG-like computing sites.
+
+The evaluation of the paper spans the ~50 (calibration) to ~200 (full ATLAS
+grid) computing centres of the WLCG.  The exact production configuration data
+is not public; this catalogue provides a realistic stand-in with the publicly
+known structure of the grid:
+
+* a Tier-0 (CERN), the ~10 ATLAS Tier-1 centres, and a long tail of Tier-2
+  centres, using real site names where they appear in the paper's Table 1
+  (BNL, CERN, DESY-ZN, LRZ-LMU, ...);
+* core counts spanning the 100-2,000+ range the paper configures;
+* per-core speeds derived deterministically from the site name through the
+  HEPScore-like mapping in :mod:`repro.workload.hepscore`.
+
+The catalogue is deliberately data-only (plain tuples) so tests can rely on
+its exact content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["WLCGSiteSpec", "WLCG_SITES"]
+
+
+@dataclass(frozen=True)
+class WLCGSiteSpec:
+    """Static description of one WLCG-like site in the catalogue."""
+
+    name: str
+    tier: int
+    cores: int
+    country: str
+    cloud: str
+
+
+#: The built-in site catalogue: Tier-0, the ATLAS Tier-1s, and Tier-2 centres.
+WLCG_SITES: List[WLCGSiteSpec] = [
+    # Tier-0
+    WLCGSiteSpec("CERN", 0, 2000, "CH", "CERN"),
+    # Tier-1 centres
+    WLCGSiteSpec("BNL", 1, 1800, "US", "US"),
+    WLCGSiteSpec("TRIUMF", 1, 1200, "CA", "CA"),
+    WLCGSiteSpec("FZK-LCG2", 1, 1500, "DE", "DE"),
+    WLCGSiteSpec("IN2P3-CC", 1, 1400, "FR", "FR"),
+    WLCGSiteSpec("INFN-T1", 1, 1300, "IT", "IT"),
+    WLCGSiteSpec("NDGF-T1", 1, 900, "DK", "ND"),
+    WLCGSiteSpec("NIKHEF-ELPROD", 1, 1000, "NL", "NL"),
+    WLCGSiteSpec("PIC", 1, 800, "ES", "ES"),
+    WLCGSiteSpec("RAL-LCG2", 1, 1600, "UK", "UK"),
+    WLCGSiteSpec("SARA-MATRIX", 1, 950, "NL", "NL"),
+    # Tier-2 centres (a representative selection; names follow WLCG conventions).
+    WLCGSiteSpec("DESY-ZN", 2, 700, "DE", "DE"),
+    WLCGSiteSpec("DESY-HH", 2, 750, "DE", "DE"),
+    WLCGSiteSpec("LRZ-LMU", 2, 600, "DE", "DE"),
+    WLCGSiteSpec("MPPMU", 2, 450, "DE", "DE"),
+    WLCGSiteSpec("GoeGrid", 2, 400, "DE", "DE"),
+    WLCGSiteSpec("wuppertalprod", 2, 350, "DE", "DE"),
+    WLCGSiteSpec("UKI-NORTHGRID-MAN-HEP", 2, 650, "UK", "UK"),
+    WLCGSiteSpec("UKI-NORTHGRID-LANCS-HEP", 2, 500, "UK", "UK"),
+    WLCGSiteSpec("UKI-SCOTGRID-GLASGOW", 2, 550, "UK", "UK"),
+    WLCGSiteSpec("UKI-LT2-QMUL", 2, 600, "UK", "UK"),
+    WLCGSiteSpec("UKI-SOUTHGRID-OX-HEP", 2, 300, "UK", "UK"),
+    WLCGSiteSpec("AGLT2", 2, 900, "US", "US"),
+    WLCGSiteSpec("MWT2", 2, 1100, "US", "US"),
+    WLCGSiteSpec("NET2", 2, 700, "US", "US"),
+    WLCGSiteSpec("SWT2_CPB", 2, 800, "US", "US"),
+    WLCGSiteSpec("OU_OSCER_ATLAS", 2, 350, "US", "US"),
+    WLCGSiteSpec("SLACXRD", 2, 650, "US", "US"),
+    WLCGSiteSpec("BU_ATLAS_Tier2", 2, 500, "US", "US"),
+    WLCGSiteSpec("CA-SFU-T2", 2, 400, "CA", "CA"),
+    WLCGSiteSpec("CA-VICTORIA-WESTGRID-T2", 2, 350, "CA", "CA"),
+    WLCGSiteSpec("IN2P3-LAPP", 2, 300, "FR", "FR"),
+    WLCGSiteSpec("IN2P3-LPC", 2, 280, "FR", "FR"),
+    WLCGSiteSpec("GRIF-LAL", 2, 450, "FR", "FR"),
+    WLCGSiteSpec("GRIF-IRFU", 2, 420, "FR", "FR"),
+    WLCGSiteSpec("TOKYO-LCG2", 2, 850, "JP", "JP"),
+    WLCGSiteSpec("Australia-ATLAS", 2, 400, "AU", "AU"),
+    WLCGSiteSpec("IFIC-LCG2", 2, 380, "ES", "ES"),
+    WLCGSiteSpec("UAM-LCG2", 2, 250, "ES", "ES"),
+    WLCGSiteSpec("INFN-NAPOLI-ATLAS", 2, 420, "IT", "IT"),
+    WLCGSiteSpec("INFN-MILANO-ATLASC", 2, 400, "IT", "IT"),
+    WLCGSiteSpec("INFN-ROMA1", 2, 380, "IT", "IT"),
+    WLCGSiteSpec("INFN-FRASCATI", 2, 260, "IT", "IT"),
+    WLCGSiteSpec("CSCS-LCG2", 2, 550, "CH", "DE"),
+    WLCGSiteSpec("UNIBE-LHEP", 2, 300, "CH", "DE"),
+    WLCGSiteSpec("praguelcg2", 2, 450, "CZ", "DE"),
+    WLCGSiteSpec("FMPhI-UNIBA", 2, 200, "SK", "DE"),
+    WLCGSiteSpec("IEPSAS-Kosice", 2, 180, "SK", "DE"),
+    WLCGSiteSpec("CYFRONET-LCG2", 2, 500, "PL", "DE"),
+    WLCGSiteSpec("PSNC", 2, 350, "PL", "DE"),
+    WLCGSiteSpec("RO-02-NIPNE", 2, 220, "RO", "FR"),
+    WLCGSiteSpec("RO-07-NIPNE", 2, 240, "RO", "FR"),
+    WLCGSiteSpec("GR-12-TEIKAV", 2, 150, "GR", "IT"),
+    WLCGSiteSpec("HEPHY-UIBK", 2, 160, "AT", "DE"),
+    WLCGSiteSpec("SiGNET", 2, 480, "SI", "IT"),
+    WLCGSiteSpec("ARNES", 2, 200, "SI", "IT"),
+    WLCGSiteSpec("TECHNION-HEP", 2, 250, "IL", "IT"),
+    WLCGSiteSpec("WEIZMANN-LCG2", 2, 270, "IL", "IT"),
+    WLCGSiteSpec("ICEPP-TOKYO", 2, 300, "JP", "JP"),
+    WLCGSiteSpec("BEIJING-LCG2", 2, 420, "CN", "FR"),
+    WLCGSiteSpec("IHEP-CC", 2, 380, "CN", "FR"),
+]
+
+
+def sites_by_tier(tier: int) -> List[WLCGSiteSpec]:
+    """All catalogue sites of a given tier."""
+    return [site for site in WLCG_SITES if site.tier == tier]
+
+
+def site_spec(name: str) -> Optional[WLCGSiteSpec]:
+    """Catalogue entry for ``name`` (None if absent)."""
+    for site in WLCG_SITES:
+        if site.name == name:
+            return site
+    return None

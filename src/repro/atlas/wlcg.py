@@ -1,0 +1,137 @@
+"""WLCG infrastructure and topology builders.
+
+These helpers turn the built-in site catalogue into the configuration objects
+the simulator consumes: an :class:`InfrastructureConfig` with HEPScore-derived
+per-core speeds, and a tiered :class:`TopologyConfig` in which Tier-1 centres
+connect to the Tier-0 over high-bandwidth backbone links and Tier-2 centres
+attach to the Tier-1 of their cloud -- the structure of the real ATLAS grid
+(paper Figure 1b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.atlas.sites_data import WLCG_SITES, WLCGSiteSpec
+from repro.config.infrastructure import InfrastructureConfig, SiteConfig
+from repro.config.topology import LinkConfig, TopologyConfig
+from repro.utils.errors import ConfigurationError
+from repro.workload.hepscore import hepscore_speed
+
+__all__ = ["build_wlcg_infrastructure", "build_wlcg_topology", "wlcg_grid"]
+
+#: Link characteristics by tier pair (bandwidth bytes/s, latency seconds).
+_BACKBONE = (12.5e9, 0.01)   # Tier-0 <-> Tier-1 (LHCOPN-like, 100 Gbps)
+_CLOUD_LINK = (2.5e9, 0.02)  # Tier-1 <-> Tier-2 (20 Gbps)
+_SERVER_LINK = (12.5e9, 0.005)
+
+
+def build_wlcg_infrastructure(
+    site_count: Optional[int] = None,
+    cores_per_host: int = 64,
+    walltime_overhead: float = 0.0,
+) -> InfrastructureConfig:
+    """Build an infrastructure from the first ``site_count`` catalogue sites.
+
+    Sites keep their catalogue core counts and tier/cloud properties; the
+    per-core speed comes from the deterministic HEPScore-like mapping so the
+    heterogeneity across sites matches the benchmark spread.
+    """
+    specs = WLCG_SITES if site_count is None else WLCG_SITES[:site_count]
+    if not specs:
+        raise ConfigurationError("site_count must select at least one site")
+    if site_count is not None and site_count > len(WLCG_SITES):
+        raise ConfigurationError(
+            f"catalogue only has {len(WLCG_SITES)} sites (asked for {site_count})"
+        )
+    sites = []
+    for spec in specs:
+        sites.append(
+            SiteConfig(
+                name=spec.name,
+                cores=spec.cores,
+                core_speed=hepscore_speed(spec.name),
+                hosts=max(1, spec.cores // cores_per_host),
+                walltime_overhead=walltime_overhead,
+                properties={
+                    "tier": str(spec.tier),
+                    "country": spec.country,
+                    "cloud": spec.cloud,
+                },
+            )
+        )
+    return InfrastructureConfig(sites=sites)
+
+
+def build_wlcg_topology(
+    infrastructure: InfrastructureConfig,
+    server_zone: str = "panda-server",
+) -> TopologyConfig:
+    """Build the tiered ATLAS-like topology over ``infrastructure``.
+
+    Tier-1 sites link to the Tier-0 (CERN when present, else the first
+    site); each Tier-2 links to the Tier-1 of its cloud (or the Tier-0 when
+    its cloud has no Tier-1 in the selection).  The PanDA server zone hangs
+    off the Tier-0.
+    """
+    names = set(infrastructure.site_names)
+    tier_of = {s.name: int(s.properties.get("tier", 2)) for s in infrastructure.sites}
+    cloud_of = {s.name: s.properties.get("cloud", "") for s in infrastructure.sites}
+
+    tier0 = next((n for n in infrastructure.site_names if tier_of[n] == 0), None)
+    if tier0 is None:
+        tier0 = infrastructure.site_names[0]
+    tier1 = [n for n in infrastructure.site_names if tier_of[n] == 1 and n != tier0]
+    tier1_by_cloud: Dict[str, str] = {}
+    for name in tier1:
+        tier1_by_cloud.setdefault(cloud_of[name], name)
+
+    links: List[LinkConfig] = [
+        LinkConfig(
+            name=f"{server_zone}--{tier0}",
+            source=server_zone,
+            destination=tier0,
+            bandwidth=_SERVER_LINK[0],
+            latency=_SERVER_LINK[1],
+        )
+    ]
+    for name in tier1:
+        links.append(
+            LinkConfig(
+                name=f"{tier0}--{name}",
+                source=tier0,
+                destination=name,
+                bandwidth=_BACKBONE[0],
+                latency=_BACKBONE[1],
+            )
+        )
+    for name in infrastructure.site_names:
+        if name == tier0 or name in tier1:
+            continue
+        hub = tier1_by_cloud.get(cloud_of[name], tier0)
+        if hub == name:
+            hub = tier0
+        links.append(
+            LinkConfig(
+                name=f"{hub}--{name}",
+                source=hub,
+                destination=name,
+                bandwidth=_CLOUD_LINK[0],
+                latency=_CLOUD_LINK[1],
+            )
+        )
+    return TopologyConfig(links=links, server_zone=server_zone)
+
+
+def wlcg_grid(
+    site_count: Optional[int] = None,
+    cores_per_host: int = 64,
+    walltime_overhead: float = 0.0,
+) -> Tuple[InfrastructureConfig, TopologyConfig]:
+    """Convenience helper returning (infrastructure, topology) for the case study."""
+    infrastructure = build_wlcg_infrastructure(
+        site_count=site_count,
+        cores_per_host=cores_per_host,
+        walltime_overhead=walltime_overhead,
+    )
+    return infrastructure, build_wlcg_topology(infrastructure)

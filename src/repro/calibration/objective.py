@@ -1,0 +1,120 @@
+"""Calibration error metrics.
+
+The calibration objective of the paper is to minimise
+``delta_exe = Sim_exe_time - His_exe_time`` across all sites and job types,
+quantified as the **relative mean absolute error** of job walltime; results
+are aggregated over sites with the **geometric mean** (Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.errors import CalibrationError
+from repro.workload.job import Job, JobState
+
+__all__ = [
+    "relative_errors",
+    "relative_mae",
+    "walltime_error_by_category",
+    "geometric_mean",
+]
+
+
+def relative_errors(simulated: Sequence[float], truth: Sequence[float]) -> np.ndarray:
+    """Element-wise relative absolute errors ``|sim - true| / true``.
+
+    Ground-truth entries that are zero or negative are skipped (a relative
+    error is undefined there); an empty result raises
+    :class:`CalibrationError` because the calibration objective would be
+    meaningless.
+    """
+    simulated = np.asarray(list(simulated), dtype=float)
+    truth = np.asarray(list(truth), dtype=float)
+    if simulated.shape != truth.shape:
+        raise CalibrationError(
+            f"simulated and truth lengths differ: {simulated.shape} vs {truth.shape}"
+        )
+    mask = truth > 0
+    if not np.any(mask):
+        raise CalibrationError("no positive ground-truth values to compare against")
+    return np.abs(simulated[mask] - truth[mask]) / truth[mask]
+
+
+def relative_mae(simulated: Sequence[float], truth: Sequence[float]) -> float:
+    """Relative mean absolute error (the paper's calibration objective)."""
+    return float(np.mean(relative_errors(simulated, truth)))
+
+
+def geometric_mean(values: Iterable[float], floor: float = 1e-12) -> float:
+    """Geometric mean of non-negative values (zeros floored at ``floor``).
+
+    The paper reports the geometric mean of per-site relative MAEs; the floor
+    keeps a single perfectly-calibrated site from collapsing the aggregate to
+    zero.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise CalibrationError("geometric mean of an empty collection")
+    if np.any(array < 0):
+        raise CalibrationError("geometric mean requires non-negative values")
+    return float(np.exp(np.mean(np.log(np.maximum(array, floor)))))
+
+
+def walltime_error_by_category(
+    jobs: Iterable[Job],
+    simulated_walltimes: Optional[Dict[int, float]] = None,
+) -> Dict[str, float]:
+    """Relative MAE of walltime split into single-core and multi-core jobs.
+
+    Parameters
+    ----------
+    jobs:
+        Jobs carrying ground truth (``true_walltime``).  When
+        ``simulated_walltimes`` is omitted, each job's *simulated* walltime is
+        taken from the job itself (i.e. the jobs come from a finished run).
+    simulated_walltimes:
+        Optional mapping of ``job_id`` to simulated walltime overriding the
+        job's own value (used when evaluating analytic candidates without a
+        full run).
+
+    Returns
+    -------
+    dict
+        ``{"single_core": ..., "multi_core": ..., "overall": ...}``; a
+        category with no comparable jobs is reported as ``nan``.
+    """
+    singles_sim: List[float] = []
+    singles_true: List[float] = []
+    multi_sim: List[float] = []
+    multi_true: List[float] = []
+    for job in jobs:
+        if job.true_walltime is None or job.true_walltime <= 0:
+            continue
+        if simulated_walltimes is not None:
+            sim = simulated_walltimes.get(int(job.job_id))
+        else:
+            sim = job.walltime
+        if sim is None:
+            continue
+        if job.is_multicore:
+            multi_sim.append(sim)
+            multi_true.append(job.true_walltime)
+        else:
+            singles_sim.append(sim)
+            singles_true.append(job.true_walltime)
+
+    def _maybe(sim: List[float], true: List[float]) -> float:
+        if not sim:
+            return float("nan")
+        return relative_mae(sim, true)
+
+    overall_sim = singles_sim + multi_sim
+    overall_true = singles_true + multi_true
+    return {
+        "single_core": _maybe(singles_sim, singles_true),
+        "multi_core": _maybe(multi_sim, multi_true),
+        "overall": _maybe(overall_sim, overall_true),
+    }

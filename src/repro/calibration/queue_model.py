@@ -1,0 +1,136 @@
+"""Queue-time modelling.
+
+After calibrating walltimes, the paper extends the methodology to queue-time
+modelling, "incorporating scheduling overhead and resource contention effects
+to achieve comprehensive job lifecycle accuracy".  The model fitted here is
+the simple two-parameter form that captures exactly those effects::
+
+    queue_time ≈ alpha + beta * backlog_work / site_capacity
+
+where ``backlog_work`` is the core-seconds of work submitted to the site but
+not yet finished at the job's submission instant and ``site_capacity`` is the
+site's total cores.  ``alpha`` is the fixed scheduling overhead, ``beta`` the
+contention coefficient; both are obtained by least squares against the
+ground-truth queue times of a historical trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config.infrastructure import InfrastructureConfig
+from repro.utils.errors import CalibrationError
+from repro.workload.job import Job
+
+__all__ = ["QueueTimeModel"]
+
+
+@dataclass
+class QueueTimeModel:
+    """Per-site linear queue-time model ``alpha + beta * normalized_backlog``."""
+
+    alpha: Dict[str, float]
+    beta: Dict[str, float]
+
+    # -- feature construction -------------------------------------------------------
+    @staticmethod
+    def backlog_features(jobs: Sequence[Job], site_cores: Dict[str, int]) -> Dict[int, float]:
+        """Normalised backlog seen by every job at its submission time.
+
+        The backlog of a job is the total outstanding core-seconds of the
+        *earlier-submitted* jobs bound for the same site, divided by the
+        site's core count -- i.e. the naive drain time of the queue ahead.
+        """
+        features: Dict[int, float] = {}
+        by_site: Dict[str, List[Job]] = {}
+        for job in jobs:
+            site = job.target_site or job.assigned_site
+            if site is None:
+                continue
+            by_site.setdefault(site, []).append(job)
+        for site, site_jobs in by_site.items():
+            cores = max(1, site_cores.get(site, 1))
+            ordered = sorted(site_jobs, key=lambda j: j.submission_time)
+            backlog = 0.0
+            finished: List[Tuple[float, float]] = []  # (completion_estimate, core_seconds)
+            for job in ordered:
+                now = job.submission_time
+                # Remove work that would have drained by now.
+                finished = [(t, w) for (t, w) in finished if t > now]
+                backlog = sum(w for (_t, w) in finished)
+                features[int(job.job_id)] = backlog / cores
+                walltime = job.true_walltime or 0.0
+                finished.append((now + walltime, walltime * job.cores))
+        return features
+
+    # -- fitting ---------------------------------------------------------------------
+    @classmethod
+    def fit(
+        cls,
+        jobs: Iterable[Job],
+        infrastructure: InfrastructureConfig,
+        min_jobs_per_site: int = 5,
+    ) -> "QueueTimeModel":
+        """Least-squares fit of (alpha, beta) per site from ground-truth queue times."""
+        jobs = [j for j in jobs if j.true_queue_time is not None and j.true_queue_time >= 0]
+        if not jobs:
+            raise CalibrationError("no jobs with ground-truth queue time")
+        site_cores = {site.name: site.cores for site in infrastructure.sites}
+        features = cls.backlog_features(jobs, site_cores)
+        alpha: Dict[str, float] = {}
+        beta: Dict[str, float] = {}
+        by_site: Dict[str, List[Job]] = {}
+        for job in jobs:
+            site = job.target_site or job.assigned_site
+            if site is not None and int(job.job_id) in features:
+                by_site.setdefault(site, []).append(job)
+        for site, site_jobs in by_site.items():
+            if len(site_jobs) < min_jobs_per_site:
+                continue
+            x = np.array([features[int(j.job_id)] for j in site_jobs])
+            y = np.array([j.true_queue_time for j in site_jobs])
+            design = np.column_stack([np.ones_like(x), x])
+            coefficients, *_ = np.linalg.lstsq(design, y, rcond=None)
+            # Queue times cannot be negative: clamp the intercept at zero.
+            alpha[site] = float(max(0.0, coefficients[0]))
+            beta[site] = float(max(0.0, coefficients[1]))
+        if not alpha:
+            raise CalibrationError("no site had enough jobs to fit a queue-time model")
+        return cls(alpha=alpha, beta=beta)
+
+    # -- prediction -------------------------------------------------------------------
+    def predict(self, site: str, normalized_backlog: float) -> float:
+        """Predicted queue time for a job facing ``normalized_backlog`` at ``site``."""
+        if site not in self.alpha:
+            raise CalibrationError(f"queue-time model has no parameters for site {site!r}")
+        return self.alpha[site] + self.beta[site] * max(0.0, normalized_backlog)
+
+    def predict_jobs(
+        self, jobs: Sequence[Job], infrastructure: InfrastructureConfig
+    ) -> Dict[int, float]:
+        """Predicted queue time for every job with a fitted site."""
+        site_cores = {site.name: site.cores for site in infrastructure.sites}
+        features = self.backlog_features(jobs, site_cores)
+        predictions: Dict[int, float] = {}
+        for job in jobs:
+            site = job.target_site or job.assigned_site
+            if site in self.alpha and int(job.job_id) in features:
+                predictions[int(job.job_id)] = self.predict(site, features[int(job.job_id)])
+        return predictions
+
+    def mean_absolute_error(
+        self, jobs: Sequence[Job], infrastructure: InfrastructureConfig
+    ) -> float:
+        """MAE of the model's predictions against ground-truth queue times."""
+        predictions = self.predict_jobs(jobs, infrastructure)
+        errors = [
+            abs(predictions[int(j.job_id)] - j.true_queue_time)
+            for j in jobs
+            if int(j.job_id) in predictions and j.true_queue_time is not None
+        ]
+        if not errors:
+            raise CalibrationError("no comparable jobs for queue-time evaluation")
+        return float(np.mean(errors))

@@ -1,0 +1,111 @@
+"""Common optimizer interface and result container."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.utils.errors import CalibrationError
+
+__all__ = ["OptimizationResult", "Optimizer", "register_optimizer", "get_optimizer"]
+
+Objective = Callable[[np.ndarray], float]
+Bounds = Sequence[Tuple[float, float]]
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one optimisation run."""
+
+    best_x: np.ndarray
+    best_value: float
+    evaluations: int
+    #: Every evaluated (x, value) pair, in evaluation order.
+    history: List[Tuple[np.ndarray, float]] = field(default_factory=list)
+    optimizer: str = ""
+
+    @property
+    def trajectory(self) -> List[float]:
+        """Best-so-far objective value after each evaluation."""
+        best = float("inf")
+        values = []
+        for _x, value in self.history:
+            best = min(best, value)
+            values.append(best)
+        return values
+
+
+class Optimizer(abc.ABC):
+    """Base class of the calibration optimizers.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the optimizer's internal randomness (ignored by the
+        deterministic brute-force search).
+    """
+
+    name = "base"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    @staticmethod
+    def _validate(bounds: Bounds, budget: int) -> np.ndarray:
+        if budget < 1:
+            raise CalibrationError("optimisation budget must be >= 1")
+        array = np.asarray(bounds, dtype=float)
+        if array.ndim != 2 or array.shape[1] != 2:
+            raise CalibrationError("bounds must be a sequence of (low, high) pairs")
+        if np.any(array[:, 0] >= array[:, 1]):
+            raise CalibrationError("each bound must satisfy low < high")
+        return array
+
+    @abc.abstractmethod
+    def minimize(self, objective: Objective, bounds: Bounds, budget: int) -> OptimizationResult:
+        """Minimise ``objective`` over ``bounds`` using at most ``budget`` evaluations."""
+
+    def _finalize(
+        self, history: List[Tuple[np.ndarray, float]]
+    ) -> OptimizationResult:
+        if not history:
+            raise CalibrationError("optimizer made no evaluations")
+        best_x, best_value = min(history, key=lambda pair: pair[1])
+        return OptimizationResult(
+            best_x=np.asarray(best_x, dtype=float),
+            best_value=float(best_value),
+            evaluations=len(history),
+            history=history,
+            optimizer=self.name,
+        )
+
+
+_OPTIMIZERS: Dict[str, Type[Optimizer]] = {}
+
+
+def register_optimizer(name: str):
+    """Class decorator registering an optimizer under ``name``."""
+
+    def decorator(cls: Type[Optimizer]) -> Type[Optimizer]:
+        cls.name = name
+        _OPTIMIZERS[name] = cls
+        return cls
+
+    return decorator
+
+
+def get_optimizer(name: str, seed: int = 0, **kwargs) -> Optimizer:
+    """Instantiate a registered optimizer by name.
+
+    Known names: ``"brute_force"``, ``"random"``, ``"bayesian"``, ``"cmaes"``.
+    """
+    try:
+        cls = _OPTIMIZERS[name]
+    except KeyError:
+        raise CalibrationError(
+            f"unknown optimizer {name!r}; available: {sorted(_OPTIMIZERS)}"
+        ) from None
+    return cls(seed=seed, **kwargs)

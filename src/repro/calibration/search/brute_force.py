@@ -1,0 +1,44 @@
+"""Brute-force (grid) search.
+
+Theoretically optimal given an infinite budget but computationally infeasible
+across 150 sites, as the paper notes; included both as the exhaustive
+baseline of the optimizer-comparison experiment and for low-dimensional
+sanity checks in the tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.calibration.search.base import Optimizer, OptimizationResult, register_optimizer
+
+__all__ = ["BruteForceOptimizer"]
+
+
+@register_optimizer("brute_force")
+class BruteForceOptimizer(Optimizer):
+    """Evaluate a regular grid over the search box.
+
+    The grid resolution per dimension is chosen as the largest ``n`` with
+    ``n ** dims <= budget``, so the optimizer always respects the evaluation
+    budget (with at least two points per dimension).
+    """
+
+    def minimize(self, objective, bounds, budget: int) -> OptimizationResult:
+        box = self._validate(bounds, budget)
+        dims = box.shape[0]
+        points_per_dim = max(2, int(np.floor(budget ** (1.0 / dims))))
+        # Shrink until the grid fits the budget (can only trigger for dims > 1).
+        while points_per_dim > 2 and points_per_dim**dims > budget:
+            points_per_dim -= 1
+        axes = [np.linspace(low, high, points_per_dim) for low, high in box]
+        history: List[Tuple[np.ndarray, float]] = []
+        for values in itertools.product(*axes):
+            if len(history) >= budget:
+                break
+            x = np.asarray(values, dtype=float)
+            history.append((x, float(objective(x))))
+        return self._finalize(history)

@@ -1,0 +1,125 @@
+"""Covariance Matrix Adaptation Evolution Strategy (CMA-ES).
+
+A from-scratch implementation of the (mu/mu_w, lambda)-CMA-ES following
+Hansen's tutorial (the reference the paper cites), with box-constraint
+handling by resampling/clipping.  It is intentionally compact: the
+calibration problems it is used for are low-dimensional (typically one
+parameter per site), so the full restart machinery of production CMA-ES
+libraries is unnecessary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.calibration.search.base import Optimizer, OptimizationResult, register_optimizer
+
+__all__ = ["CMAESOptimizer"]
+
+
+@register_optimizer("cmaes")
+class CMAESOptimizer(Optimizer):
+    """(mu/mu_w, lambda)-CMA-ES with box constraints.
+
+    Parameters
+    ----------
+    seed:
+        Randomness seed.
+    population:
+        Population size lambda; defaults to ``4 + floor(3 ln n)`` as in the
+        tutorial.
+    initial_sigma:
+        Initial step size as a fraction of the search-box span.
+    """
+
+    def __init__(self, seed: int = 0, population: int = 0, initial_sigma: float = 0.3) -> None:
+        super().__init__(seed=seed)
+        self.population = int(population)
+        self.initial_sigma = float(initial_sigma)
+
+    def minimize(self, objective, bounds, budget: int) -> OptimizationResult:
+        box = self._validate(bounds, budget)
+        n = box.shape[0]
+        span = box[:, 1] - box[:, 0]
+        rng = np.random.default_rng(self.seed)
+
+        lam = self.population or (4 + int(3 * np.log(n)))
+        lam = max(2, min(lam, budget))
+        mu = lam // 2
+        weights = np.log(mu + 0.5) - np.log(np.arange(1, mu + 1))
+        weights /= weights.sum()
+        mu_eff = 1.0 / np.sum(weights**2)
+
+        # Strategy parameters (Hansen's defaults).
+        cc = (4 + mu_eff / n) / (n + 4 + 2 * mu_eff / n)
+        cs = (mu_eff + 2) / (n + mu_eff + 5)
+        c1 = 2 / ((n + 1.3) ** 2 + mu_eff)
+        cmu = min(1 - c1, 2 * (mu_eff - 2 + 1 / mu_eff) / ((n + 2) ** 2 + mu_eff))
+        damps = 1 + 2 * max(0.0, np.sqrt((mu_eff - 1) / (n + 1)) - 1) + cs
+        chi_n = np.sqrt(n) * (1 - 1 / (4 * n) + 1 / (21 * n**2))
+
+        # State, in normalised [0, 1]^n coordinates.
+        mean = rng.uniform(0.25, 0.75, size=n)
+        sigma = self.initial_sigma
+        C = np.eye(n)
+        p_sigma = np.zeros(n)
+        p_c = np.zeros(n)
+
+        def denorm(u: np.ndarray) -> np.ndarray:
+            return box[:, 0] + np.clip(u, 0.0, 1.0) * span
+
+        history: List[Tuple[np.ndarray, float]] = []
+        evaluations = 0
+        while evaluations < budget:
+            # Sample the population (eigen-decomposition of C each generation
+            # is fine at these dimensionalities).
+            eigenvalues, eigenvectors = np.linalg.eigh(C)
+            eigenvalues = np.maximum(eigenvalues, 1e-20)
+            sqrt_C = eigenvectors @ np.diag(np.sqrt(eigenvalues)) @ eigenvectors.T
+            inv_sqrt_C = eigenvectors @ np.diag(1.0 / np.sqrt(eigenvalues)) @ eigenvectors.T
+
+            this_lam = min(lam, budget - evaluations)
+            samples = []
+            for _ in range(this_lam):
+                z = rng.standard_normal(n)
+                u = np.clip(mean + sigma * (sqrt_C @ z), 0.0, 1.0)
+                x = denorm(u)
+                value = float(objective(x))
+                samples.append((u, value))
+                history.append((x, value))
+                evaluations += 1
+            if evaluations >= budget and this_lam < mu:
+                break  # not enough samples to update; best-so-far is returned
+
+            samples.sort(key=lambda pair: pair[1])
+            top = samples[: min(mu, len(samples))]
+            top_w = weights[: len(top)] / weights[: len(top)].sum()
+            new_mean = np.sum([w * u for w, (u, _v) in zip(top_w, top)], axis=0)
+
+            # Step-size and covariance adaptation.
+            mean_shift = (new_mean - mean) / max(sigma, 1e-12)
+            p_sigma = (1 - cs) * p_sigma + np.sqrt(cs * (2 - cs) * mu_eff) * (
+                inv_sqrt_C @ mean_shift
+            )
+            h_sigma = float(
+                np.linalg.norm(p_sigma)
+                / np.sqrt(1 - (1 - cs) ** (2 * (evaluations / lam + 1)))
+                < (1.4 + 2 / (n + 1)) * chi_n
+            )
+            p_c = (1 - cc) * p_c + h_sigma * np.sqrt(cc * (2 - cc) * mu_eff) * mean_shift
+            rank_mu = np.zeros((n, n))
+            for w, (u, _v) in zip(top_w, top):
+                d = (u - mean) / max(sigma, 1e-12)
+                rank_mu += w * np.outer(d, d)
+            C = (
+                (1 - c1 - cmu) * C
+                + c1 * (np.outer(p_c, p_c) + (1 - h_sigma) * cc * (2 - cc) * C)
+                + cmu * rank_mu
+            )
+            sigma *= float(np.exp((cs / damps) * (np.linalg.norm(p_sigma) / chi_n - 1)))
+            sigma = float(np.clip(sigma, 1e-8, 1.0))
+            mean = new_mean
+
+        return self._finalize(history)

@@ -1,0 +1,31 @@
+"""Random (uniform) search.
+
+The surprisingly strong baseline: within the per-site evaluation budget the
+paper allows, random search achieved the lowest average calibration error
+across the 50 studied sites, which the authors attribute to the shape of the
+parameter optimisation landscape.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.calibration.search.base import Optimizer, OptimizationResult, register_optimizer
+
+__all__ = ["RandomSearchOptimizer"]
+
+
+@register_optimizer("random")
+class RandomSearchOptimizer(Optimizer):
+    """Uniform sampling of the search box."""
+
+    def minimize(self, objective, bounds, budget: int) -> OptimizationResult:
+        box = self._validate(bounds, budget)
+        rng = np.random.default_rng(self.seed)
+        history: List[Tuple[np.ndarray, float]] = []
+        for _ in range(budget):
+            x = rng.uniform(box[:, 0], box[:, 1])
+            history.append((x, float(objective(x))))
+        return self._finalize(history)

@@ -1,0 +1,191 @@
+"""Parameter sensitivity analysis.
+
+The paper performs a comprehensive sensitivity analysis over grid
+configuration parameters -- CPU core counts, processing speeds, memory
+capacities and intra-site network bandwidths -- and finds that per-core
+processing speed dominates job-walltime accuracy, which is why it becomes the
+primary calibration parameter.
+
+:class:`SensitivityAnalysis` reproduces that study with a one-at-a-time
+design: each parameter is perturbed by a set of multiplicative factors around
+its nominal value while the others stay fixed, the walltime error against the
+ground-truth trace is re-evaluated, and the *sensitivity index* of a
+parameter is the spread (max - min) of the error across its perturbations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.calibration.objective import walltime_error_by_category
+from repro.config.execution import ExecutionConfig, MonitoringConfig
+from repro.config.infrastructure import InfrastructureConfig, SiteConfig
+from repro.config.topology import TopologyConfig
+from repro.core.simulator import Simulator
+from repro.plugins.bundled import FollowTracePolicy
+from repro.utils.errors import CalibrationError
+from repro.workload.job import Job, JobState
+
+__all__ = ["SensitivityResult", "SensitivityAnalysis"]
+
+#: Parameters the analysis can perturb, and how they map onto SiteConfig.
+_PARAMETERS = ("core_speed", "cores", "ram_per_host", "local_bandwidth")
+
+
+@dataclass
+class SensitivityResult:
+    """Outcome of the sensitivity study for one parameter."""
+
+    parameter: str
+    factors: List[float]
+    errors: List[float]
+
+    @property
+    def sensitivity_index(self) -> float:
+        """Spread of the walltime error across the perturbations."""
+        finite = [e for e in self.errors if np.isfinite(e)]
+        if not finite:
+            return 0.0
+        return float(max(finite) - min(finite))
+
+    def to_row(self) -> dict:
+        """Flatten for reporting."""
+        return {
+            "parameter": self.parameter,
+            "sensitivity_index": self.sensitivity_index,
+            "min_error": float(np.nanmin(self.errors)) if self.errors else float("nan"),
+            "max_error": float(np.nanmax(self.errors)) if self.errors else float("nan"),
+        }
+
+
+class SensitivityAnalysis:
+    """One-at-a-time sensitivity of walltime accuracy to site parameters.
+
+    Parameters
+    ----------
+    site:
+        Nominal configuration of the site under study.
+    jobs:
+        Ground-truth jobs of that site.
+    factors:
+        Multiplicative perturbations applied to each parameter.
+    mode:
+        ``"simulate"`` replays jobs through the full simulator for every
+        perturbation; ``"analytic"`` uses the closed-form walltime (only the
+        parameters that enter it -- speed and cores via contention -- then
+        show any effect, which is itself an informative result).
+    """
+
+    def __init__(
+        self,
+        site: SiteConfig,
+        jobs: Sequence[Job],
+        factors: Sequence[float] = (0.5, 0.75, 1.0, 1.5, 2.0),
+        mode: str = "simulate",
+    ) -> None:
+        jobs = [j for j in jobs if j.true_walltime and j.true_walltime > 0]
+        if not jobs:
+            raise CalibrationError("sensitivity analysis needs jobs with ground truth")
+        if mode not in ("simulate", "analytic"):
+            raise CalibrationError(f"unknown sensitivity mode {mode!r}")
+        if any(f <= 0 for f in factors):
+            raise CalibrationError("perturbation factors must be positive")
+        self.site = site
+        self.jobs = list(jobs)
+        self.factors = list(factors)
+        self.mode = mode
+
+    # -- evaluation ------------------------------------------------------------
+    def _perturbed_site(self, parameter: str, factor: float) -> SiteConfig:
+        if parameter == "core_speed":
+            return self.site.with_core_speed(self.site.core_speed * factor)
+        if parameter == "cores":
+            cores = max(1, int(round(self.site.cores * factor)))
+            hosts = min(self.site.hosts, cores)
+            return SiteConfig(
+                name=self.site.name,
+                cores=cores,
+                core_speed=self.site.core_speed,
+                hosts=hosts,
+                ram_per_host=self.site.ram_per_host,
+                local_bandwidth=self.site.local_bandwidth,
+                local_latency=self.site.local_latency,
+                walltime_overhead=self.site.walltime_overhead,
+                properties=dict(self.site.properties),
+            )
+        if parameter == "ram_per_host":
+            return SiteConfig(
+                name=self.site.name,
+                cores=self.site.cores,
+                core_speed=self.site.core_speed,
+                hosts=self.site.hosts,
+                ram_per_host=self.site.ram_per_host * factor,
+                local_bandwidth=self.site.local_bandwidth,
+                local_latency=self.site.local_latency,
+                walltime_overhead=self.site.walltime_overhead,
+                properties=dict(self.site.properties),
+            )
+        if parameter == "local_bandwidth":
+            return SiteConfig(
+                name=self.site.name,
+                cores=self.site.cores,
+                core_speed=self.site.core_speed,
+                hosts=self.site.hosts,
+                ram_per_host=self.site.ram_per_host,
+                local_bandwidth=self.site.local_bandwidth * factor,
+                local_latency=self.site.local_latency,
+                walltime_overhead=self.site.walltime_overhead,
+                properties=dict(self.site.properties),
+            )
+        raise CalibrationError(f"unknown parameter {parameter!r}")
+
+    def _error_for_site(self, site: SiteConfig) -> float:
+        if self.mode == "analytic":
+            walltimes = {
+                int(j.job_id): j.work / (site.core_speed * j.cores) + site.walltime_overhead
+                for j in self.jobs
+            }
+            return walltime_error_by_category(self.jobs, walltimes)["overall"]
+        infrastructure = InfrastructureConfig(sites=[site])
+        execution = ExecutionConfig(
+            plugin="follow_trace",
+            monitoring=MonitoringConfig(enable_events=False, snapshot_interval=0.0),
+        )
+        simulator = Simulator(
+            infrastructure, TopologyConfig(), execution, policy=FollowTracePolicy()
+        )
+        result = simulator.run([j.copy_for_replay() for j in self.jobs])
+        walltimes = {
+            int(j.job_id): j.walltime
+            for j in result.jobs
+            if j.state is JobState.FINISHED and j.walltime is not None
+        }
+        return walltime_error_by_category(self.jobs, walltimes)["overall"]
+
+    # -- public API ----------------------------------------------------------------
+    def analyze(self, parameters: Optional[Iterable[str]] = None) -> List[SensitivityResult]:
+        """Run the study and return one :class:`SensitivityResult` per parameter."""
+        parameters = list(parameters or _PARAMETERS)
+        unknown = set(parameters) - set(_PARAMETERS)
+        if unknown:
+            raise CalibrationError(f"unknown parameters {sorted(unknown)}")
+        results = []
+        for parameter in parameters:
+            errors = [
+                self._error_for_site(self._perturbed_site(parameter, factor))
+                for factor in self.factors
+            ]
+            results.append(
+                SensitivityResult(parameter=parameter, factors=list(self.factors), errors=errors)
+            )
+        return results
+
+    @staticmethod
+    def dominant_parameter(results: Sequence[SensitivityResult]) -> str:
+        """Name of the parameter with the largest sensitivity index."""
+        if not results:
+            raise CalibrationError("no sensitivity results")
+        return max(results, key=lambda r: r.sensitivity_index).parameter

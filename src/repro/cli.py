@@ -1,0 +1,274 @@
+"""Command-line interface.
+
+``cgsim`` (or ``python -m repro``) exposes the most common workflows without
+writing any Python:
+
+* ``cgsim generate-config`` -- write the three JSON input files for a
+  synthetic or WLCG-like grid of a given size;
+* ``cgsim generate-trace`` -- write a synthetic PanDA-like trace for an
+  infrastructure file;
+* ``cgsim run`` -- run a simulation from the three config files and a trace,
+  print the metrics, and optionally write SQLite/CSV outputs;
+* ``cgsim calibrate`` -- run the per-site walltime calibration over a trace
+  and print the before/after error table;
+* ``cgsim sensitivity`` -- run the one-at-a-time parameter sensitivity study
+  for one site against a trace (which parameter dominates walltime accuracy);
+* ``cgsim compare-policies`` -- replay one trace under several allocation
+  policies and print the operational metrics side by side;
+* ``cgsim policies`` -- list the registered allocation policies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro import __version__
+from repro.analysis.reporting import format_table, metrics_table, site_table
+from repro.atlas.wlcg import wlcg_grid
+from repro.calibration import GridCalibrator
+from repro.calibration.sensitivity import SensitivityAnalysis
+from repro.config import (
+    ExecutionConfig,
+    load_execution,
+    load_infrastructure,
+    load_topology,
+    save_execution,
+    save_infrastructure,
+    save_topology,
+)
+from repro.config.generators import generate_grid
+from repro.core.simulator import Simulator
+from repro.monitoring.dashboard import Dashboard
+from repro.plugins import available_policies
+from repro.utils.errors import CGSimError
+from repro.workload.generator import SyntheticWorkloadGenerator
+from repro.workload.trace import load_trace, save_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``cgsim`` command."""
+    parser = argparse.ArgumentParser(
+        prog="cgsim",
+        description="CGSim reproduction: simulate large-scale distributed computing grids.",
+    )
+    parser.add_argument("--version", action="version", version=f"cgsim-repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate-config", help="write the three JSON configuration files")
+    gen.add_argument("--sites", type=int, default=10, help="number of sites")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--kind", choices=["synthetic", "wlcg"], default="synthetic",
+        help="synthetic heterogeneous grid or the built-in WLCG catalogue",
+    )
+    gen.add_argument("--topology", choices=["star", "tiered"], default="star")
+    gen.add_argument("--output-dir", type=Path, default=Path("configs"))
+
+    trace = sub.add_parser("generate-trace", help="write a synthetic PanDA-like trace")
+    trace.add_argument("--infrastructure", type=Path, required=True)
+    trace.add_argument("--jobs", type=int, default=1000)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--output", type=Path, default=Path("trace.csv"))
+
+    run = sub.add_parser("run", help="run a simulation")
+    run.add_argument("--infrastructure", type=Path, required=True)
+    run.add_argument("--topology", type=Path, required=True)
+    run.add_argument("--execution", type=Path, required=True)
+    run.add_argument("--trace", type=Path, required=True)
+    run.add_argument("--dashboard", action="store_true", help="print the final dashboard view")
+    run.add_argument("--per-site", action="store_true", help="print the per-site breakdown")
+
+    cal = sub.add_parser("calibrate", help="calibrate per-site core speeds against a trace")
+    cal.add_argument("--infrastructure", type=Path, required=True)
+    cal.add_argument("--trace", type=Path, required=True)
+    cal.add_argument("--optimizer", default="random",
+                     choices=["random", "bayesian", "cmaes", "brute_force"])
+    cal.add_argument("--budget", type=int, default=30)
+    cal.add_argument("--seed", type=int, default=0)
+    cal.add_argument("--output", type=Path, default=None,
+                     help="write the calibrated infrastructure JSON here")
+
+    sens = sub.add_parser(
+        "sensitivity",
+        help="one-at-a-time parameter sensitivity study for one site",
+    )
+    sens.add_argument("--infrastructure", type=Path, required=True)
+    sens.add_argument("--trace", type=Path, required=True)
+    sens.add_argument("--site", default=None,
+                      help="site to study (default: the site with the most trace jobs)")
+    sens.add_argument("--factors", default="0.5,0.75,1.0,1.5,2.0",
+                      help="comma-separated multiplicative perturbations")
+    sens.add_argument("--mode", choices=["simulate", "analytic"], default="simulate")
+
+    cmp = sub.add_parser(
+        "compare-policies",
+        help="replay one trace under several allocation policies",
+    )
+    cmp.add_argument("--infrastructure", type=Path, required=True)
+    cmp.add_argument("--topology", type=Path, required=True)
+    cmp.add_argument("--trace", type=Path, required=True)
+    cmp.add_argument(
+        "--policies",
+        default="round_robin,least_loaded,panda_dispatcher",
+        help="comma-separated policy names (see `cgsim policies`)",
+    )
+
+    sub.add_parser("policies", help="list registered allocation policies")
+    return parser
+
+
+def _cmd_generate_config(args: argparse.Namespace) -> int:
+    if args.kind == "wlcg":
+        infrastructure, topology = wlcg_grid(site_count=args.sites)
+    else:
+        infrastructure, topology = generate_grid(
+            args.sites, seed=args.seed, topology=args.topology
+        )
+    execution = ExecutionConfig()
+    out = args.output_dir
+    save_infrastructure(infrastructure, out / "infrastructure.json")
+    save_topology(topology, out / "topology.json")
+    save_execution(execution, out / "execution.json")
+    print(f"wrote infrastructure.json, topology.json, execution.json to {out}")
+    return 0
+
+
+def _cmd_generate_trace(args: argparse.Namespace) -> int:
+    infrastructure = load_infrastructure(args.infrastructure)
+    generator = SyntheticWorkloadGenerator(infrastructure, seed=args.seed)
+    jobs = generator.generate(args.jobs)
+    save_trace(jobs, args.output)
+    print(f"wrote {len(jobs)} jobs to {args.output}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    infrastructure = load_infrastructure(args.infrastructure)
+    topology = load_topology(args.topology)
+    execution = load_execution(args.execution)
+    jobs = load_trace(args.trace)
+    simulator = Simulator(infrastructure, topology, execution)
+    result = simulator.run(jobs)
+    print(metrics_table(result.metrics))
+    if args.per_site:
+        print()
+        print(site_table(result.metrics))
+    if args.dashboard:
+        print()
+        print(Dashboard(result.collector).render(result.simulated_time))
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    infrastructure = load_infrastructure(args.infrastructure)
+    jobs = load_trace(args.trace)
+    calibrator = GridCalibrator(
+        infrastructure,
+        jobs,
+        optimizer=args.optimizer,
+        budget=args.budget,
+        seed=args.seed,
+    )
+    report = calibrator.calibrate()
+    print(format_table([r.to_row() for r in report.sites]))
+    summary = report.summary()
+    print()
+    print(json.dumps(summary, indent=2))
+    if args.output is not None:
+        calibrated = calibrator.calibrated_infrastructure(report)
+        save_infrastructure(calibrated, args.output)
+        print(f"wrote calibrated infrastructure to {args.output}")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    infrastructure = load_infrastructure(args.infrastructure)
+    jobs = load_trace(args.trace)
+    site_name = args.site
+    if site_name is None:
+        # Default to the site the trace covers best.
+        counts: dict = {}
+        for job in jobs:
+            if job.target_site:
+                counts[job.target_site] = counts.get(job.target_site, 0) + 1
+        if not counts:
+            raise CGSimError("the trace attributes no jobs to any site")
+        site_name = max(counts, key=counts.get)
+    site = infrastructure.site(site_name)
+    site_jobs = [j for j in jobs if j.target_site == site_name]
+    factors = [float(value) for value in args.factors.split(",") if value.strip()]
+    analysis = SensitivityAnalysis(site, site_jobs, factors=factors, mode=args.mode)
+    results = analysis.analyze()
+    print(f"sensitivity study for {site_name} ({len(site_jobs)} jobs, factors {factors})")
+    print(format_table([result.to_row() for result in results]))
+    print()
+    print(f"dominant parameter: {SensitivityAnalysis.dominant_parameter(results)}")
+    return 0
+
+
+def _cmd_compare_policies(args: argparse.Namespace) -> int:
+    infrastructure = load_infrastructure(args.infrastructure)
+    topology = load_topology(args.topology)
+    jobs = load_trace(args.trace)
+    policies = [name.strip() for name in args.policies.split(",") if name.strip()]
+    unknown = [name for name in policies if name not in available_policies()]
+    if unknown:
+        raise CGSimError(f"unknown policies {unknown}; see `cgsim policies`")
+    rows = []
+    for policy in policies:
+        execution = ExecutionConfig(plugin=policy)
+        result = Simulator(infrastructure, topology, execution).run(
+            [job.copy_for_replay() for job in jobs]
+        )
+        metrics = result.metrics
+        rows.append(
+            {
+                "policy": policy,
+                "finished": metrics.finished_jobs,
+                "failed": metrics.failed_jobs,
+                "makespan_h": metrics.makespan / 3600.0,
+                "mean_queue_min": metrics.mean_queue_time / 60.0,
+                "throughput_jobs_per_h": metrics.throughput * 3600.0,
+            }
+        )
+    print(format_table(rows))
+    best = min(rows, key=lambda row: row["makespan_h"])
+    print()
+    print(f"shortest makespan: {best['policy']} ({best['makespan_h']:.2f} h)")
+    return 0
+
+
+def _cmd_policies(_args: argparse.Namespace) -> int:
+    for name in available_policies():
+        print(name)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``cgsim`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate-config": _cmd_generate_config,
+        "generate-trace": _cmd_generate_trace,
+        "run": _cmd_run,
+        "calibrate": _cmd_calibrate,
+        "sensitivity": _cmd_sensitivity,
+        "compare-policies": _cmd_compare_policies,
+        "policies": _cmd_policies,
+    }
+    try:
+        return handlers[args.command](args)
+    except CGSimError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

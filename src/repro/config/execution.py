@@ -1,0 +1,166 @@
+"""Execution-parameter configuration: how a simulation run behaves.
+
+This is the third CGSim input file: which allocation-policy plugin to load,
+how the workload is obtained (a trace file or a synthetic generator), the
+monitoring cadence, random seeds, and where outputs go.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import parse_duration
+
+__all__ = ["MonitoringConfig", "OutputConfig", "ExecutionConfig"]
+
+
+@dataclass
+class MonitoringConfig:
+    """Controls event-level monitoring and periodic snapshots."""
+
+    #: Record per-job state transitions (Table 1 rows).
+    enable_events: bool = True
+    #: Interval in seconds between site-level snapshots (0 disables them).
+    snapshot_interval: float = 300.0
+    #: Keep records in memory (needed for the dashboard and ML dataset export).
+    keep_in_memory: bool = True
+
+    def __post_init__(self) -> None:
+        self.snapshot_interval = parse_duration(self.snapshot_interval)
+        if self.snapshot_interval < 0:
+            raise ConfigurationError("snapshot_interval must be >= 0")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "enable_events": self.enable_events,
+            "snapshot_interval": self.snapshot_interval,
+            "keep_in_memory": self.keep_in_memory,
+        }
+
+
+@dataclass
+class OutputConfig:
+    """Where simulation results are written."""
+
+    #: SQLite database path (``None`` disables the SQLite store).
+    sqlite_path: Optional[str] = None
+    #: Directory for CSV exports (``None`` disables CSV export).
+    csv_directory: Optional[str] = None
+    #: Also dump the ML-ready event-level dataset.
+    ml_dataset: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "sqlite_path": self.sqlite_path,
+            "csv_directory": self.csv_directory,
+            "ml_dataset": self.ml_dataset,
+        }
+
+
+@dataclass
+class ExecutionConfig:
+    """Run-level parameters of one simulation.
+
+    Parameters
+    ----------
+    plugin:
+        Allocation policy to use.  Either the name of a bundled policy
+        (``"round_robin"``, ``"least_loaded"``, ...) or a dotted
+        ``"module:ClassName"`` path to a user plugin, mirroring CGSim's
+        shared-library plugin loading.
+    plugin_options:
+        Free-form options handed to the plugin's constructor.
+    seed:
+        Root random seed for the whole run.
+    max_simulation_time:
+        Hard stop for the simulated clock (``None`` runs to completion).
+    dispatch_interval:
+        Minimum simulated time between two dispatch rounds of the main
+        server (batching window).
+    pending_retry_interval:
+        How often the main server re-examines the pending list when no
+        resource change has occurred.
+    scheduling_overhead:
+        Fixed simulated cost (seconds) added per dispatched job, modelling
+        the workload-management latency.
+    max_retries:
+        How many times the main server automatically resubmits a failed job
+        (0 disables retries).  This mirrors PanDA's automatic resubmission;
+        every attempt appears in the output dataset, so the job failure rate
+        metric counts attempts exactly as production monitoring does.
+    """
+
+    plugin: str = "round_robin"
+    plugin_options: Dict[str, object] = field(default_factory=dict)
+    seed: int = 0
+    max_simulation_time: Optional[float] = None
+    dispatch_interval: float = 1.0
+    pending_retry_interval: float = 60.0
+    scheduling_overhead: float = 0.0
+    max_retries: int = 0
+    monitoring: MonitoringConfig = field(default_factory=MonitoringConfig)
+    output: OutputConfig = field(default_factory=OutputConfig)
+
+    def __post_init__(self) -> None:
+        if not self.plugin:
+            raise ConfigurationError("execution config: plugin must be non-empty")
+        self.dispatch_interval = parse_duration(self.dispatch_interval)
+        self.pending_retry_interval = parse_duration(self.pending_retry_interval)
+        self.scheduling_overhead = parse_duration(self.scheduling_overhead)
+        if self.max_simulation_time is not None:
+            self.max_simulation_time = parse_duration(self.max_simulation_time)
+            if self.max_simulation_time <= 0:
+                raise ConfigurationError("max_simulation_time must be positive")
+        if self.dispatch_interval < 0:
+            raise ConfigurationError("dispatch_interval must be >= 0")
+        if self.pending_retry_interval <= 0:
+            raise ConfigurationError("pending_retry_interval must be positive")
+        if self.scheduling_overhead < 0:
+            raise ConfigurationError("scheduling_overhead must be >= 0")
+        self.max_retries = int(self.max_retries)
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        self.seed = int(self.seed)
+        if isinstance(self.monitoring, dict):
+            self.monitoring = MonitoringConfig(**self.monitoring)
+        if isinstance(self.output, dict):
+            self.output = OutputConfig(**self.output)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (top-level object of the JSON file)."""
+        return {
+            "plugin": self.plugin,
+            "plugin_options": dict(self.plugin_options),
+            "seed": self.seed,
+            "max_simulation_time": self.max_simulation_time,
+            "dispatch_interval": self.dispatch_interval,
+            "pending_retry_interval": self.pending_retry_interval,
+            "scheduling_overhead": self.scheduling_overhead,
+            "max_retries": self.max_retries,
+            "monitoring": self.monitoring.to_dict(),
+            "output": self.output.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecutionConfig":
+        """Build from the parsed JSON object."""
+        known = {
+            "plugin",
+            "plugin_options",
+            "seed",
+            "max_simulation_time",
+            "dispatch_interval",
+            "pending_retry_interval",
+            "scheduling_overhead",
+            "max_retries",
+            "monitoring",
+            "output",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(f"execution config: unknown fields {sorted(unknown)}")
+        return cls(**data)

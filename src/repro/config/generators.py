@@ -1,0 +1,184 @@
+"""Synthetic configuration generators.
+
+The evaluation of the paper runs WLCG-like setups ranging from one to fifty
+(and eventually hundreds of) sites.  These helpers generate infrastructure
+and topology configurations of arbitrary size with realistic heterogeneity:
+
+* per-site core counts drawn in the 100-2,000 range used in the paper's
+  scalability study;
+* heterogeneous per-core speeds (HS23-like spread);
+* a star or tiered topology around a Tier-0-like hub.
+
+The generators are deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.config.infrastructure import InfrastructureConfig, SiteConfig
+from repro.config.topology import LinkConfig, TopologyConfig
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import RandomSource
+
+__all__ = [
+    "generate_sites",
+    "generate_star_topology",
+    "generate_tiered_topology",
+    "generate_grid",
+]
+
+
+def generate_sites(
+    count: int,
+    seed: int = 0,
+    min_cores: int = 100,
+    max_cores: int = 2000,
+    mean_core_speed: float = 10e9,
+    speed_spread: float = 0.35,
+    name_prefix: str = "SITE",
+) -> InfrastructureConfig:
+    """Generate ``count`` heterogeneous sites.
+
+    Core counts are uniform in ``[min_cores, max_cores]`` (the range used by
+    the paper's multi-site scaling experiment) and per-core speeds are
+    lognormally distributed around ``mean_core_speed`` with multiplicative
+    spread ``speed_spread``.
+    """
+    if count < 1:
+        raise ConfigurationError("site count must be >= 1")
+    if min_cores < 1 or max_cores < min_cores:
+        raise ConfigurationError("invalid core range")
+    rng = RandomSource(seed)
+    sites: List[SiteConfig] = []
+    for index in range(count):
+        cores = rng.integers("cores", min_cores, max_cores + 1)
+        speed = mean_core_speed * float(
+            rng.generator("speed").lognormal(0.0, speed_spread)
+        )
+        hosts = max(1, cores // 64)
+        sites.append(
+            SiteConfig(
+                name=f"{name_prefix}_{index:03d}",
+                cores=cores,
+                core_speed=speed,
+                hosts=hosts,
+                properties={"tier": "2"},
+            )
+        )
+    return InfrastructureConfig(sites=sites)
+
+
+def generate_star_topology(
+    infrastructure: InfrastructureConfig,
+    hub: Optional[str] = None,
+    bandwidth: float = 1.25e9,
+    latency: float = 0.02,
+    server_zone: str = "main-server",
+) -> TopologyConfig:
+    """Connect every site to a central hub site (or to the server zone).
+
+    When ``hub`` is ``None`` the main-server zone is the hub, which is the
+    minimal topology used by the scalability benchmarks.
+    """
+    links: List[LinkConfig] = []
+    if hub is not None and hub not in infrastructure.site_names:
+        raise ConfigurationError(f"hub {hub!r} is not a declared site")
+    center = hub or server_zone
+    for site in infrastructure.sites:
+        if site.name == center:
+            continue
+        links.append(
+            LinkConfig(
+                name=f"{center}--{site.name}",
+                source=center,
+                destination=site.name,
+                bandwidth=bandwidth,
+                latency=latency,
+            )
+        )
+    return TopologyConfig(links=links, server_zone=server_zone)
+
+
+def generate_tiered_topology(
+    infrastructure: InfrastructureConfig,
+    tier0: Optional[str] = None,
+    tier1_count: int = 5,
+    backbone_bandwidth: float = 12.5e9,
+    edge_bandwidth: float = 1.25e9,
+    backbone_latency: float = 0.01,
+    edge_latency: float = 0.03,
+    server_zone: str = "main-server",
+    seed: int = 0,
+) -> TopologyConfig:
+    """Build a WLCG-like tiered topology.
+
+    The first site (or ``tier0``) plays the Tier-0 role; the next
+    ``tier1_count`` sites become Tier-1 hubs connected to the Tier-0 by
+    high-bandwidth backbone links; every remaining site attaches to one
+    Tier-1 hub (round-robin) through an edge link.  The main server is
+    connected to the Tier-0.
+    """
+    names = infrastructure.site_names
+    if not names:
+        raise ConfigurationError("cannot build a topology over zero sites")
+    t0 = tier0 or names[0]
+    if t0 not in names:
+        raise ConfigurationError(f"tier0 site {t0!r} is not declared")
+    others = [n for n in names if n != t0]
+    tier1 = others[: max(0, tier1_count)]
+    tier2 = others[len(tier1):]
+
+    links: List[LinkConfig] = [
+        LinkConfig(
+            name=f"{server_zone}--{t0}",
+            source=server_zone,
+            destination=t0,
+            bandwidth=backbone_bandwidth,
+            latency=backbone_latency,
+        )
+    ]
+    for name in tier1:
+        links.append(
+            LinkConfig(
+                name=f"{t0}--{name}",
+                source=t0,
+                destination=name,
+                bandwidth=backbone_bandwidth,
+                latency=backbone_latency,
+            )
+        )
+    hubs = tier1 or [t0]
+    for index, name in enumerate(tier2):
+        hub = hubs[index % len(hubs)]
+        links.append(
+            LinkConfig(
+                name=f"{hub}--{name}",
+                source=hub,
+                destination=name,
+                bandwidth=edge_bandwidth,
+                latency=edge_latency,
+            )
+        )
+    return TopologyConfig(links=links, server_zone=server_zone)
+
+
+def generate_grid(
+    site_count: int,
+    seed: int = 0,
+    topology: str = "star",
+    **site_kwargs,
+) -> Tuple[InfrastructureConfig, TopologyConfig]:
+    """Convenience helper generating both infrastructure and topology.
+
+    ``topology`` is ``"star"`` (every site connected to the main server) or
+    ``"tiered"`` (WLCG-like hierarchy).
+    """
+    infrastructure = generate_sites(site_count, seed=seed, **site_kwargs)
+    if topology == "star":
+        topo = generate_star_topology(infrastructure)
+    elif topology == "tiered":
+        topo = generate_tiered_topology(infrastructure, seed=seed)
+    else:
+        raise ConfigurationError(f"unknown topology kind {topology!r}")
+    return infrastructure, topo

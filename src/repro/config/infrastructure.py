@@ -1,0 +1,215 @@
+"""Infrastructure configuration: the computing sites.
+
+Each :class:`SiteConfig` describes one computing site exactly as the CGSim
+input JSON does: how many hosts it has, how many cores and how fast each core
+is (HS23-normalised operations per second), RAM per host, storage capacity
+and bandwidths, plus free-form properties (tier, cloud, country).  The
+per-core ``speed`` is the quantity the calibration framework tunes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import parse_bandwidth, parse_bytes, parse_frequency
+
+__all__ = ["SiteConfig", "InfrastructureConfig"]
+
+
+@dataclass
+class SiteConfig:
+    """Static description of one computing site.
+
+    Parameters
+    ----------
+    name:
+        Unique site name (e.g. ``"BNL"``, ``"CERN"``).
+    cores:
+        Total CPU cores at the site.
+    core_speed:
+        Per-core processing speed in operations/second (accepts strings such
+        as ``"10Gf"`` when loaded from JSON).
+    hosts:
+        Number of worker hosts the cores are spread over (cores are split as
+        evenly as possible).
+    ram_per_host:
+        Memory per host in bytes.
+    storage_capacity / storage_read_bandwidth / storage_write_bandwidth:
+        Site storage element characteristics.
+    local_bandwidth / local_latency:
+        Intra-site (LAN) link characteristics.
+    walltime_overhead:
+        Fixed per-job overhead in seconds added to every execution at this
+        site (models setup/stage-in not captured by the pure compute time).
+    properties:
+        Free-form metadata; the WLCG builder stores ``tier``, ``cloud`` and
+        ``country`` here.
+    """
+
+    name: str
+    cores: int
+    core_speed: float
+    hosts: int = 1
+    ram_per_host: float = 64 * 2**30
+    storage_capacity: float = float("inf")
+    storage_read_bandwidth: float = 1e9
+    storage_write_bandwidth: float = 1e9
+    local_bandwidth: float = 1.25e9
+    local_latency: float = 1e-4
+    walltime_overhead: float = 0.0
+    properties: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("site name must be non-empty")
+        self.cores = int(self.cores)
+        self.hosts = int(self.hosts)
+        self.core_speed = parse_frequency(self.core_speed)
+        self.ram_per_host = parse_bytes(self.ram_per_host)
+        if self.storage_capacity not in (float("inf"),):
+            self.storage_capacity = parse_bytes(self.storage_capacity)
+        self.storage_read_bandwidth = parse_bandwidth(self.storage_read_bandwidth)
+        self.storage_write_bandwidth = parse_bandwidth(self.storage_write_bandwidth)
+        self.local_bandwidth = parse_bandwidth(self.local_bandwidth)
+        self.local_latency = float(self.local_latency)
+        self.walltime_overhead = float(self.walltime_overhead)
+        if self.cores < 1:
+            raise ConfigurationError(f"site {self.name!r}: cores must be >= 1")
+        if self.hosts < 1:
+            raise ConfigurationError(f"site {self.name!r}: hosts must be >= 1")
+        if self.hosts > self.cores:
+            raise ConfigurationError(
+                f"site {self.name!r}: more hosts ({self.hosts}) than cores ({self.cores})"
+            )
+        if self.core_speed <= 0:
+            raise ConfigurationError(f"site {self.name!r}: core_speed must be positive")
+        if self.walltime_overhead < 0:
+            raise ConfigurationError(f"site {self.name!r}: walltime_overhead must be >= 0")
+
+    def cores_per_host(self) -> List[int]:
+        """Split the site's cores across its hosts as evenly as possible."""
+        base, extra = divmod(self.cores, self.hosts)
+        return [base + (1 if i < extra else 0) for i in range(self.hosts)]
+
+    def with_core_speed(self, core_speed: float) -> "SiteConfig":
+        """Return a copy of this site with a different per-core speed.
+
+        This is the operation the calibration loop performs for every
+        candidate parameter vector.
+        """
+        return replace(self, core_speed=float(core_speed), properties=dict(self.properties))
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        data = {
+            "name": self.name,
+            "cores": self.cores,
+            "core_speed": self.core_speed,
+            "hosts": self.hosts,
+            "ram_per_host": self.ram_per_host,
+            "storage_read_bandwidth": self.storage_read_bandwidth,
+            "storage_write_bandwidth": self.storage_write_bandwidth,
+            "local_bandwidth": self.local_bandwidth,
+            "local_latency": self.local_latency,
+            "walltime_overhead": self.walltime_overhead,
+            "properties": dict(self.properties),
+        }
+        if self.storage_capacity != float("inf"):
+            data["storage_capacity"] = self.storage_capacity
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SiteConfig":
+        """Build a :class:`SiteConfig` from a JSON dictionary."""
+        known = {
+            "name",
+            "cores",
+            "core_speed",
+            "hosts",
+            "ram_per_host",
+            "storage_capacity",
+            "storage_read_bandwidth",
+            "storage_write_bandwidth",
+            "local_bandwidth",
+            "local_latency",
+            "walltime_overhead",
+            "properties",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"site {data.get('name', '?')!r}: unknown fields {sorted(unknown)}"
+            )
+        missing = {"name", "cores", "core_speed"} - set(data)
+        if missing:
+            raise ConfigurationError(f"site config missing required fields {sorted(missing)}")
+        return cls(**data)
+
+
+@dataclass
+class InfrastructureConfig:
+    """The full set of sites making up the simulated grid."""
+
+    sites: List[SiteConfig] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [site.name for site in self.sites]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise ConfigurationError(f"duplicate site names: {sorted(duplicates)}")
+
+    def site(self, name: str) -> SiteConfig:
+        """Return the site called ``name`` (raises if unknown)."""
+        for site in self.sites:
+            if site.name == name:
+                return site
+        raise ConfigurationError(f"unknown site {name!r}")
+
+    @property
+    def site_names(self) -> List[str]:
+        """All site names in declaration order."""
+        return [site.name for site in self.sites]
+
+    @property
+    def total_cores(self) -> int:
+        """Sum of cores over every site."""
+        return sum(site.cores for site in self.sites)
+
+    def subset(self, names: List[str]) -> "InfrastructureConfig":
+        """Return a new infrastructure containing only ``names`` (order preserved)."""
+        wanted = set(names)
+        missing = wanted - set(self.site_names)
+        if missing:
+            raise ConfigurationError(f"unknown sites {sorted(missing)}")
+        return InfrastructureConfig(sites=[s for s in self.sites if s.name in wanted])
+
+    def with_core_speeds(self, speeds: Dict[str, float]) -> "InfrastructureConfig":
+        """Return a copy where the listed sites get new per-core speeds."""
+        unknown = set(speeds) - set(self.site_names)
+        if unknown:
+            raise ConfigurationError(f"unknown sites in speed override: {sorted(unknown)}")
+        return InfrastructureConfig(
+            sites=[
+                site.with_core_speed(speeds[site.name]) if site.name in speeds else site
+                for site in self.sites
+            ]
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (top-level object of the JSON file)."""
+        return {"sites": [site.to_dict() for site in self.sites]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InfrastructureConfig":
+        """Build from the parsed JSON object."""
+        if "sites" not in data or not isinstance(data["sites"], list):
+            raise ConfigurationError("infrastructure config must contain a 'sites' list")
+        return cls(sites=[SiteConfig.from_dict(entry) for entry in data["sites"]])
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+    def __iter__(self):
+        return iter(self.sites)

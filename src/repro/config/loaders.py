@@ -1,0 +1,114 @@
+"""JSON (de)serialisation of the three configuration files.
+
+The functions here are the file-facing edge of the input layer: they read or
+write the infrastructure, topology and execution JSON files and return the
+validated dataclasses from :mod:`repro.config`.  Everything structural is
+validated in the dataclasses themselves; these loaders only add I/O and
+nicer error messages pointing at the offending file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Tuple, Union
+
+from repro.config.execution import ExecutionConfig
+from repro.config.infrastructure import InfrastructureConfig
+from repro.config.topology import TopologyConfig
+from repro.utils.errors import ConfigurationError
+
+__all__ = [
+    "load_infrastructure",
+    "load_topology",
+    "load_execution",
+    "load_simulation_inputs",
+    "save_infrastructure",
+    "save_topology",
+    "save_execution",
+]
+
+PathLike = Union[str, Path]
+
+
+def _read_json(path: PathLike, what: str) -> dict:
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"{what} config file not found: {path}")
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{what} config {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigurationError(f"{what} config {path} must contain a JSON object")
+    return data
+
+
+def _write_json(path: PathLike, data: dict) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_infrastructure(path: PathLike) -> InfrastructureConfig:
+    """Load and validate the infrastructure (sites) JSON file."""
+    return InfrastructureConfig.from_dict(_read_json(path, "infrastructure"))
+
+
+def load_topology(path: PathLike) -> TopologyConfig:
+    """Load and validate the network-topology JSON file."""
+    return TopologyConfig.from_dict(_read_json(path, "topology"))
+
+
+def load_execution(path: PathLike) -> ExecutionConfig:
+    """Load and validate the execution-parameters JSON file."""
+    return ExecutionConfig.from_dict(_read_json(path, "execution"))
+
+
+def load_simulation_inputs(
+    infrastructure_path: PathLike,
+    topology_path: PathLike,
+    execution_path: PathLike,
+) -> Tuple[InfrastructureConfig, TopologyConfig, ExecutionConfig]:
+    """Load all three CGSim input files and cross-validate them.
+
+    Cross validation ensures every link endpoint in the topology refers to a
+    declared site (or to the main-server zone).
+    """
+    infrastructure = load_infrastructure(infrastructure_path)
+    topology = load_topology(topology_path)
+    execution = load_execution(execution_path)
+    validate_cross_references(infrastructure, topology)
+    return infrastructure, topology, execution
+
+
+def validate_cross_references(
+    infrastructure: InfrastructureConfig, topology: TopologyConfig
+) -> None:
+    """Check that the topology only references declared sites."""
+    valid = set(infrastructure.site_names) | {topology.server_zone}
+    for link in topology.links:
+        for endpoint in (link.source, link.destination):
+            if endpoint not in valid:
+                raise ConfigurationError(
+                    f"topology link {link.name!r} references unknown site {endpoint!r}"
+                )
+
+
+def save_infrastructure(config: InfrastructureConfig, path: PathLike) -> Path:
+    """Write an infrastructure config to ``path`` as JSON."""
+    return _write_json(path, config.to_dict())
+
+
+def save_topology(config: TopologyConfig, path: PathLike) -> Path:
+    """Write a topology config to ``path`` as JSON."""
+    return _write_json(path, config.to_dict())
+
+
+def save_execution(config: ExecutionConfig, path: PathLike) -> Path:
+    """Write an execution config to ``path`` as JSON."""
+    return _write_json(path, config.to_dict())

@@ -1,0 +1,132 @@
+"""Network topology configuration: how the sites are interconnected.
+
+The topology JSON lists inter-site links (bandwidth, latency, endpoints) plus
+the name of the zone hosting the main server.  Common WLCG-like shapes
+(star around the Tier-0, tiered hierarchy, full mesh) can be produced by
+:mod:`repro.config.generators`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import parse_bandwidth, parse_duration
+
+__all__ = ["LinkConfig", "TopologyConfig"]
+
+
+@dataclass
+class LinkConfig:
+    """One inter-site (wide-area) link."""
+
+    name: str
+    source: str
+    destination: str
+    bandwidth: float
+    latency: float = 0.0
+    sharing: str = "shared"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("link name must be non-empty")
+        if self.source == self.destination:
+            raise ConfigurationError(f"link {self.name!r} connects a site to itself")
+        self.bandwidth = parse_bandwidth(self.bandwidth)
+        self.latency = parse_duration(self.latency)
+        if self.sharing not in ("shared", "fatpipe"):
+            raise ConfigurationError(f"link {self.name!r}: unknown sharing {self.sharing!r}")
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"link {self.name!r}: bandwidth must be positive")
+        if self.latency < 0:
+            raise ConfigurationError(f"link {self.name!r}: latency must be >= 0")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "name": self.name,
+            "source": self.source,
+            "destination": self.destination,
+            "bandwidth": self.bandwidth,
+            "latency": self.latency,
+            "sharing": self.sharing,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LinkConfig":
+        """Build from a JSON dictionary."""
+        missing = {"name", "source", "destination", "bandwidth"} - set(data)
+        if missing:
+            raise ConfigurationError(f"link config missing required fields {sorted(missing)}")
+        return cls(**data)
+
+
+@dataclass
+class TopologyConfig:
+    """The inter-site network topology.
+
+    Parameters
+    ----------
+    links:
+        Wide-area links between sites.
+    server_zone:
+        Name of the zone where the main server (sender actor) lives.  The
+        builder creates this zone automatically when it is not one of the
+        infrastructure sites.
+    server_bandwidth / server_latency:
+        Characteristics of the automatically created links connecting the
+        main server zone to every site that has no explicit link to it.
+    routing_weight:
+        Shortest-path weight for inter-zone routing.
+    """
+
+    links: List[LinkConfig] = field(default_factory=list)
+    server_zone: str = "main-server"
+    server_bandwidth: float = 1.25e9
+    server_latency: float = 0.01
+    routing_weight: str = "latency"
+
+    def __post_init__(self) -> None:
+        self.server_bandwidth = parse_bandwidth(self.server_bandwidth)
+        self.server_latency = parse_duration(self.server_latency)
+        if self.routing_weight not in ("latency", "hops", "inverse_bandwidth"):
+            raise ConfigurationError(f"unknown routing weight {self.routing_weight!r}")
+        names = [link.name for link in self.links]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise ConfigurationError(f"duplicate link names: {sorted(duplicates)}")
+
+    def endpoints(self) -> List[str]:
+        """Every site name referenced by at least one link."""
+        seen: List[str] = []
+        for link in self.links:
+            for endpoint in (link.source, link.destination):
+                if endpoint not in seen:
+                    seen.append(endpoint)
+        return seen
+
+    def links_for(self, site: str) -> List[LinkConfig]:
+        """Links that have ``site`` as one endpoint."""
+        return [l for l in self.links if site in (l.source, l.destination)]
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (top-level object of the JSON file)."""
+        return {
+            "server_zone": self.server_zone,
+            "server_bandwidth": self.server_bandwidth,
+            "server_latency": self.server_latency,
+            "routing_weight": self.routing_weight,
+            "links": [link.to_dict() for link in self.links],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TopologyConfig":
+        """Build from the parsed JSON object."""
+        links = [LinkConfig.from_dict(entry) for entry in data.get("links", [])]
+        kwargs = {k: v for k, v in data.items() if k != "links"}
+        known = {"server_zone", "server_bandwidth", "server_latency", "routing_weight"}
+        unknown = set(kwargs) - known
+        if unknown:
+            raise ConfigurationError(f"topology config: unknown fields {sorted(unknown)}")
+        return cls(links=links, **kwargs)

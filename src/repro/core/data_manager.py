@@ -1,0 +1,194 @@
+"""Data manager: a Rucio-like replica catalogue with simulated transfers.
+
+The ATLAS ecosystem pairs PanDA (workload management) with Rucio (data
+management).  CGSim's data-movement policies are pluggable; this module
+provides the substrate they need: a catalogue mapping datasets to the sites
+holding replicas, stage-in of a job's input data to its execution site (a
+network transfer from the closest replica plus a write into the site storage)
+and stage-out of its outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.des import Environment, Event
+from repro.platform.platform import Platform
+from repro.utils.errors import SchedulingError
+from repro.workload.job import Job
+
+__all__ = ["Replica", "DataManager"]
+
+
+@dataclass(frozen=True)
+class Replica:
+    """One copy of a dataset at a site."""
+
+    dataset: str
+    site: str
+    size: float
+
+
+class DataManager:
+    """Replica catalogue + data movement over the platform network.
+
+    Parameters
+    ----------
+    env:
+        Discrete-event environment.
+    platform:
+        Platform whose network and storages transfers run over.
+    replication_policy:
+        ``"closest"`` (default) stages from the replica with the
+        lowest-latency route to the destination; ``"first"`` uses catalogue
+        order (deterministic, useful in tests).
+    keep_new_replicas:
+        When true, a stage-in registers the transferred dataset as a new
+        replica at the destination (cache-like behaviour).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        platform: Platform,
+        replication_policy: str = "closest",
+        keep_new_replicas: bool = True,
+    ) -> None:
+        if replication_policy not in ("closest", "first"):
+            raise SchedulingError(f"unknown replication policy {replication_policy!r}")
+        self.env = env
+        self.platform = platform
+        self.replication_policy = replication_policy
+        self.keep_new_replicas = keep_new_replicas
+        self._replicas: Dict[str, Dict[str, Replica]] = {}
+        #: Transfer log: (dataset, source, destination, size, start, end).
+        self.transfer_log: List[dict] = []
+
+    # -- catalogue ------------------------------------------------------------
+    def register_replica(self, dataset: str, site: str, size: float) -> Replica:
+        """Declare that ``site`` holds a copy of ``dataset`` of ``size`` bytes."""
+        if size < 0:
+            raise SchedulingError("replica size must be >= 0")
+        self.platform.zone(site)  # validates the site exists
+        replica = Replica(dataset=dataset, site=site, size=float(size))
+        self._replicas.setdefault(dataset, {})[site] = replica
+        storages = self.platform.storages_in_zone(site)
+        if storages:
+            storages[0].register(dataset, size)
+        return replica
+
+    def replicas_of(self, dataset: str) -> List[Replica]:
+        """All known replicas of ``dataset`` (empty list if unknown)."""
+        return list(self._replicas.get(dataset, {}).values())
+
+    def sites_holding(self, dataset: str) -> Set[str]:
+        """Names of the sites holding a replica of ``dataset``."""
+        return set(self._replicas.get(dataset, {}))
+
+    def datasets_at(self, site: str) -> Set[str]:
+        """Datasets with a replica at ``site``."""
+        return {
+            dataset
+            for dataset, by_site in self._replicas.items()
+            if site in by_site
+        }
+
+    # -- data movement ---------------------------------------------------------
+    def _pick_source(self, dataset: str, destination: str) -> Optional[Replica]:
+        replicas = self.replicas_of(dataset)
+        if not replicas:
+            return None
+        local = [r for r in replicas if r.site == destination]
+        if local:
+            return local[0]
+        if self.replication_policy == "first":
+            return sorted(replicas, key=lambda r: r.site)[0]
+        # "closest": lowest route latency, ties by bandwidth then name.
+        def key(replica: Replica):
+            route = self.platform.route(replica.site, destination)
+            return (route.latency, -route.bottleneck_bandwidth, replica.site)
+
+        return min(replicas, key=key)
+
+    def transfer(self, dataset: str, destination: str, size: Optional[float] = None) -> Event:
+        """Move ``dataset`` to ``destination``; event succeeds when it is resident.
+
+        If the dataset is unknown it is treated as originating at the
+        destination (zero-cost), so synthetic jobs without a catalogue entry
+        still work.
+        """
+        done = Event(self.env)
+        self.env.process(self._transfer_proc(dataset, destination, size, done))
+        return done
+
+    def _transfer_proc(self, dataset: str, destination: str, size: Optional[float], done: Event):
+        source = self._pick_source(dataset, destination)
+        start = self.env.now
+        if source is None or source.site == destination:
+            yield self.env.timeout(0.0)
+            done.succeed(0.0)
+            return
+        transfer_size = float(size if size is not None else source.size)
+        route = self.platform.route(source.site, destination)
+        yield self.platform.network.transfer(
+            route, transfer_size, metadata={"dataset": dataset}
+        )
+        if self.keep_new_replicas:
+            self._replicas.setdefault(dataset, {})[destination] = Replica(
+                dataset=dataset, site=destination, size=transfer_size
+            )
+            storages = self.platform.storages_in_zone(destination)
+            if storages and not storages[0].holds(dataset):
+                try:
+                    storages[0].register(dataset, transfer_size)
+                except Exception:  # storage full: keep going, replica stays remote
+                    self._replicas[dataset].pop(destination, None)
+        self.transfer_log.append(
+            {
+                "dataset": dataset,
+                "source": source.site,
+                "destination": destination,
+                "size": transfer_size,
+                "start": start,
+                "end": self.env.now,
+            }
+        )
+        done.succeed(transfer_size)
+
+    # -- job-facing helpers -------------------------------------------------------
+    def stage_in(self, job: Job, site: str) -> Event:
+        """Bring the job's input data to ``site``.
+
+        The dataset name is ``job.attributes["dataset"]`` when present,
+        otherwise a per-job pseudo-dataset; unknown datasets transfer from
+        the job's target (production) site when that differs, so replaying a
+        trace still produces realistic WAN traffic.
+        """
+        dataset = str(job.attributes.get("dataset", f"job{job.job_id}.input"))
+        if dataset not in self._replicas and job.target_site and job.target_site != site:
+            try:
+                self.register_replica(dataset, job.target_site, job.input_size)
+            except SchedulingError:
+                pass
+        return self.transfer(dataset, site, size=job.input_size)
+
+    def stage_out(self, job: Job, site: str) -> Event:
+        """Register and (trivially) store the job's outputs at ``site``."""
+        dataset = str(job.attributes.get("output_dataset", f"job{job.job_id}.output"))
+        done = Event(self.env)
+        self.env.process(self._stage_out_proc(dataset, site, job.output_size, done))
+        return done
+
+    def _stage_out_proc(self, dataset: str, site: str, size: float, done: Event):
+        storages = self.platform.storages_in_zone(site)
+        if storages and size > 0:
+            write = storages[0].write(dataset, size)
+            yield write
+        else:
+            yield self.env.timeout(0.0)
+        self._replicas.setdefault(dataset, {})[site] = Replica(dataset, site, size)
+        done.succeed(size)
+
+    def __repr__(self) -> str:
+        return f"<DataManager datasets={len(self._replicas)} transfers={len(self.transfer_log)}>"

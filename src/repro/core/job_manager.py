@@ -1,0 +1,69 @@
+"""Job manager: feeds the workload into the main server.
+
+The job manager holds the full workload (a trace or a synthetic batch) and
+releases each job to the main server's inbox at its submission time, which is
+how "the main server starts receiving workload information from the job
+manager" in the paper's description of an engine run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.des import Environment, Store
+from repro.utils.errors import WorkloadError
+from repro.workload.job import Job
+
+__all__ = ["JobManager"]
+
+
+class JobManager:
+    """Releases jobs into an inbox store at their submission times.
+
+    Parameters
+    ----------
+    env:
+        Discrete-event environment.
+    jobs:
+        The workload.  Jobs are released in submission-time order regardless
+        of input order; ties preserve input order.
+    inbox:
+        The store the main server reads from (created here if not supplied).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        jobs: Iterable[Job],
+        inbox: Optional[Store] = None,
+    ) -> None:
+        self.env = env
+        self.jobs: List[Job] = sorted(jobs, key=lambda j: j.submission_time)
+        for job in self.jobs:
+            if job.submission_time < 0:
+                raise WorkloadError(f"job {job.job_id}: negative submission time")
+        self.inbox = inbox if inbox is not None else Store(env)
+        self._released = 0
+        self._process = env.process(self._feeder())
+
+    @property
+    def total_jobs(self) -> int:
+        """Number of jobs in the workload."""
+        return len(self.jobs)
+
+    @property
+    def released_jobs(self) -> int:
+        """Jobs already handed to the main server."""
+        return self._released
+
+    def _feeder(self):
+        """Release each job into the inbox at its submission time."""
+        for job in self.jobs:
+            delay = job.submission_time - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            yield self.inbox.put(job)
+            self._released += 1
+
+    def __repr__(self) -> str:
+        return f"<JobManager total={len(self.jobs)} released={self._released}>"

@@ -1,0 +1,285 @@
+"""The :class:`Simulator` facade: one object, one simulated run.
+
+This is the top-level entry point a user of the library interacts with: give
+it the three configuration inputs (infrastructure, topology, execution
+parameters) and a workload, call :meth:`Simulator.run`, and read back a
+:class:`SimulationResult` containing the executed jobs, the grid-level
+metrics, the event-level monitoring dataset and the platform for further
+inspection.  It wires together every subsystem exactly as the paper's
+architecture figure describes: input layer -> simulation core (+ plugin) ->
+output layer.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.models import JobFailureModel, OutageWindow
+
+from repro.config.execution import ExecutionConfig
+from repro.config.infrastructure import InfrastructureConfig
+from repro.config.topology import TopologyConfig
+from repro.core.data_manager import DataManager
+from repro.core.job_manager import JobManager
+from repro.core.metrics import SimulationMetrics, compute_metrics
+from repro.core.server import MainServer
+from repro.core.site import SiteRuntime
+from repro.des import Environment
+from repro.monitoring.collector import MonitoringCollector
+from repro.monitoring.csv_export import export_events_csv, export_jobs_csv, export_snapshots_csv
+from repro.monitoring.events import SiteSnapshot
+from repro.monitoring.sqlite_store import SQLiteStore
+from repro.platform.builder import build_platform
+from repro.platform.platform import Platform
+from repro.plugins.base import AllocationPolicy
+from repro.plugins.registry import create_policy
+from repro.utils.errors import SimulationError
+from repro.utils.logging import NullLogger, SimLogger
+from repro.workload.job import Job
+
+__all__ = ["Simulator", "SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything a completed run produces."""
+
+    jobs: List[Job]
+    metrics: SimulationMetrics
+    collector: MonitoringCollector
+    platform: Platform
+    simulated_time: float
+    wallclock_seconds: float
+    pending_jobs: int = 0
+    assignments: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def finished_jobs(self) -> List[Job]:
+        """Jobs that completed successfully."""
+        from repro.workload.job import JobState
+
+        return [j for j in self.jobs if j.state is JobState.FINISHED]
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimulationResult jobs={len(self.jobs)} finished={self.metrics.finished_jobs} "
+            f"simulated_time={self.simulated_time:.0f}s wallclock={self.wallclock_seconds:.2f}s>"
+        )
+
+
+class Simulator:
+    """Configure and run one CGSim simulation.
+
+    Parameters
+    ----------
+    infrastructure:
+        Site descriptions (input file 1).
+    topology:
+        Inter-site network (input file 2); ``None`` uses the default star
+        around the main server.
+    execution:
+        Run parameters (input file 3); ``None`` uses defaults.
+    policy:
+        Either an :class:`AllocationPolicy` instance or ``None`` to build the
+        one named in the execution config.
+    enable_data_transfers:
+        Simulate input/output staging through the network and storage models
+        (off by default: the paper's calibration experiments model compute
+        walltime, with data movement available for data-aware studies).
+    streaming_io:
+        With data transfers enabled, overlap input staging with computation
+        (DCSim-style streaming jobs) instead of staging in before compute.
+    parallel_efficiency:
+        Efficiency of multi-core execution (1.0 = perfect scaling).
+    failure_model:
+        Optional :class:`~repro.faults.JobFailureModel` injecting mid-run job
+        failures; combine with ``execution.max_retries`` to study PanDA-style
+        automatic resubmission.
+    outages:
+        Optional iterable of :class:`~repro.faults.OutageWindow` applied by a
+        :class:`~repro.faults.FaultInjector` (sites stop admitting jobs while
+        a window is active).
+    setup_hook:
+        Optional callable invoked with the simulator after the platform,
+        data manager and site runtimes have been built but before the run
+        starts.  Use it to pre-place dataset replicas (e.g. through
+        :class:`repro.atlas.RucioCatalog`), attach extra monitoring sinks, or
+        inject faults -- anything that needs the live run-time objects.
+    logger:
+        Structured logger; silent when omitted.
+    """
+
+    def __init__(
+        self,
+        infrastructure: InfrastructureConfig,
+        topology: Optional[TopologyConfig] = None,
+        execution: Optional[ExecutionConfig] = None,
+        policy: Optional[AllocationPolicy] = None,
+        enable_data_transfers: bool = False,
+        streaming_io: bool = False,
+        parallel_efficiency: float = 1.0,
+        failure_model: Optional["JobFailureModel"] = None,
+        outages: Optional[Iterable["OutageWindow"]] = None,
+        setup_hook: Optional[Callable[["Simulator"], None]] = None,
+        logger: Optional[SimLogger] = None,
+    ) -> None:
+        self.infrastructure = infrastructure
+        self.topology = topology or TopologyConfig()
+        self.execution = execution or ExecutionConfig()
+        self.enable_data_transfers = enable_data_transfers
+        self.streaming_io = streaming_io
+        self.parallel_efficiency = parallel_efficiency
+        self.failure_model = failure_model
+        self.outages = list(outages) if outages is not None else []
+        self.setup_hook = setup_hook
+        self.logger = logger or NullLogger()
+
+        if policy is not None:
+            self.policy = policy
+        else:
+            self.policy = create_policy(
+                self.execution.plugin, **self.execution.plugin_options
+            )
+
+        # Built lazily by run(); exposed for inspection afterwards.
+        self.env: Optional[Environment] = None
+        self.platform: Optional[Platform] = None
+        self.sites: Dict[str, SiteRuntime] = {}
+        self.server: Optional[MainServer] = None
+        self.collector: Optional[MonitoringCollector] = None
+        self.data_manager: Optional[DataManager] = None
+        self.fault_injector = None
+
+    # -- construction of one run -----------------------------------------------------
+    def _build(self, jobs: List[Job]) -> None:
+        self.env = Environment()
+        self.logger.bind_clock(lambda: self.env.now if self.env else 0.0)
+        self.platform = build_platform(self.env, self.infrastructure, self.topology)
+        self.collector = MonitoringCollector(
+            keep_in_memory=self.execution.monitoring.keep_in_memory
+        )
+        self.data_manager = (
+            DataManager(self.env, self.platform) if self.enable_data_transfers else None
+        )
+        self.sites = {}
+        for site_config in self.infrastructure.sites:
+            self.sites[site_config.name] = SiteRuntime(
+                self.env,
+                self.platform,
+                site_config,
+                collector=self.collector if self.execution.monitoring.enable_events else None,
+                data_manager=self.data_manager,
+                parallel_efficiency=self.parallel_efficiency,
+                failure_model=self.failure_model,
+                streaming_io=self.streaming_io,
+                logger=self.logger,
+            )
+        job_manager = JobManager(self.env, jobs)
+        self.server = MainServer(
+            self.env,
+            self.sites,
+            self.policy,
+            inbox=job_manager.inbox,
+            total_jobs=job_manager.total_jobs,
+            collector=self.collector if self.execution.monitoring.enable_events else None,
+            data_manager=self.data_manager,
+            scheduling_overhead=self.execution.scheduling_overhead,
+            pending_retry_interval=self.execution.pending_retry_interval,
+            max_retries=self.execution.max_retries,
+            platform_description=self.platform.describe(),
+            logger=self.logger,
+        )
+        if self.outages:
+            from repro.faults.injector import FaultInjector
+
+            self.fault_injector = FaultInjector(
+                self.env, self.sites, self.outages, logger=self.logger
+            )
+        if self.execution.monitoring.snapshot_interval > 0:
+            self.env.process(self._snapshot_loop(self.execution.monitoring.snapshot_interval))
+        if self.setup_hook is not None:
+            self.setup_hook(self)
+
+    def _snapshot_loop(self, interval: float):
+        """Periodic site-level snapshot recording (dashboard / Table 1 context)."""
+        while not self.server.all_done.triggered:
+            yield self.env.timeout(interval)
+            for site in self.sites.values():
+                self.collector.record_snapshot(
+                    SiteSnapshot(
+                        time=self.env.now,
+                        site=site.name,
+                        total_cores=site.total_cores,
+                        available_cores=site.available_cores,
+                        running_jobs=site.running_jobs,
+                        queued_jobs=site.queued_jobs,
+                        pending_jobs=len(self.server.pending),
+                        finished_jobs=site.finished_jobs,
+                        failed_jobs=site.failed_jobs,
+                    )
+                )
+
+    # -- running ------------------------------------------------------------------
+    def run(self, jobs: Iterable[Job]) -> SimulationResult:
+        """Execute the workload and return the collected results.
+
+        The simulation ends when every job has reached a terminal state or,
+        if configured, when ``execution.max_simulation_time`` is reached.
+        """
+        from repro.workload.job import JobState
+
+        jobs = [
+            job if job.state is JobState.CREATED else job.copy_for_replay() for job in jobs
+        ]
+        started = _wallclock.perf_counter()
+        self._build(jobs)
+        assert self.env is not None and self.server is not None
+
+        if self.execution.max_simulation_time is not None:
+            self.env.run(until=self.execution.max_simulation_time)
+        else:
+            self.env.run(until=self.server.all_done)
+        wallclock = _wallclock.perf_counter() - started
+
+        # Retry attempts created by the main server are part of the run's
+        # output: they carry their own monitoring events and count towards
+        # the attempt-level metrics, exactly as PanDA resubmissions do.
+        jobs = jobs + list(self.server.retry_jobs)
+        metrics = compute_metrics(jobs)
+        result = SimulationResult(
+            jobs=jobs,
+            metrics=metrics,
+            collector=self.collector,
+            platform=self.platform,
+            simulated_time=self.env.now,
+            wallclock_seconds=wallclock,
+            pending_jobs=len(self.server.pending),
+            assignments=dict(self.server.assignments),
+        )
+        self._write_outputs(result)
+        return result
+
+    # -- output layer ---------------------------------------------------------------
+    def _write_outputs(self, result: SimulationResult) -> None:
+        output = self.execution.output
+        if output.sqlite_path:
+            with SQLiteStore(output.sqlite_path) as store:
+                for event in result.collector.events:
+                    store.write_event(event)
+                for snapshot in result.collector.snapshots:
+                    store.write_snapshot(snapshot)
+                store.write_jobs(result.jobs)
+        if output.csv_directory:
+            base = output.csv_directory
+            export_events_csv(result.collector.events, f"{base}/events.csv")
+            export_snapshots_csv(result.collector.snapshots, f"{base}/snapshots.csv")
+            export_jobs_csv(result.jobs, f"{base}/jobs.csv")
+
+    def __repr__(self) -> str:
+        return (
+            f"<Simulator sites={len(self.infrastructure)} policy={self.policy.name!r} "
+            f"data_transfers={self.enable_data_transfers}>"
+        )

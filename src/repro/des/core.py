@@ -1,0 +1,182 @@
+"""The discrete-event environment: clock, event calendar and run loop.
+
+The :class:`Environment` owns a binary-heap event calendar ordered by
+``(time, priority, insertion order)``.  ``run()`` pops events in order,
+advances the clock and executes their callbacks, which in turn resume the
+generator processes waiting on them.  The design (and most of the public
+method names) follows the conventional process-based DES structure so that
+the simulation core reads like ordinary SimPy/SimGrid-style actor code.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.des.events import AllOf, AnyOf, Event, Process, Timeout
+from repro.utils.errors import SimulationError
+
+__all__ = ["Environment", "StopSimulation"]
+
+#: Default scheduling priority; "urgent" events (process initialisation,
+#: interrupts) use priority 0 so they run before same-time normal events.
+NORMAL_PRIORITY = 1
+URGENT_PRIORITY = 0
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Environment.run` at the ``until`` event."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Simulation clock value at start (seconds).
+
+    Examples
+    --------
+    >>> env = Environment()
+    >>> def proc(env):
+    ...     yield env.timeout(5)
+    ...     return env.now
+    >>> p = env.process(proc(env))
+    >>> env.run()
+    >>> p.value
+    5.0
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (``None`` between events)."""
+        return self._active_process
+
+    # -- event factories -------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event` bound to this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new :class:`Process` executing ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        """Create a condition that waits for all of ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Create a condition that waits for any of ``events``."""
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL_PRIORITY, delay: float = 0.0) -> None:
+        """Place a triggered event on the calendar ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        self._eid += 1
+
+    def peek(self) -> float:
+        """Return the time of the next scheduled event (``inf`` if none)."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    @property
+    def queue_length(self) -> int:
+        """Number of events currently on the calendar (diagnostics)."""
+        return len(self._queue)
+
+    def step(self) -> None:
+        """Process exactly one event; raise :class:`IndexError` if none remain."""
+        if not self._queue:
+            raise IndexError("no more events scheduled")
+        when, _prio, _eid, event = heapq.heappop(self._queue)
+        if when < self._now - 1e-12:
+            raise SimulationError(
+                f"event calendar corrupted: next event at {when} but clock already at {self._now}"
+            )
+        self._now = max(self._now, when)
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            # An un-handled failure: surface it instead of losing it.
+            exc = event.value
+            raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+
+    # -- run loop ---------------------------------------------------------------
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` -- run until no events remain.
+            * a number -- run until the clock reaches that time.
+            * an :class:`Event` -- run until that event is processed and
+              return its value (re-raising its exception if it failed).
+        """
+        until_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                until_event = until
+                if until_event.processed:
+                    return until_event.value
+                until_event.callbacks.append(_stop_callback)
+            else:
+                deadline = float(until)
+                if deadline < self._now:
+                    raise SimulationError(
+                        f"until={deadline} lies in the past (now={self._now})"
+                    )
+                until_event = Event(self)
+                until_event._ok = True
+                until_event._value = None
+                # Highest priority so the clock stops exactly at the deadline
+                # before any same-time activity runs.
+                heapq.heappush(self._queue, (deadline, -1, self._eid, until_event))
+                self._eid += 1
+                until_event.callbacks.append(_stop_callback)
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+
+        if until_event is not None and not until_event.processed:
+            raise SimulationError("simulation ran out of events before reaching 'until'")
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} pending={len(self._queue)}>"
+
+
+def _stop_callback(event: Event) -> None:
+    """Callback attached to ``until`` events: stops the run loop."""
+    if event._ok:
+        raise StopSimulation(event._value)
+    raise event._value

@@ -1,0 +1,241 @@
+"""Counted resources for the discrete-event kernel.
+
+:class:`Resource` models a pool of identical capacity units (e.g. CPU cores,
+batch slots) with FIFO queueing; :class:`PriorityResource` orders waiters by a
+priority value; :class:`Container` models a divisible quantity (e.g. bytes of
+storage) with ``put``/``get`` of arbitrary amounts.
+
+Requests are events.  ``with resource.request() as req: yield req`` acquires a
+unit and releases it automatically on exit; explicit ``release()`` is also
+supported for long-lived holds spanning several process steps.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.des.events import Event
+from repro.utils.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.core import Environment
+
+__all__ = ["Request", "Release", "Resource", "PriorityResource", "Container"]
+
+
+class Request(Event):
+    """A pending acquisition of one unit (or ``amount`` units) of a resource."""
+
+    def __init__(self, resource: "Resource", amount: int = 1, priority: float = 0.0) -> None:
+        super().__init__(resource.env)
+        if amount < 1:
+            raise SimulationError(f"request amount must be >= 1, got {amount}")
+        if amount > resource.capacity:
+            raise SimulationError(
+                f"request for {amount} units exceeds resource capacity {resource.capacity}"
+            )
+        self.resource = resource
+        self.amount = int(amount)
+        self.priority = priority
+        self.time = resource.env.now
+        resource._add_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the units if granted, or withdraw the request if still queued."""
+        self.resource._cancel(self)
+
+
+class Release(Event):
+    """An (immediately successful) release of a previously granted request."""
+
+    def __init__(self, resource: "Resource", request: Request) -> None:
+        super().__init__(resource.env)
+        self.request = request
+        resource._do_release(request)
+        self.succeed()
+
+
+class Resource:
+    """A pool of ``capacity`` identical units with FIFO waiting.
+
+    Parameters
+    ----------
+    env:
+        The owning environment.
+    capacity:
+        Number of units in the pool (>= 1).
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = int(capacity)
+        self._in_use = 0
+        self._waiting: List[Request] = []
+        self._granted: set[Request] = set()
+        self._counter = itertools.count()
+
+    # -- public API ---------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Units currently granted."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Units currently free."""
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests still waiting."""
+        return len(self._waiting)
+
+    def request(self, amount: int = 1, priority: float = 0.0) -> Request:
+        """Ask for ``amount`` units; returns an event that triggers when granted."""
+        return Request(self, amount=amount, priority=priority)
+
+    def release(self, request: Request) -> Release:
+        """Return the units held by ``request`` to the pool."""
+        return Release(self, request)
+
+    # -- internal machinery ---------------------------------------------------
+    def _sort_key(self, request: Request):
+        return next(self._counter)
+
+    def _add_request(self, request: Request) -> None:
+        self._waiting.append(request)
+        self._trigger_waiters()
+
+    def _do_release(self, request: Request) -> None:
+        if request in self._granted:
+            self._granted.discard(request)
+            self._in_use -= request.amount
+        self._trigger_waiters()
+
+    def _cancel(self, request: Request) -> None:
+        if request in self._granted:
+            self._do_release(request)
+        elif request in self._waiting and not request.triggered:
+            self._waiting.remove(request)
+
+    def _ordered_waiting(self) -> List[Request]:
+        return self._waiting
+
+    def _trigger_waiters(self) -> None:
+        # Grant strictly in queue order; a large request at the head blocks
+        # smaller ones behind it (no starvation of wide requests).
+        while True:
+            waiting = self._ordered_waiting()
+            if not waiting:
+                return
+            head = waiting[0]
+            if head.amount > self.capacity - self._in_use:
+                return
+            waiting.pop(0)
+            self._in_use += head.amount
+            self._granted.add(head)
+            head.succeed()
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} capacity={self.capacity} in_use={self._in_use} "
+            f"queued={len(self._waiting)}>"
+        )
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose waiting queue is ordered by ``priority``.
+
+    Lower priority values are served first; ties are broken by request time
+    and then insertion order, so behaviour is deterministic.
+    """
+
+    def _ordered_waiting(self) -> List[Request]:
+        self._waiting.sort(key=lambda r: (r.priority, r.time))
+        return self._waiting
+
+
+class ContainerPut(Event):
+    """Pending deposit of ``amount`` into a container."""
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        super().__init__(container.env)
+        if amount <= 0:
+            raise SimulationError(f"put amount must be > 0, got {amount}")
+        self.amount = float(amount)
+        container._put_waiters.append(self)
+        container._update()
+
+
+class ContainerGet(Event):
+    """Pending withdrawal of ``amount`` from a container."""
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        super().__init__(container.env)
+        if amount <= 0:
+            raise SimulationError(f"get amount must be > 0, got {amount}")
+        self.amount = float(amount)
+        container._get_waiters.append(self)
+        container._update()
+
+
+class Container:
+    """A divisible quantity with bounded capacity (e.g. storage bytes).
+
+    ``put(amount)`` blocks while the container would overflow; ``get(amount)``
+    blocks while it holds less than ``amount``.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf"), init: float = 0.0) -> None:
+        if capacity <= 0:
+            raise SimulationError("container capacity must be positive")
+        if init < 0 or init > capacity:
+            raise SimulationError("initial level must lie within [0, capacity]")
+        self.env = env
+        self.capacity = float(capacity)
+        self._level = float(init)
+        self._put_waiters: List[ContainerPut] = []
+        self._get_waiters: List[ContainerGet] = []
+
+    @property
+    def level(self) -> float:
+        """Current content of the container."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Deposit ``amount``; the returned event triggers once it fits."""
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        """Withdraw ``amount``; the returned event triggers once available."""
+        return ContainerGet(self, amount)
+
+    def _update(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for put in list(self._put_waiters):
+                if self._level + put.amount <= self.capacity + 1e-12:
+                    self._level += put.amount
+                    self._put_waiters.remove(put)
+                    put.succeed()
+                    progressed = True
+            for get in list(self._get_waiters):
+                if self._level >= get.amount - 1e-12:
+                    self._level -= get.amount
+                    self._get_waiters.remove(get)
+                    get.succeed()
+                    progressed = True
+
+    def __repr__(self) -> str:
+        return f"<Container level={self._level}/{self.capacity}>"

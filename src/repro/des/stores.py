@@ -1,0 +1,151 @@
+"""Object stores (mailboxes / queues) for the discrete-event kernel.
+
+Stores are the communication primitive the CGSim core uses between the main
+server's *sender* actor and each site's *receiver* actor: the sender ``put``s
+job descriptors into a site's store, the receiver ``get``s them as capacity
+frees up.
+
+* :class:`Store` -- unbounded-or-bounded FIFO of arbitrary Python objects.
+* :class:`FilterStore` -- ``get(filter=...)`` retrieves the first item
+  matching a predicate (used by data-aware policies pulling specific jobs).
+* :class:`PriorityStore` -- items are :class:`PriorityItem` wrappers retrieved
+  lowest-priority-value first (used for priority job queues).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from repro.des.events import Event
+from repro.utils.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.core import Environment
+
+__all__ = ["Store", "FilterStore", "PriorityStore", "PriorityItem", "StorePut", "StoreGet"]
+
+
+class StorePut(Event):
+    """Pending insertion of ``item`` into a store."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._put_waiters.append(self)
+        store._update()
+
+
+class StoreGet(Event):
+    """Pending retrieval of one item from a store."""
+
+    def __init__(self, store: "Store", filter_fn: Optional[Callable[[Any], bool]] = None) -> None:
+        super().__init__(store.env)
+        self.filter_fn = filter_fn
+        store._get_waiters.append(self)
+        store._update()
+
+
+class Store:
+    """FIFO store of Python objects with optional bounded capacity."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._put_waiters: List[StorePut] = []
+        self._get_waiters: List[StoreGet] = []
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; the returned event triggers once there is room."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Retrieve the oldest item; the returned event triggers once one exists."""
+        return StoreGet(self)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    # -- internal ----------------------------------------------------------
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self.capacity:
+            self.items.append(event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self.items.pop(0))
+            return True
+        return False
+
+    def _update(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._put_waiters:
+                if self._do_put(self._put_waiters[0]):
+                    self._put_waiters.pop(0)
+                    progressed = True
+                else:
+                    break
+            remaining: List[StoreGet] = []
+            for get in self._get_waiters:
+                if not self._do_get(get):
+                    remaining.append(get)
+                else:
+                    progressed = True
+            self._get_waiters = remaining
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} items={len(self.items)} capacity={self.capacity}>"
+
+
+class FilterStore(Store):
+    """A store whose ``get`` may specify a predicate on the item to retrieve."""
+
+    def get(self, filter_fn: Optional[Callable[[Any], bool]] = None) -> StoreGet:  # type: ignore[override]
+        """Retrieve the first item for which ``filter_fn(item)`` is true."""
+        return StoreGet(self, filter_fn)
+
+    def _do_get(self, event: StoreGet) -> bool:
+        predicate = event.filter_fn or (lambda _item: True)
+        for index, item in enumerate(self.items):
+            if predicate(item):
+                del self.items[index]
+                event.succeed(item)
+                return True
+        return False
+
+
+@dataclass(order=True)
+class PriorityItem:
+    """Wrapper pairing a priority with an arbitrary (non-compared) payload."""
+
+    priority: float
+    item: Any = field(compare=False)
+
+
+class PriorityStore(Store):
+    """A store that always returns the lowest-priority-value item first."""
+
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self.capacity:
+            item = event.item
+            if not isinstance(item, PriorityItem):
+                raise SimulationError("PriorityStore items must be PriorityItem instances")
+            heapq.heappush(self.items, item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(heapq.heappop(self.items))
+            return True
+        return False

@@ -1,0 +1,88 @@
+"""Runtime application of outage schedules to live site runtimes.
+
+The :class:`FaultInjector` turns a static list of
+:class:`~repro.faults.models.OutageWindow` objects into simulation processes:
+at each window's start the target site stops admitting new jobs, and at its
+end admission resumes.  Jobs already running are allowed to finish (a
+"drain"-style outage, matching scheduled maintenance); killing running work
+can be modelled by combining an outage with a
+:class:`~repro.faults.models.JobFailureModel` whose rate is raised for the
+affected site.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List
+
+from repro.des import Environment
+from repro.faults.models import OutageWindow
+from repro.utils.errors import CGSimError
+from repro.utils.logging import NullLogger, SimLogger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.site import SiteRuntime
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Apply an outage schedule to the site runtimes of a running simulation.
+
+    Parameters
+    ----------
+    env:
+        The simulation's discrete-event environment.
+    sites:
+        Site runtimes keyed by name (the same mapping the main server holds).
+    windows:
+        The outage windows to apply; windows naming unknown sites raise
+        immediately so configuration errors surface before the run.
+    logger:
+        Optional structured logger.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        sites: Dict[str, "SiteRuntime"],
+        windows: Iterable[OutageWindow],
+        logger: SimLogger | None = None,
+    ) -> None:
+        self.env = env
+        self.sites = dict(sites)
+        self.windows: List[OutageWindow] = sorted(windows, key=lambda w: (w.start, w.site))
+        self.logger = logger or NullLogger()
+        #: Outages already applied (site, start, end), for reporting.
+        self.applied: List[OutageWindow] = []
+        unknown = {w.site for w in self.windows} - set(self.sites)
+        if unknown:
+            raise CGSimError(f"outage schedule names unknown sites: {sorted(unknown)}")
+        for window in self.windows:
+            env.process(self._outage(window))
+
+    # -- processes ---------------------------------------------------------------
+    def _outage(self, window: OutageWindow):
+        """Take the site offline at ``window.start`` and back online at ``window.end``."""
+        site = self.sites[window.site]
+        delay = window.start - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        site.set_offline()
+        self.logger.info(
+            "faults", f"site {window.site} offline", until=window.end
+        )
+        yield self.env.timeout(window.end - self.env.now)
+        site.set_online()
+        self.applied.append(window)
+        self.logger.info("faults", f"site {window.site} back online")
+
+    # -- reporting ---------------------------------------------------------------
+    def downtime_by_site(self) -> Dict[str, float]:
+        """Total scheduled downtime per site (seconds), applied or not yet."""
+        totals: Dict[str, float] = {}
+        for window in self.windows:
+            totals[window.site] = totals.get(window.site, 0.0) + window.duration
+        return totals
+
+    def __repr__(self) -> str:
+        return f"<FaultInjector windows={len(self.windows)} applied={len(self.applied)}>"

@@ -1,0 +1,163 @@
+"""Fault models: job-level failure probabilities and site outage schedules.
+
+Both models are fully deterministic for a given seed so that fault-injection
+experiments remain reproducible, like every other stochastic component of the
+simulator.  Job failures are keyed on ``(seed, site, job_id)`` -- the same job
+fails (or not) at the same point regardless of scheduling order -- and outage
+schedules are materialised up-front as concrete windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.utils.errors import CGSimError
+from repro.utils.rng import spawn_rng
+from repro.workload.job import Job
+
+__all__ = ["JobFailureModel", "OutageWindow", "SiteOutageModel"]
+
+
+class JobFailureModel:
+    """Per-site probability that a job fails partway through execution.
+
+    Parameters
+    ----------
+    default_rate:
+        Failure probability applied to sites without an explicit entry
+        (0 disables injected failures everywhere by default).
+    site_rates:
+        Mapping of site name to failure probability in ``[0, 1]``.
+    mean_failure_fraction:
+        Mean fraction of the job's execution completed before it fails
+        (drawn uniformly in ``(0, 2 * mean)``, clamped to ``(0, 1)``); wasted
+        work is therefore ``fraction * walltime`` core-seconds, as it is on a
+        real grid where failures strike mid-run rather than at submission.
+    seed:
+        Root seed; the decision for a given job at a given site never depends
+        on when the model is consulted.
+
+    Examples
+    --------
+    >>> model = JobFailureModel(default_rate=0.0, site_rates={"BNL": 1.0}, seed=1)
+    >>> model.failure_fraction(Job(work=1.0, job_id=7), "BNL") is not None
+    True
+    """
+
+    def __init__(
+        self,
+        default_rate: float = 0.0,
+        site_rates: Optional[Dict[str, float]] = None,
+        mean_failure_fraction: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= default_rate <= 1.0:
+            raise CGSimError("default_rate must lie in [0, 1]")
+        if not 0.0 < mean_failure_fraction <= 1.0:
+            raise CGSimError("mean_failure_fraction must lie in (0, 1]")
+        self.default_rate = float(default_rate)
+        self.site_rates = dict(site_rates or {})
+        for site, rate in self.site_rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise CGSimError(f"failure rate for {site!r} must lie in [0, 1]")
+        self.mean_failure_fraction = float(mean_failure_fraction)
+        self.seed = int(seed)
+        #: Count of injected failures per site (observability/debugging aid).
+        self.injected: Dict[str, int] = {}
+
+    def rate_for(self, site: str) -> float:
+        """Failure probability applied at ``site``."""
+        return self.site_rates.get(site, self.default_rate)
+
+    def failure_fraction(self, job: Job, site: str) -> Optional[float]:
+        """Decide whether ``job`` fails at ``site``.
+
+        Returns ``None`` when the job completes normally, otherwise the
+        fraction of its execution time after which it dies (in ``(0, 1)``).
+        The decision is a pure function of ``(seed, site, job_id)``.
+        """
+        rate = self.rate_for(site)
+        if rate <= 0.0:
+            return None
+        gen = spawn_rng(self.seed, f"job-failure:{site}:{job.job_id}")
+        if gen.uniform() >= rate:
+            return None
+        fraction = gen.uniform(0.0, 2.0 * self.mean_failure_fraction)
+        fraction = min(0.999, max(1e-3, fraction))
+        self.injected[site] = self.injected.get(site, 0) + 1
+        return float(fraction)
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """One contiguous downtime interval of a site."""
+
+    site: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise CGSimError(
+                f"outage window for {self.site!r} must satisfy 0 <= start < end "
+                f"(got {self.start}..{self.end})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Length of the outage in seconds."""
+        return self.end - self.start
+
+
+class SiteOutageModel:
+    """Generate per-site outage schedules from MTBF/MTTR parameters.
+
+    Parameters
+    ----------
+    mean_time_between_failures:
+        Mean simulated seconds of uptime between outages (exponential).
+    mean_time_to_repair:
+        Mean outage duration in seconds (exponential).
+    seed:
+        Root seed for the schedule draws.
+
+    The model is materialised with :meth:`schedule`, which returns concrete
+    :class:`OutageWindow` objects over a horizon; the windows (not the model)
+    are what the :class:`~repro.faults.injector.FaultInjector` consumes, so a
+    schedule can equally be hand-written for targeted what-if studies.
+    """
+
+    def __init__(
+        self,
+        mean_time_between_failures: float,
+        mean_time_to_repair: float,
+        seed: int = 0,
+    ) -> None:
+        if mean_time_between_failures <= 0 or mean_time_to_repair <= 0:
+            raise CGSimError("MTBF and MTTR must be positive")
+        self.mtbf = float(mean_time_between_failures)
+        self.mttr = float(mean_time_to_repair)
+        self.seed = int(seed)
+
+    def schedule(self, sites: Iterable[str], horizon: float) -> List[OutageWindow]:
+        """Materialise outage windows for ``sites`` over ``[0, horizon]`` seconds."""
+        if horizon <= 0:
+            raise CGSimError("horizon must be positive")
+        windows: List[OutageWindow] = []
+        for site in sites:
+            gen = spawn_rng(self.seed, f"outage:{site}")
+            clock = 0.0
+            while True:
+                clock += float(gen.exponential(self.mtbf))
+                if clock >= horizon:
+                    break
+                downtime = max(1.0, float(gen.exponential(self.mttr)))
+                end = min(horizon, clock + downtime)
+                windows.append(OutageWindow(site=site, start=clock, end=end))
+                clock = end
+        return sorted(windows, key=lambda w: (w.start, w.site))
+
+    def expected_availability(self) -> float:
+        """Long-run fraction of time a site is up: MTBF / (MTBF + MTTR)."""
+        return self.mtbf / (self.mtbf + self.mttr)

@@ -1,0 +1,34 @@
+"""ML-ready dataset generation and a surrogate-model baseline.
+
+CGSim "automatically generates an event-level statistics dataset from each
+run that can be directly used to train machine learning models" -- the
+motivation being ML-assisted simulation, where a trained model acts as a fast
+surrogate for performance prediction.
+
+* :mod:`~repro.mldata.dataset` assembles numeric feature matrices from a
+  finished simulation (per-event and per-job views) and writes them to CSV.
+* :mod:`~repro.mldata.features` defines the feature extraction shared by both
+  views.
+* :mod:`~repro.mldata.surrogate` provides a ridge-regression surrogate that
+  learns job walltime (or queue time) from the per-job features, closing the
+  loop the paper motivates.
+* :mod:`~repro.mldata.knn` provides a k-nearest-neighbour surrogate as a
+  second, non-parametric baseline.
+"""
+
+from repro.mldata.dataset import EventDataset, JobDataset, build_event_dataset, build_job_dataset
+from repro.mldata.features import event_feature_names, job_feature_names
+from repro.mldata.knn import KNNSurrogate
+from repro.mldata.surrogate import RidgeSurrogate, SurrogateEvaluation
+
+__all__ = [
+    "EventDataset",
+    "JobDataset",
+    "build_event_dataset",
+    "build_job_dataset",
+    "event_feature_names",
+    "job_feature_names",
+    "RidgeSurrogate",
+    "KNNSurrogate",
+    "SurrogateEvaluation",
+]

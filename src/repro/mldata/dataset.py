@@ -1,0 +1,156 @@
+"""Assembly of ML-ready datasets from simulation output.
+
+Two views are produced:
+
+* the **event dataset**: one row per monitoring event (Table 1 rows turned
+  into a numeric matrix), suitable for sequence models of system dynamics;
+* the **job dataset**: one row per finished job, with static job features,
+  site context and the simulated walltime / queue time as targets, suitable
+  for the surrogate-model use case.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.config.infrastructure import InfrastructureConfig
+from repro.core.simulator import SimulationResult
+from repro.mldata.features import (
+    event_feature_names,
+    event_features,
+    job_feature_names,
+    job_features,
+)
+from repro.utils.errors import CGSimError
+from repro.workload.job import JobState
+
+__all__ = ["EventDataset", "JobDataset", "build_event_dataset", "build_job_dataset"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class EventDataset:
+    """Numeric event-level dataset: features plus the site label per row."""
+
+    features: np.ndarray
+    sites: List[str]
+    feature_names: List[str]
+
+    def __len__(self) -> int:
+        return self.features.shape[0]
+
+    def to_csv(self, path: PathLike) -> Path:
+        """Write the dataset (site label + features) to CSV."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["site", *self.feature_names])
+            for site, row in zip(self.sites, self.features):
+                writer.writerow([site, *row.tolist()])
+        return path
+
+
+@dataclass
+class JobDataset:
+    """Per-job learning dataset: features ``X`` and targets (walltime, queue time)."""
+
+    X: np.ndarray
+    walltime: np.ndarray
+    queue_time: np.ndarray
+    job_ids: List[int]
+    feature_names: List[str]
+
+    def __len__(self) -> int:
+        return self.X.shape[0]
+
+    def train_test_split(self, test_fraction: float = 0.25, seed: int = 0):
+        """Deterministic random split into (train, test) :class:`JobDataset` pairs."""
+        if not 0 < test_fraction < 1:
+            raise CGSimError("test_fraction must lie in (0, 1)")
+        rng = np.random.default_rng(seed)
+        n = len(self)
+        order = rng.permutation(n)
+        n_test = max(1, int(round(n * test_fraction)))
+        test_idx, train_idx = order[:n_test], order[n_test:]
+
+        def subset(indices) -> "JobDataset":
+            return JobDataset(
+                X=self.X[indices],
+                walltime=self.walltime[indices],
+                queue_time=self.queue_time[indices],
+                job_ids=[self.job_ids[i] for i in indices],
+                feature_names=list(self.feature_names),
+            )
+
+        return subset(train_idx), subset(test_idx)
+
+    def to_csv(self, path: PathLike) -> Path:
+        """Write features + targets to CSV."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["job_id", *self.feature_names, "walltime", "queue_time"])
+            for i in range(len(self)):
+                writer.writerow(
+                    [
+                        self.job_ids[i],
+                        *self.X[i].tolist(),
+                        float(self.walltime[i]),
+                        float(self.queue_time[i]),
+                    ]
+                )
+        return path
+
+
+def build_event_dataset(result: SimulationResult) -> EventDataset:
+    """Turn a run's monitoring events into a numeric event-level dataset."""
+    events = result.collector.events
+    if not events:
+        raise CGSimError("the simulation recorded no events (monitoring disabled?)")
+    features = np.array([event_features(e) for e in events], dtype=float)
+    sites = [e.site for e in events]
+    return EventDataset(features=features, sites=sites, feature_names=event_feature_names())
+
+
+def build_job_dataset(
+    result: SimulationResult,
+    infrastructure: Optional[InfrastructureConfig] = None,
+) -> JobDataset:
+    """Turn a run's finished jobs into a supervised-learning dataset."""
+    site_speed: Dict[str, float] = {}
+    site_cores: Dict[str, float] = {}
+    if infrastructure is not None:
+        for site in infrastructure.sites:
+            site_speed[site.name] = site.core_speed
+            site_cores[site.name] = float(site.cores)
+    rows: List[List[float]] = []
+    walltimes: List[float] = []
+    queue_times: List[float] = []
+    job_ids: List[int] = []
+    for job in result.jobs:
+        if job.state is not JobState.FINISHED or job.walltime is None:
+            continue
+        site = job.assigned_site or ""
+        rows.append(
+            job_features(job, site_speed.get(site, 0.0), site_cores.get(site, 0.0))
+        )
+        walltimes.append(job.walltime)
+        queue_times.append(job.queue_time or 0.0)
+        job_ids.append(int(job.job_id))
+    if not rows:
+        raise CGSimError("no finished jobs to build a job dataset from")
+    return JobDataset(
+        X=np.array(rows, dtype=float),
+        walltime=np.array(walltimes, dtype=float),
+        queue_time=np.array(queue_times, dtype=float),
+        job_ids=job_ids,
+        feature_names=job_feature_names(),
+    )

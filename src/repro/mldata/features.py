@@ -1,0 +1,100 @@
+"""Feature definitions shared by the ML dataset builders."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.monitoring.events import EventRecord
+from repro.workload.job import Job
+
+__all__ = ["event_feature_names", "job_feature_names", "event_features", "job_features"]
+
+_STATE_CODES = {
+    "created": 0.0,
+    "pending": 1.0,
+    "assigned": 2.0,
+    "transferring": 3.0,
+    "running": 4.0,
+    "finished": 5.0,
+    "failed": 6.0,
+}
+
+
+def event_feature_names() -> List[str]:
+    """Column names of the event-level feature matrix."""
+    return [
+        "time",
+        "job_id",
+        "state_code",
+        "available_cores",
+        "pending_jobs",
+        "assigned_jobs",
+        "finished_jobs",
+        "cores",
+    ]
+
+
+def event_features(event: EventRecord) -> List[float]:
+    """Numeric feature vector of one event record."""
+    return [
+        float(event.time),
+        float(event.job_id),
+        _STATE_CODES.get(event.state, -1.0),
+        float(event.available_cores),
+        float(event.pending_jobs),
+        float(event.assigned_jobs),
+        float(event.finished_jobs),
+        float(event.extra.get("cores", 1.0)),
+    ]
+
+
+def job_feature_names() -> List[str]:
+    """Column names of the per-job feature matrix (inputs to the surrogate)."""
+    return [
+        "work",
+        "cores",
+        "memory",
+        "input_files",
+        "output_files",
+        "input_size",
+        "output_size",
+        "submission_time",
+        "site_core_speed",
+        "site_total_cores",
+        "log_work",
+        "log_input_size",
+        "log_output_size",
+        "expected_compute_seconds",
+    ]
+
+
+def job_features(job: Job, site_speed: float = 0.0, site_cores: float = 0.0) -> List[float]:
+    """Numeric feature vector of one job (static fields + site context).
+
+    Besides the raw PanDA-record fields, the vector carries log-transformed
+    sizes (walltimes and file sizes are heavy-tailed, so linear models need
+    the log scale) and the physics-informed ``expected_compute_seconds`` =
+    ``work / (site_speed * cores)`` -- the uncontended walltime the platform
+    model would predict, which is the single most informative input a fast
+    surrogate can start from.
+    """
+    expected_compute = 0.0
+    if site_speed > 0 and job.cores > 0:
+        expected_compute = job.work / (site_speed * job.cores)
+    return [
+        float(job.work),
+        float(job.cores),
+        float(job.memory),
+        float(job.input_files),
+        float(job.output_files),
+        float(job.input_size),
+        float(job.output_size),
+        float(job.submission_time),
+        float(site_speed),
+        float(site_cores),
+        math.log1p(max(0.0, float(job.work))),
+        math.log1p(max(0.0, float(job.input_size))),
+        math.log1p(max(0.0, float(job.output_size))),
+        float(expected_compute),
+    ]

@@ -1,0 +1,123 @@
+"""k-nearest-neighbour surrogate model.
+
+A second, non-parametric baseline for the ML-assisted-simulation use case the
+paper motivates: where the ridge surrogate assumes a (log-)linear relation
+between job features and walltime, the kNN surrogate simply answers "how long
+did the most similar jobs take?", which is closer to how operators reason
+about historical workloads and is often a stronger baseline on heterogeneous
+grids.  Implemented with numpy only (standardised features, brute-force
+distances, inverse-distance weighting).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.mldata.dataset import JobDataset
+from repro.mldata.surrogate import SurrogateEvaluation
+from repro.utils.errors import CGSimError
+
+__all__ = ["KNNSurrogate"]
+
+
+class KNNSurrogate:
+    """Inverse-distance-weighted k-nearest-neighbour regression.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours consulted per prediction.
+    target:
+        ``"walltime"`` (default) or ``"queue_time"``.
+    weighted:
+        Weight neighbours by inverse distance (True) or average them equally.
+    """
+
+    def __init__(self, k: int = 5, target: str = "walltime", weighted: bool = True) -> None:
+        if k < 1:
+            raise CGSimError("k must be >= 1")
+        if target not in ("walltime", "queue_time"):
+            raise CGSimError(f"unknown target {target!r}")
+        self.k = int(k)
+        self.target = target
+        self.weighted = bool(weighted)
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    # -- fitting -------------------------------------------------------------
+    def fit(self, dataset: JobDataset) -> "KNNSurrogate":
+        """Memorise the (standardised) training set; returns ``self``."""
+        if len(dataset) < 1:
+            raise CGSimError("need at least one sample to fit the kNN surrogate")
+        X = np.asarray(dataset.X, dtype=float)
+        self._mean = X.mean(axis=0)
+        self._std = X.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        self._X = (X - self._mean) / self._std
+        self._y = np.asarray(
+            dataset.walltime if self.target == "walltime" else dataset.queue_time, dtype=float
+        )
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self._X is not None
+
+    # -- prediction -----------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict the target for a feature matrix (one row per job)."""
+        if not self.is_fitted:
+            raise CGSimError("surrogate is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Xs = (X - self._mean) / self._std
+        k = min(self.k, self._X.shape[0])
+        predictions = np.empty(Xs.shape[0])
+        for row_index, row in enumerate(Xs):
+            distances = np.sqrt(((self._X - row) ** 2).sum(axis=1))
+            neighbour_idx = np.argpartition(distances, k - 1)[:k]
+            neighbour_distances = distances[neighbour_idx]
+            neighbour_targets = self._y[neighbour_idx]
+            if not self.weighted:
+                predictions[row_index] = float(neighbour_targets.mean())
+                continue
+            # Inverse-distance weights; an exact match dominates completely.
+            if np.any(neighbour_distances < 1e-12):
+                exact = neighbour_targets[neighbour_distances < 1e-12]
+                predictions[row_index] = float(exact.mean())
+            else:
+                weights = 1.0 / neighbour_distances
+                predictions[row_index] = float(
+                    (weights * neighbour_targets).sum() / weights.sum()
+                )
+        return predictions
+
+    def predict_dataset(self, dataset: JobDataset) -> np.ndarray:
+        """Predict for every row of a :class:`JobDataset`."""
+        return self.predict(dataset.X)
+
+    # -- evaluation ------------------------------------------------------------
+    def evaluate(self, dataset: JobDataset) -> SurrogateEvaluation:
+        """MAE / RMSE / R^2 / relative MAE on a (held-out) dataset."""
+        truth = np.asarray(
+            dataset.walltime if self.target == "walltime" else dataset.queue_time, dtype=float
+        )
+        predictions = self.predict_dataset(dataset)
+        errors = predictions - truth
+        mae = float(np.mean(np.abs(errors)))
+        rmse = float(np.sqrt(np.mean(errors**2)))
+        variance = float(np.var(truth))
+        r2 = 1.0 - float(np.mean(errors**2)) / variance if variance > 0 else 0.0
+        positive = truth > 0
+        relative = (
+            float(np.mean(np.abs(errors[positive]) / truth[positive]))
+            if np.any(positive)
+            else float("nan")
+        )
+        return SurrogateEvaluation(
+            mae=mae, rmse=rmse, r2=r2, relative_mae=relative, n_samples=len(dataset)
+        )

@@ -1,0 +1,133 @@
+"""Ridge-regression surrogate model.
+
+The paper motivates CGSim's dataset generation with ML-assisted simulation:
+training fast surrogates for performance prediction.  This module provides a
+small but complete baseline -- standardised ridge regression solved in closed
+form with numpy -- that learns job walltime (or queue time) from the job
+dataset produced by :func:`repro.mldata.dataset.build_job_dataset`, plus the
+evaluation metrics needed to judge it (MAE, RMSE, R^2, relative MAE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.mldata.dataset import JobDataset
+from repro.utils.errors import CGSimError
+
+__all__ = ["RidgeSurrogate", "SurrogateEvaluation"]
+
+
+@dataclass
+class SurrogateEvaluation:
+    """Prediction-quality metrics of a surrogate on a held-out set."""
+
+    mae: float
+    rmse: float
+    r2: float
+    relative_mae: float
+    n_samples: int
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "mae": self.mae,
+            "rmse": self.rmse,
+            "r2": self.r2,
+            "relative_mae": self.relative_mae,
+            "n_samples": self.n_samples,
+        }
+
+
+class RidgeSurrogate:
+    """Standardised ridge regression (closed form) for job-time prediction.
+
+    Parameters
+    ----------
+    alpha:
+        L2 regularisation strength.
+    target:
+        ``"walltime"`` (default) or ``"queue_time"``.
+    log_target:
+        Learn ``log1p(target)`` instead of the raw value -- usually better
+        for heavy-tailed walltimes.
+    """
+
+    def __init__(self, alpha: float = 1.0, target: str = "walltime", log_target: bool = True) -> None:
+        if alpha < 0:
+            raise CGSimError("alpha must be >= 0")
+        if target not in ("walltime", "queue_time"):
+            raise CGSimError(f"unknown target {target!r}")
+        self.alpha = float(alpha)
+        self.target = target
+        self.log_target = log_target
+        self._weights: Optional[np.ndarray] = None
+        self._x_mean: Optional[np.ndarray] = None
+        self._x_std: Optional[np.ndarray] = None
+        self._y_mean: float = 0.0
+
+    # -- fitting ---------------------------------------------------------------
+    def _targets(self, dataset: JobDataset) -> np.ndarray:
+        y = dataset.walltime if self.target == "walltime" else dataset.queue_time
+        return np.log1p(y) if self.log_target else np.asarray(y, dtype=float)
+
+    def fit(self, dataset: JobDataset) -> "RidgeSurrogate":
+        """Fit the ridge weights on ``dataset``; returns ``self``."""
+        if len(dataset) < 2:
+            raise CGSimError("need at least two samples to fit the surrogate")
+        X = np.asarray(dataset.X, dtype=float)
+        y = self._targets(dataset)
+        self._x_mean = X.mean(axis=0)
+        self._x_std = X.std(axis=0)
+        self._x_std[self._x_std == 0] = 1.0
+        Xs = (X - self._x_mean) / self._x_std
+        self._y_mean = float(y.mean())
+        yc = y - self._y_mean
+        gram = Xs.T @ Xs + self.alpha * np.eye(Xs.shape[1])
+        self._weights = np.linalg.solve(gram, Xs.T @ yc)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self._weights is not None
+
+    # -- prediction -----------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict target values for a feature matrix."""
+        if not self.is_fitted:
+            raise CGSimError("surrogate is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Xs = (X - self._x_mean) / self._x_std
+        y = Xs @ self._weights + self._y_mean
+        if self.log_target:
+            return np.expm1(np.maximum(y, 0.0))
+        return y
+
+    def predict_dataset(self, dataset: JobDataset) -> np.ndarray:
+        """Predict for every row of a :class:`JobDataset`."""
+        return self.predict(dataset.X)
+
+    # -- evaluation ------------------------------------------------------------------
+    def evaluate(self, dataset: JobDataset) -> SurrogateEvaluation:
+        """Compute MAE / RMSE / R^2 / relative MAE on a (held-out) dataset."""
+        truth = dataset.walltime if self.target == "walltime" else dataset.queue_time
+        truth = np.asarray(truth, dtype=float)
+        predictions = self.predict_dataset(dataset)
+        errors = predictions - truth
+        mae = float(np.mean(np.abs(errors)))
+        rmse = float(np.sqrt(np.mean(errors**2)))
+        variance = float(np.var(truth))
+        r2 = 1.0 - float(np.mean(errors**2)) / variance if variance > 0 else 0.0
+        positive = truth > 0
+        relative = (
+            float(np.mean(np.abs(errors[positive]) / truth[positive]))
+            if np.any(positive)
+            else float("nan")
+        )
+        return SurrogateEvaluation(
+            mae=mae, rmse=rmse, r2=r2, relative_mae=relative, n_samples=len(dataset)
+        )

@@ -1,0 +1,33 @@
+"""Output layer: event-level monitoring, storage back-ends and dashboard.
+
+CGSim's output layer collects results into SQLite databases, supports CSV
+export for statistical analysis, and provides a real-time dashboard.  The
+monitoring system records both job-level state transitions and site-level
+resource dynamics at each timestep (paper Table 1), producing the event-level
+dataset that doubles as ML training data.
+
+* :class:`~repro.monitoring.events.EventRecord` -- one Table 1 row.
+* :class:`~repro.monitoring.collector.MonitoringCollector` -- hooks called by
+  the simulation core on every transition + periodic snapshots.
+* :class:`~repro.monitoring.sqlite_store.SQLiteStore` /
+  :func:`~repro.monitoring.csv_export.export_csv` -- persistence back-ends.
+* :class:`~repro.monitoring.dashboard.Dashboard` -- textual real-time view of
+  per-site load (the reproduction of the web dashboard in Figure 5).
+"""
+
+from repro.monitoring.collector import MonitoringCollector
+from repro.monitoring.csv_export import export_events_csv, export_jobs_csv, export_snapshots_csv
+from repro.monitoring.dashboard import Dashboard
+from repro.monitoring.events import EventRecord, SiteSnapshot
+from repro.monitoring.sqlite_store import SQLiteStore
+
+__all__ = [
+    "EventRecord",
+    "SiteSnapshot",
+    "MonitoringCollector",
+    "SQLiteStore",
+    "export_events_csv",
+    "export_jobs_csv",
+    "export_snapshots_csv",
+    "Dashboard",
+]

@@ -1,0 +1,124 @@
+"""The monitoring collector: the simulation core's observation point.
+
+The simulation core calls :meth:`MonitoringCollector.record_transition` on
+every job state change and (optionally) runs a periodic snapshot process.
+The collector owns the growing event-level dataset, keeps per-site counters,
+and fans records out to whatever persistent back-ends are attached (SQLite,
+CSV, the dashboard).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Protocol
+
+from repro.monitoring.events import EventRecord, SiteSnapshot
+from repro.workload.job import Job, JobState
+
+__all__ = ["MonitoringCollector"]
+
+
+class _Sink(Protocol):  # pragma: no cover - structural typing only
+    def write_event(self, record: EventRecord) -> None: ...
+
+    def write_snapshot(self, snapshot: SiteSnapshot) -> None: ...
+
+
+class MonitoringCollector:
+    """Collects event-level records and periodic site snapshots.
+
+    Parameters
+    ----------
+    keep_in_memory:
+        Retain every record in Python lists (required for the in-process
+        dashboard, ML dataset assembly and most tests).  Large batch runs
+        can disable this and rely on attached sinks instead.
+    """
+
+    def __init__(self, keep_in_memory: bool = True) -> None:
+        self.keep_in_memory = keep_in_memory
+        self.events: List[EventRecord] = []
+        self.snapshots: List[SiteSnapshot] = []
+        self._event_ids = itertools.count(1)
+        self._sinks: List[_Sink] = []
+        #: Per-site cumulative counters maintained from transitions.
+        self._finished: Dict[str, int] = {}
+        self._failed: Dict[str, int] = {}
+
+    # -- sink management -------------------------------------------------------
+    def attach(self, sink: _Sink) -> None:
+        """Attach a persistence back-end receiving every record as it is produced."""
+        self._sinks.append(sink)
+
+    # -- recording -------------------------------------------------------------
+    def record_transition(
+        self,
+        job: Job,
+        state: JobState,
+        time: float,
+        site: str = "",
+        available_cores: int = 0,
+        pending_jobs: int = 0,
+        assigned_jobs: int = 0,
+        **extra: float,
+    ) -> EventRecord:
+        """Record one job state transition together with site-level context."""
+        if state is JobState.FINISHED and site:
+            self._finished[site] = self._finished.get(site, 0) + 1
+        if state is JobState.FAILED and site:
+            self._failed[site] = self._failed.get(site, 0) + 1
+        record = EventRecord(
+            event_id=next(self._event_ids),
+            time=time,
+            job_id=int(job.job_id or 0),
+            state=state.value,
+            site=site,
+            available_cores=int(available_cores),
+            pending_jobs=int(pending_jobs),
+            assigned_jobs=int(assigned_jobs),
+            finished_jobs=self._finished.get(site, 0),
+            extra={"cores": float(job.cores), **{k: float(v) for k, v in extra.items()}},
+        )
+        if self.keep_in_memory:
+            self.events.append(record)
+        for sink in self._sinks:
+            sink.write_event(record)
+        return record
+
+    def record_snapshot(self, snapshot: SiteSnapshot) -> SiteSnapshot:
+        """Record one periodic site-level snapshot."""
+        if self.keep_in_memory:
+            self.snapshots.append(snapshot)
+        for sink in self._sinks:
+            sink.write_snapshot(snapshot)
+        return snapshot
+
+    # -- queries -----------------------------------------------------------------
+    def finished_jobs(self, site: str) -> int:
+        """Cumulative finished-job count for ``site``."""
+        return self._finished.get(site, 0)
+
+    def failed_jobs(self, site: str) -> int:
+        """Cumulative failed-job count for ``site``."""
+        return self._failed.get(site, 0)
+
+    def events_for_job(self, job_id: int) -> List[EventRecord]:
+        """All events concerning one job, in order."""
+        return [e for e in self.events if e.job_id == job_id]
+
+    def events_for_site(self, site: str) -> List[EventRecord]:
+        """All events concerning one site, in order."""
+        return [e for e in self.events if e.site == site]
+
+    def latest_snapshot_per_site(self) -> Dict[str, SiteSnapshot]:
+        """The most recent snapshot of every site (dashboard input)."""
+        latest: Dict[str, SiteSnapshot] = {}
+        for snapshot in self.snapshots:
+            latest[snapshot.site] = snapshot
+        return latest
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"<MonitoringCollector events={len(self.events)} snapshots={len(self.snapshots)}>"

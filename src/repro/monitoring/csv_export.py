@@ -1,0 +1,65 @@
+"""CSV export of monitoring output.
+
+The output layer "supports CSV exports for statistical analysis"; these
+helpers write the event-level dataset, the periodic snapshots and the final
+per-job summaries produced by a simulation run into plain CSV files.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.monitoring.events import EVENT_FIELDS, SNAPSHOT_FIELDS, EventRecord, SiteSnapshot
+from repro.workload.job import Job
+
+__all__ = ["export_events_csv", "export_snapshots_csv", "export_jobs_csv"]
+
+PathLike = Union[str, Path]
+
+#: Column order of per-job summary exports.
+JOB_FIELDS: List[str] = [
+    "job_id",
+    "task_id",
+    "cores",
+    "work",
+    "submission_time",
+    "target_site",
+    "assigned_site",
+    "state",
+    "assigned_time",
+    "start_time",
+    "end_time",
+    "queue_time",
+    "walltime",
+    "true_walltime",
+    "true_queue_time",
+    "failure_reason",
+]
+
+
+def _write_rows(path: PathLike, fieldnames: List[str], rows: Iterable[dict]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def export_events_csv(events: Iterable[EventRecord], path: PathLike) -> Path:
+    """Write event-level records (Table 1 rows) to ``path``."""
+    return _write_rows(path, EVENT_FIELDS, (event.to_row() for event in events))
+
+
+def export_snapshots_csv(snapshots: Iterable[SiteSnapshot], path: PathLike) -> Path:
+    """Write periodic site snapshots to ``path``."""
+    return _write_rows(path, SNAPSHOT_FIELDS, (snapshot.to_row() for snapshot in snapshots))
+
+
+def export_jobs_csv(jobs: Iterable[Job], path: PathLike) -> Path:
+    """Write final per-job summaries to ``path``."""
+    return _write_rows(path, JOB_FIELDS, (job.to_record() for job in jobs))

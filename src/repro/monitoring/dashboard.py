@@ -1,0 +1,118 @@
+"""Textual real-time dashboard.
+
+The original CGSim ships an interactive web dashboard (paper Figure 5)
+showing the operational state of every simulated site -- node pressure
+(CPUs in use), running/pending jobs, and per-job details on hover.  This
+reproduction renders the same information as a terminal table refreshed from
+the monitoring collector, and can export the equivalent JSON snapshot for an
+external viewer.  The content is identical; only the rendering medium
+differs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.monitoring.collector import MonitoringCollector
+from repro.monitoring.events import SiteSnapshot
+
+__all__ = ["Dashboard"]
+
+_BAR_WIDTH = 20
+
+
+def _pressure_bar(fraction: float, width: int = _BAR_WIDTH) -> str:
+    """Render a load fraction as a fixed-width unicode bar."""
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "█" * filled + "░" * (width - filled)
+
+
+class Dashboard:
+    """Renders the live state of every site from the monitoring collector.
+
+    Parameters
+    ----------
+    collector:
+        The collector the simulation core feeds.  The dashboard reads the
+        latest snapshot of every site; it never mutates simulation state.
+    """
+
+    def __init__(self, collector: MonitoringCollector) -> None:
+        self.collector = collector
+
+    # -- data access -------------------------------------------------------------
+    def site_rows(self) -> List[dict]:
+        """Per-site dashboard rows derived from the latest snapshots."""
+        rows = []
+        for site, snapshot in sorted(self.collector.latest_snapshot_per_site().items()):
+            rows.append(
+                {
+                    "site": site,
+                    "node_pressure": snapshot.node_pressure,
+                    "used_cores": snapshot.used_cores,
+                    "total_cores": snapshot.total_cores,
+                    "running_jobs": snapshot.running_jobs,
+                    "queued_jobs": snapshot.queued_jobs,
+                    "pending_jobs": snapshot.pending_jobs,
+                    "finished_jobs": snapshot.finished_jobs,
+                    "failed_jobs": snapshot.failed_jobs,
+                }
+            )
+        return rows
+
+    def job_details(self, site: Optional[str] = None, limit: int = 20) -> List[dict]:
+        """Most recent job-level events (optionally for one site).
+
+        This is the "hover-over details showing the jobs running on each
+        node" view of the paper's dashboard.
+        """
+        events = self.collector.events
+        if site is not None:
+            events = [e for e in events if e.site == site]
+        recent = events[-limit:]
+        return [
+            {
+                "event_id": e.event_id,
+                "time": e.time,
+                "job_id": e.job_id,
+                "state": e.state,
+                "site": e.site,
+                "cores": e.extra.get("cores", 1.0),
+            }
+            for e in recent
+        ]
+
+    # -- rendering ---------------------------------------------------------------
+    def render(self, time: Optional[float] = None) -> str:
+        """Render the multi-site view as a fixed-width text table."""
+        rows = self.site_rows()
+        header_time = f" t={time:.0f}s" if time is not None else ""
+        lines = [
+            f"CGSim dashboard{header_time} — {len(rows)} sites",
+            f"{'site':<20} {'pressure':<{_BAR_WIDTH + 7}} {'cores':>13} "
+            f"{'run':>6} {'queue':>6} {'pend':>6} {'done':>7} {'fail':>5}",
+        ]
+        for row in rows:
+            bar = _pressure_bar(row["node_pressure"])
+            lines.append(
+                f"{row['site']:<20} {bar} {row['node_pressure'] * 100:5.1f}% "
+                f"{row['used_cores']:>6}/{row['total_cores']:<6} "
+                f"{row['running_jobs']:>6} {row['queued_jobs']:>6} {row['pending_jobs']:>6} "
+                f"{row['finished_jobs']:>7} {row['failed_jobs']:>5}"
+            )
+        if not rows:
+            lines.append("(no snapshots recorded yet)")
+        return "\n".join(lines)
+
+    def to_json(self, time: Optional[float] = None) -> str:
+        """Export the dashboard state as a JSON document (for external viewers)."""
+        return json.dumps(
+            {
+                "time": time,
+                "sites": self.site_rows(),
+                "recent_events": self.job_details(limit=50),
+            },
+            indent=2,
+        )

@@ -1,0 +1,133 @@
+"""Event-level monitoring records.
+
+:class:`EventRecord` reproduces the rows of the paper's Table 1: every job
+state transition is captured together with the concurrent state of the site
+involved (available cores, pending/assigned/finished counters), giving the
+dual job-level + site-level view that supports both real-time monitoring and
+ML dataset generation.
+
+:class:`SiteSnapshot` is the periodic (timestep) site-level record used by
+the dashboard and by aggregate utilisation analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["EventRecord", "SiteSnapshot", "EVENT_FIELDS", "SNAPSHOT_FIELDS"]
+
+
+@dataclass
+class EventRecord:
+    """One event-level monitoring row (Table 1 schema).
+
+    Attributes
+    ----------
+    event_id:
+        Monotonically increasing event counter.
+    time:
+        Simulation time of the transition (seconds).
+    job_id:
+        Identifier of the job whose state changed.
+    state:
+        New job state (``pending``, ``assigned``, ``running``, ``finished``,
+        ``failed``).
+    site:
+        Site involved (empty string for grid-level events such as submission
+        before any assignment).
+    available_cores:
+        Free cores at the site at the time of the event.
+    pending_jobs:
+        Jobs waiting on the main server's pending list for this site (or
+        globally for grid-level events).
+    assigned_jobs:
+        Jobs assigned to the site and not yet finished.
+    finished_jobs:
+        Cumulative jobs finished at the site.
+    extra:
+        Additional numeric features for ML export (queue length, cores
+        requested, ...).
+    """
+
+    event_id: int
+    time: float
+    job_id: int
+    state: str
+    site: str
+    available_cores: int
+    pending_jobs: int
+    assigned_jobs: int
+    finished_jobs: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def to_row(self) -> dict:
+        """Flatten to a plain dict (``extra`` merged in with an ``x_`` prefix)."""
+        row = asdict(self)
+        extra = row.pop("extra")
+        for key, value in extra.items():
+            row[f"x_{key}"] = value
+        return row
+
+
+@dataclass
+class SiteSnapshot:
+    """Periodic site-level state capture (dashboard / utilisation analysis)."""
+
+    time: float
+    site: str
+    total_cores: int
+    available_cores: int
+    running_jobs: int
+    queued_jobs: int
+    pending_jobs: int
+    finished_jobs: int
+    failed_jobs: int
+
+    @property
+    def used_cores(self) -> int:
+        """Cores currently busy."""
+        return self.total_cores - self.available_cores
+
+    @property
+    def node_pressure(self) -> float:
+        """Fraction of the site's cores in use (the dashboard's node pressure)."""
+        if self.total_cores == 0:
+            return 0.0
+        return self.used_cores / self.total_cores
+
+    def to_row(self) -> dict:
+        """Flatten to a plain dict for CSV/SQLite export."""
+        row = asdict(self)
+        row["used_cores"] = self.used_cores
+        row["node_pressure"] = self.node_pressure
+        return row
+
+
+#: Column order of event rows in CSV/SQLite exports.
+EVENT_FIELDS: List[str] = [
+    "event_id",
+    "time",
+    "job_id",
+    "state",
+    "site",
+    "available_cores",
+    "pending_jobs",
+    "assigned_jobs",
+    "finished_jobs",
+]
+
+#: Column order of snapshot rows in CSV/SQLite exports.
+SNAPSHOT_FIELDS: List[str] = [
+    "time",
+    "site",
+    "total_cores",
+    "available_cores",
+    "used_cores",
+    "running_jobs",
+    "queued_jobs",
+    "pending_jobs",
+    "finished_jobs",
+    "failed_jobs",
+    "node_pressure",
+]

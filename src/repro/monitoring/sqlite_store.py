@@ -1,0 +1,194 @@
+"""SQLite persistence back-end.
+
+The CGSim output layer "collects and stores results in SQLite databases".
+:class:`SQLiteStore` is a collector sink that writes event rows, snapshot
+rows and final job summaries into three tables of one SQLite file; it also
+offers simple read-back queries so post-processing scripts (and the tests)
+can verify what was stored.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.monitoring.events import EventRecord, SiteSnapshot
+from repro.workload.job import Job
+
+__all__ = ["SQLiteStore"]
+
+PathLike = Union[str, Path]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS events (
+    event_id INTEGER PRIMARY KEY,
+    time REAL NOT NULL,
+    job_id INTEGER NOT NULL,
+    state TEXT NOT NULL,
+    site TEXT NOT NULL,
+    available_cores INTEGER NOT NULL,
+    pending_jobs INTEGER NOT NULL,
+    assigned_jobs INTEGER NOT NULL,
+    finished_jobs INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS snapshots (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    time REAL NOT NULL,
+    site TEXT NOT NULL,
+    total_cores INTEGER NOT NULL,
+    available_cores INTEGER NOT NULL,
+    running_jobs INTEGER NOT NULL,
+    queued_jobs INTEGER NOT NULL,
+    pending_jobs INTEGER NOT NULL,
+    finished_jobs INTEGER NOT NULL,
+    failed_jobs INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id INTEGER PRIMARY KEY,
+    task_id INTEGER,
+    cores INTEGER NOT NULL,
+    work REAL NOT NULL,
+    submission_time REAL NOT NULL,
+    assigned_site TEXT,
+    state TEXT NOT NULL,
+    assigned_time REAL,
+    start_time REAL,
+    end_time REAL,
+    queue_time REAL,
+    walltime REAL,
+    true_walltime REAL,
+    true_queue_time REAL,
+    failure_reason TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_events_site ON events (site);
+CREATE INDEX IF NOT EXISTS idx_events_job ON events (job_id);
+CREATE INDEX IF NOT EXISTS idx_snapshots_site ON snapshots (site);
+"""
+
+
+class SQLiteStore:
+    """Collector sink writing monitoring output into one SQLite database.
+
+    The store can be used as a context manager; :meth:`close` commits and
+    closes the connection.  ``":memory:"`` databases are supported for tests.
+    """
+
+    def __init__(self, path: PathLike = ":memory:") -> None:
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # -- sink protocol -------------------------------------------------------------
+    def write_event(self, record: EventRecord) -> None:
+        """Insert one event-level row."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO events VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                record.event_id,
+                record.time,
+                record.job_id,
+                record.state,
+                record.site,
+                record.available_cores,
+                record.pending_jobs,
+                record.assigned_jobs,
+                record.finished_jobs,
+            ),
+        )
+
+    def write_snapshot(self, snapshot: SiteSnapshot) -> None:
+        """Insert one site snapshot row."""
+        self._conn.execute(
+            "INSERT INTO snapshots (time, site, total_cores, available_cores, running_jobs,"
+            " queued_jobs, pending_jobs, finished_jobs, failed_jobs)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                snapshot.time,
+                snapshot.site,
+                snapshot.total_cores,
+                snapshot.available_cores,
+                snapshot.running_jobs,
+                snapshot.queued_jobs,
+                snapshot.pending_jobs,
+                snapshot.finished_jobs,
+                snapshot.failed_jobs,
+            ),
+        )
+
+    def write_jobs(self, jobs: Iterable[Job]) -> None:
+        """Write (or update) the final per-job summary table."""
+        rows = []
+        for job in jobs:
+            record = job.to_record()
+            rows.append(
+                (
+                    record["job_id"],
+                    record["task_id"],
+                    record["cores"],
+                    record["work"],
+                    record["submission_time"],
+                    record["assigned_site"],
+                    record["state"],
+                    record["assigned_time"],
+                    record["start_time"],
+                    record["end_time"],
+                    record["queue_time"],
+                    record["walltime"],
+                    record["true_walltime"],
+                    record["true_queue_time"],
+                    record["failure_reason"],
+                )
+            )
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO jobs VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+        self._conn.commit()
+
+    # -- queries -----------------------------------------------------------------
+    def count_events(self) -> int:
+        """Number of event rows stored."""
+        return int(self._conn.execute("SELECT COUNT(*) FROM events").fetchone()[0])
+
+    def count_jobs(self, state: Optional[str] = None) -> int:
+        """Number of job rows stored (optionally filtered by final state)."""
+        if state is None:
+            return int(self._conn.execute("SELECT COUNT(*) FROM jobs").fetchone()[0])
+        return int(
+            self._conn.execute("SELECT COUNT(*) FROM jobs WHERE state = ?", (state,)).fetchone()[0]
+        )
+
+    def events_for_site(self, site: str) -> List[tuple]:
+        """Event rows for one site, ordered by event id."""
+        return list(
+            self._conn.execute(
+                "SELECT * FROM events WHERE site = ? ORDER BY event_id", (site,)
+            ).fetchall()
+        )
+
+    def mean_walltime(self) -> Optional[float]:
+        """Mean simulated walltime over finished jobs (None when empty)."""
+        row = self._conn.execute(
+            "SELECT AVG(walltime) FROM jobs WHERE state = 'finished'"
+        ).fetchone()
+        return None if row[0] is None else float(row[0])
+
+    # -- lifecycle -----------------------------------------------------------------
+    def commit(self) -> None:
+        """Flush pending writes."""
+        self._conn.commit()
+
+    def close(self) -> None:
+        """Commit and close the underlying connection."""
+        self._conn.commit()
+        self._conn.close()
+
+    def __enter__(self) -> "SQLiteStore":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.close()

@@ -1,0 +1,113 @@
+"""Build a :class:`~repro.platform.platform.Platform` from configuration.
+
+This module is the bridge between the input layer (infrastructure + topology
+JSON files) and the platform model: every site becomes a zone containing its
+worker hosts and storage element, sites are wired together according to the
+topology links, and a dedicated main-server zone (with one host) is created
+and connected to every site that lacks an explicit link to it -- exactly the
+structure described in the paper's architecture section (Figure 1a).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.infrastructure import InfrastructureConfig
+from repro.config.topology import TopologyConfig
+from repro.des import Environment
+from repro.platform.platform import Platform
+
+__all__ = ["build_platform", "MAIN_SERVER_HOST_SUFFIX"]
+
+#: Host name used for the main server inside its zone.
+MAIN_SERVER_HOST_SUFFIX = "_host"
+
+
+def build_platform(
+    env: Environment,
+    infrastructure: InfrastructureConfig,
+    topology: Optional[TopologyConfig] = None,
+) -> Platform:
+    """Construct the platform described by the configuration objects.
+
+    Parameters
+    ----------
+    env:
+        Discrete-event environment the platform will live in.
+    infrastructure:
+        Validated site descriptions.
+    topology:
+        Validated inter-site topology.  ``None`` uses a default
+        :class:`TopologyConfig` (star around the main server).
+
+    Returns
+    -------
+    Platform
+        A validated platform with one zone per site plus the main-server
+        zone; the main-server zone is marked ``abstract`` and contains a
+        single coordination host.
+    """
+    topology = topology or TopologyConfig()
+    platform = Platform(env, routing_weight=topology.routing_weight)
+
+    # 1. Site zones with hosts and storage.
+    for site in infrastructure.sites:
+        zone = platform.add_zone(
+            site.name,
+            local_bandwidth=site.local_bandwidth,
+            local_latency=site.local_latency,
+            properties=site.properties,
+        )
+        for host_index, host_cores in enumerate(site.cores_per_host()):
+            platform.add_host(
+                site.name,
+                f"{site.name}_wn{host_index:04d}",
+                speed=site.core_speed,
+                cores=host_cores,
+                ram=site.ram_per_host,
+                properties={"site": site.name},
+            )
+        platform.add_storage(
+            site.name,
+            f"{site.name}_se",
+            capacity=site.storage_capacity,
+            read_bandwidth=site.storage_read_bandwidth,
+            write_bandwidth=site.storage_write_bandwidth,
+        )
+        del zone  # registered; nothing else to do with it here
+
+    # 2. Main-server zone (the central controller of the simulation).
+    server_zone = topology.server_zone
+    if server_zone not in platform.zone_names:
+        platform.add_zone(server_zone, properties={"abstract": "true"})
+        platform.add_host(
+            server_zone,
+            f"{server_zone}{MAIN_SERVER_HOST_SUFFIX}",
+            speed=1e9,
+            cores=1,
+            properties={"role": "main-server"},
+        )
+
+    # 3. Explicit topology links.
+    for link_config in topology.links:
+        link = platform.add_link(
+            link_config.name,
+            bandwidth=link_config.bandwidth,
+            latency=link_config.latency,
+            sharing=link_config.sharing,
+        )
+        platform.connect_zones(link_config.source, link_config.destination, link)
+
+    # 4. Ensure the main server reaches every site: add default links where
+    #    the topology left a site disconnected from the server zone.
+    for site in infrastructure.sites:
+        if not platform.routing.has_route(server_zone, site.name):
+            link = platform.add_link(
+                f"{server_zone}--{site.name}__auto",
+                bandwidth=topology.server_bandwidth,
+                latency=topology.server_latency,
+            )
+            platform.connect_zones(server_zone, site.name, link)
+
+    platform.validate()
+    return platform

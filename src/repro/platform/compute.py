@@ -1,0 +1,187 @@
+"""CPU execution models.
+
+Two models are provided:
+
+* **Slot model** (default, :meth:`ComputeModel.execute`): a job requests an
+  integer number of cores on a host; once granted, it holds them for
+  ``work / (speed * cores * efficiency)`` seconds.  This matches how WLCG
+  batch systems hand whole cores/slots to jobs and is the model used by the
+  CGSim evaluation (jobs have a core count and a walltime).
+* **Fair-share model** (:meth:`ComputeModel.execute_shared`): all executions
+  on a host share its aggregate speed equally (progressive filling with a
+  single bottleneck), analogous to SimGrid's host CPU sharing.  It is exposed
+  for ablation benchmarks comparing the two.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.des import Environment, Event
+from repro.platform.host import Host
+from repro.utils.errors import PlatformError
+
+__all__ = ["Execution", "ComputeModel"]
+
+
+@dataclass
+class Execution:
+    """Record of one (possibly still running) job execution on a host."""
+
+    execution_id: int
+    host: Host
+    work: float
+    cores: int
+    efficiency: float
+    start_time: float
+    #: Filled in when the execution finishes.
+    end_time: Optional[float] = None
+    #: Metadata carried for monitoring (job id, site, ...).
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Wall-clock duration, available once finished."""
+        if self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+
+class ComputeModel:
+    """Executes computational work on hosts under the slot or fair-share model."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._ids = itertools.count(1)
+        #: Completed executions, in completion order.
+        self.completed: List[Execution] = []
+        # Fair-share bookkeeping, per host.
+        self._shared: Dict[Host, List[dict]] = {}
+        self._shared_epoch: Dict[Host, int] = {}
+
+    # -- slot model ----------------------------------------------------------
+    def execute(
+        self,
+        host: Host,
+        work: float,
+        cores: int = 1,
+        efficiency: float = 1.0,
+        overhead: float = 0.0,
+        metadata: Optional[dict] = None,
+    ) -> Event:
+        """Run ``work`` operations on ``cores`` dedicated cores of ``host``.
+
+        The returned event succeeds with the :class:`Execution` record when
+        the job finishes.  ``overhead`` adds a fixed number of seconds to the
+        runtime (job setup/staging overhead).
+        """
+        if work < 0:
+            raise PlatformError(f"work must be >= 0, got {work}")
+        if overhead < 0:
+            raise PlatformError(f"overhead must be >= 0, got {overhead}")
+        done = Event(self.env)
+        self.env.process(self._run_slot(host, work, cores, efficiency, overhead, done, metadata))
+        return done
+
+    def _run_slot(self, host, work, cores, efficiency, overhead, done, metadata):
+        request = host.core_pool.request(amount=cores)
+        yield request
+        execution = Execution(
+            execution_id=next(self._ids),
+            host=host,
+            work=work,
+            cores=cores,
+            efficiency=efficiency,
+            start_time=self.env.now,
+            metadata=dict(metadata or {}),
+        )
+        try:
+            duration = host.duration_for(work, cores=cores, efficiency=efficiency) + overhead
+            yield self.env.timeout(duration)
+            execution.end_time = self.env.now
+            host.account_busy(cores, duration)
+            self.completed.append(execution)
+            done.succeed(execution)
+        finally:
+            host.core_pool.release(request)
+
+    # -- fair-share model -------------------------------------------------------
+    def execute_shared(
+        self,
+        host: Host,
+        work: float,
+        metadata: Optional[dict] = None,
+    ) -> Event:
+        """Run ``work`` operations sharing the host's total speed with other work.
+
+        All shared executions on the same host progress at
+        ``host.total_speed / n`` where ``n`` is the number of concurrent
+        shared executions; rates are re-evaluated whenever an execution
+        arrives or leaves.
+        """
+        if work < 0:
+            raise PlatformError(f"work must be >= 0, got {work}")
+        done = Event(self.env)
+        entry = {
+            "remaining": float(work),
+            "done": done,
+            "last_update": self.env.now,
+            "record": Execution(
+                execution_id=next(self._ids),
+                host=host,
+                work=work,
+                cores=host.cores,
+                efficiency=1.0,
+                start_time=self.env.now,
+                metadata=dict(metadata or {}),
+            ),
+        }
+        self._shared.setdefault(host, []).append(entry)
+        self._reshare(host)
+        return done
+
+    def _reshare(self, host: Host) -> None:
+        entries = self._shared.get(host, [])
+        now = self.env.now
+        # Settle progress at the rate each entry was last granted.
+        for entry in entries:
+            elapsed = now - entry["last_update"]
+            rate = entry.get("rate", 0.0)
+            if elapsed > 0 and rate > 0:
+                entry["remaining"] = max(0.0, entry["remaining"] - rate * elapsed)
+            entry["last_update"] = now
+        # Complete whatever finished.
+        still_running = []
+        for entry in entries:
+            if entry["remaining"] <= 1e-9:
+                record: Execution = entry["record"]
+                record.end_time = now
+                host.account_busy(host.cores, record.end_time - record.start_time)
+                self.completed.append(record)
+                entry["done"].succeed(record)
+            else:
+                still_running.append(entry)
+        self._shared[host] = still_running
+        if not still_running:
+            return
+        # New equal share of the aggregate speed.
+        rate = host.total_speed / len(still_running)
+        next_completion = math.inf
+        for entry in still_running:
+            entry["rate"] = rate
+            next_completion = min(next_completion, entry["remaining"] / rate)
+        epoch = self._shared_epoch.get(host, 0) + 1
+        self._shared_epoch[host] = epoch
+        self.env.process(self._shared_wakeup(host, next_completion, epoch))
+
+    def _shared_wakeup(self, host: Host, delay: float, epoch: int):
+        yield self.env.timeout(delay)
+        if self._shared_epoch.get(host) != epoch:
+            return
+        self._reshare(host)
+
+    def __repr__(self) -> str:
+        return f"<ComputeModel completed={len(self.completed)}>"

@@ -1,0 +1,74 @@
+"""Network link model.
+
+A :class:`Link` is a shared channel with a nominal bandwidth (bytes/second)
+and a latency (seconds).  Bandwidth is not reserved per transfer: the
+flow-level :class:`~repro.platform.network.NetworkModel` shares each link's
+capacity among the flows that traverse it with max-min fairness, re-solving
+the allocation whenever a flow starts or completes -- the same modelling
+approach SimGrid's validated network models use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.utils.errors import PlatformError
+
+__all__ = ["Link"]
+
+
+class Link:
+    """A (possibly shared) network link.
+
+    Parameters
+    ----------
+    name:
+        Unique link name.
+    bandwidth:
+        Nominal capacity in bytes per second.
+    latency:
+        One-way latency in seconds.
+    sharing:
+        ``"shared"`` (default) -- capacity split among concurrent flows;
+        ``"fatpipe"`` -- every flow gets the full nominal bandwidth
+        (models an over-provisioned backbone).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        bandwidth: float,
+        latency: float = 0.0,
+        sharing: str = "shared",
+        properties: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if bandwidth <= 0:
+            raise PlatformError(f"link {name!r}: bandwidth must be positive, got {bandwidth}")
+        if latency < 0:
+            raise PlatformError(f"link {name!r}: latency must be >= 0, got {latency}")
+        if sharing not in ("shared", "fatpipe"):
+            raise PlatformError(f"link {name!r}: unknown sharing policy {sharing!r}")
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self.sharing = sharing
+        self.properties: Dict[str, str] = dict(properties or {})
+        #: Bytes carried by completed flows, for accounting.
+        self.bytes_carried = 0.0
+        #: Number of flows currently traversing the link (kept by the network model).
+        self.active_flows = 0
+
+    @property
+    def is_fatpipe(self) -> bool:
+        """True when each flow gets the full bandwidth (no sharing)."""
+        return self.sharing == "fatpipe"
+
+    def account(self, num_bytes: float) -> None:
+        """Record ``num_bytes`` carried across this link."""
+        self.bytes_carried += num_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"<Link {self.name} bw={self.bandwidth:g}B/s lat={self.latency:g}s "
+            f"{self.sharing}>"
+        )

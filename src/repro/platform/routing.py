@@ -1,0 +1,156 @@
+"""Routing between network zones.
+
+The platform topology is a graph whose nodes are zones and whose edges carry
+:class:`~repro.platform.link.Link` objects.  Routes between zones are computed
+as shortest paths (weighted by link latency by default) and cached.  A
+:class:`Route` is the ordered list of links a flow traverses, including the
+endpoint zones' local links, plus the total route latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.platform.link import Link
+from repro.utils.errors import PlatformError
+
+__all__ = ["Route", "RoutingTable"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """An ordered sequence of links between two zones."""
+
+    source: str
+    destination: str
+    links: Tuple[Link, ...] = field(default_factory=tuple)
+
+    @property
+    def latency(self) -> float:
+        """Total one-way latency along the route (seconds)."""
+        return sum(link.latency for link in self.links)
+
+    @property
+    def bottleneck_bandwidth(self) -> float:
+        """Minimum nominal bandwidth along the route (bytes/second)."""
+        if not self.links:
+            return float("inf")
+        return min(link.bandwidth for link in self.links)
+
+    @property
+    def hop_count(self) -> int:
+        """Number of links traversed."""
+        return len(self.links)
+
+    def __iter__(self):
+        return iter(self.links)
+
+
+class RoutingTable:
+    """Shortest-path routing over the zone graph, with route caching.
+
+    Parameters
+    ----------
+    weight:
+        Edge attribute used as the shortest-path weight: ``"latency"``
+        (default), ``"hops"`` (unweighted) or ``"inverse_bandwidth"``.
+    """
+
+    def __init__(self, weight: str = "latency") -> None:
+        if weight not in ("latency", "hops", "inverse_bandwidth"):
+            raise PlatformError(f"unknown routing weight {weight!r}")
+        self.weight = weight
+        self._graph = nx.Graph()
+        self._local_links: Dict[str, Optional[Link]] = {}
+        self._cache: Dict[Tuple[str, str], Route] = {}
+
+    # -- construction ----------------------------------------------------------
+    def add_zone(self, zone_name: str, local_link: Optional[Link] = None) -> None:
+        """Register a zone node (optionally with its intra-zone link)."""
+        if zone_name in self._local_links:
+            raise PlatformError(f"zone {zone_name!r} already registered in routing table")
+        self._graph.add_node(zone_name)
+        self._local_links[zone_name] = local_link
+
+    def connect(self, zone_a: str, zone_b: str, link: Link) -> None:
+        """Add a bidirectional inter-zone link between ``zone_a`` and ``zone_b``."""
+        for zone in (zone_a, zone_b):
+            if zone not in self._local_links:
+                raise PlatformError(f"cannot connect unknown zone {zone!r}")
+        if zone_a == zone_b:
+            raise PlatformError(f"cannot connect zone {zone_a!r} to itself")
+        self._graph.add_edge(
+            zone_a,
+            zone_b,
+            link=link,
+            latency=link.latency,
+            hops=1.0,
+            inverse_bandwidth=1.0 / link.bandwidth,
+        )
+        self._cache.clear()
+
+    @property
+    def zones(self) -> List[str]:
+        """Registered zone names."""
+        return list(self._local_links)
+
+    def neighbors(self, zone_name: str) -> List[str]:
+        """Zones directly connected to ``zone_name``."""
+        if zone_name not in self._local_links:
+            raise PlatformError(f"unknown zone {zone_name!r}")
+        return list(self._graph.neighbors(zone_name))
+
+    # -- lookup ---------------------------------------------------------------
+    def route(self, source: str, destination: str) -> Route:
+        """Return (computing and caching if necessary) the route between two zones.
+
+        The route includes the source and destination zones' local links (when
+        defined), so intra-zone transfers (``source == destination``) traverse
+        the local link once.
+        """
+        key = (source, destination)
+        if key in self._cache:
+            return self._cache[key]
+        for zone in key:
+            if zone not in self._local_links:
+                raise PlatformError(f"unknown zone {zone!r}")
+
+        links: List[Link] = []
+        if source == destination:
+            local = self._local_links[source]
+            if local is not None:
+                links.append(local)
+        else:
+            try:
+                path = nx.shortest_path(self._graph, source, destination, weight=self.weight)
+            except nx.NetworkXNoPath:
+                raise PlatformError(f"no route between {source!r} and {destination!r}") from None
+            src_local = self._local_links[source]
+            if src_local is not None:
+                links.append(src_local)
+            for hop_a, hop_b in zip(path[:-1], path[1:]):
+                links.append(self._graph.edges[hop_a, hop_b]["link"])
+            dst_local = self._local_links[destination]
+            if dst_local is not None:
+                links.append(dst_local)
+
+        route = Route(source=source, destination=destination, links=tuple(links))
+        self._cache[key] = route
+        return route
+
+    def has_route(self, source: str, destination: str) -> bool:
+        """True when a path exists between the two zones."""
+        try:
+            self.route(source, destination)
+            return True
+        except PlatformError:
+            return False
+
+    def __repr__(self) -> str:
+        return (
+            f"<RoutingTable zones={self._graph.number_of_nodes()} "
+            f"links={self._graph.number_of_edges()} weight={self.weight}>"
+        )

@@ -1,0 +1,107 @@
+"""Network zones: the site-level container of the platform model.
+
+CGSim maps every computing site onto one SimGrid *netzone*: a container that
+owns the site's hosts and internal links and handles routing between its
+hosts and towards other zones through a gateway.  The reproduction keeps the
+same structure: a :class:`NetZone` owns hosts, a local-area link used for all
+intra-zone traffic, and a gateway identity used by the inter-zone routing
+table maintained by :class:`~repro.platform.platform.Platform`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.platform.host import Host
+from repro.platform.link import Link
+from repro.utils.errors import PlatformError
+
+__all__ = ["NetZone"]
+
+
+class NetZone:
+    """A network zone (one computing site, or the backbone root zone).
+
+    Parameters
+    ----------
+    name:
+        Unique zone name (e.g. ``"BNL"`` or ``"CERN"``).
+    local_link:
+        Link used for every host-to-host communication inside the zone and as
+        the last hop of inter-zone routes ending in this zone.  ``None`` means
+        intra-zone communication is instantaneous (useful for the abstract
+        main-server zone).
+    properties:
+        Free-form metadata (tier level, country, cloud, ...).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        local_link: Optional[Link] = None,
+        properties: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.name = name
+        self.local_link = local_link
+        self.properties: Dict[str, str] = dict(properties or {})
+        self._hosts: Dict[str, Host] = {}
+
+    # -- host management -----------------------------------------------------
+    def add_host(self, host: Host) -> Host:
+        """Register ``host`` inside this zone."""
+        if host.name in self._hosts:
+            raise PlatformError(f"zone {self.name!r}: duplicate host {host.name!r}")
+        if host.zone is not None:
+            raise PlatformError(
+                f"host {host.name!r} already belongs to zone {host.zone.name!r}"
+            )
+        host.zone = self
+        self._hosts[host.name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        """Return the host called ``name`` (raises if unknown)."""
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise PlatformError(f"zone {self.name!r} has no host {name!r}") from None
+
+    @property
+    def hosts(self) -> List[Host]:
+        """All hosts in the zone, in registration order."""
+        return list(self._hosts.values())
+
+    def __contains__(self, host_name: str) -> bool:
+        return host_name in self._hosts
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    def __iter__(self) -> Iterable[Host]:
+        return iter(self._hosts.values())
+
+    # -- aggregate capacity ----------------------------------------------------
+    @property
+    def total_cores(self) -> int:
+        """Sum of cores across the zone's hosts."""
+        return sum(host.cores for host in self._hosts.values())
+
+    @property
+    def available_cores(self) -> int:
+        """Sum of currently free cores across the zone's hosts."""
+        return sum(host.available_cores for host in self._hosts.values())
+
+    @property
+    def total_speed(self) -> float:
+        """Aggregate compute speed of the zone (operations per second)."""
+        return sum(host.total_speed for host in self._hosts.values())
+
+    def mean_core_speed(self) -> float:
+        """Average per-core speed over all hosts (0 when the zone is empty)."""
+        total_cores = self.total_cores
+        if total_cores == 0:
+            return 0.0
+        return self.total_speed / total_cores
+
+    def __repr__(self) -> str:
+        return f"<NetZone {self.name} hosts={len(self._hosts)} cores={self.total_cores}>"

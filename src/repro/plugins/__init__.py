@@ -1,0 +1,56 @@
+"""Allocation-policy plugin system.
+
+One of CGSim's headline features is that users can test custom workload
+allocation algorithms through a plugin mechanism without modifying the
+simulator core.  The original implements plugins as C++ shared libraries
+inheriting from an installed abstract class; this reproduction keeps the same
+contract in Python:
+
+* :class:`~repro.plugins.base.AllocationPolicy` -- the abstract base class
+  with the hooks the paper's Figure 2 exposes (``assign_job`` is the one a
+  plugin *must* implement; resource information is supplied by the simulator
+  through :class:`~repro.plugins.base.ResourceView`).
+* :mod:`~repro.plugins.registry` -- named registration of bundled policies
+  plus dynamic ``"module:ClassName"`` loading for user plugins referenced
+  from the execution configuration.
+* Bundled example policies: round-robin, random, least-loaded,
+  weighted-capacity, data-locality-aware, a PanDA-style dispatcher and a
+  backfilling variant.
+"""
+
+from repro.plugins.base import AllocationPolicy, ResourceView, SiteStatus
+from repro.plugins.registry import (
+    available_policies,
+    create_policy,
+    load_policy_class,
+    register_policy,
+)
+
+# Importing the bundled policy modules registers them with the registry.
+from repro.plugins import bundled as _bundled  # noqa: F401  (registration side effect)
+from repro.plugins.bundled import (
+    BackfillPolicy,
+    DataAwarePolicy,
+    LeastLoadedPolicy,
+    PandaDispatcherPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    WeightedCapacityPolicy,
+)
+
+__all__ = [
+    "AllocationPolicy",
+    "ResourceView",
+    "SiteStatus",
+    "register_policy",
+    "create_policy",
+    "load_policy_class",
+    "available_policies",
+    "RoundRobinPolicy",
+    "RandomPolicy",
+    "LeastLoadedPolicy",
+    "WeightedCapacityPolicy",
+    "DataAwarePolicy",
+    "PandaDispatcherPolicy",
+    "BackfillPolicy",
+]

@@ -1,0 +1,182 @@
+"""Abstract allocation-policy base class and the resource view it sees.
+
+This mirrors the abstract class CGSim installs for plugin developers
+(paper Figure 2): the plugin's job is to fill in the *allocation site* of
+every incoming job, using the standardized job structure and the resource
+information the simulator exposes.
+
+A policy never touches simulator internals: it sees a
+:class:`ResourceView` -- an immutable-by-convention snapshot of per-site
+capacity and queue state refreshed by the main server before every dispatch
+round -- and returns a site name (or ``None`` to leave the job pending).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.utils.errors import SchedulingError
+from repro.workload.job import Job
+
+__all__ = ["SiteStatus", "ResourceView", "AllocationPolicy"]
+
+
+@dataclass
+class SiteStatus:
+    """Dynamic, per-site information exposed to allocation policies."""
+
+    name: str
+    total_cores: int
+    available_cores: int
+    core_speed: float
+    pending_jobs: int
+    running_jobs: int
+    assigned_jobs: int
+    finished_jobs: int
+    failed_jobs: int = 0
+    #: Names of datasets/files whose replicas the site's storage holds.
+    resident_data: frozenset = field(default_factory=frozenset)
+    #: Free-form site properties (tier, cloud, country).
+    properties: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def load_fraction(self) -> float:
+        """Fraction of cores currently busy (0 when the site has no cores)."""
+        if self.total_cores == 0:
+            return 0.0
+        return 1.0 - self.available_cores / self.total_cores
+
+    @property
+    def backlog(self) -> int:
+        """Jobs waiting at or assigned to the site but not yet finished."""
+        return self.pending_jobs + self.assigned_jobs + self.running_jobs
+
+    @property
+    def normalized_backlog(self) -> float:
+        """Outstanding jobs per core -- a drain-time proxy.
+
+        Instantaneous core occupancy alone is a misleading load signal: a
+        site whose few free cores are stuck behind a wide job at the head of
+        its FIFO queue looks "less loaded" than a fully-busy site even while
+        its queue grows without bound.  Normalising the backlog by capacity
+        avoids that feedback loop.
+        """
+        if self.total_cores == 0:
+            return float("inf") if self.backlog else 0.0
+        return self.backlog / self.total_cores
+
+
+class ResourceView:
+    """Snapshot of the whole grid handed to a policy's ``assign_job``.
+
+    This is the reproduction of CGSim's ``getResourceInformation`` hook: the
+    simulator builds/refreshes one of these before each dispatch round and
+    the policy reads it (it must not mutate it).
+    """
+
+    def __init__(self, sites: Dict[str, SiteStatus], time: float = 0.0) -> None:
+        self._sites = dict(sites)
+        self.time = time
+
+    # -- read access ---------------------------------------------------------
+    @property
+    def site_names(self) -> List[str]:
+        """All site names, in platform registration order."""
+        return list(self._sites)
+
+    @property
+    def sites(self) -> List[SiteStatus]:
+        """All site status records."""
+        return list(self._sites.values())
+
+    def site(self, name: str) -> SiteStatus:
+        """Status of one site (raises :class:`SchedulingError` if unknown)."""
+        try:
+            return self._sites[name]
+        except KeyError:
+            raise SchedulingError(f"unknown site {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sites
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    # -- common queries used by bundled policies ---------------------------------
+    def sites_with_capacity(self, cores: int) -> List[SiteStatus]:
+        """Sites that currently have at least ``cores`` free cores."""
+        return [s for s in self._sites.values() if s.available_cores >= cores]
+
+    def sites_that_fit(self, cores: int) -> List[SiteStatus]:
+        """Sites whose *total* capacity can ever run a ``cores``-core job."""
+        return [s for s in self._sites.values() if s.total_cores >= cores]
+
+    def least_loaded(self, cores: int = 1) -> Optional[SiteStatus]:
+        """The eligible site with the least outstanding work per core.
+
+        The primary key is the capacity-normalised backlog (a drain-time
+        proxy); instantaneous core occupancy and the site name break ties.
+        Ranking by occupancy alone would send every job to whichever site has
+        a few idle cores stuck behind a wide job, starving the rest of the
+        grid.
+        """
+        candidates = self.sites_that_fit(cores)
+        if not candidates:
+            return None
+        return min(
+            candidates, key=lambda s: (s.normalized_backlog, s.load_fraction, s.name)
+        )
+
+    def total_available_cores(self) -> int:
+        """Free cores across the whole grid."""
+        return sum(s.available_cores for s in self._sites.values())
+
+
+class AllocationPolicy(abc.ABC):
+    """Base class every allocation-policy plugin inherits from.
+
+    Subclasses must implement :meth:`assign_job`; the other hooks have
+    sensible no-op defaults.  The simulation core guarantees the following
+    call order:
+
+    1. :meth:`initialize` once, before any job is dispatched, with the static
+       platform description (the ``get_resource_information`` equivalent).
+    2. :meth:`assign_job` for every job the main server tries to place
+       (including re-tries of pending jobs), with a fresh
+       :class:`ResourceView`.
+    3. :meth:`on_job_finished` whenever a job reaches a terminal state.
+    4. :meth:`finalize` once, when the simulation ends.
+    """
+
+    #: Registry name; filled in by :func:`repro.plugins.registry.register_policy`.
+    name: str = "custom"
+
+    def __init__(self, **options) -> None:
+        #: Free-form options from the execution configuration.
+        self.options = dict(options)
+
+    # -- mandatory hook -------------------------------------------------------
+    @abc.abstractmethod
+    def assign_job(self, job: Job, resources: ResourceView) -> Optional[str]:
+        """Return the name of the site ``job`` should run at.
+
+        Returning ``None`` means "no suitable resource right now"; the main
+        server then parks the job on its pending list and retries later, as
+        described in the paper's workflow.
+        """
+
+    # -- optional hooks ---------------------------------------------------------
+    def initialize(self, platform_description: dict) -> None:
+        """Called once with the static platform description before dispatching."""
+
+    def on_job_finished(self, job: Job) -> None:
+        """Called when a job reaches a terminal state (finished or failed)."""
+
+    def finalize(self) -> None:
+        """Called once when the simulation completes."""
+
+    # -- helpers -------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r} options={self.options}>"

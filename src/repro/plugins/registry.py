@@ -1,0 +1,81 @@
+"""Plugin registry and dynamic loading.
+
+Bundled policies register themselves by name; user plugins are referenced
+from the execution configuration as ``"package.module:ClassName"`` and loaded
+dynamically -- the Python analogue of CGSim loading a user-built shared
+library given in the input configuration.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, List, Type
+
+from repro.plugins.base import AllocationPolicy
+from repro.utils.errors import SchedulingError
+
+__all__ = ["register_policy", "create_policy", "load_policy_class", "available_policies"]
+
+_REGISTRY: Dict[str, Type[AllocationPolicy]] = {}
+
+
+def register_policy(name: str):
+    """Class decorator registering an :class:`AllocationPolicy` under ``name``.
+
+    >>> @register_policy("my_policy")
+    ... class MyPolicy(AllocationPolicy):
+    ...     def assign_job(self, job, resources):
+    ...         return resources.site_names[0]
+    """
+
+    def decorator(cls: Type[AllocationPolicy]) -> Type[AllocationPolicy]:
+        if not (isinstance(cls, type) and issubclass(cls, AllocationPolicy)):
+            raise SchedulingError(f"{cls!r} is not an AllocationPolicy subclass")
+        if name in _REGISTRY and _REGISTRY[name] is not cls:
+            raise SchedulingError(f"policy name {name!r} already registered")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_policies() -> List[str]:
+    """Names of every registered (bundled or user-registered) policy."""
+    return sorted(_REGISTRY)
+
+
+def load_policy_class(spec: str) -> Type[AllocationPolicy]:
+    """Resolve ``spec`` to a policy class.
+
+    ``spec`` is either a registered name (``"round_robin"``) or a dynamic
+    ``"module.path:ClassName"`` reference to a user plugin.
+    """
+    if spec in _REGISTRY:
+        return _REGISTRY[spec]
+    if ":" in spec:
+        module_name, _, class_name = spec.partition(":")
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise SchedulingError(f"cannot import plugin module {module_name!r}: {exc}") from exc
+        try:
+            cls = getattr(module, class_name)
+        except AttributeError:
+            raise SchedulingError(
+                f"module {module_name!r} has no class {class_name!r}"
+            ) from None
+        if not (isinstance(cls, type) and issubclass(cls, AllocationPolicy)):
+            raise SchedulingError(
+                f"{module_name}:{class_name} is not an AllocationPolicy subclass"
+            )
+        return cls
+    raise SchedulingError(
+        f"unknown policy {spec!r}; available: {available_policies()} "
+        "(or use 'module.path:ClassName')"
+    )
+
+
+def create_policy(spec: str, **options) -> AllocationPolicy:
+    """Instantiate the policy referenced by ``spec`` with ``options``."""
+    return load_policy_class(spec)(**options)

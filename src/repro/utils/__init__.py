@@ -1,0 +1,50 @@
+"""Shared utilities for the CGSim reproduction.
+
+This package contains small, dependency-free helpers used across the whole
+code base:
+
+* :mod:`repro.utils.units` -- parsing and formatting of physical quantities
+  (bandwidth, data sizes, CPU speeds, durations) as they appear in the JSON
+  configuration files.
+* :mod:`repro.utils.rng` -- seeded random-number-generator management so every
+  simulation run is exactly reproducible.
+* :mod:`repro.utils.logging` -- a tiny structured logger used by the
+  simulation core and the monitoring layer.
+* :mod:`repro.utils.errors` -- the exception hierarchy shared by all
+  subpackages.
+"""
+
+from repro.utils.errors import (
+    CGSimError,
+    ConfigurationError,
+    PlatformError,
+    SchedulingError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.utils.rng import RandomSource, spawn_rng
+from repro.utils.units import (
+    format_bytes,
+    format_duration,
+    parse_bandwidth,
+    parse_bytes,
+    parse_duration,
+    parse_frequency,
+)
+
+__all__ = [
+    "CGSimError",
+    "ConfigurationError",
+    "PlatformError",
+    "SchedulingError",
+    "SimulationError",
+    "WorkloadError",
+    "RandomSource",
+    "spawn_rng",
+    "format_bytes",
+    "format_duration",
+    "parse_bandwidth",
+    "parse_bytes",
+    "parse_duration",
+    "parse_frequency",
+]

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the CGSim reproduction.
+
+Every error raised intentionally by this library derives from
+:class:`CGSimError` so callers can catch the whole family with a single
+``except`` clause while still being able to discriminate between
+configuration, platform, workload, scheduling and runtime simulation
+problems.
+"""
+
+from __future__ import annotations
+
+
+class CGSimError(Exception):
+    """Base class for every error raised by the CGSim reproduction."""
+
+
+class ConfigurationError(CGSimError):
+    """Raised when one of the three JSON configuration inputs is invalid.
+
+    The input layer (infrastructure, network topology, execution parameters)
+    validates eagerly at load time so that simulations never start from a
+    half-broken description of the platform.
+    """
+
+
+class PlatformError(CGSimError):
+    """Raised for inconsistent platform definitions or illegal platform use.
+
+    Examples: referencing a host that does not exist, asking for a route
+    between two zones that are not connected, registering two hosts with the
+    same name inside one zone.
+    """
+
+
+class WorkloadError(CGSimError):
+    """Raised when a job record or a workload trace is malformed."""
+
+
+class SchedulingError(CGSimError):
+    """Raised by the scheduling layer and by allocation-policy plugins.
+
+    A plugin returning a site that does not exist, or assigning a job that
+    requires more cores than any site owns, surfaces as a
+    :class:`SchedulingError` rather than silently dropping the job.
+    """
+
+
+class SimulationError(CGSimError):
+    """Raised for violations of the discrete-event simulation contract.
+
+    Examples: scheduling an event in the past, running a simulation whose
+    environment already finished, or re-triggering an event that was already
+    processed.
+    """
+
+
+class CalibrationError(CGSimError):
+    """Raised when a calibration run cannot be carried out.
+
+    Examples: an empty ground-truth trace, a search space with inverted
+    bounds, or an optimizer asked for zero evaluations.
+    """

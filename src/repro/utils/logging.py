@@ -1,0 +1,123 @@
+"""Lightweight structured logging for simulation components.
+
+The simulator emits a *lot* of events; Python's stdlib logging is flexible but
+relatively slow when every call formats a message.  :class:`SimLogger` defers
+formatting until a record is actually emitted, tags every record with the
+current simulation time, and can be silenced wholesale (the default for
+benchmark runs, where logging overhead would distort the scaling figures).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, TextIO
+
+__all__ = ["LogRecord", "SimLogger", "NullLogger", "get_logger"]
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+@dataclass
+class LogRecord:
+    """One structured log record emitted by a simulation component."""
+
+    sim_time: float
+    level: str
+    component: str
+    message: str
+    fields: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Render the record as a single human-readable line."""
+        extra = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        prefix = f"[{self.sim_time:14.3f}] {self.level.upper():7s} {self.component}: {self.message}"
+        return f"{prefix} {extra}".rstrip()
+
+
+class SimLogger:
+    """Structured logger bound to a simulation clock.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current simulation time.  The
+        DES environment's ``now`` property is the usual clock.
+    level:
+        Minimum level emitted (``"debug"``, ``"info"``, ``"warning"``,
+        ``"error"``).
+    stream:
+        Where rendered lines go; ``None`` keeps records in memory only.
+    keep_records:
+        When true (default) emitted records are retained in :attr:`records`
+        so tests and the dashboard can inspect them.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        level: str = "warning",
+        stream: Optional[TextIO] = None,
+        keep_records: bool = True,
+    ) -> None:
+        if level not in _LEVELS:
+            raise ValueError(f"unknown log level {level!r}")
+        self._clock = clock or (lambda: 0.0)
+        self.level = level
+        self.stream = stream
+        self.keep_records = keep_records
+        self.records: List[LogRecord] = []
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach (or replace) the simulation clock callable."""
+        self._clock = clock
+
+    def _log(self, level: str, component: str, message: str, **fields: Any) -> None:
+        if _LEVELS[level] < _LEVELS[self.level]:
+            return
+        record = LogRecord(self._clock(), level, component, message, fields)
+        if self.keep_records:
+            self.records.append(record)
+        if self.stream is not None:
+            print(record.render(), file=self.stream)
+
+    def debug(self, component: str, message: str, **fields: Any) -> None:
+        """Emit a debug-level record."""
+        self._log("debug", component, message, **fields)
+
+    def info(self, component: str, message: str, **fields: Any) -> None:
+        """Emit an info-level record."""
+        self._log("info", component, message, **fields)
+
+    def warning(self, component: str, message: str, **fields: Any) -> None:
+        """Emit a warning-level record."""
+        self._log("warning", component, message, **fields)
+
+    def error(self, component: str, message: str, **fields: Any) -> None:
+        """Emit an error-level record."""
+        self._log("error", component, message, **fields)
+
+    def clear(self) -> None:
+        """Drop all retained records."""
+        self.records.clear()
+
+
+class NullLogger(SimLogger):
+    """A logger that drops everything; used by the benchmark harness."""
+
+    def __init__(self) -> None:
+        super().__init__(clock=lambda: 0.0, level="error", stream=None, keep_records=False)
+
+    def _log(self, level: str, component: str, message: str, **fields: Any) -> None:  # noqa: D102
+        return
+
+
+def get_logger(verbose: bool = False, stream: Optional[TextIO] = None) -> SimLogger:
+    """Create a logger suitable for CLI/example use.
+
+    ``verbose=True`` lowers the threshold to ``info`` and defaults the output
+    stream to ``sys.stderr``.
+    """
+    if verbose:
+        return SimLogger(level="info", stream=stream or sys.stderr)
+    return SimLogger(level="warning", stream=stream)

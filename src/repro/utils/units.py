@@ -1,0 +1,195 @@
+"""Parsing and formatting of physical quantities used in configuration files.
+
+The CGSim input layer describes platforms with human-friendly strings such as
+``"10Gbps"``, ``"2.5GHz"``, ``"64GiB"`` or ``"15min"``.  This module converts
+those strings to canonical SI floats (bytes, bytes/second, operations/second,
+seconds) and back again for reporting.
+
+All parsers accept either a plain number (already in canonical units) or a
+string with an optional unit suffix.  Parsing is case-insensitive for the SI
+prefix but distinguishes bits (``b``) from bytes (``B``) in bandwidth and size
+strings, matching the convention used by SimGrid platform files.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Union
+
+from repro.utils.errors import ConfigurationError
+
+Number = Union[int, float]
+
+#: Decimal SI prefixes (used for bandwidth, frequency and decimal sizes).
+_SI_PREFIXES = {
+    "": 1.0,
+    "k": 1e3,
+    "m": 1e6,
+    "g": 1e9,
+    "t": 1e12,
+    "p": 1e15,
+}
+
+#: Binary prefixes (used for memory / storage sizes such as ``GiB``).
+_BINARY_PREFIXES = {
+    "ki": 2**10,
+    "mi": 2**20,
+    "gi": 2**30,
+    "ti": 2**40,
+    "pi": 2**50,
+}
+
+_DURATION_SUFFIXES = {
+    "ns": 1e-9,
+    "us": 1e-6,
+    "ms": 1e-3,
+    "s": 1.0,
+    "sec": 1.0,
+    "secs": 1.0,
+    "second": 1.0,
+    "seconds": 1.0,
+    "m": 60.0,
+    "min": 60.0,
+    "mins": 60.0,
+    "minute": 60.0,
+    "minutes": 60.0,
+    "h": 3600.0,
+    "hr": 3600.0,
+    "hour": 3600.0,
+    "hours": 3600.0,
+    "d": 86400.0,
+    "day": 86400.0,
+    "days": 86400.0,
+    "w": 604800.0,
+    "week": 604800.0,
+    "weeks": 604800.0,
+}
+
+_NUMBER_RE = re.compile(r"^\s*([-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)\s*([a-zA-Z/]*)\s*$")
+
+
+def _split(value: Union[str, Number], what: str) -> tuple[float, str]:
+    """Split ``value`` into a numeric magnitude and a (possibly empty) unit."""
+    if isinstance(value, (int, float)):
+        return float(value), ""
+    match = _NUMBER_RE.match(str(value))
+    if not match:
+        raise ConfigurationError(f"cannot parse {what} value {value!r}")
+    return float(match.group(1)), match.group(2)
+
+
+def parse_bytes(value: Union[str, Number]) -> float:
+    """Parse a data size into bytes.
+
+    Accepts plain numbers (bytes), decimal suffixes (``kB``, ``MB``, ``GB``,
+    ``TB``, ``PB``), binary suffixes (``KiB`` .. ``PiB``) and bit suffixes
+    (``kb``/``Mb``/... interpreted as bits, divided by 8).
+
+    >>> parse_bytes("1kB")
+    1000.0
+    >>> parse_bytes("1KiB")
+    1024.0
+    """
+    magnitude, unit = _split(value, "size")
+    if not unit:
+        return magnitude
+    unit_l = unit.lower()
+    # A bare "B" is bytes, a bare "b" is bits (the usual networking convention).
+    if unit == "B" or unit_l in ("byte", "bytes"):
+        return magnitude
+    if unit == "b" or unit_l in ("bit", "bits"):
+        return magnitude / 8.0
+    # Binary prefixes: KiB, MiB ...
+    if unit_l.endswith("ib") and unit_l[:-1] in _BINARY_PREFIXES:
+        return magnitude * _BINARY_PREFIXES[unit_l[:-1]]
+    # Decimal prefixes: the final letter decides bit vs byte.
+    prefix, last = unit_l[:-1], unit[-1]
+    if prefix in _SI_PREFIXES:
+        scale = _SI_PREFIXES[prefix]
+        if last == "B":
+            return magnitude * scale
+        if last == "b":
+            return magnitude * scale / 8.0
+    raise ConfigurationError(f"unknown size unit {unit!r} in {value!r}")
+
+
+def parse_bandwidth(value: Union[str, Number]) -> float:
+    """Parse a bandwidth into bytes per second.
+
+    Accepts ``bps``/``Bps`` style strings: ``"10Gbps"`` (bits/s) or
+    ``"1.25GBps"`` (bytes/s).  A trailing ``/s`` is also accepted
+    (``"10GB/s"``).  Plain numbers are already bytes/second.
+
+    >>> parse_bandwidth("8bps")
+    1.0
+    >>> parse_bandwidth("10Gbps")
+    1250000000.0
+    """
+    magnitude, unit = _split(value, "bandwidth")
+    if not unit:
+        return magnitude
+    unit = unit.replace("/s", "ps") if unit.endswith("/s") else unit
+    if not unit.lower().endswith("ps"):
+        raise ConfigurationError(f"bandwidth {value!r} must end in 'ps' or '/s'")
+    return parse_bytes(f"{magnitude}{unit[:-2]}")
+
+
+def parse_frequency(value: Union[str, Number]) -> float:
+    """Parse a compute speed into operations (flop) per second.
+
+    Accepts ``Hz`` (``"2.5GHz"``), ``flops``/``f`` (``"10Gf"``, ``"1Tflops"``)
+    or plain numbers already in operations/second.
+
+    >>> parse_frequency("2.5GHz")
+    2500000000.0
+    """
+    magnitude, unit = _split(value, "frequency")
+    if not unit:
+        return magnitude
+    unit_l = unit.lower()
+    for suffix in ("flops", "flop", "hz", "f"):
+        if unit_l.endswith(suffix):
+            prefix = unit_l[: -len(suffix)]
+            if prefix in _SI_PREFIXES:
+                return magnitude * _SI_PREFIXES[prefix]
+    raise ConfigurationError(f"unknown speed unit {unit!r} in {value!r}")
+
+
+def parse_duration(value: Union[str, Number]) -> float:
+    """Parse a duration into seconds.
+
+    Accepts suffixes from nanoseconds to weeks, e.g. ``"15min"``, ``"2h"``,
+    ``"300"`` (seconds), ``"500ms"``.
+
+    >>> parse_duration("2h")
+    7200.0
+    """
+    magnitude, unit = _split(value, "duration")
+    if not unit:
+        return magnitude
+    unit_l = unit.lower()
+    if unit_l in _DURATION_SUFFIXES:
+        return magnitude * _DURATION_SUFFIXES[unit_l]
+    raise ConfigurationError(f"unknown duration unit {unit!r} in {value!r}")
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Format a byte count using decimal SI units, e.g. ``format_bytes(2e9) == '2.00 GB'``."""
+    magnitude = float(num_bytes)
+    for suffix, scale in (("PB", 1e15), ("TB", 1e12), ("GB", 1e9), ("MB", 1e6), ("kB", 1e3)):
+        if abs(magnitude) >= scale:
+            return f"{magnitude / scale:.2f} {suffix}"
+    return f"{magnitude:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Format a duration as ``DDd HH:MM:SS`` (days omitted when zero)."""
+    seconds = float(seconds)
+    sign = "-" if seconds < 0 else ""
+    seconds = abs(seconds)
+    days, rem = divmod(seconds, 86400)
+    hours, rem = divmod(rem, 3600)
+    minutes, secs = divmod(rem, 60)
+    if days >= 1:
+        return f"{sign}{int(days)}d {int(hours):02d}:{int(minutes):02d}:{secs:05.2f}"
+    return f"{sign}{int(hours):02d}:{int(minutes):02d}:{secs:05.2f}"

@@ -1,0 +1,54 @@
+"""HEPScore23-like per-site benchmark scores.
+
+The paper configures the ATLAS grid topology in CGSim "using site
+configuration parameters derived from HEPScore23 benchmarking data of WLCG
+computing centers".  HEPScore23 is a CPU benchmark whose per-core score
+varies by roughly a factor of three across WLCG sites depending on processor
+generation.  The real per-site table is not public in a machine-readable
+form, so this module provides a deterministic synthetic equivalent with the
+same spread: per-core scores between ~10 and ~35 HS23, converted to the
+simulator's operations-per-second unit with a fixed scale.
+
+The mapping is deterministic per site name, so re-building a platform always
+yields the same speeds -- which the calibration experiments rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List
+
+__all__ = ["hepscore_speed", "site_benchmark_table", "HS23_TO_OPS"]
+
+#: Conversion factor from one HS23 point to simulated operations/second.
+#: The absolute value is arbitrary (work is expressed in the same unit); what
+#: matters is that relative site speeds follow the benchmark spread.
+HS23_TO_OPS = 1e9
+
+#: Published-order-of-magnitude spread of per-core HS23 scores across WLCG.
+_MIN_SCORE = 10.0
+_MAX_SCORE = 35.0
+
+
+def _site_fraction(site_name: str) -> float:
+    """Stable pseudo-random fraction in [0, 1) derived from the site name."""
+    digest = hashlib.sha256(site_name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def hepscore_speed(site_name: str) -> float:
+    """Per-core speed (operations/second) for ``site_name``.
+
+    Deterministic in the site name; spans the HS23 per-core range scaled by
+    :data:`HS23_TO_OPS`.
+    """
+    score = _MIN_SCORE + (_MAX_SCORE - _MIN_SCORE) * _site_fraction(site_name)
+    return score * HS23_TO_OPS
+
+
+def site_benchmark_table(site_names: Iterable[str]) -> Dict[str, float]:
+    """HS23-like per-core scores (not converted) for a collection of sites."""
+    return {
+        name: _MIN_SCORE + (_MAX_SCORE - _MIN_SCORE) * _site_fraction(name)
+        for name in site_names
+    }

@@ -1,0 +1,132 @@
+"""Trace readers and writers.
+
+A *trace* is a list of job records -- either historical (PanDA-like, with
+ground-truth walltime/queue-time and the production site assignment) or
+synthetic.  Traces are stored as CSV (the common interchange format for the
+preprocessed PanDA records the paper uses) or JSON; both round-trip through
+:class:`~repro.workload.job.Job` objects.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.utils.errors import WorkloadError
+from repro.workload.job import Job
+
+__all__ = ["records_from_jobs", "jobs_from_records", "save_trace", "load_trace"]
+
+PathLike = Union[str, Path]
+
+#: Static job fields written to trace files (dynamic state is not persisted).
+_TRACE_FIELDS = [
+    "job_id",
+    "task_id",
+    "work",
+    "cores",
+    "memory",
+    "submission_time",
+    "input_files",
+    "output_files",
+    "input_size",
+    "output_size",
+    "target_site",
+    "true_walltime",
+    "true_queue_time",
+]
+
+_FLOAT_FIELDS = {
+    "work",
+    "memory",
+    "submission_time",
+    "input_size",
+    "output_size",
+    "true_walltime",
+    "true_queue_time",
+}
+_INT_FIELDS = {"job_id", "task_id", "cores", "input_files", "output_files"}
+
+
+def records_from_jobs(jobs: Iterable[Job]) -> List[dict]:
+    """Convert jobs into plain trace records (static fields only)."""
+    records = []
+    for job in jobs:
+        full = job.to_record()
+        records.append({key: full[key] for key in _TRACE_FIELDS})
+    return records
+
+
+def _coerce(key: str, value):
+    if value in (None, "", "None"):
+        return None
+    if key in _INT_FIELDS:
+        return int(float(value))
+    if key in _FLOAT_FIELDS:
+        return float(value)
+    return value
+
+
+def jobs_from_records(records: Iterable[dict]) -> List[Job]:
+    """Build :class:`Job` objects from plain trace records."""
+    jobs = []
+    for index, record in enumerate(records):
+        unknown = set(record) - set(_TRACE_FIELDS)
+        if unknown:
+            raise WorkloadError(f"trace record {index}: unknown fields {sorted(unknown)}")
+        if "work" not in record:
+            raise WorkloadError(f"trace record {index}: missing required field 'work'")
+        kwargs = {key: _coerce(key, value) for key, value in record.items()}
+        # Optional integer fields default rather than pass None where invalid.
+        if kwargs.get("cores") is None:
+            kwargs["cores"] = 1
+        for field_name in ("input_files", "output_files"):
+            if kwargs.get(field_name) is None:
+                kwargs[field_name] = 0
+        for field_name in ("memory", "submission_time", "input_size", "output_size"):
+            if field_name in kwargs and kwargs[field_name] is None:
+                kwargs.pop(field_name)
+        jobs.append(Job(**kwargs))
+    return jobs
+
+
+def save_trace(jobs: Iterable[Job], path: PathLike, fmt: Optional[str] = None) -> Path:
+    """Write ``jobs`` to ``path`` as CSV or JSON (derived from the extension)."""
+    path = Path(path)
+    fmt = fmt or ("json" if path.suffix.lower() == ".json" else "csv")
+    records = records_from_jobs(jobs)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if fmt == "json":
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump({"jobs": records}, handle, indent=2)
+            handle.write("\n")
+    elif fmt == "csv":
+        with path.open("w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=_TRACE_FIELDS)
+            writer.writeheader()
+            for record in records:
+                writer.writerow(record)
+    else:
+        raise WorkloadError(f"unknown trace format {fmt!r}")
+    return path
+
+
+def load_trace(path: PathLike, fmt: Optional[str] = None) -> List[Job]:
+    """Read a trace file written by :func:`save_trace` (CSV or JSON)."""
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadError(f"trace file not found: {path}")
+    fmt = fmt or ("json" if path.suffix.lower() == ".json" else "csv")
+    if fmt == "json":
+        with path.open("r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict) or "jobs" not in data:
+            raise WorkloadError(f"trace {path} must contain a top-level 'jobs' list")
+        return jobs_from_records(data["jobs"])
+    if fmt == "csv":
+        with path.open("r", encoding="utf-8", newline="") as handle:
+            reader = csv.DictReader(handle)
+            return jobs_from_records(list(reader))
+    raise WorkloadError(f"unknown trace format {fmt!r}")

@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.execution import ExecutionConfig, MonitoringConfig
+from repro.config.generators import generate_grid
+from repro.config.infrastructure import InfrastructureConfig, SiteConfig
+from repro.config.topology import LinkConfig, TopologyConfig
+from repro.des import Environment
+from repro.workload.generator import SyntheticWorkloadGenerator, WorkloadSpec
+from repro.workload.job import Job
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh discrete-event environment."""
+    return Environment()
+
+
+@pytest.fixture
+def small_infrastructure() -> InfrastructureConfig:
+    """Three small heterogeneous sites (fast, medium, slow)."""
+    return InfrastructureConfig(
+        sites=[
+            SiteConfig(name="FAST", cores=64, core_speed=2e10, hosts=2),
+            SiteConfig(name="MED", cores=32, core_speed=1e10, hosts=1),
+            SiteConfig(name="SLOW", cores=16, core_speed=5e9, hosts=1),
+        ]
+    )
+
+
+@pytest.fixture
+def small_topology(small_infrastructure) -> TopologyConfig:
+    """Star topology around the main server plus one inter-site link."""
+    return TopologyConfig(
+        links=[
+            LinkConfig(
+                name="FAST--MED",
+                source="FAST",
+                destination="MED",
+                bandwidth=1.25e9,
+                latency=0.01,
+            )
+        ]
+    )
+
+
+@pytest.fixture
+def quiet_execution() -> ExecutionConfig:
+    """Execution config with snapshots disabled (fast tests)."""
+    return ExecutionConfig(
+        plugin="least_loaded",
+        monitoring=MonitoringConfig(snapshot_interval=0.0),
+        pending_retry_interval=30.0,
+    )
+
+
+@pytest.fixture
+def workload_generator(small_infrastructure) -> SyntheticWorkloadGenerator:
+    """Deterministic synthetic workload generator over the small grid."""
+    return SyntheticWorkloadGenerator(
+        small_infrastructure,
+        spec=WorkloadSpec(walltime_median=600.0, walltime_sigma=0.4),
+        seed=42,
+    )
+
+
+@pytest.fixture
+def small_jobs(workload_generator) -> list[Job]:
+    """Fifty synthetic jobs spread over the small grid."""
+    return workload_generator.generate(50)
+
+
+def make_job(**kwargs) -> Job:
+    """Convenience job factory used across test modules."""
+    defaults = dict(work=1e12, cores=1, submission_time=0.0)
+    defaults.update(kwargs)
+    return Job(**defaults)

@@ -1,0 +1,123 @@
+"""Tests for the analysis helpers (repro.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ScalingFit,
+    bootstrap_ci,
+    fit_power_law,
+    format_table,
+    geometric_mean,
+    linearity_score,
+    metrics_table,
+    site_table,
+    speedup,
+)
+from repro.core.metrics import compute_metrics
+from repro.utils.errors import CGSimError
+from repro.workload.job import Job, JobState
+
+
+class TestStats:
+    def test_bootstrap_ci_brackets_the_mean(self):
+        values = [10.0] * 50
+        point, low, high = bootstrap_ci(values, seed=1)
+        assert point == pytest.approx(10.0)
+        assert low == pytest.approx(10.0)
+        assert high == pytest.approx(10.0)
+
+    def test_bootstrap_ci_widens_with_variance(self):
+        rng = np.random.default_rng(0)
+        values = list(rng.normal(100, 20, size=200))
+        point, low, high = bootstrap_ci(values, seed=2)
+        assert low < point < high
+        assert high - low < 20  # CI of the mean is much tighter than the spread
+
+    def test_bootstrap_invalid_inputs(self):
+        with pytest.raises(CGSimError):
+            bootstrap_ci([])
+        with pytest.raises(CGSimError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+    def test_speedup(self):
+        assert speedup(60.0, 10.0) == pytest.approx(6.0)
+        with pytest.raises(CGSimError):
+            speedup(10.0, 0.0)
+        with pytest.raises(CGSimError):
+            speedup(-1.0, 1.0)
+
+    def test_geometric_mean_reexported(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+
+class TestScaling:
+    def test_fit_recovers_linear_exponent(self):
+        sizes = [1, 2, 5, 10, 20, 50]
+        runtimes = [3.0 * s for s in sizes]
+        fit = fit_power_law(sizes, runtimes)
+        assert fit.exponent == pytest.approx(1.0, abs=1e-6)
+        assert fit.prefactor == pytest.approx(3.0, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.is_near_linear
+        assert fit.is_subquadratic
+
+    def test_fit_recovers_quadratic_exponent(self):
+        sizes = [1, 2, 4, 8, 16]
+        runtimes = [0.5 * s**2 for s in sizes]
+        fit = fit_power_law(sizes, runtimes)
+        assert fit.exponent == pytest.approx(2.0, abs=1e-6)
+        assert not fit.is_subquadratic
+        assert not fit.is_near_linear
+
+    def test_predict(self):
+        fit = ScalingFit(prefactor=2.0, exponent=1.5, r_squared=1.0)
+        assert fit.predict(4.0) == pytest.approx(2.0 * 8.0)
+
+    def test_fit_input_validation(self):
+        with pytest.raises(CGSimError):
+            fit_power_law([1.0], [1.0])
+        with pytest.raises(CGSimError):
+            fit_power_law([1.0, 2.0], [0.0, 1.0])
+        with pytest.raises(CGSimError):
+            fit_power_law([1.0, 2.0], [1.0])
+
+    def test_linearity_score_high_for_linear_data(self):
+        sizes = [1, 2, 3, 4, 5]
+        assert linearity_score(sizes, [2 * s + 1 for s in sizes]) == pytest.approx(1.0)
+
+    def test_linearity_score_lower_for_quadratic_data(self):
+        sizes = list(range(1, 30))
+        quadratic = [s**2 for s in sizes]
+        assert linearity_score(sizes, quadratic) < 0.97
+
+
+class TestReporting:
+    def test_format_table_alignment_and_content(self):
+        rows = [{"name": "a", "value": 1.5}, {"name": "bb", "value": 22.25}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "bb" in lines[3]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_format_table_handles_nan_and_large_numbers(self):
+        text = format_table([{"x": float("nan"), "y": 1e9}])
+        assert "nan" in text
+        assert "e+09" in text
+
+    def test_metrics_and_site_tables(self):
+        job = Job(work=1)
+        job.advance(JobState.ASSIGNED, 0.0, site="BNL")
+        job.advance(JobState.RUNNING, 1.0)
+        job.advance(JobState.FINISHED, 11.0)
+        metrics = compute_metrics([job])
+        assert "finished" in metrics_table(metrics)
+        assert "BNL" in site_table(metrics)
+
+    def test_site_table_empty(self):
+        metrics = compute_metrics([])
+        assert site_table(metrics) == "(no per-site data)"

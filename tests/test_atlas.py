@@ -1,0 +1,179 @@
+"""Tests for the ATLAS/WLCG case-study builders (repro.atlas)."""
+
+import pytest
+
+from repro.atlas import (
+    PandaWorkloadModel,
+    RucioCatalog,
+    WLCG_SITES,
+    build_wlcg_infrastructure,
+    build_wlcg_topology,
+    wlcg_grid,
+)
+from repro.atlas.sites_data import site_spec, sites_by_tier
+from repro.config.execution import ExecutionConfig, MonitoringConfig
+from repro.core.data_manager import DataManager
+from repro.des import Environment
+from repro.platform.builder import build_platform
+from repro.utils.errors import ConfigurationError, SchedulingError, WorkloadError
+from repro.workload.job import JobState
+
+
+class TestSiteCatalogue:
+    def test_catalogue_size_and_structure(self):
+        assert len(WLCG_SITES) >= 50
+        assert len(sites_by_tier(0)) == 1
+        assert len(sites_by_tier(1)) >= 8
+        assert len(sites_by_tier(2)) >= 30
+
+    def test_paper_table1_sites_present(self):
+        for name in ("DESY-ZN", "LRZ-LMU", "BNL", "CERN"):
+            assert site_spec(name) is not None
+
+    def test_unique_names(self):
+        names = [s.name for s in WLCG_SITES]
+        assert len(names) == len(set(names))
+
+    def test_core_counts_in_realistic_range(self):
+        assert all(100 <= s.cores <= 2500 for s in WLCG_SITES)
+
+    def test_unknown_site_spec_is_none(self):
+        assert site_spec("NOT-A-SITE") is None
+
+
+class TestWLCGBuilders:
+    def test_infrastructure_uses_catalogue(self):
+        infra = build_wlcg_infrastructure(site_count=10)
+        assert len(infra) == 10
+        assert infra.site_names[0] == "CERN"
+        assert all(s.core_speed > 0 for s in infra.sites)
+        assert all("tier" in s.properties for s in infra.sites)
+
+    def test_site_count_bounds(self):
+        with pytest.raises(ConfigurationError):
+            build_wlcg_infrastructure(site_count=0)
+        with pytest.raises(ConfigurationError):
+            build_wlcg_infrastructure(site_count=len(WLCG_SITES) + 1)
+
+    def test_topology_is_tiered_and_connected(self):
+        infra, topo = wlcg_grid(site_count=25)
+        env = Environment()
+        platform = build_platform(env, infra, topo)
+        platform.validate()
+        # Tier-1s connect straight to CERN.
+        t1_links = [l for l in topo.links if l.source == "CERN"]
+        assert len(t1_links) >= 5
+        assert topo.server_zone == "panda-server"
+
+    def test_full_catalogue_grid_builds(self):
+        infra, topo = wlcg_grid()
+        env = Environment()
+        platform = build_platform(env, infra, topo)
+        assert len(platform.zone_names) == len(WLCG_SITES) + 1
+
+    def test_walltime_overhead_propagates(self):
+        infra = build_wlcg_infrastructure(site_count=3, walltime_overhead=30.0)
+        assert all(s.walltime_overhead == 30.0 for s in infra.sites)
+
+
+class TestPandaWorkloadModel:
+    def test_trace_generation_and_task_grouping(self):
+        infra, _topo = wlcg_grid(site_count=8)
+        model = PandaWorkloadModel(infra, seed=1, mean_task_size=5.0)
+        trace = model.generate_trace(200)
+        assert len(trace) == 200
+        task_ids = {j.task_id for j in trace}
+        assert all(t is not None for t in task_ids)
+        assert 1 < len(task_ids) < 200  # grouped, but more than one task
+
+    def test_trace_is_deterministic(self):
+        infra, _topo = wlcg_grid(site_count=5)
+        a = PandaWorkloadModel(infra, seed=3).generate_trace(50)
+        b = PandaWorkloadModel(infra, seed=3).generate_trace(50)
+        assert [j.work for j in a] == [j.work for j in b]
+        assert [j.task_id for j in a] == [j.task_id for j in b]
+
+    def test_replay_follow_trace_finishes_all_jobs(self):
+        infra, topo = wlcg_grid(site_count=5)
+        model = PandaWorkloadModel(infra, seed=2)
+        trace = model.generate_trace(60)
+        result = model.replay(trace, topology=topo, follow_trace=True)
+        assert result.metrics.finished_jobs == 60
+        for job in result.jobs:
+            assert job.assigned_site == job.target_site
+
+    def test_replay_with_dispatcher_rebrokers(self):
+        infra, topo = wlcg_grid(site_count=5)
+        model = PandaWorkloadModel(infra, seed=2)
+        trace = model.generate_trace(60)
+        result = model.replay(trace, topology=topo, follow_trace=False)
+        assert result.metrics.finished_jobs == 60
+
+    def test_true_speeds_cover_all_sites(self):
+        infra, _topo = wlcg_grid(site_count=6)
+        model = PandaWorkloadModel(infra, seed=0)
+        speeds = model.true_speeds()
+        assert set(speeds) == set(infra.site_names)
+        assert all(v > 0 for v in speeds.values())
+
+    def test_invalid_task_size(self):
+        infra, _topo = wlcg_grid(site_count=3)
+        with pytest.raises(WorkloadError):
+            PandaWorkloadModel(infra, mean_task_size=0.5)
+
+    def test_site_trace_targets_one_site(self):
+        infra, _topo = wlcg_grid(site_count=4)
+        model = PandaWorkloadModel(infra, seed=0)
+        jobs = model.generate_site_trace("BNL", 20)
+        assert all(j.target_site == "BNL" for j in jobs)
+
+
+class TestRucioCatalog:
+    def build_catalog(self, site_count=4, seed=0):
+        infra, topo = wlcg_grid(site_count=site_count)
+        env = Environment()
+        platform = build_platform(env, infra, topo)
+        dm = DataManager(env, platform)
+        return RucioCatalog(dm, seed=seed), infra, env
+
+    def test_place_datasets_with_replication(self):
+        catalog, infra, _env = self.build_catalog()
+        placement = catalog.place_datasets(
+            {"data1": 1e9, "data2": 2e9}, infra.site_names, replication_factor=2
+        )
+        assert set(placement) == {"data1", "data2"}
+        for sites in placement.values():
+            assert len(sites) == 2
+            assert len(set(sites)) == 2
+        assert catalog.replica_sites("data1") == sorted(placement["data1"])
+        assert catalog.total_replicated_bytes() == pytest.approx(2 * (1e9 + 2e9))
+
+    def test_placement_is_deterministic(self):
+        a, infra, _ = self.build_catalog(seed=5)
+        b, _infra2, _ = self.build_catalog(seed=5)
+        pa = a.place_datasets({"d": 1.0}, infra.site_names, replication_factor=2)
+        pb = b.place_datasets({"d": 1.0}, infra.site_names, replication_factor=2)
+        assert pa == pb
+
+    def test_attach_datasets_round_robin(self):
+        catalog, infra, _env = self.build_catalog()
+        catalog.place_datasets({"a": 1.0, "b": 1.0}, infra.site_names)
+        from repro.workload.job import Job
+
+        jobs = [Job(work=1) for _ in range(4)]
+        catalog.attach_datasets_to_jobs(jobs)
+        assert [j.attributes["dataset"] for j in jobs] == ["a", "b", "a", "b"]
+
+    def test_attach_without_datasets_raises(self):
+        catalog, _infra, _env = self.build_catalog()
+        from repro.workload.job import Job
+
+        with pytest.raises(SchedulingError):
+            catalog.attach_datasets_to_jobs([Job(work=1)])
+
+    def test_invalid_replication_factor(self):
+        catalog, infra, _env = self.build_catalog()
+        with pytest.raises(SchedulingError):
+            catalog.place_datasets({"d": 1.0}, infra.site_names, replication_factor=0)
+        with pytest.raises(SchedulingError):
+            catalog.place_datasets({"d": 1.0}, [], replication_factor=1)

@@ -1,0 +1,251 @@
+"""Tests for the site/grid calibration loops, sensitivity analysis and queue model."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import (
+    GridCalibrator,
+    QueueTimeModel,
+    SensitivityAnalysis,
+    SiteCalibrator,
+)
+from repro.config.infrastructure import InfrastructureConfig, SiteConfig
+from repro.utils.errors import CalibrationError
+from repro.workload.generator import SyntheticWorkloadGenerator, WorkloadSpec
+from repro.workload.job import Job
+
+
+@pytest.fixture
+def miscalibrated_setup():
+    """One site whose nominal speed is half its true speed, plus its trace."""
+    site = SiteConfig(name="SITE", cores=64, core_speed=1e10, hosts=1)
+    infrastructure = InfrastructureConfig(sites=[site])
+    generator = SyntheticWorkloadGenerator(
+        infrastructure,
+        spec=WorkloadSpec(walltime_median=3600.0, walltime_noise_sigma=0.1),
+        seed=11,
+        true_speed_bias={"SITE": 2.0},  # true speed = 2x nominal
+    )
+    jobs = generator.generate_for_site("SITE", 60)
+    return site, infrastructure, generator, jobs
+
+
+class TestSiteCalibrator:
+    def test_analytic_calibration_recovers_true_speed(self, miscalibrated_setup):
+        site, _infra, generator, jobs = miscalibrated_setup
+        calibrator = SiteCalibrator(site, jobs, optimizer="random", budget=60, seed=1)
+        result = calibrator.calibrate()
+        true_speed = generator.true_core_speed("SITE")
+        assert result.error_before["overall"] > 0.5
+        assert result.error_after["overall"] < result.error_before["overall"]
+        assert result.calibrated_speed == pytest.approx(true_speed, rel=0.25)
+
+    def test_simulate_mode_agrees_with_analytic_for_uncontended_site(self, miscalibrated_setup):
+        site, _infra, _generator, jobs = miscalibrated_setup
+        # Plenty of cores (64) for a handful of single jobs: both modes should
+        # report (almost) the same error at the nominal speed.
+        few = [j for j in jobs if j.cores == 1][:5]
+        analytic = SiteCalibrator(site, few, mode="analytic").error_for_speed(site.core_speed)
+        simulated = SiteCalibrator(site, few, mode="simulate").error_for_speed(site.core_speed)
+        assert simulated["overall"] == pytest.approx(analytic["overall"], rel=1e-6)
+
+    def test_calibration_never_degrades_the_error(self, miscalibrated_setup):
+        site, _infra, _generator, jobs = miscalibrated_setup
+        # A hopeless optimizer budget of 1 must still not make things worse.
+        calibrator = SiteCalibrator(site, jobs, optimizer="random", budget=1, seed=5)
+        result = calibrator.calibrate()
+        assert result.error_after["overall"] <= result.error_before["overall"] + 1e-12
+
+    def test_error_for_speed_is_minimised_near_truth(self, miscalibrated_setup):
+        site, _infra, generator, jobs = miscalibrated_setup
+        calibrator = SiteCalibrator(site, jobs)
+        truth = generator.true_core_speed("SITE")
+        at_truth = calibrator.error_for_speed(truth)["overall"]
+        away = calibrator.error_for_speed(truth * 2)["overall"]
+        assert at_truth < away
+
+    def test_requires_ground_truth_jobs(self):
+        site = SiteConfig(name="S", cores=4, core_speed=1e9)
+        with pytest.raises(CalibrationError):
+            SiteCalibrator(site, [Job(work=1.0)])  # no true_walltime
+
+    def test_invalid_parameters(self, miscalibrated_setup):
+        site, _infra, _generator, jobs = miscalibrated_setup
+        with pytest.raises(CalibrationError):
+            SiteCalibrator(site, jobs, mode="magic")
+        with pytest.raises(CalibrationError):
+            SiteCalibrator(site, jobs, speed_bounds=(2.0, 1.0))
+        calibrator = SiteCalibrator(site, jobs)
+        with pytest.raises(CalibrationError):
+            calibrator.simulated_walltimes(0.0)
+
+    @pytest.mark.parametrize("optimizer", ["random", "bayesian", "cmaes", "brute_force"])
+    def test_every_optimizer_reduces_error(self, miscalibrated_setup, optimizer):
+        site, _infra, _generator, jobs = miscalibrated_setup
+        calibrator = SiteCalibrator(site, jobs, optimizer=optimizer, budget=25, seed=2)
+        result = calibrator.calibrate()
+        assert result.error_after["overall"] < result.error_before["overall"]
+        assert result.optimizer == optimizer
+
+
+class TestGridCalibrator:
+    def test_grid_calibration_improves_geometric_mean(self, small_infrastructure):
+        generator = SyntheticWorkloadGenerator(
+            small_infrastructure,
+            spec=WorkloadSpec(walltime_median=3600.0),
+            seed=4,
+        )
+        jobs = generator.generate_per_site(40)
+        calibrator = GridCalibrator(
+            small_infrastructure, jobs, optimizer="random", budget=40, seed=0
+        )
+        report = calibrator.calibrate()
+        assert len(report.sites) == 3
+        before = report.geometric_mean_error("before")
+        after = report.geometric_mean_error("after")
+        assert after < before
+        summary = report.summary()
+        assert summary["sites"] == 3
+        assert summary["geomean_after_overall"] == pytest.approx(after)
+
+    def test_calibrated_infrastructure_applies_speeds(self, small_infrastructure):
+        generator = SyntheticWorkloadGenerator(small_infrastructure, seed=4)
+        jobs = generator.generate_per_site(30)
+        calibrator = GridCalibrator(small_infrastructure, jobs, budget=20, seed=0)
+        report = calibrator.calibrate()
+        calibrated = calibrator.calibrated_infrastructure(report)
+        speeds = report.calibrated_speeds()
+        for site in calibrated.sites:
+            assert site.core_speed == pytest.approx(speeds[site.name])
+
+    def test_sites_without_enough_jobs_are_skipped(self, small_infrastructure):
+        generator = SyntheticWorkloadGenerator(small_infrastructure, seed=4)
+        jobs = generator.generate_for_site("FAST", 30)  # only one site covered
+        calibrator = GridCalibrator(small_infrastructure, jobs, budget=10, min_jobs_per_site=5)
+        report = calibrator.calibrate()
+        assert [r.site for r in report.sites] == ["FAST"]
+
+    def test_no_calibratable_site_raises(self, small_infrastructure):
+        with pytest.raises(CalibrationError):
+            GridCalibrator(small_infrastructure, [], budget=10).calibrate()
+
+
+class TestSensitivityAnalysis:
+    @pytest.fixture
+    def site_and_jobs(self, small_infrastructure):
+        generator = SyntheticWorkloadGenerator(
+            small_infrastructure,
+            spec=WorkloadSpec(walltime_median=1800.0, multicore_fraction=0.3),
+            seed=9,
+        )
+        return small_infrastructure.site("MED"), generator.generate_for_site("MED", 40)
+
+    def test_core_speed_is_dominant_parameter(self, site_and_jobs):
+        site, jobs = site_and_jobs
+        analysis = SensitivityAnalysis(site, jobs, factors=(0.5, 1.0, 2.0), mode="simulate")
+        results = analysis.analyze()
+        dominant = SensitivityAnalysis.dominant_parameter(results)
+        assert dominant == "core_speed"
+        by_name = {r.parameter: r for r in results}
+        assert by_name["core_speed"].sensitivity_index > by_name["ram_per_host"].sensitivity_index
+
+    def test_analytic_mode_only_speed_matters(self, site_and_jobs):
+        site, jobs = site_and_jobs
+        analysis = SensitivityAnalysis(site, jobs, factors=(0.5, 1.0, 2.0), mode="analytic")
+        results = {r.parameter: r for r in analysis.analyze()}
+        assert results["core_speed"].sensitivity_index > 0
+        assert results["ram_per_host"].sensitivity_index == pytest.approx(0.0)
+        assert results["local_bandwidth"].sensitivity_index == pytest.approx(0.0)
+
+    def test_unknown_parameter_rejected(self, site_and_jobs):
+        site, jobs = site_and_jobs
+        analysis = SensitivityAnalysis(site, jobs)
+        with pytest.raises(CalibrationError):
+            analysis.analyze(parameters=["gpu_count"])
+
+    def test_invalid_construction(self, site_and_jobs):
+        site, jobs = site_and_jobs
+        with pytest.raises(CalibrationError):
+            SensitivityAnalysis(site, [], mode="simulate")
+        with pytest.raises(CalibrationError):
+            SensitivityAnalysis(site, jobs, factors=(0.0, 1.0))
+        with pytest.raises(CalibrationError):
+            SensitivityAnalysis(site, jobs, mode="guess")
+
+    def test_result_rows(self, site_and_jobs):
+        site, jobs = site_and_jobs
+        results = SensitivityAnalysis(site, jobs, factors=(0.5, 1.0), mode="analytic").analyze(
+            parameters=["core_speed"]
+        )
+        row = results[0].to_row()
+        assert row["parameter"] == "core_speed"
+        assert row["sensitivity_index"] >= 0
+
+
+class TestQueueTimeModel:
+    def make_jobs_with_queue_truth(self, site="S", n=40, alpha=120.0, beta=0.5):
+        """Jobs whose ground-truth queue time follows the linear model exactly."""
+        site_cores = {site: 10}
+        jobs = []
+        for i in range(n):
+            jobs.append(
+                Job(
+                    work=1.0,
+                    job_id=i + 1,
+                    cores=1,
+                    submission_time=float(i * 30),
+                    target_site=site,
+                    true_walltime=600.0,
+                )
+            )
+        features = QueueTimeModel.backlog_features(jobs, site_cores)
+        for job in jobs:
+            job.true_queue_time = alpha + beta * features[int(job.job_id)]
+        return jobs, site_cores
+
+    def test_fit_recovers_linear_parameters(self):
+        jobs, _cores = self.make_jobs_with_queue_truth(alpha=120.0, beta=0.5)
+        infrastructure = InfrastructureConfig(
+            sites=[SiteConfig(name="S", cores=10, core_speed=1e9)]
+        )
+        model = QueueTimeModel.fit(jobs, infrastructure)
+        assert model.alpha["S"] == pytest.approx(120.0, rel=0.05)
+        assert model.beta["S"] == pytest.approx(0.5, rel=0.05)
+        assert model.mean_absolute_error(jobs, infrastructure) < 1.0
+
+    def test_predict_unknown_site_raises(self):
+        jobs, _cores = self.make_jobs_with_queue_truth()
+        infrastructure = InfrastructureConfig(
+            sites=[SiteConfig(name="S", cores=10, core_speed=1e9)]
+        )
+        model = QueueTimeModel.fit(jobs, infrastructure)
+        with pytest.raises(CalibrationError):
+            model.predict("OTHER", 1.0)
+
+    def test_backlog_features_increase_with_congestion(self):
+        site_cores = {"S": 4}
+        jobs = [
+            Job(work=1, job_id=i + 1, submission_time=0.0, target_site="S", true_walltime=1000.0)
+            for i in range(5)
+        ]
+        features = QueueTimeModel.backlog_features(jobs, site_cores)
+        values = [features[i + 1] for i in range(5)]
+        assert values == sorted(values)
+        assert values[0] == 0.0
+        assert values[-1] > 0.0
+
+    def test_fit_requires_queue_truth(self):
+        infrastructure = InfrastructureConfig(
+            sites=[SiteConfig(name="S", cores=10, core_speed=1e9)]
+        )
+        with pytest.raises(CalibrationError):
+            QueueTimeModel.fit([Job(work=1, target_site="S")], infrastructure)
+
+    def test_predictions_are_nonnegative(self):
+        jobs, _cores = self.make_jobs_with_queue_truth(alpha=5.0, beta=0.0)
+        infrastructure = InfrastructureConfig(
+            sites=[SiteConfig(name="S", cores=10, core_speed=1e9)]
+        )
+        model = QueueTimeModel.fit(jobs, infrastructure)
+        predictions = model.predict_jobs(jobs, infrastructure)
+        assert all(v >= 0 for v in predictions.values())

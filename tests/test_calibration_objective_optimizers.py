@@ -1,0 +1,160 @@
+"""Tests for calibration error metrics and the four optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import (
+    BayesianOptimizer,
+    BruteForceOptimizer,
+    CMAESOptimizer,
+    RandomSearchOptimizer,
+    geometric_mean,
+    get_optimizer,
+    relative_errors,
+    relative_mae,
+    walltime_error_by_category,
+)
+from repro.utils.errors import CalibrationError
+from repro.workload.job import Job
+
+
+class TestObjective:
+    def test_relative_mae_basic(self):
+        assert relative_mae([110, 90], [100, 100]) == pytest.approx(0.1)
+
+    def test_relative_mae_perfect(self):
+        assert relative_mae([5, 7], [5, 7]) == 0.0
+
+    def test_relative_errors_skip_nonpositive_truth(self):
+        errors = relative_errors([1.0, 2.0, 3.0], [0.0, 2.0, 6.0])
+        assert errors == pytest.approx([0.0, 0.5])
+
+    def test_relative_errors_mismatched_lengths(self):
+        with pytest.raises(CalibrationError):
+            relative_errors([1.0], [1.0, 2.0])
+
+    def test_relative_errors_all_zero_truth(self):
+        with pytest.raises(CalibrationError):
+            relative_errors([1.0], [0.0])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([4.0, 1.0]) == pytest.approx(2.0)
+        assert geometric_mean([0.76, 0.76]) == pytest.approx(0.76)
+
+    def test_geometric_mean_with_zero_uses_floor(self):
+        assert geometric_mean([0.0, 1.0]) > 0.0
+
+    def test_geometric_mean_rejects_empty_and_negative(self):
+        with pytest.raises(CalibrationError):
+            geometric_mean([])
+        with pytest.raises(CalibrationError):
+            geometric_mean([-1.0])
+
+    def test_walltime_error_by_category_splits_core_counts(self):
+        jobs = [
+            Job(work=1, job_id=1, cores=1, true_walltime=100.0),
+            Job(work=1, job_id=2, cores=8, true_walltime=200.0),
+        ]
+        simulated = {1: 110.0, 2: 300.0}
+        errors = walltime_error_by_category(jobs, simulated)
+        assert errors["single_core"] == pytest.approx(0.1)
+        assert errors["multi_core"] == pytest.approx(0.5)
+        assert errors["overall"] == pytest.approx(0.3)
+
+    def test_walltime_error_missing_category_is_nan(self):
+        jobs = [Job(work=1, job_id=1, cores=1, true_walltime=100.0)]
+        errors = walltime_error_by_category(jobs, {1: 100.0})
+        assert np.isnan(errors["multi_core"])
+        assert errors["single_core"] == 0.0
+
+    def test_walltime_error_uses_job_walltime_when_no_override(self):
+        from repro.workload.job import JobState
+
+        job = Job(work=1, job_id=1, cores=1, true_walltime=100.0)
+        job.advance(JobState.ASSIGNED, 0.0, site="X")
+        job.advance(JobState.RUNNING, 0.0)
+        job.advance(JobState.FINISHED, 150.0)
+        errors = walltime_error_by_category([job])
+        assert errors["overall"] == pytest.approx(0.5)
+
+
+def sphere(x: np.ndarray) -> float:
+    """Simple convex test objective with minimum 0 at the centre (0.3, ...)."""
+    return float(np.sum((x - 0.3) ** 2))
+
+
+BOUNDS_1D = [(-1.0, 1.0)]
+BOUNDS_2D = [(-1.0, 1.0), (-1.0, 1.0)]
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize(
+        "optimizer_cls",
+        [BruteForceOptimizer, RandomSearchOptimizer, BayesianOptimizer, CMAESOptimizer],
+    )
+    def test_respects_budget_and_bounds(self, optimizer_cls):
+        optimizer = optimizer_cls(seed=1)
+        result = optimizer.minimize(sphere, BOUNDS_2D, budget=20)
+        assert result.evaluations <= 20
+        assert len(result.history) == result.evaluations
+        for x, _value in result.history:
+            assert np.all(x >= -1.0 - 1e-9) and np.all(x <= 1.0 + 1e-9)
+
+    @pytest.mark.parametrize(
+        "optimizer_cls",
+        [BruteForceOptimizer, RandomSearchOptimizer, BayesianOptimizer, CMAESOptimizer],
+    )
+    def test_finds_reasonable_minimum_in_1d(self, optimizer_cls):
+        optimizer = optimizer_cls(seed=2)
+        result = optimizer.minimize(sphere, BOUNDS_1D, budget=40)
+        assert result.best_value < 0.05
+        assert abs(result.best_x[0] - 0.3) < 0.3
+
+    def test_best_value_is_minimum_of_history(self):
+        result = RandomSearchOptimizer(seed=0).minimize(sphere, BOUNDS_2D, budget=30)
+        assert result.best_value == pytest.approx(min(v for _x, v in result.history))
+
+    def test_trajectory_is_monotone_nonincreasing(self):
+        result = RandomSearchOptimizer(seed=0).minimize(sphere, BOUNDS_2D, budget=30)
+        trajectory = result.trajectory
+        assert all(b <= a + 1e-12 for a, b in zip(trajectory, trajectory[1:]))
+
+    def test_random_search_is_seeded(self):
+        a = RandomSearchOptimizer(seed=7).minimize(sphere, BOUNDS_2D, budget=15)
+        b = RandomSearchOptimizer(seed=7).minimize(sphere, BOUNDS_2D, budget=15)
+        assert a.best_value == b.best_value
+        assert np.array_equal(a.best_x, b.best_x)
+
+    def test_brute_force_covers_grid_extremes_in_1d(self):
+        result = BruteForceOptimizer().minimize(sphere, BOUNDS_1D, budget=9)
+        xs = sorted(float(x[0]) for x, _v in result.history)
+        assert xs[0] == pytest.approx(-1.0)
+        assert xs[-1] == pytest.approx(1.0)
+
+    def test_bayesian_improves_over_initial_design(self):
+        optimizer = BayesianOptimizer(seed=3, initial_points=5)
+        result = optimizer.minimize(sphere, BOUNDS_2D, budget=30)
+        initial_best = min(v for _x, v in result.history[:5])
+        assert result.best_value <= initial_best
+
+    def test_cmaes_beats_pure_random_on_harder_function(self):
+        def rosenbrock(x):
+            return float((1 - x[0]) ** 2 + 100 * (x[1] - x[0] ** 2) ** 2)
+
+        bounds = [(-2.0, 2.0), (-2.0, 2.0)]
+        cma = CMAESOptimizer(seed=5).minimize(rosenbrock, bounds, budget=120)
+        assert cma.best_value < 5.0
+
+    def test_invalid_budget_and_bounds(self):
+        with pytest.raises(CalibrationError):
+            RandomSearchOptimizer().minimize(sphere, BOUNDS_1D, budget=0)
+        with pytest.raises(CalibrationError):
+            RandomSearchOptimizer().minimize(sphere, [(1.0, -1.0)], budget=5)
+
+    def test_get_optimizer_factory(self):
+        assert isinstance(get_optimizer("random"), RandomSearchOptimizer)
+        assert isinstance(get_optimizer("bayesian"), BayesianOptimizer)
+        assert isinstance(get_optimizer("cmaes"), CMAESOptimizer)
+        assert isinstance(get_optimizer("brute_force"), BruteForceOptimizer)
+        with pytest.raises(CalibrationError):
+            get_optimizer("annealing")

@@ -1,0 +1,181 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.config import load_infrastructure
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestPoliciesCommand:
+    def test_lists_bundled_policies(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "round_robin" in out
+        assert "least_loaded" in out
+
+
+class TestGenerateConfig:
+    def test_synthetic_grid(self, tmp_path, capsys):
+        out_dir = tmp_path / "configs"
+        code = main([
+            "generate-config", "--sites", "4", "--seed", "1",
+            "--output-dir", str(out_dir),
+        ])
+        assert code == 0
+        infra = load_infrastructure(out_dir / "infrastructure.json")
+        assert len(infra) == 4
+        assert (out_dir / "topology.json").exists()
+        assert (out_dir / "execution.json").exists()
+
+    def test_wlcg_grid(self, tmp_path):
+        out_dir = tmp_path / "configs"
+        code = main([
+            "generate-config", "--kind", "wlcg", "--sites", "6",
+            "--output-dir", str(out_dir),
+        ])
+        assert code == 0
+        infra = load_infrastructure(out_dir / "infrastructure.json")
+        assert infra.site_names[0] == "CERN"
+
+
+class TestGenerateTraceAndRun:
+    @pytest.fixture
+    def config_dir(self, tmp_path):
+        out_dir = tmp_path / "configs"
+        main(["generate-config", "--sites", "3", "--output-dir", str(out_dir)])
+        return out_dir
+
+    def test_generate_trace(self, config_dir, tmp_path, capsys):
+        trace_path = tmp_path / "trace.csv"
+        code = main([
+            "generate-trace",
+            "--infrastructure", str(config_dir / "infrastructure.json"),
+            "--jobs", "25",
+            "--output", str(trace_path),
+        ])
+        assert code == 0
+        assert trace_path.exists()
+        assert "25 jobs" in capsys.readouterr().out
+
+    def test_run_simulation(self, config_dir, tmp_path, capsys):
+        trace_path = tmp_path / "trace.csv"
+        main([
+            "generate-trace",
+            "--infrastructure", str(config_dir / "infrastructure.json"),
+            "--jobs", "20",
+            "--output", str(trace_path),
+        ])
+        code = main([
+            "run",
+            "--infrastructure", str(config_dir / "infrastructure.json"),
+            "--topology", str(config_dir / "topology.json"),
+            "--execution", str(config_dir / "execution.json"),
+            "--trace", str(trace_path),
+            "--per-site", "--dashboard",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "finished" in out
+        assert "dashboard" in out.lower()
+
+    def test_calibrate_command(self, config_dir, tmp_path, capsys):
+        trace_path = tmp_path / "trace.csv"
+        main([
+            "generate-trace",
+            "--infrastructure", str(config_dir / "infrastructure.json"),
+            "--jobs", "60",
+            "--output", str(trace_path),
+        ])
+        calibrated_path = tmp_path / "calibrated.json"
+        code = main([
+            "calibrate",
+            "--infrastructure", str(config_dir / "infrastructure.json"),
+            "--trace", str(trace_path),
+            "--budget", "15",
+            "--output", str(calibrated_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "geomean_after_overall" in out
+        assert calibrated_path.exists()
+
+    def test_sensitivity_command(self, config_dir, tmp_path, capsys):
+        trace_path = tmp_path / "trace.csv"
+        main([
+            "generate-trace",
+            "--infrastructure", str(config_dir / "infrastructure.json"),
+            "--jobs", "40",
+            "--output", str(trace_path),
+        ])
+        code = main([
+            "sensitivity",
+            "--infrastructure", str(config_dir / "infrastructure.json"),
+            "--trace", str(trace_path),
+            "--mode", "analytic",
+            "--factors", "0.5,1.0,2.0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dominant parameter" in out
+        assert "core_speed" in out
+
+    def test_compare_policies_command(self, config_dir, tmp_path, capsys):
+        trace_path = tmp_path / "trace.csv"
+        main([
+            "generate-trace",
+            "--infrastructure", str(config_dir / "infrastructure.json"),
+            "--jobs", "30",
+            "--output", str(trace_path),
+        ])
+        code = main([
+            "compare-policies",
+            "--infrastructure", str(config_dir / "infrastructure.json"),
+            "--topology", str(config_dir / "topology.json"),
+            "--trace", str(trace_path),
+            "--policies", "round_robin,least_loaded",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "round_robin" in out and "least_loaded" in out
+        assert "shortest makespan" in out
+
+    def test_compare_policies_rejects_unknown_policy(self, config_dir, tmp_path, capsys):
+        trace_path = tmp_path / "trace.csv"
+        main([
+            "generate-trace",
+            "--infrastructure", str(config_dir / "infrastructure.json"),
+            "--jobs", "10",
+            "--output", str(trace_path),
+        ])
+        code = main([
+            "compare-policies",
+            "--infrastructure", str(config_dir / "infrastructure.json"),
+            "--topology", str(config_dir / "topology.json"),
+            "--trace", str(trace_path),
+            "--policies", "teleport_everything",
+        ])
+        assert code == 1
+        assert "unknown policies" in capsys.readouterr().err
+
+    def test_error_reported_cleanly(self, tmp_path, capsys):
+        code = main([
+            "generate-trace",
+            "--infrastructure", str(tmp_path / "missing.json"),
+            "--jobs", "5",
+            "--output", str(tmp_path / "t.csv"),
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

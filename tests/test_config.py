@@ -1,0 +1,294 @@
+"""Tests for the configuration layer (repro.config)."""
+
+import json
+
+import pytest
+
+from repro.config import (
+    ExecutionConfig,
+    InfrastructureConfig,
+    LinkConfig,
+    MonitoringConfig,
+    OutputConfig,
+    SiteConfig,
+    TopologyConfig,
+    load_execution,
+    load_infrastructure,
+    load_simulation_inputs,
+    load_topology,
+    save_execution,
+    save_infrastructure,
+    save_topology,
+)
+from repro.config.generators import (
+    generate_grid,
+    generate_sites,
+    generate_star_topology,
+    generate_tiered_topology,
+)
+from repro.utils.errors import ConfigurationError
+
+
+class TestSiteConfig:
+    def test_basic_construction(self):
+        site = SiteConfig(name="BNL", cores=1000, core_speed=1e10)
+        assert site.cores == 1000
+        assert site.core_speed == 1e10
+
+    def test_units_are_parsed(self):
+        site = SiteConfig(
+            name="BNL",
+            cores=10,
+            core_speed="10Gf",
+            ram_per_host="64GiB",
+            local_bandwidth="10Gbps",
+        )
+        assert site.core_speed == 1e10
+        assert site.ram_per_host == 64 * 2**30
+        assert site.local_bandwidth == 1.25e9
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SiteConfig(name="", cores=10, core_speed=1e9)
+        with pytest.raises(ConfigurationError):
+            SiteConfig(name="X", cores=0, core_speed=1e9)
+        with pytest.raises(ConfigurationError):
+            SiteConfig(name="X", cores=10, core_speed=0)
+        with pytest.raises(ConfigurationError):
+            SiteConfig(name="X", cores=4, core_speed=1e9, hosts=8)
+        with pytest.raises(ConfigurationError):
+            SiteConfig(name="X", cores=4, core_speed=1e9, walltime_overhead=-1)
+
+    def test_cores_per_host_split(self):
+        site = SiteConfig(name="X", cores=10, core_speed=1e9, hosts=3)
+        split = site.cores_per_host()
+        assert sum(split) == 10
+        assert len(split) == 3
+        assert max(split) - min(split) <= 1
+
+    def test_with_core_speed_returns_modified_copy(self):
+        site = SiteConfig(name="X", cores=10, core_speed=1e9, properties={"tier": "2"})
+        faster = site.with_core_speed(2e9)
+        assert faster.core_speed == 2e9
+        assert site.core_speed == 1e9
+        assert faster.properties == {"tier": "2"}
+
+    def test_dict_roundtrip(self):
+        site = SiteConfig(name="X", cores=10, core_speed=1e9, properties={"tier": "1"})
+        restored = SiteConfig.from_dict(site.to_dict())
+        assert restored == site
+
+    def test_from_dict_rejects_unknown_and_missing_fields(self):
+        with pytest.raises(ConfigurationError):
+            SiteConfig.from_dict({"name": "X", "cores": 1, "core_speed": 1e9, "gpu": 4})
+        with pytest.raises(ConfigurationError):
+            SiteConfig.from_dict({"name": "X"})
+
+
+class TestInfrastructureConfig:
+    def test_duplicate_site_names_rejected(self):
+        site = SiteConfig(name="X", cores=1, core_speed=1e9)
+        with pytest.raises(ConfigurationError):
+            InfrastructureConfig(sites=[site, SiteConfig(name="X", cores=2, core_speed=1e9)])
+
+    def test_lookup_and_totals(self, small_infrastructure):
+        assert small_infrastructure.site("FAST").cores == 64
+        assert small_infrastructure.total_cores == 64 + 32 + 16
+        assert small_infrastructure.site_names == ["FAST", "MED", "SLOW"]
+        with pytest.raises(ConfigurationError):
+            small_infrastructure.site("NOPE")
+
+    def test_subset(self, small_infrastructure):
+        subset = small_infrastructure.subset(["SLOW", "FAST"])
+        assert subset.site_names == ["FAST", "SLOW"]
+        with pytest.raises(ConfigurationError):
+            small_infrastructure.subset(["MISSING"])
+
+    def test_with_core_speeds(self, small_infrastructure):
+        updated = small_infrastructure.with_core_speeds({"MED": 42.0})
+        assert updated.site("MED").core_speed == 42.0
+        assert small_infrastructure.site("MED").core_speed == 1e10
+        with pytest.raises(ConfigurationError):
+            small_infrastructure.with_core_speeds({"MISSING": 1.0})
+
+    def test_dict_roundtrip(self, small_infrastructure):
+        restored = InfrastructureConfig.from_dict(small_infrastructure.to_dict())
+        assert restored.site_names == small_infrastructure.site_names
+
+    def test_from_dict_requires_sites_list(self):
+        with pytest.raises(ConfigurationError):
+            InfrastructureConfig.from_dict({"sites": "nope"})
+
+
+class TestTopologyConfig:
+    def test_link_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinkConfig(name="l", source="A", destination="A", bandwidth=1e9)
+        with pytest.raises(ConfigurationError):
+            LinkConfig(name="l", source="A", destination="B", bandwidth=0)
+        with pytest.raises(ConfigurationError):
+            LinkConfig(name="l", source="A", destination="B", bandwidth=1e9, sharing="x")
+
+    def test_link_units_parsed(self):
+        link = LinkConfig(name="l", source="A", destination="B", bandwidth="10Gbps", latency="20ms")
+        assert link.bandwidth == 1.25e9
+        assert link.latency == 0.02
+
+    def test_duplicate_link_names_rejected(self):
+        link = LinkConfig(name="l", source="A", destination="B", bandwidth=1e9)
+        other = LinkConfig(name="l", source="B", destination="C", bandwidth=1e9)
+        with pytest.raises(ConfigurationError):
+            TopologyConfig(links=[link, other])
+
+    def test_endpoints_and_links_for(self, small_topology):
+        assert small_topology.endpoints() == ["FAST", "MED"]
+        assert len(small_topology.links_for("FAST")) == 1
+        assert small_topology.links_for("SLOW") == []
+
+    def test_dict_roundtrip(self, small_topology):
+        restored = TopologyConfig.from_dict(small_topology.to_dict())
+        assert len(restored.links) == len(small_topology.links)
+        assert restored.server_zone == small_topology.server_zone
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TopologyConfig.from_dict({"links": [], "wormholes": True})
+
+    def test_invalid_routing_weight(self):
+        with pytest.raises(ConfigurationError):
+            TopologyConfig(routing_weight="bogus")
+
+
+class TestExecutionConfig:
+    def test_defaults_are_valid(self):
+        config = ExecutionConfig()
+        assert config.plugin == "round_robin"
+        assert config.monitoring.enable_events
+
+    def test_duration_strings_parsed(self):
+        config = ExecutionConfig(dispatch_interval="1min", pending_retry_interval="2min")
+        assert config.dispatch_interval == 60.0
+        assert config.pending_retry_interval == 120.0
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(plugin="")
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(pending_retry_interval=0)
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(max_simulation_time=0)
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(scheduling_overhead=-1)
+
+    def test_nested_dicts_are_coerced(self):
+        config = ExecutionConfig(
+            monitoring={"snapshot_interval": 60.0}, output={"ml_dataset": True}
+        )
+        assert isinstance(config.monitoring, MonitoringConfig)
+        assert isinstance(config.output, OutputConfig)
+        assert config.output.ml_dataset
+
+    def test_dict_roundtrip(self):
+        config = ExecutionConfig(plugin="least_loaded", seed=7)
+        restored = ExecutionConfig.from_dict(
+            json.loads(json.dumps(config.to_dict()))
+        )
+        assert restored.plugin == "least_loaded"
+        assert restored.seed == 7
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig.from_dict({"plugin": "x", "turbo": True})
+
+
+class TestLoaders:
+    def test_roundtrip_all_three_files(self, tmp_path, small_infrastructure, small_topology):
+        infra_path = save_infrastructure(small_infrastructure, tmp_path / "infra.json")
+        topo_path = save_topology(small_topology, tmp_path / "topo.json")
+        exec_path = save_execution(ExecutionConfig(plugin="random"), tmp_path / "exec.json")
+        infra, topo, execution = load_simulation_inputs(infra_path, topo_path, exec_path)
+        assert infra.site_names == small_infrastructure.site_names
+        assert len(topo.links) == 1
+        assert execution.plugin == "random"
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_infrastructure(tmp_path / "does_not_exist.json")
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_topology(path)
+
+    def test_non_object_json_raises(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigurationError):
+            load_execution(path)
+
+    def test_cross_reference_validation(self, tmp_path, small_infrastructure):
+        bad_topology = TopologyConfig(
+            links=[
+                LinkConfig(
+                    name="x", source="FAST", destination="UNKNOWN", bandwidth=1e9
+                )
+            ]
+        )
+        infra_path = save_infrastructure(small_infrastructure, tmp_path / "i.json")
+        topo_path = save_topology(bad_topology, tmp_path / "t.json")
+        exec_path = save_execution(ExecutionConfig(), tmp_path / "e.json")
+        with pytest.raises(ConfigurationError):
+            load_simulation_inputs(infra_path, topo_path, exec_path)
+
+
+class TestGenerators:
+    def test_generate_sites_is_deterministic(self):
+        a = generate_sites(5, seed=3)
+        b = generate_sites(5, seed=3)
+        assert [s.core_speed for s in a.sites] == [s.core_speed for s in b.sites]
+
+    def test_generate_sites_core_range(self):
+        infra = generate_sites(20, seed=1, min_cores=100, max_cores=2000)
+        assert all(100 <= s.cores <= 2000 for s in infra.sites)
+
+    def test_generate_sites_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            generate_sites(0)
+        with pytest.raises(ConfigurationError):
+            generate_sites(3, min_cores=10, max_cores=5)
+
+    def test_star_topology_links_every_site_to_hub(self):
+        infra = generate_sites(6, seed=0)
+        topo = generate_star_topology(infra)
+        assert len(topo.links) == 6
+        assert all(l.source == "main-server" for l in topo.links)
+
+    def test_star_topology_with_site_hub(self):
+        infra = generate_sites(4, seed=0)
+        hub = infra.site_names[0]
+        topo = generate_star_topology(infra, hub=hub)
+        assert len(topo.links) == 3
+        assert all(l.source == hub for l in topo.links)
+
+    def test_star_topology_unknown_hub(self):
+        infra = generate_sites(3, seed=0)
+        with pytest.raises(ConfigurationError):
+            generate_star_topology(infra, hub="NOPE")
+
+    def test_tiered_topology_reaches_every_site(self):
+        infra = generate_sites(12, seed=0)
+        topo = generate_tiered_topology(infra, tier1_count=3)
+        linked = set()
+        for link in topo.links:
+            linked.add(link.source)
+            linked.add(link.destination)
+        assert set(infra.site_names) <= linked
+
+    def test_generate_grid_kinds(self):
+        infra, topo = generate_grid(5, topology="star")
+        assert len(infra) == 5 and len(topo.links) == 5
+        infra, topo = generate_grid(5, topology="tiered")
+        assert len(infra) == 5
+        with pytest.raises(ConfigurationError):
+            generate_grid(5, topology="ring")

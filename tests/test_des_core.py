@@ -1,0 +1,165 @@
+"""Tests for the DES environment and run loop (repro.des.core)."""
+
+import pytest
+
+from repro.des import Environment
+from repro.utils.errors import SimulationError
+
+
+class TestClock:
+    def test_initial_time(self):
+        assert Environment().now == 0.0
+        assert Environment(initial_time=100.0).now == 100.0
+
+    def test_clock_only_moves_forward(self, env):
+        times = []
+
+        def proc(env):
+            for _ in range(5):
+                yield env.timeout(3)
+                times.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert times == [3, 6, 9, 12, 15]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+
+class TestEventOrdering:
+    def test_same_time_events_preserve_creation_order(self, env):
+        order = []
+
+        def make(tag):
+            def proc(env):
+                yield env.timeout(10)
+                order.append(tag)
+
+            return proc
+
+        for tag in "abcde":
+            env.process(make(tag)(env))
+        env.run()
+        assert order == list("abcde")
+
+    def test_events_processed_in_time_order(self, env):
+        order = []
+
+        def proc(env, delay, tag):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        env.process(proc(env, 30, "late"))
+        env.process(proc(env, 10, "early"))
+        env.process(proc(env, 20, "middle"))
+        env.run()
+        assert order == ["early", "middle", "late"]
+
+
+class TestRunUntil:
+    def test_run_until_time_stops_clock_exactly(self, env):
+        def proc(env):
+            while True:
+                yield env.timeout(7)
+
+        env.process(proc(env))
+        env.run(until=100)
+        assert env.now == 100
+
+    def test_run_until_event_returns_value(self, env):
+        def proc(env):
+            yield env.timeout(5)
+            return "result"
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == "result"
+
+    def test_run_until_past_time_raises(self, env):
+        env.timeout(1)
+        env.run()
+        with pytest.raises(SimulationError):
+            env.run(until=0.5)
+
+    def test_run_until_event_never_triggered_raises(self, env):
+        stuck = env.event()
+        env.timeout(5)
+        with pytest.raises(SimulationError):
+            env.run(until=stuck)
+
+    def test_run_until_already_processed_event(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            return 3
+
+        p = env.process(proc(env))
+        env.run()
+        assert env.run(until=p) == 3
+
+    def test_run_with_no_events_returns_none(self, env):
+        assert env.run() is None
+
+    def test_run_until_failed_event_raises(self, env):
+        def bad(env):
+            yield env.timeout(1)
+            raise ValueError("bad")
+
+        p = env.process(bad(env))
+        with pytest.raises(ValueError):
+            env.run(until=p)
+
+
+class TestStep:
+    def test_step_without_events_raises_indexerror(self, env):
+        with pytest.raises(IndexError):
+            env.step()
+
+    def test_peek_returns_next_event_time(self, env):
+        env.timeout(42)
+        assert env.peek() == 42
+
+    def test_peek_empty_is_infinite(self, env):
+        assert env.peek() == float("inf")
+
+    def test_queue_length_counts_scheduled_events(self, env):
+        env.timeout(1)
+        env.timeout(2)
+        assert env.queue_length == 2
+
+    def test_schedule_negative_delay_raises(self, env):
+        event = env.event()
+        event._ok = True
+        event._value = None
+        with pytest.raises(SimulationError):
+            env.schedule(event, delay=-1)
+
+
+class TestActiveProcess:
+    def test_active_process_visible_inside_process(self, env):
+        seen = []
+
+        def proc(env):
+            seen.append(env.active_process)
+            yield env.timeout(1)
+
+        p = env.process(proc(env))
+        env.run()
+        assert seen == [p]
+        assert env.active_process is None
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def run_once():
+            env = Environment()
+            trace = []
+
+            def worker(env, name, period):
+                while env.now < 50:
+                    yield env.timeout(period)
+                    trace.append((round(env.now, 6), name))
+
+            env.process(worker(env, "a", 3.3))
+            env.process(worker(env, "b", 4.7))
+            env.run(until=60)
+            return trace
+
+        assert run_once() == run_once()

@@ -1,0 +1,262 @@
+"""Tests for the DES event types (repro.des.events)."""
+
+import pytest
+
+from repro.des import AllOf, AnyOf, Environment, Event, Interrupt, Timeout
+from repro.utils.errors import SimulationError
+
+
+class TestEvent:
+    def test_new_event_is_pending(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_sets_value(self, env):
+        event = env.event().succeed("payload")
+        assert event.triggered
+        assert event.ok
+        assert event.value == "payload"
+
+    def test_fail_sets_exception(self, env):
+        exc = RuntimeError("boom")
+        event = env.event().fail(exc)
+        assert event.triggered
+        assert not event.ok
+        assert event.value is exc
+
+    def test_double_trigger_raises(self, env):
+        event = env.event().succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, env):
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self, env):
+        with pytest.raises(SimulationError):
+            _ = env.event().value
+
+    def test_unhandled_failure_propagates_from_run(self, env):
+        env.event().fail(ValueError("unhandled"))
+        with pytest.raises(ValueError):
+            env.run()
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self, env):
+        env.timeout(10)
+        env.run()
+        assert env.now == 10
+
+    def test_timeout_value_is_delivered(self, env):
+        result = {}
+
+        def proc(env):
+            result["value"] = yield env.timeout(1, value="done")
+
+        env.process(proc(env))
+        env.run()
+        assert result["value"] == "done"
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_zero_delay_runs_immediately(self, env):
+        order = []
+
+        def proc(env):
+            yield env.timeout(0)
+            order.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert order == [0.0]
+
+
+class TestProcess:
+    def test_process_returns_value(self, env):
+        def proc(env):
+            yield env.timeout(5)
+            return "finished"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "finished"
+
+    def test_process_is_waitable(self, env):
+        def child(env):
+            yield env.timeout(3)
+            return 42
+
+        def parent(env):
+            value = yield env.process(child(env))
+            return value * 2
+
+        p = env.process(parent(env))
+        env.run()
+        assert p.value == 84
+
+    def test_yielding_non_event_raises(self, env):
+        def bad(env):
+            yield 123
+
+        env.process(bad(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_exception_in_process_propagates(self, env):
+        def bad(env):
+            yield env.timeout(1)
+            raise KeyError("missing")
+
+        env.process(bad(env))
+        with pytest.raises(KeyError):
+            env.run()
+
+    def test_exception_can_be_caught_by_parent(self, env):
+        def bad(env):
+            yield env.timeout(1)
+            raise KeyError("missing")
+
+        def parent(env):
+            try:
+                yield env.process(bad(env))
+            except KeyError:
+                return "handled"
+            return "not handled"
+
+        p = env.process(parent(env))
+        env.run()
+        assert p.value == "handled"
+
+    def test_process_not_a_generator_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+    def test_is_alive_reflects_state(self, env):
+        def proc(env):
+            yield env.timeout(5)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_cross_environment_wait_rejected(self, env):
+        other = Environment()
+        foreign = other.timeout(1)
+
+        def proc(env):
+            yield foreign
+
+        env.process(proc(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+
+class TestInterrupt:
+    def test_interrupt_is_delivered_as_exception(self, env):
+        log = []
+
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                log.append((env.now, interrupt.cause))
+
+        def attacker(env, victim_proc):
+            yield env.timeout(5)
+            victim_proc.interrupt("stop now")
+
+        victim_proc = env.process(victim(env))
+        env.process(attacker(env, victim_proc))
+        env.run()
+        assert log == [(5.0, "stop now")]
+
+    def test_interrupted_process_can_continue(self, env):
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                pass
+            yield env.timeout(10)
+            return env.now
+
+        def attacker(env, victim_proc):
+            yield env.timeout(2)
+            victim_proc.interrupt()
+
+        victim_proc = env.process(victim(env))
+        env.process(attacker(env, victim_proc))
+        env.run()
+        assert victim_proc.value == 12.0
+
+    def test_interrupting_finished_process_raises(self, env):
+        def quick(env):
+            yield env.timeout(1)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+
+class TestConditions:
+    def test_all_of_waits_for_every_event(self, env):
+        def proc(env):
+            t1 = env.timeout(5, value="a")
+            t2 = env.timeout(10, value="b")
+            results = yield AllOf(env, [t1, t2])
+            return (env.now, sorted(results.values()))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (10.0, ["a", "b"])
+
+    def test_any_of_returns_at_first_event(self, env):
+        def proc(env):
+            t1 = env.timeout(5, value="fast")
+            t2 = env.timeout(50, value="slow")
+            results = yield AnyOf(env, [t1, t2])
+            return (env.now, list(results.values()))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (5.0, ["fast"])
+
+    def test_operator_overloads(self, env):
+        def proc(env):
+            yield env.timeout(1) & env.timeout(2)
+            first = env.now
+            yield env.timeout(1) | env.timeout(100)
+            return (first, env.now)
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (2.0, 3.0)
+
+    def test_empty_all_of_triggers_immediately(self, env):
+        def proc(env):
+            value = yield AllOf(env, [])
+            return value
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == {}
+
+    def test_condition_failure_propagates(self, env):
+        def failer(env):
+            yield env.timeout(1)
+            raise RuntimeError("inner failure")
+
+        def waiter(env):
+            with pytest.raises(RuntimeError):
+                yield AllOf(env, [env.process(failer(env)), env.timeout(10)])
+            return "caught"
+
+        p = env.process(waiter(env))
+        env.run()
+        assert p.value == "caught"

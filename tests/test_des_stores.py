@@ -1,0 +1,176 @@
+"""Tests for Store, FilterStore and PriorityStore (repro.des.stores)."""
+
+import pytest
+
+from repro.des import Environment, FilterStore, PriorityItem, PriorityStore, Store
+from repro.utils.errors import SimulationError
+
+
+class TestStore:
+    def test_put_then_get_is_fifo(self, env):
+        store = Store(env)
+        received = []
+
+        def producer(env):
+            for item in ["a", "b", "c"]:
+                yield store.put(item)
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert received == ["a", "b", "c"]
+
+    def test_get_blocks_until_item_available(self, env):
+        store = Store(env)
+        log = []
+
+        def consumer(env):
+            item = yield store.get()
+            log.append((item, env.now))
+
+        def producer(env):
+            yield env.timeout(5)
+            yield store.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert log == [("late", 5.0)]
+
+    def test_bounded_store_blocks_put(self, env):
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env):
+            yield store.put(1)
+            yield store.put(2)
+            log.append(("second put done", env.now))
+
+        def consumer(env):
+            yield env.timeout(10)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert log == [("second put done", 10.0)]
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)
+
+    def test_len_reflects_items(self, env):
+        store = Store(env)
+
+        def proc(env):
+            yield store.put("x")
+            yield store.put("y")
+
+        env.process(proc(env))
+        env.run()
+        assert len(store) == 2
+
+
+class TestFilterStore:
+    def test_filter_retrieves_matching_item(self, env):
+        store = FilterStore(env)
+        received = []
+
+        def producer(env):
+            for item in [1, 2, 3, 4]:
+                yield store.put(item)
+
+        def consumer(env):
+            item = yield store.get(lambda x: x % 2 == 0)
+            received.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert received == [2]
+        assert store.items == [1, 3, 4]
+
+    def test_filter_waits_for_matching_item(self, env):
+        store = FilterStore(env)
+        received = []
+
+        def consumer(env):
+            item = yield store.get(lambda x: x == "target")
+            received.append((item, env.now))
+
+        def producer(env):
+            yield store.put("other")
+            yield env.timeout(5)
+            yield store.put("target")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert received == [("target", 5.0)]
+
+    def test_get_without_filter_behaves_like_fifo(self, env):
+        store = FilterStore(env)
+        received = []
+
+        def proc(env):
+            yield store.put("a")
+            yield store.put("b")
+            received.append((yield store.get()))
+
+        env.process(proc(env))
+        env.run()
+        assert received == ["a"]
+
+
+class TestPriorityStore:
+    def test_lowest_priority_first(self, env):
+        store = PriorityStore(env)
+        received = []
+
+        def producer(env):
+            yield store.put(PriorityItem(5, "low"))
+            yield store.put(PriorityItem(1, "high"))
+            yield store.put(PriorityItem(3, "mid"))
+
+        def consumer(env):
+            # Start after every item is in the store so retrieval order is
+            # decided purely by priority.
+            yield env.timeout(1)
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item.item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert received == ["high", "mid", "low"]
+
+    def test_requires_priority_items(self, env):
+        store = PriorityStore(env)
+
+        def proc(env):
+            yield store.put("bare item")
+
+        env.process(proc(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_priority_item_payload_not_compared(self, env):
+        # Payloads that are not orderable must not break the heap.
+        store = PriorityStore(env)
+        received = []
+
+        def proc(env):
+            yield store.put(PriorityItem(1, {"a": 1}))
+            yield store.put(PriorityItem(1, {"b": 2}))
+            received.append((yield store.get()).item)
+            received.append((yield store.get()).item)
+
+        env.process(proc(env))
+        env.run()
+        assert {"a": 1} in received and {"b": 2} in received

@@ -1,0 +1,112 @@
+"""Smoke tests: every shipped example runs end-to-end on a small configuration.
+
+The examples are part of the public API surface (they are what a new user
+copies from), so each one is executed as a real subprocess -- with reduced
+problem sizes where the example exposes command-line knobs -- and its output
+is checked for the landmark lines that prove it exercised the feature it
+documents.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, extra argv, landmark substrings expected in stdout)
+EXAMPLE_CASES = [
+    (
+        "quickstart.py",
+        [],
+        ["Grid: 6 sites", "CGSim dashboard"],
+    ),
+    (
+        "calibration_workflow.py",
+        ["--sites", "4", "--jobs-per-site", "40", "--budget", "15"],
+        ["Geometric-mean relative MAE", "after calibration"],
+    ),
+    (
+        "wlcg_case_study.py",
+        ["--sites", "8", "--jobs", "300"],
+        ["Shortest makespan", "panda_dispatcher"],
+    ),
+    (
+        "custom_plugin.py",
+        [],
+        ["fastest_queue", "tier_affinity"],
+    ),
+    (
+        "ml_dataset_surrogate.py",
+        ["--jobs", "300", "--sites", "6"],
+        ["Surrogate quality", "relative MAE"],
+    ),
+    (
+        "dashboard_snapshot.py",
+        ["--jobs", "200", "--sites", "5"],
+        ["CGSim dashboard", "Sample event-level rows"],
+    ),
+    (
+        "data_aware_scheduling.py",
+        ["--jobs", "120", "--sites", "5"],
+        ["data_aware", "plugin interface"],
+    ),
+    (
+        "failure_injection_study.py",
+        ["--jobs", "200", "--sites", "5"],
+        ["failures + 3 retries", "automatic resubmissions"],
+    ),
+]
+
+
+def _run_example(script: str, args: list, tmp_path: Path) -> str:
+    """Run one example in a scratch directory and return its stdout."""
+    command = [sys.executable, str(EXAMPLES_DIR / script), *args]
+    completed = subprocess.run(
+        command,
+        cwd=tmp_path,  # examples that write output files do so in the scratch dir
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script} exited with {completed.returncode}\n"
+        f"stdout:\n{completed.stdout[-2000:]}\nstderr:\n{completed.stderr[-2000:]}"
+    )
+    return completed.stdout
+
+
+@pytest.mark.parametrize("script,args,landmarks", EXAMPLE_CASES, ids=[c[0] for c in EXAMPLE_CASES])
+def test_example_runs_and_reports_its_result(script, args, landmarks, tmp_path):
+    stdout = _run_example(script, args, tmp_path)
+    for landmark in landmarks:
+        assert landmark in stdout, f"{script}: expected {landmark!r} in output"
+
+
+def test_every_example_file_is_covered():
+    """Adding a new example without a smoke test here should fail loudly."""
+    shipped = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    covered = {case[0] for case in EXAMPLE_CASES}
+    assert shipped == covered, (
+        f"examples without a smoke test: {sorted(shipped - covered)}; "
+        f"smoke tests without a file: {sorted(covered - shipped)}"
+    )
+
+
+def test_ml_example_writes_datasets(tmp_path):
+    """The ML example exports the event- and job-level CSV datasets it describes."""
+    _run_example("ml_dataset_surrogate.py", ["--jobs", "200", "--sites", "5"], tmp_path)
+    assert (tmp_path / "ml_output" / "events.csv").exists()
+    assert (tmp_path / "ml_output" / "jobs.csv").exists()
+
+
+def test_dashboard_example_writes_sqlite_and_json(tmp_path):
+    """The dashboard example produces the SQLite store and JSON export it describes."""
+    _run_example("dashboard_snapshot.py", ["--jobs", "150", "--sites", "4"], tmp_path)
+    output = tmp_path / "dashboard_output"
+    assert (output / "simulation.sqlite").exists()
+    assert (output / "dashboard.json").exists()
+    assert (output / "events.csv").exists()

@@ -1,0 +1,264 @@
+"""Tests for fault injection: failure models, outage schedules and retries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.execution import ExecutionConfig, MonitoringConfig
+from repro.config.infrastructure import InfrastructureConfig, SiteConfig
+from repro.core.simulator import Simulator
+from repro.faults import FaultInjector, JobFailureModel, OutageWindow, SiteOutageModel
+from repro.utils.errors import CGSimError
+from repro.workload.generator import SyntheticWorkloadGenerator, WorkloadSpec
+from repro.workload.job import Job, JobState
+
+
+@pytest.fixture
+def tiny_infrastructure() -> InfrastructureConfig:
+    return InfrastructureConfig(
+        sites=[
+            SiteConfig(name="A", cores=32, core_speed=1e10, hosts=1),
+            SiteConfig(name="B", cores=32, core_speed=1e10, hosts=1),
+        ]
+    )
+
+
+def _quiet_execution(**kwargs) -> ExecutionConfig:
+    return ExecutionConfig(
+        plugin="least_loaded",
+        monitoring=MonitoringConfig(snapshot_interval=0.0),
+        **kwargs,
+    )
+
+
+def _jobs(infrastructure, count: int, seed: int = 0):
+    spec = WorkloadSpec(walltime_median=600.0, walltime_sigma=0.3)
+    return SyntheticWorkloadGenerator(infrastructure, spec=spec, seed=seed).generate(count)
+
+
+class TestJobFailureModel:
+    def test_zero_rate_never_fails(self):
+        model = JobFailureModel(default_rate=0.0, seed=1)
+        job = Job(work=1e12)
+        assert model.failure_fraction(job, "A") is None
+        assert model.injected == {}
+
+    def test_unit_rate_always_fails_with_valid_fraction(self):
+        model = JobFailureModel(default_rate=1.0, seed=1)
+        for index in range(20):
+            fraction = model.failure_fraction(Job(work=1e12, job_id=1000 + index), "A")
+            assert fraction is not None
+            assert 0.0 < fraction < 1.0
+        assert model.injected["A"] == 20
+
+    def test_decision_is_deterministic_per_job_and_site(self):
+        model_a = JobFailureModel(default_rate=0.5, seed=7)
+        model_b = JobFailureModel(default_rate=0.5, seed=7)
+        jobs = [Job(work=1e12, job_id=500 + i) for i in range(50)]
+        decisions_a = [model_a.failure_fraction(j, "BNL") for j in jobs]
+        decisions_b = [model_b.failure_fraction(j, "BNL") for j in jobs]
+        assert decisions_a == decisions_b
+        # A different site gives an independent (generally different) pattern.
+        decisions_c = [JobFailureModel(default_rate=0.5, seed=7).failure_fraction(j, "CERN")
+                       for j in jobs]
+        assert decisions_c != decisions_a
+
+    def test_site_specific_rates_override_the_default(self):
+        model = JobFailureModel(default_rate=0.0, site_rates={"A": 1.0}, seed=3)
+        job = Job(work=1e12, job_id=77)
+        assert model.failure_fraction(job, "A") is not None
+        assert model.failure_fraction(job, "B") is None
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(CGSimError):
+            JobFailureModel(default_rate=1.5)
+        with pytest.raises(CGSimError):
+            JobFailureModel(site_rates={"A": -0.1})
+        with pytest.raises(CGSimError):
+            JobFailureModel(mean_failure_fraction=0.0)
+
+
+class TestSiteOutageModel:
+    def test_schedule_windows_are_ordered_and_within_horizon(self):
+        model = SiteOutageModel(
+            mean_time_between_failures=3600.0, mean_time_to_repair=600.0, seed=2
+        )
+        windows = model.schedule(["A", "B"], horizon=86400.0)
+        assert windows, "a day-long horizon with 1h MTBF should contain outages"
+        for window in windows:
+            assert 0 <= window.start < window.end <= 86400.0
+        starts = [w.start for w in windows]
+        assert starts == sorted(starts)
+
+    def test_schedule_is_deterministic_per_seed(self):
+        model = SiteOutageModel(3600.0, 600.0, seed=5)
+        again = SiteOutageModel(3600.0, 600.0, seed=5)
+        assert model.schedule(["X"], 50_000.0) == again.schedule(["X"], 50_000.0)
+
+    def test_expected_availability(self):
+        model = SiteOutageModel(9000.0, 1000.0)
+        assert model.expected_availability() == pytest.approx(0.9)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(CGSimError):
+            SiteOutageModel(0.0, 10.0)
+        with pytest.raises(CGSimError):
+            SiteOutageModel(10.0, -1.0)
+        with pytest.raises(CGSimError):
+            OutageWindow(site="A", start=10.0, end=5.0)
+        with pytest.raises(CGSimError):
+            SiteOutageModel(10.0, 10.0).schedule(["A"], horizon=0.0)
+
+
+class TestFailureInjectionEndToEnd:
+    def test_injected_failures_produce_failed_jobs(self, tiny_infrastructure):
+        jobs = _jobs(tiny_infrastructure, 40)
+        failure_model = JobFailureModel(default_rate=0.5, seed=11)
+        simulator = Simulator(
+            tiny_infrastructure,
+            execution=_quiet_execution(),
+            failure_model=failure_model,
+        )
+        result = simulator.run(jobs)
+        assert result.metrics.failed_jobs > 0
+        assert result.metrics.finished_jobs + result.metrics.failed_jobs == len(jobs)
+        assert 0.0 < result.metrics.failure_rate < 1.0
+        failed = [j for j in result.jobs if j.state is JobState.FAILED]
+        assert all("injected failure" in (j.failure_reason or "") for j in failed)
+
+    def test_failed_jobs_release_their_cores(self, tiny_infrastructure):
+        jobs = _jobs(tiny_infrastructure, 30)
+        simulator = Simulator(
+            tiny_infrastructure,
+            execution=_quiet_execution(),
+            failure_model=JobFailureModel(default_rate=1.0, seed=4),
+        )
+        result = simulator.run(jobs)
+        # Everything failed, nothing finished, and the simulation terminated
+        # (which it only can if every allocation was released).
+        assert result.metrics.failed_jobs == len(jobs)
+        for site in simulator.sites.values():
+            assert site.available_cores == site.total_cores
+
+    def test_retries_recover_most_failures(self, tiny_infrastructure):
+        jobs = _jobs(tiny_infrastructure, 40)
+        # ~50% of first attempts fail; retried attempts are new job ids, so
+        # their failure decisions are fresh draws and most eventually succeed.
+        failure_model = JobFailureModel(default_rate=0.5, seed=11)
+        without_retries = Simulator(
+            tiny_infrastructure,
+            execution=_quiet_execution(),
+            failure_model=JobFailureModel(default_rate=0.5, seed=11),
+        ).run([j.copy_for_replay() for j in jobs])
+        with_retries = Simulator(
+            tiny_infrastructure,
+            execution=_quiet_execution(max_retries=3),
+            failure_model=failure_model,
+        ).run([j.copy_for_replay() for j in jobs])
+
+        # Unique original jobs that eventually finished:
+        def succeeded_originals(result):
+            done = set()
+            for job in result.jobs:
+                if job.state is JobState.FINISHED:
+                    done.add(int(job.attributes.get("retry_of", job.job_id)))
+            return done
+
+        assert len(succeeded_originals(with_retries)) > len(succeeded_originals(without_retries))
+        # Retry attempts are visible in the output and marked as such.
+        retried = [j for j in with_retries.jobs if "retry_of" in j.attributes]
+        assert retried
+        assert all(j.attributes["attempt"] >= 2 for j in retried)
+
+    def test_unplaceable_jobs_are_not_retried(self, tiny_infrastructure):
+        impossible = [Job(work=1e12, cores=1024)]  # wider than any host
+        simulator = Simulator(
+            tiny_infrastructure, execution=_quiet_execution(max_retries=5)
+        )
+        result = simulator.run(impossible)
+        assert result.metrics.failed_jobs == 1
+        assert len(result.jobs) == 1  # no retry attempts were created
+
+
+class TestOutageInjectionEndToEnd:
+    def test_outage_delays_queued_jobs(self, tiny_infrastructure):
+        # All jobs target site A; A is down for the first two hours, so no job
+        # can start before the outage ends.
+        generator = SyntheticWorkloadGenerator(
+            tiny_infrastructure,
+            spec=WorkloadSpec(walltime_median=600.0, walltime_sigma=0.2),
+            seed=1,
+            site_weights={"A": 1.0, "B": 0.0},
+        )
+        jobs = generator.generate(10)
+        outage_end = 7200.0
+        simulator = Simulator(
+            tiny_infrastructure,
+            execution=ExecutionConfig(
+                plugin="follow_trace", monitoring=MonitoringConfig(snapshot_interval=0.0)
+            ),
+            outages=[OutageWindow(site="A", start=0.0, end=outage_end)],
+        )
+        result = simulator.run(jobs)
+        assert result.metrics.finished_jobs == len(jobs)
+        assert all(j.start_time >= outage_end for j in result.jobs)
+        assert simulator.sites["A"].downtime_seconds == pytest.approx(outage_end)
+
+    def test_unaffected_site_keeps_running_during_outage(self, tiny_infrastructure):
+        generator = SyntheticWorkloadGenerator(
+            tiny_infrastructure,
+            spec=WorkloadSpec(walltime_median=600.0, walltime_sigma=0.2),
+            seed=2,
+            site_weights={"A": 0.0, "B": 1.0},
+        )
+        jobs = generator.generate(10)
+        simulator = Simulator(
+            tiny_infrastructure,
+            execution=ExecutionConfig(
+                plugin="follow_trace", monitoring=MonitoringConfig(snapshot_interval=0.0)
+            ),
+            outages=[OutageWindow(site="A", start=0.0, end=50_000.0)],
+        )
+        result = simulator.run(jobs)
+        # Site B is unaffected: jobs start immediately.
+        assert min(j.start_time for j in result.jobs) < 50_000.0
+        assert result.metrics.finished_jobs == len(jobs)
+
+    def test_injector_rejects_unknown_sites(self, tiny_infrastructure, env=None):
+        from repro.des import Environment
+        from repro.platform.builder import build_platform
+        from repro.core.site import SiteRuntime
+
+        environment = Environment()
+        platform = build_platform(environment, tiny_infrastructure)
+        sites = {
+            cfg.name: SiteRuntime(environment, platform, cfg)
+            for cfg in tiny_infrastructure.sites
+        }
+        with pytest.raises(CGSimError):
+            FaultInjector(
+                environment, sites, [OutageWindow(site="NOWHERE", start=0.0, end=1.0)]
+            )
+
+    def test_downtime_by_site_totals(self, tiny_infrastructure):
+        from repro.des import Environment
+        from repro.platform.builder import build_platform
+        from repro.core.site import SiteRuntime
+
+        environment = Environment()
+        platform = build_platform(environment, tiny_infrastructure)
+        sites = {
+            cfg.name: SiteRuntime(environment, platform, cfg)
+            for cfg in tiny_infrastructure.sites
+        }
+        injector = FaultInjector(
+            environment,
+            sites,
+            [
+                OutageWindow(site="A", start=0.0, end=100.0),
+                OutageWindow(site="A", start=200.0, end=350.0),
+                OutageWindow(site="B", start=50.0, end=80.0),
+            ],
+        )
+        totals = injector.downtime_by_site()
+        assert totals == {"A": 250.0, "B": 30.0}

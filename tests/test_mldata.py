@@ -1,0 +1,136 @@
+"""Tests for ML dataset assembly and the ridge surrogate (repro.mldata)."""
+
+import numpy as np
+import pytest
+
+from repro.config.execution import ExecutionConfig, MonitoringConfig
+from repro.core import Simulator
+from repro.mldata import (
+    RidgeSurrogate,
+    build_event_dataset,
+    build_job_dataset,
+    event_feature_names,
+    job_feature_names,
+)
+from repro.utils.errors import CGSimError
+
+
+@pytest.fixture
+def finished_run(small_infrastructure, workload_generator):
+    execution = ExecutionConfig(
+        plugin="least_loaded", monitoring=MonitoringConfig(snapshot_interval=0.0)
+    )
+    jobs = workload_generator.generate(120)
+    return Simulator(small_infrastructure, execution=execution).run(jobs), small_infrastructure
+
+
+class TestEventDataset:
+    def test_one_row_per_event(self, finished_run):
+        result, _infra = finished_run
+        dataset = build_event_dataset(result)
+        assert len(dataset) == len(result.collector.events)
+        assert dataset.features.shape[1] == len(event_feature_names())
+        assert len(dataset.sites) == len(dataset)
+
+    def test_features_are_finite(self, finished_run):
+        result, _infra = finished_run
+        dataset = build_event_dataset(result)
+        assert np.all(np.isfinite(dataset.features))
+
+    def test_csv_export(self, tmp_path, finished_run):
+        result, _infra = finished_run
+        dataset = build_event_dataset(result)
+        path = dataset.to_csv(tmp_path / "events_ml.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(dataset) + 1
+        assert lines[0].startswith("site,")
+
+    def test_empty_collector_raises(self, small_infrastructure, workload_generator):
+        execution = ExecutionConfig(
+            plugin="least_loaded",
+            monitoring=MonitoringConfig(enable_events=False, snapshot_interval=0.0),
+        )
+        result = Simulator(small_infrastructure, execution=execution).run(
+            workload_generator.generate(5)
+        )
+        with pytest.raises(CGSimError):
+            build_event_dataset(result)
+
+
+class TestJobDataset:
+    def test_one_row_per_finished_job(self, finished_run):
+        result, infra = finished_run
+        dataset = build_job_dataset(result, infra)
+        assert len(dataset) == result.metrics.finished_jobs
+        assert dataset.X.shape[1] == len(job_feature_names())
+        assert np.all(dataset.walltime > 0)
+
+    def test_site_context_features_present(self, finished_run):
+        result, infra = finished_run
+        dataset = build_job_dataset(result, infra)
+        speed_column = job_feature_names().index("site_core_speed")
+        assert np.all(dataset.X[:, speed_column] > 0)
+
+    def test_train_test_split(self, finished_run):
+        result, infra = finished_run
+        dataset = build_job_dataset(result, infra)
+        train, test = dataset.train_test_split(test_fraction=0.25, seed=1)
+        assert len(train) + len(test) == len(dataset)
+        assert set(train.job_ids).isdisjoint(test.job_ids)
+        with pytest.raises(CGSimError):
+            dataset.train_test_split(test_fraction=1.5)
+
+    def test_csv_export(self, tmp_path, finished_run):
+        result, infra = finished_run
+        dataset = build_job_dataset(result, infra)
+        path = dataset.to_csv(tmp_path / "jobs_ml.csv")
+        header = path.read_text().splitlines()[0]
+        assert "walltime" in header and "queue_time" in header
+
+
+class TestRidgeSurrogate:
+    def test_surrogate_learns_walltime(self, finished_run):
+        result, infra = finished_run
+        dataset = build_job_dataset(result, infra)
+        train, test = dataset.train_test_split(test_fraction=0.3, seed=0)
+        surrogate = RidgeSurrogate(alpha=1.0).fit(train)
+        evaluation = surrogate.evaluate(test)
+        # The simulated walltime is a deterministic function of the features
+        # (work, cores, site speed), so the surrogate should do far better
+        # than predicting the mean.
+        assert evaluation.r2 > 0.5
+        assert evaluation.relative_mae < 0.5
+        assert evaluation.n_samples == len(test)
+
+    def test_predictions_are_positive(self, finished_run):
+        result, infra = finished_run
+        dataset = build_job_dataset(result, infra)
+        surrogate = RidgeSurrogate().fit(dataset)
+        predictions = surrogate.predict_dataset(dataset)
+        assert np.all(predictions >= 0)
+
+    def test_unfitted_predict_raises(self, finished_run):
+        result, infra = finished_run
+        dataset = build_job_dataset(result, infra)
+        with pytest.raises(CGSimError):
+            RidgeSurrogate().predict(dataset.X)
+
+    def test_queue_time_target(self, finished_run):
+        result, infra = finished_run
+        dataset = build_job_dataset(result, infra)
+        surrogate = RidgeSurrogate(target="queue_time", log_target=False).fit(dataset)
+        assert surrogate.is_fitted
+        assert surrogate.evaluate(dataset).mae >= 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CGSimError):
+            RidgeSurrogate(alpha=-1)
+        with pytest.raises(CGSimError):
+            RidgeSurrogate(target="energy")
+
+    def test_evaluation_dict(self, finished_run):
+        result, infra = finished_run
+        dataset = build_job_dataset(result, infra)
+        surrogate = RidgeSurrogate().fit(dataset)
+        payload = surrogate.evaluate(dataset).to_dict()
+        assert set(payload) == {"mae", "rmse", "r2", "relative_mae", "n_samples"}

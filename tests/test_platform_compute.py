@@ -1,0 +1,106 @@
+"""Tests for the CPU execution models (repro.platform.compute)."""
+
+import pytest
+
+from repro.des import Environment
+from repro.platform import ComputeModel, Host
+from repro.utils.errors import PlatformError
+
+
+class TestSlotModel:
+    def test_execution_duration(self, env):
+        host = Host(env, "h", speed=1e9, cores=4)
+        model = ComputeModel(env)
+        done = model.execute(host, work=4e9, cores=2)
+        env.run(until=done)
+        assert env.now == pytest.approx(2.0)
+        execution = done.value
+        assert execution.duration == pytest.approx(2.0)
+        assert execution.host is host
+
+    def test_overhead_adds_to_duration(self, env):
+        host = Host(env, "h", speed=1e9, cores=1)
+        model = ComputeModel(env)
+        done = model.execute(host, work=1e9, overhead=5.0)
+        env.run(until=done)
+        assert env.now == pytest.approx(6.0)
+
+    def test_executions_queue_for_cores(self, env):
+        host = Host(env, "h", speed=1e9, cores=1)
+        model = ComputeModel(env)
+        d1 = model.execute(host, work=1e9)
+        d2 = model.execute(host, work=1e9)
+        env.run(until=d1 & d2)
+        assert env.now == pytest.approx(2.0)
+
+    def test_parallel_when_cores_allow(self, env):
+        host = Host(env, "h", speed=1e9, cores=2)
+        model = ComputeModel(env)
+        d1 = model.execute(host, work=1e9)
+        d2 = model.execute(host, work=1e9)
+        env.run(until=d1 & d2)
+        assert env.now == pytest.approx(1.0)
+
+    def test_negative_work_rejected(self, env):
+        host = Host(env, "h", speed=1e9)
+        model = ComputeModel(env)
+        with pytest.raises(PlatformError):
+            model.execute(host, work=-1)
+
+    def test_negative_overhead_rejected(self, env):
+        host = Host(env, "h", speed=1e9)
+        model = ComputeModel(env)
+        with pytest.raises(PlatformError):
+            model.execute(host, work=1, overhead=-1)
+
+    def test_completed_list_and_metadata(self, env):
+        host = Host(env, "h", speed=1e9, cores=1)
+        model = ComputeModel(env)
+        done = model.execute(host, work=1e9, metadata={"job_id": 7})
+        env.run(until=done)
+        assert len(model.completed) == 1
+        assert model.completed[0].metadata == {"job_id": 7}
+
+    def test_host_busy_accounting(self, env):
+        host = Host(env, "h", speed=1e9, cores=2)
+        model = ComputeModel(env)
+        done = model.execute(host, work=2e9, cores=2)
+        env.run(until=done)
+        assert host.busy_core_seconds == pytest.approx(2.0)
+
+
+class TestFairShareModel:
+    def test_single_shared_execution_uses_full_speed(self, env):
+        host = Host(env, "h", speed=1e9, cores=4)  # total 4e9 ops/s
+        model = ComputeModel(env)
+        done = model.execute_shared(host, work=4e9)
+        env.run(until=done)
+        assert env.now == pytest.approx(1.0)
+
+    def test_two_shared_executions_halve_the_rate(self, env):
+        host = Host(env, "h", speed=1e9, cores=2)  # total 2e9 ops/s
+        model = ComputeModel(env)
+        d1 = model.execute_shared(host, work=2e9)
+        d2 = model.execute_shared(host, work=2e9)
+        env.run(until=d1 & d2)
+        assert env.now == pytest.approx(2.0)
+
+    def test_departure_speeds_up_remaining_work(self, env):
+        host = Host(env, "h", speed=1e9, cores=1)
+        model = ComputeModel(env)
+        short = model.execute_shared(host, work=0.5e9)
+        long = model.execute_shared(host, work=1.5e9)
+        env.run(until=short)
+        short_time = env.now
+        env.run(until=long)
+        long_time = env.now
+        # Shared at 0.5e9 ops/s until the short one finishes at t=1;
+        # the long one then has 1e9 left at full rate -> finishes at t=2.
+        assert short_time == pytest.approx(1.0)
+        assert long_time == pytest.approx(2.0)
+
+    def test_shared_negative_work_rejected(self, env):
+        host = Host(env, "h", speed=1e9)
+        model = ComputeModel(env)
+        with pytest.raises(PlatformError):
+            model.execute_shared(host, work=-5)

@@ -1,0 +1,139 @@
+"""Tests for the Platform facade and the config-driven builder."""
+
+import pytest
+
+from repro.config.infrastructure import InfrastructureConfig, SiteConfig
+from repro.config.topology import LinkConfig, TopologyConfig
+from repro.des import Environment
+from repro.platform import Platform
+from repro.platform.builder import build_platform
+from repro.utils.errors import PlatformError
+
+
+class TestPlatform:
+    def test_add_zone_host_storage_and_lookup(self, env):
+        platform = Platform(env)
+        platform.add_zone("SITE", local_bandwidth=1e9)
+        host = platform.add_host("SITE", "wn1", speed=1e9, cores=8)
+        storage = platform.add_storage("SITE", "SITE_se", capacity=1e12)
+        assert platform.zone("SITE").host("wn1") is host
+        assert platform.host("wn1") is host
+        assert platform.storage("SITE_se") is storage
+        assert platform.storages_in_zone("SITE") == [storage]
+        assert platform.total_cores == 8
+
+    def test_duplicate_names_rejected(self, env):
+        platform = Platform(env)
+        platform.add_zone("A")
+        with pytest.raises(PlatformError):
+            platform.add_zone("A")
+        platform.add_host("A", "h", speed=1e9)
+        with pytest.raises(PlatformError):
+            platform.add_host("A", "h", speed=1e9)
+        platform.add_link("l", bandwidth=1e9)
+        with pytest.raises(PlatformError):
+            platform.add_link("l", bandwidth=1e9)
+
+    def test_unknown_lookups_raise(self, env):
+        platform = Platform(env)
+        with pytest.raises(PlatformError):
+            platform.zone("missing")
+        with pytest.raises(PlatformError):
+            platform.host("missing")
+        with pytest.raises(PlatformError):
+            platform.storage("missing")
+        with pytest.raises(PlatformError):
+            platform.link("missing")
+
+    def test_connect_zones_and_route(self, env):
+        platform = Platform(env)
+        platform.add_zone("A", local_bandwidth=10e9)
+        platform.add_zone("B", local_bandwidth=10e9)
+        link = platform.add_link("A--B", bandwidth=1e9, latency=0.05)
+        platform.connect_zones("A", "B", link)
+        route = platform.route("A", "B")
+        assert "A--B" in [l.name for l in route.links]
+
+    def test_describe_contains_per_zone_information(self, env):
+        platform = Platform(env)
+        platform.add_zone("A", local_bandwidth=1e9, properties={"tier": "1"})
+        platform.add_host("A", "h", speed=2e9, cores=4)
+        platform.add_storage("A", "A_se")
+        description = platform.describe()
+        assert description["total_cores"] == 4
+        assert description["zones"]["A"]["total_cores"] == 4
+        assert description["zones"]["A"]["mean_core_speed"] == 2e9
+        assert description["zones"]["A"]["properties"] == {"tier": "1"}
+        assert description["zones"]["A"]["storages"] == ["A_se"]
+
+    def test_validate_rejects_empty_platform(self, env):
+        with pytest.raises(PlatformError):
+            Platform(env).validate()
+
+    def test_validate_rejects_zone_without_hosts(self, env):
+        platform = Platform(env)
+        platform.add_zone("empty")
+        with pytest.raises(PlatformError):
+            platform.validate()
+
+    def test_validate_allows_abstract_zone_without_hosts(self, env):
+        platform = Platform(env)
+        platform.add_zone("abstract", properties={"abstract": "true"})
+        platform.add_zone("real")
+        platform.add_host("real", "h", speed=1e9)
+        link = platform.add_link("l", bandwidth=1e9)
+        platform.connect_zones("abstract", "real", link)
+        platform.validate()  # should not raise
+
+    def test_validate_rejects_disconnected_topology(self, env):
+        platform = Platform(env)
+        platform.add_zone("A")
+        platform.add_host("A", "a", speed=1e9)
+        platform.add_zone("B")
+        platform.add_host("B", "b", speed=1e9)
+        with pytest.raises(PlatformError):
+            platform.validate()
+
+
+class TestBuilder:
+    def test_builder_creates_zone_per_site_plus_server(self, env, small_infrastructure):
+        platform = build_platform(env, small_infrastructure)
+        assert set(platform.zone_names) == {"FAST", "MED", "SLOW", "main-server"}
+        assert platform.zone("main-server").properties["abstract"] == "true"
+
+    def test_builder_splits_cores_over_hosts(self, env, small_infrastructure):
+        platform = build_platform(env, small_infrastructure)
+        fast = platform.zone("FAST")
+        assert len(fast.hosts) == 2
+        assert fast.total_cores == 64
+
+    def test_builder_creates_storage_per_site(self, env, small_infrastructure):
+        platform = build_platform(env, small_infrastructure)
+        for name in ("FAST", "MED", "SLOW"):
+            assert platform.storages_in_zone(name)
+
+    def test_builder_connects_server_to_every_site(self, env, small_infrastructure):
+        platform = build_platform(env, small_infrastructure)
+        for name in ("FAST", "MED", "SLOW"):
+            assert platform.routing.has_route("main-server", name)
+
+    def test_builder_respects_explicit_links(self, env, small_infrastructure, small_topology):
+        platform = build_platform(env, small_infrastructure, small_topology)
+        route = platform.route("FAST", "MED")
+        assert "FAST--MED" in [l.name for l in route.links]
+
+    def test_builder_uses_site_speed(self, env, small_infrastructure):
+        platform = build_platform(env, small_infrastructure)
+        assert platform.zone("FAST").hosts[0].speed == 2e10
+
+    def test_builder_server_zone_can_be_a_site(self, env):
+        infrastructure = InfrastructureConfig(
+            sites=[SiteConfig(name="HUB", cores=8, core_speed=1e9)]
+        )
+        topology = TopologyConfig(server_zone="HUB")
+        platform = build_platform(env, infrastructure, topology)
+        assert set(platform.zone_names) == {"HUB"}
+
+    def test_builder_output_validates(self, env, small_infrastructure, small_topology):
+        platform = build_platform(env, small_infrastructure, small_topology)
+        platform.validate()

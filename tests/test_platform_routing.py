@@ -1,0 +1,124 @@
+"""Tests for inter-zone routing (repro.platform.routing)."""
+
+import pytest
+
+from repro.platform import Link
+from repro.platform.routing import Route, RoutingTable
+from repro.utils.errors import PlatformError
+
+
+def build_line_topology():
+    """A -- B -- C chain with local links at A and C."""
+    table = RoutingTable()
+    local_a = Link("A_local", bandwidth=10e9, latency=0.001)
+    local_c = Link("C_local", bandwidth=10e9, latency=0.002)
+    table.add_zone("A", local_link=local_a)
+    table.add_zone("B")
+    table.add_zone("C", local_link=local_c)
+    ab = Link("A--B", bandwidth=1e9, latency=0.01)
+    bc = Link("B--C", bandwidth=2e9, latency=0.02)
+    table.connect("A", "B", ab)
+    table.connect("B", "C", bc)
+    return table, (local_a, local_c, ab, bc)
+
+
+class TestRoutingTable:
+    def test_route_includes_local_links(self):
+        table, (local_a, local_c, ab, bc) = build_line_topology()
+        route = table.route("A", "C")
+        assert [l.name for l in route.links] == ["A_local", "A--B", "B--C", "C_local"]
+        assert route.latency == pytest.approx(0.001 + 0.01 + 0.02 + 0.002)
+        assert route.bottleneck_bandwidth == 1e9
+        assert route.hop_count == 4
+
+    def test_intra_zone_route_uses_local_link_only(self):
+        table, (local_a, *_rest) = build_line_topology()
+        route = table.route("A", "A")
+        assert [l.name for l in route.links] == ["A_local"]
+
+    def test_intra_zone_route_without_local_link_is_empty(self):
+        table, _links = build_line_topology()
+        route = table.route("B", "B")
+        assert route.links == ()
+        assert route.latency == 0.0
+        assert route.bottleneck_bandwidth == float("inf")
+
+    def test_routes_are_cached(self):
+        table, _links = build_line_topology()
+        assert table.route("A", "C") is table.route("A", "C")
+
+    def test_cache_invalidated_by_new_link(self):
+        table, _links = build_line_topology()
+        first = table.route("A", "C")
+        direct = Link("A--C", bandwidth=5e9, latency=0.001)
+        table.connect("A", "C", direct)
+        second = table.route("A", "C")
+        assert second is not first
+        assert "A--C" in [l.name for l in second.links]
+
+    def test_unknown_zone_raises(self):
+        table, _links = build_line_topology()
+        with pytest.raises(PlatformError):
+            table.route("A", "Z")
+
+    def test_no_route_raises(self):
+        table = RoutingTable()
+        table.add_zone("A")
+        table.add_zone("B")
+        with pytest.raises(PlatformError):
+            table.route("A", "B")
+        assert not table.has_route("A", "B")
+
+    def test_duplicate_zone_rejected(self):
+        table = RoutingTable()
+        table.add_zone("A")
+        with pytest.raises(PlatformError):
+            table.add_zone("A")
+
+    def test_self_link_rejected(self):
+        table = RoutingTable()
+        table.add_zone("A")
+        with pytest.raises(PlatformError):
+            table.connect("A", "A", Link("loop", 1e9))
+
+    def test_connect_unknown_zone_rejected(self):
+        table = RoutingTable()
+        table.add_zone("A")
+        with pytest.raises(PlatformError):
+            table.connect("A", "B", Link("x", 1e9))
+
+    def test_neighbors(self):
+        table, _links = build_line_topology()
+        assert set(table.neighbors("B")) == {"A", "C"}
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(PlatformError):
+            RoutingTable(weight="random")
+
+    def test_latency_weight_prefers_low_latency_path(self):
+        table = RoutingTable(weight="latency")
+        for zone in ("A", "B", "C"):
+            table.add_zone(zone)
+        table.connect("A", "C", Link("slow-direct", bandwidth=1e9, latency=1.0))
+        table.connect("A", "B", Link("fast1", bandwidth=1e9, latency=0.01))
+        table.connect("B", "C", Link("fast2", bandwidth=1e9, latency=0.01))
+        route = table.route("A", "C")
+        assert [l.name for l in route.links] == ["fast1", "fast2"]
+
+    def test_hops_weight_prefers_fewest_links(self):
+        table = RoutingTable(weight="hops")
+        for zone in ("A", "B", "C"):
+            table.add_zone(zone)
+        table.connect("A", "C", Link("direct", bandwidth=1e9, latency=1.0))
+        table.connect("A", "B", Link("l1", bandwidth=1e9, latency=0.01))
+        table.connect("B", "C", Link("l2", bandwidth=1e9, latency=0.01))
+        route = table.route("A", "C")
+        assert [l.name for l in route.links] == ["direct"]
+
+
+class TestRoute:
+    def test_empty_route_properties(self):
+        route = Route("A", "A")
+        assert route.latency == 0.0
+        assert route.hop_count == 0
+        assert list(route) == []

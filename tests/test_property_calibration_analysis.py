@@ -1,0 +1,189 @@
+"""Property-based tests of the calibration objective, optimizers and analysis helpers.
+
+Invariants checked over randomized inputs:
+
+* the relative-MAE objective is zero exactly when simulated equals truth,
+  scale-free, and monotone in a uniform multiplicative bias;
+* the geometric mean lies between the minimum and maximum of its inputs;
+* every optimizer respects its bounds and budget and never returns a point
+  worse than the best point it evaluated;
+* the analytic single-site calibration recovers a hidden true speed exactly
+  when the trace is noise-free;
+* the power-law fit recovers a known exponent from synthetic data.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.scaling import fit_power_law, linearity_score
+from repro.analysis.stats import bootstrap_ci, speedup
+from repro.calibration.calibrator import SiteCalibrator
+from repro.calibration.objective import geometric_mean, relative_mae
+from repro.calibration.search import get_optimizer
+from repro.config.infrastructure import SiteConfig
+from repro.workload.job import Job
+
+positive_floats = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestObjectiveProperties:
+    @given(st.lists(positive_floats, min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_perfect_prediction_has_zero_error(self, truth):
+        """relative_mae(x, x) == 0 for any positive ground truth."""
+        assert relative_mae(truth, truth) == 0.0
+
+    @given(st.lists(positive_floats, min_size=1, max_size=50),
+           st.floats(min_value=1.01, max_value=10.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_uniform_bias_maps_to_its_relative_error(self, truth, factor):
+        """Overestimating everything by x% yields a relative MAE of exactly x%."""
+        simulated = [value * factor for value in truth]
+        assert math.isclose(relative_mae(simulated, truth), factor - 1.0, rel_tol=1e-9)
+
+    @given(st.lists(positive_floats, min_size=1, max_size=50), positive_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_objective_is_scale_free(self, truth, scale):
+        """Rescaling both simulated and truth leaves the relative error unchanged."""
+        simulated = [value * 1.3 for value in truth]
+        original = relative_mae(simulated, truth)
+        rescaled = relative_mae([s * scale for s in simulated], [t * scale for t in truth])
+        assert math.isclose(original, rescaled, rel_tol=1e-9)
+
+    @given(st.lists(positive_floats, min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_geometric_mean_is_bounded_by_min_and_max(self, values):
+        """min <= geometric mean <= max, with equality for constant inputs."""
+        result = geometric_mean(values)
+        assert min(values) * (1 - 1e-9) <= result <= max(values) * (1 + 1e-9)
+
+    @given(positive_floats, st.integers(min_value=1, max_value=30))
+    @settings(max_examples=60, deadline=None)
+    def test_geometric_mean_of_constant_is_the_constant(self, value, count):
+        assert math.isclose(geometric_mean([value] * count), value, rel_tol=1e-9)
+
+
+class TestOptimizerProperties:
+    @given(
+        st.sampled_from(["random", "bayesian", "cmaes", "brute_force"]),
+        st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
+        st.floats(min_value=0.5, max_value=5.0, allow_nan=False),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_optimizers_respect_bounds_and_budget(self, name, center, halfwidth, seed):
+        """Every evaluated point lies inside the bounds; the budget is honoured."""
+        low, high = center - halfwidth, center + halfwidth
+        optimizer = get_optimizer(name, seed=seed)
+        budget = 15
+
+        def objective(x):
+            return float((x[0] - center) ** 2)
+
+        result = optimizer.minimize(objective, [(low, high)], budget)
+        assert result.evaluations <= budget
+        assert len(result.history) == result.evaluations
+        for x, _value in result.history:
+            assert low - 1e-9 <= float(x[0]) <= high + 1e-9
+        # The reported optimum is the best point actually evaluated.
+        best_seen = min(value for _x, value in result.history)
+        assert math.isclose(result.best_value, best_seen, rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(st.sampled_from(["random", "bayesian", "cmaes"]), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_optimizers_beat_the_average_evaluation(self, name, seed):
+        """The returned optimum is no worse than the mean of what was explored."""
+        optimizer = get_optimizer(name, seed=seed)
+
+        def objective(x):
+            return float(abs(x[0] - 3.0))
+
+        result = optimizer.minimize(objective, [(0.0, 10.0)], 20)
+        values = [value for _x, value in result.history]
+        assert result.best_value <= float(np.mean(values)) + 1e-12
+
+
+class TestAnalyticCalibrationProperties:
+    @given(
+        st.floats(min_value=0.3, max_value=3.0, allow_nan=False),
+        st.integers(min_value=5, max_value=40),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_noise_free_trace_recovers_the_true_speed(self, bias, job_count, seed):
+        """With zero noise, calibration lands on the hidden true speed (any optimizer budget)."""
+        nominal = 1e10
+        true_speed = nominal * bias
+        rng = np.random.default_rng(seed)
+        jobs = []
+        for index in range(job_count):
+            walltime = float(rng.uniform(600.0, 7200.0))
+            cores = 8 if index % 3 == 0 else 1
+            jobs.append(
+                Job(
+                    work=walltime * true_speed * cores,
+                    cores=cores,
+                    target_site="SITE",
+                    true_walltime=walltime,
+                )
+            )
+        site = SiteConfig(name="SITE", cores=64, core_speed=nominal)
+        calibrator = SiteCalibrator(
+            site, jobs, optimizer="random", budget=100, mode="analytic",
+            speed_bounds=(0.2, 4.0), seed=seed,
+        )
+        result = calibrator.calibrate()
+        # Calibration never makes things worse and, with a noise-free trace,
+        # random search with a 100-evaluation budget lands close to the hidden
+        # speed (the residual reflects the sampling resolution, not noise).
+        assert result.error_after["overall"] <= result.error_before["overall"] + 1e-12
+        assert result.error_after["overall"] < 0.25
+        if abs(bias - 1.0) > 0.3:
+            assert result.calibrated_speed != site.core_speed
+            assert result.error_after["overall"] < result.error_before["overall"]
+
+
+class TestScalingAndStatsProperties:
+    @given(
+        st.floats(min_value=0.3, max_value=2.5, allow_nan=False),
+        st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_power_law_fit_recovers_known_exponent(self, exponent, prefactor):
+        """Fitting y = a * x^b on exact data returns (a, b)."""
+        sizes = [10, 20, 50, 100, 200, 500]
+        runtimes = [prefactor * size**exponent for size in sizes]
+        fit = fit_power_law(sizes, runtimes)
+        assert math.isclose(fit.exponent, exponent, rel_tol=1e-6, abs_tol=1e-6)
+        assert math.isclose(fit.prefactor, prefactor, rel_tol=1e-6)
+        assert fit.r_squared > 0.999999
+
+    @given(st.floats(min_value=1e-3, max_value=1e3, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_linear_series_scores_one(self, slope):
+        """A perfectly linear series has a linearity score of 1."""
+        sizes = [1, 2, 5, 10, 20]
+        runtimes = [slope * s + 3.0 for s in sizes]
+        assert math.isclose(linearity_score(sizes, runtimes), 1.0, abs_tol=1e-9)
+
+    @given(positive_floats, positive_floats)
+    @settings(max_examples=80, deadline=None)
+    def test_speedup_definition(self, baseline, improved):
+        """speedup(a, b) == a / b and speedup(x, x) == 1."""
+        assert math.isclose(speedup(baseline, improved), baseline / improved, rel_tol=1e-12)
+        assert math.isclose(speedup(baseline, baseline), 1.0, rel_tol=1e-12)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                    min_size=3, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_bootstrap_ci_brackets_the_point_estimate(self, values):
+        """The bootstrap confidence interval contains the sample statistic."""
+        point, low, high = bootstrap_ci(values, statistic=np.mean, n_resamples=200, seed=1)
+        assert math.isclose(point, float(np.mean(values)), rel_tol=1e-12, abs_tol=1e-12)
+        assert low <= point + 1e-9
+        assert high >= point - 1e-9

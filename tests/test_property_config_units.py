@@ -1,0 +1,200 @@
+"""Property-based tests of the configuration layer and unit parsing.
+
+Invariants checked over randomized inputs:
+
+* configuration objects (sites, infrastructures, topologies, execution
+  parameters) round-trip exactly through their JSON dictionaries, which is
+  what guarantees the paper's "reproducible experiments through input files"
+  property;
+* unit parsing is consistent: formatting then parsing returns the original
+  magnitude, SI prefixes scale linearly and bits are 1/8 of bytes;
+* derived infrastructure operations (subset, speed overrides) preserve the
+  untouched fields.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.execution import ExecutionConfig, MonitoringConfig, OutputConfig
+from repro.config.infrastructure import InfrastructureConfig, SiteConfig
+from repro.config.topology import LinkConfig, TopologyConfig
+from repro.utils.units import (
+    format_duration,
+    parse_bandwidth,
+    parse_bytes,
+    parse_duration,
+    parse_frequency,
+)
+
+site_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters="-_"),
+    min_size=1,
+    max_size=12,
+)
+
+site_configs = st.builds(
+    SiteConfig,
+    name=site_names,
+    cores=st.integers(min_value=1, max_value=100_000),
+    core_speed=st.floats(min_value=1e6, max_value=1e12, allow_nan=False, allow_infinity=False),
+    hosts=st.just(1),
+    ram_per_host=st.floats(min_value=1e9, max_value=1e13, allow_nan=False, allow_infinity=False),
+    local_bandwidth=st.floats(min_value=1e6, max_value=1e11, allow_nan=False, allow_infinity=False),
+    local_latency=st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False),
+    walltime_overhead=st.floats(min_value=0.0, max_value=3600.0, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestConfigRoundTrips:
+    @given(site_configs)
+    @settings(max_examples=100, deadline=None)
+    def test_site_config_round_trips_through_dict(self, site):
+        """SiteConfig.to_dict / from_dict is the identity on every field."""
+        restored = SiteConfig.from_dict(site.to_dict())
+        assert restored.name == site.name
+        assert restored.cores == site.cores
+        assert math.isclose(restored.core_speed, site.core_speed, rel_tol=1e-12)
+        assert math.isclose(restored.ram_per_host, site.ram_per_host, rel_tol=1e-12)
+        assert math.isclose(restored.walltime_overhead, site.walltime_overhead, rel_tol=1e-12)
+        assert restored.properties == site.properties
+
+    @given(st.lists(site_configs, min_size=1, max_size=8, unique_by=lambda s: s.name))
+    @settings(max_examples=50, deadline=None)
+    def test_infrastructure_round_trip_preserves_order_and_totals(self, sites):
+        """InfrastructureConfig round-trips with site order and totals intact."""
+        infrastructure = InfrastructureConfig(sites=sites)
+        restored = InfrastructureConfig.from_dict(infrastructure.to_dict())
+        assert restored.site_names == infrastructure.site_names
+        assert restored.total_cores == infrastructure.total_cores
+
+    @given(
+        st.lists(site_configs, min_size=2, max_size=8, unique_by=lambda s: s.name),
+        st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_speed_override_touches_only_the_requested_site(self, sites, factor):
+        """with_core_speeds changes exactly the targeted site's speed."""
+        infrastructure = InfrastructureConfig(sites=sites)
+        target = sites[0].name
+        new_speed = sites[0].core_speed * factor
+        updated = infrastructure.with_core_speeds({target: new_speed})
+        assert math.isclose(updated.site(target).core_speed, new_speed, rel_tol=1e-12)
+        for name in infrastructure.site_names[1:]:
+            assert updated.site(name).core_speed == infrastructure.site(name).core_speed
+        # The original is untouched (the operation is functional).
+        assert infrastructure.site(target).core_speed == sites[0].core_speed
+
+    @given(
+        st.sampled_from(["round_robin", "least_loaded", "panda_dispatcher"]),
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=0.0, max_value=600.0, allow_nan=False),
+        st.floats(min_value=1.0, max_value=3600.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_execution_config_round_trips(self, plugin, seed, overhead, retry):
+        """ExecutionConfig round-trips through its dict, nested sections included."""
+        config = ExecutionConfig(
+            plugin=plugin,
+            seed=seed,
+            scheduling_overhead=overhead,
+            pending_retry_interval=retry,
+            monitoring=MonitoringConfig(snapshot_interval=120.0, enable_events=False),
+            output=OutputConfig(csv_directory="out"),
+        )
+        restored = ExecutionConfig.from_dict(config.to_dict())
+        assert restored.plugin == config.plugin
+        assert restored.seed == config.seed
+        assert math.isclose(restored.scheduling_overhead, config.scheduling_overhead)
+        assert restored.monitoring.enable_events is False
+        assert restored.output.csv_directory == "out"
+
+    @given(
+        st.lists(
+            st.tuples(site_names, site_names).filter(lambda pair: pair[0] != pair[1]),
+            min_size=1,
+            max_size=6,
+        ),
+        st.floats(min_value=1e6, max_value=1e11, allow_nan=False),
+        st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_topology_round_trip(self, endpoint_pairs, bandwidth, latency):
+        """TopologyConfig round-trips its links exactly."""
+        links = [
+            LinkConfig(
+                name=f"link{i}",
+                source=a,
+                destination=b,
+                bandwidth=bandwidth,
+                latency=latency,
+            )
+            for i, (a, b) in enumerate(endpoint_pairs)
+        ]
+        topology = TopologyConfig(links=links)
+        restored = TopologyConfig.from_dict(topology.to_dict())
+        assert len(restored.links) == len(links)
+        for original, back in zip(links, restored.links):
+            assert (back.source, back.destination) == (original.source, original.destination)
+            assert math.isclose(back.bandwidth, original.bandwidth, rel_tol=1e-12)
+
+
+class TestUnitParsingProperties:
+    @given(st.floats(min_value=0.001, max_value=1e6, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_si_prefixes_scale_linearly(self, magnitude):
+        """1 G<unit> is exactly 1000x 1 M<unit>, for every parser."""
+        assert math.isclose(parse_bytes(f"{magnitude}GB"), 1000 * parse_bytes(f"{magnitude}MB"))
+        assert math.isclose(
+            parse_frequency(f"{magnitude}Gf"), 1000 * parse_frequency(f"{magnitude}Mf")
+        )
+        assert math.isclose(
+            parse_bandwidth(f"{magnitude}GBps"), 1000 * parse_bandwidth(f"{magnitude}MBps")
+        )
+
+    @given(st.floats(min_value=0.001, max_value=1e6, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_bits_are_an_eighth_of_bytes(self, magnitude):
+        """Bit-suffixed sizes and bandwidths are 1/8 of the byte-suffixed ones."""
+        assert math.isclose(parse_bytes(f"{magnitude}Gb") * 8, parse_bytes(f"{magnitude}GB"))
+        assert math.isclose(
+            parse_bandwidth(f"{magnitude}Gbps") * 8, parse_bandwidth(f"{magnitude}GBps")
+        )
+
+    @given(st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_plain_numbers_pass_through_every_parser(self, value):
+        """Numeric inputs are already in canonical units for every parser."""
+        assert parse_bytes(value) == value
+        assert parse_bandwidth(value) == value
+        assert parse_frequency(value) == value
+        assert parse_duration(value) == value
+
+    @given(st.floats(min_value=0.0, max_value=30 * 86400.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_format_duration_round_trips_through_components(self, seconds):
+        """format_duration encodes the same number of seconds it was given."""
+        text = format_duration(seconds)
+        days = 0.0
+        rest = text
+        if "d " in text:
+            day_part, rest = text.split("d ")
+            days = float(day_part)
+        hours, minutes, secs = rest.split(":")
+        reconstructed = days * 86400 + float(hours) * 3600 + float(minutes) * 60 + float(secs)
+        assert math.isclose(reconstructed, seconds, abs_tol=0.01)
+
+    @given(
+        st.floats(min_value=0.001, max_value=1000.0, allow_nan=False),
+        st.sampled_from(["m", "min", "h", "d", "ms"]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_duration_suffixes_match_their_factors(self, magnitude, suffix):
+        """Each duration suffix multiplies by its documented factor."""
+        factors = {"m": 60.0, "min": 60.0, "h": 3600.0, "d": 86400.0, "ms": 1e-3}
+        assert math.isclose(
+            parse_duration(f"{magnitude}{suffix}"), magnitude * factors[suffix], rel_tol=1e-12
+        )

@@ -1,0 +1,178 @@
+"""Property-based tests of the fault models and the plugin resource view.
+
+Invariants checked over randomized inputs:
+
+* the job failure model is deterministic, honours its configured probability
+  in aggregate, and never returns a fraction outside (0, 1);
+* outage schedules stay within their horizon, never overlap per site, and
+  their realised availability approaches MTBF / (MTBF + MTTR);
+* the resource view's helper queries (`sites_that_fit`, `sites_with_capacity`,
+  `least_loaded`) agree with their definitions for arbitrary site states, and
+  every bundled policy returns either ``None`` or an eligible site.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import JobFailureModel, SiteOutageModel
+from repro.plugins.base import ResourceView, SiteStatus
+from repro.plugins.registry import create_policy
+from repro.workload.job import Job
+
+rates = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestFailureModelProperties:
+    @given(rates, seeds, st.integers(min_value=1, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_fractions_are_valid_and_deterministic(self, rate, seed, job_count):
+        """Every decision is reproducible and every fraction lies in (0, 1)."""
+        model = JobFailureModel(default_rate=rate, seed=seed)
+        twin = JobFailureModel(default_rate=rate, seed=seed)
+        jobs = [Job(work=1.0, job_id=10_000 + i) for i in range(job_count)]
+        decisions = [model.failure_fraction(job, "SITE") for job in jobs]
+        assert decisions == [twin.failure_fraction(job, "SITE") for job in jobs]
+        for fraction in decisions:
+            assert fraction is None or 0.0 < fraction < 1.0
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_observed_rate_tracks_the_configured_probability(self, seed):
+        """Over many jobs the failure frequency approaches the configured rate."""
+        rate = 0.3
+        model = JobFailureModel(default_rate=rate, seed=seed)
+        jobs = [Job(work=1.0, job_id=50_000 + i) for i in range(400)]
+        failures = sum(model.failure_fraction(job, "X") is not None for job in jobs)
+        assert abs(failures / len(jobs) - rate) < 0.1
+
+    @given(rates, rates, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_site_specific_rate_only_affects_that_site(self, default_rate, site_rate, seed):
+        """The per-site override changes decisions at that site only."""
+        overridden = JobFailureModel(
+            default_rate=default_rate, site_rates={"SPECIAL": site_rate}, seed=seed
+        )
+        plain = JobFailureModel(default_rate=default_rate, seed=seed)
+        jobs = [Job(work=1.0, job_id=90_000 + i) for i in range(50)]
+        assert [overridden.failure_fraction(j, "OTHER") for j in jobs] == [
+            plain.failure_fraction(j, "OTHER") for j in jobs
+        ]
+        assert overridden.rate_for("SPECIAL") == site_rate
+
+
+class TestOutageModelProperties:
+    @given(
+        st.floats(min_value=600.0, max_value=86_400.0, allow_nan=False),
+        st.floats(min_value=60.0, max_value=7_200.0, allow_nan=False),
+        seeds,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_windows_stay_in_horizon_and_never_overlap_per_site(self, mtbf, mttr, seed):
+        model = SiteOutageModel(mtbf, mttr, seed=seed)
+        horizon = 7 * 86_400.0
+        windows = model.schedule(["A", "B"], horizon)
+        per_site = {"A": [], "B": []}
+        for window in windows:
+            assert 0.0 <= window.start < window.end <= horizon
+            per_site[window.site].append(window)
+        for site_windows in per_site.values():
+            ordered = sorted(site_windows, key=lambda w: w.start)
+            for earlier, later in zip(ordered, ordered[1:]):
+                assert earlier.end <= later.start
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_realised_availability_matches_expectation(self, seed):
+        """Downtime fraction over a long horizon approaches MTTR / (MTBF + MTTR)."""
+        mtbf, mttr = 36_000.0, 4_000.0
+        model = SiteOutageModel(mtbf, mttr, seed=seed)
+        horizon = 400 * (mtbf + mttr)
+        windows = model.schedule(["X"], horizon)
+        downtime = sum(w.duration for w in windows)
+        expected_downtime_fraction = 1.0 - model.expected_availability()
+        assert abs(downtime / horizon - expected_downtime_fraction) < 0.05
+
+
+def _site_status(name: str, total: int, available: int, running: int, assigned: int) -> SiteStatus:
+    return SiteStatus(
+        name=name,
+        total_cores=total,
+        available_cores=available,
+        core_speed=1e10,
+        pending_jobs=0,
+        running_jobs=running,
+        assigned_jobs=assigned,
+        finished_jobs=0,
+    )
+
+
+site_states = st.builds(
+    lambda name, total, used, running, assigned: _site_status(
+        name, total, max(0, total - used), running, assigned
+    ),
+    name=st.text(alphabet="ABCDEFGH", min_size=1, max_size=4),
+    total=st.integers(min_value=1, max_value=4096),
+    used=st.integers(min_value=0, max_value=4096),
+    running=st.integers(min_value=0, max_value=200),
+    assigned=st.integers(min_value=0, max_value=200),
+)
+
+
+class TestResourceViewProperties:
+    @given(st.dictionaries(st.text(alphabet="ABCDEFGHIJ", min_size=1, max_size=3),
+                           site_states, min_size=1, max_size=8),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=60, deadline=None)
+    def test_queries_match_their_definitions(self, sites, cores):
+        # Re-key the statuses so names are consistent with the mapping keys.
+        statuses = {name: _site_status(name, s.total_cores, s.available_cores,
+                                       s.running_jobs, s.assigned_jobs)
+                    for name, s in sites.items()}
+        view = ResourceView(statuses)
+        fitting = view.sites_that_fit(cores)
+        with_capacity = view.sites_with_capacity(cores)
+        assert all(s.total_cores >= cores for s in fitting)
+        assert all(s.available_cores >= cores for s in with_capacity)
+        # Anything with enough free cores certainly fits in total capacity.
+        assert {s.name for s in with_capacity} <= {s.name for s in fitting}
+        assert view.total_available_cores() == sum(s.available_cores for s in statuses.values())
+
+        best = view.least_loaded(cores)
+        if fitting:
+            assert best is not None and best.name in {s.name for s in fitting}
+            # No eligible site has strictly less outstanding work per core.
+            assert all(
+                (best.normalized_backlog, best.load_fraction)
+                <= (s.normalized_backlog + 1e-12, s.load_fraction + 1e-12)
+                or best.normalized_backlog <= s.normalized_backlog + 1e-12
+                for s in fitting
+            )
+        else:
+            assert best is None
+
+    @given(st.dictionaries(st.text(alphabet="ABCDEFGHIJ", min_size=1, max_size=3),
+                           site_states, min_size=1, max_size=8),
+           st.sampled_from(["round_robin", "random", "least_loaded",
+                            "weighted_capacity", "panda_dispatcher", "backfill"]),
+           st.integers(min_value=1, max_value=16),
+           seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_bundled_policies_return_none_or_an_eligible_site(self, sites, policy_name,
+                                                              cores, seed):
+        statuses = {name: _site_status(name, s.total_cores, s.available_cores,
+                                       s.running_jobs, s.assigned_jobs)
+                    for name, s in sites.items()}
+        view = ResourceView(statuses)
+        policy = create_policy(policy_name, seed=seed) if policy_name in (
+            "random", "weighted_capacity") else create_policy(policy_name)
+        policy.initialize({"zones": {}})
+        job = Job(work=1e12, cores=cores)
+        choice = policy.assign_job(job, view)
+        eligible = {s.name for s in view.sites_that_fit(cores)}
+        if choice is None:
+            assert not eligible
+        else:
+            assert choice in eligible

@@ -1,0 +1,145 @@
+"""Property-based tests of the flow-level network model (max-min fairness).
+
+The network model replaces SimGrid's validated fluid model, so its invariants
+are checked over randomized flow populations:
+
+* conservation: every transfer eventually delivers exactly its size, and the
+  completion time is never earlier than the uncontended lower bound
+  ``latency + size / bottleneck_bandwidth``;
+* fairness: equal flows over one shared link finish together, and no link is
+  ever allocated beyond its capacity;
+* monotonicity: adding a competing flow never makes an existing flow finish
+  earlier.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.des import Environment
+from repro.platform.link import Link
+from repro.platform.network import NetworkModel
+from repro.platform.routing import Route
+
+#: Transfer sizes in bytes (kept positive and finite).
+sizes = st.floats(min_value=1e3, max_value=1e12, allow_nan=False, allow_infinity=False)
+bandwidths = st.floats(min_value=1e6, max_value=1e11, allow_nan=False, allow_infinity=False)
+latencies = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+
+
+def _completion_times(env: Environment, network: NetworkModel, transfers) -> list:
+    """Start every (route, size) transfer at time zero and collect completion times."""
+    completions = [None] * len(transfers)
+
+    def watch(done, index):
+        yield done
+        completions[index] = env.now
+
+    for index, (route, size) in enumerate(transfers):
+        env.process(watch(network.transfer(route, size), index))
+    env.run()
+    return completions
+
+
+class TestSingleFlow:
+    @given(sizes, bandwidths, latencies)
+    @settings(max_examples=80, deadline=None)
+    def test_uncontended_flow_finishes_at_the_fluid_model_time(self, size, bandwidth, latency):
+        """One flow alone completes at latency + size/bandwidth (fluid model)."""
+        env = Environment()
+        network = NetworkModel(env)
+        link = Link("l", bandwidth=bandwidth, latency=latency)
+        route = Route(source="a", destination="b", links=(link,))
+        (when,) = _completion_times(env, network, [(route, size)])
+        expected = latency + size / bandwidth
+        assert math.isclose(when, expected, rel_tol=1e-6, abs_tol=1e-9)
+
+    @given(sizes, bandwidths)
+    @settings(max_examples=50, deadline=None)
+    def test_completion_never_beats_the_bottleneck_bound(self, size, bandwidth):
+        """A multi-hop route cannot finish faster than its slowest link allows."""
+        env = Environment()
+        network = NetworkModel(env)
+        fast = Link("fast", bandwidth=bandwidth * 10, latency=0.0)
+        slow = Link("slow", bandwidth=bandwidth, latency=0.0)
+        route = Route(source="a", destination="b", links=(fast, slow))
+        (when,) = _completion_times(env, network, [(route, size)])
+        assert when >= size / bandwidth * (1 - 1e-9)
+
+
+class TestSharedLinkFairness:
+    @given(
+        st.integers(min_value=2, max_value=8),
+        sizes,
+        bandwidths,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_equal_flows_share_equally_and_finish_together(self, flows, size, bandwidth):
+        """N equal flows over one link all finish at N * (size / bandwidth)."""
+        env = Environment()
+        network = NetworkModel(env)
+        link = Link("shared", bandwidth=bandwidth, latency=0.0)
+        route = Route(source="a", destination="b", links=(link,))
+        completions = _completion_times(env, network, [(route, size)] * flows)
+        expected = flows * size / bandwidth
+        for when in completions:
+            assert math.isclose(when, expected, rel_tol=1e-6)
+
+    @given(
+        st.lists(sizes, min_size=2, max_size=6),
+        bandwidths,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_total_delivered_bytes_respect_link_capacity(self, flow_sizes, bandwidth):
+        """The link never carries more than capacity x elapsed-time bytes."""
+        env = Environment()
+        network = NetworkModel(env)
+        link = Link("shared", bandwidth=bandwidth, latency=0.0)
+        route = Route(source="a", destination="b", links=(link,))
+        completions = _completion_times(
+            env, network, [(route, size) for size in flow_sizes]
+        )
+        # All bytes of all flows crossed one link; that takes at least
+        # sum(sizes)/bandwidth seconds, and the last completion shows it.
+        lower_bound = sum(flow_sizes) / bandwidth
+        assert max(completions) >= lower_bound * (1 - 1e-9)
+
+    @given(sizes, sizes, bandwidths)
+    @settings(max_examples=50, deadline=None)
+    def test_adding_a_competitor_never_speeds_up_a_flow(self, size_a, size_b, bandwidth):
+        """A flow's completion with a competitor is never earlier than alone."""
+        link_spec = dict(bandwidth=bandwidth, latency=0.0)
+
+        env_alone = Environment()
+        network_alone = NetworkModel(env_alone)
+        route_alone = Route(
+            source="a", destination="b", links=(Link("l", **link_spec),)
+        )
+        (alone,) = _completion_times(env_alone, network_alone, [(route_alone, size_a)])
+
+        env_both = Environment()
+        network_both = NetworkModel(env_both)
+        shared = Link("l", **link_spec)
+        route_both = Route(source="a", destination="b", links=(shared,))
+        both = _completion_times(
+            env_both, network_both, [(route_both, size_a), (route_both, size_b)]
+        )
+        assert both[0] >= alone * (1 - 1e-9)
+
+
+class TestFatpipeLinks:
+    @given(st.integers(min_value=2, max_value=8), sizes, bandwidths)
+    @settings(max_examples=40, deadline=None)
+    def test_fatpipe_links_never_contend(self, flows, size, bandwidth):
+        """Flows over a fatpipe link all finish as if they were alone."""
+        env = Environment()
+        network = NetworkModel(env)
+        link = Link("backbone", bandwidth=bandwidth, latency=0.0, sharing="fatpipe")
+        route = Route(source="a", destination="b", links=(link,))
+        completions = _completion_times(env, network, [(route, size)] * flows)
+        expected = size / bandwidth
+        for when in completions:
+            assert math.isclose(when, expected, rel_tol=1e-6)

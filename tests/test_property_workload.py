@@ -1,0 +1,181 @@
+"""Property-based tests of the workload layer: jobs, traces and generators.
+
+Invariants checked over randomized inputs:
+
+* the job state machine only allows the documented transitions and derived
+  metrics (queue time, walltime, total time) are consistent with the
+  transition timestamps;
+* traces round-trip exactly through CSV and JSON (the interchange formats the
+  calibration data uses);
+* the synthetic generator is deterministic in its seed, honours the requested
+  job count and site weighting support, and produces jobs whose hidden ground
+  truth is self-consistent (work = true_walltime * true_speed * cores up to
+  the configured noise).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.config.infrastructure import InfrastructureConfig, SiteConfig
+from repro.utils.errors import WorkloadError
+from repro.workload.generator import SyntheticWorkloadGenerator, WorkloadSpec
+from repro.workload.job import Job, JobState
+from repro.workload.trace import jobs_from_records, load_trace, records_from_jobs, save_trace
+
+#: Strategy for plausible job field values.
+job_strategy = st.builds(
+    Job,
+    work=st.floats(min_value=0.0, max_value=1e18, allow_nan=False, allow_infinity=False),
+    cores=st.integers(min_value=1, max_value=128),
+    memory=st.floats(min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False),
+    submission_time=st.floats(min_value=0.0, max_value=1e7, allow_nan=False, allow_infinity=False),
+    input_files=st.integers(min_value=0, max_value=50),
+    output_files=st.integers(min_value=0, max_value=50),
+    input_size=st.floats(min_value=0.0, max_value=1e13, allow_nan=False, allow_infinity=False),
+    output_size=st.floats(min_value=0.0, max_value=1e13, allow_nan=False, allow_infinity=False),
+    target_site=st.one_of(st.none(), st.sampled_from(["BNL", "CERN", "DESY-ZN", "LRZ-LMU"])),
+    true_walltime=st.one_of(
+        st.none(), st.floats(min_value=1.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+    ),
+    true_queue_time=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+    ),
+)
+
+
+class TestJobLifecycleProperties:
+    @given(
+        job_strategy,
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_happy_path_metrics_match_transition_times(self, job, t_assign, dt_start, dt_end):
+        """queue_time/walltime/total_time derive exactly from the timestamps."""
+        t_assign = job.submission_time + t_assign
+        t_start = t_assign + dt_start
+        t_end = t_start + dt_end
+        job.advance(JobState.ASSIGNED, t_assign, site="BNL")
+        job.advance(JobState.RUNNING, t_start)
+        job.advance(JobState.FINISHED, t_end)
+        assert job.state is JobState.FINISHED
+        assert job.assigned_site == "BNL"
+        assert job.queue_time == t_start - job.submission_time
+        assert job.walltime == t_end - t_start
+        assert job.total_time == t_end - job.submission_time
+        # The history records every transition in order.
+        states = [state for _t, state in job.state_history]
+        assert states == [JobState.CREATED, JobState.ASSIGNED, JobState.RUNNING, JobState.FINISHED]
+
+    @given(job_strategy, st.sampled_from(list(JobState)))
+    @settings(max_examples=100, deadline=None)
+    def test_terminal_states_accept_no_further_transitions(self, job, next_state):
+        """Once finished or failed, every further transition raises."""
+        job.advance(JobState.ASSIGNED, 1.0, site="X")
+        job.advance(JobState.RUNNING, 2.0)
+        job.advance(JobState.FAILED, 3.0, reason="lost heartbeat")
+        with pytest.raises(WorkloadError):
+            job.advance(next_state, 4.0)
+
+    @given(job_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_replay_copy_resets_dynamic_state_but_keeps_static_fields(self, job):
+        """copy_for_replay preserves the record but clears simulation state."""
+        job.advance(JobState.ASSIGNED, 1.0, site="X")
+        job.advance(JobState.RUNNING, 2.0)
+        job.advance(JobState.FINISHED, 5.0)
+        clone = job.copy_for_replay()
+        assert clone.state is JobState.CREATED
+        assert clone.walltime is None and clone.queue_time is None
+        for field_name in ("job_id", "work", "cores", "memory", "submission_time",
+                           "input_files", "output_files", "input_size", "output_size",
+                           "target_site", "true_walltime", "true_queue_time", "task_id"):
+            assert getattr(clone, field_name) == getattr(job, field_name)
+
+
+class TestTraceRoundTrip:
+    @given(
+        jobs=st.lists(job_strategy, min_size=1, max_size=30),
+        fmt=st.sampled_from(["csv", "json"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_save_and_load_preserve_every_static_field(self, tmp_path_factory, jobs, fmt):
+        """A trace file round-trips bit-exactly through records (CSV and JSON)."""
+        path = tmp_path_factory.mktemp("traces") / f"trace.{fmt}"
+        save_trace(jobs, path, fmt=fmt)
+        loaded = load_trace(path, fmt=fmt)
+        assert len(loaded) == len(jobs)
+        for original, restored in zip(jobs, loaded):
+            assert restored.job_id == original.job_id
+            assert restored.cores == original.cores
+            assert restored.target_site == original.target_site
+            assert math.isclose(restored.work, original.work, rel_tol=1e-12, abs_tol=1e-12)
+            assert restored.input_files == original.input_files
+            if original.true_walltime is None:
+                assert restored.true_walltime is None
+            else:
+                assert math.isclose(restored.true_walltime, original.true_walltime, rel_tol=1e-12)
+
+    @given(st.lists(job_strategy, min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_records_round_trip_without_files(self, jobs):
+        """records_from_jobs / jobs_from_records are inverse up to field equality."""
+        restored = jobs_from_records(records_from_jobs(jobs))
+        assert [j.job_id for j in restored] == [j.job_id for j in jobs]
+        assert [j.cores for j in restored] == [j.cores for j in jobs]
+
+
+def _infrastructure(site_count: int) -> InfrastructureConfig:
+    return InfrastructureConfig(
+        sites=[
+            SiteConfig(name=f"S{i}", cores=64 * (i + 1), core_speed=1e10 * (1 + 0.1 * i), hosts=1 + i)
+            for i in range(site_count)
+        ]
+    )
+
+
+class TestGeneratorProperties:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_generator_is_deterministic_and_honours_count(self, sites, count, seed):
+        """Same seed -> identical trace; the requested count is always honoured."""
+        infrastructure = _infrastructure(sites)
+        first = SyntheticWorkloadGenerator(infrastructure, seed=seed).generate(count)
+        second = SyntheticWorkloadGenerator(infrastructure, seed=seed).generate(count)
+        assert len(first) == count
+        assert [j.work for j in first] == [j.work for j in second]
+        assert [j.target_site for j in first] == [j.target_site for j in second]
+        assert all(j.target_site in infrastructure.site_names for j in first)
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_ground_truth_is_consistent_with_hidden_speed(self, sites, count):
+        """work ~= true_walltime * true_speed * cores, up to the configured noise."""
+        infrastructure = _infrastructure(sites)
+        spec = WorkloadSpec(walltime_noise_sigma=0.0)
+        generator = SyntheticWorkloadGenerator(infrastructure, spec=spec, seed=3)
+        jobs = generator.generate(count)
+        for job in jobs:
+            expected = job.true_walltime * generator.true_core_speed(job.target_site) * job.cores
+            assert math.isclose(job.work, expected, rel_tol=1e-9)
+
+    @given(st.integers(min_value=2, max_value=5), st.integers(min_value=10, max_value=150))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_weight_sites_receive_no_jobs(self, sites, count):
+        """Site weighting is honoured: a zero-weight site never appears."""
+        infrastructure = _infrastructure(sites)
+        weights = {name: 1.0 for name in infrastructure.site_names}
+        weights[infrastructure.site_names[0]] = 0.0
+        generator = SyntheticWorkloadGenerator(infrastructure, seed=1, site_weights=weights)
+        jobs = generator.generate(count)
+        assert all(j.target_site != infrastructure.site_names[0] for j in jobs)

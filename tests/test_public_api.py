@@ -1,0 +1,42 @@
+"""Checks on the top-level public API surface (`import repro`)."""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import repro
+
+
+class TestPublicAPI:
+    def test_every_name_in_all_is_importable(self):
+        """`from repro import <name>` works for every advertised name."""
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ advertises missing name {name!r}"
+
+    def test_version_is_a_pep440_like_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) >= 2
+        assert all(part.isdigit() for part in parts[:2])
+
+    def test_all_subpackages_import_cleanly(self):
+        """Every repro.* module imports without side effects or errors."""
+        failures = []
+        for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            try:
+                importlib.import_module(module_info.name)
+            except Exception as exc:  # pragma: no cover - the assert reports it
+                failures.append((module_info.name, repr(exc)))
+        assert not failures, f"modules failed to import: {failures}"
+
+    def test_quickstart_snippet_from_the_readme_works(self):
+        """The README quickstart runs and finishes every job."""
+        from repro import ExecutionConfig, Simulator, SyntheticWorkloadGenerator, generate_grid
+
+        infrastructure, topology = generate_grid(3, seed=42)
+        jobs = SyntheticWorkloadGenerator(infrastructure, seed=7).generate(40)
+        result = Simulator(
+            infrastructure, topology, ExecutionConfig(plugin="least_loaded")
+        ).run(jobs)
+        assert result.metrics.finished_jobs == 40
+        assert result.metrics.makespan > 0

@@ -1,0 +1,80 @@
+"""Tests for the structured simulation logger (repro.utils.logging)."""
+
+import io
+
+import pytest
+
+from repro.utils.logging import LogRecord, NullLogger, SimLogger, get_logger
+
+
+class TestSimLogger:
+    def test_records_are_kept_in_memory(self):
+        logger = SimLogger(level="debug")
+        logger.info("core", "hello", jobs=3)
+        assert len(logger.records) == 1
+        assert logger.records[0].component == "core"
+        assert logger.records[0].fields == {"jobs": 3}
+
+    def test_level_filtering(self):
+        logger = SimLogger(level="warning")
+        logger.debug("core", "hidden")
+        logger.info("core", "hidden too")
+        logger.warning("core", "visible")
+        assert [r.message for r in logger.records] == ["visible"]
+
+    def test_invalid_level_raises(self):
+        with pytest.raises(ValueError):
+            SimLogger(level="verbose")
+
+    def test_clock_is_used_for_timestamps(self):
+        now = {"t": 0.0}
+        logger = SimLogger(clock=lambda: now["t"], level="info")
+        logger.info("c", "first")
+        now["t"] = 42.0
+        logger.info("c", "second")
+        assert logger.records[0].sim_time == 0.0
+        assert logger.records[1].sim_time == 42.0
+
+    def test_bind_clock_replaces_clock(self):
+        logger = SimLogger(level="info")
+        logger.bind_clock(lambda: 7.0)
+        logger.info("c", "msg")
+        assert logger.records[0].sim_time == 7.0
+
+    def test_stream_output(self):
+        stream = io.StringIO()
+        logger = SimLogger(level="info", stream=stream)
+        logger.error("core", "boom", code=1)
+        text = stream.getvalue()
+        assert "ERROR" in text and "boom" in text and "code=1" in text
+
+    def test_clear_drops_records(self):
+        logger = SimLogger(level="info")
+        logger.info("c", "x")
+        logger.clear()
+        assert logger.records == []
+
+    def test_render_contains_time_and_level(self):
+        record = LogRecord(12.5, "warning", "site", "queue full", {"site": "BNL"})
+        rendered = record.render()
+        assert "12.5" in rendered and "WARNING" in rendered and "site=BNL" in rendered
+
+
+class TestNullLogger:
+    def test_drops_everything(self):
+        logger = NullLogger()
+        logger.error("core", "should vanish")
+        assert logger.records == []
+
+
+class TestGetLogger:
+    def test_verbose_logger_has_info_level(self):
+        stream = io.StringIO()
+        logger = get_logger(verbose=True, stream=stream)
+        logger.info("c", "visible")
+        assert "visible" in stream.getvalue()
+
+    def test_quiet_logger_filters_info(self):
+        logger = get_logger(verbose=False)
+        logger.info("c", "hidden")
+        assert logger.records == []

@@ -1,0 +1,92 @@
+"""Tests for the reproducible random-number management (repro.utils.rng)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RandomSource, spawn_rng
+
+
+class TestSpawnRng:
+    def test_same_seed_and_name_give_same_stream(self):
+        a = spawn_rng(1, "workload").uniform(size=10)
+        b = spawn_rng(1, "workload").uniform(size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_names_give_different_streams(self):
+        a = spawn_rng(1, "workload").uniform(size=10)
+        b = spawn_rng(1, "scheduler").uniform(size=10)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_give_different_streams(self):
+        a = spawn_rng(1, "workload").uniform(size=10)
+        b = spawn_rng(2, "workload").uniform(size=10)
+        assert not np.array_equal(a, b)
+
+
+class TestRandomSource:
+    def test_generator_is_cached_per_name(self):
+        src = RandomSource(42)
+        assert src.generator("x") is src.generator("x")
+
+    def test_reproducible_across_instances(self):
+        a = RandomSource(7).generator("g").uniform(size=5)
+        b = RandomSource(7).generator("g").uniform(size=5)
+        assert np.array_equal(a, b)
+
+    def test_child_namespaces_are_independent(self):
+        src = RandomSource(3)
+        a = src.child("alpha").generator("g").uniform(size=5)
+        b = src.child("beta").generator("g").uniform(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_child_is_deterministic(self):
+        a = RandomSource(3).child("alpha").generator("g").uniform(size=5)
+        b = RandomSource(3).child("alpha").generator("g").uniform(size=5)
+        assert np.array_equal(a, b)
+
+    def test_uniform_respects_bounds(self):
+        src = RandomSource(0)
+        for _ in range(100):
+            value = src.uniform("u", 2.0, 3.0)
+            assert 2.0 <= value <= 3.0
+
+    def test_integers_respects_bounds(self):
+        src = RandomSource(0)
+        values = {src.integers("i", 0, 5) for _ in range(200)}
+        assert values <= {0, 1, 2, 3, 4}
+        assert len(values) > 1
+
+    def test_choice_returns_member(self):
+        src = RandomSource(0)
+        options = ["a", "b", "c"]
+        for _ in range(20):
+            assert src.choice("c", options) in options
+
+    def test_choice_with_probabilities(self):
+        src = RandomSource(0)
+        # Degenerate distribution always returns the certain option.
+        for _ in range(10):
+            assert src.choice("p", ["a", "b"], p=[0.0, 1.0]) == "b"
+
+    def test_shuffled_preserves_elements(self):
+        src = RandomSource(5)
+        items = list(range(20))
+        shuffled = src.shuffled("s", items)
+        assert sorted(shuffled) == items
+        assert items == list(range(20))  # input untouched
+
+    def test_exponential_positive(self):
+        src = RandomSource(0)
+        assert src.exponential("e", 10.0) > 0
+
+    def test_lognormal_positive(self):
+        src = RandomSource(0)
+        assert src.lognormal("l", 0.0, 0.5) > 0
+
+    def test_stream_yields_requested_count(self):
+        src = RandomSource(0)
+        assert len(list(src.stream("st", 7))) == 7
+
+    def test_none_seed_is_allowed(self):
+        src = RandomSource(None)
+        assert 0.0 <= src.uniform("u") <= 1.0

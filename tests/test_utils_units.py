@@ -1,0 +1,118 @@
+"""Tests for quantity parsing and formatting (repro.utils.units)."""
+
+import pytest
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import (
+    format_bytes,
+    format_duration,
+    parse_bandwidth,
+    parse_bytes,
+    parse_duration,
+    parse_frequency,
+)
+
+
+class TestParseBytes:
+    def test_plain_number_is_bytes(self):
+        assert parse_bytes(1024) == 1024.0
+
+    def test_decimal_suffixes(self):
+        assert parse_bytes("1kB") == 1e3
+        assert parse_bytes("2MB") == 2e6
+        assert parse_bytes("3GB") == 3e9
+        assert parse_bytes("1.5TB") == 1.5e12
+        assert parse_bytes("1PB") == 1e15
+
+    def test_binary_suffixes(self):
+        assert parse_bytes("1KiB") == 1024
+        assert parse_bytes("1MiB") == 2**20
+        assert parse_bytes("2GiB") == 2 * 2**30
+
+    def test_bits_are_divided_by_eight(self):
+        assert parse_bytes("8b") == 1.0
+        assert parse_bytes("1kb") == 125.0
+
+    def test_explicit_byte_words(self):
+        assert parse_bytes("5bytes") == 5.0
+        assert parse_bytes("16bits") == 2.0
+
+    def test_case_of_final_letter_decides_bit_vs_byte(self):
+        assert parse_bytes("1kB") == 8 * parse_bytes("1kb")
+
+    def test_invalid_unit_raises(self):
+        with pytest.raises(ConfigurationError):
+            parse_bytes("1parsec")
+
+    def test_garbage_raises(self):
+        with pytest.raises(ConfigurationError):
+            parse_bytes("not-a-size")
+
+
+class TestParseBandwidth:
+    def test_plain_number_is_bytes_per_second(self):
+        assert parse_bandwidth(1e9) == 1e9
+
+    def test_bits_per_second(self):
+        assert parse_bandwidth("8bps") == 1.0
+        assert parse_bandwidth("10Gbps") == 1.25e9
+
+    def test_bytes_per_second(self):
+        assert parse_bandwidth("1GBps") == 1e9
+        assert parse_bandwidth("10GB/s") == 1e10
+
+    def test_missing_ps_suffix_raises(self):
+        with pytest.raises(ConfigurationError):
+            parse_bandwidth("10GB")
+
+
+class TestParseFrequency:
+    def test_hz(self):
+        assert parse_frequency("2.5GHz") == 2.5e9
+
+    def test_flops(self):
+        assert parse_frequency("10Gf") == 1e10
+        assert parse_frequency("1Tflops") == 1e12
+
+    def test_plain_number(self):
+        assert parse_frequency(5e9) == 5e9
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(ConfigurationError):
+            parse_frequency("3GW")
+
+
+class TestParseDuration:
+    def test_plain_seconds(self):
+        assert parse_duration(300) == 300.0
+
+    def test_suffixes(self):
+        assert parse_duration("500ms") == 0.5
+        assert parse_duration("2h") == 7200.0
+        assert parse_duration("15min") == 900.0
+        assert parse_duration("1d") == 86400.0
+        assert parse_duration("1w") == 604800.0
+
+    def test_unknown_suffix_raises(self):
+        with pytest.raises(ConfigurationError):
+            parse_duration("3fortnights")
+
+
+class TestFormatting:
+    def test_format_bytes_picks_unit(self):
+        assert format_bytes(2e9) == "2.00 GB"
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(1.5e3) == "1.50 kB"
+
+    def test_format_duration_with_days(self):
+        assert format_duration(90061) == "1d 01:01:01.00"
+
+    def test_format_duration_without_days(self):
+        assert format_duration(3661.5) == "01:01:01.50"
+
+    def test_format_duration_negative(self):
+        assert format_duration(-60).startswith("-")
+
+    def test_roundtrip_parse_format_bytes(self):
+        assert parse_bytes("2GB") == 2e9
+        assert format_bytes(parse_bytes("2GB")) == "2.00 GB"

@@ -1,0 +1,229 @@
+"""Tests for synthetic workload generation, arrival patterns and trace I/O."""
+
+import numpy as np
+import pytest
+
+from repro.config.infrastructure import InfrastructureConfig, SiteConfig
+from repro.utils.errors import WorkloadError
+from repro.workload import (
+    SyntheticWorkloadGenerator,
+    WorkloadSpec,
+    burst_arrivals,
+    constant_arrivals,
+    diurnal_arrivals,
+    hepscore_speed,
+    jobs_from_records,
+    load_trace,
+    poisson_arrivals,
+    records_from_jobs,
+    save_trace,
+    site_benchmark_table,
+)
+from repro.workload.job import Job
+
+
+class TestWorkloadSpec:
+    def test_invalid_spec_values(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(multicore_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(multicore_cores=1)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(walltime_median=0)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(arrival_rate=0)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(walltime_noise_sigma=-0.1)
+
+
+class TestSyntheticWorkloadGenerator:
+    def test_generation_is_deterministic(self, small_infrastructure):
+        a = SyntheticWorkloadGenerator(small_infrastructure, seed=5).generate(30)
+        b = SyntheticWorkloadGenerator(small_infrastructure, seed=5).generate(30)
+        assert [j.work for j in a] == [j.work for j in b]
+        assert [j.target_site for j in a] == [j.target_site for j in b]
+
+    def test_different_seeds_differ(self, small_infrastructure):
+        a = SyntheticWorkloadGenerator(small_infrastructure, seed=1).generate(30)
+        b = SyntheticWorkloadGenerator(small_infrastructure, seed=2).generate(30)
+        assert [j.work for j in a] != [j.work for j in b]
+
+    def test_jobs_have_ground_truth(self, small_infrastructure):
+        jobs = SyntheticWorkloadGenerator(small_infrastructure, seed=0).generate(20)
+        assert all(j.true_walltime and j.true_walltime > 0 for j in jobs)
+        assert all(j.true_queue_time is not None for j in jobs)
+        assert all(j.target_site in small_infrastructure.site_names for j in jobs)
+
+    def test_multicore_fraction_roughly_respected(self, small_infrastructure):
+        spec = WorkloadSpec(multicore_fraction=0.5)
+        jobs = SyntheticWorkloadGenerator(small_infrastructure, spec=spec, seed=0).generate(400)
+        fraction = sum(1 for j in jobs if j.is_multicore) / len(jobs)
+        assert 0.35 < fraction < 0.65
+
+    def test_zero_multicore_fraction(self, small_infrastructure):
+        spec = WorkloadSpec(multicore_fraction=0.0)
+        jobs = SyntheticWorkloadGenerator(small_infrastructure, spec=spec, seed=0).generate(50)
+        assert all(j.cores == 1 for j in jobs)
+
+    def test_work_matches_true_walltime_within_noise(self, small_infrastructure):
+        spec = WorkloadSpec(walltime_noise_sigma=0.0)
+        generator = SyntheticWorkloadGenerator(small_infrastructure, spec=spec, seed=0)
+        jobs = generator.generate(50)
+        for job in jobs:
+            true_speed = generator.true_core_speed(job.target_site)
+            implied = job.work / (true_speed * job.cores)
+            assert implied == pytest.approx(job.true_walltime, rel=1e-9)
+
+    def test_speed_bias_is_away_from_one(self, small_infrastructure):
+        generator = SyntheticWorkloadGenerator(small_infrastructure, seed=0)
+        for bias in generator.true_speed_bias.values():
+            assert bias < 0.75 or bias > 1.3
+
+    def test_generate_for_site(self, small_infrastructure):
+        generator = SyntheticWorkloadGenerator(small_infrastructure, seed=0)
+        jobs = generator.generate_for_site("MED", 25)
+        assert len(jobs) == 25
+        assert all(j.target_site == "MED" for j in jobs)
+        with pytest.raises(WorkloadError):
+            generator.generate_for_site("NOPE", 5)
+
+    def test_generate_per_site(self, small_infrastructure):
+        generator = SyntheticWorkloadGenerator(small_infrastructure, seed=0)
+        jobs = generator.generate_per_site(10)
+        assert len(jobs) == 30
+        per_site = {name: 0 for name in small_infrastructure.site_names}
+        for job in jobs:
+            per_site[job.target_site] += 1
+        assert all(count == 10 for count in per_site.values())
+
+    def test_site_weights_respected(self, small_infrastructure):
+        generator = SyntheticWorkloadGenerator(
+            small_infrastructure,
+            seed=0,
+            site_weights={"FAST": 1.0, "MED": 0.0, "SLOW": 0.0},
+        )
+        jobs = generator.generate(40)
+        assert all(j.target_site == "FAST" for j in jobs)
+
+    def test_missing_site_weight_rejected(self, small_infrastructure):
+        with pytest.raises(WorkloadError):
+            SyntheticWorkloadGenerator(
+                small_infrastructure, seed=0, site_weights={"FAST": 1.0}
+            )
+
+    def test_empty_infrastructure_rejected(self):
+        with pytest.raises(WorkloadError):
+            SyntheticWorkloadGenerator(InfrastructureConfig(sites=[]))
+
+    def test_arrival_rate_spreads_submissions(self, small_infrastructure):
+        spec = WorkloadSpec(arrival_rate=0.1)
+        jobs = SyntheticWorkloadGenerator(small_infrastructure, spec=spec, seed=0).generate(20)
+        times = [j.submission_time for j in jobs]
+        assert len(set(times)) > 1
+        assert all(t >= 0 for t in times)
+
+    def test_negative_count_rejected(self, small_infrastructure):
+        generator = SyntheticWorkloadGenerator(small_infrastructure, seed=0)
+        with pytest.raises(WorkloadError):
+            generator.generate(-1)
+
+
+class TestArrivalPatterns:
+    def test_constant_arrivals(self):
+        assert constant_arrivals(3, 10.0, start=5.0) == [5.0, 15.0, 25.0]
+
+    def test_poisson_arrivals_sorted_and_positive(self):
+        arrivals = poisson_arrivals(100, rate=0.5, seed=1)
+        assert len(arrivals) == 100
+        assert all(b >= a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_poisson_rate_controls_density(self):
+        fast = poisson_arrivals(200, rate=10.0, seed=1)
+        slow = poisson_arrivals(200, rate=0.1, seed=1)
+        assert fast[-1] < slow[-1]
+
+    def test_burst_arrivals_group_jobs(self):
+        arrivals = burst_arrivals(10, burst_size=5, burst_interval=100.0, intra_burst_interval=1.0)
+        assert len(arrivals) == 10
+        assert arrivals[0] == 0.0
+        assert arrivals[5] == 100.0
+
+    def test_diurnal_arrivals_monotone(self):
+        arrivals = diurnal_arrivals(50, mean_rate=0.01, seed=2)
+        assert len(arrivals) == 50
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_invalid_pattern_arguments(self):
+        with pytest.raises(WorkloadError):
+            poisson_arrivals(5, rate=0)
+        with pytest.raises(WorkloadError):
+            burst_arrivals(5, burst_size=0, burst_interval=1)
+        with pytest.raises(WorkloadError):
+            diurnal_arrivals(5, mean_rate=1.0, amplitude=1.5)
+        with pytest.raises(WorkloadError):
+            constant_arrivals(-1, 1.0)
+
+
+class TestHepscore:
+    def test_speed_is_deterministic_per_name(self):
+        assert hepscore_speed("BNL") == hepscore_speed("BNL")
+
+    def test_speeds_differ_across_sites(self):
+        assert hepscore_speed("BNL") != hepscore_speed("CERN")
+
+    def test_speed_within_published_spread(self):
+        table = site_benchmark_table(["BNL", "CERN", "DESY-ZN", "LRZ-LMU", "RAL-LCG2"])
+        assert all(10.0 <= score <= 35.0 for score in table.values())
+
+
+class TestTraceIO:
+    def test_csv_roundtrip(self, tmp_path, small_jobs):
+        path = save_trace(small_jobs, tmp_path / "trace.csv")
+        loaded = load_trace(path)
+        assert len(loaded) == len(small_jobs)
+        assert [j.job_id for j in loaded] == [j.job_id for j in small_jobs]
+        assert loaded[0].work == pytest.approx(small_jobs[0].work)
+        assert loaded[0].target_site == small_jobs[0].target_site
+
+    def test_json_roundtrip(self, tmp_path, small_jobs):
+        path = save_trace(small_jobs, tmp_path / "trace.json")
+        loaded = load_trace(path)
+        assert len(loaded) == len(small_jobs)
+        assert loaded[3].cores == small_jobs[3].cores
+
+    def test_records_roundtrip_without_files(self, small_jobs):
+        records = records_from_jobs(small_jobs)
+        jobs = jobs_from_records(records)
+        assert [j.true_walltime for j in jobs] == pytest.approx(
+            [j.true_walltime for j in small_jobs]
+        )
+
+    def test_dynamic_state_not_persisted(self, tmp_path, small_jobs):
+        from repro.workload.job import JobState
+
+        job = small_jobs[0]
+        job.advance(JobState.ASSIGNED, 1.0, site="FAST")
+        path = save_trace(small_jobs, tmp_path / "trace.csv")
+        loaded = load_trace(path)
+        assert loaded[0].state is JobState.CREATED
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_trace(tmp_path / "missing.csv")
+
+    def test_unknown_format_raises(self, tmp_path, small_jobs):
+        with pytest.raises(WorkloadError):
+            save_trace(small_jobs, tmp_path / "trace.xml", fmt="xml")
+
+    def test_record_with_unknown_field_rejected(self):
+        with pytest.raises(WorkloadError):
+            jobs_from_records([{"work": 1.0, "gpu_count": 2}])
+
+    def test_record_missing_work_rejected(self):
+        with pytest.raises(WorkloadError):
+            jobs_from_records([{"cores": 2}])
+
+    def test_record_defaults_for_missing_optional_fields(self):
+        jobs = jobs_from_records([{"work": 5.0, "cores": None, "input_files": ""}])
+        assert jobs[0].cores == 1
+        assert jobs[0].input_files == 0
