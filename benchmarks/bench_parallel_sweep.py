@@ -1,0 +1,126 @@
+"""Parallel experiment-runner benchmark: speedup and determinism.
+
+The :mod:`repro.experiments` sweep runner exists so ensemble studies (the
+paper's calibration sweeps, scaling series and failure-injection studies) use
+every core of the machine.  This benchmark checks its two contracts on a
+32-run sweep:
+
+* **Determinism** -- the aggregate metrics from ``SweepRunner(n_workers=1)``
+  are bit-identical to a hand-rolled sequential loop over the public
+  :class:`repro.Simulator` API with the same derived seeds, and to the
+  4-worker parallel run.  Asserted unconditionally.
+* **Speedup** -- 4 workers beat 1 worker by >= 2x wall-clock.  Parallel
+  speedup needs parallel hardware, so this is asserted only when the process
+  may use >= 4 CPUs (>= 1.3x when 2-3); on fewer cores the measured factor
+  is still recorded in ``benchmarks/results/parallel_sweep.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import ExecutionConfig, Simulator, SyntheticWorkloadGenerator
+from repro.config.execution import MonitoringConfig
+from repro.config.generators import generate_grid
+from repro.experiments import RunSpec, SweepRunner, default_workers, scenario_grid
+from repro.workload.generator import WorkloadSpec
+
+#: The sweep: 4 scenarios x 8 replications = 32 independent runs.
+SWEEP_RUNS = 32
+REPLICATIONS = 8
+JOBS_PER_RUN = 400
+SITES = [4, 8]
+POLICIES = ["least_loaded", "round_robin"]
+AGGREGATED = ("makespan", "mean_queue_time", "throughput", "failure_rate")
+
+
+def _specs() -> list:
+    specs = scenario_grid(
+        RunSpec(jobs=JOBS_PER_RUN, seed=17),
+        replications=REPLICATIONS,
+        sites=SITES,
+        policy=POLICIES,
+    )
+    assert len(specs) == SWEEP_RUNS
+    return specs
+
+
+def _sequential_reference(specs) -> list:
+    """The pre-existing sequential path: a plain loop over the Simulator API.
+
+    Re-derives every seed exactly as the sweep runner does and aggregates the
+    same metrics, without touching the runner -- the independent reference
+    the determinism claim is measured against.
+    """
+    from repro.experiments.aggregate import aggregate_results
+    from repro.experiments.spec import RunResult
+
+    results = []
+    for spec in specs:
+        infrastructure, topology = generate_grid(
+            spec.sites, seed=spec.scenario_seed_for("grid"), topology=spec.topology
+        )
+        generator = SyntheticWorkloadGenerator(
+            infrastructure, spec=WorkloadSpec(), seed=spec.seed_for("workload")
+        )
+        jobs = generator.generate(spec.jobs)
+        execution = ExecutionConfig(
+            plugin=spec.policy,
+            seed=spec.run_seed,
+            max_retries=spec.max_retries,
+            monitoring=MonitoringConfig(enable_events=False, snapshot_interval=0.0),
+        )
+        result = Simulator(infrastructure, topology, execution).run(jobs)
+        results.append(
+            RunResult(
+                spec=spec,
+                metrics=result.metrics.to_dict(),
+                simulated_time=result.simulated_time,
+            )
+        )
+    return aggregate_results(results, metrics=AGGREGATED)
+
+
+def _timed_sweep(n_workers: int):
+    runner = SweepRunner(n_workers=n_workers)
+    started = time.perf_counter()
+    sweep = runner.run(_specs())
+    elapsed = time.perf_counter() - started
+    assert not sweep.failed, [r.error for r in sweep.failed]
+    return sweep.aggregate(AGGREGATED), elapsed
+
+
+@pytest.mark.benchmark(group="parallel-sweep")
+def test_parallel_sweep_speedup_and_determinism(record_result):
+    reference = _sequential_reference(_specs())
+    agg_1, seconds_1 = _timed_sweep(1)
+    agg_4, seconds_4 = _timed_sweep(4)
+
+    # Determinism: 1 worker == sequential reference == 4 workers, bit for bit.
+    assert agg_1 == reference
+    assert agg_4 == reference
+
+    cpus = default_workers()
+    speedup = seconds_1 / seconds_4 if seconds_4 > 0 else float("inf")
+    record_result(
+        "parallel_sweep",
+        {
+            "runs": SWEEP_RUNS,
+            "jobs_per_run": JOBS_PER_RUN,
+            "seconds_1_worker": seconds_1,
+            "seconds_4_workers": seconds_4,
+            "speedup_4_vs_1": speedup,
+            "usable_cpus": cpus,
+            "deterministic_across_worker_counts": True,
+        },
+    )
+    print(
+        f"\n32-run sweep: 1 worker {seconds_1:.2f} s, 4 workers {seconds_4:.2f} s "
+        f"-> speedup {speedup:.2f}x on {cpus} usable CPU(s)"
+    )
+    if cpus >= 4:
+        assert speedup >= 2.0, f"expected >= 2x speedup on {cpus} CPUs, got {speedup:.2f}x"
+    elif cpus >= 2:
+        assert speedup >= 1.3, f"expected >= 1.3x speedup on {cpus} CPUs, got {speedup:.2f}x"

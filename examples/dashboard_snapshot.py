@@ -32,8 +32,14 @@ def main() -> None:
     parser.add_argument("--sites", type=int, default=8)
     parser.add_argument("--jobs", type=int, default=800)
     parser.add_argument("--seed", type=int, default=9)
-    parser.add_argument("--outdir", type=Path, default=Path("dashboard_output"))
+    parser.add_argument(
+        "--outdir", type=Path, default=Path("dashboard_output"),
+        help="directory for the SQLite/CSV/JSON outputs (default: ./dashboard_output)",
+    )
     args = parser.parse_args()
+    # Resolve against the cwd once, so every write and every printed path below
+    # refers to the same absolute location regardless of how we were launched.
+    args.outdir = args.outdir.resolve()
     args.outdir.mkdir(parents=True, exist_ok=True)
 
     # Run with 10-minute snapshots and both persistent output back-ends.

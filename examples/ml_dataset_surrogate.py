@@ -34,8 +34,12 @@ def main() -> None:
     parser.add_argument("--jobs", type=int, default=1500)
     parser.add_argument("--sites", type=int, default=15)
     parser.add_argument("--seed", type=int, default=5)
-    parser.add_argument("--outdir", type=Path, default=Path("ml_output"))
+    parser.add_argument(
+        "--outdir", type=Path, default=Path("ml_output"),
+        help="directory for the exported CSV datasets (default: ./ml_output)",
+    )
     args = parser.parse_args()
+    args.outdir = args.outdir.resolve()
 
     # 1. Simulate with full event-level monitoring (Table 1 rows).
     infrastructure, topology = wlcg_grid(site_count=args.sites)

@@ -1,7 +1,8 @@
 """Setuptools shim.
 
-The project is fully described by ``pyproject.toml``; this file only exists so
-that ``pip install -e . --no-use-pep517`` (legacy editable install) works in
+The project is fully described by ``pyproject.toml`` (src-layout package,
+console scripts, metadata); this file only exists so that
+``pip install -e . --no-use-pep517`` (legacy editable install) works in
 offline environments that lack the ``wheel`` package required by PEP 517
 editable builds.
 """

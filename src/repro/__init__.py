@@ -25,6 +25,9 @@ on top of SimGrid.  Here every layer is implemented in pure Python:
 * :mod:`repro.mldata` -- ML-ready event dataset assembly and a surrogate
   baseline.
 * :mod:`repro.atlas` -- the ATLAS/WLCG case-study builders.
+* :mod:`repro.experiments` -- parallel experiment sweeps: fan independent
+  simulation runs (scenario grids, seed replications, calibration trials)
+  across worker processes with deterministic derived seeding.
 
 Quickstart
 ----------
@@ -61,6 +64,7 @@ from repro.core import (
 from repro.monitoring import Dashboard, MonitoringCollector, SQLiteStore
 from repro.plugins import AllocationPolicy, ResourceView, available_policies, create_policy
 from repro.workload import Job, JobState, SyntheticWorkloadGenerator, WorkloadSpec, load_trace, save_trace
+from repro.experiments import RunResult, RunSpec, SweepResult, SweepRunner, scenario_grid
 
 __version__ = "1.0.0"
 
@@ -107,4 +111,10 @@ __all__ = [
     "MonitoringCollector",
     "SQLiteStore",
     "Dashboard",
+    # experiment sweeps
+    "RunSpec",
+    "RunResult",
+    "SweepRunner",
+    "SweepResult",
+    "scenario_grid",
 ]

@@ -7,7 +7,7 @@ near-linear site scaling) and plain-text report tables for the benchmark
 harness output.
 """
 
-from repro.analysis.reporting import format_table, metrics_table, site_table
+from repro.analysis.reporting import format_table, metrics_table, site_table, sweep_table
 from repro.analysis.scaling import ScalingFit, fit_power_law, linearity_score
 from repro.analysis.stats import bootstrap_ci, geometric_mean, relative_mae, speedup
 
@@ -22,4 +22,5 @@ __all__ = [
     "format_table",
     "metrics_table",
     "site_table",
+    "sweep_table",
 ]

@@ -12,7 +12,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.metrics import SimulationMetrics
 
-__all__ = ["format_table", "metrics_table", "site_table"]
+__all__ = ["format_table", "metrics_table", "site_table", "sweep_table"]
 
 
 def _format_value(value) -> str:
@@ -62,3 +62,20 @@ def site_table(metrics: SimulationMetrics) -> str:
     """Per-site breakdown table of a run."""
     rows = [m.to_row() for m in metrics.per_site.values()]
     return format_table(rows) if rows else "(no per-site data)"
+
+
+def sweep_table(rows: Sequence[dict]) -> str:
+    """Per-scenario summary table of an experiment sweep.
+
+    ``rows`` is the output of
+    :func:`repro.experiments.aggregate.aggregate_results`: one dict per
+    scenario with ``scenario``/``runs``/``errors`` plus per-metric mean and
+    confidence-interval columns.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(empty sweep)"
+    columns = ["scenario", "runs", "errors"] + [
+        col for col in rows[0] if col not in ("scenario", "runs", "errors")
+    ]
+    return format_table(rows, columns=columns)

@@ -261,6 +261,12 @@ class GridCalibrator:
         Sites with fewer ground-truth jobs than this are skipped (they keep
         their nominal speed), mirroring how sparsely-covered sites cannot be
         calibrated reliably.
+    n_workers:
+        Process count for per-site calibration.  Sites are independent
+        optimisation problems, so they fan out over a process pool; ``1``
+        (the default) keeps the sequential path.  Each site's result is
+        deterministic given its seed, so every worker count returns the
+        identical report.
     """
 
     def __init__(
@@ -273,6 +279,7 @@ class GridCalibrator:
         speed_bounds: Tuple[float, float] = (0.2, 3.0),
         seed: int = 0,
         min_jobs_per_site: int = 5,
+        n_workers: int = 1,
     ) -> None:
         self.infrastructure = infrastructure
         self.jobs_by_site: Dict[str, List[Job]] = {}
@@ -285,10 +292,18 @@ class GridCalibrator:
         self.speed_bounds = speed_bounds
         self.seed = seed
         self.min_jobs_per_site = min_jobs_per_site
+        self.n_workers = int(n_workers)
 
-    def calibrate(self) -> CalibrationReport:
-        """Calibrate every sufficiently-covered site and return the report."""
-        report = CalibrationReport()
+    def calibrate(self, n_workers: Optional[int] = None) -> CalibrationReport:
+        """Calibrate every sufficiently-covered site and return the report.
+
+        ``n_workers`` overrides the constructor's setting for this call;
+        anything above 1 fans the independent per-site optimisations across
+        a process pool while preserving site order and per-site seeds, so
+        the report is identical to the sequential one.
+        """
+        n_workers = self.n_workers if n_workers is None else int(n_workers)
+        tasks = []
         for index, site in enumerate(self.infrastructure.sites):
             site_jobs = [
                 j
@@ -297,20 +312,41 @@ class GridCalibrator:
             ]
             if len(site_jobs) < self.min_jobs_per_site:
                 continue
-            calibrator = SiteCalibrator(
-                site,
-                site_jobs,
-                optimizer=self.optimizer,
-                budget=self.budget,
-                speed_bounds=self.speed_bounds,
-                mode=self.mode,
-                seed=self.seed + index,
+            tasks.append(
+                (
+                    site,
+                    site_jobs,
+                    self.optimizer,
+                    self.budget,
+                    self.speed_bounds,
+                    self.mode,
+                    self.seed + index,
+                )
             )
-            report.sites.append(calibrator.calibrate())
-        if not report.sites:
+        if not tasks:
             raise CalibrationError("no site had enough ground-truth jobs to calibrate")
-        return report
+        # Imported lazily: repro.experiments pulls in the analysis layer,
+        # which imports this package's objective module.
+        from repro.experiments.runner import parallel_map
+
+        results = parallel_map(_calibrate_site_task, tasks, n_workers=n_workers)
+        return CalibrationReport(sites=results)
 
     def calibrated_infrastructure(self, report: CalibrationReport) -> InfrastructureConfig:
         """Return a copy of the infrastructure with calibrated speeds applied."""
         return self.infrastructure.with_core_speeds(report.calibrated_speeds())
+
+
+def _calibrate_site_task(task) -> SiteCalibrationResult:
+    """Picklable per-site calibration job dispatched by :meth:`GridCalibrator.calibrate`."""
+    site, site_jobs, optimizer, budget, speed_bounds, mode, seed = task
+    calibrator = SiteCalibrator(
+        site,
+        site_jobs,
+        optimizer=optimizer,
+        budget=budget,
+        speed_bounds=speed_bounds,
+        mode=mode,
+        seed=seed,
+    )
+    return calibrator.calibrate()

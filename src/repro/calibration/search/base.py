@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple, Type
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
@@ -50,8 +50,27 @@ class Optimizer(abc.ABC):
 
     name = "base"
 
+    #: Optional order-preserving map used to evaluate independent candidate
+    #: batches (e.g. :func:`repro.experiments.parallel_map` bound to a worker
+    #: pool).  ``None`` evaluates sequentially.  Results are consumed in
+    #: candidate order either way, so swapping the mapper never changes the
+    #: optimisation trajectory -- only the wall-clock time.
+    batch_map: Optional[Callable[[Objective, List[np.ndarray]], Iterable[float]]] = None
+
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
+
+    def evaluate_batch(self, objective: Objective, candidates: Sequence[np.ndarray]) -> List[float]:
+        """Evaluate independent candidates, in order, through :attr:`batch_map`.
+
+        Random/brute-force search evaluate their whole budget through one
+        call; CMA-ES evaluates one population per generation.  The Bayesian
+        optimizer is inherently sequential (each point conditions the next
+        posterior) and does not use this hook.
+        """
+        candidates = list(candidates)
+        mapper = self.batch_map if self.batch_map is not None else map
+        return [float(value) for value in mapper(objective, candidates)]
 
     @staticmethod
     def _validate(bounds: Bounds, budget: int) -> np.ndarray:
@@ -97,10 +116,13 @@ def register_optimizer(name: str):
     return decorator
 
 
-def get_optimizer(name: str, seed: int = 0, **kwargs) -> Optimizer:
+def get_optimizer(name: str, seed: int = 0, batch_map=None, **kwargs) -> Optimizer:
     """Instantiate a registered optimizer by name.
 
     Known names: ``"brute_force"``, ``"random"``, ``"bayesian"``, ``"cmaes"``.
+    ``batch_map`` installs a parallel candidate evaluator (see
+    :attr:`Optimizer.batch_map`) without every optimizer having to thread it
+    through its constructor.
     """
     try:
         cls = _OPTIMIZERS[name]
@@ -108,4 +130,7 @@ def get_optimizer(name: str, seed: int = 0, **kwargs) -> Optimizer:
         raise CalibrationError(
             f"unknown optimizer {name!r}; available: {sorted(_OPTIMIZERS)}"
         ) from None
-    return cls(seed=seed, **kwargs)
+    optimizer = cls(seed=seed, **kwargs)
+    if batch_map is not None:
+        optimizer.batch_map = batch_map
+    return optimizer

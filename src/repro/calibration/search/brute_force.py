@@ -35,10 +35,12 @@ class BruteForceOptimizer(Optimizer):
         while points_per_dim > 2 and points_per_dim**dims > budget:
             points_per_dim -= 1
         axes = [np.linspace(low, high, points_per_dim) for low, high in box]
-        history: List[Tuple[np.ndarray, float]] = []
-        for values in itertools.product(*axes):
-            if len(history) >= budget:
-                break
-            x = np.asarray(values, dtype=float)
-            history.append((x, float(objective(x))))
+        # Grid points are independent; evaluate them as one (parallelisable)
+        # batch, truncated to the budget.
+        candidates: List[np.ndarray] = [
+            np.asarray(values, dtype=float)
+            for values in itertools.islice(itertools.product(*axes), budget)
+        ]
+        evaluated = self.evaluate_batch(objective, candidates)
+        history: List[Tuple[np.ndarray, float]] = list(zip(candidates, evaluated))
         return self._finalize(history)

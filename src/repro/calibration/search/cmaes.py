@@ -81,15 +81,18 @@ class CMAESOptimizer(Optimizer):
             inv_sqrt_C = eigenvectors @ np.diag(1.0 / np.sqrt(eigenvalues)) @ eigenvectors.T
 
             this_lam = min(lam, budget - evaluations)
-            samples = []
+            # The population of one generation is independent: draw it all
+            # (RNG order identical to the sequential loop), then evaluate as
+            # one batch (parallel when a batch_map is installed).
+            us = []
             for _ in range(this_lam):
                 z = rng.standard_normal(n)
-                u = np.clip(mean + sigma * (sqrt_C @ z), 0.0, 1.0)
-                x = denorm(u)
-                value = float(objective(x))
-                samples.append((u, value))
-                history.append((x, value))
-                evaluations += 1
+                us.append(np.clip(mean + sigma * (sqrt_C @ z), 0.0, 1.0))
+            xs = [denorm(u) for u in us]
+            values = self.evaluate_batch(objective, xs)
+            samples = list(zip(us, values))
+            history.extend(zip(xs, values))
+            evaluations += this_lam
             if evaluations >= budget and this_lam < mu:
                 break  # not enough samples to update; best-so-far is returned
 

@@ -24,8 +24,9 @@ class RandomSearchOptimizer(Optimizer):
     def minimize(self, objective, bounds, budget: int) -> OptimizationResult:
         box = self._validate(bounds, budget)
         rng = np.random.default_rng(self.seed)
-        history: List[Tuple[np.ndarray, float]] = []
-        for _ in range(budget):
-            x = rng.uniform(box[:, 0], box[:, 1])
-            history.append((x, float(objective(x))))
+        # Every trial is independent, so the whole budget is drawn up front
+        # and evaluated as one batch (parallel when a batch_map is installed).
+        candidates = [rng.uniform(box[:, 0], box[:, 1]) for _ in range(budget)]
+        values = self.evaluate_batch(objective, candidates)
+        history: List[Tuple[np.ndarray, float]] = list(zip(candidates, values))
         return self._finalize(history)

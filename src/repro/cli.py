@@ -15,7 +15,10 @@ writing any Python:
   for one site against a trace (which parameter dominates walltime accuracy);
 * ``cgsim compare-policies`` -- replay one trace under several allocation
   policies and print the operational metrics side by side;
-* ``cgsim policies`` -- list the registered allocation policies.
+* ``cgsim policies`` -- list the registered allocation policies;
+* ``cgsim sweep`` -- fan a grid of independent scenario runs (sites x
+  policies x failure rates, with seed replications) across worker processes
+  and print the per-scenario aggregate table.
 """
 
 from __future__ import annotations
@@ -120,6 +123,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("policies", help="list registered allocation policies")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a parallel scenario sweep and print per-scenario aggregates",
+    )
+    sweep.add_argument("--sites", default="4",
+                       help="comma-separated site counts to sweep")
+    sweep.add_argument("--jobs", type=int, default=200, help="jobs per run")
+    sweep.add_argument("--policies", default="least_loaded",
+                       help="comma-separated allocation-policy names")
+    sweep.add_argument("--failure-rates", default="0.0",
+                       help="comma-separated per-site job failure probabilities")
+    sweep.add_argument("--grid", choices=["synthetic", "wlcg"], default="synthetic")
+    sweep.add_argument("--replications", type=int, default=3,
+                       help="independent seed replications per scenario")
+    sweep.add_argument("--max-retries", type=int, default=0)
+    sweep.add_argument("--seed", type=int, default=0, help="root seed of the sweep")
+    sweep.add_argument("--workers", type=int, default=0,
+                       help="worker processes (0 = one per available CPU)")
+    sweep.add_argument("--metrics", default="makespan,mean_queue_time,throughput,failure_rate",
+                       help="comma-separated grid-level metrics to aggregate")
+    sweep.add_argument("--output", type=Path, default=None,
+                       help="write the full per-run results as JSON here")
     return parser
 
 
@@ -250,6 +276,67 @@ def _cmd_policies(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_csv(raw: str, cast, flag: str) -> list:
+    """Parse a comma-separated CLI list, reporting bad items as a CGSimError."""
+    values = []
+    for item in raw.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        try:
+            values.append(cast(item))
+        except ValueError:
+            raise CGSimError(f"invalid value {item!r} for {flag}") from None
+    if not values:
+        raise CGSimError(f"{flag} must list at least one value")
+    return values
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import RunSpec, SweepRunner, scenario_grid
+
+    axes = {
+        "sites": _parse_csv(args.sites, int, "--sites"),
+        "policy": _parse_csv(args.policies, str, "--policies"),
+        "failure_rate": _parse_csv(args.failure_rates, float, "--failure-rates"),
+    }
+    # Single-valued axes pin the base spec instead of widening scenario names.
+    base = RunSpec(
+        jobs=args.jobs,
+        seed=args.seed,
+        grid=args.grid,
+        max_retries=args.max_retries,
+    )
+    for name in list(axes):
+        if len(axes[name]) == 1:
+            base = base.with_(**{name: axes.pop(name)[0]})
+    specs = scenario_grid(base, replications=args.replications, **axes)
+
+    runner = SweepRunner(n_workers=args.workers or None)
+    print(
+        f"Sweep: {len(specs)} runs "
+        f"({len(specs) // max(1, args.replications)} scenarios x "
+        f"{args.replications} replications) on {runner.n_workers} worker(s)"
+    )
+    sweep = runner.run(specs)
+    metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
+    print()
+    print(sweep.table(metrics))
+    print(
+        f"\n{len(sweep.ok)}/{len(sweep)} runs succeeded "
+        f"in {sweep.wallclock_seconds:.2f} s wall-clock"
+    )
+    for failed in sweep.failed:
+        print(f"  failed: {failed.spec.label()}: {failed.error}", file=sys.stderr)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(
+            json.dumps(sweep.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote per-run results to {args.output}")
+    return 0 if not sweep.failed else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``cgsim`` command."""
     parser = build_parser()
@@ -262,6 +349,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sensitivity": _cmd_sensitivity,
         "compare-policies": _cmd_compare_policies,
         "policies": _cmd_policies,
+        "sweep": _cmd_sweep,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,334 @@
+"""Fan independent simulation runs across worker processes.
+
+The sweep machinery has three layers:
+
+* :func:`execute_run` -- a module-level, picklable function turning one
+  :class:`~repro.experiments.spec.RunSpec` into a
+  :class:`~repro.experiments.spec.RunResult` (build grid, generate workload,
+  simulate, summarise).  Exceptions become recorded errors, never crashes.
+* :func:`parallel_map` -- an order-preserving map over a
+  :class:`concurrent.futures.ProcessPoolExecutor` with chunked dispatch;
+  ``n_workers <= 1`` degenerates to a plain in-process loop, which is both
+  the debugging mode and the bit-identical sequential reference.
+* :class:`SweepRunner` -- the user-facing façade: hand it specs, get back a
+  :class:`SweepResult` with per-run outcomes and aggregation helpers.
+
+Determinism contract: a run's outcome depends only on its spec (every RNG
+stream is derived from the spec via :func:`repro.utils.rng.derive_seed`), and
+``parallel_map`` returns results in submission order -- so the same specs
+produce identical sweep results for any worker count.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.atlas.wlcg import wlcg_grid
+from repro.config.execution import ExecutionConfig, MonitoringConfig
+from repro.config.generators import generate_grid
+from repro.core.simulator import Simulator
+from repro.experiments.spec import RunResult, RunSpec
+from repro.faults.models import JobFailureModel
+from repro.utils.errors import CGSimError
+from repro.workload.generator import SyntheticWorkloadGenerator, WorkloadSpec
+
+__all__ = ["execute_run", "parallel_map", "SweepRunner", "SweepResult", "default_workers"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+RunFunction = Callable[[RunSpec], RunResult]
+
+
+def default_workers() -> int:
+    """Worker count matching the CPUs this process may actually use."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def execute_run(spec: RunSpec) -> RunResult:
+    """Execute one simulation run described by ``spec`` (picklable entry point).
+
+    All randomness is derived from the spec: the grid layout is shared by
+    every replicate of a scenario (scenario-scoped seed), while the workload
+    and fault streams vary per replicate (run-scoped seeds) -- so replication
+    measures workload variance on a fixed infrastructure.
+    """
+    started = time.perf_counter()
+    try:
+        if spec.grid == "wlcg":
+            infrastructure, topology = wlcg_grid(site_count=spec.sites)
+        else:
+            infrastructure, topology = generate_grid(
+                spec.sites,
+                seed=spec.scenario_seed_for("grid"),
+                topology=spec.topology,
+            )
+        overrides = {}
+        if spec.multicore_fraction is not None:
+            overrides["multicore_fraction"] = spec.multicore_fraction
+        if spec.walltime_median is not None:
+            overrides["walltime_median"] = spec.walltime_median
+        workload_spec = WorkloadSpec(**overrides)
+        generator = SyntheticWorkloadGenerator(
+            infrastructure, spec=workload_spec, seed=spec.seed_for("workload")
+        )
+        jobs = generator.generate(spec.jobs)
+
+        failure_model = None
+        if spec.failure_rate > 0.0:
+            failure_model = JobFailureModel(
+                default_rate=spec.failure_rate, seed=spec.seed_for("faults")
+            )
+        execution = ExecutionConfig(
+            plugin=spec.policy,
+            seed=spec.run_seed,
+            max_retries=spec.max_retries,
+            monitoring=MonitoringConfig(enable_events=False, snapshot_interval=0.0),
+        )
+        simulator = Simulator(
+            infrastructure, topology, execution, failure_model=failure_model
+        )
+        result = simulator.run(jobs)
+        return RunResult(
+            spec=spec,
+            metrics=result.metrics.to_dict(),
+            simulated_time=result.simulated_time,
+            wallclock_seconds=time.perf_counter() - started,
+        )
+    except Exception as exc:  # noqa: BLE001 - a sweep must record, not crash
+        return RunResult(
+            spec=spec,
+            error=f"{type(exc).__name__}: {exc}",
+            error_traceback=traceback.format_exc(),
+            wallclock_seconds=time.perf_counter() - started,
+        )
+
+
+def _guarded(fn: Callable[[T], R], item: T):
+    """Run ``fn`` in the worker; turn exceptions into a marker tuple.
+
+    ``ProcessPoolExecutor.map`` re-raises the first worker exception in the
+    parent and abandons the remaining items; wrapping here keeps every item's
+    outcome, which :func:`parallel_map` then re-raises or records as its
+    caller asked.  The exception *instance* is shipped back when picklable so
+    the parent re-raises the original type (callers' ``except SomeError:``
+    clauses behave identically for any worker count).
+    """
+    try:
+        return True, fn(item)
+    except Exception as exc:  # noqa: BLE001 - transported to the parent
+        try:
+            pickle.dumps(exc)
+        except Exception:  # noqa: BLE001 - unpicklable exception payload
+            exc = CGSimError(f"{type(exc).__name__}: {exc}")
+        return False, (exc, traceback.format_exc())
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    n_workers: int = 1,
+    chunk_size: Optional[int] = None,
+    on_error: str = "raise",
+) -> List[R]:
+    """Order-preserving map over a process pool.
+
+    Parameters
+    ----------
+    fn:
+        A picklable (module-level) callable.
+    items:
+        The work items; each must be picklable when ``n_workers > 1``.
+    n_workers:
+        ``<= 1`` runs a plain in-process loop (no pool, no pickling);
+        ``> 1`` dispatches over a :class:`ProcessPoolExecutor`.
+    chunk_size:
+        Items handed to a worker per round-trip; defaults to roughly
+        ``len(items) / (4 * n_workers)`` so scheduling overhead amortises
+        while load still balances.
+    on_error:
+        ``"raise"`` re-raises the first failure (in item order); ``"none"``
+        substitutes ``None`` for failed items.
+    """
+    if on_error not in ("raise", "none"):
+        raise CGSimError(f"unknown on_error mode {on_error!r} (raise|none)")
+    items = list(items)
+    if not items:
+        return []
+    if n_workers <= 1:
+        results: List[R] = []
+        for item in items:
+            if on_error == "raise":
+                results.append(fn(item))
+            else:
+                try:
+                    results.append(fn(item))
+                except Exception:  # noqa: BLE001
+                    results.append(None)  # type: ignore[arg-type]
+        return results
+
+    n_workers = min(int(n_workers), len(items))
+    if chunk_size is None:
+        chunk_size = max(1, len(items) // (4 * n_workers))
+    guarded = partial(_guarded, fn)
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        outcomes = list(pool.map(guarded, items, chunksize=int(chunk_size)))
+    results = []
+    for ok, payload in outcomes:
+        if ok:
+            results.append(payload)
+        elif on_error == "none":
+            results.append(None)  # type: ignore[arg-type]
+        else:
+            exc, tb = payload
+            raise exc from CGSimError(f"worker traceback:\n{tb}")
+    return results
+
+
+@dataclass
+class SweepResult:
+    """Every run's outcome plus sweep-level bookkeeping."""
+
+    results: List[RunResult] = field(default_factory=list)
+    n_workers: int = 1
+    wallclock_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def ok(self) -> List[RunResult]:
+        """Runs that completed successfully."""
+        return [r for r in self.results if r.ok]
+
+    @property
+    def failed(self) -> List[RunResult]:
+        """Runs that recorded an error."""
+        return [r for r in self.results if not r.ok]
+
+    def values(self, metric: str, scenario: Optional[str] = None) -> List[float]:
+        """The given grid-level metric of every successful run, in run order."""
+        return [
+            r.metric(metric)
+            for r in self.ok
+            if scenario is None or r.spec.scenario == scenario
+        ]
+
+    def scenarios(self) -> List[str]:
+        """Distinct scenario labels, in first-appearance order."""
+        seen: List[str] = []
+        for result in self.results:
+            if result.spec.scenario not in seen:
+                seen.append(result.spec.scenario)
+        return seen
+
+    def aggregate(self, metrics: Sequence[str] = ("makespan", "mean_queue_time")) -> List[dict]:
+        """Per-scenario summary rows (delegates to :mod:`repro.experiments.aggregate`)."""
+        from repro.experiments.aggregate import aggregate_results
+
+        return aggregate_results(self.results, metrics=metrics)
+
+    def table(self, metrics: Sequence[str] = ("makespan", "mean_queue_time")) -> str:
+        """Fixed-width text table of :meth:`aggregate`."""
+        from repro.analysis.reporting import sweep_table
+
+        return sweep_table(self.aggregate(metrics))
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation of the whole sweep."""
+        return {
+            "n_workers": self.n_workers,
+            "wallclock_seconds": self.wallclock_seconds,
+            "runs": [r.to_dict() for r in self.results],
+        }
+
+
+class SweepRunner:
+    """Run many independent simulations, optionally across processes.
+
+    Parameters
+    ----------
+    run_fn:
+        Module-level callable mapping a :class:`RunSpec` to a
+        :class:`RunResult`; defaults to :func:`execute_run`.  Must be
+        picklable when ``n_workers > 1``.
+    n_workers:
+        Process count; ``1`` (the default) runs everything in-process and is
+        the bit-identical sequential reference, ``0``/``None`` means "one
+        per available CPU".
+    chunk_size:
+        Specs handed to a worker per round-trip (see :func:`parallel_map`).
+
+    Examples
+    --------
+    >>> from repro.experiments import RunSpec, SweepRunner, scenario_grid
+    >>> specs = scenario_grid(RunSpec(jobs=50, sites=2), replications=2, policy=["round_robin"])
+    >>> sweep = SweepRunner(n_workers=1).run(specs)
+    >>> len(sweep.ok)
+    2
+    """
+
+    def __init__(
+        self,
+        run_fn: RunFunction = execute_run,
+        n_workers: Optional[int] = 1,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if not n_workers:
+            n_workers = default_workers()
+        if n_workers < 1:
+            raise CGSimError("n_workers must be >= 1 (or 0 for one per CPU)")
+        self.run_fn = run_fn
+        self.n_workers = int(n_workers)
+        self.chunk_size = chunk_size
+
+    def run(self, specs: Iterable[RunSpec]) -> SweepResult:
+        """Execute every spec and collect the outcomes in submission order.
+
+        A run that raises is recorded as a failed :class:`RunResult` (the
+        default :func:`execute_run` already guarantees this; the guard here
+        extends the no-crash contract to custom ``run_fn``).
+        """
+        specs = list(specs)
+        started = time.perf_counter()
+        raw = parallel_map(
+            _record_errors_wrapper(self.run_fn),
+            specs,
+            n_workers=self.n_workers,
+            chunk_size=self.chunk_size,
+        )
+        return SweepResult(
+            results=raw,
+            n_workers=self.n_workers,
+            wallclock_seconds=time.perf_counter() - started,
+        )
+
+
+def _safe_run(fn: RunFunction, spec: RunSpec) -> RunResult:
+    """Invoke ``fn`` and convert an escaped exception into a failed RunResult."""
+    try:
+        return fn(spec)
+    except Exception as exc:  # noqa: BLE001 - a sweep must record, not crash
+        return RunResult(
+            spec=spec,
+            error=f"{type(exc).__name__}: {exc}",
+            error_traceback=traceback.format_exc(),
+        )
+
+
+def _record_errors_wrapper(fn: RunFunction) -> Callable[[RunSpec], RunResult]:
+    """Picklable partial of :func:`_safe_run` bound to ``fn``."""
+    return partial(_safe_run, fn)

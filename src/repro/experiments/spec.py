@@ -1,0 +1,208 @@
+"""Picklable descriptions of independent simulation runs.
+
+Every ensemble experiment in the paper -- calibration sweeps, the Figure 4
+job/multi-site scaling series, the failure-injection studies -- is a bag of
+*independent* simulations that differ only in a handful of scalar knobs.
+:class:`RunSpec` captures those knobs as a plain dataclass of primitives so a
+run can be shipped to a worker process with :mod:`pickle`, executed there,
+and its outcome shipped back as a :class:`RunResult`.
+
+The spec deliberately stores *parameters*, never live objects: the worker
+rebuilds the grid, workload and failure model from scratch, which keeps
+pickling cheap and guarantees that a run's outcome depends only on its spec
+(the foundation of the 1-worker == N-worker determinism contract).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.utils.errors import CGSimError
+from repro.utils.rng import derive_seed
+
+__all__ = ["RunSpec", "RunResult", "scenario_grid"]
+
+
+@dataclass
+class RunSpec:
+    """One independent simulation run of a sweep.
+
+    Parameters
+    ----------
+    scenario:
+        Human-readable label grouping runs that share a configuration
+        (replicates of the same scenario aggregate together).
+    replicate:
+        Replication index within the scenario; each replicate draws an
+        independent workload stream from the same root seed.
+    seed:
+        Root seed of the sweep.  Per-run seeds are *derived* from it (see
+        :attr:`run_seed`), never used directly, so adding scenarios or
+        replicates cannot shift the randomness of existing runs.
+    sites / jobs:
+        Grid size and workload density.
+    policy:
+        Allocation-policy name (``cgsim policies`` lists them).
+    grid:
+        ``"synthetic"`` (heterogeneous generated grid) or ``"wlcg"`` (the
+        built-in WLCG catalogue).
+    topology:
+        ``"star"`` or ``"tiered"`` (synthetic grids only).
+    multicore_fraction / walltime_median:
+        Optional workload-spec overrides; ``None`` keeps the defaults.
+    failure_rate:
+        Default per-site probability that a job fails mid-run (0 disables
+        fault injection).
+    max_retries:
+        PanDA-style automatic resubmission budget for failed jobs.
+    params:
+        Free-form extras recorded verbatim into results (axis values of a
+        custom sweep, notes, ...); must stay picklable.
+    """
+
+    scenario: str = "default"
+    replicate: int = 0
+    seed: int = 0
+    sites: int = 4
+    jobs: int = 200
+    policy: str = "least_loaded"
+    grid: str = "synthetic"
+    topology: str = "star"
+    multicore_fraction: Optional[float] = None
+    walltime_median: Optional[float] = None
+    failure_rate: float = 0.0
+    max_retries: int = 0
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.sites < 1:
+            raise CGSimError("RunSpec.sites must be >= 1")
+        if self.jobs < 1:
+            raise CGSimError("RunSpec.jobs must be >= 1")
+        if self.grid not in ("synthetic", "wlcg"):
+            raise CGSimError(f"unknown grid kind {self.grid!r} (synthetic|wlcg)")
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise CGSimError("RunSpec.failure_rate must lie in [0, 1]")
+
+    @property
+    def run_seed(self) -> int:
+        """Deterministic seed of this run, stable across workers and dispatch order."""
+        return derive_seed(self.seed, self.scenario, self.replicate)
+
+    def seed_for(self, subsystem: str) -> int:
+        """Deterministic seed for one stochastic subsystem of this run."""
+        return derive_seed(self.seed, self.scenario, self.replicate, subsystem)
+
+    def scenario_seed_for(self, subsystem: str) -> int:
+        """Deterministic seed shared by all replicates of this scenario.
+
+        Used for the parts of a run that replication should *not* vary --
+        e.g. the grid layout, so replicates measure workload variance on a
+        fixed infrastructure rather than variance across infrastructures.
+        """
+        return derive_seed(self.seed, self.scenario, subsystem)
+
+    def label(self) -> str:
+        """Short identifier used in tables and error messages."""
+        return f"{self.scenario}#{self.replicate}"
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return asdict(self)
+
+    def with_(self, **changes) -> "RunSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing one :class:`RunSpec`.
+
+    A failed run is a *recorded* outcome, not an exception: ``metrics`` is
+    ``None`` and ``error`` holds the message (plus ``error_traceback`` for
+    debugging), so one broken scenario cannot take down a thousand-run sweep.
+    """
+
+    spec: RunSpec
+    metrics: Optional[dict] = None
+    simulated_time: float = 0.0
+    wallclock_seconds: float = 0.0
+    error: Optional[str] = None
+    error_traceback: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run completed and produced metrics."""
+        return self.error is None and self.metrics is not None
+
+    def metric(self, name: str) -> float:
+        """One grid-level metric of a successful run."""
+        if not self.ok:
+            raise CGSimError(f"run {self.spec.label()} failed: {self.error}")
+        assert self.metrics is not None
+        try:
+            return float(self.metrics[name])
+        except KeyError:
+            available = sorted(
+                key for key, value in self.metrics.items()
+                if isinstance(value, (int, float))
+            )
+            raise CGSimError(
+                f"unknown metric {name!r}; available: {available}"
+            ) from None
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "spec": self.spec.to_dict(),
+            "metrics": self.metrics,
+            "simulated_time": self.simulated_time,
+            "wallclock_seconds": self.wallclock_seconds,
+            "error": self.error,
+        }
+
+
+def scenario_grid(
+    base: Optional[RunSpec] = None,
+    replications: int = 1,
+    **axes: Sequence,
+) -> List[RunSpec]:
+    """Expand a cartesian product of spec-field values into concrete runs.
+
+    ``axes`` maps :class:`RunSpec` field names to the values to sweep; every
+    combination becomes one scenario (named after the swept values), and each
+    scenario is replicated ``replications`` times with independent derived
+    seeds.  Example::
+
+        specs = scenario_grid(
+            RunSpec(jobs=500, seed=7),
+            replications=3,
+            sites=[4, 8],
+            policy=["least_loaded", "round_robin"],
+        )  # 2 x 2 scenarios x 3 replicates = 12 runs
+
+    """
+    base = base or RunSpec()
+    if replications < 1:
+        raise CGSimError("replications must be >= 1")
+    valid = set(RunSpec.__dataclass_fields__) - {"scenario", "replicate", "params"}
+    for name in axes:
+        if name not in valid:
+            raise CGSimError(
+                f"unknown sweep axis {name!r}; valid axes: {sorted(valid)}"
+            )
+    names = list(axes)
+    specs: List[RunSpec] = []
+    combos: Iterable = itertools.product(*(axes[name] for name in names)) if names else [()]
+    for values in combos:
+        changes = dict(zip(names, values))
+        scenario = (
+            ",".join(f"{name}={value}" for name, value in changes.items())
+            or base.scenario
+        )
+        for replicate in range(replications):
+            specs.append(base.with_(scenario=scenario, replicate=replicate, **changes))
+    return specs

@@ -22,7 +22,7 @@ from repro.utils.errors import (
     SimulationError,
     WorkloadError,
 )
-from repro.utils.rng import RandomSource, spawn_rng
+from repro.utils.rng import RandomSource, derive_seed, spawn_rng
 from repro.utils.units import (
     format_bytes,
     format_duration,
@@ -41,6 +41,7 @@ __all__ = [
     "WorkloadError",
     "RandomSource",
     "spawn_rng",
+    "derive_seed",
     "format_bytes",
     "format_duration",
     "parse_bandwidth",

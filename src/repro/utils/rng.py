@@ -16,13 +16,27 @@ from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["RandomSource", "spawn_rng"]
+__all__ = ["RandomSource", "spawn_rng", "derive_seed"]
 
 
 def _hash_name(name: str) -> int:
     """Derive a stable 63-bit integer from a string label."""
     digest = hashlib.sha256(name.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "little") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def derive_seed(seed: int, *parts) -> int:
+    """Derive a stable 63-bit child seed from ``seed`` and a path of labels.
+
+    The experiment runner hands every simulation run its own seed derived
+    from the sweep's root seed plus the run's identity (scenario name,
+    replicate index, subsystem label).  Hashing the whole path keeps the
+    derivation order-free across processes: the same ``(seed, *parts)``
+    always yields the same child seed, no matter which worker computes it
+    or in which order the runs are dispatched.
+    """
+    label = "\x1f".join(str(part) for part in parts)
+    return (int(seed) * 1_000_003 + _hash_name(label)) % (2**63 - 1)
 
 
 def spawn_rng(seed: Optional[int], name: str) -> np.random.Generator:

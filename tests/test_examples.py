@@ -9,13 +9,15 @@ documents.
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
 
 #: (script, extra argv, landmark substrings expected in stdout)
 EXAMPLE_CASES = [
@@ -59,7 +61,27 @@ EXAMPLE_CASES = [
         ["--jobs", "200", "--sites", "5"],
         ["failures + 3 retries", "automatic resubmissions"],
     ),
+    (
+        "parallel_sweep.py",
+        ["--jobs", "80", "--sites", "3", "--runs-per-scenario", "2", "--workers", "2"],
+        ["Parallel sweep", "worker(s)", "scenario"],
+    ),
 ]
+
+
+def _example_env() -> dict:
+    """Environment for example subprocesses: the package importable from ``src``.
+
+    The examples are run from a scratch cwd, so a plain ``import repro`` only
+    works if the package is installed or ``src`` is on ``PYTHONPATH``.  Prepend
+    the repo's ``src`` directory (preserving any pre-existing ``PYTHONPATH``)
+    so the smoke tests pass both from a source checkout and an installed tree.
+    """
+    env = os.environ.copy()
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
 
 
 def _run_example(script: str, args: list, tmp_path: Path) -> str:
@@ -68,6 +90,7 @@ def _run_example(script: str, args: list, tmp_path: Path) -> str:
     completed = subprocess.run(
         command,
         cwd=tmp_path,  # examples that write output files do so in the scratch dir
+        env=_example_env(),
         capture_output=True,
         text=True,
         timeout=300,
