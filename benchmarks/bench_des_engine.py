@@ -12,95 +12,44 @@ can simulate within a time budget, so it is measured explicitly:
 * store ping-pong: producer/consumer pairs over a Store (the pattern the
   sender/receiver actors produce).
 
-There is nothing to assert against the paper here beyond "the kernel
-processes events at a usable rate"; the numbers feed the scalability
-discussion in EXPERIMENTS.md.
+Workloads, sizes and the ``CGSIM_BENCH_SCALE`` knob come from :func:`repro.experiments.bench.kernel_workloads`
+-- the same source the ``repro bench`` CLI subcommand measures -- scaled by
+``CGSIM_BENCH_SCALE`` so the CI smoke job can run them at minimal sizes.
+Before/after event rates of the kernel overhaul are recorded in
+``BENCH_kernel.json`` at the repo root.  There is nothing to assert against
+the paper here beyond "the kernel processes events at a usable rate"; the
+numbers feed the scalability discussion in EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.des import Environment, Resource, Store
+from repro.experiments.bench import BENCH_SCALE, kernel_workloads
 
-
-def _timeout_churn(process_count: int, hops: int) -> float:
-    """Spawn processes that each sleep ``hops`` times; return final sim time."""
-    env = Environment()
-
-    def sleeper(delay: float):
-        for _ in range(hops):
-            yield env.timeout(delay)
-
-    for index in range(process_count):
-        env.process(sleeper(1.0 + (index % 7) * 0.1))
-    env.run()
-    return env.now
-
-
-def _resource_contention(process_count: int, capacity: int) -> int:
-    """Processes repeatedly acquire/release a shared core pool."""
-    env = Environment()
-    pool = Resource(env, capacity=capacity)
-    completed = []
-
-    def worker(index: int):
-        for _ in range(5):
-            request = pool.request()
-            yield request
-            yield env.timeout(1.0)
-            pool.release(request)
-        completed.append(index)
-
-    for index in range(process_count):
-        env.process(worker(index))
-    env.run()
-    return len(completed)
-
-
-def _store_pingpong(pairs: int, messages: int) -> int:
-    """Producer/consumer pairs exchanging messages through stores."""
-    env = Environment()
-    received = []
-
-    def producer(store: Store):
-        for index in range(messages):
-            store.put(index)
-            yield env.timeout(0.5)
-
-    def consumer(store: Store):
-        for _ in range(messages):
-            item = yield store.get()
-            received.append(item)
-
-    for _ in range(pairs):
-        store = Store(env)
-        env.process(producer(store))
-        env.process(consumer(store))
-    env.run()
-    return len(received)
+#: name -> (fn, args, events) at the ambient benchmark scale.
+WORKLOADS = {name: (fn, args, events) for name, fn, args, events in kernel_workloads(BENCH_SCALE)}
 
 
 @pytest.mark.benchmark(group="des-kernel")
 def test_benchmark_timeout_churn(benchmark):
-    """~50k timeout events through the calendar."""
-    final_time = benchmark.pedantic(
-        _timeout_churn, args=(1000, 50), rounds=1, iterations=1
-    )
-    assert final_time > 0
+    """~50k timeout events through the calendar (at full scale)."""
+    fn, args, _events = WORKLOADS["timeout_churn"]
+    outcome = benchmark.pedantic(fn, args=args, rounds=1, iterations=1)
+    assert outcome.final_time > 0
 
 
 @pytest.mark.benchmark(group="des-kernel")
 def test_benchmark_resource_contention(benchmark):
-    """2,000 workers x 5 acquisitions over a 64-slot pool."""
-    completed = benchmark.pedantic(
-        _resource_contention, args=(2000, 64), rounds=1, iterations=1
-    )
-    assert completed == 2000
+    """2,000 workers x 5 acquisitions over a 64-slot pool (at full scale)."""
+    fn, args, _events = WORKLOADS["resource_contention"]
+    outcome = benchmark.pedantic(fn, args=args, rounds=1, iterations=1)
+    assert outcome.count == args[0]
 
 
 @pytest.mark.benchmark(group="des-kernel")
 def test_benchmark_store_pingpong(benchmark):
-    """500 producer/consumer pairs exchanging 40 messages each."""
-    received = benchmark.pedantic(_store_pingpong, args=(500, 40), rounds=1, iterations=1)
-    assert received == 500 * 40
+    """500 producer/consumer pairs exchanging 40 messages each (at full scale)."""
+    fn, args, _events = WORKLOADS["store_pingpong"]
+    outcome = benchmark.pedantic(fn, args=args, rounds=1, iterations=1)
+    assert outcome.count == args[0] * args[1]

@@ -19,6 +19,11 @@ import pytest
 #: Directory the per-experiment result files are written to.
 RESULTS_DIR = Path(__file__).parent / "results"
 
+# Benchmark sizing (CGSIM_BENCH_SCALE) lives in repro.experiments.bench:
+# bench modules must import it from there, not from this conftest -- two
+# top-level modules named "conftest" (tests/ and benchmarks/) collide in
+# sys.modules when pytest collects both trees in one run.
+
 
 @pytest.fixture(scope="session")
 def results_dir() -> Path:

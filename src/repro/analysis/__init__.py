@@ -7,7 +7,13 @@ near-linear site scaling) and plain-text report tables for the benchmark
 harness output.
 """
 
-from repro.analysis.reporting import format_table, metrics_table, site_table, sweep_table
+from repro.analysis.reporting import (
+    format_table,
+    metrics_table,
+    site_table,
+    sweep_table,
+    transition_table,
+)
 from repro.analysis.scaling import ScalingFit, fit_power_law, linearity_score
 from repro.analysis.stats import bootstrap_ci, geometric_mean, relative_mae, speedup
 
@@ -23,4 +29,5 @@ __all__ = [
     "metrics_table",
     "site_table",
     "sweep_table",
+    "transition_table",
 ]

@@ -12,7 +12,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.metrics import SimulationMetrics
 
-__all__ = ["format_table", "metrics_table", "site_table", "sweep_table"]
+__all__ = ["format_table", "metrics_table", "site_table", "sweep_table", "transition_table"]
 
 
 def _format_value(value) -> str:
@@ -62,6 +62,19 @@ def site_table(metrics: SimulationMetrics) -> str:
     """Per-site breakdown table of a run."""
     rows = [m.to_row() for m in metrics.per_site.values()]
     return format_table(rows) if rows else "(no per-site data)"
+
+
+def transition_table(metrics: SimulationMetrics) -> str:
+    """Monitoring-trace transition counts per job state.
+
+    Populated when the run's metrics were computed with the collector (the
+    counts come from one pass over the columnar trace buffer).
+    """
+    rows = [
+        {"state": state, "transitions": count}
+        for state, count in sorted(metrics.transitions.items())
+    ]
+    return format_table(rows) if rows else "(no transition data)"
 
 
 def sweep_table(rows: Sequence[dict]) -> str:

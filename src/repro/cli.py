@@ -18,7 +18,9 @@ writing any Python:
 * ``cgsim policies`` -- list the registered allocation policies;
 * ``cgsim sweep`` -- fan a grid of independent scenario runs (sites x
   policies x failure rates, with seed replications) across worker processes
-  and print the per-scenario aggregate table.
+  and print the per-scenario aggregate table;
+* ``cgsim bench`` -- measure the DES kernel's event throughput on the three
+  standard workloads, optionally dumping a cProfile summary (``--profile``).
 """
 
 from __future__ import annotations
@@ -30,7 +32,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro import __version__
-from repro.analysis.reporting import format_table, metrics_table, site_table
+from repro.analysis.reporting import format_table, metrics_table, site_table, transition_table
 from repro.atlas.wlcg import wlcg_grid
 from repro.calibration import GridCalibrator
 from repro.calibration.sensitivity import SensitivityAnalysis
@@ -146,6 +148,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated grid-level metrics to aggregate")
     sweep.add_argument("--output", type=Path, default=None,
                        help="write the full per-run results as JSON here")
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure DES-kernel event throughput (optionally under cProfile)",
+    )
+    bench.add_argument("--scale", type=float, default=1.0,
+                       help="size multiplier for the three kernel workloads")
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="runs per workload (best is reported)")
+    bench.add_argument("--profile", action="store_true",
+                       help="dump a cProfile summary (top-20 cumulative functions)")
+    bench.add_argument("--output", type=Path, default=None,
+                       help="write the measured rates as JSON here")
     return parser
 
 
@@ -185,6 +200,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.per_site:
         print()
         print(site_table(result.metrics))
+        print()
+        print(transition_table(result.metrics))
     if args.dashboard:
         print()
         print(Dashboard(result.collector).render(result.simulated_time))
@@ -337,6 +354,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if not sweep.failed else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import profile_callable, run_kernel_benchmarks
+
+    if args.scale <= 0:
+        raise CGSimError("--scale must be positive")
+    if args.repeat < 1:
+        raise CGSimError("--repeat must be >= 1")
+    results = run_kernel_benchmarks(scale=args.scale, repeat=args.repeat)
+    print(format_table([result.to_row() for result in results]))
+    if args.profile:
+        print()
+        print("cProfile (one pass of all three workloads, top 20 by cumulative time):")
+        print(
+            profile_callable(
+                lambda: run_kernel_benchmarks(scale=args.scale, repeat=1), top=20
+            )
+        )
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "scale": args.scale,
+            "repeat": args.repeat,
+            "results": [result.to_row() for result in results],
+        }
+        args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote rates to {args.output}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``cgsim`` command."""
     parser = build_parser()
@@ -350,6 +396,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare-policies": _cmd_compare_policies,
         "policies": _cmd_policies,
         "sweep": _cmd_sweep,
+        "bench": _cmd_bench,
     }
     try:
         return handlers[args.command](args)

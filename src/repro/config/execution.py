@@ -26,11 +26,26 @@ class MonitoringConfig:
     snapshot_interval: float = 300.0
     #: Keep records in memory (needed for the dashboard and ML dataset export).
     keep_in_memory: bool = True
+    #: Rows buffered before attached sinks receive a batch.
+    batch_size: int = 1024
+    #: "full" records every transition row; "aggregate" keeps only the
+    #: per-site counters (huge runs that only need site-level aggregates).
+    detail: str = "full"
+    #: Retain every Nth transition row (1 = all; counters stay exact).
+    sample_stride: int = 1
 
     def __post_init__(self) -> None:
         self.snapshot_interval = parse_duration(self.snapshot_interval)
         if self.snapshot_interval < 0:
             raise ConfigurationError("snapshot_interval must be >= 0")
+        if self.detail not in ("full", "aggregate"):
+            raise ConfigurationError(
+                f"monitoring detail must be 'full' or 'aggregate', got {self.detail!r}"
+            )
+        if self.batch_size < 1:
+            raise ConfigurationError("monitoring batch_size must be >= 1")
+        if self.sample_stride < 1:
+            raise ConfigurationError("monitoring sample_stride must be >= 1")
 
     def to_dict(self) -> dict:
         """JSON-friendly representation."""
@@ -38,6 +53,9 @@ class MonitoringConfig:
             "enable_events": self.enable_events,
             "snapshot_interval": self.snapshot_interval,
             "keep_in_memory": self.keep_in_memory,
+            "batch_size": self.batch_size,
+            "detail": self.detail,
+            "sample_stride": self.sample_stride,
         }
 
 

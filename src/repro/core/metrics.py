@@ -3,19 +3,24 @@
 The performance of distributed systems is measured in the paper with metrics
 derived from operational logs: queue time, CPU efficiency, job failure rate
 and throughput.  :func:`compute_metrics` derives all of them (plus makespan
-and per-site breakdowns) from the jobs of a completed simulation run.
+and per-site breakdowns) from the jobs of a completed simulation run, and
+optionally summarises the monitoring trace (transition counts per state)
+straight from the collector's columnar buffer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 import numpy as np
 
 from repro.workload.job import Job, JobState
 
-__all__ = ["SiteMetrics", "SimulationMetrics", "compute_metrics"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.monitoring.collector import MonitoringCollector
+
+__all__ = ["SiteMetrics", "SimulationMetrics", "compute_metrics", "event_state_counts"]
 
 
 @dataclass
@@ -58,6 +63,8 @@ class SimulationMetrics:
     failure_rate: float
     cpu_time: float
     per_site: Dict[str, SiteMetrics] = field(default_factory=dict)
+    #: Monitoring-trace transition counts per state (empty without a collector).
+    transitions: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-friendly representation (per-site rows included)."""
@@ -75,6 +82,7 @@ class SimulationMetrics:
             "failure_rate": self.failure_rate,
             "cpu_time": self.cpu_time,
             "per_site": {name: m.to_row() for name, m in self.per_site.items()},
+            "transitions": dict(self.transitions),
         }
         return data
 
@@ -87,7 +95,24 @@ def _safe_median(values: List[float]) -> float:
     return float(np.median(values)) if values else 0.0
 
 
-def compute_metrics(jobs: Iterable[Job], start_time: float = 0.0) -> SimulationMetrics:
+def event_state_counts(collector: "MonitoringCollector") -> Dict[str, int]:
+    """Transition counts per state, read off the collector's columnar buffer.
+
+    One C-level ``Counter`` pass over the ``states`` column; returns an empty
+    dict when the collector did not retain events (``keep_in_memory=False``
+    or ``detail="aggregate"``) rather than failing, since the counts are a
+    best-effort summary.
+    """
+    if not collector.keep_in_memory:
+        return {}
+    return dict(collector.buffer.state_counts())
+
+
+def compute_metrics(
+    jobs: Iterable[Job],
+    start_time: float = 0.0,
+    collector: Optional["MonitoringCollector"] = None,
+) -> SimulationMetrics:
     """Summarise a set of (mostly terminal) jobs into :class:`SimulationMetrics`.
 
     Parameters
@@ -97,6 +122,9 @@ def compute_metrics(jobs: Iterable[Job], start_time: float = 0.0) -> SimulationM
         jobs count towards totals but not towards time statistics).
     start_time:
         Simulation start time used for the makespan/throughput horizon.
+    collector:
+        Optional monitoring collector; when given (and retaining events) the
+        result carries the per-state transition counts of the trace.
     """
     jobs = list(jobs)
     finished = [j for j in jobs if j.state is JobState.FINISHED]
@@ -147,4 +175,5 @@ def compute_metrics(jobs: Iterable[Job], start_time: float = 0.0) -> SimulationM
         failure_rate=failure_rate,
         cpu_time=cpu_time,
         per_site=per_site,
+        transitions=event_state_counts(collector) if collector is not None else {},
     )

@@ -29,7 +29,12 @@ from repro.core.server import MainServer
 from repro.core.site import SiteRuntime
 from repro.des import Environment
 from repro.monitoring.collector import MonitoringCollector
-from repro.monitoring.csv_export import export_events_csv, export_jobs_csv, export_snapshots_csv
+from repro.monitoring.csv_export import (
+    CSVSink,
+    export_events_csv,
+    export_jobs_csv,
+    export_snapshots_csv,
+)
 from repro.monitoring.events import SiteSnapshot
 from repro.monitoring.sqlite_store import SQLiteStore
 from repro.platform.builder import build_platform
@@ -152,15 +157,31 @@ class Simulator:
         self.collector: Optional[MonitoringCollector] = None
         self.data_manager: Optional[DataManager] = None
         self.fault_injector = None
+        self._live_sinks: List = []
 
     # -- construction of one run -----------------------------------------------------
     def _build(self, jobs: List[Job]) -> None:
         self.env = Environment()
         self.logger.bind_clock(lambda: self.env.now if self.env else 0.0)
         self.platform = build_platform(self.env, self.infrastructure, self.topology)
+        monitoring = self.execution.monitoring
         self.collector = MonitoringCollector(
-            keep_in_memory=self.execution.monitoring.keep_in_memory
+            keep_in_memory=monitoring.keep_in_memory,
+            batch_size=monitoring.batch_size,
+            detail=monitoring.detail,
+            sample_stride=monitoring.sample_stride,
         )
+        self._live_sinks = []
+        if not monitoring.keep_in_memory:
+            # Without retention the post-run export below would have nothing
+            # to read, so the configured outputs stream live instead.
+            output = self.execution.output
+            if output.sqlite_path:
+                self._live_sinks.append(SQLiteStore(output.sqlite_path))
+            if output.csv_directory:
+                self._live_sinks.append(CSVSink(output.csv_directory))
+            for sink in self._live_sinks:
+                self.collector.attach(sink)
         self.data_manager = (
             DataManager(self.env, self.platform) if self.enable_data_transfers else None
         )
@@ -238,17 +259,24 @@ class Simulator:
         self._build(jobs)
         assert self.env is not None and self.server is not None
 
-        if self.execution.max_simulation_time is not None:
-            self.env.run(until=self.execution.max_simulation_time)
-        else:
-            self.env.run(until=self.server.all_done)
+        try:
+            if self.execution.max_simulation_time is not None:
+                self.env.run(until=self.execution.max_simulation_time)
+            else:
+                self.env.run(until=self.server.all_done)
+        except BaseException:
+            # Persist what the streaming sinks already received (committing
+            # the SQLite connection) instead of leaking open handles and
+            # rolling the batches back.
+            self._close_live_sinks()
+            raise
         wallclock = _wallclock.perf_counter() - started
 
         # Retry attempts created by the main server are part of the run's
         # output: they carry their own monitoring events and count towards
         # the attempt-level metrics, exactly as PanDA resubmissions do.
         jobs = jobs + list(self.server.retry_jobs)
-        metrics = compute_metrics(jobs)
+        metrics = compute_metrics(jobs, collector=self.collector)
         result = SimulationResult(
             jobs=jobs,
             metrics=metrics,
@@ -262,20 +290,41 @@ class Simulator:
         self._write_outputs(result)
         return result
 
+    def _close_live_sinks(self) -> None:
+        """Flush pending monitoring batches and close the streaming sinks."""
+        if not self._live_sinks:
+            return
+        if self.collector is not None:
+            self.collector.flush()
+        for sink in self._live_sinks:
+            sink.close()
+        self._live_sinks = []
+
     # -- output layer ---------------------------------------------------------------
     def _write_outputs(self, result: SimulationResult) -> None:
         output = self.execution.output
+        collector = result.collector
+        collector.flush()
+        if self._live_sinks:
+            # Streaming mode (keep_in_memory=False): events/snapshots were
+            # written live in batches; only the job summaries remain.
+            for sink in self._live_sinks:
+                if isinstance(sink, SQLiteStore):
+                    sink.write_jobs(result.jobs)
+            self._close_live_sinks()
+            if output.csv_directory:
+                export_jobs_csv(result.jobs, f"{output.csv_directory}/jobs.csv")
+            return
         if output.sqlite_path:
             with SQLiteStore(output.sqlite_path) as store:
-                for event in result.collector.events:
-                    store.write_event(event)
-                for snapshot in result.collector.snapshots:
+                store.write_batch(collector.events.rows())
+                for snapshot in collector.snapshots:
                     store.write_snapshot(snapshot)
                 store.write_jobs(result.jobs)
         if output.csv_directory:
             base = output.csv_directory
-            export_events_csv(result.collector.events, f"{base}/events.csv")
-            export_snapshots_csv(result.collector.snapshots, f"{base}/snapshots.csv")
+            export_events_csv(collector.events, f"{base}/events.csv")
+            export_snapshots_csv(collector.snapshots, f"{base}/snapshots.csv")
             export_jobs_csv(result.jobs, f"{base}/jobs.csv")
 
     def __repr__(self) -> str:

@@ -1,17 +1,60 @@
 """The discrete-event environment: clock, event calendar and run loop.
 
-The :class:`Environment` owns a binary-heap event calendar ordered by
-``(time, priority, insertion order)``.  ``run()`` pops events in order,
-advances the clock and executes their callbacks, which in turn resume the
-generator processes waiting on them.  The design (and most of the public
-method names) follows the conventional process-based DES structure so that
-the simulation core reads like ordinary SimPy/SimGrid-style actor code.
+The :class:`Environment` owns a *bucketed* event calendar:
+
+* ``_ready`` -- the FIFO of events due at the **current** clock time.
+  Zero-delay scheduling (every ``succeed()`` of a request, store get/put,
+  condition, ...) appends here in O(1) with no heap traffic at all.
+* ``_buckets`` -- a dict mapping each distinct **future** time to the FIFO
+  bucket of normal-priority events scheduled at it; ``_times`` is a binary
+  min-heap holding each distinct time once.  When the clock advances, the
+  next time's whole bucket is adopted as the new ready list in O(1).
+* ``_pri_buckets`` -- a rare-path dict of ``(priority, seq, event)`` lists
+  for below-normal priorities (process initialisation, interrupts, ``until``
+  sentinels); drained, lowest ``(priority, seq)`` first, before same-time
+  normal events.
+
+``run()`` drains the ready list, advances the clock and executes event
+callbacks, which in turn resume the generator processes waiting on them.
+The public surface (``timeout`` / ``process`` / ``schedule`` / ``step`` /
+``run``) follows the conventional process-based DES structure so that the
+simulation core reads like ordinary SimPy/SimGrid-style actor code.
+
+Hot-path notes
+--------------
+A classic heap keyed by ``(time, priority, seq)`` pays 10+ tuple
+comparisons per operation at realistic calendar sizes, which bounds the
+whole kernel.  The bucketed calendar does cheap float comparisons on
+distinct times only, and none at all for same-time events -- and DES
+workloads are full of identical timestamps (fixed polling intervals,
+synchronized job steps, zero-delay wakeup chains).  Within a bucket FIFO
+order *is* insertion order, so no sequence counter is needed on the normal
+path.  Two further fast paths matter:
+
+* **Timeout pooling.**  :meth:`Environment.timeout` recycles processed
+  :class:`Timeout` objects from a per-environment free list and inserts the
+  calendar entry inline, skipping both the object allocation and the
+  generic :meth:`schedule` indirection.  An object is only recycled when
+  ``sys.getrefcount`` proves the kernel held the last reference (nobody
+  outside can observe the reuse); on interpreters without refcounts the
+  pool simply stays empty.
+* **Inlined run loop.**  :meth:`Environment.run` inlines the per-event body
+  of :meth:`step` with the calendar bound to locals; the no-failure common
+  case executes without any try/except or attribute churn, and the
+  failure / clock-guard / urgent-priority branches live in rarely taken
+  out-of-line paths.
+
+The clock-corruption guard uses a *relative* tolerance
+(``1e-12 * max(1, |now|)``): with an absolute epsilon a week-long simulated
+horizon (``now ~ 6e5``) would either false-positive on benign float noise
+or mask real corruption, depending on the epsilon chosen.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Generator, List, Optional, Tuple
+import sys
+from heapq import heappop, heappush
+from typing import Any, Dict, Generator, List, Optional
 
 from repro.des.events import AllOf, AnyOf, Event, Process, Timeout
 from repro.utils.errors import SimulationError
@@ -22,6 +65,12 @@ __all__ = ["Environment", "StopSimulation"]
 #: interrupts) use priority 0 so they run before same-time normal events.
 NORMAL_PRIORITY = 1
 URGENT_PRIORITY = 0
+
+#: Upper bound on the per-environment Timeout free list.
+_POOL_MAX = 1024
+
+#: ``sys.getrefcount`` is a CPython detail; without it pooling is disabled.
+_getrefcount = getattr(sys, "getrefcount", None)
 
 
 class StopSimulation(Exception):
@@ -52,11 +101,34 @@ class Environment:
     5.0
     """
 
+    __slots__ = (
+        "_now",
+        "_ready",
+        "_times",
+        "_buckets",
+        "_pri_buckets",
+        "_eid",
+        "_active_process",
+        "_timeout_pool",
+    )
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        #: Events due at the current clock time: [next_index, event, ...].
+        #: Slot 0 is the index of the next event to dispatch; consumed slots
+        #: are cleared so the kernel can recycle the objects they held.
+        self._ready: list = [1]
+        #: Min-heap of the distinct future times present in either bucket dict.
+        self._times: List[float] = []
+        #: future time -> [next_index, event, event, ...] (normal priority).
+        self._buckets: Dict[float, list] = {}
+        #: time -> [(priority, seq, event), ...] for below-normal priorities.
+        self._pri_buckets: Dict[float, list] = {}
+        #: Sequence counter ordering same-time, same-priority urgent events.
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Free list of processed Timeout objects awaiting reuse.
+        self._timeout_pool: List[Timeout] = []
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -74,9 +146,44 @@ class Environment:
         """Create a new untriggered :class:`Event` bound to this environment."""
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create a :class:`Timeout` that triggers ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+    def timeout(self, delay: float, value: Any = None, *, _push=heappush, _new=Timeout.__new__) -> Timeout:
+        """Create a :class:`Timeout` that triggers ``delay`` seconds from now.
+
+        This is the kernel's dominant allocation; the fast path reuses a
+        pooled, already-processed ``Timeout`` (pool entries are known to be
+        ``_ok`` and not defused, so only ``delay`` and ``_value`` need
+        resetting) and inserts the calendar entry inline instead of going
+        through :meth:`schedule`.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        pool = self._timeout_pool
+        if pool:
+            timeout = pool.pop()
+            timeout.delay = delay
+            timeout._value = value
+        else:
+            timeout = _new(Timeout)
+            timeout.env = self
+            timeout.callbacks = []
+            timeout.delay = delay
+            timeout._ok = True
+            timeout._value = value
+            timeout.defused = False
+        now = self._now
+        when = now + delay
+        if when > now:
+            buckets = self._buckets
+            bucket = buckets.get(when)
+            if bucket is not None:
+                bucket.append(timeout)
+            else:
+                buckets[when] = [1, timeout]
+                if when not in self._pri_buckets:
+                    _push(self._times, when)
+        else:
+            self._ready.append(timeout)
+        return timeout
 
     def process(self, generator: Generator) -> Process:
         """Start a new :class:`Process` executing ``generator``."""
@@ -95,37 +202,129 @@ class Environment:
         """Place a triggered event on the calendar ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
-        self._eid += 1
+        now = self._now
+        when = now + delay
+        if priority == NORMAL_PRIORITY:
+            if when > now:
+                buckets = self._buckets
+                bucket = buckets.get(when)
+                if bucket is not None:
+                    bucket.append(event)
+                else:
+                    buckets[when] = [1, event]
+                    if when not in self._pri_buckets:
+                        heappush(self._times, when)
+            else:
+                self._ready.append(event)
+        else:
+            eid = self._eid
+            self._eid = eid + 1
+            pri_buckets = self._pri_buckets
+            bucket = pri_buckets.get(when)
+            if bucket is not None:
+                heappush(bucket, (priority, eid, event))
+            else:
+                pri_buckets[when] = [(priority, eid, event)]
+                # The drain loop inspects the urgent bucket of the *current*
+                # time on every iteration; only future times need a heap entry.
+                if when > now and when not in self._buckets:
+                    heappush(self._times, when)
 
     def peek(self) -> float:
         """Return the time of the next scheduled event (``inf`` if none)."""
-        return self._queue[0][0] if self._queue else float("inf")
+        ready = self._ready
+        if ready[0] < len(ready) or self._now in self._pri_buckets:
+            return self._now
+        return self._times[0] if self._times else float("inf")
 
     @property
     def queue_length(self) -> int:
         """Number of events currently on the calendar (diagnostics)."""
-        return len(self._queue)
+        ready = self._ready
+        count = len(ready) - ready[0]
+        count += sum(len(bucket) - bucket[0] for bucket in self._buckets.values())
+        return count + sum(len(bucket) for bucket in self._pri_buckets.values())
+
+    def _pop_next(self) -> Optional[Event]:
+        """Remove and return the next event in ``(time, priority, seq)`` order.
+
+        Advances the clock as needed; returns ``None`` when no events remain.
+        """
+        while True:
+            if self._pri_buckets:
+                bucket = self._pri_buckets.get(self._now)
+                if bucket is not None:
+                    return self._pop_pri(bucket)
+            ready = self._ready
+            index = ready[0]
+            if index < len(ready):
+                event = ready[index]
+                ready[index] = None  # release the slot so the object can be pooled
+                ready[0] = index + 1
+                return event
+            if not self._advance():
+                return None
+
+    def _pop_pri(self, bucket: list) -> Event:
+        """Pop the lowest ``(priority, seq)`` entry of an urgent bucket (a heap)."""
+        event = heappop(bucket)[2]
+        if not bucket:
+            del self._pri_buckets[self._now]
+        return event
+
+    def _advance(self) -> bool:
+        """Move the clock to the next scheduled time; False when none remains.
+
+        Adopts the next time's whole bucket as the new ready list.
+        """
+        times = self._times
+        if not times:
+            return False
+        when = heappop(times)
+        if when < self._now:
+            self._check_clock(when)
+        else:
+            self._now = when
+        self._ready = self._buckets.pop(when, None) or [1]
+        return True
 
     def step(self) -> None:
         """Process exactly one event; raise :class:`IndexError` if none remain."""
-        if not self._queue:
+        event = self._pop_next()
+        if event is None:
             raise IndexError("no more events scheduled")
-        when, _prio, _eid, event = heapq.heappop(self._queue)
-        if when < self._now - 1e-12:
-            raise SimulationError(
-                f"event calendar corrupted: next event at {when} but clock already at {self._now}"
-            )
-        self._now = max(self._now, when)
 
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
+        event.callbacks = None
         for callback in callbacks:
             callback(event)
 
-        if not event._ok and not event.defused:
+        if event._ok:
+            # Common case: recycle the Timeout when the kernel held the last
+            # reference (step's local + getrefcount's argument = 2).
+            if (
+                type(event) is Timeout
+                and not event.defused
+                and _getrefcount is not None
+                and _getrefcount(event) == 2
+                and len(self._timeout_pool) < _POOL_MAX
+            ):
+                callbacks.clear()
+                event.callbacks = callbacks
+                event._value = None  # don't pin the payload while pooled
+                self._timeout_pool.append(event)
+        elif not event.defused:
             # An un-handled failure: surface it instead of losing it.
             exc = event.value
             raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+
+    def _check_clock(self, when: float) -> None:
+        """Scale-aware guard against a corrupted calendar (clock going backwards)."""
+        now = self._now
+        if when < now - 1e-12 * (abs(now) if abs(now) > 1.0 else 1.0):
+            raise SimulationError(
+                f"event calendar corrupted: next event at {when} but clock already at {now}"
+            )
 
     # -- run loop ---------------------------------------------------------------
     def run(self, until: Optional[Any] = None) -> Any:
@@ -157,13 +356,58 @@ class Environment:
                 until_event._value = None
                 # Highest priority so the clock stops exactly at the deadline
                 # before any same-time activity runs.
-                heapq.heappush(self._queue, (deadline, -1, self._eid, until_event))
-                self._eid += 1
+                self.schedule(until_event, priority=-1, delay=deadline - self._now)
                 until_event.callbacks.append(_stop_callback)
 
+        # The loop body is step() with the calendar bound to locals and the
+        # failure/guard/urgent branches pushed out of line.
+        pri_buckets = self._pri_buckets
+        pool = self._timeout_pool
+        refcount = _getrefcount
         try:
-            while self._queue:
-                self.step()
+            while True:
+                event = None
+                if pri_buckets:
+                    bucket = pri_buckets.get(self._now)
+                    if bucket is not None:
+                        event = self._pop_pri(bucket)
+                if event is None:
+                    ready = self._ready
+                    index = ready[0]
+                    if index < len(ready):
+                        event = ready[index]
+                        ready[index] = None
+                        ready[0] = index + 1
+                    else:
+                        if not self._advance():
+                            break
+                        continue
+
+                callbacks = event.callbacks
+                event.callbacks = None
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+
+                if event._ok:
+                    # References here: loop local + cleared calendar slot +
+                    # getrefcount argument -> 2 means nobody else holds it.
+                    if (
+                        type(event) is Timeout
+                        and not event.defused
+                        and refcount is not None
+                        and refcount(event) == 2
+                        and len(pool) < _POOL_MAX
+                    ):
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        event._value = None  # don't pin the payload while pooled
+                        pool.append(event)
+                elif not event.defused:
+                    exc = event.value
+                    raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
         except StopSimulation as stop:
             return stop.value
 
@@ -172,7 +416,7 @@ class Environment:
         return None
 
     def __repr__(self) -> str:
-        return f"<Environment now={self._now} pending={len(self._queue)}>"
+        return f"<Environment now={self._now} pending={self.queue_length}>"
 
 
 def _stop_callback(event: Event) -> None:

@@ -8,13 +8,21 @@ storage) with ``put``/``get`` of arbitrary amounts.
 Requests are events.  ``with resource.request() as req: yield req`` acquires a
 unit and releases it automatically on exit; explicit ``release()`` is also
 supported for long-lived holds spanning several process steps.
+
+Hot-path notes
+--------------
+Waiter queues are deques (:class:`Resource`) or heaps
+(:class:`PriorityResource`) with O(1)/O(log n) head operations, and
+cancellation is *lazy*: a withdrawn request is only flagged and skipped when
+it reaches the head, so ``cancel()`` never scans the queue.  All event
+subclasses declare ``__slots__`` (see :mod:`repro.des.events`).
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import TYPE_CHECKING, List, Optional
+from collections import deque
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING
 
 from repro.des.events import Event
 from repro.utils.errors import SimulationError
@@ -28,6 +36,8 @@ __all__ = ["Request", "Release", "Resource", "PriorityResource", "Container"]
 class Request(Event):
     """A pending acquisition of one unit (or ``amount`` units) of a resource."""
 
+    __slots__ = ("resource", "amount", "priority", "time", "_cancelled")
+
     def __init__(self, resource: "Resource", amount: int = 1, priority: float = 0.0) -> None:
         super().__init__(resource.env)
         if amount < 1:
@@ -40,6 +50,7 @@ class Request(Event):
         self.amount = int(amount)
         self.priority = priority
         self.time = resource.env.now
+        self._cancelled = False
         resource._add_request(self)
 
     def __enter__(self) -> "Request":
@@ -55,6 +66,8 @@ class Request(Event):
 
 class Release(Event):
     """An (immediately successful) release of a previously granted request."""
+
+    __slots__ = ("request",)
 
     def __init__(self, resource: "Resource", request: Request) -> None:
         super().__init__(resource.env)
@@ -74,15 +87,21 @@ class Resource:
         Number of units in the pool (>= 1).
     """
 
+    __slots__ = ("env", "capacity", "_in_use", "_waiting", "_queued", "_granted", "_seq")
+
     def __init__(self, env: "Environment", capacity: int = 1) -> None:
         if capacity < 1:
             raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
         self.env = env
         self.capacity = int(capacity)
         self._in_use = 0
-        self._waiting: List[Request] = []
-        self._granted: set[Request] = set()
-        self._counter = itertools.count()
+        #: Waiters in grant order; cancelled entries are skipped lazily.
+        self._waiting = deque()
+        #: Live (non-cancelled, ungranted) waiter count.
+        self._queued = 0
+        self._granted: set = set()
+        #: Tie-break counter for PriorityResource heap entries.
+        self._seq = 0
 
     # -- public API ---------------------------------------------------------
     @property
@@ -98,7 +117,7 @@ class Resource:
     @property
     def queue_length(self) -> int:
         """Number of requests still waiting."""
-        return len(self._waiting)
+        return self._queued
 
     def request(self, amount: int = 1, priority: float = 0.0) -> Request:
         """Ask for ``amount`` units; returns an event that triggers when granted."""
@@ -108,12 +127,28 @@ class Resource:
         """Return the units held by ``request`` to the pool."""
         return Release(self, request)
 
-    # -- internal machinery ---------------------------------------------------
-    def _sort_key(self, request: Request):
-        return next(self._counter)
-
-    def _add_request(self, request: Request) -> None:
+    # -- waiter queue (overridden by PriorityResource) -------------------------
+    def _push_waiter(self, request: Request) -> None:
         self._waiting.append(request)
+
+    def _head_waiter(self):
+        """The next request in grant order, dropping cancelled entries (None if empty)."""
+        waiting = self._waiting
+        while waiting:
+            head = waiting[0]
+            if head._cancelled:
+                waiting.popleft()
+            else:
+                return head
+        return None
+
+    def _pop_waiter(self) -> None:
+        self._waiting.popleft()
+
+    # -- internal machinery ---------------------------------------------------
+    def _add_request(self, request: Request) -> None:
+        self._push_waiter(request)
+        self._queued += 1
         self._trigger_waiters()
 
     def _do_release(self, request: Request) -> None:
@@ -125,23 +160,23 @@ class Resource:
     def _cancel(self, request: Request) -> None:
         if request in self._granted:
             self._do_release(request)
-        elif request in self._waiting and not request.triggered:
-            self._waiting.remove(request)
-
-    def _ordered_waiting(self) -> List[Request]:
-        return self._waiting
+        elif not request.triggered and not request._cancelled:
+            # Lazy cancellation: flag the entry; the queue drops it when it
+            # surfaces at the head.
+            request._cancelled = True
+            self._queued -= 1
 
     def _trigger_waiters(self) -> None:
         # Grant strictly in queue order; a large request at the head blocks
         # smaller ones behind it (no starvation of wide requests).
         while True:
-            waiting = self._ordered_waiting()
-            if not waiting:
+            head = self._head_waiter()
+            if head is None:
                 return
-            head = waiting[0]
             if head.amount > self.capacity - self._in_use:
                 return
-            waiting.pop(0)
+            self._pop_waiter()
+            self._queued -= 1
             self._in_use += head.amount
             self._granted.add(head)
             head.succeed()
@@ -149,7 +184,7 @@ class Resource:
     def __repr__(self) -> str:
         return (
             f"<{type(self).__name__} capacity={self.capacity} in_use={self._in_use} "
-            f"queued={len(self._waiting)}>"
+            f"queued={self._queued}>"
         )
 
 
@@ -157,16 +192,40 @@ class PriorityResource(Resource):
     """A :class:`Resource` whose waiting queue is ordered by ``priority``.
 
     Lower priority values are served first; ties are broken by request time
-    and then insertion order, so behaviour is deterministic.
+    and then insertion order, so behaviour is deterministic.  The queue is a
+    heap, so adding a waiter costs O(log n) instead of the O(n log n)
+    re-sort a sorted list would need.
     """
 
-    def _ordered_waiting(self) -> List[Request]:
-        self._waiting.sort(key=lambda r: (r.priority, r.time))
-        return self._waiting
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._waiting: list = []
+
+    def _push_waiter(self, request: Request) -> None:
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._waiting, (request.priority, request.time, seq, request))
+
+    def _head_waiter(self):
+        waiting = self._waiting
+        while waiting:
+            head = waiting[0][3]
+            if head._cancelled:
+                heappop(waiting)
+            else:
+                return head
+        return None
+
+    def _pop_waiter(self) -> None:
+        heappop(self._waiting)
 
 
 class ContainerPut(Event):
     """Pending deposit of ``amount`` into a container."""
+
+    __slots__ = ("amount",)
 
     def __init__(self, container: "Container", amount: float) -> None:
         super().__init__(container.env)
@@ -179,6 +238,8 @@ class ContainerPut(Event):
 
 class ContainerGet(Event):
     """Pending withdrawal of ``amount`` from a container."""
+
+    __slots__ = ("amount",)
 
     def __init__(self, container: "Container", amount: float) -> None:
         super().__init__(container.env)
@@ -196,6 +257,8 @@ class Container:
     blocks while it holds less than ``amount``.
     """
 
+    __slots__ = ("env", "capacity", "_level", "_put_waiters", "_get_waiters")
+
     def __init__(self, env: "Environment", capacity: float = float("inf"), init: float = 0.0) -> None:
         if capacity <= 0:
             raise SimulationError("container capacity must be positive")
@@ -204,8 +267,8 @@ class Container:
         self.env = env
         self.capacity = float(capacity)
         self._level = float(init)
-        self._put_waiters: List[ContainerPut] = []
-        self._get_waiters: List[ContainerGet] = []
+        self._put_waiters: list = []
+        self._get_waiters: list = []
 
     @property
     def level(self) -> float:
@@ -221,6 +284,8 @@ class Container:
         return ContainerGet(self, amount)
 
     def _update(self) -> None:
+        # Any waiter that fits is served (not just the head): a small put can
+        # slip past a blocked large one, which is the historical semantics.
         progressed = True
         while progressed:
             progressed = False

@@ -33,6 +33,12 @@ Quickstart
 """
 
 from repro.experiments.aggregate import aggregate_results, scenario_metric_values
+from repro.experiments.bench import (
+    KernelBenchResult,
+    kernel_workloads,
+    profile_callable,
+    run_kernel_benchmarks,
+)
 from repro.experiments.runner import (
     SweepResult,
     SweepRunner,
@@ -53,4 +59,8 @@ __all__ = [
     "default_workers",
     "aggregate_results",
     "scenario_metric_values",
+    "KernelBenchResult",
+    "kernel_workloads",
+    "run_kernel_benchmarks",
+    "profile_callable",
 ]

@@ -22,7 +22,7 @@ from repro.config.infrastructure import InfrastructureConfig
 from repro.core.simulator import SimulationResult
 from repro.mldata.features import (
     event_feature_names,
-    event_features,
+    event_matrix,
     job_feature_names,
     job_features,
 )
@@ -111,12 +111,16 @@ class JobDataset:
 
 
 def build_event_dataset(result: SimulationResult) -> EventDataset:
-    """Turn a run's monitoring events into a numeric event-level dataset."""
-    events = result.collector.events
-    if not events:
+    """Turn a run's monitoring events into a numeric event-level dataset.
+
+    Reads the collector's columnar buffer directly: one array conversion per
+    column instead of a Python feature vector per event.
+    """
+    buffer = result.collector.events
+    if not len(buffer):
         raise CGSimError("the simulation recorded no events (monitoring disabled?)")
-    features = np.array([event_features(e) for e in events], dtype=float)
-    sites = [e.site for e in events]
+    features = event_matrix(buffer)
+    sites = list(buffer.sites)
     return EventDataset(features=features, sites=sites, feature_names=event_feature_names())
 
 

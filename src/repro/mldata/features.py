@@ -3,12 +3,23 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List
+
+import numpy as np
 
 from repro.monitoring.events import EventRecord
 from repro.workload.job import Job
 
-__all__ = ["event_feature_names", "job_feature_names", "event_features", "job_features"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.monitoring.trace_buffer import TraceBuffer
+
+__all__ = [
+    "event_feature_names",
+    "job_feature_names",
+    "event_features",
+    "event_matrix",
+    "job_features",
+]
 
 _STATE_CODES = {
     "created": 0.0,
@@ -47,6 +58,31 @@ def event_features(event: EventRecord) -> List[float]:
         float(event.finished_jobs),
         float(event.extra.get("cores", 1.0)),
     ]
+
+
+def event_matrix(buffer: "TraceBuffer") -> np.ndarray:
+    """Feature matrix of a whole columnar trace buffer.
+
+    Column-wise construction: each column converts through one C-level
+    ``np.asarray`` instead of a Python-level feature list per row, which is
+    what makes ML dataset assembly scale with the event count.
+    """
+    state_codes = _STATE_CODES
+    columns = [
+        np.asarray(buffer.times, dtype=float),
+        np.asarray(buffer.job_ids, dtype=float),
+        np.fromiter(
+            (state_codes.get(state, -1.0) for state in buffer.states),
+            dtype=float,
+            count=len(buffer.states),
+        ),
+        np.asarray(buffer.available_cores, dtype=float),
+        np.asarray(buffer.pending_jobs, dtype=float),
+        np.asarray(buffer.assigned_jobs, dtype=float),
+        np.asarray(buffer.finished_jobs, dtype=float),
+        np.asarray(buffer.cores, dtype=float),
+    ]
+    return np.column_stack(columns)
 
 
 def job_feature_names() -> List[str]:

@@ -16,16 +16,24 @@ dataset that doubles as ML training data.
 """
 
 from repro.monitoring.collector import MonitoringCollector
-from repro.monitoring.csv_export import export_events_csv, export_jobs_csv, export_snapshots_csv
+from repro.monitoring.csv_export import (
+    CSVSink,
+    export_events_csv,
+    export_jobs_csv,
+    export_snapshots_csv,
+)
 from repro.monitoring.dashboard import Dashboard
 from repro.monitoring.events import EventRecord, SiteSnapshot
 from repro.monitoring.sqlite_store import SQLiteStore
+from repro.monitoring.trace_buffer import TraceBuffer
 
 __all__ = [
     "EventRecord",
     "SiteSnapshot",
+    "TraceBuffer",
     "MonitoringCollector",
     "SQLiteStore",
+    "CSVSink",
     "export_events_csv",
     "export_jobs_csv",
     "export_snapshots_csv",

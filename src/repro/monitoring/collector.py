@@ -2,17 +2,36 @@
 
 The simulation core calls :meth:`MonitoringCollector.record_transition` on
 every job state change and (optionally) runs a periodic snapshot process.
-The collector owns the growing event-level dataset, keeps per-site counters,
-and fans records out to whatever persistent back-ends are attached (SQLite,
-CSV, the dashboard).
+The collector appends rows to a columnar :class:`TraceBuffer`, keeps
+per-site counters, and flushes batches of rows to whatever persistent
+back-ends are attached (SQLite, CSV, the dashboard).
+
+Batching and detail levels
+--------------------------
+Sinks are fed in batches of ``batch_size`` rows through their
+``write_batch`` method (``write_event`` per record remains supported for
+legacy sinks), which turns per-transition Python call fan-out into one
+``executemany``/``writerows`` per batch.  Two knobs bound the volume of a
+huge run:
+
+* ``detail="aggregate"`` records no per-event rows at all -- only the O(1)
+  per-site counters -- for runs where site-level aggregates suffice;
+* ``sample_stride=N`` retains every Nth transition row (counters stay
+  exact), a cheap uniform sample for ML-scale sweeps.
+
+A collector created with ``keep_in_memory=False`` streams batches to its
+sinks and drops them; asking such a collector for its ``events`` or
+``snapshots`` raises :class:`~repro.utils.errors.MonitoringError` instead
+of silently returning an empty dataset.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Callable, Dict, List, Optional, Protocol
+from typing import Dict, List, Optional, Protocol
 
 from repro.monitoring.events import EventRecord, SiteSnapshot
+from repro.monitoring.trace_buffer import TraceBuffer
+from repro.utils.errors import MonitoringError
 from repro.workload.job import Job, JobState
 
 __all__ = ["MonitoringCollector"]
@@ -30,24 +49,53 @@ class MonitoringCollector:
     Parameters
     ----------
     keep_in_memory:
-        Retain every record in Python lists (required for the in-process
-        dashboard, ML dataset assembly and most tests).  Large batch runs
-        can disable this and rely on attached sinks instead.
+        Retain every recorded row in the columnar buffer (required for the
+        in-process dashboard, ML dataset assembly and most tests).  Large
+        batch runs can disable this and rely on attached sinks instead;
+        rows are then dropped after each batch flush.
+    batch_size:
+        Rows accumulated before attached sinks receive a batch.
+    detail:
+        ``"full"`` records per-transition rows; ``"aggregate"`` keeps only
+        the per-site counters (no rows are buffered or written).
+    sample_stride:
+        Retain every Nth transition row (1 = every row).  Counters are
+        maintained from *all* transitions regardless of sampling.
     """
 
-    def __init__(self, keep_in_memory: bool = True) -> None:
+    def __init__(
+        self,
+        keep_in_memory: bool = True,
+        batch_size: int = 1024,
+        detail: str = "full",
+        sample_stride: int = 1,
+    ) -> None:
+        if detail not in ("full", "aggregate"):
+            raise MonitoringError(f"unknown monitoring detail level {detail!r}")
+        if batch_size < 1:
+            raise MonitoringError(f"batch_size must be >= 1, got {batch_size}")
+        if sample_stride < 1:
+            raise MonitoringError(f"sample_stride must be >= 1, got {sample_stride}")
         self.keep_in_memory = keep_in_memory
-        self.events: List[EventRecord] = []
-        self.snapshots: List[SiteSnapshot] = []
-        self._event_ids = itertools.count(1)
+        self.batch_size = int(batch_size)
+        self.detail = detail
+        self.sample_stride = int(sample_stride)
+        #: Columnar event storage (all retained rows; pending rows when not retained).
+        self.buffer = TraceBuffer()
+        self._snapshots: List[SiteSnapshot] = []
         self._sinks: List[_Sink] = []
+        #: Next event id / total transitions seen (sampling included).
+        self._seen = 0
+        self._next_event_id = 1
+        #: Index of the first buffer row not yet flushed to sinks.
+        self._flushed = 0
         #: Per-site cumulative counters maintained from transitions.
         self._finished: Dict[str, int] = {}
         self._failed: Dict[str, int] = {}
 
     # -- sink management -------------------------------------------------------
     def attach(self, sink: _Sink) -> None:
-        """Attach a persistence back-end receiving every record as it is produced."""
+        """Attach a persistence back-end receiving batches of recorded rows."""
         self._sinks.append(sink)
 
     # -- recording -------------------------------------------------------------
@@ -61,64 +109,147 @@ class MonitoringCollector:
         pending_jobs: int = 0,
         assigned_jobs: int = 0,
         **extra: float,
-    ) -> EventRecord:
-        """Record one job state transition together with site-level context."""
-        if state is JobState.FINISHED and site:
-            self._finished[site] = self._finished.get(site, 0) + 1
-        if state is JobState.FAILED and site:
-            self._failed[site] = self._failed.get(site, 0) + 1
-        record = EventRecord(
-            event_id=next(self._event_ids),
-            time=time,
-            job_id=int(job.job_id or 0),
-            state=state.value,
-            site=site,
-            available_cores=int(available_cores),
-            pending_jobs=int(pending_jobs),
-            assigned_jobs=int(assigned_jobs),
-            finished_jobs=self._finished.get(site, 0),
-            extra={"cores": float(job.cores), **{k: float(v) for k, v in extra.items()}},
+    ) -> None:
+        """Record one job state transition together with site-level context.
+
+        The hot path: per-site counters always stay exact; a row is buffered
+        only when the detail level and sampling stride say so, and sinks are
+        fed whole batches, not single rows.
+        """
+        state_value = state.value
+        if state_value == "finished":
+            if site:
+                self._finished[site] = self._finished.get(site, 0) + 1
+        elif state_value == "failed":
+            if site:
+                self._failed[site] = self._failed.get(site, 0) + 1
+        seen = self._seen
+        self._seen = seen + 1
+        if self.detail == "aggregate" or seen % self.sample_stride:
+            return
+        if not self.keep_in_memory and not self._sinks:
+            # Nobody will ever read the row: buffering it would only grow
+            # the buffer without bound (the whole point of the knob is O(1)
+            # memory), so keep the counters and drop the row.
+            return
+        event_id = self._next_event_id
+        self._next_event_id = event_id + 1
+        buffer = self.buffer
+        buffer.append(
+            event_id,
+            time,
+            int(job.job_id or 0),
+            state_value,
+            site,
+            int(available_cores),
+            int(pending_jobs),
+            int(assigned_jobs),
+            self._finished.get(site, 0),
+            float(job.cores),
+            {key: float(value) for key, value in extra.items()} if extra else None,
         )
-        if self.keep_in_memory:
-            self.events.append(record)
-        for sink in self._sinks:
-            sink.write_event(record)
-        return record
+        if self._sinks and len(buffer) - self._flushed >= self.batch_size:
+            self._flush_events()
 
     def record_snapshot(self, snapshot: SiteSnapshot) -> SiteSnapshot:
-        """Record one periodic site-level snapshot."""
+        """Record one periodic site-level snapshot (low rate: written through)."""
         if self.keep_in_memory:
-            self.snapshots.append(snapshot)
+            self._snapshots.append(snapshot)
         for sink in self._sinks:
             sink.write_snapshot(snapshot)
         return snapshot
 
+    def _flush_events(self) -> None:
+        """Hand all unflushed buffered rows to the sinks, batched."""
+        buffer = self.buffer
+        start = self._flushed
+        stop = len(buffer)
+        if stop > start:
+            rows = None
+            for sink in self._sinks:
+                write_batch = getattr(sink, "write_batch", None)
+                if write_batch is not None:
+                    if rows is None:
+                        rows = buffer.rows(start, stop)
+                    write_batch(rows)
+                else:  # legacy per-record sink
+                    for index in range(start, stop):
+                        sink.write_event(buffer.record(index))
+        if self.keep_in_memory:
+            self._flushed = stop
+        else:
+            buffer.clear()
+            self._flushed = 0
+
+    def flush(self) -> None:
+        """Force-flush pending rows to the sinks (call at end of run)."""
+        self._flush_events()
+
     # -- queries -----------------------------------------------------------------
+    @property
+    def events(self) -> TraceBuffer:
+        """The retained columnar event buffer (iterable of EventRecord views).
+
+        Raises
+        ------
+        MonitoringError
+            When the collector was created with ``keep_in_memory=False``:
+            the rows were streamed to sinks and dropped, so reading them
+            back here would silently yield an empty (or partial) dataset.
+        """
+        if not self.keep_in_memory:
+            raise MonitoringError(
+                "monitoring events were not retained (keep_in_memory=False); "
+                "read them back from an attached sink (SQLite/CSV) instead"
+            )
+        return self.buffer
+
+    @property
+    def snapshots(self) -> List[SiteSnapshot]:
+        """The retained site snapshots (see :attr:`events` for the contract)."""
+        if not self.keep_in_memory:
+            raise MonitoringError(
+                "monitoring snapshots were not retained (keep_in_memory=False); "
+                "read them back from an attached sink (SQLite/CSV) instead"
+            )
+        return self._snapshots
+
     def finished_jobs(self, site: str) -> int:
-        """Cumulative finished-job count for ``site``."""
+        """Cumulative finished-job count for ``site`` (exact under sampling)."""
         return self._finished.get(site, 0)
 
     def failed_jobs(self, site: str) -> int:
-        """Cumulative failed-job count for ``site``."""
+        """Cumulative failed-job count for ``site`` (exact under sampling)."""
         return self._failed.get(site, 0)
 
     def events_for_job(self, job_id: int) -> List[EventRecord]:
-        """All events concerning one job, in order."""
-        return [e for e in self.events if e.job_id == job_id]
+        """All retained events concerning one job, in order."""
+        buffer = self.events
+        return [buffer.record(i) for i in buffer.indices_for_job(job_id)]
 
     def events_for_site(self, site: str) -> List[EventRecord]:
-        """All events concerning one site, in order."""
-        return [e for e in self.events if e.site == site]
+        """All retained events concerning one site, in order."""
+        buffer = self.events
+        return [buffer.record(i) for i in buffer.indices_for_site(site)]
 
     def latest_snapshot_per_site(self) -> Dict[str, SiteSnapshot]:
-        """The most recent snapshot of every site (dashboard input)."""
+        """The most recent snapshot of every site (dashboard input).
+
+        Best-effort by design: reads the internal snapshot list directly so a
+        dashboard over an unretained collector renders empty instead of
+        aborting a finished run.
+        """
         latest: Dict[str, SiteSnapshot] = {}
-        for snapshot in self.snapshots:
+        for snapshot in self._snapshots:
             latest[snapshot.site] = snapshot
         return latest
 
     def __len__(self) -> int:
-        return len(self.events)
+        """Rows currently held in the buffer."""
+        return len(self.buffer)
 
     def __repr__(self) -> str:
-        return f"<MonitoringCollector events={len(self.events)} snapshots={len(self.snapshots)}>"
+        return (
+            f"<MonitoringCollector rows={len(self.buffer)} seen={self._seen} "
+            f"snapshots={len(self._snapshots)} detail={self.detail!r}>"
+        )

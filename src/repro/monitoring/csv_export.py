@@ -3,18 +3,28 @@
 The output layer "supports CSV exports for statistical analysis"; these
 helpers write the event-level dataset, the periodic snapshots and the final
 per-job summaries produced by a simulation run into plain CSV files.
+
+Two flavours exist:
+
+* the one-shot :func:`export_events_csv` / :func:`export_snapshots_csv` /
+  :func:`export_jobs_csv` functions, used after a run on retained data --
+  when handed a columnar :class:`~repro.monitoring.trace_buffer.TraceBuffer`
+  they emit its row tuples through one ``writerows`` call instead of a
+  ``DictWriter`` round-trip per record;
+* the streaming :class:`CSVSink`, a collector sink with a batched
+  ``write_batch`` used by runs that do not retain events in memory.
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import IO, Iterable, List, Optional, Union
 
 from repro.monitoring.events import EVENT_FIELDS, SNAPSHOT_FIELDS, EventRecord, SiteSnapshot
 from repro.workload.job import Job
 
-__all__ = ["export_events_csv", "export_snapshots_csv", "export_jobs_csv"]
+__all__ = ["CSVSink", "export_events_csv", "export_snapshots_csv", "export_jobs_csv"]
 
 PathLike = Union[str, Path]
 
@@ -50,8 +60,21 @@ def _write_rows(path: PathLike, fieldnames: List[str], rows: Iterable[dict]) -> 
     return path
 
 
-def export_events_csv(events: Iterable[EventRecord], path: PathLike) -> Path:
-    """Write event-level records (Table 1 rows) to ``path``."""
+def export_events_csv(events, path: PathLike) -> Path:
+    """Write event-level records (Table 1 rows) to ``path``.
+
+    ``events`` may be a :class:`TraceBuffer` (columnar fast path) or any
+    iterable of :class:`EventRecord`.
+    """
+    rows = getattr(events, "rows", None)
+    if rows is not None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(EVENT_FIELDS)
+            writer.writerows(rows())
+        return path
     return _write_rows(path, EVENT_FIELDS, (event.to_row() for event in events))
 
 
@@ -63,3 +86,59 @@ def export_snapshots_csv(snapshots: Iterable[SiteSnapshot], path: PathLike) -> P
 def export_jobs_csv(jobs: Iterable[Job], path: PathLike) -> Path:
     """Write final per-job summaries to ``path``."""
     return _write_rows(path, JOB_FIELDS, (job.to_record() for job in jobs))
+
+
+class CSVSink:
+    """Streaming collector sink writing ``events.csv`` / ``snapshots.csv``.
+
+    Intended for runs with ``keep_in_memory=False``: the batching collector
+    hands over row-tuple batches which go straight through
+    ``csv.writer.writerows``.  Both files are created (with their header
+    rows) at construction so a run that records nothing still leaves the
+    same files behind as the retained-export path; the sink must be
+    :meth:`close`\\ d (or used as a context manager) to flush.
+    """
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._event_handle: Optional[IO[str]] = (self.directory / "events.csv").open(
+            "w", encoding="utf-8", newline=""
+        )
+        self._event_writer = csv.writer(self._event_handle)
+        self._event_writer.writerow(EVENT_FIELDS)
+        self._snapshot_handle: Optional[IO[str]] = (self.directory / "snapshots.csv").open(
+            "w", encoding="utf-8", newline=""
+        )
+        self._snapshot_writer = csv.writer(self._snapshot_handle)
+        self._snapshot_writer.writerow(SNAPSHOT_FIELDS)
+
+    # -- sink protocol -------------------------------------------------------
+    def write_batch(self, rows: Iterable[tuple]) -> None:
+        """Append a batch of event rows (``EVENT_FIELDS`` order)."""
+        self._event_writer.writerows(rows)
+
+    def write_event(self, record: EventRecord) -> None:
+        """Append one event row (legacy per-record path)."""
+        row = record.to_row()
+        self._event_writer.writerow([row[field] for field in EVENT_FIELDS])
+
+    def write_snapshot(self, snapshot: SiteSnapshot) -> None:
+        """Append one site snapshot row."""
+        row = snapshot.to_row()
+        self._snapshot_writer.writerow([row[field] for field in SNAPSHOT_FIELDS])
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Flush and close any open files."""
+        for handle in (self._event_handle, self._snapshot_handle):
+            if handle is not None:
+                handle.close()
+        self._event_handle = self._event_writer = None
+        self._snapshot_handle = self._snapshot_writer = None
+
+    def __enter__(self) -> "CSVSink":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.close()

@@ -66,22 +66,24 @@ class Dashboard:
         """Most recent job-level events (optionally for one site).
 
         This is the "hover-over details showing the jobs running on each
-        node" view of the paper's dashboard.
+        node" view of the paper's dashboard.  Reads the collector's columnar
+        buffer directly -- no per-row record objects are materialised.
         """
-        events = self.collector.events
+        buffer = self.collector.events
         if site is not None:
-            events = [e for e in events if e.site == site]
-        recent = events[-limit:]
+            indices = buffer.indices_for_site(site)[-limit:]
+        else:
+            indices = range(max(0, len(buffer) - limit), len(buffer))
         return [
             {
-                "event_id": e.event_id,
-                "time": e.time,
-                "job_id": e.job_id,
-                "state": e.state,
-                "site": e.site,
-                "cores": e.extra.get("cores", 1.0),
+                "event_id": buffer.event_ids[i],
+                "time": buffer.times[i],
+                "job_id": buffer.job_ids[i],
+                "state": buffer.states[i],
+                "site": buffer.sites[i],
+                "cores": buffer.cores[i],
             }
-            for e in recent
+            for i in indices
         ]
 
     # -- rendering ---------------------------------------------------------------

@@ -100,6 +100,16 @@ class SQLiteStore:
             ),
         )
 
+    def write_batch(self, rows: Iterable[tuple]) -> None:
+        """Insert a batch of event rows (``EVENT_FIELDS`` order) via ``executemany``.
+
+        This is the fast path the batching collector uses: one C-level
+        ``executemany`` per batch instead of one ``execute`` per transition.
+        """
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO events VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)", rows
+        )
+
     def write_snapshot(self, snapshot: SiteSnapshot) -> None:
         """Insert one site snapshot row."""
         self._conn.execute(

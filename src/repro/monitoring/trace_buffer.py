@@ -1,0 +1,163 @@
+"""Columnar (struct-of-arrays) storage for the event-level monitoring trace.
+
+The simulation core produces one monitoring row per job state transition --
+by far the highest-volume data path outside the DES kernel itself.  Building
+an :class:`~repro.monitoring.events.EventRecord` object per transition costs
+a dataclass allocation plus a per-row ``extra`` dict; at millions of events
+that dominates the monitoring overhead and the memory footprint.
+
+:class:`TraceBuffer` instead keeps one plain Python list per column
+(`Table 1` schema).  Appending is a handful of C-level ``list.append``
+calls, consumers (metrics, ML dataset assembly, reporting, dashboards) read
+the columns directly, and sinks receive whole batches of row tuples suitable
+for ``executemany`` / ``writerows``.  For code that still wants the
+row-object view, the buffer is an iterable sequence of lazily materialised
+:class:`EventRecord` instances, so ``for event in buffer`` keeps working.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.monitoring.events import EventRecord
+
+__all__ = ["TraceBuffer"]
+
+#: Column attributes in EVENT_FIELDS order (the CSV/SQLite row layout).
+_COLUMNS = (
+    "event_ids",
+    "times",
+    "job_ids",
+    "states",
+    "sites",
+    "available_cores",
+    "pending_jobs",
+    "assigned_jobs",
+    "finished_jobs",
+)
+
+
+class TraceBuffer:
+    """Struct-of-arrays buffer of job-transition events (Table 1 rows).
+
+    One parallel list per column; row ``i`` is spread across
+    ``event_ids[i] ... finished_jobs[i]`` plus the always-present ``cores[i]``
+    feature and the sparse ``extras[i]`` dict (``None`` for rows without
+    additional features, which is nearly all of them).
+    """
+
+    __slots__ = _COLUMNS + ("cores", "extras")
+
+    def __init__(self) -> None:
+        self.event_ids: List[int] = []
+        self.times: List[float] = []
+        self.job_ids: List[int] = []
+        self.states: List[str] = []
+        self.sites: List[str] = []
+        self.available_cores: List[int] = []
+        self.pending_jobs: List[int] = []
+        self.assigned_jobs: List[int] = []
+        self.finished_jobs: List[int] = []
+        #: Cores of the transitioning job (the ``x_cores`` ML feature).
+        self.cores: List[float] = []
+        #: Sparse per-row extra features (None when absent).
+        self.extras: List[Optional[Dict[str, float]]] = []
+
+    # -- writing -------------------------------------------------------------
+    def append(
+        self,
+        event_id: int,
+        time: float,
+        job_id: int,
+        state: str,
+        site: str,
+        available_cores: int,
+        pending_jobs: int,
+        assigned_jobs: int,
+        finished_jobs: int,
+        cores: float,
+        extra: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """Append one transition row (hot path: eleven list appends)."""
+        self.event_ids.append(event_id)
+        self.times.append(time)
+        self.job_ids.append(job_id)
+        self.states.append(state)
+        self.sites.append(site)
+        self.available_cores.append(available_cores)
+        self.pending_jobs.append(pending_jobs)
+        self.assigned_jobs.append(assigned_jobs)
+        self.finished_jobs.append(finished_jobs)
+        self.cores.append(cores)
+        self.extras.append(extra)
+
+    def clear(self) -> None:
+        """Drop all rows (used after flushing when retention is disabled)."""
+        for name in self.__slots__:
+            getattr(self, name).clear()
+
+    # -- reading -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.event_ids)
+
+    def record(self, index: int) -> EventRecord:
+        """Materialise row ``index`` as an :class:`EventRecord` view."""
+        extra = {"cores": self.cores[index]}
+        more = self.extras[index]
+        if more:
+            extra.update(more)
+        return EventRecord(
+            event_id=self.event_ids[index],
+            time=self.times[index],
+            job_id=self.job_ids[index],
+            state=self.states[index],
+            site=self.sites[index],
+            available_cores=self.available_cores[index],
+            pending_jobs=self.pending_jobs[index],
+            assigned_jobs=self.assigned_jobs[index],
+            finished_jobs=self.finished_jobs[index],
+            extra=extra,
+        )
+
+    def __iter__(self) -> Iterator[EventRecord]:
+        for index in range(len(self.event_ids)):
+            yield self.record(index)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self.record(i) for i in range(*index.indices(len(self.event_ids)))]
+        n = len(self.event_ids)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("trace buffer row index out of range")
+        return self.record(index)
+
+    def rows(self, start: int = 0, stop: Optional[int] = None) -> List[Tuple]:
+        """Rows ``[start:stop)`` as tuples in ``EVENT_FIELDS`` order.
+
+        This is the zero-copy-ish hand-off to batched sinks
+        (``executemany`` / ``csv.writer.writerows``).
+        """
+        columns = [getattr(self, name) for name in _COLUMNS]
+        if stop is None:
+            stop = len(self.event_ids)
+        if start or stop != len(self.event_ids):
+            columns = [column[start:stop] for column in columns]
+        return list(zip(*columns))
+
+    def state_counts(self) -> Counter:
+        """Transition counts by state (C-level counting over the column)."""
+        return Counter(self.states)
+
+    def indices_for_site(self, site: str) -> List[int]:
+        """Row indices whose ``site`` column equals ``site``."""
+        return [i for i, s in enumerate(self.sites) if s == site]
+
+    def indices_for_job(self, job_id: int) -> List[int]:
+        """Row indices whose ``job_id`` column equals ``job_id``."""
+        return [i for i, j in enumerate(self.job_ids) if j == job_id]
+
+    def __repr__(self) -> str:
+        return f"<TraceBuffer rows={len(self.event_ids)}>"

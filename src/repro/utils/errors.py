@@ -54,6 +54,15 @@ class SimulationError(CGSimError):
     """
 
 
+class MonitoringError(CGSimError):
+    """Raised for invalid use of the monitoring/output layer.
+
+    The most common case: asking a :class:`MonitoringCollector` created with
+    ``keep_in_memory=False`` for its retained events or snapshots.  Before
+    this error existed such readers silently saw empty datasets.
+    """
+
+
 class CalibrationError(CGSimError):
     """Raised when a calibration run cannot be carried out.
 

@@ -179,3 +179,56 @@ class TestGenerateTraceAndRun:
         ])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_bench_prints_rates_and_writes_json(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "rates.json"
+        code = main([
+            "bench", "--scale", "0.01", "--repeat", "1", "--output", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "timeout_churn" in out
+        assert "events_per_s" in out
+        payload = json.loads(out_path.read_text())
+        workloads = {row["workload"] for row in payload["results"]}
+        assert workloads == {"timeout_churn", "resource_contention", "store_pingpong"}
+        assert all(row["events_per_s"] > 0 for row in payload["results"])
+
+    def test_bench_profile_dumps_cumulative_summary(self, capsys):
+        code = main(["bench", "--scale", "0.01", "--repeat", "1", "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cProfile" in out
+        assert "cumulative" in out
+
+    def test_bench_rejects_bad_scale(self, capsys):
+        assert main(["bench", "--scale", "0"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_run_per_site_prints_transition_table(self, tmp_path, capsys):
+        import json as _json
+
+        main(["generate-config", "--sites", "2", "--output-dir", str(tmp_path / "cfg")])
+        main([
+            "generate-trace",
+            "--infrastructure", str(tmp_path / "cfg" / "infrastructure.json"),
+            "--jobs", "30",
+            "--output", str(tmp_path / "trace.csv"),
+        ])
+        capsys.readouterr()
+        code = main([
+            "run",
+            "--infrastructure", str(tmp_path / "cfg" / "infrastructure.json"),
+            "--topology", str(tmp_path / "cfg" / "topology.json"),
+            "--execution", str(tmp_path / "cfg" / "execution.json"),
+            "--trace", str(tmp_path / "trace.csv"),
+            "--per-site",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "transitions" in out
+        assert "finished" in out

@@ -93,7 +93,7 @@ class TestFilterStore:
         env.process(consumer(env))
         env.run()
         assert received == [2]
-        assert store.items == [1, 3, 4]
+        assert list(store.items) == [1, 3, 4]
 
     def test_filter_waits_for_matching_item(self, env):
         store = FilterStore(env)

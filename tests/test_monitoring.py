@@ -122,8 +122,23 @@ class TestMonitoringCollector:
 
         collector.attach(Sink())
         collector.record_transition(Job(work=1), JobState.PENDING, 0.0)
-        assert len(collector.events) == 0
+        collector.flush()
         assert len(seen) == 1
+
+    def test_keep_in_memory_false_reads_fail_loudly(self):
+        from repro.utils.errors import MonitoringError
+
+        collector = MonitoringCollector(keep_in_memory=False)
+        collector.record_transition(Job(work=1), JobState.PENDING, 0.0)
+        with pytest.raises(MonitoringError):
+            collector.events
+        with pytest.raises(MonitoringError):
+            collector.snapshots
+        with pytest.raises(MonitoringError):
+            collector.events_for_site("BNL")
+        # Counters stay exact without retention.
+        collector.record_transition(Job(work=1), JobState.FINISHED, 1.0, site="X")
+        assert collector.finished_jobs("X") == 1
 
 
 class TestSQLiteStore:
