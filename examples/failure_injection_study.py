@@ -1,19 +1,17 @@
 #!/usr/bin/env python
-"""Failure injection: job failures, site outages and PanDA-style retries.
+"""Failure injection: job failures and PanDA-style retries.
 
 Job failure rate is one of the operational metrics the paper lists as a
-primary output of grid monitoring (Section 1).  This example studies it in
-simulation:
+primary output of grid monitoring (Section 1).  The study itself lives in the
+bundled ``fault-campaign`` scenario pack, which crosses an injected per-site
+job-failure probability with PanDA-style automatic resubmission; this script
+is a thin wrapper that runs the pack and narrates the resulting table:
 
-1. a baseline run on a WLCG-like grid with no faults;
-2. the same workload with an injected per-site job failure probability
-   (worker-node losses, storage hiccups) -- failure rate and wasted
-   core-hours appear in the metrics;
-3. the same faults but with automatic resubmission enabled
-   (``max_retries``), showing how retries trade extra attempts for a lower
-   effective loss rate;
-4. a scheduled outage of the largest site, showing how queued work drains
-   around a maintenance window.
+* ``repro scenario show fault-campaign`` prints the study's definition;
+* ``repro scenario run fault-campaign`` runs it from the command line;
+* the ``lost_jobs`` / ``wasted_core_hours`` extras count original jobs that
+  never produced a successful attempt and the core-hours burned by failed
+  attempts -- the price retries pay for a lower effective loss rate.
 
 Run it with::
 
@@ -23,57 +21,14 @@ from __future__ import annotations
 
 import argparse
 
-from repro import (
-    ExecutionConfig,
-    JobFailureModel,
-    OutageWindow,
-    Simulator,
-)
 from repro.analysis.reporting import format_table
-from repro.atlas import PandaWorkloadModel, wlcg_grid
-from repro.config.execution import MonitoringConfig
-from repro.workload.job import JobState
+from repro.scenarios import get_scenario_pack, run_scenario_pack
 
 
-def run_case(label, infrastructure, topology, jobs, *, failure_model=None,
-             outages=None, max_retries=0) -> dict:
-    """Run one configuration and summarise the reliability metrics."""
-    execution = ExecutionConfig(
-        plugin="panda_dispatcher",
-        max_retries=max_retries,
-        monitoring=MonitoringConfig(snapshot_interval=0.0),
-    )
-    simulator = Simulator(
-        infrastructure,
-        topology,
-        execution,
-        failure_model=failure_model,
-        outages=outages or [],
-    )
-    result = simulator.run([job.copy_for_replay() for job in jobs])
-    metrics = result.metrics
-
-    # "Lost" jobs are original jobs that never produced a successful attempt.
-    succeeded_originals = {
-        int(j.attributes.get("retry_of", j.job_id))
-        for j in result.jobs
-        if j.state is JobState.FINISHED
-    }
-    original_ids = {int(j.job_id) for j in jobs}
-    lost = len(original_ids - succeeded_originals)
-    wasted_core_hours = sum(
-        (j.walltime or 0.0) * j.cores for j in result.jobs if j.state is JobState.FAILED
-    ) / 3600.0
-
-    return {
-        "case": label,
-        "attempts": len(result.jobs),
-        "failed_attempts": metrics.failed_jobs,
-        "attempt_failure_rate": metrics.failure_rate,
-        "lost_jobs": lost,
-        "wasted_core_hours": wasted_core_hours,
-        "makespan_h": metrics.makespan / 3600.0,
-    }
+def case_label(rate: float, retries: int) -> str:
+    """Human-readable name of one (failure rate, retry budget) combination."""
+    base = "baseline" if rate == 0.0 else "failures"
+    return base if retries == 0 else f"{base} + {retries} retries"
 
 
 def main() -> None:
@@ -83,34 +38,61 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=21)
     parser.add_argument("--failure-rate", type=float, default=0.15,
                         help="per-attempt failure probability at every site")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (0 = one per CPU)")
     args = parser.parse_args()
 
-    infrastructure, topology = wlcg_grid(site_count=args.sites)
-    model = PandaWorkloadModel(infrastructure, seed=args.seed)
-    jobs = model.generate_trace(args.jobs)
-    largest = max(infrastructure.sites, key=lambda s: s.cores)
-    print(f"Grid: {len(infrastructure)} sites; workload: {len(jobs)} jobs; "
-          f"largest site: {largest.name} ({largest.cores} cores)\n")
+    pack = get_scenario_pack("fault-campaign")
+    print(f"Scenario pack: {pack.name} -- {pack.title}")
+    print(f"Grid: {args.sites} WLCG-like sites; workload: {args.jobs} jobs; "
+          f"injected failure rate {args.failure_rate}\n")
 
-    faults = JobFailureModel(default_rate=args.failure_rate, seed=args.seed)
-    maintenance = [OutageWindow(site=largest.name, start=4 * 3600.0, end=12 * 3600.0)]
+    outcome = run_scenario_pack(
+        pack,
+        workers=args.workers,
+        overrides={
+            "grid.sites": args.sites,
+            "workload.jobs": args.jobs,
+            "workload.seed": args.seed,
+            "faults.job_failures.seed": args.seed,
+            "sweep.axes": {
+                "faults.job_failures.default_rate": [0.0, args.failure_rate],
+                "execution.max_retries": [0, 3],
+            },
+        },
+    )
 
-    rows = [
-        run_case("baseline", infrastructure, topology, jobs),
-        run_case("failures", infrastructure, topology, jobs, failure_model=faults),
-        run_case("failures + 3 retries", infrastructure, topology, jobs,
-                 failure_model=JobFailureModel(default_rate=args.failure_rate, seed=args.seed),
-                 max_retries=3),
-        run_case(f"8h outage of {largest.name}", infrastructure, topology, jobs,
-                 outages=maintenance),
-    ]
+    rows = []
+    by_label = {}
+    for result in outcome.sweep.ok:
+        axes = result.spec.params["overrides"]
+        rate = axes["faults.job_failures.default_rate"]
+        retries = axes["execution.max_retries"]
+        metrics = result.metrics
+        row = {
+            "case": case_label(rate, retries),
+            "attempts": int(metrics["attempts"]),
+            "failed_attempts": metrics["failed_jobs"],
+            "attempt_failure_rate": metrics["failure_rate"],
+            "lost_jobs": int(metrics["lost_jobs"]),
+            "wasted_core_hours": metrics["wasted_core_hours"],
+            "makespan_h": metrics["makespan"] / 3600.0,
+        }
+        rows.append(row)
+        by_label[row["case"]] = row
     print(format_table(rows))
 
-    with_faults = rows[1]
-    with_retries = rows[2]
+    # With --failure-rate 0 every case degenerates to the baseline and there
+    # is no retry trade-off to narrate.
+    with_faults = by_label.get("failures")
+    with_retries = by_label.get("failures + 3 retries")
+    if with_faults is None or with_retries is None:
+        print("\nNo failures were injected (rate 0), so automatic resubmissions "
+              "had nothing to recover.")
+        return
     print(f"\nWithout retries, {with_faults['lost_jobs']} jobs were lost outright; "
           f"with 3 automatic resubmissions only {with_retries['lost_jobs']} were, "
-          f"at the cost of {with_retries['attempts'] - len(jobs)} extra attempts and "
+          f"at the cost of {with_retries['attempts'] - args.jobs} extra attempts and "
           f"{with_retries['wasted_core_hours']:.0f} wasted core-hours.")
 
 

@@ -2,14 +2,16 @@
 """ATLAS/WLCG case study: compare scheduling policies on a WLCG-like grid.
 
 The paper's motivating use case is evaluating new workflow-scheduling and
-data-movement policies on the WLCG without touching production.  This example
-does exactly that on the built-in WLCG catalogue:
+data-movement policies on the WLCG without touching production.  This used to
+be ~60 lines of glue code; it is now a thin wrapper over the bundled
+``wlcg-baseline`` scenario pack -- the whole study (tiered ATLAS-like grid,
+PanDA-like production workload, one run per allocation policy) is data, not
+code:
 
-* builds a tiered ATLAS-like grid (Tier-0 / Tier-1 / Tier-2 hierarchy);
-* generates a PanDA-like production workload (tasks of similar jobs);
-* replays the same workload under several allocation policies;
-* reports makespan, mean queue time, throughput and utilisation per policy,
-  i.e. the operational metrics the paper lists (Section 1).
+* ``repro scenario show wlcg-baseline`` prints the study's definition;
+* ``repro scenario run wlcg-baseline`` runs it from the command line;
+* this script does the same through the Python API, then formats the what-if
+  table a grid operator would look at.
 
 Run it with::
 
@@ -19,19 +21,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro import ExecutionConfig, Simulator
 from repro.analysis.reporting import format_table
-from repro.atlas import PandaWorkloadModel, wlcg_grid
-from repro.config.execution import MonitoringConfig
-
-POLICIES = [
-    "round_robin",
-    "random",
-    "least_loaded",
-    "weighted_capacity",
-    "panda_dispatcher",
-    "backfill",
-]
+from repro.scenarios import get_scenario_pack, run_scenario_pack
 
 
 def main() -> None:
@@ -39,48 +30,46 @@ def main() -> None:
     parser.add_argument("--sites", type=int, default=20)
     parser.add_argument("--jobs", type=int, default=2000)
     parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (0 = one per CPU)")
     args = parser.parse_args()
 
-    # 1. A tiered WLCG-like grid from the built-in catalogue.
-    infrastructure, topology = wlcg_grid(site_count=args.sites)
-    tiers = {}
-    for site in infrastructure.sites:
-        tiers[site.properties.get("tier", "?")] = tiers.get(site.properties.get("tier", "?"), 0) + 1
-    print(f"WLCG subset: {len(infrastructure)} sites "
-          f"({', '.join(f'Tier-{t}: {n}' for t, n in sorted(tiers.items()))}), "
-          f"{infrastructure.total_cores} cores")
+    # The whole study lives in the pack; the CLI knobs become overrides.
+    pack = get_scenario_pack("wlcg-baseline")
+    policies = pack.sweep.axes["execution.plugin"]
+    print(f"Scenario pack: {pack.name} -- {pack.title}")
+    print(f"WLCG subset: {args.sites} sites, {args.jobs} jobs, "
+          f"{len(policies)} policies\n")
 
-    # 2. One PanDA-like production workload, reused for every policy so the
-    #    comparison is apples-to-apples.
-    model = PandaWorkloadModel(infrastructure, seed=args.seed)
-    jobs = model.generate_trace(args.jobs)
-    print(f"Workload: {len(jobs)} jobs in {len({j.task_id for j in jobs})} tasks\n")
+    outcome = run_scenario_pack(
+        pack,
+        workers=args.workers,
+        overrides={
+            "grid.sites": args.sites,
+            "workload.jobs": args.jobs,
+            "workload.seed": args.seed,
+        },
+    )
 
-    # 3. Replay under each policy.
+    # One run per policy (replications=1): rebuild the per-policy what-if table.
     rows = []
-    for policy in POLICIES:
-        execution = ExecutionConfig(
-            plugin=policy,
-            monitoring=MonitoringConfig(snapshot_interval=0.0),
-        )
-        simulator = Simulator(infrastructure, topology, execution)
-        result = simulator.run([job.copy_for_replay() for job in jobs])
+    for result in outcome.sweep.ok:
+        policy = result.spec.scenario.split("=", 1)[1]
         metrics = result.metrics
         rows.append(
             {
                 "policy": policy,
-                "makespan_h": metrics.makespan / 3600.0,
-                "mean_queue_min": metrics.mean_queue_time / 60.0,
-                "mean_walltime_h": metrics.mean_walltime / 3600.0,
-                "throughput_jobs_per_h": metrics.throughput * 3600.0,
-                "failure_rate": metrics.failure_rate,
+                "makespan_h": metrics["makespan"] / 3600.0,
+                "mean_queue_min": metrics["mean_queue_time"] / 60.0,
+                "mean_walltime_h": metrics["mean_walltime"] / 3600.0,
+                "throughput_jobs_per_h": metrics["throughput"] * 3600.0,
+                "failure_rate": metrics["failure_rate"],
                 "sim_wallclock_s": result.wallclock_seconds,
             }
         )
-        print(f"  {policy:<20} makespan {metrics.makespan / 3600.0:7.1f} h   "
-              f"mean queue {metrics.mean_queue_time / 60.0:7.1f} min")
+        print(f"  {policy:<20} makespan {rows[-1]['makespan_h']:7.1f} h   "
+              f"mean queue {rows[-1]['mean_queue_min']:7.1f} min")
 
-    # 4. The what-if table a grid operator would look at.
     print()
     print(format_table(rows))
     best = min(rows, key=lambda r: r["makespan_h"])

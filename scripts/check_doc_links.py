@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Check internal links and anchors across the documentation (stdlib only).
+
+Walks every Markdown file under ``docs/`` (plus README.md) and verifies:
+
+* relative links point at files that exist;
+* fragment links (``page.md#section`` and in-page ``#section``) point at a
+  heading that actually renders that anchor (GitHub/MkDocs slug rules);
+* no link uses an absolute local path.
+
+External links (http/https/mailto) are *not* fetched -- CI must stay
+offline-deterministic -- but their URLs are checked for obvious breakage
+(whitespace).  Exits non-zero listing every broken link.
+
+Usage::
+
+    python scripts/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Set
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+
+#: Markdown inline links: [text](target) -- images share the syntax.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub/MkDocs-style anchor slug for a heading text."""
+    text = re.sub(r"[*_`\[\]()]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return re.sub(r"[ ]+", "-", text)
+
+
+def heading_anchors(path: Path) -> Set[str]:
+    """Every anchor a Markdown file exposes (headings outside code fences)."""
+    anchors: Set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            slug = slugify(match.group(2))
+            # Duplicate headings get -1, -2... suffixes; track the base.
+            candidate = slug
+            serial = 1
+            while candidate in anchors:
+                candidate = f"{slug}-{serial}"
+                serial += 1
+            anchors.add(candidate)
+    return anchors
+
+
+def iter_links(path: Path):
+    """Yield (line_number, target) for every inline link outside code fences."""
+    in_fence = False
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield number, match.group(1)
+
+
+def check_file(path: Path, errors: List[str]) -> None:
+    for line_number, target in iter_links(path):
+        where = f"{path.relative_to(REPO_ROOT)}:{line_number}"
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("/"):
+            errors.append(f"{where}: absolute local link {target!r}")
+            continue
+        base, _, fragment = target.partition("#")
+        dest = path if not base else (path.parent / base).resolve()
+        if base and not dest.exists():
+            errors.append(f"{where}: broken link target {target!r}")
+            continue
+        if fragment:
+            if dest.suffix.lower() != ".md":
+                continue
+            if fragment not in heading_anchors(dest):
+                errors.append(
+                    f"{where}: broken anchor {target!r} "
+                    f"(no heading slugs to {fragment!r} in {dest.name})"
+                )
+
+
+def main() -> int:
+    files = sorted(DOCS_DIR.rglob("*.md")) + [REPO_ROOT / "README.md"]
+    errors: List[str] = []
+    for path in files:
+        check_file(path, errors)
+    if errors:
+        print(f"{len(errors)} broken documentation link(s):", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} file(s): all internal links and anchors resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

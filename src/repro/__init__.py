@@ -28,6 +28,10 @@ on top of SimGrid.  Here every layer is implemented in pure Python:
 * :mod:`repro.experiments` -- parallel experiment sweeps: fan independent
   simulation runs (scenario grids, seed replications, calibration trials)
   across worker processes with deterministic derived seeding.
+* :mod:`repro.scenarios` -- declarative scenario packs: whole studies (grid +
+  workload + faults + data + execution + optional sweep/calibration) as
+  single validated YAML/JSON files, discovered through a registry and run
+  end-to-end by ``repro scenario run``.
 
 Quickstart
 ----------
@@ -65,6 +69,15 @@ from repro.monitoring import Dashboard, MonitoringCollector, SQLiteStore
 from repro.plugins import AllocationPolicy, ResourceView, available_policies, create_policy
 from repro.workload import Job, JobState, SyntheticWorkloadGenerator, WorkloadSpec, load_trace, save_trace
 from repro.experiments import RunResult, RunSpec, SweepResult, SweepRunner, scenario_grid
+from repro.scenarios import (
+    ScenarioOutcome,
+    ScenarioPack,
+    available_scenario_packs,
+    get_scenario_pack,
+    load_scenario_pack,
+    register_scenario_pack,
+    run_scenario_pack,
+)
 
 __version__ = "1.0.0"
 
@@ -117,4 +130,12 @@ __all__ = [
     "SweepRunner",
     "SweepResult",
     "scenario_grid",
+    # scenario packs
+    "ScenarioPack",
+    "ScenarioOutcome",
+    "load_scenario_pack",
+    "available_scenario_packs",
+    "get_scenario_pack",
+    "register_scenario_pack",
+    "run_scenario_pack",
 ]

@@ -20,7 +20,13 @@ writing any Python:
   policies x failure rates, with seed replications) across worker processes
   and print the per-scenario aggregate table;
 * ``cgsim bench`` -- measure the DES kernel's event throughput on the three
-  standard workloads, optionally dumping a cProfile summary (``--profile``).
+  standard workloads, optionally dumping a cProfile summary (``--profile``);
+* ``cgsim scenario {list,show,validate,run}`` -- the declarative front door:
+  discover, inspect, validate and execute scenario packs (single YAML/JSON
+  files describing whole studies, run in parallel when they sweep).
+
+Every subcommand's help string names the artifacts it prints or writes, so
+``cgsim <command> --help`` is an accurate contract of what comes out.
 """
 
 from __future__ import annotations
@@ -65,7 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"cgsim-repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("generate-config", help="write the three JSON configuration files")
+    gen = sub.add_parser(
+        "generate-config",
+        help="write infrastructure.json, topology.json and execution.json to --output-dir",
+    )
     gen.add_argument("--sites", type=int, default=10, help="number of sites")
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument(
@@ -75,13 +84,19 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--topology", choices=["star", "tiered"], default="star")
     gen.add_argument("--output-dir", type=Path, default=Path("configs"))
 
-    trace = sub.add_parser("generate-trace", help="write a synthetic PanDA-like trace")
+    trace = sub.add_parser(
+        "generate-trace", help="write a synthetic PanDA-like trace CSV to --output"
+    )
     trace.add_argument("--infrastructure", type=Path, required=True)
     trace.add_argument("--jobs", type=int, default=1000)
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--output", type=Path, default=Path("trace.csv"))
 
-    run = sub.add_parser("run", help="run a simulation")
+    run = sub.add_parser(
+        "run",
+        help="run a simulation and print the metrics table "
+        "(--per-site/--dashboard print the breakdown and dashboard views)",
+    )
     run.add_argument("--infrastructure", type=Path, required=True)
     run.add_argument("--topology", type=Path, required=True)
     run.add_argument("--execution", type=Path, required=True)
@@ -89,7 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--dashboard", action="store_true", help="print the final dashboard view")
     run.add_argument("--per-site", action="store_true", help="print the per-site breakdown")
 
-    cal = sub.add_parser("calibrate", help="calibrate per-site core speeds against a trace")
+    cal = sub.add_parser(
+        "calibrate",
+        help="calibrate per-site core speeds against a trace, print the "
+        "before/after error table and optionally write the calibrated "
+        "infrastructure JSON (--output)",
+    )
     cal.add_argument("--infrastructure", type=Path, required=True)
     cal.add_argument("--trace", type=Path, required=True)
     cal.add_argument("--optimizer", default="random",
@@ -101,7 +121,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sens = sub.add_parser(
         "sensitivity",
-        help="one-at-a-time parameter sensitivity study for one site",
+        help="one-at-a-time parameter sensitivity study for one site; prints "
+        "the per-parameter error table and the dominant parameter",
     )
     sens.add_argument("--infrastructure", type=Path, required=True)
     sens.add_argument("--trace", type=Path, required=True)
@@ -113,7 +134,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     cmp = sub.add_parser(
         "compare-policies",
-        help="replay one trace under several allocation policies",
+        help="replay one trace under several allocation policies and print "
+        "the side-by-side metrics table",
     )
     cmp.add_argument("--infrastructure", type=Path, required=True)
     cmp.add_argument("--topology", type=Path, required=True)
@@ -124,11 +146,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated policy names (see `cgsim policies`)",
     )
 
-    sub.add_parser("policies", help="list registered allocation policies")
+    sub.add_parser(
+        "policies", help="print the registered allocation-policy names, one per line"
+    )
 
     sweep = sub.add_parser(
         "sweep",
-        help="run a parallel scenario sweep and print per-scenario aggregates",
+        help="run a parallel scenario sweep, print the per-scenario aggregate "
+        "table and optionally write per-run results as JSON (--output)",
     )
     sweep.add_argument("--sites", default="4",
                        help="comma-separated site counts to sweep")
@@ -151,7 +176,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="measure DES-kernel event throughput (optionally under cProfile)",
+        help="measure DES-kernel event throughput, print the events/s table "
+        "and optionally write the rates as JSON (--output) or print a "
+        "cProfile summary (--profile)",
     )
     bench.add_argument("--scale", type=float, default=1.0,
                        help="size multiplier for the three kernel workloads")
@@ -161,6 +188,51 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dump a cProfile summary (top-20 cumulative functions)")
     bench.add_argument("--output", type=Path, default=None,
                        help="write the measured rates as JSON here")
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="work with declarative scenario packs: print the pack catalogue, "
+        "a pack's canonical JSON, validation verdicts, or run a pack and "
+        "print its metric/sweep/calibration tables",
+    )
+    scen_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    scen_list = scen_sub.add_parser(
+        "list",
+        help="print the table of discoverable packs (bundled, entry-point "
+        "and CGSIM_SCENARIO_PATH sources)",
+    )
+    scen_list.add_argument("--tag", default=None, help="only packs carrying this tag")
+
+    scen_show = scen_sub.add_parser(
+        "show", help="print one pack's canonical JSON representation"
+    )
+    scen_show.add_argument("pack", help="pack name (see `scenario list`) or file path")
+
+    scen_validate = scen_sub.add_parser(
+        "validate",
+        help="validate pack files/names and print one OK/error verdict per pack",
+    )
+    scen_validate.add_argument("packs", nargs="+",
+                               help="pack names or YAML/JSON file paths")
+
+    scen_run = scen_sub.add_parser(
+        "run",
+        help="run a pack end-to-end (parallel when it sweeps) and print its "
+        "metric/sweep/calibration tables; --output writes the full outcome "
+        "as JSON",
+    )
+    scen_run.add_argument("pack", help="pack name (see `scenario list`) or file path")
+    scen_run.add_argument("--workers", type=int, default=None,
+                          help="worker processes for sweeps/calibration "
+                          "(0 = one per available CPU; default: the pack's choice)")
+    scen_run.add_argument("--set", dest="overrides", action="append", default=[],
+                          metavar="PATH=VALUE",
+                          help="dotted-path pack override, e.g. "
+                          "--set workload.jobs=500 (repeatable; values parse "
+                          "as JSON, falling back to strings)")
+    scen_run.add_argument("--output", type=Path, default=None,
+                          help="write the full outcome (per-run metrics) as JSON here")
     return parser
 
 
@@ -383,6 +455,93 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_pack(reference: str):
+    """Resolve a CLI pack reference: an existing file path, else a registry name."""
+    from repro.scenarios import load_scenario_pack
+    from repro.scenarios.loader import PACK_SUFFIXES
+
+    path = Path(reference)
+    if path.exists() or reference.endswith(PACK_SUFFIXES) or "/" in reference:
+        return load_scenario_pack(path)
+    from repro.scenarios import get_scenario_pack
+
+    return get_scenario_pack(reference)
+
+
+def _parse_overrides(pairs: List[str]) -> dict:
+    """Parse repeated ``--set path=value`` flags (values are JSON when possible)."""
+    overrides = {}
+    for pair in pairs:
+        path, separator, raw = pair.partition("=")
+        if not separator or not path.strip():
+            raise CGSimError(f"--set expects PATH=VALUE, got {pair!r}")
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        overrides[path.strip()] = value
+    return overrides
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import run_scenario_pack
+    from repro.scenarios.registry import default_registry
+
+    if args.scenario_command == "list":
+        rows = []
+        for pack in default_registry.packs():
+            if args.tag is not None and args.tag not in pack.tags:
+                continue
+            rows.append(pack.summary_row())
+        if rows:
+            print(format_table(rows))
+        else:
+            print("no scenario packs found")
+        for warning in default_registry.warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+        return 0
+
+    if args.scenario_command == "show":
+        print(_resolve_pack(args.pack).to_json())
+        return 0
+
+    if args.scenario_command == "validate":
+        failures = 0
+        for reference in args.packs:
+            try:
+                pack = _resolve_pack(reference)
+            except CGSimError as exc:
+                failures += 1
+                print(f"FAIL  {reference}: {exc}")
+                continue
+            runs = 1
+            if pack.sweep is not None:
+                runs = len(pack.sweep.combinations()) * pack.sweep.replications
+            print(f"OK    {pack.name} ({pack.mode()}, {runs} run(s))")
+        return 1 if failures else 0
+
+    pack = _resolve_pack(args.pack)
+    outcome = run_scenario_pack(
+        pack, workers=args.workers, overrides=_parse_overrides(args.overrides)
+    )
+    header = outcome.pack.title or outcome.pack.name
+    print(f"scenario {outcome.pack.name} [{outcome.mode}]: {header}")
+    print()
+    print(outcome.render())
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(
+            json.dumps(outcome.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote outcome to {args.output}")
+    if not outcome.ok:
+        assert outcome.sweep is not None
+        for failed in outcome.sweep.failed:
+            print(f"  failed: {failed.spec.label()}: {failed.error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``cgsim`` command."""
     parser = build_parser()
@@ -397,6 +556,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "policies": _cmd_policies,
         "sweep": _cmd_sweep,
         "bench": _cmd_bench,
+        "scenario": _cmd_scenario,
     }
     try:
         return handlers[args.command](args)

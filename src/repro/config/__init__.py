@@ -25,6 +25,7 @@ from repro.config.loaders import (
     load_infrastructure,
     load_simulation_inputs,
     load_topology,
+    read_structured_file,
     save_execution,
     save_infrastructure,
     save_topology,
@@ -39,6 +40,7 @@ __all__ = [
     "ExecutionConfig",
     "MonitoringConfig",
     "OutputConfig",
+    "read_structured_file",
     "load_infrastructure",
     "load_topology",
     "load_execution",

@@ -18,7 +18,23 @@ __all__ = ["MonitoringConfig", "OutputConfig", "ExecutionConfig"]
 
 @dataclass
 class MonitoringConfig:
-    """Controls event-level monitoring and periodic snapshots."""
+    """Controls event-level monitoring and periodic snapshots.
+
+    Lives inside :class:`ExecutionConfig` and balances observability against
+    speed/memory on huge runs: per-transition rows can be disabled
+    (``enable_events``), thinned (``sample_stride``), reduced to per-site
+    counters (``detail="aggregate"``) or streamed to sinks instead of
+    retained (``keep_in_memory=False``); snapshots fire every
+    ``snapshot_interval`` simulated seconds (0 disables them).
+
+    Examples
+    --------
+    >>> from repro import ExecutionConfig, MonitoringConfig
+    >>> execution = ExecutionConfig(
+    ...     monitoring=MonitoringConfig(snapshot_interval=0.0, sample_stride=10))
+    >>> execution.monitoring.sample_stride
+    10
+    """
 
     #: Record per-job state transitions (Table 1 rows).
     enable_events: bool = True
@@ -61,7 +77,16 @@ class MonitoringConfig:
 
 @dataclass
 class OutputConfig:
-    """Where simulation results are written."""
+    """Where simulation results are written.
+
+    Lives inside :class:`ExecutionConfig`.  Each destination is optional and
+    independent: a SQLite database (``sqlite_path``), a directory of CSV
+    exports (``csv_directory``), and the ML-ready event-level dataset dump
+    (``ml_dataset``); leaving everything ``None``/``False`` keeps the run
+    purely in memory.  E.g.
+    ``ExecutionConfig(output=OutputConfig(sqlite_path="run.sqlite"))``
+    persists every monitored transition to ``run.sqlite``.
+    """
 
     #: SQLite database path (``None`` disables the SQLite store).
     sqlite_path: Optional[str] = None

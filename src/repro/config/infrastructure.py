@@ -150,7 +150,22 @@ class SiteConfig:
 
 @dataclass
 class InfrastructureConfig:
-    """The full set of sites making up the simulated grid."""
+    """The full set of sites making up the simulated grid.
+
+    This is the first of CGSim's three input files: an ordered collection of
+    :class:`SiteConfig` entries with name-based lookup, aggregate helpers and
+    JSON round-tripping.  Build one programmatically, from the generators, or
+    load it from disk with :func:`repro.config.load_infrastructure`.
+
+    Examples
+    --------
+    >>> from repro import generate_grid
+    >>> infrastructure, _ = generate_grid(3, seed=1)
+    >>> len(infrastructure), infrastructure.total_cores > 0
+    (3, True)
+    >>> infrastructure.site(infrastructure.site_names[0]).cores >= 1
+    True
+    """
 
     sites: List[SiteConfig] = field(default_factory=list)
 

@@ -1,10 +1,16 @@
-"""JSON (de)serialisation of the three configuration files.
+"""File (de)serialisation of the three configuration files.
 
 The functions here are the file-facing edge of the input layer: they read or
-write the infrastructure, topology and execution JSON files and return the
+write the infrastructure, topology and execution files and return the
 validated dataclasses from :mod:`repro.config`.  Everything structural is
 validated in the dataclasses themselves; these loaders only add I/O and
 nicer error messages pointing at the offending file.
+
+Configuration files are JSON by default.  Files whose suffix is ``.yaml`` or
+``.yml`` are parsed with PyYAML when it is installed; YAML support is
+strictly optional -- the stdlib JSON path always works and a YAML file on a
+yaml-less interpreter produces a clear :class:`ConfigurationError` instead of
+an ImportError.  Writers always emit JSON (the canonical interchange format).
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from repro.config.topology import TopologyConfig
 from repro.utils.errors import ConfigurationError
 
 __all__ = [
+    "read_structured_file",
     "load_infrastructure",
     "load_topology",
     "load_execution",
@@ -30,19 +37,57 @@ __all__ = [
 
 PathLike = Union[str, Path]
 
+#: File suffixes parsed as YAML (requires the optional PyYAML dependency).
+YAML_SUFFIXES = (".yaml", ".yml")
 
-def _read_json(path: PathLike, what: str) -> dict:
+
+def _yaml_module(path: Path, what: str):
+    """Import PyYAML or explain, in config-error terms, that it is missing."""
+    try:
+        import yaml
+    except ImportError:
+        raise ConfigurationError(
+            f"{what} file {path} is YAML but PyYAML is not installed; "
+            "install 'pyyaml' or provide the file as JSON"
+        ) from None
+    return yaml
+
+
+def read_structured_file(path: PathLike, what: str = "configuration") -> dict:
+    """Read a JSON (or, optionally, YAML) mapping from ``path``.
+
+    ``what`` names the kind of file in error messages (``"infrastructure"``,
+    ``"scenario pack"``, ...).  The file must contain a single mapping at the
+    top level; anything else -- a missing file, a parse error, a list or
+    scalar document -- raises :class:`ConfigurationError` pointing at the
+    file.  ``.yaml``/``.yml`` suffixes are parsed with PyYAML when available
+    and rejected with a clear message when it is not; every other suffix is
+    parsed as JSON with the standard library.
+    """
     path = Path(path)
     if not path.exists():
-        raise ConfigurationError(f"{what} config file not found: {path}")
-    try:
-        with path.open("r", encoding="utf-8") as handle:
-            data = json.load(handle)
-    except json.JSONDecodeError as exc:
-        raise ConfigurationError(f"{what} config {path} is not valid JSON: {exc}") from exc
+        raise ConfigurationError(f"{what} file not found: {path}")
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() in YAML_SUFFIXES:
+        yaml = _yaml_module(path, what)
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ConfigurationError(f"{what} file {path} is not valid YAML: {exc}") from exc
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"{what} file {path} is not valid JSON: {exc}") from exc
     if not isinstance(data, dict):
-        raise ConfigurationError(f"{what} config {path} must contain a JSON object")
+        raise ConfigurationError(
+            f"{what} file {path} must contain a single top-level object/mapping"
+        )
     return data
+
+
+def _read_json(path: PathLike, what: str) -> dict:
+    return read_structured_file(path, f"{what} config")
 
 
 def _write_json(path: PathLike, data: dict) -> Path:
@@ -55,17 +100,17 @@ def _write_json(path: PathLike, data: dict) -> Path:
 
 
 def load_infrastructure(path: PathLike) -> InfrastructureConfig:
-    """Load and validate the infrastructure (sites) JSON file."""
+    """Load and validate the infrastructure (sites) JSON/YAML file."""
     return InfrastructureConfig.from_dict(_read_json(path, "infrastructure"))
 
 
 def load_topology(path: PathLike) -> TopologyConfig:
-    """Load and validate the network-topology JSON file."""
+    """Load and validate the network-topology JSON/YAML file."""
     return TopologyConfig.from_dict(_read_json(path, "topology"))
 
 
 def load_execution(path: PathLike) -> ExecutionConfig:
-    """Load and validate the execution-parameters JSON file."""
+    """Load and validate the execution-parameters JSON/YAML file."""
     return ExecutionConfig.from_dict(_read_json(path, "execution"))
 
 

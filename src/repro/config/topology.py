@@ -19,7 +19,22 @@ __all__ = ["LinkConfig", "TopologyConfig"]
 
 @dataclass
 class LinkConfig:
-    """One inter-site (wide-area) link."""
+    """One inter-site (wide-area) link of the network topology.
+
+    Joins two endpoints (site names, or the main-server zone) with a
+    bandwidth in bytes/second and a latency in seconds; unit strings are
+    accepted and normalised (``bandwidth="10Gbps"``, ``latency="15ms"``).
+    Links are declared in the topology file and cross-validated against the
+    infrastructure so a link can never reference an undeclared site.
+
+    Examples
+    --------
+    >>> from repro import LinkConfig
+    >>> link = LinkConfig(name="cern-bnl", source="CERN", destination="BNL",
+    ...                   bandwidth="10Gbps", latency="15ms")
+    >>> round(link.latency, 3)
+    0.015
+    """
 
     name: str
     source: str

@@ -48,7 +48,25 @@ class SiteMetrics:
 
 @dataclass
 class SimulationMetrics:
-    """Grid-level summary of a completed run."""
+    """Grid-level summary of a completed run.
+
+    The operational metrics the paper lists as primary outputs of grid
+    monitoring -- job counts, makespan, walltime/queue-time statistics,
+    throughput, failure rate, consumed CPU time -- plus per-site breakdowns
+    (:attr:`per_site`) and monitoring-trace transition counts
+    (:attr:`transitions`).  Obtained as ``result.metrics`` from
+    :meth:`repro.core.Simulator.run` or recomputed via
+    :func:`compute_metrics`; :meth:`to_dict` flattens everything for JSON.
+
+    Examples
+    --------
+    >>> from repro import Simulator, SyntheticWorkloadGenerator, generate_grid
+    >>> infrastructure, topology = generate_grid(2, seed=1)
+    >>> jobs = SyntheticWorkloadGenerator(infrastructure, seed=2).generate(20)
+    >>> metrics = Simulator(infrastructure, topology).run(jobs).metrics
+    >>> metrics.finished_jobs, metrics.makespan > 0
+    (20, True)
+    """
 
     total_jobs: int
     finished_jobs: int

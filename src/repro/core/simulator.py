@@ -50,7 +50,15 @@ __all__ = ["Simulator", "SimulationResult"]
 
 @dataclass
 class SimulationResult:
-    """Everything a completed run produces."""
+    """Everything a completed :meth:`Simulator.run` produces.
+
+    Bundles the final job objects (including retry attempts), the computed
+    :class:`~repro.core.metrics.SimulationMetrics`, the monitoring collector,
+    the built platform, the final simulated clock and the wall-clock cost --
+    so analyses can go from headline numbers (``result.metrics.makespan``)
+    down to per-job state (``result.finished_jobs``) and raw monitoring rows
+    (``result.collector.events``) without re-running anything.
+    """
 
     jobs: List[Job]
     metrics: SimulationMetrics

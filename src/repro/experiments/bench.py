@@ -115,7 +115,14 @@ def store_pingpong(pairs: int, messages: int) -> WorkloadOutcome:
 
 @dataclass
 class KernelBenchResult:
-    """Throughput of one kernel workload."""
+    """Measured throughput of one DES-kernel benchmark workload.
+
+    One row of the ``repro bench`` table: the workload's name, how many
+    events it processed, the best wall-clock seconds over the repeats, and
+    the derived events/second rate (:attr:`events_per_s`).  Obtain them from
+    :func:`run_kernel_benchmarks`, e.g.
+    ``run_kernel_benchmarks(scale=0.01, repeat=1)[0].events_per_s > 0``.
+    """
 
     workload: str
     events: int

@@ -197,7 +197,21 @@ def parallel_map(
 
 @dataclass
 class SweepResult:
-    """Every run's outcome plus sweep-level bookkeeping."""
+    """Every run's outcome of a sweep, plus sweep-level bookkeeping.
+
+    Returned by :meth:`SweepRunner.run`: the ordered :class:`RunResult` list
+    (failed runs included, as recorded errors), the worker count and the
+    wall-clock cost, with helpers to slice (:attr:`ok`/:attr:`failed`,
+    :meth:`values`), aggregate per scenario (:meth:`aggregate`) and render
+    the mean/CI table (:meth:`table`).
+
+    Examples
+    --------
+    >>> from repro.experiments import RunSpec, SweepRunner
+    >>> sweep = SweepRunner(n_workers=1).run([RunSpec(jobs=30, sites=2)])
+    >>> len(sweep.ok), sweep.failed
+    (1, [])
+    """
 
     results: List[RunResult] = field(default_factory=list)
     n_workers: int = 1

@@ -80,7 +80,16 @@ class JobFailureModel:
         rate = self.rate_for(site)
         if rate <= 0.0:
             return None
-        gen = spawn_rng(self.seed, f"job-failure:{site}:{job.job_id}")
+        # Key the draw on the job's identity *within its trace* (stamped by
+        # the workload generators and the trace loader) plus the attempt
+        # number, not on the raw job_id: job ids come from a process-global
+        # counter, so two generations of the identical trace would otherwise
+        # draw different failures.  Retried attempts carry the same
+        # trace_index but a higher "attempt", so each attempt gets an
+        # independent draw (a retry is not doomed to repeat its failure).
+        key = job.attributes.get("trace_index", job.job_id)
+        attempt = job.attributes.get("attempt", 1)
+        gen = spawn_rng(self.seed, f"job-failure:{site}:{key}:{attempt}")
         if gen.uniform() >= rate:
             return None
         fraction = gen.uniform(0.0, 2.0 * self.mean_failure_fraction)
@@ -91,7 +100,20 @@ class JobFailureModel:
 
 @dataclass(frozen=True)
 class OutageWindow:
-    """One contiguous downtime interval of a site."""
+    """One contiguous downtime interval of a site.
+
+    A frozen ``(site, start, end)`` triple in simulated seconds with
+    ``0 <= start < end`` enforced at construction.  Windows are what the
+    fault injector consumes -- hand-write them for targeted maintenance
+    studies or draw whole schedules from :class:`SiteOutageModel`.
+
+    Examples
+    --------
+    >>> from repro import OutageWindow
+    >>> window = OutageWindow(site="BNL", start=4 * 3600.0, end=12 * 3600.0)
+    >>> window.duration / 3600.0
+    8.0
+    """
 
     site: str
     start: float

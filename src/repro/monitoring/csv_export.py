@@ -79,12 +79,27 @@ def export_events_csv(events, path: PathLike) -> Path:
 
 
 def export_snapshots_csv(snapshots: Iterable[SiteSnapshot], path: PathLike) -> Path:
-    """Write periodic site snapshots to ``path``."""
+    """Write periodic site-level snapshots to ``path`` as CSV.
+
+    One row per :class:`~repro.monitoring.events.SiteSnapshot` -- the
+    queue/running/used-core gauges sampled every
+    ``monitoring.snapshot_interval`` simulated seconds -- with the columns of
+    ``SNAPSHOT_FIELDS``.  Returns the written path, e.g.
+    ``export_snapshots_csv(result.collector.snapshots, "snapshots.csv")``
+    after a monitored :meth:`~repro.core.Simulator.run`.
+    """
     return _write_rows(path, SNAPSHOT_FIELDS, (snapshot.to_row() for snapshot in snapshots))
 
 
 def export_jobs_csv(jobs: Iterable[Job], path: PathLike) -> Path:
-    """Write final per-job summaries to ``path``."""
+    """Write final per-job summaries to ``path`` as CSV.
+
+    One row per job (static description plus final dynamic state: assigned
+    site, queue time, walltime, failure reason) with the columns of
+    ``JOB_FIELDS`` -- the job-level companion of the event-level dataset,
+    e.g. ``export_jobs_csv(result.jobs, "jobs.csv")`` after a
+    :meth:`~repro.core.Simulator.run`.
+    """
     return _write_rows(path, JOB_FIELDS, (job.to_record() for job in jobs))
 
 

@@ -1,0 +1,50 @@
+"""Read scenario packs from disk (YAML or JSON) and write them back.
+
+One pack is one file.  ``.json`` files parse with the standard library;
+``.yaml``/``.yml`` files parse with the optional PyYAML dependency through
+the same front-end the three classic config files use
+(:func:`repro.config.loaders.read_structured_file`), so the error messages
+-- missing file, parse error, non-mapping document -- are uniform across
+every input the simulator reads.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.config.loaders import read_structured_file
+from repro.scenarios.schema import ScenarioPack
+
+__all__ = ["load_scenario_pack", "save_scenario_pack", "PACK_SUFFIXES"]
+
+PathLike = Union[str, Path]
+
+#: File suffixes recognised as scenario packs by directory discovery.
+PACK_SUFFIXES = (".json", ".yaml", ".yml")
+
+
+def load_scenario_pack(path: PathLike) -> ScenarioPack:
+    """Load and validate one scenario-pack file.
+
+    The returned pack remembers its ``source_path`` so that relative file
+    references inside it (``grid.kind: files``, ``workload.trace``, an
+    ``execution`` path) resolve against the pack's own directory, wherever
+    the process happens to run from.
+
+    >>> from repro.scenarios import available_scenario_packs
+    >>> "wlcg-baseline" in available_scenario_packs()
+    True
+    """
+    path = Path(path)
+    data = read_structured_file(path, "scenario pack")
+    return ScenarioPack.from_dict(data, source=path)
+
+
+def save_scenario_pack(pack: ScenarioPack, path: PathLike) -> Path:
+    """Write ``pack`` to ``path`` as canonical JSON (the interchange format)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(pack.to_dict(), indent=2) + "\n", encoding="utf-8")
+    return path

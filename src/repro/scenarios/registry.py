@@ -1,0 +1,256 @@
+"""Discovery and registration of scenario packs.
+
+Packs reach the registry through four doors, in increasing precedence:
+
+1. **Bundled packs** -- the ``repro/scenarios/packs/`` data files shipped
+   with the package (the paper's canned studies);
+2. **Entry points** -- third-party distributions advertise packs under the
+   ``cgsim_repro.scenarios`` entry-point group; an entry point may resolve to
+   a :class:`~repro.scenarios.schema.ScenarioPack`, a pack mapping, a path to
+   a pack file or directory, or a zero-argument callable returning any of
+   those (or a list of them);
+3. **Directories** -- every directory on the ``CGSIM_SCENARIO_PATH``
+   environment variable (``os.pathsep``-separated), plus directories added
+   programmatically with :func:`add_scenario_directory`, is scanned for
+   ``*.json``/``*.yaml``/``*.yml`` files;
+4. **Explicit registration** -- :func:`register_scenario_pack` for packs
+   built in code.
+
+This mirrors how :mod:`repro.plugins` lets users bring their own allocation
+policies: the simulator core never needs to know where a scenario came from.
+A later door shadows an earlier one when names collide, so a user pack can
+deliberately override a bundled one.  Broken third-party sources (an entry
+point that raises, an unparsable file) are recorded as warnings on the
+registry rather than breaking ``repro scenario list`` for everyone else.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.scenarios.loader import PACK_SUFFIXES, load_scenario_pack
+from repro.scenarios.schema import ScenarioPack
+from repro.utils.errors import ConfigurationError
+
+__all__ = [
+    "ScenarioRegistry",
+    "available_scenario_packs",
+    "get_scenario_pack",
+    "register_scenario_pack",
+    "add_scenario_directory",
+    "default_registry",
+]
+
+#: Entry-point group third-party distributions use to advertise packs.
+ENTRY_POINT_GROUP = "cgsim_repro.scenarios"
+
+#: Environment variable listing extra pack directories (``os.pathsep``-separated).
+SEARCH_PATH_ENV = "CGSIM_SCENARIO_PATH"
+
+#: Directory holding the packs bundled with the package.
+BUNDLED_PACK_DIR = Path(__file__).resolve().parent / "packs"
+
+
+def _iter_entry_points():
+    """Yield entry points of our group across importlib.metadata API versions."""
+    try:
+        from importlib.metadata import entry_points
+    except ImportError:  # pragma: no cover - py<3.8 is unsupported anyway
+        return []
+    try:
+        eps = entry_points()
+        if hasattr(eps, "select"):  # py3.10+
+            return list(eps.select(group=ENTRY_POINT_GROUP))
+        return list(eps.get(ENTRY_POINT_GROUP, []))  # py3.9 mapping API
+    except Exception:  # pragma: no cover - a broken metadata store
+        return []
+
+
+class ScenarioRegistry:
+    """A named collection of scenario packs with lazy discovery.
+
+    Parameters
+    ----------
+    bundled:
+        Include the packs shipped in ``repro/scenarios/packs/``.
+    entry_points:
+        Scan the ``cgsim_repro.scenarios`` entry-point group.
+    search_env:
+        Scan the directories listed in ``CGSIM_SCENARIO_PATH``.
+
+    Examples
+    --------
+    >>> from repro.scenarios.registry import ScenarioRegistry
+    >>> registry = ScenarioRegistry()
+    >>> "wlcg-baseline" in registry.names()
+    True
+    """
+
+    def __init__(
+        self,
+        bundled: bool = True,
+        entry_points: bool = True,
+        search_env: bool = True,
+    ) -> None:
+        self._bundled = bundled
+        self._entry_points = entry_points
+        self._search_env = search_env
+        self._directories: List[Path] = []
+        self._registered: Dict[str, ScenarioPack] = {}
+        self._cache: Optional[Dict[str, ScenarioPack]] = None
+        #: Human-readable notes about sources that failed to load (consulted
+        #: by ``repro scenario list`` to report problems without dying).
+        self.warnings: List[str] = []
+
+    # -- mutation ----------------------------------------------------------------
+    def register(self, pack: ScenarioPack) -> ScenarioPack:
+        """Register an in-memory pack (highest precedence, replaces same name)."""
+        if not isinstance(pack, ScenarioPack):
+            raise ConfigurationError(
+                f"register() takes a ScenarioPack, got {type(pack).__name__}"
+            )
+        self._registered[pack.name] = pack
+        self._cache = None
+        return pack
+
+    def add_directory(self, path: Union[str, Path]) -> None:
+        """Add a directory whose pack files join the registry."""
+        path = Path(path)
+        if not path.is_dir():
+            raise ConfigurationError(f"scenario directory not found: {path}")
+        self._directories.append(path)
+        self._cache = None
+
+    def refresh(self) -> None:
+        """Drop the discovery cache (e.g. after changing the environment)."""
+        self._cache = None
+
+    # -- discovery ---------------------------------------------------------------
+    def _scan_directory(self, directory: Path, packs: Dict[str, ScenarioPack]) -> None:
+        for path in sorted(directory.iterdir()):
+            if path.suffix.lower() not in PACK_SUFFIXES or not path.is_file():
+                continue
+            try:
+                pack = load_scenario_pack(path)
+            except ConfigurationError as exc:
+                self.warnings.append(f"skipped {path}: {exc}")
+                continue
+            packs[pack.name] = pack
+
+    def _adopt(self, source: str, value, packs: Dict[str, ScenarioPack]) -> None:
+        """Fold one entry-point payload (of any supported shape) into ``packs``."""
+        if callable(value) and not isinstance(value, type):
+            value = value()
+        if isinstance(value, (list, tuple)):
+            for item in value:
+                self._adopt(source, item, packs)
+            return
+        if isinstance(value, ScenarioPack):
+            packs[value.name] = value
+        elif isinstance(value, dict):
+            pack = ScenarioPack.from_dict(value)
+            packs[pack.name] = pack
+        elif isinstance(value, (str, Path)):
+            path = Path(value)
+            if path.is_dir():
+                self._scan_directory(path, packs)
+            else:
+                pack = load_scenario_pack(path)
+                packs[pack.name] = pack
+        else:
+            raise ConfigurationError(
+                f"{source} resolved to unsupported type {type(value).__name__}"
+            )
+
+    def _discover(self) -> Dict[str, ScenarioPack]:
+        if self._cache is not None:
+            return self._cache
+        self.warnings = []
+        packs: Dict[str, ScenarioPack] = {}
+        if self._bundled and BUNDLED_PACK_DIR.is_dir():
+            self._scan_directory(BUNDLED_PACK_DIR, packs)
+        if self._entry_points:
+            for entry_point in _iter_entry_points():
+                source = f"entry point {ENTRY_POINT_GROUP}:{entry_point.name}"
+                try:
+                    self._adopt(source, entry_point.load(), packs)
+                except Exception as exc:  # noqa: BLE001 - third-party code
+                    self.warnings.append(f"skipped {source}: {exc}")
+        directories = list(self._directories)
+        if self._search_env:
+            raw = os.environ.get(SEARCH_PATH_ENV, "")
+            directories.extend(
+                Path(part) for part in raw.split(os.pathsep) if part.strip()
+            )
+        for directory in directories:
+            if directory.is_dir():
+                self._scan_directory(directory, packs)
+            else:
+                self.warnings.append(f"skipped scenario directory {directory}: not found")
+        packs.update(self._registered)
+        self._cache = packs
+        return packs
+
+    # -- queries -----------------------------------------------------------------
+    def names(self) -> List[str]:
+        """Sorted names of every discoverable pack."""
+        return sorted(self._discover())
+
+    def packs(self) -> List[ScenarioPack]:
+        """Every discoverable pack, sorted by name."""
+        discovered = self._discover()
+        return [discovered[name] for name in sorted(discovered)]
+
+    def get(self, name: str) -> ScenarioPack:
+        """The pack registered under ``name`` (with a did-you-mean error)."""
+        discovered = self._discover()
+        if name in discovered:
+            return discovered[name]
+        close = [n for n in discovered if name.replace("_", "-") == n.replace("_", "-")]
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
+        raise ConfigurationError(
+            f"unknown scenario pack {name!r}{hint}; available: {sorted(discovered)}"
+        )
+
+
+#: Process-wide default registry used by the module-level helpers and the CLI.
+default_registry = ScenarioRegistry()
+
+
+def available_scenario_packs() -> List[str]:
+    """Names of every scenario pack the default registry can see.
+
+    >>> from repro import available_scenario_packs
+    >>> "job-scaling" in available_scenario_packs()
+    True
+    """
+    return default_registry.names()
+
+
+def get_scenario_pack(name: str) -> ScenarioPack:
+    """Fetch one pack by name from the default registry.
+
+    >>> from repro import get_scenario_pack
+    >>> get_scenario_pack("wlcg-baseline").grid.kind
+    'wlcg'
+    """
+    return default_registry.get(name)
+
+
+def register_scenario_pack(pack: ScenarioPack) -> ScenarioPack:
+    """Register an in-memory pack with the default registry (returns it).
+
+    >>> from repro.scenarios import ScenarioPack, register_scenario_pack
+    >>> pack = register_scenario_pack(ScenarioPack.from_dict({"name": "mine"}))
+    >>> from repro import get_scenario_pack
+    >>> get_scenario_pack("mine") is pack
+    True
+    """
+    return default_registry.register(pack)
+
+
+def add_scenario_directory(path: Union[str, Path]) -> None:
+    """Make every pack file in ``path`` discoverable via the default registry."""
+    default_registry.add_directory(path)

@@ -1,0 +1,402 @@
+"""Execute scenario packs end-to-end.
+
+:func:`run_scenario_pack` is the single front door behind ``repro scenario
+run``: hand it a pack (or its registry name) and it builds the grid, the
+workload and the fault/data models, then executes whichever study the pack
+declares --
+
+* a **single run** through :class:`repro.core.Simulator`;
+* a **sweep**: every axis combination x replication becomes one
+  :class:`~repro.experiments.spec.RunSpec` fanned across worker processes by
+  :class:`~repro.experiments.runner.SweepRunner`, with per-replicate seeds
+  derived via :func:`repro.utils.rng.derive_seed` (replicate 0 keeps the
+  pack's base seeds, so a one-replication sweep reproduces the single-run
+  numbers exactly);
+* a **calibration** study through :class:`repro.calibration.GridCalibrator`.
+
+Every mode returns a :class:`ScenarioOutcome` that renders itself with the
+existing metric/sweep/calibration tables.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.metrics import SimulationMetrics
+from repro.core.simulator import SimulationResult, Simulator
+from repro.experiments.runner import SweepResult, SweepRunner
+from repro.experiments.spec import RunResult, RunSpec
+from repro.scenarios.schema import ScenarioPack, apply_overrides
+from repro.utils.errors import CGSimError
+from repro.utils.rng import derive_seed
+from repro.workload.job import JobState
+
+__all__ = ["ScenarioOutcome", "run_scenario_pack", "sweep_specs", "execute_scenario_spec"]
+
+
+def _build_simulator(pack: ScenarioPack) -> Tuple[Simulator, List]:
+    """Materialise a pack's grid, workload and fault/data wiring."""
+    base_dir = pack.base_dir()
+    infrastructure, topology = pack.grid.build(base_dir)
+    jobs = pack.workload.build(infrastructure, base_dir)
+
+    failure_model = None
+    outages: List = []
+    if pack.faults is not None:
+        failure_model, outages = pack.faults.build(infrastructure.site_names)
+
+    setup_hook = None
+    enable_data_transfers = False
+    if pack.data is not None:
+        data = pack.data
+        catalog_sizes = data.dataset_catalog()
+        names = sorted(catalog_sizes)
+        for index, job in enumerate(jobs):
+            job.attributes["dataset"] = names[index % len(names)]
+        site_names = list(infrastructure.site_names)
+        enable_data_transfers = True
+
+        def setup_hook(simulator: Simulator) -> None:
+            from repro.atlas.rucio import RucioCatalog
+
+            catalog = RucioCatalog(simulator.data_manager, seed=data.seed)
+            catalog.place_datasets(
+                catalog_sizes, site_names, replication_factor=data.replication_factor
+            )
+
+    simulator = Simulator(
+        infrastructure,
+        topology,
+        pack.execution,
+        failure_model=failure_model,
+        outages=outages,
+        enable_data_transfers=enable_data_transfers,
+        setup_hook=setup_hook,
+    )
+    return simulator, jobs
+
+
+def _reliability_extras(original_jobs: List, result: SimulationResult) -> Dict[str, float]:
+    """Attempt/loss bookkeeping for fault studies (matches the paper's framing)."""
+    succeeded_originals = {
+        int(job.attributes.get("retry_of", job.job_id))
+        for job in result.jobs
+        if job.state is JobState.FINISHED
+    }
+    original_ids = {int(job.job_id) for job in original_jobs}
+    wasted_core_hours = (
+        sum(
+            (job.walltime or 0.0) * job.cores
+            for job in result.jobs
+            if job.state is JobState.FAILED
+        )
+        / 3600.0
+    )
+    return {
+        "attempts": float(len(result.jobs)),
+        "lost_jobs": float(len(original_ids - succeeded_originals)),
+        "wasted_core_hours": wasted_core_hours,
+    }
+
+
+def _data_extras(simulator: Simulator) -> Dict[str, float]:
+    """WAN-traffic bookkeeping for data-placement studies."""
+    transfers = simulator.data_manager.transfer_log
+    wan_bytes = sum(t["size"] for t in transfers if t["source"] != t["destination"])
+    return {
+        "wan_transfers": float(len(transfers)),
+        "wan_terabytes": wan_bytes / 1e12,
+    }
+
+
+def _run_single(pack: ScenarioPack) -> Tuple[SimulationMetrics, Dict[str, float], SimulationResult]:
+    """One simulation run of a (sweep-free) pack."""
+    simulator, jobs = _build_simulator(pack)
+    original_jobs = list(jobs)
+    result = simulator.run(jobs)
+    extras: Dict[str, float] = {}
+    if pack.faults is not None or pack.execution.max_retries:
+        extras.update(_reliability_extras(original_jobs, result))
+    if pack.data is not None:
+        extras.update(_data_extras(simulator))
+    return result.metrics, extras, result
+
+
+def _replicate_seed_overrides(pack: ScenarioPack, spec: RunSpec) -> Dict[str, Any]:
+    """Derived-seed overrides for replicate > 0 (replicate 0 keeps base seeds).
+
+    The grid and data-placement seeds stay fixed across replicates -- as in
+    :func:`repro.experiments.runner.execute_run`, replication measures
+    workload/fault variance on a fixed infrastructure.
+    """
+    overrides: Dict[str, Any] = {
+        "workload.seed": derive_seed(
+            pack.workload.seed, spec.scenario, spec.replicate, "workload"
+        ),
+        "execution.seed": derive_seed(
+            pack.execution.seed, spec.scenario, spec.replicate, "execution"
+        ),
+    }
+    if pack.faults is not None and pack.faults.job_failures is not None:
+        base = int(pack.faults.job_failures.get("seed", 0))
+        overrides["faults.job_failures.seed"] = derive_seed(
+            base, spec.scenario, spec.replicate, "faults"
+        )
+    if pack.faults is not None and pack.faults.outage_model is not None:
+        base = int(pack.faults.outage_model.get("seed", 0))
+        overrides["faults.outage_model.seed"] = derive_seed(
+            base, spec.scenario, spec.replicate, "outages"
+        )
+    return overrides
+
+
+def execute_scenario_spec(spec: RunSpec) -> RunResult:
+    """Picklable sweep entry point: one axis-combination x replicate run.
+
+    ``spec.params`` carries the sweep-free pack mapping, the axis overrides
+    and the pack's source path; the worker revalidates and rebuilds
+    everything from that data, so a run's outcome depends only on its spec
+    (the determinism contract of :mod:`repro.experiments`).
+    """
+    started = time.perf_counter()
+    try:
+        source = Path(spec.params["source"]) if spec.params.get("source") else None
+        data = apply_overrides(spec.params["pack"], spec.params.get("overrides", {}))
+        pack = ScenarioPack.from_dict(data, source=source)
+        if spec.replicate:
+            pack = pack.with_overrides(_replicate_seed_overrides(pack, spec))
+        metrics, extras, result = _run_single(pack)
+        merged = metrics.to_dict()
+        merged.update(extras)
+        return RunResult(
+            spec=spec,
+            metrics=merged,
+            simulated_time=result.simulated_time,
+            wallclock_seconds=time.perf_counter() - started,
+        )
+    except Exception as exc:  # noqa: BLE001 - a sweep must record, not crash
+        return RunResult(
+            spec=spec,
+            error=f"{type(exc).__name__}: {exc}",
+            error_traceback=traceback.format_exc(),
+            wallclock_seconds=time.perf_counter() - started,
+        )
+
+
+def _axis_labels(axes: List[str]) -> Dict[str, str]:
+    """Short display name per axis: the path's leaf, unless leaves collide."""
+    leaves = [path.split(".")[-1] for path in axes]
+    return {
+        path: leaf if leaves.count(leaf) == 1 else path
+        for path, leaf in zip(axes, leaves)
+    }
+
+
+def sweep_specs(pack: ScenarioPack) -> List[RunSpec]:
+    """Expand a sweep pack into the concrete :class:`RunSpec` list it runs.
+
+    Scenario names join ``axis=value`` pairs (axis leaf names when
+    unambiguous), and every scenario is replicated ``sweep.replications``
+    times -- exactly the :func:`repro.experiments.scenario_grid` convention,
+    applied to pack paths instead of :class:`RunSpec` fields.
+    """
+    if pack.sweep is None:
+        raise CGSimError(f"scenario pack {pack.name!r} declares no sweep section")
+    pack_dict = pack.to_dict()
+    pack_dict.pop("sweep", None)
+    source = str(pack.source_path) if pack.source_path is not None else None
+    labels = _axis_labels(list(pack.sweep.axes))
+    specs: List[RunSpec] = []
+    for combo in pack.sweep.combinations():
+        scenario = ",".join(f"{labels[path]}={value}" for path, value in combo.items())
+        for replicate in range(pack.sweep.replications):
+            specs.append(
+                RunSpec(
+                    scenario=scenario,
+                    replicate=replicate,
+                    seed=pack.workload.seed,
+                    params={"pack": pack_dict, "overrides": dict(combo), "source": source},
+                )
+            )
+    return specs
+
+
+@dataclass
+class ScenarioOutcome:
+    """What running a scenario pack produced, in whichever mode it declared.
+
+    ``mode`` is ``"single"`` (``metrics``/``extras`` hold the run),
+    ``"sweep"`` (``sweep`` holds the per-run results and aggregates) or
+    ``"calibration"`` (``calibration`` holds the per-site report).
+    :meth:`render` returns the text view ``repro scenario run`` prints, and
+    :meth:`to_dict` the JSON written by ``--output``.
+    """
+
+    pack: ScenarioPack
+    mode: str
+    metrics: Optional[SimulationMetrics] = None
+    extras: Dict[str, float] = field(default_factory=dict)
+    simulated_time: float = 0.0
+    sweep: Optional[SweepResult] = None
+    calibration: Optional[object] = None  # CalibrationReport (import kept lazy)
+    wallclock_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every run of the scenario completed successfully."""
+        if self.mode == "sweep":
+            assert self.sweep is not None
+            return not self.sweep.failed
+        return True
+
+    def scenario_metrics(self, scenario: Optional[str] = None) -> Dict[str, float]:
+        """Flat metrics mapping (grid metrics + extras) of a single-run pack,
+        or of one named sweep scenario's first replicate."""
+        if self.mode == "single":
+            assert self.metrics is not None
+            merged = dict(self.metrics.to_dict())
+            merged.update(self.extras)
+            return merged
+        if self.mode == "sweep":
+            assert self.sweep is not None
+            for result in self.sweep.ok:
+                if scenario is None or result.spec.scenario == scenario:
+                    assert result.metrics is not None
+                    return dict(result.metrics)
+            raise CGSimError(f"no successful run for scenario {scenario!r}")
+        raise CGSimError("calibration outcomes have no simulation metrics")
+
+    def render(self) -> str:
+        """Human-readable report (the ``repro scenario run`` output)."""
+        from repro.analysis.reporting import format_table, metrics_table
+
+        lines: List[str] = []
+        if self.mode == "single":
+            assert self.metrics is not None
+            lines.append(metrics_table(self.metrics))
+            if self.extras:
+                lines.append("")
+                lines.append(
+                    format_table(
+                        [{"extra": key, "value": value} for key, value in self.extras.items()]
+                    )
+                )
+        elif self.mode == "sweep":
+            assert self.sweep is not None and self.pack.sweep is not None
+            lines.append(self.sweep.table(self.pack.sweep.metrics))
+            lines.append(
+                f"\n{len(self.sweep.ok)}/{len(self.sweep)} runs succeeded on "
+                f"{self.sweep.n_workers} worker(s) "
+                f"in {self.sweep.wallclock_seconds:.2f} s wall-clock"
+            )
+        else:
+            assert self.calibration is not None
+            import json as _json
+
+            lines.append(format_table([r.to_row() for r in self.calibration.sites]))
+            lines.append("")
+            lines.append(_json.dumps(self.calibration.summary(), indent=2))
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation of the whole outcome."""
+        data: Dict[str, Any] = {
+            "pack": self.pack.name,
+            "mode": self.mode,
+            "wallclock_seconds": self.wallclock_seconds,
+        }
+        if self.mode == "single":
+            assert self.metrics is not None
+            data["metrics"] = self.metrics.to_dict()
+            data["extras"] = dict(self.extras)
+            data["simulated_time"] = self.simulated_time
+        elif self.mode == "sweep":
+            assert self.sweep is not None
+            data["sweep"] = self.sweep.to_dict()
+        else:
+            assert self.calibration is not None
+            data["calibration"] = {
+                "sites": [r.to_row() for r in self.calibration.sites],
+                "summary": self.calibration.summary(),
+            }
+        return data
+
+
+def run_scenario_pack(
+    pack: Union[ScenarioPack, str],
+    workers: Optional[int] = None,
+    overrides: Optional[Dict[str, Any]] = None,
+) -> ScenarioOutcome:
+    """Run a scenario pack (by object or registry name) end-to-end.
+
+    ``workers`` overrides the pack's worker count for sweep/calibration
+    parallelism (``0`` means one per CPU); ``overrides`` are dotted-path
+    pack overrides applied -- and revalidated -- before anything runs.
+
+    >>> from repro.scenarios import run_scenario_pack
+    >>> outcome = run_scenario_pack(
+    ...     "wlcg-baseline",
+    ...     overrides={"grid.sites": 4, "workload.jobs": 40,
+    ...                "sweep.axes": {"execution.plugin": ["round_robin"]}},
+    ... )
+    >>> outcome.mode
+    'sweep'
+    """
+    if isinstance(pack, str):
+        from repro.scenarios.registry import get_scenario_pack
+
+        pack = get_scenario_pack(pack)
+    if overrides:
+        pack = pack.with_overrides(overrides)
+
+    started = time.perf_counter()
+    if pack.calibration is not None:
+        from repro.calibration import GridCalibrator
+
+        base_dir = pack.base_dir()
+        infrastructure, _ = pack.grid.build(base_dir)
+        jobs = pack.workload.build(infrastructure, base_dir)
+        calibrator = GridCalibrator(
+            infrastructure,
+            jobs,
+            optimizer=pack.calibration.optimizer,
+            budget=pack.calibration.budget,
+            mode=pack.calibration.mode,
+            seed=pack.calibration.seed,
+            min_jobs_per_site=pack.calibration.min_jobs_per_site,
+        )
+        from repro.experiments.runner import default_workers
+
+        n_workers = pack.calibration.workers if workers is None else workers
+        report = calibrator.calibrate(n_workers=n_workers or default_workers())
+        return ScenarioOutcome(
+            pack=pack,
+            mode="calibration",
+            calibration=report,
+            wallclock_seconds=time.perf_counter() - started,
+        )
+
+    if pack.sweep is not None:
+        n_workers = pack.sweep.workers if workers is None else workers
+        runner = SweepRunner(run_fn=execute_scenario_spec, n_workers=n_workers or None)
+        sweep = runner.run(sweep_specs(pack))
+        return ScenarioOutcome(
+            pack=pack,
+            mode="sweep",
+            sweep=sweep,
+            wallclock_seconds=time.perf_counter() - started,
+        )
+
+    metrics, extras, result = _run_single(pack)
+    return ScenarioOutcome(
+        pack=pack,
+        mode="single",
+        metrics=metrics,
+        extras=extras,
+        simulated_time=result.simulated_time,
+        wallclock_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,815 @@
+"""The declarative scenario-pack schema.
+
+A *scenario pack* is a single YAML/JSON file describing a complete "what if"
+study: the grid (generated, the WLCG catalogue, or references to the three
+classic config files), the workload, optional fault-injection campaigns and
+data placement, the execution parameters, and -- optionally -- either a sweep
+over any pack field (fanned across worker processes) or a calibration study.
+
+Every section validates eagerly into the existing configuration dataclasses
+with config-style error messages that name the pack and the offending field,
+so a typo in a pack fails at ``repro scenario validate`` time, never ten
+minutes into a sweep.
+
+The schema is deliberately data-only: a pack contains parameters, never code,
+which is what makes packs diffable, sweepable (axes are dotted paths into the
+pack, e.g. ``execution.plugin``) and safe to share.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config.execution import ExecutionConfig
+from repro.config.infrastructure import InfrastructureConfig
+from repro.config.topology import TopologyConfig
+from repro.faults.models import JobFailureModel, OutageWindow, SiteOutageModel
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import parse_bytes, parse_duration
+from repro.workload.generator import WorkloadSpec
+from repro.workload.job import Job
+
+__all__ = [
+    "GridSection",
+    "WorkloadSection",
+    "FaultsSection",
+    "DataSection",
+    "CalibrationSection",
+    "SweepSection",
+    "ScenarioPack",
+    "apply_override",
+    "apply_overrides",
+]
+
+#: Default metrics rendered for sweep packs that do not choose their own.
+DEFAULT_SWEEP_METRICS = ("makespan", "mean_queue_time", "throughput", "failure_rate")
+
+
+def _require_mapping(data: Any, ctx: str) -> dict:
+    if not isinstance(data, dict):
+        raise ConfigurationError(f"{ctx} must be a mapping, got {type(data).__name__}")
+    return data
+
+
+def _reject_unknown(data: dict, known: Sequence[str], ctx: str) -> None:
+    unknown = sorted(set(data) - set(known))
+    if unknown:
+        raise ConfigurationError(
+            f"{ctx}: unknown fields {unknown}; known fields: {sorted(known)}"
+        )
+
+
+def _float_field(data: dict, name: str, default: float, ctx: str) -> float:
+    value = data.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(f"{ctx}: {name} must be a number, got {value!r}")
+    return float(value)
+
+
+def _int_field(data: dict, name: str, default: int, ctx: str, minimum: int) -> int:
+    value = data.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(f"{ctx}: {name} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ConfigurationError(f"{ctx}: {name} must be >= {minimum}, got {value}")
+    return value
+
+
+@dataclass
+class GridSection:
+    """Where the simulated infrastructure and topology come from.
+
+    ``kind`` selects one of three sources:
+
+    * ``"synthetic"`` -- :func:`repro.config.generators.generate_grid` builds a
+      heterogeneous grid of ``sites`` sites with the given ``layout``
+      (``"star"`` or ``"tiered"``) and ``seed``;
+    * ``"wlcg"`` -- the built-in WLCG catalogue
+      (:func:`repro.atlas.wlcg.wlcg_grid`) provides the ``sites`` largest
+      ATLAS-like sites with their tiered topology;
+    * ``"files"`` -- the classic pair of config files: ``infrastructure`` and
+      ``topology`` are paths (JSON, or YAML with PyYAML installed), resolved
+      relative to the pack file.
+    """
+
+    kind: str = "synthetic"
+    sites: int = 10
+    layout: str = "star"
+    seed: int = 0
+    infrastructure: Optional[str] = None
+    topology: Optional[str] = None
+
+    @classmethod
+    def from_dict(cls, data: Any, ctx: str) -> "GridSection":
+        data = _require_mapping(data, ctx)
+        _reject_unknown(
+            data, ["kind", "sites", "layout", "seed", "infrastructure", "topology"], ctx
+        )
+        kind = data.get("kind", "synthetic")
+        if kind not in ("synthetic", "wlcg", "files"):
+            raise ConfigurationError(
+                f"{ctx}: kind must be one of synthetic|wlcg|files, got {kind!r}"
+            )
+        section = cls(
+            kind=kind,
+            sites=_int_field(data, "sites", 10, ctx, minimum=1),
+            layout=data.get("layout", "star"),
+            seed=_int_field(data, "seed", 0, ctx, minimum=0),
+            infrastructure=data.get("infrastructure"),
+            topology=data.get("topology"),
+        )
+        if section.layout not in ("star", "tiered"):
+            raise ConfigurationError(
+                f"{ctx}: layout must be star|tiered, got {section.layout!r}"
+            )
+        if kind == "files":
+            for name in ("infrastructure", "topology"):
+                if not getattr(section, name):
+                    raise ConfigurationError(
+                        f"{ctx}: kind 'files' requires the {name!r} path"
+                    )
+        else:
+            for name in ("infrastructure", "topology"):
+                if data.get(name) is not None:
+                    raise ConfigurationError(
+                        f"{ctx}: {name!r} is only valid with kind 'files'"
+                    )
+        return section
+
+    def build(self, base_dir: Optional[Path]) -> Tuple[InfrastructureConfig, TopologyConfig]:
+        """Materialise the infrastructure and topology this section describes."""
+        if self.kind == "wlcg":
+            from repro.atlas.wlcg import wlcg_grid
+
+            return wlcg_grid(site_count=self.sites)
+        if self.kind == "files":
+            from repro.config.loaders import (
+                load_infrastructure,
+                load_topology,
+                validate_cross_references,
+            )
+
+            base = base_dir or Path.cwd()
+            assert self.infrastructure is not None and self.topology is not None
+            infrastructure = load_infrastructure(_resolve(base, self.infrastructure))
+            topology = load_topology(_resolve(base, self.topology))
+            validate_cross_references(infrastructure, topology)
+            return infrastructure, topology
+        from repro.config.generators import generate_grid
+
+        return generate_grid(self.sites, seed=self.seed, topology=self.layout)
+
+    def to_dict(self) -> dict:
+        data: Dict[str, Any] = {"kind": self.kind}
+        if self.kind == "files":
+            data["infrastructure"] = self.infrastructure
+            data["topology"] = self.topology
+        else:
+            data["sites"] = self.sites
+            if self.kind == "synthetic":
+                data["layout"] = self.layout
+                data["seed"] = self.seed
+        return data
+
+
+def _resolve(base: Path, relative: str) -> Path:
+    path = Path(relative)
+    return path if path.is_absolute() else base / path
+
+
+@dataclass
+class WorkloadSection:
+    """How the job trace is produced.
+
+    ``generator`` is ``"synthetic"`` (:class:`SyntheticWorkloadGenerator`) or
+    ``"panda"`` (:class:`repro.atlas.panda.PandaWorkloadModel`, which groups
+    jobs into PanDA-like tasks).  ``spec`` holds :class:`WorkloadSpec` field
+    overrides (``walltime_sigma``, ``multicore_fraction``, ...); unknown keys
+    are rejected by name.  ``per_site_jobs`` switches the synthetic generator
+    to exactly-N-jobs-per-site mode (the multi-site scaling and calibration
+    studies), and ``trace`` replays a CSV trace file instead of generating.
+    """
+
+    generator: str = "synthetic"
+    jobs: int = 1000
+    seed: int = 0
+    spec: Dict[str, Any] = field(default_factory=dict)
+    mean_task_size: float = 25.0
+    per_site_jobs: Optional[int] = None
+    trace: Optional[str] = None
+
+    @classmethod
+    def from_dict(cls, data: Any, ctx: str) -> "WorkloadSection":
+        data = _require_mapping(data, ctx)
+        _reject_unknown(
+            data,
+            ["generator", "jobs", "seed", "spec", "mean_task_size", "per_site_jobs", "trace"],
+            ctx,
+        )
+        generator = data.get("generator", "synthetic")
+        if generator not in ("synthetic", "panda"):
+            raise ConfigurationError(
+                f"{ctx}: generator must be synthetic|panda, got {generator!r}"
+            )
+        spec = _require_mapping(data.get("spec", {}), f"{ctx}: spec")
+        valid_spec = set(WorkloadSpec.__dataclass_fields__)
+        _reject_unknown(spec, sorted(valid_spec), f"{ctx}: spec")
+        try:
+            WorkloadSpec(**spec)  # eager validation with WorkloadSpec's messages
+        except Exception as exc:
+            raise ConfigurationError(f"{ctx}: spec: {exc}") from exc
+        section = cls(
+            generator=generator,
+            jobs=_int_field(data, "jobs", 1000, ctx, minimum=1),
+            seed=_int_field(data, "seed", 0, ctx, minimum=0),
+            spec=dict(spec),
+            mean_task_size=_float_field(data, "mean_task_size", 25.0, ctx),
+            per_site_jobs=data.get("per_site_jobs"),
+            trace=data.get("trace"),
+        )
+        if section.mean_task_size < 1:
+            raise ConfigurationError(
+                f"{ctx}: mean_task_size must be >= 1, got {section.mean_task_size}"
+            )
+        if section.per_site_jobs is not None:
+            if generator != "synthetic":
+                raise ConfigurationError(
+                    f"{ctx}: per_site_jobs requires the synthetic generator"
+                )
+            if not isinstance(section.per_site_jobs, int) or section.per_site_jobs < 1:
+                raise ConfigurationError(
+                    f"{ctx}: per_site_jobs must be a positive integer"
+                )
+        if section.trace is not None and section.per_site_jobs is not None:
+            raise ConfigurationError(f"{ctx}: trace and per_site_jobs are exclusive")
+        return section
+
+    def build(self, infrastructure: InfrastructureConfig, base_dir: Optional[Path]) -> List[Job]:
+        """Generate (or load) the job list against ``infrastructure``."""
+        if self.trace is not None:
+            from repro.workload.trace import load_trace
+
+            return load_trace(_resolve(base_dir or Path.cwd(), self.trace))
+        spec = WorkloadSpec(**self.spec)
+        if self.generator == "panda":
+            from repro.atlas.panda import PandaWorkloadModel
+
+            model = PandaWorkloadModel(
+                infrastructure, spec=spec, seed=self.seed, mean_task_size=self.mean_task_size
+            )
+            return model.generate_trace(self.jobs)
+        from repro.workload.generator import SyntheticWorkloadGenerator
+
+        generator = SyntheticWorkloadGenerator(infrastructure, spec=spec, seed=self.seed)
+        if self.per_site_jobs is not None:
+            return generator.generate_per_site(self.per_site_jobs)
+        return generator.generate(self.jobs)
+
+    def to_dict(self) -> dict:
+        data: Dict[str, Any] = {"generator": self.generator, "seed": self.seed}
+        if self.trace is not None:
+            data["trace"] = self.trace
+        elif self.per_site_jobs is not None:
+            data["per_site_jobs"] = self.per_site_jobs
+        else:
+            data["jobs"] = self.jobs
+        if self.spec:
+            data["spec"] = dict(self.spec)
+        if self.generator == "panda" and self.mean_task_size != 25.0:
+            data["mean_task_size"] = self.mean_task_size
+        return data
+
+
+@dataclass
+class FaultsSection:
+    """Fault-injection campaign: job failures plus site outages.
+
+    ``job_failures`` maps straight onto :class:`JobFailureModel` (per-site
+    failure probabilities); ``outages`` lists explicit
+    :class:`OutageWindow` intervals (durations accept unit strings such as
+    ``"4h"``); ``outage_model`` draws an MTBF/MTTR schedule for every site
+    via :class:`SiteOutageModel` over the given ``horizon``.
+    """
+
+    job_failures: Optional[Dict[str, Any]] = None
+    outages: List[Dict[str, Any]] = field(default_factory=list)
+    outage_model: Optional[Dict[str, Any]] = None
+
+    @classmethod
+    def from_dict(cls, data: Any, ctx: str) -> "FaultsSection":
+        data = _require_mapping(data, ctx)
+        _reject_unknown(data, ["job_failures", "outages", "outage_model"], ctx)
+        section = cls(
+            job_failures=data.get("job_failures"),
+            outages=list(data.get("outages", [])),
+            outage_model=data.get("outage_model"),
+        )
+        if section.job_failures is not None:
+            failures = _require_mapping(section.job_failures, f"{ctx}: job_failures")
+            _reject_unknown(
+                failures,
+                ["default_rate", "site_rates", "mean_failure_fraction", "seed"],
+                f"{ctx}: job_failures",
+            )
+            try:
+                JobFailureModel(**failures)
+            except Exception as exc:
+                raise ConfigurationError(f"{ctx}: job_failures: {exc}") from exc
+        for index, window in enumerate(section.outages):
+            window = _require_mapping(window, f"{ctx}: outages[{index}]")
+            _reject_unknown(window, ["site", "start", "end"], f"{ctx}: outages[{index}]")
+            for key in ("site", "start", "end"):
+                if key not in window:
+                    raise ConfigurationError(f"{ctx}: outages[{index}] requires {key!r}")
+            try:
+                OutageWindow(
+                    site=window["site"],
+                    start=parse_duration(window["start"]),
+                    end=parse_duration(window["end"]),
+                )
+            except Exception as exc:
+                raise ConfigurationError(f"{ctx}: outages[{index}]: {exc}") from exc
+        if section.outage_model is not None:
+            model = _require_mapping(section.outage_model, f"{ctx}: outage_model")
+            _reject_unknown(
+                model,
+                ["mean_time_between_failures", "mean_time_to_repair", "horizon", "seed"],
+                f"{ctx}: outage_model",
+            )
+            if "horizon" not in model:
+                raise ConfigurationError(f"{ctx}: outage_model requires 'horizon'")
+            try:
+                params = {k: v for k, v in model.items() if k != "horizon"}
+                for key in ("mean_time_between_failures", "mean_time_to_repair"):
+                    if key in params:
+                        params[key] = parse_duration(params[key])
+                SiteOutageModel(**params)
+                if parse_duration(model["horizon"]) <= 0:
+                    raise ConfigurationError("horizon must be positive")
+            except ConfigurationError:
+                raise
+            except Exception as exc:
+                raise ConfigurationError(f"{ctx}: outage_model: {exc}") from exc
+        return section
+
+    def build(
+        self, site_names: Sequence[str]
+    ) -> Tuple[Optional[JobFailureModel], List[OutageWindow]]:
+        """Materialise the failure model and the concrete outage windows."""
+        failure_model = None
+        if self.job_failures is not None:
+            failure_model = JobFailureModel(**self.job_failures)
+        windows = [
+            OutageWindow(
+                site=w["site"], start=parse_duration(w["start"]), end=parse_duration(w["end"])
+            )
+            for w in self.outages
+        ]
+        if self.outage_model is not None:
+            params = {k: v for k, v in self.outage_model.items() if k != "horizon"}
+            for key in ("mean_time_between_failures", "mean_time_to_repair"):
+                if key in params:
+                    params[key] = parse_duration(params[key])
+            model = SiteOutageModel(**params)
+            windows.extend(model.schedule(site_names, parse_duration(self.outage_model["horizon"])))
+        return failure_model, windows
+
+    def to_dict(self) -> dict:
+        data: Dict[str, Any] = {}
+        if self.job_failures is not None:
+            data["job_failures"] = dict(self.job_failures)
+        if self.outages:
+            data["outages"] = [dict(w) for w in self.outages]
+        if self.outage_model is not None:
+            data["outage_model"] = dict(self.outage_model)
+        return data
+
+
+@dataclass
+class DataSection:
+    """Rucio-like dataset placement for data-aware scheduling studies.
+
+    ``datasets`` shared datasets of ``dataset_size`` bytes each (unit strings
+    like ``"50GB"`` accepted) are replicated ``replication_factor`` times
+    across the grid with :class:`repro.atlas.rucio.RucioCatalog`; every job
+    reads one dataset (round-robin assignment) and data transfers are
+    simulated, so allocation decisions have WAN-traffic consequences.
+    """
+
+    datasets: int = 20
+    dataset_size: float = 50e9
+    replication_factor: int = 2
+    seed: int = 0
+
+    @classmethod
+    def from_dict(cls, data: Any, ctx: str) -> "DataSection":
+        data = _require_mapping(data, ctx)
+        _reject_unknown(
+            data, ["datasets", "dataset_size", "replication_factor", "seed"], ctx
+        )
+        try:
+            size = parse_bytes(data.get("dataset_size", 50e9))
+        except Exception as exc:
+            raise ConfigurationError(f"{ctx}: dataset_size: {exc}") from exc
+        section = cls(
+            datasets=_int_field(data, "datasets", 20, ctx, minimum=1),
+            dataset_size=size,
+            replication_factor=_int_field(data, "replication_factor", 2, ctx, minimum=1),
+            seed=_int_field(data, "seed", 0, ctx, minimum=0),
+        )
+        if section.dataset_size <= 0:
+            raise ConfigurationError(f"{ctx}: dataset_size must be positive")
+        return section
+
+    def dataset_catalog(self) -> Dict[str, float]:
+        """Mapping of dataset name to size in bytes."""
+        return {f"dataset_{i:03d}": self.dataset_size for i in range(self.datasets)}
+
+    def to_dict(self) -> dict:
+        return {
+            "datasets": self.datasets,
+            "dataset_size": self.dataset_size,
+            "replication_factor": self.replication_factor,
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class CalibrationSection:
+    """Run the per-site walltime calibration instead of a plain simulation.
+
+    The pack's workload becomes the ground truth (``per_site_jobs`` is the
+    usual shape) and :class:`repro.calibration.GridCalibrator` tunes every
+    site's per-core speed with the chosen black-box ``optimizer`` under the
+    per-site evaluation ``budget``.  Sites are independent optimisation
+    problems, so ``workers`` processes fan them out (0 = one per CPU) with a
+    worker-count-invariant report.
+    """
+
+    optimizer: str = "random"
+    budget: int = 30
+    mode: str = "analytic"
+    seed: int = 0
+    min_jobs_per_site: int = 5
+    workers: int = 1
+
+    @classmethod
+    def from_dict(cls, data: Any, ctx: str) -> "CalibrationSection":
+        data = _require_mapping(data, ctx)
+        _reject_unknown(
+            data,
+            ["optimizer", "budget", "mode", "seed", "min_jobs_per_site", "workers"],
+            ctx,
+        )
+        section = cls(
+            optimizer=data.get("optimizer", "random"),
+            budget=_int_field(data, "budget", 30, ctx, minimum=1),
+            mode=data.get("mode", "analytic"),
+            seed=_int_field(data, "seed", 0, ctx, minimum=0),
+            min_jobs_per_site=_int_field(data, "min_jobs_per_site", 5, ctx, minimum=1),
+            workers=_int_field(data, "workers", 1, ctx, minimum=0),
+        )
+        if section.optimizer not in ("random", "bayesian", "cmaes", "brute_force"):
+            raise ConfigurationError(
+                f"{ctx}: optimizer must be one of random|bayesian|cmaes|brute_force, "
+                f"got {section.optimizer!r}"
+            )
+        if section.mode not in ("simulate", "analytic"):
+            raise ConfigurationError(
+                f"{ctx}: mode must be simulate|analytic, got {section.mode!r}"
+            )
+        return section
+
+    def to_dict(self) -> dict:
+        return {
+            "optimizer": self.optimizer,
+            "budget": self.budget,
+            "mode": self.mode,
+            "seed": self.seed,
+            "min_jobs_per_site": self.min_jobs_per_site,
+            "workers": self.workers,
+        }
+
+
+@dataclass
+class SweepSection:
+    """Fan the pack over a cartesian grid of field values.
+
+    ``axes`` maps dotted paths into the pack (``"execution.plugin"``,
+    ``"workload.jobs"``, ``"faults.job_failures.default_rate"``, ...) to the
+    list of values to sweep; every combination becomes one scenario, each
+    replicated ``replications`` times with derived seeds, executed across
+    ``workers`` processes by :class:`repro.experiments.SweepRunner` (0 means
+    one per CPU).  ``metrics`` selects the columns of the aggregate table.
+    """
+
+    axes: Dict[str, List[Any]] = field(default_factory=dict)
+    replications: int = 1
+    workers: int = 1
+    metrics: List[str] = field(default_factory=lambda: list(DEFAULT_SWEEP_METRICS))
+
+    @classmethod
+    def from_dict(cls, data: Any, ctx: str) -> "SweepSection":
+        data = _require_mapping(data, ctx)
+        _reject_unknown(data, ["axes", "replications", "workers", "metrics"], ctx)
+        axes = _require_mapping(data.get("axes", {}), f"{ctx}: axes")
+        if not axes:
+            raise ConfigurationError(f"{ctx}: axes must name at least one sweep axis")
+        for path, values in axes.items():
+            if not isinstance(path, str) or not path:
+                raise ConfigurationError(f"{ctx}: axis names must be dotted paths")
+            if not isinstance(values, list) or not values:
+                raise ConfigurationError(
+                    f"{ctx}: axis {path!r} must list at least one value"
+                )
+        metrics = data.get("metrics", list(DEFAULT_SWEEP_METRICS))
+        if not isinstance(metrics, list) or not all(isinstance(m, str) for m in metrics):
+            raise ConfigurationError(f"{ctx}: metrics must be a list of metric names")
+        return cls(
+            axes={path: list(values) for path, values in axes.items()},
+            replications=_int_field(data, "replications", 1, ctx, minimum=1),
+            workers=_int_field(data, "workers", 1, ctx, minimum=0),
+            metrics=list(metrics),
+        )
+
+    def combinations(self) -> List[Dict[str, Any]]:
+        """Every axis combination as an ``{dotted path: value}`` mapping."""
+        names = list(self.axes)
+        return [
+            dict(zip(names, values))
+            for values in itertools.product(*(self.axes[name] for name in names))
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "axes": {path: list(values) for path, values in self.axes.items()},
+            "replications": self.replications,
+            "workers": self.workers,
+            "metrics": list(self.metrics),
+        }
+
+
+def apply_override(data: dict, path: str, value: Any) -> None:
+    """Set ``path`` (dotted) in the nested mapping ``data`` to ``value``.
+
+    Intermediate mappings are created on demand, so an axis can introduce a
+    section the base pack leaves out (e.g. sweeping
+    ``faults.job_failures.default_rate`` over a faultless baseline).
+    Overriding *through* a non-mapping value is an error: the path must
+    descend into mappings all the way down.
+
+    One special case: sweep-axis keys are themselves dotted paths, so
+    everything after a ``sweep.axes.`` prefix is treated as a single literal
+    key -- ``"sweep.axes.workload.jobs"`` replaces the value list of the
+    ``workload.jobs`` axis rather than creating a nested ``workload`` axis.
+    """
+    if path.startswith("sweep.axes.") and len(path) > len("sweep.axes."):
+        parts = ["sweep", "axes", path[len("sweep.axes."):]]
+    else:
+        parts = path.split(".")
+    if not all(parts):
+        raise ConfigurationError(f"invalid override path {path!r}")
+    node = data
+    for part in parts[:-1]:
+        child = node.get(part)
+        if child is None:
+            child = node[part] = {}
+        elif not isinstance(child, dict):
+            raise ConfigurationError(
+                f"override path {path!r} descends into non-mapping field {part!r}"
+            )
+        node = child
+    node[parts[-1]] = value
+
+
+def apply_overrides(data: dict, overrides: Dict[str, Any]) -> dict:
+    """Return a deep copy of ``data`` with every dotted-path override applied."""
+    result = copy.deepcopy(data)
+    for path, value in overrides.items():
+        apply_override(result, path, value)
+    return result
+
+
+@dataclass
+class ScenarioPack:
+    """One validated scenario-pack file.
+
+    The sections mirror the subsystems they configure: ``grid``
+    (:class:`GridSection`), ``workload`` (:class:`WorkloadSection`),
+    ``execution`` (:class:`~repro.config.ExecutionConfig`, inline or a path
+    to the classic execution file), optional ``faults``
+    (:class:`FaultsSection`), ``data`` (:class:`DataSection`), and at most
+    one of ``sweep`` (:class:`SweepSection`) or ``calibration``
+    (:class:`CalibrationSection`).
+
+    Examples
+    --------
+    >>> from repro.scenarios import ScenarioPack
+    >>> pack = ScenarioPack.from_dict({
+    ...     "name": "tiny",
+    ...     "grid": {"kind": "synthetic", "sites": 2, "seed": 1},
+    ...     "workload": {"jobs": 20, "seed": 7},
+    ...     "execution": {"plugin": "least_loaded"},
+    ... })
+    >>> pack.name
+    'tiny'
+    """
+
+    name: str
+    title: str = ""
+    description: str = ""
+    tags: List[str] = field(default_factory=list)
+    grid: GridSection = field(default_factory=GridSection)
+    workload: WorkloadSection = field(default_factory=WorkloadSection)
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    faults: Optional[FaultsSection] = None
+    data: Optional[DataSection] = None
+    calibration: Optional[CalibrationSection] = None
+    sweep: Optional[SweepSection] = None
+    #: Path of the file this pack was loaded from (``None`` for in-memory
+    #: packs); relative file references inside the pack resolve against it.
+    source_path: Optional[Path] = None
+
+    KNOWN_FIELDS = (
+        "name",
+        "title",
+        "description",
+        "tags",
+        "grid",
+        "workload",
+        "execution",
+        "faults",
+        "data",
+        "calibration",
+        "sweep",
+    )
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: Any,
+        source: Optional[Path] = None,
+    ) -> "ScenarioPack":
+        """Validate a parsed pack mapping into a :class:`ScenarioPack`.
+
+        Raises :class:`ConfigurationError` naming the pack and the offending
+        field for every schema violation.  When the pack declares a sweep,
+        every axis value is dry-applied and re-validated, so a bad value in
+        the middle of an axis list is reported up front.
+        """
+        data = _require_mapping(data, "scenario pack")
+        name = data.get("name")
+        if not name or not isinstance(name, str):
+            where = f" ({source})" if source else ""
+            raise ConfigurationError(
+                f"scenario pack{where}: 'name' is required and must be a string"
+            )
+        ctx = f"scenario pack {name!r}"
+        _reject_unknown(data, cls.KNOWN_FIELDS, ctx)
+        tags = data.get("tags", [])
+        if not isinstance(tags, list) or not all(isinstance(t, str) for t in tags):
+            raise ConfigurationError(f"{ctx}: tags must be a list of strings")
+
+        execution_data = data.get("execution", {})
+        if isinstance(execution_data, str):
+            base = source.parent if source else Path.cwd()
+            from repro.config.loaders import load_execution
+
+            execution = load_execution(_resolve(base, execution_data))
+        else:
+            _require_mapping(execution_data, f"{ctx}: execution")
+            try:
+                execution = ExecutionConfig.from_dict(execution_data)
+            except ConfigurationError as exc:
+                raise ConfigurationError(f"{ctx}: {exc}") from exc
+
+        pack = cls(
+            name=name,
+            title=str(data.get("title", "")),
+            description=str(data.get("description", "")),
+            tags=list(tags),
+            grid=GridSection.from_dict(data.get("grid", {}), f"{ctx}: grid"),
+            workload=WorkloadSection.from_dict(data.get("workload", {}), f"{ctx}: workload"),
+            execution=execution,
+            faults=(
+                FaultsSection.from_dict(data["faults"], f"{ctx}: faults")
+                if data.get("faults") is not None
+                else None
+            ),
+            data=(
+                DataSection.from_dict(data["data"], f"{ctx}: data")
+                if data.get("data") is not None
+                else None
+            ),
+            calibration=(
+                CalibrationSection.from_dict(data["calibration"], f"{ctx}: calibration")
+                if data.get("calibration") is not None
+                else None
+            ),
+            sweep=(
+                SweepSection.from_dict(data["sweep"], f"{ctx}: sweep")
+                if data.get("sweep") is not None
+                else None
+            ),
+            source_path=Path(source) if source is not None else None,
+        )
+        if pack.calibration is not None and pack.sweep is not None:
+            raise ConfigurationError(
+                f"{ctx}: 'calibration' and 'sweep' are mutually exclusive"
+            )
+        if pack.calibration is not None and (pack.faults or pack.data):
+            raise ConfigurationError(
+                f"{ctx}: calibration packs do not support 'faults' or 'data' sections"
+            )
+        if pack.sweep is not None:
+            pack._validate_sweep_axes(data)
+        return pack
+
+    def _validate_sweep_axes(self, data: dict) -> None:
+        """Dry-apply every axis value so a bad one fails at validate time."""
+        assert self.sweep is not None
+        base = {k: v for k, v in data.items() if k != "sweep"}
+        for path, values in self.sweep.axes.items():
+            if path.split(".")[0] in ("name", "title", "description", "tags", "sweep"):
+                raise ConfigurationError(
+                    f"scenario pack {self.name!r}: sweep: axis {path!r} must target "
+                    "a simulation field (grid/workload/execution/faults/data)"
+                )
+            for value in values:
+                try:
+                    candidate = apply_overrides(base, {path: value})
+                    ScenarioPack.from_dict(candidate, source=self.source_path)
+                except ConfigurationError as exc:
+                    raise ConfigurationError(
+                        f"scenario pack {self.name!r}: sweep: axis {path!r} "
+                        f"value {value!r} is invalid: {exc}"
+                    ) from None
+
+    def with_overrides(self, overrides: Dict[str, Any]) -> "ScenarioPack":
+        """Return a revalidated copy with dotted-path ``overrides`` applied.
+
+        >>> from repro.scenarios import ScenarioPack
+        >>> pack = ScenarioPack.from_dict({"name": "p", "workload": {"jobs": 10}})
+        >>> pack.with_overrides({"workload.jobs": 99}).workload.jobs
+        99
+        """
+        if not overrides:
+            return self
+        return ScenarioPack.from_dict(
+            apply_overrides(self.to_dict(), overrides), source=self.source_path
+        )
+
+    def base_dir(self) -> Optional[Path]:
+        """Directory that relative file references inside the pack resolve against."""
+        return self.source_path.parent if self.source_path is not None else None
+
+    def mode(self) -> str:
+        """How this pack executes: ``"single"``, ``"sweep"`` or ``"calibration"``."""
+        if self.calibration is not None:
+            return "calibration"
+        if self.sweep is not None:
+            return "sweep"
+        return "single"
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (round-trips through :meth:`from_dict`)."""
+        data: Dict[str, Any] = {"name": self.name}
+        if self.title:
+            data["title"] = self.title
+        if self.description:
+            data["description"] = self.description
+        if self.tags:
+            data["tags"] = list(self.tags)
+        data["grid"] = self.grid.to_dict()
+        data["workload"] = self.workload.to_dict()
+        data["execution"] = self.execution.to_dict()
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
+        if self.data is not None:
+            data["data"] = self.data.to_dict()
+        if self.calibration is not None:
+            data["calibration"] = self.calibration.to_dict()
+        if self.sweep is not None:
+            data["sweep"] = self.sweep.to_dict()
+        return data
+
+    def to_json(self) -> str:
+        """The pack as pretty-printed JSON (what ``repro scenario show`` prints)."""
+        return json.dumps(self.to_dict(), indent=2)
+
+    def summary_row(self) -> dict:
+        """One row for the ``repro scenario list`` table."""
+        return {
+            "name": self.name,
+            "mode": self.mode(),
+            "grid": f"{self.grid.kind}:{self.grid.sites}"
+            if self.grid.kind != "files"
+            else "files",
+            "jobs": self.workload.per_site_jobs or self.workload.jobs,
+            "title": self.title or self.description.split("\n")[0][:60],
+        }

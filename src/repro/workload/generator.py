@@ -236,6 +236,12 @@ class SyntheticWorkloadGenerator:
             self._make_job(gen, site_names[int(site_indices[i])], arrivals[i], task_id=None)
             for i in range(count)
         ]
+        # A deterministic identity within the trace: fault models key their
+        # draws on it (plus the attempt number) so that regenerating the same
+        # trace -- in another process, or later in this one -- reproduces the
+        # same injected failures regardless of the global job-id counter.
+        for index, job in enumerate(jobs):
+            job.attributes["trace_index"] = index
         return jobs
 
     def generate_for_site(self, site_name: str, count: int, start_time: float = 0.0) -> List[Job]:
@@ -251,9 +257,14 @@ class SyntheticWorkloadGenerator:
             )
         else:
             arrivals = [start_time] * count
-        return [
+        jobs = [
             self._make_job(gen, site_name, arrivals[i], task_id=None) for i in range(count)
         ]
+        # Site-qualified trace identity (see generate()): unique across the
+        # concatenation generate_per_site() builds.
+        for index, job in enumerate(jobs):
+            job.attributes["trace_index"] = f"{site_name}:{index}"
+        return jobs
 
     def generate_per_site(self, jobs_per_site: int, start_time: float = 0.0) -> List[Job]:
         """Generate exactly ``jobs_per_site`` jobs for every site (multi-site scaling)."""

@@ -88,7 +88,12 @@ def jobs_from_records(records: Iterable[dict]) -> List[Job]:
         for field_name in ("memory", "submission_time", "input_size", "output_size"):
             if field_name in kwargs and kwargs[field_name] is None:
                 kwargs.pop(field_name)
-        jobs.append(Job(**kwargs))
+        job = Job(**kwargs)
+        # Stable identity within the trace: fault models key on it so a
+        # replayed trace draws the same injected failures in every process
+        # (job ids come from a process-global counter and cannot serve).
+        job.attributes["trace_index"] = index
+        jobs.append(job)
     return jobs
 
 

@@ -18,6 +18,27 @@ class TestParser:
             main(["--version"])
         assert excinfo.value.code == 0
 
+    def test_every_subcommand_help_names_its_output_artifacts(self):
+        """Guard against --help drift: each help string says what comes out.
+
+        Every subcommand prints a table/listing or writes files; its one-line
+        help must say so ("print ..." / "write ...") so `cgsim --help` stays
+        an accurate contract of each command's artifacts.
+        """
+        import argparse
+
+        parser = build_parser()
+        sub = next(
+            action for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        for choice in sub._choices_actions:
+            text = (choice.help or "").lower()
+            assert "print" in text or "write" in text, (
+                f"subcommand {choice.dest!r} help does not name its output "
+                f"artifacts: {choice.help!r}"
+            )
+
 
 class TestPoliciesCommand:
     def test_lists_bundled_policies(self, capsys):
@@ -179,6 +200,93 @@ class TestGenerateTraceAndRun:
         ])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestScenarioCommands:
+    def test_scenario_list_includes_every_bundled_pack(self, capsys):
+        from repro.scenarios import available_scenario_packs
+        from repro.scenarios.registry import BUNDLED_PACK_DIR
+
+        bundled_files = sorted(BUNDLED_PACK_DIR.glob("*.json"))
+        assert len(bundled_files) >= 6, "expected >= 6 bundled packs"
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in available_scenario_packs():
+            assert name in out, f"`scenario list` omits bundled pack {name!r}"
+
+    def test_scenario_list_tag_filter(self, capsys):
+        assert main(["scenario", "list", "--tag", "calibration"]) == 0
+        out = capsys.readouterr().out
+        assert "calibration-sweep" in out
+        assert "heavy-tail-stress" not in out
+
+    def test_scenario_show_by_name_prints_canonical_json(self, capsys):
+        assert main(["scenario", "show", "job-scaling"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "job-scaling"
+        assert payload["sweep"]["axes"]["workload.jobs"]
+
+    def test_scenario_show_by_path(self, tmp_path, capsys):
+        path = tmp_path / "mine.json"
+        path.write_text(json.dumps({"name": "mine", "workload": {"jobs": 5}}))
+        assert main(["scenario", "show", str(path)]) == 0
+        assert json.loads(capsys.readouterr().out)["name"] == "mine"
+
+    def test_scenario_validate_reports_ok_and_fail(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps({"name": "good", "workload": {"jobs": 5}}))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "bad", "workload": {"jobs": 0}}))
+        assert main(["scenario", "validate", str(good)]) == 0
+        assert "OK" in capsys.readouterr().out
+        assert main(["scenario", "validate", str(good), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "OK    good" in out and "FAIL" in out and "jobs" in out
+
+    def test_scenario_run_single_pack_from_file(self, tmp_path, capsys):
+        path = tmp_path / "single.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "single",
+                    "grid": {"kind": "synthetic", "sites": 2, "seed": 1},
+                    "workload": {"jobs": 12, "seed": 2},
+                    "execution": {
+                        "plugin": "least_loaded",
+                        "monitoring": {"snapshot_interval": 0.0},
+                    },
+                }
+            )
+        )
+        assert main(["scenario", "run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario single [single]" in out
+        assert "finished" in out
+
+    def test_scenario_run_sweep_with_overrides_and_output(self, tmp_path, capsys):
+        out_path = tmp_path / "outcome.json"
+        code = main([
+            "scenario", "run", "wlcg-baseline",
+            "--workers", "1",
+            "--set", "grid.sites=3",
+            "--set", "workload.jobs=30",
+            "--set", 'sweep.axes={"execution.plugin": ["round_robin"]}',
+            "--output", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plugin=round_robin" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["mode"] == "sweep"
+        assert payload["sweep"]["runs"][0]["metrics"]["finished_jobs"] == 30
+
+    def test_scenario_run_unknown_pack_fails_cleanly(self, capsys):
+        assert main(["scenario", "run", "no-such-pack"]) == 1
+        assert "unknown scenario pack" in capsys.readouterr().err
+
+    def test_scenario_run_bad_override_fails_cleanly(self, capsys):
+        assert main(["scenario", "run", "job-scaling", "--set", "nonsense"]) == 1
+        assert "PATH=VALUE" in capsys.readouterr().err
 
 
 class TestBenchCommand:

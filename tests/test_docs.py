@@ -1,0 +1,99 @@
+"""Documentation-site checks: structure, generated pages, links.
+
+These tests keep the docs honest without needing MkDocs installed: the
+cookbook page must match the bundled scenario packs (it is generated from
+them), every internal link/anchor must resolve, and the MkDocs nav must only
+reference pages that exist.  The CI ``docs-build`` job additionally runs
+``mkdocs build --strict``.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+SCRIPTS_DIR = REPO_ROOT / "scripts"
+
+
+def _run_script(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(SCRIPTS_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=120,
+    )
+
+
+class TestSiteStructure:
+    def test_mkdocs_config_exists(self):
+        assert (REPO_ROOT / "mkdocs.yml").exists()
+
+    def test_every_nav_page_exists(self):
+        """Each .md file referenced from mkdocs.yml must exist under docs/."""
+        text = (REPO_ROOT / "mkdocs.yml").read_text(encoding="utf-8")
+        pages = re.findall(r"([\w\-/]+\.md)", text)
+        assert pages, "mkdocs.yml nav references no pages"
+        for page in pages:
+            assert (DOCS_DIR / page).exists(), f"nav references missing page {page}"
+
+    def test_core_pages_present_and_titled(self):
+        for page in ("index.md", "install.md", "architecture.md", "cli.md",
+                     "scenarios/schema.md", "scenarios/cookbook.md"):
+            path = DOCS_DIR / page
+            assert path.exists(), f"missing documentation page {page}"
+            first_line = path.read_text(encoding="utf-8").lstrip().splitlines()[0]
+            assert first_line.startswith("# "), f"{page} must start with an H1"
+
+    def test_readme_links_into_the_docs(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "docs/index.md" in readme or "docs/" in readme
+
+
+class TestGeneratedCookbook:
+    def test_cookbook_is_in_sync_with_the_packs(self):
+        result = _run_script("gen_scenario_docs.py", "--check")
+        assert result.returncode == 0, (
+            f"cookbook out of sync:\n{result.stdout}\n{result.stderr}"
+        )
+
+    def test_cookbook_covers_every_bundled_pack(self):
+        from repro.scenarios import available_scenario_packs
+
+        cookbook = (DOCS_DIR / "scenarios" / "cookbook.md").read_text(encoding="utf-8")
+        for name in available_scenario_packs():
+            assert f"## {name}" in cookbook, f"cookbook misses pack {name!r}"
+
+    def test_cookbook_declares_itself_generated(self):
+        cookbook = (DOCS_DIR / "scenarios" / "cookbook.md").read_text(encoding="utf-8")
+        assert "GENERATED FILE" in cookbook
+
+
+class TestLinks:
+    def test_all_internal_links_and_anchors_resolve(self):
+        result = _run_script("check_doc_links.py")
+        assert result.returncode == 0, (
+            f"broken documentation links:\n{result.stdout}\n{result.stderr}"
+        )
+
+
+class TestMkdocsBuild:
+    def test_strict_build_succeeds_when_mkdocs_is_available(self, tmp_path):
+        """Full `mkdocs build --strict` (CI always runs it; locally this
+        skips when the optional mkdocs toolchain is absent)."""
+        pytest.importorskip("mkdocs")
+        result = subprocess.run(
+            [sys.executable, "-m", "mkdocs", "build", "--strict",
+             "--site-dir", str(tmp_path / "site")],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr

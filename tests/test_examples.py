@@ -62,6 +62,11 @@ EXAMPLE_CASES = [
         ["failures + 3 retries", "automatic resubmissions"],
     ),
     (
+        "failure_injection_study.py",
+        ["--jobs", "120", "--sites", "4", "--failure-rate", "0.0"],
+        ["baseline + 3 retries", "nothing to recover"],
+    ),
+    (
         "parallel_sweep.py",
         ["--jobs", "80", "--sites", "3", "--runs-per-scenario", "2", "--workers", "2"],
         ["Parallel sweep", "worker(s)", "scenario"],
@@ -124,6 +129,93 @@ def test_ml_example_writes_datasets(tmp_path):
     _run_example("ml_dataset_surrogate.py", ["--jobs", "200", "--sites", "5"], tmp_path)
     assert (tmp_path / "ml_output" / "events.csv").exists()
     assert (tmp_path / "ml_output" / "jobs.csv").exists()
+
+
+class TestPackExampleParity:
+    """The converted examples are thin wrappers over scenario packs; these
+    tests pin the contract behind that conversion: running the pack yields
+    exactly the metrics the original hand-written study produced."""
+
+    def test_wlcg_baseline_pack_matches_handwritten_study(self):
+        """`scenario run wlcg-baseline` == the original wlcg_case_study glue."""
+        from repro import ExecutionConfig, Simulator, run_scenario_pack
+        from repro.atlas import PandaWorkloadModel, wlcg_grid
+        from repro.config.execution import MonitoringConfig
+
+        sites, jobs_n, seed = 6, 120, 3
+
+        # The original example, by hand (one policy to keep the test fast).
+        infrastructure, topology = wlcg_grid(site_count=sites)
+        jobs = PandaWorkloadModel(infrastructure, seed=seed).generate_trace(jobs_n)
+        execution = ExecutionConfig(
+            plugin="least_loaded",
+            monitoring=MonitoringConfig(snapshot_interval=0.0),
+        )
+        manual = Simulator(infrastructure, topology, execution).run(
+            [job.copy_for_replay() for job in jobs]
+        )
+
+        outcome = run_scenario_pack(
+            "wlcg-baseline",
+            workers=1,
+            overrides={
+                "grid.sites": sites,
+                "workload.jobs": jobs_n,
+                "workload.seed": seed,
+                "sweep.axes": {"execution.plugin": ["least_loaded"]},
+            },
+        )
+        pack_metrics = outcome.scenario_metrics()
+        for metric in (
+            "finished_jobs",
+            "failed_jobs",
+            "makespan",
+            "mean_queue_time",
+            "mean_walltime",
+            "throughput",
+        ):
+            assert pack_metrics[metric] == getattr(manual.metrics, metric), metric
+
+    def test_fault_campaign_pack_matches_handwritten_study(self):
+        """`scenario run fault-campaign` == the original failure_injection glue."""
+        from repro import ExecutionConfig, JobFailureModel, Simulator, run_scenario_pack
+        from repro.atlas import PandaWorkloadModel, wlcg_grid
+        from repro.config.execution import MonitoringConfig
+
+        sites, jobs_n, seed, rate, retries = 5, 150, 21, 0.15, 3
+
+        infrastructure, topology = wlcg_grid(site_count=sites)
+        jobs = PandaWorkloadModel(infrastructure, seed=seed).generate_trace(jobs_n)
+        execution = ExecutionConfig(
+            plugin="panda_dispatcher",
+            max_retries=retries,
+            monitoring=MonitoringConfig(snapshot_interval=0.0),
+        )
+        manual = Simulator(
+            infrastructure,
+            topology,
+            execution,
+            failure_model=JobFailureModel(default_rate=rate, seed=seed),
+        ).run([job.copy_for_replay() for job in jobs])
+
+        outcome = run_scenario_pack(
+            "fault-campaign",
+            workers=1,
+            overrides={
+                "grid.sites": sites,
+                "workload.jobs": jobs_n,
+                "workload.seed": seed,
+                "faults.job_failures.seed": seed,
+                "sweep.axes": {
+                    "faults.job_failures.default_rate": [rate],
+                    "execution.max_retries": [retries],
+                },
+            },
+        )
+        pack_metrics = outcome.scenario_metrics()
+        for metric in ("finished_jobs", "failed_jobs", "makespan", "failure_rate"):
+            assert pack_metrics[metric] == getattr(manual.metrics, metric), metric
+        assert pack_metrics["attempts"] == len(manual.jobs)
 
 
 def test_dashboard_example_writes_sqlite_and_json(tmp_path):

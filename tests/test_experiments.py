@@ -147,6 +147,16 @@ class TestSweepRunnerDeterminism:
         second = SweepRunner(n_workers=1).run(specs)
         assert first.results[0].metrics == second.results[0].metrics
 
+    def test_rerun_with_fault_injection_is_bit_identical(self):
+        """Fault draws key on the trace identity, not the process-global job
+        ids -- re-executing the same spec in the same process (where the id
+        counter has advanced) must reproduce the same injected failures."""
+        spec = RunSpec(seed=5, failure_rate=0.3, max_retries=2, **TINY)
+        first = execute_run(spec)
+        second = execute_run(spec)
+        assert first.metrics == second.metrics
+        assert first.metrics["failed_jobs"] > 0
+
 
 class TestSweepRunnerErrors:
     def test_bad_spec_is_recorded_not_raised(self):

@@ -29,6 +29,36 @@ class TestPublicAPI:
                 failures.append((module_info.name, repr(exc)))
         assert not failures, f"modules failed to import: {failures}"
 
+    def test_every_public_symbol_has_a_real_docstring(self):
+        """Docstring ratchet: each advertised name documents itself.
+
+        Every symbol in ``repro.__all__`` (and in the ``__all__`` of the
+        core public modules) must carry a substantive docstring -- at least
+        a paragraph, not a stub -- so `help()` and the docs site always have
+        something to say.
+        """
+        import repro.des
+        import repro.experiments
+        import repro.monitoring
+        import repro.scenarios
+
+        thin = []
+        surfaces = [
+            (repro, repro.__all__),
+            (repro.des, repro.des.__all__),
+            (repro.experiments, repro.experiments.__all__),
+            (repro.monitoring, repro.monitoring.__all__),
+            (repro.scenarios, repro.scenarios.__all__),
+        ]
+        for module, names in surfaces:
+            for name in names:
+                if name == "__version__":
+                    continue
+                doc = (getattr(module, name).__doc__ or "").strip()
+                if len(doc) < 60:
+                    thin.append(f"{module.__name__}.{name} ({len(doc)} chars)")
+        assert not thin, f"public symbols with missing/stub docstrings: {thin}"
+
     def test_quickstart_snippet_from_the_readme_works(self):
         """The README quickstart runs and finishes every job."""
         from repro import ExecutionConfig, Simulator, SyntheticWorkloadGenerator, generate_grid
