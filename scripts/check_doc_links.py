@@ -6,7 +6,9 @@ Walks every Markdown file under ``docs/`` (plus README.md) and verifies:
 * relative links point at files that exist;
 * fragment links (``page.md#section`` and in-page ``#section``) point at a
   heading that actually renders that anchor (GitHub/MkDocs slug rules);
-* no link uses an absolute local path.
+* no link uses an absolute local path;
+* every Markdown file under ``docs/`` appears in the mkdocs.yml nav (no
+  orphan pages silently missing from the site navigation).
 
 External links (http/https/mailto) are *not* fetched -- CI must stay
 offline-deterministic -- but their URLs are checked for obvious breakage
@@ -99,11 +101,37 @@ def check_file(path: Path, errors: List[str]) -> None:
                 )
 
 
+#: Matches every ``*.md`` page reference in mkdocs.yml (nav entries).
+NAV_PAGE_RE = re.compile(r"([\w\-/.]+\.md)")
+
+
+def check_orphan_pages(errors: List[str]) -> None:
+    """Fail on Markdown files under docs/ missing from the mkdocs.yml nav."""
+    mkdocs = REPO_ROOT / "mkdocs.yml"
+    if not mkdocs.exists():
+        errors.append("mkdocs.yml not found (cannot verify nav coverage)")
+        return
+    # Strip YAML comments first: a commented-out nav entry must count as an
+    # orphan, not as a reference.
+    uncommented = "\n".join(
+        line.split("#", 1)[0]
+        for line in mkdocs.read_text(encoding="utf-8").splitlines()
+    )
+    referenced = set(NAV_PAGE_RE.findall(uncommented))
+    for path in sorted(DOCS_DIR.rglob("*.md")):
+        page = path.relative_to(DOCS_DIR).as_posix()
+        if page not in referenced:
+            errors.append(
+                f"docs/{page}: orphan page (not referenced from the mkdocs.yml nav)"
+            )
+
+
 def main() -> int:
     files = sorted(DOCS_DIR.rglob("*.md")) + [REPO_ROOT / "README.md"]
     errors: List[str] = []
     for path in files:
         check_file(path, errors)
+    check_orphan_pages(errors)
     if errors:
         print(f"{len(errors)} broken documentation link(s):", file=sys.stderr)
         for error in errors:

@@ -109,11 +109,26 @@ def render_cookbook() -> str:
             lines.append(f"- **faults:** {', '.join(parts)}")
         if pack.data is not None:
             data = pack.data
-            lines.append(
-                f"- **data:** {data.datasets} datasets x "
+            detail = (
+                f"{data.datasets} datasets x "
                 f"{data.dataset_size / 1e9:.0f} GB, "
                 f"{data.replication_factor} replicas"
             )
+            if data.assignment != "round_robin":
+                detail += f", {data.assignment} assignment (s={data.zipf_exponent:g})"
+            lines.append(f"- **data:** {detail}")
+            if data.cache is not None:
+                cache = data.cache
+                capacity = (
+                    "unbounded"
+                    if cache.capacity is None
+                    else f"{cache.capacity / 1e9:.0f} GB/site"
+                )
+                warm = ", prewarmed" if cache.prewarm else ""
+                lines.append(
+                    f"- **cache:** {capacity}, {cache.policy} eviction, "
+                    f"{cache.replication} replica placement{warm}"
+                )
         if pack.sweep is not None:
             for path, values in pack.sweep.axes.items():
                 rendered = ", ".join(str(v) for v in values)

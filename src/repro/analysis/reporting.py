@@ -12,7 +12,14 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.metrics import SimulationMetrics
 
-__all__ = ["format_table", "metrics_table", "site_table", "sweep_table", "transition_table"]
+__all__ = [
+    "format_table",
+    "cache_table",
+    "metrics_table",
+    "site_table",
+    "sweep_table",
+    "transition_table",
+]
 
 
 def _format_value(value) -> str:
@@ -62,6 +69,18 @@ def site_table(metrics: SimulationMetrics) -> str:
     """Per-site breakdown table of a run."""
     rows = [m.to_row() for m in metrics.per_site.values()]
     return format_table(rows) if rows else "(no per-site data)"
+
+
+def cache_table(metrics: SimulationMetrics) -> str:
+    """Per-site cache breakdown (hit rate, evictions, bytes by tier).
+
+    Populated when the run's data manager had site caches attached (a
+    ``data.cache`` section in the scenario pack, or a
+    :class:`~repro.data.DataCacheSpec` passed to the simulator); one row per
+    site from :meth:`repro.data.CacheStats.to_row`.
+    """
+    rows = list(metrics.cache_per_site.values())
+    return format_table(rows) if rows else "(no cache data)"
 
 
 def transition_table(metrics: SimulationMetrics) -> str:

@@ -146,8 +146,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated policy names (see `cgsim policies`)",
     )
 
-    sub.add_parser(
-        "policies", help="print the registered allocation-policy names, one per line"
+    policies = sub.add_parser(
+        "policies",
+        help="print the registered plugin names of one family (default: "
+        "allocation), one per line; --family all prints every family",
+    )
+    policies.add_argument(
+        "--family", default="allocation",
+        help="plugin family to list: allocation, eviction, replication, or 'all'",
     )
 
     sweep = sub.add_parser(
@@ -359,8 +365,16 @@ def _cmd_compare_policies(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_policies(_args: argparse.Namespace) -> int:
-    for name in available_policies():
+def _cmd_policies(args: argparse.Namespace) -> int:
+    from repro.plugins import available_plugins, plugin_families
+
+    family = getattr(args, "family", "allocation")
+    if family == "all":
+        for family_name in plugin_families():
+            for name in available_plugins(family_name):
+                print(f"{family_name}:{name}")
+        return 0
+    for name in available_plugins(family):
         print(name)
     return 0
 

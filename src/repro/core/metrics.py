@@ -18,6 +18,7 @@ import numpy as np
 from repro.workload.job import Job, JobState
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.data_manager import DataManager
     from repro.monitoring.collector import MonitoringCollector
 
 __all__ = ["SiteMetrics", "SimulationMetrics", "compute_metrics", "event_state_counts"]
@@ -83,6 +84,11 @@ class SimulationMetrics:
     per_site: Dict[str, SiteMetrics] = field(default_factory=dict)
     #: Monitoring-trace transition counts per state (empty without a collector).
     transitions: Dict[str, int] = field(default_factory=dict)
+    #: Aggregate data-layer counters (cache hits/misses/evictions, bytes by
+    #: tier); empty unless the run had a cache-aware data manager.
+    data: Dict[str, float] = field(default_factory=dict)
+    #: Per-site cache counter rows (see :meth:`repro.data.CacheStats.to_row`).
+    cache_per_site: Dict[str, dict] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-friendly representation (per-site rows included)."""
@@ -102,6 +108,12 @@ class SimulationMetrics:
             "per_site": {name: m.to_row() for name, m in self.per_site.items()},
             "transitions": dict(self.transitions),
         }
+        if self.data:
+            data["data"] = dict(self.data)
+        if self.cache_per_site:
+            data["cache_per_site"] = {
+                name: dict(row) for name, row in self.cache_per_site.items()
+            }
         return data
 
 
@@ -130,6 +142,7 @@ def compute_metrics(
     jobs: Iterable[Job],
     start_time: float = 0.0,
     collector: Optional["MonitoringCollector"] = None,
+    data_manager: Optional["DataManager"] = None,
 ) -> SimulationMetrics:
     """Summarise a set of (mostly terminal) jobs into :class:`SimulationMetrics`.
 
@@ -143,6 +156,10 @@ def compute_metrics(
     collector:
         Optional monitoring collector; when given (and retaining events) the
         result carries the per-state transition counts of the trace.
+    data_manager:
+        Optional data manager; when given and cache-aware, the result
+        carries the aggregate cache counters (:attr:`SimulationMetrics.data`)
+        and the per-site cache rows (:attr:`SimulationMetrics.cache_per_site`).
     """
     jobs = list(jobs)
     finished = [j for j in jobs if j.state is JobState.FINISHED]
@@ -194,4 +211,10 @@ def compute_metrics(
         cpu_time=cpu_time,
         per_site=per_site,
         transitions=event_state_counts(collector) if collector is not None else {},
+        data=data_manager.cache_summary() if data_manager is not None else {},
+        cache_per_site=(
+            {site: stats.to_row() for site, stats in data_manager.cache_stats().items()}
+            if data_manager is not None and data_manager.caches
+            else {}
+        ),
     )

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.data.spec import DataCacheSpec
     from repro.faults.models import JobFailureModel, OutageWindow
 
 from repro.config.execution import ExecutionConfig
@@ -102,6 +103,12 @@ class Simulator:
         Simulate input/output staging through the network and storage models
         (off by default: the paper's calibration experiments model compute
         walltime, with data movement available for data-aware studies).
+    data_cache:
+        Optional :class:`~repro.data.DataCacheSpec` giving every site a
+        finite cache with the configured eviction policy; stage-ins then
+        route through the cache (hit -> local, miss -> WAN + insert/evict)
+        and the run metrics carry the per-site cache counters.  Implies
+        nothing unless ``enable_data_transfers`` is on.
     streaming_io:
         With data transfers enabled, overlap input staging with computation
         (DCSim-style streaming jobs) instead of staging in before compute.
@@ -132,6 +139,7 @@ class Simulator:
         execution: Optional[ExecutionConfig] = None,
         policy: Optional[AllocationPolicy] = None,
         enable_data_transfers: bool = False,
+        data_cache: Optional["DataCacheSpec"] = None,
         streaming_io: bool = False,
         parallel_efficiency: float = 1.0,
         failure_model: Optional["JobFailureModel"] = None,
@@ -143,6 +151,7 @@ class Simulator:
         self.topology = topology or TopologyConfig()
         self.execution = execution or ExecutionConfig()
         self.enable_data_transfers = enable_data_transfers
+        self.data_cache = data_cache
         self.streaming_io = streaming_io
         self.parallel_efficiency = parallel_efficiency
         self.failure_model = failure_model
@@ -191,7 +200,9 @@ class Simulator:
             for sink in self._live_sinks:
                 self.collector.attach(sink)
         self.data_manager = (
-            DataManager(self.env, self.platform) if self.enable_data_transfers else None
+            DataManager(self.env, self.platform, cache=self.data_cache)
+            if self.enable_data_transfers
+            else None
         )
         self.sites = {}
         for site_config in self.infrastructure.sites:
@@ -284,7 +295,9 @@ class Simulator:
         # output: they carry their own monitoring events and count towards
         # the attempt-level metrics, exactly as PanDA resubmissions do.
         jobs = jobs + list(self.server.retry_jobs)
-        metrics = compute_metrics(jobs, collector=self.collector)
+        metrics = compute_metrics(
+            jobs, collector=self.collector, data_manager=self.data_manager
+        )
         result = SimulationResult(
             jobs=jobs,
             metrics=metrics,

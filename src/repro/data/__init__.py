@@ -1,0 +1,57 @@
+"""Cache-aware data subsystem: site caches, eviction, replica placement.
+
+The paper's headline studies hinge on data movement -- data-aware vs naive
+placement, WAN transfer overheads -- and this package turns the flat replica
+catalogue of :mod:`repro.core.data_manager` into a first-class, pluggable
+data layer:
+
+* :class:`SiteCache` -- a finite-capacity dataset cache per site, fronting
+  the site's storage element, with hit/miss/eviction/bytes-by-tier counters;
+* :class:`EvictionPolicy` plugins (family ``"eviction"``): bundled
+  :class:`LRUEviction`, :class:`LFUEviction`, :class:`SizeWeightedEviction`
+  and :class:`PinnedEviction`;
+* :class:`ReplicationStrategy` plugins (family ``"replication"``): bundled
+  :class:`StaticNReplication`, :class:`PopularityReplication` and
+  :class:`TopologyAwareReplication` decide where initial replicas land;
+* :class:`DataCacheSpec` -- the declarative configuration the scenario-pack
+  ``data.cache`` section validates into and the simulator consumes.
+
+All bundled policies and strategies are deterministic (sorted iteration,
+name tie-breaks, sequence-number recency), so cache studies reproduce
+bit-identically across runs and ``PYTHONHASHSEED`` values.  See
+``docs/plugins.md`` for the authoring guide.
+"""
+
+from repro.data.cache import CacheEntry, CacheStats, SiteCache
+from repro.data.eviction import (
+    EvictionPolicy,
+    LFUEviction,
+    LRUEviction,
+    PinnedEviction,
+    SizeWeightedEviction,
+)
+from repro.data.replication import (
+    PlacementContext,
+    PopularityReplication,
+    ReplicationStrategy,
+    StaticNReplication,
+    TopologyAwareReplication,
+)
+from repro.data.spec import DataCacheSpec
+
+__all__ = [
+    "SiteCache",
+    "CacheEntry",
+    "CacheStats",
+    "EvictionPolicy",
+    "LRUEviction",
+    "LFUEviction",
+    "SizeWeightedEviction",
+    "PinnedEviction",
+    "ReplicationStrategy",
+    "PlacementContext",
+    "StaticNReplication",
+    "PopularityReplication",
+    "TopologyAwareReplication",
+    "DataCacheSpec",
+]

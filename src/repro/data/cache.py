@@ -1,0 +1,261 @@
+"""Finite-capacity site caches with pluggable eviction.
+
+A :class:`SiteCache` models the disk cache in front of one site's storage
+element: datasets staged to the site land in the cache, later stage-ins of
+the same dataset are *hits* (served locally, no WAN flow), and when the
+cache is full an :class:`~repro.data.eviction.EvictionPolicy` decides which
+resident dataset to drop.  Replicas placed by a replication strategy before
+the run are inserted *pinned* -- they are the grid's replicas of record and
+never evicted.
+
+The cache keeps the full counter set the monitoring layer reports:
+hits/misses/evictions/insertions/rejections plus bytes moved by tier
+(served from cache vs. fetched over the WAN vs. evicted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.data.eviction import EvictionPolicy, LRUEviction
+from repro.utils.errors import SchedulingError
+
+__all__ = ["CacheEntry", "CacheStats", "SiteCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One dataset resident in a :class:`SiteCache`.
+
+    Tracks the bookkeeping eviction policies rank victims by: the byte
+    ``size``, the monotonic ``last_access`` sequence number, the total
+    ``accesses`` count (insertion included) and whether the entry is
+    ``pinned`` (a replica of record, never evictable).
+    """
+
+    dataset: str
+    size: float
+    pinned: bool = False
+    last_access: int = 0
+    accesses: int = 1
+
+
+@dataclass
+class CacheStats:
+    """Counter snapshot of one site cache (flattened into run metrics).
+
+    ``hits``/``misses`` count lookups, ``evictions`` policy-driven drops,
+    ``insertions`` successful inserts and ``rejections`` refused ones;
+    ``bytes_from_cache``/``bytes_inserted``/``bytes_evicted`` account the
+    moved bytes per tier.  :meth:`to_row` flattens everything (plus the
+    derived ``hit_rate``) for tables and JSON.
+    """
+
+    site: str
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    insertions: int = 0
+    rejections: int = 0
+    #: Misses served by piggy-backing on an in-flight fetch of the same
+    #: dataset to this site (no extra WAN flow was started).
+    coalesced: int = 0
+    bytes_from_cache: float = 0.0
+    bytes_inserted: float = 0.0
+    bytes_evicted: float = 0.0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups observed (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_row(self) -> dict:
+        """Flatten for CSV/reporting tables."""
+        return {
+            "site": self.site,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "insertions": self.insertions,
+            "rejections": self.rejections,
+            "coalesced": self.coalesced,
+            "bytes_from_cache": self.bytes_from_cache,
+            "bytes_inserted": self.bytes_inserted,
+            "bytes_evicted": self.bytes_evicted,
+        }
+
+
+class SiteCache:
+    """Finite dataset cache of one site, fronting its storage element.
+
+    Parameters
+    ----------
+    site:
+        Name of the site (zone) this cache belongs to.
+    capacity:
+        Capacity in bytes (``inf`` for an unbounded cache).
+    policy:
+        Eviction policy instance; each cache owns its own (policies keep
+        per-cache state).  Defaults to a fresh :class:`LRUEviction`.
+    on_evict:
+        Optional callback invoked with ``(dataset, size)`` after an entry is
+        evicted; the data manager uses it to deregister the replica from the
+        catalogue and release the site storage.
+    """
+
+    def __init__(
+        self,
+        site: str,
+        capacity: float = float("inf"),
+        policy: Optional[EvictionPolicy] = None,
+        on_evict: Optional[Callable[[str, float], None]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise SchedulingError(f"cache at {site!r}: capacity must be positive")
+        self.site = site
+        self.capacity = float(capacity)
+        self.policy = policy if policy is not None else LRUEviction()
+        self.on_evict = on_evict
+        self._entries: Dict[str, CacheEntry] = {}
+        self._used = 0.0
+        self._clock = 0  # monotonic access sequence (determinism anchor)
+        self.stats = CacheStats(site=site)
+
+    # -- introspection --------------------------------------------------------------
+    @property
+    def used(self) -> float:
+        """Bytes currently cached."""
+        return self._used
+
+    @property
+    def free(self) -> float:
+        """Bytes still available."""
+        return self.capacity - self._used
+
+    def __contains__(self, dataset: str) -> bool:
+        return dataset in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def datasets(self) -> List[str]:
+        """Resident dataset names in insertion order."""
+        return list(self._entries)
+
+    def entry(self, dataset: str) -> CacheEntry:
+        """The resident entry for ``dataset`` (raises if absent)."""
+        try:
+            return self._entries[dataset]
+        except KeyError:
+            raise SchedulingError(
+                f"cache at {self.site!r} does not hold {dataset!r}"
+            ) from None
+
+    def evictable(self) -> List[str]:
+        """Names of the entries the policy may evict (unpinned), in insertion order."""
+        return [name for name, entry in self._entries.items() if not entry.pinned]
+
+    # -- operations ----------------------------------------------------------------
+    def lookup(self, dataset: str) -> bool:
+        """Record a stage-in lookup; True (and a freshness bump) on a hit."""
+        entry = self._entries.get(dataset)
+        if entry is None:
+            self.stats.misses += 1
+            return False
+        self._clock += 1
+        entry.last_access = self._clock
+        entry.accesses += 1
+        self.stats.hits += 1
+        self.stats.bytes_from_cache += entry.size
+        self.policy.on_access(dataset)
+        return True
+
+    def touch(self, dataset: str) -> None:
+        """Bump a resident entry's recency/frequency without hit accounting.
+
+        Used for coalesced reads: the lookup already counted a miss, but the
+        waiter did consume the entry, so eviction policies must see the
+        access (no-op when the dataset is absent).
+        """
+        entry = self._entries.get(dataset)
+        if entry is None:
+            return
+        self._clock += 1
+        entry.last_access = self._clock
+        entry.accesses += 1
+        self.policy.on_access(dataset)
+
+    def insert(self, dataset: str, size: float, pinned: bool = False) -> bool:
+        """Insert ``dataset``, evicting until it fits; False when refused.
+
+        An entry larger than the whole cache, or one the policy refuses to
+        make room for, is rejected (counted in ``stats.rejections``) and the
+        cache is left unchanged except for any evictions already performed.
+        Re-inserting a resident dataset refreshes it (and can pin it).
+        """
+        size = float(size)
+        if size < 0:
+            raise SchedulingError("cached dataset size must be >= 0")
+        existing = self._entries.get(dataset)
+        if existing is not None:
+            self._clock += 1
+            existing.last_access = self._clock
+            existing.pinned = existing.pinned or pinned
+            return True
+        if size > self.capacity:
+            self.stats.rejections += 1
+            return False
+        while self._used + size > self.capacity:
+            victim = self.policy.victim(self)
+            # A refusal -- or an invalid victim (absent or pinned) from a
+            # buggy policy -- rejects the insert; anything else would either
+            # loop forever or break the pinned-replicas-survive guarantee.
+            if (
+                victim is None
+                or victim not in self._entries
+                or self._entries[victim].pinned
+            ):
+                self.stats.rejections += 1
+                return False
+            self.evict(victim)
+        self._clock += 1
+        self._entries[dataset] = CacheEntry(
+            dataset=dataset, size=size, pinned=pinned, last_access=self._clock
+        )
+        self._used += size
+        self.stats.insertions += 1
+        self.stats.bytes_inserted += size
+        self.policy.on_insert(dataset, size)
+        return True
+
+    def evict(self, dataset: str) -> None:
+        """Drop ``dataset`` (policy decision or forced), firing ``on_evict``."""
+        entry = self._entries.pop(dataset, None)
+        if entry is None:
+            return
+        self._used -= entry.size
+        self.stats.evictions += 1
+        self.stats.bytes_evicted += entry.size
+        self.policy.on_evict(dataset)
+        if self.on_evict is not None:
+            self.on_evict(dataset, entry.size)
+
+    def remove(self, dataset: str) -> None:
+        """Silently drop ``dataset`` without eviction accounting or callbacks."""
+        entry = self._entries.pop(dataset, None)
+        if entry is not None:
+            self._used -= entry.size
+            self.policy.on_evict(dataset)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SiteCache {self.site} used={self._used:g}/{self.capacity:g} "
+            f"entries={len(self._entries)} policy={self.policy.name!r}>"
+        )

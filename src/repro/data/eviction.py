@@ -1,0 +1,150 @@
+"""Eviction-policy plugin family for site caches.
+
+A :class:`~repro.data.cache.SiteCache` holds finitely many bytes; when an
+insert does not fit, the cache repeatedly asks its eviction policy for a
+*victim* until enough space is free (or the policy declines, in which case
+the insert is refused and the dataset stays remote).  Policies are plugins
+of the ``"eviction"`` family: bundled ones register by name, user policies
+are referenced as ``"module.path:ClassName"``, exactly like allocation
+policies.
+
+Every policy is deterministic: ties break on the dataset name, and recency
+is tracked with a per-cache monotonic sequence number rather than wall or
+simulated time, so identical operation sequences produce identical eviction
+orders under any ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional
+
+from repro.plugins.registry import register_family, register_plugin
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.data.cache import SiteCache
+
+__all__ = [
+    "EvictionPolicy",
+    "LRUEviction",
+    "LFUEviction",
+    "SizeWeightedEviction",
+    "PinnedEviction",
+]
+
+
+class EvictionPolicy(abc.ABC):
+    """Base class every cache-eviction plugin inherits from.
+
+    A policy is attached to exactly one :class:`~repro.data.cache.SiteCache`
+    (one fresh instance per site) and observes the cache's lifecycle through
+    the ``on_*`` hooks; :meth:`victim` is the single mandatory decision
+    hook: given the owning cache, return the name of the entry to drop next,
+    or ``None`` to refuse eviction (the insert is then rejected).
+
+    Pinned entries are never offered as victims -- the cache filters them
+    before calling :meth:`victim` via :meth:`SiteCache.evictable`.
+    """
+
+    #: Registry name; stamped by :func:`repro.plugins.registry.register_plugin`.
+    name: str = "custom"
+
+    def __init__(self, **options) -> None:
+        #: Free-form options from the configuration (kept for introspection).
+        self.options = dict(options)
+
+    @abc.abstractmethod
+    def victim(self, cache: "SiteCache") -> Optional[str]:
+        """Name of the entry to evict next, or ``None`` to refuse."""
+
+    # -- optional lifecycle hooks ---------------------------------------------------
+    def on_insert(self, dataset: str, size: float) -> None:
+        """Called after ``dataset`` enters the cache."""
+
+    def on_access(self, dataset: str) -> None:
+        """Called on every cache hit for ``dataset``."""
+
+    def on_evict(self, dataset: str) -> None:
+        """Called after ``dataset`` left the cache (evicted or removed)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r} options={self.options}>"
+
+
+register_family("eviction", EvictionPolicy)
+
+
+@register_plugin("eviction", "lru")
+class LRUEviction(EvictionPolicy):
+    """Evict the least-recently-used entry.
+
+    Recency is the cache's monotonic access sequence (insertion counts as an
+    access), so the policy is fully deterministic for a given operation
+    order; ties -- only possible for entries never touched after a bulk
+    prewarm -- break on the dataset name.
+    """
+
+    def victim(self, cache: "SiteCache") -> Optional[str]:
+        candidates = cache.evictable()
+        if not candidates:
+            return None
+        return min(candidates, key=lambda name: (cache.entry(name).last_access, name))
+
+
+@register_plugin("eviction", "lfu")
+class LFUEviction(EvictionPolicy):
+    """Evict the least-frequently-used entry.
+
+    The access count includes the initial insert; ties break on the
+    least-recent access and then the dataset name, so a cold entry loses to
+    an equally-cold but more recently touched one.
+    """
+
+    def victim(self, cache: "SiteCache") -> Optional[str]:
+        candidates = cache.evictable()
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda name: (
+                cache.entry(name).accesses,
+                cache.entry(name).last_access,
+                name,
+            ),
+        )
+
+
+@register_plugin("eviction", "size_weighted")
+class SizeWeightedEviction(EvictionPolicy):
+    """Evict the largest entry first (greatest space recovered per eviction).
+
+    Large, rarely-reused bulk datasets are the cheapest way to make room for
+    many small hot files; ties break on least-recent access then name.
+    """
+
+    def victim(self, cache: "SiteCache") -> Optional[str]:
+        candidates = cache.evictable()
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda name: (
+                -cache.entry(name).size,
+                cache.entry(name).last_access,
+                name,
+            ),
+        )
+
+
+@register_plugin("eviction", "pinned")
+class PinnedEviction(EvictionPolicy):
+    """Never evict: whatever enters the cache stays (admission-controlled).
+
+    With this policy a full cache simply refuses further inserts (the
+    transfer still happens, the dataset just stays remote and the refusal is
+    counted as a *rejection*), modelling a disk-resident replica store that
+    operators prune manually rather than an automatic cache.
+    """
+
+    def victim(self, cache: "SiteCache") -> Optional[str]:
+        return None

@@ -1,0 +1,216 @@
+"""Replica-placement strategy plugin family.
+
+Before a data-aware run starts, every shared dataset needs initial replicas
+somewhere on the grid; *where* those replicas land decides how much WAN
+traffic the workload generates.  A :class:`ReplicationStrategy` makes that
+decision from a :class:`PlacementContext` (sites, optional platform routes,
+optional per-dataset demand) and returns the placement mapping.  Strategies
+are plugins of the ``"replication"`` family, so scenario packs select them
+by name and users can ship their own as ``"module.path:ClassName"``.
+
+All bundled strategies are deterministic: they iterate datasets in sorted
+order and break every tie by site name, so a pack produces bit-identical
+placements across runs and ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.plugins.registry import register_family, register_plugin
+from repro.utils.errors import SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platform.platform import Platform
+
+__all__ = [
+    "PlacementContext",
+    "ReplicationStrategy",
+    "StaticNReplication",
+    "PopularityReplication",
+    "TopologyAwareReplication",
+]
+
+
+@dataclass
+class PlacementContext:
+    """Everything a replication strategy may consult when placing replicas.
+
+    ``sites`` is the candidate site list (registration order); ``platform``
+    (when available) exposes inter-site routes for topology-aware placement;
+    ``demand`` maps each dataset to per-site read counts derived from the
+    workload, which popularity-driven strategies use; ``seed`` feeds any
+    strategy that wants controlled randomness.
+    """
+
+    sites: Sequence[str]
+    platform: Optional["Platform"] = None
+    demand: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    seed: int = 0
+
+    def popularity(self, dataset: str) -> int:
+        """Total demand (reads across all sites) recorded for ``dataset``."""
+        return sum(self.demand.get(dataset, {}).values())
+
+
+class ReplicationStrategy(abc.ABC):
+    """Base class every replica-placement plugin inherits from.
+
+    Subclasses implement :meth:`place`, mapping each dataset to the ordered
+    list of sites that receive an initial replica.  Returned site lists must
+    be non-empty, duplicate-free subsets of ``context.sites``; the data
+    manager registers a pinned, eviction-exempt replica at each.
+    """
+
+    #: Registry name; stamped by :func:`repro.plugins.registry.register_plugin`.
+    name: str = "custom"
+
+    def __init__(self, **options) -> None:
+        #: Free-form options from the configuration (kept for introspection).
+        self.options = dict(options)
+
+    @abc.abstractmethod
+    def place(
+        self, dataset_sizes: Dict[str, float], context: PlacementContext
+    ) -> Dict[str, List[str]]:
+        """Return the placement: dataset name -> sites receiving a replica."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r} options={self.options}>"
+
+
+register_family("replication", ReplicationStrategy)
+
+
+def _check_copies(copies: int) -> int:
+    if not isinstance(copies, int) or isinstance(copies, bool) or copies < 1:
+        raise SchedulingError(f"replication copies must be a positive integer, got {copies!r}")
+    return copies
+
+
+@register_plugin("replication", "static_n")
+class StaticNReplication(ReplicationStrategy):
+    """Exactly N copies per dataset, round-robin across the site list.
+
+    Dataset *i* (in sorted-name order) gets its first copy at site
+    ``i mod len(sites)`` and the remaining copies at the following sites, so
+    replicas -- and therefore the initial load -- spread evenly over the
+    grid regardless of dataset count.  ``copies`` (default 2) is clamped to
+    the site count.
+    """
+
+    def __init__(self, copies: int = 2, **options) -> None:
+        super().__init__(copies=copies, **options)
+        self.copies = _check_copies(copies)
+
+    def place(
+        self, dataset_sizes: Dict[str, float], context: PlacementContext
+    ) -> Dict[str, List[str]]:
+        sites = list(context.sites)
+        if not sites:
+            raise SchedulingError("no sites to place replicas on")
+        k = min(self.copies, len(sites))
+        placement: Dict[str, List[str]] = {}
+        for index, dataset in enumerate(sorted(dataset_sizes)):
+            placement[dataset] = [sites[(index + offset) % len(sites)] for offset in range(k)]
+        return placement
+
+
+@register_plugin("replication", "popularity")
+class PopularityReplication(ReplicationStrategy):
+    """Demand-proportional replica counts, placed where the demand is.
+
+    The most-read half of the datasets (by total demand in
+    ``context.demand``) receives ``max_copies`` replicas, the rest
+    ``min_copies``; each dataset's replicas go to the sites that read it
+    most (ties by name), falling back to round-robin for datasets nobody
+    reads.  This mimics dynamic data placement: popular data is spread wide,
+    cold data kept minimal.
+    """
+
+    def __init__(self, min_copies: int = 1, max_copies: int = 3, **options) -> None:
+        super().__init__(min_copies=min_copies, max_copies=max_copies, **options)
+        self.min_copies = _check_copies(min_copies)
+        self.max_copies = _check_copies(max_copies)
+        if self.max_copies < self.min_copies:
+            raise SchedulingError("max_copies must be >= min_copies")
+
+    def place(
+        self, dataset_sizes: Dict[str, float], context: PlacementContext
+    ) -> Dict[str, List[str]]:
+        sites = list(context.sites)
+        if not sites:
+            raise SchedulingError("no sites to place replicas on")
+        names = sorted(dataset_sizes)
+        # Median total demand separates "popular" from "cold" datasets.
+        totals = sorted(context.popularity(name) for name in names)
+        median = totals[len(totals) // 2] if totals else 0
+        placement: Dict[str, List[str]] = {}
+        for index, dataset in enumerate(names):
+            popular = context.popularity(dataset) > median
+            k = min(self.max_copies if popular else self.min_copies, len(sites))
+            by_site = context.demand.get(dataset, {})
+            ranked = sorted(
+                (site for site in sites if by_site.get(site, 0) > 0),
+                key=lambda site: (-by_site.get(site, 0), site),
+            )
+            chosen = ranked[:k]
+            cursor = index
+            while len(chosen) < k:  # cold datasets: deterministic round-robin fill
+                candidate = sites[cursor % len(sites)]
+                if candidate not in chosen:
+                    chosen.append(candidate)
+                cursor += 1
+            placement[dataset] = chosen
+        return placement
+
+
+@register_plugin("replication", "topology_aware")
+class TopologyAwareReplication(ReplicationStrategy):
+    """Spread first copies, park extra copies at the best-connected hubs.
+
+    Each dataset's first replica round-robins across the grid (locality for
+    somebody, load spread for everybody); the remaining ``copies - 1``
+    replicas go to the sites with the lowest mean route latency to the rest
+    of the grid -- the topological hubs any site can fetch from cheaply.
+    Without a platform in the context the strategy degrades to
+    :class:`StaticNReplication` behaviour.
+    """
+
+    def __init__(self, copies: int = 2, **options) -> None:
+        super().__init__(copies=copies, **options)
+        self.copies = _check_copies(copies)
+
+    def _hubs(self, context: PlacementContext) -> List[str]:
+        sites = list(context.sites)
+        if context.platform is None or len(sites) < 2:
+            return sites
+        def mean_latency(site: str) -> float:
+            total = 0.0
+            for other in sites:
+                if other != site:
+                    total += context.platform.route(site, other).latency
+            return total / (len(sites) - 1)
+
+        return sorted(sites, key=lambda site: (mean_latency(site), site))
+
+    def place(
+        self, dataset_sizes: Dict[str, float], context: PlacementContext
+    ) -> Dict[str, List[str]]:
+        sites = list(context.sites)
+        if not sites:
+            raise SchedulingError("no sites to place replicas on")
+        k = min(self.copies, len(sites))
+        hubs = self._hubs(context)
+        placement: Dict[str, List[str]] = {}
+        for index, dataset in enumerate(sorted(dataset_sizes)):
+            chosen = [sites[index % len(sites)]]
+            for hub in hubs:
+                if len(chosen) >= k:
+                    break
+                if hub not in chosen:
+                    chosen.append(hub)
+            placement[dataset] = chosen
+        return placement

@@ -1,0 +1,92 @@
+"""Declarative description of a run's cache/replication configuration.
+
+:class:`DataCacheSpec` is the picklable, validation-friendly bridge between
+the scenario-pack schema (the ``data.cache`` section) and the live objects:
+the :class:`~repro.core.simulator.Simulator` forwards it to the
+:class:`~repro.core.data_manager.DataManager`, which builds one
+:class:`~repro.data.cache.SiteCache` per site from it, and the scenario
+runner builds the :class:`~repro.data.replication.ReplicationStrategy` it
+names to place the initial replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.data.eviction import EvictionPolicy
+from repro.data.replication import ReplicationStrategy
+from repro.plugins.registry import create_plugin, load_plugin_class
+from repro.utils.errors import SchedulingError
+
+__all__ = ["DataCacheSpec"]
+
+
+@dataclass
+class DataCacheSpec:
+    """Cache + replication configuration of one data-aware run.
+
+    ``capacity`` is the per-site cache capacity in bytes (``None`` means
+    unbounded -- the pre-cache behaviour with full accounting); ``policy``
+    and ``replication`` name plugins of the ``"eviction"`` and
+    ``"replication"`` families (or ``"module:Class"`` specs) instantiated
+    with their ``*_options``; ``prewarm`` asks the runner to pre-populate
+    each site's cache with the datasets its jobs will read, turning a
+    cold-start study into a warm-cache one.
+    """
+
+    capacity: Optional[float] = None
+    policy: str = "lru"
+    policy_options: Dict[str, Any] = field(default_factory=dict)
+    replication: str = "static_n"
+    replication_options: Dict[str, Any] = field(default_factory=dict)
+    prewarm: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity <= 0:
+            raise SchedulingError("cache capacity must be positive (or None for unbounded)")
+
+    def validate(self) -> None:
+        """Resolve both plugin references eagerly (fail at validate time)."""
+        load_plugin_class("eviction", self.policy)
+        load_plugin_class("replication", self.replication)
+
+    def build_policy(self) -> EvictionPolicy:
+        """A fresh eviction-policy instance (one per site cache)."""
+        return create_plugin("eviction", self.policy, **self.policy_options)
+
+    def build_strategy(self, default_copies: Optional[int] = None) -> ReplicationStrategy:
+        """The replica-placement strategy instance this spec names.
+
+        ``default_copies`` (typically the pack's ``replication_factor``) is
+        passed as the strategy's ``copies`` option when the strategy accepts
+        one and ``replication_options`` does not already set it.
+        """
+        import inspect
+
+        cls = load_plugin_class("replication", self.replication)
+        options = dict(self.replication_options)
+        if (
+            default_copies is not None
+            and "copies" not in options
+            and "copies" in inspect.signature(cls.__init__).parameters
+        ):
+            options["copies"] = default_copies
+        return cls(**options)
+
+    def effective_capacity(self) -> float:
+        """The per-site byte capacity as a float (``inf`` when unbounded)."""
+        return float("inf") if self.capacity is None else float(self.capacity)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (round-trips through the pack schema)."""
+        data: Dict[str, Any] = {"policy": self.policy, "replication": self.replication}
+        if self.capacity is not None:
+            data["capacity"] = self.capacity
+        if self.policy_options:
+            data["policy_options"] = dict(self.policy_options)
+        if self.replication_options:
+            data["replication_options"] = dict(self.replication_options)
+        if self.prewarm:
+            data["prewarm"] = True
+        return data

@@ -1,28 +1,39 @@
-"""Allocation-policy plugin system.
+"""Plugin system: allocation policies plus the data-layer plugin families.
 
 One of CGSim's headline features is that users can test custom workload
 allocation algorithms through a plugin mechanism without modifying the
 simulator core.  The original implements plugins as C++ shared libraries
 inheriting from an installed abstract class; this reproduction keeps the same
-contract in Python:
+contract in Python and generalises it to *families* of plugins:
 
 * :class:`~repro.plugins.base.AllocationPolicy` -- the abstract base class
   with the hooks the paper's Figure 2 exposes (``assign_job`` is the one a
   plugin *must* implement; resource information is supplied by the simulator
   through :class:`~repro.plugins.base.ResourceView`).
-* :mod:`~repro.plugins.registry` -- named registration of bundled policies
-  plus dynamic ``"module:ClassName"`` loading for user plugins referenced
-  from the execution configuration.
+* :mod:`~repro.plugins.registry` -- family-scoped named registration
+  (``allocation``, ``eviction``, ``replication``) plus dynamic
+  ``"module:ClassName"`` loading and ``cgsim_repro.plugins`` entry-point
+  discovery for user plugins referenced from configuration.
 * Bundled example policies: round-robin, random, least-loaded,
   weighted-capacity, data-locality-aware, a PanDA-style dispatcher and a
-  backfilling variant.
+  backfilling variant.  The eviction/replication families bundled with
+  :mod:`repro.data` register here too.
+
+See ``docs/plugins.md`` for the plugin-authoring guide.
 """
 
 from repro.plugins.base import AllocationPolicy, ResourceView, SiteStatus
 from repro.plugins.registry import (
+    available_plugins,
     available_policies,
+    create_plugin,
     create_policy,
+    load_entry_point_plugins,
+    load_plugin_class,
     load_policy_class,
+    plugin_families,
+    register_family,
+    register_plugin,
     register_policy,
 )
 
@@ -46,6 +57,13 @@ __all__ = [
     "create_policy",
     "load_policy_class",
     "available_policies",
+    "register_family",
+    "register_plugin",
+    "create_plugin",
+    "load_plugin_class",
+    "available_plugins",
+    "plugin_families",
+    "load_entry_point_plugins",
     "RoundRobinPolicy",
     "RandomPolicy",
     "LeastLoadedPolicy",

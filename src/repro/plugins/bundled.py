@@ -44,7 +44,8 @@ __all__ = [
 
 @register_policy("round_robin")
 class RoundRobinPolicy(AllocationPolicy):
-    """Assign jobs to eligible sites in a fixed cyclic order."""
+    """Assign jobs to eligible sites in a fixed cyclic order (the paper's
+    out-of-the-box example plugin)."""
 
     def __init__(self, **options) -> None:
         super().__init__(**options)

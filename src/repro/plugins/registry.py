@@ -1,58 +1,151 @@
 """Plugin registry and dynamic loading.
 
-Bundled policies register themselves by name; user plugins are referenced
-from the execution configuration as ``"package.module:ClassName"`` and loaded
-dynamically -- the Python analogue of CGSim loading a user-built shared
-library given in the input configuration.
+The registry manages *families* of plugins.  Each family pairs a name (e.g.
+``"allocation"``) with an abstract base class; concrete plugins register
+under a family with the :func:`register_plugin` decorator, and configuration
+files reference them either by registered name or as a dynamic
+``"package.module:ClassName"`` spec -- the Python analogue of CGSim loading
+a user-built shared library given in the input configuration.
+
+Three families ship with the package:
+
+* ``"allocation"`` -- :class:`~repro.plugins.base.AllocationPolicy`
+  (where does each job run);
+* ``"eviction"`` -- :class:`~repro.data.eviction.EvictionPolicy`
+  (which cached dataset a full site cache drops);
+* ``"replication"`` -- :class:`~repro.data.replication.ReplicationStrategy`
+  (where initial dataset replicas are placed).
+
+The original, allocation-only helpers (:func:`register_policy`,
+:func:`create_policy`, ...) remain as thin wrappers over the family API.
 """
 
 from __future__ import annotations
 
 import importlib
-from typing import Dict, List, Type
+from typing import Dict, List, Optional, Type
 
 from repro.plugins.base import AllocationPolicy
 from repro.utils.errors import SchedulingError
 
-__all__ = ["register_policy", "create_policy", "load_policy_class", "available_policies"]
+__all__ = [
+    "register_family",
+    "register_plugin",
+    "load_plugin_class",
+    "create_plugin",
+    "available_plugins",
+    "plugin_families",
+    "load_entry_point_plugins",
+    "register_policy",
+    "create_policy",
+    "load_policy_class",
+    "available_policies",
+]
 
-_REGISTRY: Dict[str, Type[AllocationPolicy]] = {}
+#: Entry-point group third-party distributions use to auto-register plugins.
+PLUGIN_ENTRY_POINT_GROUP = "cgsim_repro.plugins"
+
+#: family name -> required base class.
+_FAMILIES: Dict[str, type] = {}
+#: family name -> {plugin name -> plugin class}.
+_REGISTRY: Dict[str, Dict[str, type]] = {}
 
 
-def register_policy(name: str):
-    """Class decorator registering an :class:`AllocationPolicy` under ``name``.
+# -- family management -------------------------------------------------------------
+def register_family(family: str, base: type) -> None:
+    """Declare a plugin ``family`` whose members must subclass ``base``.
 
-    >>> @register_policy("my_policy")
+    Registering the same family with the same base class twice is a no-op,
+    so modules can idempotently declare the family they populate; changing
+    the base class of an existing family is an error.
+    """
+    existing = _FAMILIES.get(family)
+    if existing is not None and existing is not base:
+        raise SchedulingError(
+            f"plugin family {family!r} already registered with base {existing.__name__}"
+        )
+    _FAMILIES[family] = base
+    _REGISTRY.setdefault(family, {})
+
+
+def plugin_families() -> List[str]:
+    """Names of every declared plugin family, sorted (``allocation``,
+    ``eviction`` and ``replication`` ship with the package)."""
+    _ensure_families_loaded()
+    return sorted(_FAMILIES)
+
+
+def _family_base(family: str) -> type:
+    try:
+        return _FAMILIES[family]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown plugin family {family!r}; families: {plugin_families()}"
+        ) from None
+
+
+def _ensure_families_loaded() -> None:
+    """Import the modules whose import side effect registers bundled plugins."""
+    # Allocation policies register on ``repro.plugins`` import (this package);
+    # the data-layer families live in ``repro.data`` which imports us, so the
+    # import here must stay lazy to avoid a cycle.
+    import repro.data  # noqa: F401  (registration side effect)
+
+
+# -- registration ------------------------------------------------------------------
+def register_plugin(family: str, name: str):
+    """Class decorator registering a plugin class under ``family``/``name``.
+
+    The class must subclass the family's declared base class; its ``name``
+    attribute is stamped with the registered name.
+
+    >>> from repro.plugins.registry import register_plugin
+    >>> @register_plugin("allocation", "my_policy")
     ... class MyPolicy(AllocationPolicy):
     ...     def assign_job(self, job, resources):
     ...         return resources.site_names[0]
     """
+    base = _family_base(family)
 
-    def decorator(cls: Type[AllocationPolicy]) -> Type[AllocationPolicy]:
-        if not (isinstance(cls, type) and issubclass(cls, AllocationPolicy)):
-            raise SchedulingError(f"{cls!r} is not an AllocationPolicy subclass")
-        if name in _REGISTRY and _REGISTRY[name] is not cls:
-            raise SchedulingError(f"policy name {name!r} already registered")
+    def decorator(cls: type) -> type:
+        if not (isinstance(cls, type) and issubclass(cls, base)):
+            raise SchedulingError(
+                f"{cls!r} is not a {base.__name__} subclass (family {family!r})"
+            )
+        registry = _REGISTRY[family]
+        if name in registry and registry[name] is not cls:
+            raise SchedulingError(
+                f"plugin name {name!r} already registered in family {family!r}"
+            )
         cls.name = name
-        _REGISTRY[name] = cls
+        registry[name] = cls
         return cls
 
     return decorator
 
 
-def available_policies() -> List[str]:
-    """Names of every registered (bundled or user-registered) policy."""
-    return sorted(_REGISTRY)
+def available_plugins(family: str) -> List[str]:
+    """Names of every registered plugin in ``family``, sorted (bundled
+    plugins plus anything user code registered in this process)."""
+    if family not in _FAMILIES:
+        _ensure_families_loaded()
+    _family_base(family)  # raises for unknown families
+    return sorted(_REGISTRY[family])
 
 
-def load_policy_class(spec: str) -> Type[AllocationPolicy]:
-    """Resolve ``spec`` to a policy class.
+def load_plugin_class(family: str, spec: str) -> type:
+    """Resolve ``spec`` to a plugin class of ``family``.
 
-    ``spec`` is either a registered name (``"round_robin"``) or a dynamic
-    ``"module.path:ClassName"`` reference to a user plugin.
+    ``spec`` is either a registered name (``"lru"``) or a dynamic
+    ``"module.path:ClassName"`` reference to a user plugin; dynamically
+    loaded classes are still checked against the family's base class.
     """
-    if spec in _REGISTRY:
-        return _REGISTRY[spec]
+    if family not in _FAMILIES or (":" not in spec and spec not in _REGISTRY.get(family, {})):
+        _ensure_families_loaded()
+    base = _family_base(family)
+    registry = _REGISTRY[family]
+    if spec in registry:
+        return registry[spec]
     if ":" in spec:
         module_name, _, class_name = spec.partition(":")
         try:
@@ -65,17 +158,91 @@ def load_policy_class(spec: str) -> Type[AllocationPolicy]:
             raise SchedulingError(
                 f"module {module_name!r} has no class {class_name!r}"
             ) from None
-        if not (isinstance(cls, type) and issubclass(cls, AllocationPolicy)):
+        if not (isinstance(cls, type) and issubclass(cls, base)):
             raise SchedulingError(
-                f"{module_name}:{class_name} is not an AllocationPolicy subclass"
+                f"{module_name}:{class_name} is not a {base.__name__} subclass "
+                f"(family {family!r})"
             )
         return cls
     raise SchedulingError(
-        f"unknown policy {spec!r}; available: {available_policies()} "
+        f"unknown {family} plugin {spec!r}; available: {available_plugins(family)} "
         "(or use 'module.path:ClassName')"
     )
 
 
+def create_plugin(family: str, spec: str, **options):
+    """Instantiate the ``family`` plugin referenced by ``spec`` with ``options``."""
+    return load_plugin_class(family, spec)(**options)
+
+
+def load_entry_point_plugins(group: str = PLUGIN_ENTRY_POINT_GROUP) -> List[str]:
+    """Load third-party plugin modules advertised through entry points.
+
+    Each entry point in ``group`` names a module (or object) whose import
+    registers plugins via :func:`register_plugin`.  Returns the entry-point
+    names that loaded; broken entry points raise :class:`SchedulingError`
+    naming the offender instead of crashing with a bare import error.
+    """
+    from importlib import metadata
+
+    loaded: List[str] = []
+    try:
+        entry_points = metadata.entry_points()
+        if hasattr(entry_points, "select"):  # Python >= 3.10
+            selected = entry_points.select(group=group)
+        else:  # pragma: no cover - legacy API
+            selected = entry_points.get(group, [])
+    except Exception as exc:  # pragma: no cover - metadata backend failure
+        raise SchedulingError(f"cannot enumerate entry points: {exc}") from exc
+    for entry_point in selected:
+        try:
+            entry_point.load()
+        except Exception as exc:
+            raise SchedulingError(
+                f"entry point {entry_point.name!r} ({group}) failed to load: {exc}"
+            ) from exc
+        loaded.append(entry_point.name)
+    return loaded
+
+
+# -- allocation-policy compatibility wrappers ---------------------------------------
+register_family("allocation", AllocationPolicy)
+
+
+def register_policy(name: str):
+    """Class decorator registering an :class:`AllocationPolicy` under ``name``.
+
+    >>> @register_policy("my_other_policy")
+    ... class MyPolicy(AllocationPolicy):
+    ...     def assign_job(self, job, resources):
+    ...         return resources.site_names[0]
+    """
+    return register_plugin("allocation", name)
+
+
+def available_policies() -> List[str]:
+    """Names of every registered (bundled or user-registered) allocation policy."""
+    return sorted(_REGISTRY["allocation"])
+
+
+def load_policy_class(spec: str) -> Type[AllocationPolicy]:
+    """Resolve ``spec`` to an allocation-policy class.
+
+    ``spec`` is either a registered name (``"round_robin"``) or a dynamic
+    ``"module.path:ClassName"`` reference to a user plugin.
+    """
+    try:
+        return load_plugin_class("allocation", spec)
+    except SchedulingError as exc:
+        # Preserve the historical error message shape for unknown names.
+        if ":" not in spec and "unknown allocation plugin" in str(exc):
+            raise SchedulingError(
+                f"unknown policy {spec!r}; available: {available_policies()} "
+                "(or use 'module.path:ClassName')"
+            ) from None
+        raise
+
+
 def create_policy(spec: str, **options) -> AllocationPolicy:
-    """Instantiate the policy referenced by ``spec`` with ``options``."""
+    """Instantiate the allocation policy referenced by ``spec`` with ``options``."""
     return load_policy_class(spec)(**options)

@@ -42,6 +42,7 @@ from repro.scenarios.runner import (
     sweep_specs,
 )
 from repro.scenarios.schema import (
+    CacheSection,
     CalibrationSection,
     DataSection,
     FaultsSection,
@@ -60,6 +61,7 @@ __all__ = [
     "WorkloadSection",
     "FaultsSection",
     "DataSection",
+    "CacheSection",
     "CalibrationSection",
     "SweepSection",
     "apply_override",

@@ -51,22 +51,67 @@ def _build_simulator(pack: ScenarioPack) -> Tuple[Simulator, List]:
 
     setup_hook = None
     enable_data_transfers = False
+    data_cache = None
     if pack.data is not None:
         data = pack.data
         catalog_sizes = data.dataset_catalog()
         names = sorted(catalog_sizes)
-        for index, job in enumerate(jobs):
-            job.attributes["dataset"] = names[index % len(names)]
+        if data.assignment == "zipf":
+            import numpy as np
+
+            from repro.utils.rng import RandomSource
+
+            ranks = np.arange(1, len(names) + 1, dtype=float)
+            weights = ranks ** -data.zipf_exponent
+            weights /= weights.sum()
+            generator = RandomSource(data.seed).generator("dataset-assignment")
+            draws = generator.choice(len(names), size=len(jobs), p=weights)
+            for job, draw in zip(jobs, draws):
+                job.attributes["dataset"] = names[int(draw)]
+        else:
+            for index, job in enumerate(jobs):
+                job.attributes["dataset"] = names[index % len(names)]
         site_names = list(infrastructure.site_names)
         enable_data_transfers = True
+        if data.cache is not None:
+            data_cache = data.cache.build_spec()
 
         def setup_hook(simulator: Simulator) -> None:
-            from repro.atlas.rucio import RucioCatalog
+            if data_cache is None:
+                from repro.atlas.rucio import RucioCatalog
 
-            catalog = RucioCatalog(simulator.data_manager, seed=data.seed)
-            catalog.place_datasets(
-                catalog_sizes, site_names, replication_factor=data.replication_factor
+                catalog = RucioCatalog(simulator.data_manager, seed=data.seed)
+                catalog.place_datasets(
+                    catalog_sizes, site_names, replication_factor=data.replication_factor
+                )
+                return
+            # Cache-aware runs: the configured replication strategy places
+            # the pinned replicas of record, then an optional prewarm fills
+            # each site's cache with the datasets its jobs will read.
+            from repro.data.replication import PlacementContext
+
+            demand: Dict[str, Dict[str, int]] = {}
+            for job in jobs:
+                dataset = job.attributes.get("dataset")
+                if dataset is None or not job.target_site:
+                    continue
+                per_site = demand.setdefault(str(dataset), {})
+                per_site[job.target_site] = per_site.get(job.target_site, 0) + 1
+            strategy = data_cache.build_strategy(default_copies=data.replication_factor)
+            context = PlacementContext(
+                sites=site_names,
+                platform=simulator.platform,
+                demand=demand,
+                seed=data.seed,
             )
+            placement = strategy.place(catalog_sizes, context)
+            for dataset in sorted(placement):
+                for site in placement[dataset]:
+                    simulator.data_manager.register_replica(
+                        dataset, site, catalog_sizes[dataset]
+                    )
+            if data_cache.prewarm:
+                simulator.data_manager.prewarm(_prewarm_pairs(jobs, site_names))
 
     simulator = Simulator(
         infrastructure,
@@ -75,9 +120,31 @@ def _build_simulator(pack: ScenarioPack) -> Tuple[Simulator, List]:
         failure_model=failure_model,
         outages=outages,
         enable_data_transfers=enable_data_transfers,
+        data_cache=data_cache,
         setup_hook=setup_hook,
     )
     return simulator, jobs
+
+
+def _prewarm_pairs(jobs: List, site_names: List[str]) -> List[Tuple[str, str]]:
+    """Deterministic (dataset, site) prewarm pairs derived from the workload.
+
+    Each job's dataset is warmed at the site the job targets; jobs without a
+    recorded target round-robin over the grid so prewarming still covers
+    synthetic workloads.  Duplicates are dropped preserving first-seen order.
+    """
+    pairs: List[Tuple[str, str]] = []
+    seen = set()
+    for index, job in enumerate(jobs):
+        dataset = job.attributes.get("dataset")
+        if dataset is None:
+            continue
+        site = job.target_site or site_names[index % len(site_names)]
+        pair = (str(dataset), site)
+        if pair not in seen:
+            seen.add(pair)
+            pairs.append(pair)
+    return pairs
 
 
 def _reliability_extras(original_jobs: List, result: SimulationResult) -> Dict[str, float]:
@@ -104,13 +171,29 @@ def _reliability_extras(original_jobs: List, result: SimulationResult) -> Dict[s
 
 
 def _data_extras(simulator: Simulator) -> Dict[str, float]:
-    """WAN-traffic bookkeeping for data-placement studies."""
-    transfers = simulator.data_manager.transfer_log
-    wan_bytes = sum(t["size"] for t in transfers if t["source"] != t["destination"])
-    return {
+    """WAN-traffic and cache bookkeeping for data-placement studies.
+
+    Always reports the WAN transfer count/volume; cache-aware runs add the
+    aggregate cache counters (``cache_hit_rate``, ``cache_evictions``, ...)
+    plus flat per-site keys (``cache_hit_rate[SITE]``,
+    ``cache_evictions[SITE]``) so sweep packs can select any of them as
+    table metrics.
+    """
+    data_manager = simulator.data_manager
+    transfers = data_manager.transfer_log
+    summary = data_manager.cache_summary()
+    wan_bytes = summary.get("bytes_wan") if summary else sum(
+        t["size"] for t in transfers if t["source"] != t["destination"]
+    )
+    extras = {
         "wan_transfers": float(len(transfers)),
         "wan_terabytes": wan_bytes / 1e12,
     }
+    extras.update(summary)
+    for site, stats in sorted(data_manager.cache_stats().items()):
+        extras[f"cache_hit_rate[{site}]"] = stats.hit_rate
+        extras[f"cache_evictions[{site}]"] = float(stats.evictions)
+    return extras
 
 
 def _run_single(pack: ScenarioPack) -> Tuple[SimulationMetrics, Dict[str, float], SimulationResult]:
@@ -270,6 +353,33 @@ class ScenarioOutcome:
             raise CGSimError(f"no successful run for scenario {scenario!r}")
         raise CGSimError("calibration outcomes have no simulation metrics")
 
+    def _sweep_cache_rows(self) -> List[Dict[str, Any]]:
+        """Per-site cache rows of each sweep scenario's first replicate.
+
+        Built from the flat ``cache_hit_rate[SITE]`` / ``cache_evictions[SITE]``
+        keys :func:`_data_extras` records; empty for cache-less sweeps.
+        """
+        assert self.sweep is not None
+        rows: List[Dict[str, Any]] = []
+        for result in self.sweep.ok:
+            if result.spec.replicate or result.metrics is None:
+                continue
+            for key in result.metrics:
+                if not (key.startswith("cache_hit_rate[") and key.endswith("]")):
+                    continue
+                site = key[len("cache_hit_rate["):-1]
+                rows.append(
+                    {
+                        "scenario": result.spec.scenario,
+                        "site": site,
+                        "cache_hit_rate": result.metrics[key],
+                        "cache_evictions": result.metrics.get(
+                            f"cache_evictions[{site}]", 0.0
+                        ),
+                    }
+                )
+        return rows
+
     def render(self) -> str:
         """Human-readable report (the ``repro scenario run`` output)."""
         from repro.analysis.reporting import format_table, metrics_table
@@ -278,6 +388,12 @@ class ScenarioOutcome:
         if self.mode == "single":
             assert self.metrics is not None
             lines.append(metrics_table(self.metrics))
+            if self.metrics.cache_per_site:
+                from repro.analysis.reporting import cache_table
+
+                lines.append("")
+                lines.append("per-site cache (hit rate, evictions, bytes by tier):")
+                lines.append(cache_table(self.metrics))
             if self.extras:
                 lines.append("")
                 lines.append(
@@ -288,6 +404,11 @@ class ScenarioOutcome:
         elif self.mode == "sweep":
             assert self.sweep is not None and self.pack.sweep is not None
             lines.append(self.sweep.table(self.pack.sweep.metrics))
+            cache_rows = self._sweep_cache_rows()
+            if cache_rows:
+                lines.append("")
+                lines.append("per-site cache hit rate / evictions (replicate 0):")
+                lines.append(format_table(cache_rows))
             lines.append(
                 f"\n{len(self.sweep.ok)}/{len(self.sweep)} runs succeeded on "
                 f"{self.sweep.n_workers} worker(s) "

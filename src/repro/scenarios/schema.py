@@ -39,6 +39,7 @@ __all__ = [
     "WorkloadSection",
     "FaultsSection",
     "DataSection",
+    "CacheSection",
     "CalibrationSection",
     "SweepSection",
     "ScenarioPack",
@@ -391,39 +392,173 @@ class FaultsSection:
 
 
 @dataclass
+class CacheSection:
+    """Site-cache configuration inside a pack's ``data`` section.
+
+    ``capacity`` bounds each site's dataset cache in bytes (unit strings
+    like ``"200GB"`` accepted; omit for unbounded-with-accounting);
+    ``policy`` names an eviction plugin of the ``"eviction"`` family
+    (``lru``, ``lfu``, ``size_weighted``, ``pinned``, or
+    ``"module:Class"``) and ``replication`` a placement plugin of the
+    ``"replication"`` family (``static_n``, ``popularity``,
+    ``topology_aware``); both accept an ``*_options`` mapping.
+    ``prewarm: true`` pre-populates each site's cache with the datasets its
+    jobs read (warm-cache study; the default is a cold start).
+    """
+
+    capacity: Optional[float] = None
+    policy: str = "lru"
+    policy_options: Dict[str, Any] = field(default_factory=dict)
+    replication: str = "static_n"
+    replication_options: Dict[str, Any] = field(default_factory=dict)
+    prewarm: bool = False
+
+    KNOWN_FIELDS = (
+        "capacity",
+        "policy",
+        "policy_options",
+        "replication",
+        "replication_options",
+        "prewarm",
+    )
+
+    @classmethod
+    def from_dict(cls, data: Any, ctx: str) -> "CacheSection":
+        data = _require_mapping(data, ctx)
+        _reject_unknown(data, cls.KNOWN_FIELDS, ctx)
+        capacity = data.get("capacity")
+        if capacity is not None:
+            try:
+                capacity = parse_bytes(capacity)
+            except Exception as exc:
+                raise ConfigurationError(f"{ctx}: capacity: {exc}") from exc
+            if capacity <= 0:
+                raise ConfigurationError(f"{ctx}: capacity must be positive")
+        policy = data.get("policy", "lru")
+        replication = data.get("replication", "static_n")
+        for name, value in (("policy", policy), ("replication", replication)):
+            if not isinstance(value, str) or not value:
+                raise ConfigurationError(f"{ctx}: {name} must be a non-empty string")
+        policy_options = _require_mapping(
+            data.get("policy_options", {}), f"{ctx}: policy_options"
+        )
+        replication_options = _require_mapping(
+            data.get("replication_options", {}), f"{ctx}: replication_options"
+        )
+        prewarm = data.get("prewarm", False)
+        if not isinstance(prewarm, bool):
+            raise ConfigurationError(f"{ctx}: prewarm must be a boolean, got {prewarm!r}")
+        section = cls(
+            capacity=capacity,
+            policy=policy,
+            policy_options=dict(policy_options),
+            replication=replication,
+            replication_options=dict(replication_options),
+            prewarm=prewarm,
+        )
+        try:
+            section.build_spec().validate()
+        except Exception as exc:
+            raise ConfigurationError(f"{ctx}: {exc}") from exc
+        return section
+
+    def build_spec(self):
+        """Materialise the validated :class:`repro.data.DataCacheSpec`."""
+        from repro.data.spec import DataCacheSpec
+
+        return DataCacheSpec(
+            capacity=self.capacity,
+            policy=self.policy,
+            policy_options=dict(self.policy_options),
+            replication=self.replication,
+            replication_options=dict(self.replication_options),
+            prewarm=self.prewarm,
+        )
+
+    def to_dict(self) -> dict:
+        data: Dict[str, Any] = {"policy": self.policy, "replication": self.replication}
+        if self.capacity is not None:
+            data["capacity"] = self.capacity
+        if self.policy_options:
+            data["policy_options"] = dict(self.policy_options)
+        if self.replication_options:
+            data["replication_options"] = dict(self.replication_options)
+        if self.prewarm:
+            data["prewarm"] = True
+        return data
+
+
+@dataclass
 class DataSection:
     """Rucio-like dataset placement for data-aware scheduling studies.
 
     ``datasets`` shared datasets of ``dataset_size`` bytes each (unit strings
     like ``"50GB"`` accepted) are replicated ``replication_factor`` times
-    across the grid with :class:`repro.atlas.rucio.RucioCatalog`; every job
-    reads one dataset (round-robin assignment) and data transfers are
-    simulated, so allocation decisions have WAN-traffic consequences.
+    across the grid; every job reads one dataset (round-robin assignment)
+    and data transfers are simulated, so allocation decisions have
+    WAN-traffic consequences.  Without a ``cache`` sub-section the placement
+    is the seeded random :class:`repro.atlas.rucio.RucioCatalog`; with one
+    (:class:`CacheSection`) the named replication strategy places the
+    replicas and every site gets a finite cache with the configured eviction
+    policy, unlocking cache-sizing and replica-placement studies.
+
+    ``assignment`` controls which dataset each job reads:
+    ``"round_robin"`` (default) cycles uniformly -- every dataset equally
+    popular, the cache-hostile worst case -- while ``"zipf"`` draws from a
+    Zipf distribution with the given ``zipf_exponent`` (seeded by ``seed``),
+    the skewed popularity real caches exploit.
     """
 
     datasets: int = 20
     dataset_size: float = 50e9
     replication_factor: int = 2
     seed: int = 0
+    assignment: str = "round_robin"
+    zipf_exponent: float = 1.2
+    cache: Optional[CacheSection] = None
 
     @classmethod
     def from_dict(cls, data: Any, ctx: str) -> "DataSection":
         data = _require_mapping(data, ctx)
         _reject_unknown(
-            data, ["datasets", "dataset_size", "replication_factor", "seed"], ctx
+            data,
+            [
+                "datasets",
+                "dataset_size",
+                "replication_factor",
+                "seed",
+                "assignment",
+                "zipf_exponent",
+                "cache",
+            ],
+            ctx,
         )
         try:
             size = parse_bytes(data.get("dataset_size", 50e9))
         except Exception as exc:
             raise ConfigurationError(f"{ctx}: dataset_size: {exc}") from exc
+        assignment = data.get("assignment", "round_robin")
+        if assignment not in ("round_robin", "zipf"):
+            raise ConfigurationError(
+                f"{ctx}: assignment must be round_robin|zipf, got {assignment!r}"
+            )
         section = cls(
             datasets=_int_field(data, "datasets", 20, ctx, minimum=1),
             dataset_size=size,
             replication_factor=_int_field(data, "replication_factor", 2, ctx, minimum=1),
             seed=_int_field(data, "seed", 0, ctx, minimum=0),
+            assignment=assignment,
+            zipf_exponent=_float_field(data, "zipf_exponent", 1.2, ctx),
+            cache=(
+                CacheSection.from_dict(data["cache"], f"{ctx}: cache")
+                if data.get("cache") is not None
+                else None
+            ),
         )
         if section.dataset_size <= 0:
             raise ConfigurationError(f"{ctx}: dataset_size must be positive")
+        if section.zipf_exponent <= 0:
+            raise ConfigurationError(f"{ctx}: zipf_exponent must be positive")
         return section
 
     def dataset_catalog(self) -> Dict[str, float]:
@@ -431,12 +566,18 @@ class DataSection:
         return {f"dataset_{i:03d}": self.dataset_size for i in range(self.datasets)}
 
     def to_dict(self) -> dict:
-        return {
+        data: Dict[str, Any] = {
             "datasets": self.datasets,
             "dataset_size": self.dataset_size,
             "replication_factor": self.replication_factor,
             "seed": self.seed,
         }
+        if self.assignment != "round_robin":
+            data["assignment"] = self.assignment
+            data["zipf_exponent"] = self.zipf_exponent
+        if self.cache is not None:
+            data["cache"] = self.cache.to_dict()
+        return data
 
 
 @dataclass

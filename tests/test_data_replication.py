@@ -1,0 +1,281 @@
+"""Tests for replica-placement strategies, the ``data.cache`` pack schema,
+pack-vs-programmatic parity and whole-pack determinism under hash
+randomization."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.data import (
+    PlacementContext,
+    PopularityReplication,
+    StaticNReplication,
+    TopologyAwareReplication,
+)
+from repro.scenarios.schema import CacheSection, ScenarioPack
+from repro.utils.errors import ConfigurationError, SchedulingError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SITES = ["S0", "S1", "S2", "S3"]
+
+
+class TestStaticNReplication:
+    def test_round_robin_spread(self):
+        placement = StaticNReplication(copies=2).place(
+            {"a": 1.0, "b": 1.0, "c": 1.0}, PlacementContext(sites=SITES)
+        )
+        assert placement == {
+            "a": ["S0", "S1"],
+            "b": ["S1", "S2"],
+            "c": ["S2", "S3"],
+        }
+
+    def test_copies_clamped_to_site_count(self):
+        placement = StaticNReplication(copies=9).place(
+            {"a": 1.0}, PlacementContext(sites=["S0", "S1"])
+        )
+        assert placement == {"a": ["S0", "S1"]}
+
+    def test_invalid_copies_raise(self):
+        with pytest.raises(SchedulingError):
+            StaticNReplication(copies=0)
+
+    def test_no_sites_raise(self):
+        with pytest.raises(SchedulingError):
+            StaticNReplication().place({"a": 1.0}, PlacementContext(sites=[]))
+
+
+class TestPopularityReplication:
+    def test_popular_datasets_get_more_copies_where_read(self):
+        demand = {
+            "hot": {"S2": 10, "S0": 5},
+            "cold": {"S3": 1},
+        }
+        placement = PopularityReplication(min_copies=1, max_copies=3).place(
+            {"hot": 1.0, "cold": 1.0, "unread": 1.0},
+            PlacementContext(sites=SITES, demand=demand),
+        )
+        # 'hot' is above the median -> 3 copies, demand-ranked first.
+        assert placement["hot"][:2] == ["S2", "S0"]
+        assert len(placement["hot"]) == 3
+        # 'cold' and 'unread' are at/below the median -> 1 copy.
+        assert placement["cold"] == ["S3"]
+        assert len(placement["unread"]) == 1
+
+    def test_unread_datasets_fall_back_to_round_robin(self):
+        placement = PopularityReplication().place(
+            {"a": 1.0, "b": 1.0}, PlacementContext(sites=SITES)
+        )
+        assert all(len(sites) >= 1 for sites in placement.values())
+        assert placement["a"] != placement["b"]  # spread, not piled up
+
+    def test_bad_bounds_raise(self):
+        with pytest.raises(SchedulingError):
+            PopularityReplication(min_copies=3, max_copies=1)
+
+
+class TestTopologyAwareReplication:
+    def test_degrades_to_static_without_platform(self):
+        static = StaticNReplication(copies=1).place(
+            {"a": 1.0, "b": 1.0}, PlacementContext(sites=SITES)
+        )
+        topo = TopologyAwareReplication(copies=1).place(
+            {"a": 1.0, "b": 1.0}, PlacementContext(sites=SITES)
+        )
+        assert static == topo
+
+    def test_extra_copies_go_to_best_connected_hub(self, env):
+        from repro.config.infrastructure import InfrastructureConfig, SiteConfig
+        from repro.config.topology import LinkConfig, TopologyConfig
+        from repro.platform.builder import build_platform
+
+        infrastructure = InfrastructureConfig(
+            sites=[SiteConfig(name=n, cores=2, core_speed=1e9) for n in ("HUB", "X", "Y")]
+        )
+        topology = TopologyConfig(
+            links=[
+                LinkConfig(name="hx", source="HUB", destination="X",
+                           bandwidth=1e9, latency=0.001),
+                LinkConfig(name="hy", source="HUB", destination="Y",
+                           bandwidth=1e9, latency=0.001),
+                LinkConfig(name="xy", source="X", destination="Y",
+                           bandwidth=1e9, latency=0.5),
+            ],
+        )
+        platform = build_platform(env, infrastructure, topology)
+        placement = TopologyAwareReplication(copies=2).place(
+            {"a": 1.0, "b": 1.0, "c": 1.0},
+            PlacementContext(sites=["HUB", "X", "Y"], platform=platform),
+        )
+        for dataset, sites in placement.items():
+            assert len(sites) == 2
+            assert "HUB" in sites, f"{dataset} skipped the hub: {sites}"
+
+
+class TestCacheSectionSchema:
+    def test_capacity_accepts_unit_strings(self):
+        section = CacheSection.from_dict({"capacity": "120GB"}, "ctx")
+        assert section.capacity == pytest.approx(120e9)
+
+    def test_unknown_policy_fails_at_validate_time(self):
+        with pytest.raises(ConfigurationError, match="eviction"):
+            CacheSection.from_dict({"policy": "not_a_policy"}, "ctx")
+
+    def test_unknown_replication_fails_at_validate_time(self):
+        with pytest.raises(ConfigurationError, match="replication"):
+            CacheSection.from_dict({"replication": "not_a_strategy"}, "ctx")
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fields"):
+            CacheSection.from_dict({"capcity": 1}, "ctx")
+
+    def test_prewarm_must_be_boolean(self):
+        with pytest.raises(ConfigurationError, match="prewarm"):
+            CacheSection.from_dict({"prewarm": "yes"}, "ctx")
+
+    def test_pack_round_trips_through_to_dict(self):
+        pack = ScenarioPack.from_dict(
+            {
+                "name": "p",
+                "data": {
+                    "datasets": 4,
+                    "assignment": "zipf",
+                    "zipf_exponent": 1.5,
+                    "cache": {
+                        "capacity": 5e9,
+                        "policy": "lfu",
+                        "replication": "popularity",
+                        "replication_options": {"max_copies": 2},
+                        "prewarm": True,
+                    },
+                },
+            }
+        )
+        again = ScenarioPack.from_dict(pack.to_dict())
+        assert again.to_dict() == pack.to_dict()
+        assert again.data.cache.policy == "lfu"
+        assert again.data.cache.prewarm is True
+        assert again.data.assignment == "zipf"
+
+    def test_bad_assignment_rejected(self):
+        with pytest.raises(ConfigurationError, match="assignment"):
+            ScenarioPack.from_dict({"name": "p", "data": {"assignment": "zip"}})
+
+
+SHRINK_OVERRIDES = {
+    "grid.sites": 4,
+    "workload.jobs": 60,
+    "data.datasets": 12,
+    "sweep.axes": {"data.cache.policy": ["lru", "pinned"]},
+}
+
+
+class TestCacheAblationPackParity:
+    def test_pack_matches_handwritten_study(self):
+        """`scenario run cache-ablation` == the same study written by hand."""
+        import numpy as np
+
+        from repro import ExecutionConfig, Simulator
+        from repro.atlas import PandaWorkloadModel, wlcg_grid
+        from repro.config.execution import MonitoringConfig
+        from repro.data import DataCacheSpec, PlacementContext, StaticNReplication
+        from repro.scenarios import run_scenario_pack
+        from repro.utils.rng import RandomSource
+        from repro.workload.generator import WorkloadSpec
+
+        # The cache-ablation study, by hand (the lru arm only).
+        infrastructure, topology = wlcg_grid(site_count=4)
+        jobs = PandaWorkloadModel(
+            infrastructure, spec=WorkloadSpec(arrival_rate=0.02), seed=17
+        ).generate_trace(60)
+        names = [f"dataset_{i:03d}" for i in range(12)]
+        ranks = np.arange(1, 13, dtype=float)
+        weights = ranks ** -1.2
+        weights /= weights.sum()
+        draws = RandomSource(17).generator("dataset-assignment").choice(
+            12, size=len(jobs), p=weights
+        )
+        for job, draw in zip(jobs, draws):
+            job.attributes["dataset"] = names[int(draw)]
+        cache_spec = DataCacheSpec(capacity=100e9, policy="lru", replication="static_n")
+
+        def setup_hook(simulator):
+            placement = StaticNReplication(copies=1).place(
+                {name: 10e9 for name in names},
+                PlacementContext(
+                    sites=list(infrastructure.site_names),
+                    platform=simulator.platform,
+                    seed=17,
+                ),
+            )
+            for dataset in sorted(placement):
+                for site in placement[dataset]:
+                    simulator.data_manager.register_replica(dataset, site, 10e9)
+
+        manual = Simulator(
+            infrastructure,
+            topology,
+            ExecutionConfig(
+                plugin="least_loaded",
+                monitoring=MonitoringConfig(snapshot_interval=0.0),
+            ),
+            enable_data_transfers=True,
+            data_cache=cache_spec,
+            setup_hook=setup_hook,
+        ).run([job.copy_for_replay() for job in jobs])
+
+        outcome = run_scenario_pack(
+            "cache-ablation", workers=1, overrides=dict(SHRINK_OVERRIDES)
+        )
+        pack_metrics = outcome.scenario_metrics("policy=lru")
+        for metric in ("finished_jobs", "makespan", "mean_queue_time", "throughput"):
+            assert pack_metrics[metric] == getattr(manual.metrics, metric), metric
+        summary = manual.metrics.data
+        for metric in ("cache_hits", "cache_misses", "cache_evictions", "bytes_wan"):
+            assert pack_metrics[metric] == summary[metric], metric
+
+
+class TestPackHashSeedDeterminism:
+    """Identical spec + seed => bit-identical results across PYTHONHASHSEED."""
+
+    def _run(self, hash_seed: str, tmp_path: Path) -> dict:
+        output = tmp_path / f"outcome-{hash_seed}.json"
+        environment = dict(os.environ)
+        environment["PYTHONHASHSEED"] = hash_seed
+        environment["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + environment["PYTHONPATH"] if environment.get("PYTHONPATH") else ""
+        )
+        overrides = []
+        for path, value in SHRINK_OVERRIDES.items():
+            overrides += ["--set", f"{path}={json.dumps(value)}"]
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "scenario", "run", "cache-ablation",
+             "--workers", "1", "--output", str(output), *overrides],
+            capture_output=True, text=True, env=environment, timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        return self._scrub(json.loads(output.read_text(encoding="utf-8")))
+
+    def _scrub(self, node):
+        """Drop wall-clock timings (the only legitimately varying values)."""
+        if isinstance(node, dict):
+            return {
+                key: self._scrub(value)
+                for key, value in node.items()
+                if "wallclock" not in key and key != "n_workers"
+            }
+        if isinstance(node, list):
+            return [self._scrub(item) for item in node]
+        return node
+
+    def test_bit_identical_across_hash_seeds_and_repeats(self, tmp_path):
+        first = self._run("0", tmp_path)
+        second = self._run("98765", tmp_path)
+        assert first == second

@@ -45,6 +45,7 @@ class TestSiteStructure:
 
     def test_core_pages_present_and_titled(self):
         for page in ("index.md", "install.md", "architecture.md", "cli.md",
+                     "plugins.md", "reference/index.md",
                      "scenarios/schema.md", "scenarios/cookbook.md"):
             path = DOCS_DIR / page
             assert path.exists(), f"missing documentation page {page}"
@@ -75,6 +76,64 @@ class TestGeneratedCookbook:
         assert "GENERATED FILE" in cookbook
 
 
+class TestGeneratedReference:
+    def test_reference_pages_are_in_sync_with_the_code(self):
+        """docs/reference/ must match the packages' current __all__ surfaces."""
+        result = _run_script("gen_reference_docs.py", "--check")
+        assert result.returncode == 0, (
+            f"API reference out of sync:\n{result.stdout}\n{result.stderr}"
+        )
+
+    def test_reference_covers_the_promised_packages(self):
+        for module in ("repro.des", "repro.data", "repro.plugins",
+                       "repro.scenarios", "repro.experiments"):
+            page = DOCS_DIR / "reference" / f"{module.split('.', 1)[1]}.md"
+            assert page.exists(), f"missing reference page for {module}"
+            text = page.read_text(encoding="utf-8")
+            assert f"::: {module}" in text
+            assert "GENERATED FILE" in text
+
+    def test_reference_pages_list_every_public_symbol(self):
+        """Each page's members list is exactly the package's __all__."""
+        import importlib
+
+        for module_name in ("repro.des", "repro.data", "repro.plugins",
+                            "repro.scenarios", "repro.experiments"):
+            module = importlib.import_module(module_name)
+            page = DOCS_DIR / "reference" / f"{module_name.split('.', 1)[1]}.md"
+            listed = re.findall(r"^        - (\w+)$", page.read_text(encoding="utf-8"),
+                                flags=re.MULTILINE)
+            assert listed == list(module.__all__), (
+                f"{page.name} members drifted from {module_name}.__all__"
+            )
+
+
+class TestPluginGuideExamples:
+    """The worked examples in docs/plugins.md are executed, so they cannot rot."""
+
+    def _python_blocks(self):
+        text = (DOCS_DIR / "plugins.md").read_text(encoding="utf-8")
+        blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+        assert blocks, "docs/plugins.md has no executable python examples"
+        return blocks
+
+    def test_every_python_example_executes(self):
+        namespace: dict = {}
+        for index, block in enumerate(self._python_blocks()):
+            try:
+                exec(compile(block, f"docs/plugins.md[block {index}]", "exec"), namespace)
+            except Exception as exc:  # pragma: no cover - the assert reports it
+                raise AssertionError(
+                    f"docs/plugins.md python block {index} failed: {exc}\n{block}"
+                ) from exc
+
+    def test_examples_cover_all_three_families(self):
+        text = "\n".join(self._python_blocks())
+        assert "register_policy(" in text
+        assert 'register_plugin("eviction"' in text
+        assert 'register_plugin("replication"' in text
+
+
 class TestLinks:
     def test_all_internal_links_and_anchors_resolve(self):
         result = _run_script("check_doc_links.py")
@@ -82,12 +141,58 @@ class TestLinks:
             f"broken documentation links:\n{result.stdout}\n{result.stderr}"
         )
 
+    @staticmethod
+    def _sandboxed_tree(tmp_path):
+        """A throwaway copy of the docs tree so tests never touch the repo."""
+        import shutil
+
+        root = tmp_path / "repo"
+        (root / "scripts").mkdir(parents=True)
+        shutil.copytree(DOCS_DIR, root / "docs")
+        shutil.copy(REPO_ROOT / "mkdocs.yml", root / "mkdocs.yml")
+        shutil.copy(REPO_ROOT / "README.md", root / "README.md")
+        shutil.copy(SCRIPTS_DIR / "check_doc_links.py",
+                    root / "scripts" / "check_doc_links.py")
+        return root
+
+    @staticmethod
+    def _run_sandboxed(root) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, str(root / "scripts" / "check_doc_links.py")],
+            capture_output=True, text=True, cwd=root, timeout=120,
+        )
+
+    def test_orphan_pages_fail_the_link_check(self, tmp_path):
+        """A docs/ page missing from the mkdocs nav must fail check_doc_links."""
+        root = self._sandboxed_tree(tmp_path)
+        (root / "docs" / "orphan_page_for_test.md").write_text("# Orphan\n",
+                                                              encoding="utf-8")
+        result = self._run_sandboxed(root)
+        assert result.returncode != 0
+        assert "orphan" in (result.stdout + result.stderr).lower()
+
+    def test_commented_out_nav_entry_still_counts_as_orphan(self, tmp_path):
+        """A page referenced only from a YAML comment is an orphan."""
+        root = self._sandboxed_tree(tmp_path)
+        (root / "docs" / "orphan_page_for_test.md").write_text("# Orphan\n",
+                                                              encoding="utf-8")
+        mkdocs = root / "mkdocs.yml"
+        mkdocs.write_text(
+            mkdocs.read_text(encoding="utf-8")
+            + "\n#  - Disabled: orphan_page_for_test.md\n",
+            encoding="utf-8",
+        )
+        result = self._run_sandboxed(root)
+        assert result.returncode != 0
+        assert "orphan_page_for_test" in (result.stdout + result.stderr)
+
 
 class TestMkdocsBuild:
     def test_strict_build_succeeds_when_mkdocs_is_available(self, tmp_path):
         """Full `mkdocs build --strict` (CI always runs it; locally this
         skips when the optional mkdocs toolchain is absent)."""
         pytest.importorskip("mkdocs")
+        pytest.importorskip("mkdocstrings")  # the reference pages need the plugin
         result = subprocess.run(
             [sys.executable, "-m", "mkdocs", "build", "--strict",
              "--site-dir", str(tmp_path / "site")],

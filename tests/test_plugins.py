@@ -254,3 +254,46 @@ class TestBundledPolicies:
     def test_abstract_base_cannot_be_instantiated(self):
         with pytest.raises(TypeError):
             AllocationPolicy()
+
+
+class TestPluginFamilies:
+    """The family registry loads the data-layer families lazily but reliably."""
+
+    def test_plugin_families_lists_all_three_in_a_fresh_process(self):
+        """Regression: listing families must not depend on repro.data having
+        been imported already (the `repro policies --family all` path)."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parent.parent
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = str(repo_root / "src") + (
+            os.pathsep + environment["PYTHONPATH"] if environment.get("PYTHONPATH") else ""
+        )
+        result = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.plugins.registry import plugin_families, available_plugins\n"
+             "print(plugin_families())\n"
+             "print(sorted(available_plugins('eviction')))"],
+            capture_output=True, text=True, env=environment, timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "['allocation', 'eviction', 'replication']" in result.stdout
+        assert "lru" in result.stdout
+
+    def test_cli_policies_family_all_covers_every_family(self, capsys):
+        from repro.cli import main
+
+        assert main(["policies", "--family", "all"]) == 0
+        out = capsys.readouterr().out
+        for line in ("allocation:round_robin", "eviction:lru", "replication:static_n"):
+            assert line in out, f"missing {line!r}"
+
+    def test_dynamic_spec_checked_against_family_base(self):
+        from repro.plugins.registry import load_plugin_class
+        from repro.utils.errors import SchedulingError
+
+        with pytest.raises(SchedulingError, match="not a"):
+            load_plugin_class("eviction", "repro.plugins.bundled:RoundRobinPolicy")
