@@ -1,0 +1,131 @@
+"""Ablation: cost of routing ``Simulator.run()`` through the session API.
+
+The stepped-lifecycle redesign made ``Simulator.run()`` a thin wrapper over
+:class:`repro.core.session.SimulationSession` (build, advance to completion,
+finalize).  The contract is that the wrapper is *free* on the batch hot path:
+with no live hooks registered a session advances through exactly one
+``env.run(until=all_done)`` -- the same kernel call the pre-redesign code
+made -- plus O(1) bookkeeping per run.  This bench holds the contract:
+
+* ``raw`` re-creates the pre-redesign hot path inline (build the actors,
+  run the kernel to completion, compute the metrics) with no session object
+  anywhere;
+* ``wrapped`` is today's ``Simulator.run()``.
+
+Interleaved best-of-``ROUNDS`` wall times must agree within 5% (plus both
+paths must produce identical metrics, which doubles as a regression check on
+the wrapper's semantics).  A stepped variant (``advance_until`` in chunks)
+is also timed and recorded for the scalability notes, without an assertion:
+chunked pausing legitimately pays one sentinel event per chunk.
+
+Sizes scale with ``CGSIM_BENCH_SCALE`` (floored high enough that the
+measured times stay well above timer noise on the CI smoke job).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config.execution import ExecutionConfig, MonitoringConfig
+from repro.config.generators import generate_grid
+from repro.core.metrics import compute_metrics
+from repro.core.simulator import Simulator
+from repro.experiments.bench import BENCH_SCALE
+from repro.workload.generator import SyntheticWorkloadGenerator
+
+#: Jobs per measured run (floored so smoke runs still measure something real).
+N_JOBS = max(400, int(2000 * BENCH_SCALE))
+N_SITES = max(3, int(8 * BENCH_SCALE))
+#: Interleaved measurement rounds; best-of keeps scheduler noise out.
+ROUNDS = 5
+#: Allowed wrapper overhead on the batch hot path.
+MAX_OVERHEAD = 0.05
+#: Chunks used by the stepped variant.
+CHUNKS = 20
+
+
+def _inputs():
+    infrastructure, topology = generate_grid(N_SITES, seed=11)
+    jobs = SyntheticWorkloadGenerator(infrastructure, seed=7).generate(N_JOBS)
+    execution = ExecutionConfig(
+        plugin="least_loaded", monitoring=MonitoringConfig(snapshot_interval=0.0)
+    )
+    return infrastructure, topology, execution, jobs
+
+
+def _fresh(infrastructure, topology, execution, jobs):
+    return Simulator(infrastructure, topology, execution), [
+        job.copy_for_replay() for job in jobs
+    ]
+
+
+def _raw_run(simulator, jobs):
+    """The pre-session hot path, inlined: build + run + metrics, no session."""
+    simulator._build(jobs)
+    simulator.env.run(until=simulator.server.all_done)
+    all_jobs = jobs + list(simulator.server.retry_jobs)
+    return compute_metrics(
+        all_jobs, collector=simulator.collector, data_manager=simulator.data_manager
+    )
+
+
+def _stepped_run(simulator, jobs, chunks):
+    """Session driven in ``chunks`` pauses (upper bound on pause overhead)."""
+    session = simulator.session(jobs)
+    horizon = 0.0
+    step = max(1.0, 86400.0 / chunks)
+    while not session.done:
+        horizon += step
+        session.advance_until(horizon)
+    return session.advance_to_completion().finalize().metrics
+
+
+def test_session_wrapper_within_5_percent(record_result):
+    infrastructure, topology, execution, jobs = _inputs()
+
+    raw_times, wrapped_times, stepped_times = [], [], []
+    raw_metrics = wrapped_metrics = stepped_metrics = None
+    for _ in range(ROUNDS):
+        simulator, batch = _fresh(infrastructure, topology, execution, jobs)
+        started = time.perf_counter()
+        raw_metrics = _raw_run(simulator, batch)
+        raw_times.append(time.perf_counter() - started)
+
+        simulator, batch = _fresh(infrastructure, topology, execution, jobs)
+        started = time.perf_counter()
+        wrapped_metrics = simulator.run(batch).metrics
+        wrapped_times.append(time.perf_counter() - started)
+
+        simulator, batch = _fresh(infrastructure, topology, execution, jobs)
+        started = time.perf_counter()
+        stepped_metrics = _stepped_run(simulator, batch, CHUNKS)
+        stepped_times.append(time.perf_counter() - started)
+
+    # Semantics first: the wrapper (and even the chunked lifecycle) must
+    # reproduce the raw path's metrics exactly.
+    assert wrapped_metrics.to_dict() == raw_metrics.to_dict()
+    assert stepped_metrics.to_dict() == raw_metrics.to_dict()
+
+    raw_best, wrapped_best = min(raw_times), min(wrapped_times)
+    overhead = wrapped_best / raw_best - 1.0
+    record_result(
+        "session_overhead",
+        {
+            "jobs": N_JOBS,
+            "sites": N_SITES,
+            "rounds": ROUNDS,
+            "raw_best_s": raw_best,
+            "wrapped_best_s": wrapped_best,
+            "stepped_best_s": min(stepped_times),
+            "wrapper_overhead": overhead,
+            "chunks": CHUNKS,
+        },
+    )
+    print(
+        f"\nsession overhead: raw {raw_best:.4f}s, wrapped {wrapped_best:.4f}s "
+        f"({overhead * 100:+.2f}%), stepped x{CHUNKS} {min(stepped_times):.4f}s"
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"session-based run() is {overhead * 100:.1f}% slower than the "
+        f"pre-redesign hot path (budget {MAX_OVERHEAD * 100:.0f}%)"
+    )

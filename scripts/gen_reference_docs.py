@@ -30,9 +30,10 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 OUTPUT_DIR = REPO_ROOT / "docs" / "reference"
 
-#: Packages documented in the reference, in nav order.
+#: Packages/modules documented in the reference, in nav order.
 MODULES = [
     "repro.des",
+    "repro.core.session",
     "repro.data",
     "repro.plugins",
     "repro.scenarios",

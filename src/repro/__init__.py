@@ -59,8 +59,10 @@ from repro.core import (
     DataManager,
     JobManager,
     MainServer,
+    SessionProgress,
     SimulationMetrics,
     SimulationResult,
+    SimulationSession,
     Simulator,
     SiteRuntime,
     compute_metrics,
@@ -103,6 +105,8 @@ __all__ = [
     "save_trace",
     # core
     "Simulator",
+    "SimulationSession",
+    "SessionProgress",
     "SimulationResult",
     "SimulationMetrics",
     "compute_metrics",

@@ -95,7 +95,9 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser(
         "run",
         help="run a simulation and print the metrics table "
-        "(--per-site/--dashboard print the breakdown and dashboard views)",
+        "(--per-site/--dashboard print the breakdown and dashboard views; "
+        "--progress prints live progress lines to stderr; --until pauses "
+        "the clock at a simulated time and reports the partial run)",
     )
     run.add_argument("--infrastructure", type=Path, required=True)
     run.add_argument("--topology", type=Path, required=True)
@@ -103,6 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", type=Path, required=True)
     run.add_argument("--dashboard", action="store_true", help="print the final dashboard view")
     run.add_argument("--per-site", action="store_true", help="print the per-site breakdown")
+    run.add_argument("--until", default=None, metavar="TIME",
+                     help="advance the simulated clock only to TIME (seconds, "
+                     "or a duration such as '12h') and report the partial run")
+    run.add_argument("--progress", nargs="?", const=2.0, default=None, type=float,
+                     metavar="SECONDS",
+                     help="print a live progress line to stderr, throttled to "
+                     "at most one every SECONDS of wall-clock time (default 2)")
 
     cal = sub.add_parser(
         "calibrate",
@@ -239,6 +248,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "as JSON, falling back to strings)")
     scen_run.add_argument("--output", type=Path, default=None,
                           help="write the full outcome (per-run metrics) as JSON here")
+    scen_run.add_argument("--progress", nargs="?", const=2.0, default=None, type=float,
+                          metavar="SECONDS",
+                          help="single-run packs: print a live progress line to "
+                          "stderr, throttled to at most one every SECONDS of "
+                          "wall-clock time (default 2)")
     return parser
 
 
@@ -267,14 +281,73 @@ def _cmd_generate_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _throttled_progress_printer(min_interval: float):
+    """Build a wall-clock-throttled progress-line printer for a session.
+
+    The returned callable takes the live
+    :class:`~repro.core.session.SimulationSession` and prints one progress
+    line to stderr -- counters from :meth:`~SimulationSession.progress` plus
+    headline numbers from :meth:`~SimulationSession.peek_metrics` -- at most
+    once every ``min_interval`` seconds of wall-clock time (the metric
+    computation only happens when a line is actually printed).
+    """
+    import time as _time
+
+    last = [float("-inf")]
+
+    def printer(session, force: bool = False) -> None:
+        now = _time.monotonic()
+        if not force and now - last[0] < min_interval:
+            return
+        last[0] = now
+        progress = session.progress()
+        metrics = session.peek_metrics()
+        print(
+            f"[progress] {progress.describe()} | "
+            f"mean_queue={metrics.mean_queue_time:.0f}s "
+            f"throughput={metrics.throughput * 3600.0:.1f} jobs/h",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return printer
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.utils.units import parse_duration
+
     infrastructure = load_infrastructure(args.infrastructure)
     topology = load_topology(args.topology)
     execution = load_execution(args.execution)
     jobs = load_trace(args.trace)
     simulator = Simulator(infrastructure, topology, execution)
-    result = simulator.run(jobs)
+    session = simulator.session(jobs)
+    printer = None
+    if args.progress is not None:
+        printer = _throttled_progress_printer(args.progress)
+        # The in-sim tick is deliberately fine-grained (60 simulated
+        # seconds); the wall-clock throttle above decides what actually
+        # prints.
+        session.on_progress(60.0, lambda _snapshot: printer(session))
+    if args.until is not None:
+        session.advance_until(parse_duration(args.until))
+    else:
+        session.advance_to_completion()
+    if printer is not None:
+        # Always end with one line, even for runs shorter than a tick.
+        printer(session, force=True)
+    result = session.finalize()
     print(metrics_table(result.metrics))
+    if args.until is not None and not session.done:
+        print()
+        print(
+            f"paused at t={result.simulated_time:.0f}s (--until): "
+            f"{result.metrics.finished_jobs}/{result.metrics.total_jobs} jobs "
+            f"finished, {result.pending_jobs} pending"
+        )
+    if result.stopped_reason is not None:
+        print()
+        print(f"stopped early: {result.stopped_reason}")
     if args.per_site:
         print()
         print(site_table(result.metrics))
@@ -535,8 +608,21 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         return 1 if failures else 0
 
     pack = _resolve_pack(args.pack)
+    progress_fn = None
+    if args.progress is not None:
+        if pack.mode() == "single":
+            progress_fn = _throttled_progress_printer(args.progress)
+        else:
+            print(
+                f"note: --progress applies to single-run packs only "
+                f"(this pack runs a {pack.mode()})",
+                file=sys.stderr,
+            )
     outcome = run_scenario_pack(
-        pack, workers=args.workers, overrides=_parse_overrides(args.overrides)
+        pack,
+        workers=args.workers,
+        overrides=_parse_overrides(args.overrides),
+        progress=progress_fn,
     )
     header = outcome.pack.title or outcome.pack.name
     print(f"scenario {outcome.pack.name} [{outcome.mode}]: {header}")

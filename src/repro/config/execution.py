@@ -13,7 +13,112 @@ from typing import Dict, Optional
 from repro.utils.errors import ConfigurationError
 from repro.utils.units import parse_duration
 
-__all__ = ["MonitoringConfig", "OutputConfig", "ExecutionConfig"]
+__all__ = ["MonitoringConfig", "OutputConfig", "StopConfig", "ExecutionConfig"]
+
+#: Comparison operators a metric-predicate stop condition may use.
+STOP_OPS = (">", ">=", "<", "<=")
+
+
+@dataclass
+class StopConfig:
+    """Declarative early-stop conditions for a run.
+
+    Lives inside :class:`ExecutionConfig` (and therefore inside a scenario
+    pack's ``execution`` section).  Each condition is optional; the run stops
+    at the *first* one that fires, and the reason is recorded as the
+    session's ``stopped_reason`` (surfaced in ``RunResult`` and the scenario
+    outcome).  Conditions are evaluated by
+    :class:`repro.core.session.SimulationSession` between events, whenever a
+    job reaches a terminal state:
+
+    * ``max_simulated_time`` -- stop once the simulated clock reaches this
+      horizon (unit strings like ``"12h"`` accepted).  Unlike
+      ``max_simulation_time`` -- which runs the clock *to* the deadline even
+      if the workload finished long before -- this stops at whichever comes
+      first, workload completion or the budget: the bounded-cost semantics
+      sweep trials want.
+    * ``max_finished_jobs`` / ``max_failed_jobs`` -- stop once that many
+      jobs have finished / failed.
+    * ``metric`` + ``op`` + ``value`` -- a metric predicate: stop once the
+      named :class:`~repro.core.metrics.SimulationMetrics` field (e.g.
+      ``"failure_rate"``) compares true against ``value`` under ``op``
+      (one of ``>``, ``>=``, ``<``, ``<=``).  Metrics are recomputed every
+      ``check_every`` job completions (predicate evaluation is O(jobs), so
+      raise this on huge runs).
+
+    Examples
+    --------
+    >>> from repro import ExecutionConfig
+    >>> from repro.config.execution import StopConfig
+    >>> execution = ExecutionConfig(
+    ...     stop=StopConfig(metric="failure_rate", op=">=", value=0.5))
+    >>> execution.stop.metric
+    'failure_rate'
+    """
+
+    max_simulated_time: Optional[float] = None
+    max_finished_jobs: Optional[int] = None
+    max_failed_jobs: Optional[int] = None
+    metric: Optional[str] = None
+    op: str = ">="
+    value: Optional[float] = None
+    check_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_simulated_time is not None:
+            self.max_simulated_time = parse_duration(self.max_simulated_time)
+            if self.max_simulated_time <= 0:
+                raise ConfigurationError("stop: max_simulated_time must be positive")
+        for name in ("max_finished_jobs", "max_failed_jobs"):
+            bound = getattr(self, name)
+            if bound is not None:
+                if isinstance(bound, bool) or not isinstance(bound, int) or bound < 1:
+                    raise ConfigurationError(
+                        f"stop: {name} must be a positive integer, got {bound!r}"
+                    )
+        if self.op not in STOP_OPS:
+            raise ConfigurationError(
+                f"stop: op must be one of {'|'.join(STOP_OPS)}, got {self.op!r}"
+            )
+        if (self.metric is None) != (self.value is None):
+            raise ConfigurationError(
+                "stop: 'metric' and 'value' must be given together"
+            )
+        if self.metric is not None and (not isinstance(self.metric, str) or not self.metric):
+            raise ConfigurationError("stop: metric must be a non-empty string")
+        if self.value is not None:
+            if isinstance(self.value, bool) or not isinstance(self.value, (int, float)):
+                raise ConfigurationError(f"stop: value must be a number, got {self.value!r}")
+            self.value = float(self.value)
+        self.check_every = int(self.check_every)
+        if self.check_every < 1:
+            raise ConfigurationError("stop: check_every must be >= 1")
+
+    def enabled(self) -> bool:
+        """Whether any condition is actually configured."""
+        return (
+            self.max_simulated_time is not None
+            or self.max_finished_jobs is not None
+            or self.max_failed_jobs is not None
+            or self.metric is not None
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (only the configured conditions)."""
+        data: Dict[str, object] = {}
+        if self.max_simulated_time is not None:
+            data["max_simulated_time"] = self.max_simulated_time
+        if self.max_finished_jobs is not None:
+            data["max_finished_jobs"] = self.max_finished_jobs
+        if self.max_failed_jobs is not None:
+            data["max_failed_jobs"] = self.max_failed_jobs
+        if self.metric is not None:
+            data["metric"] = self.metric
+            data["op"] = self.op
+            data["value"] = self.value
+            if self.check_every != 1:
+                data["check_every"] = self.check_every
+        return data
 
 
 @dataclass
@@ -147,6 +252,9 @@ class ExecutionConfig:
     max_retries: int = 0
     monitoring: MonitoringConfig = field(default_factory=MonitoringConfig)
     output: OutputConfig = field(default_factory=OutputConfig)
+    #: Optional early-stop conditions evaluated between events by sessions
+    #: (``None`` disables them; see :class:`StopConfig`).
+    stop: Optional[StopConfig] = None
 
     def __post_init__(self) -> None:
         if not self.plugin:
@@ -172,10 +280,15 @@ class ExecutionConfig:
             self.monitoring = MonitoringConfig(**self.monitoring)
         if isinstance(self.output, dict):
             self.output = OutputConfig(**self.output)
+        if isinstance(self.stop, dict):
+            try:
+                self.stop = StopConfig(**self.stop)
+            except TypeError as exc:
+                raise ConfigurationError(f"execution config: stop: {exc}") from exc
 
     def to_dict(self) -> dict:
         """JSON-friendly representation (top-level object of the JSON file)."""
-        return {
+        data = {
             "plugin": self.plugin,
             "plugin_options": dict(self.plugin_options),
             "seed": self.seed,
@@ -187,6 +300,9 @@ class ExecutionConfig:
             "monitoring": self.monitoring.to_dict(),
             "output": self.output.to_dict(),
         }
+        if self.stop is not None:
+            data["stop"] = self.stop.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExecutionConfig":
@@ -202,6 +318,7 @@ class ExecutionConfig:
             "max_retries",
             "monitoring",
             "output",
+            "stop",
         }
         unknown = set(data) - known
         if unknown:

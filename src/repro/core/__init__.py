@@ -16,7 +16,9 @@ the workflow:
 
 :class:`~repro.core.simulator.Simulator` is the user-facing facade tying the
 input layer, the platform, the actors, monitoring and the output layer
-together; :class:`~repro.core.metrics.SimulationMetrics` summarises a
+together; :class:`~repro.core.session.SimulationSession` exposes the same
+run as a stepped lifecycle (pause/resume, mid-run submission, live progress,
+early stop); :class:`~repro.core.metrics.SimulationMetrics` summarises a
 completed run with the metrics the paper reports (walltime, queue time,
 throughput, utilisation).
 """
@@ -25,11 +27,14 @@ from repro.core.data_manager import DataManager, Replica
 from repro.core.job_manager import JobManager
 from repro.core.metrics import SimulationMetrics, compute_metrics
 from repro.core.server import MainServer
+from repro.core.session import SessionProgress, SimulationSession
 from repro.core.simulator import SimulationResult, Simulator
 from repro.core.site import SiteRuntime
 
 __all__ = [
     "Simulator",
+    "SimulationSession",
+    "SessionProgress",
     "SimulationResult",
     "MainServer",
     "SiteRuntime",

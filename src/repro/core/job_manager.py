@@ -4,6 +4,15 @@ The job manager holds the full workload (a trace or a synthetic batch) and
 releases each job to the main server's inbox at its submission time, which is
 how "the main server starts receiving workload information from the job
 manager" in the paper's description of an engine run.
+
+Open workloads
+--------------
+The workload is no longer fixed at construction time:
+:meth:`JobManager.submit` injects additional jobs while the simulation is
+running (each batch gets its own feeder process), which is what
+:meth:`repro.core.session.SimulationSession.submit` builds on to express
+jobs-arrive-while-the-grid-runs scenarios.  A job submitted after its
+nominal ``submission_time`` has passed is released immediately.
 """
 
 from __future__ import annotations
@@ -25,8 +34,9 @@ class JobManager:
     env:
         Discrete-event environment.
     jobs:
-        The workload.  Jobs are released in submission-time order regardless
-        of input order; ties preserve input order.
+        The initial workload.  Jobs are released in submission-time order
+        regardless of input order; ties preserve input order.  More jobs can
+        join mid-run through :meth:`submit`.
     inbox:
         The store the main server reads from (created here if not supplied).
     """
@@ -38,17 +48,24 @@ class JobManager:
         inbox: Optional[Store] = None,
     ) -> None:
         self.env = env
-        self.jobs: List[Job] = sorted(jobs, key=lambda j: j.submission_time)
-        for job in self.jobs:
-            if job.submission_time < 0:
-                raise WorkloadError(f"job {job.job_id}: negative submission time")
+        self.jobs: List[Job] = self._ordered_batch(jobs)
         self.inbox = inbox if inbox is not None else Store(env)
         self._released = 0
-        self._process = env.process(self._feeder())
+        # Feed a snapshot: submit() extends self.jobs while this runs.
+        self._process = env.process(self._feeder(list(self.jobs)))
+
+    @staticmethod
+    def _ordered_batch(jobs: Iterable[Job]) -> List[Job]:
+        """Validate and order one batch of jobs by submission time."""
+        batch = sorted(jobs, key=lambda j: j.submission_time)
+        for job in batch:
+            if job.submission_time < 0:
+                raise WorkloadError(f"job {job.job_id}: negative submission time")
+        return batch
 
     @property
     def total_jobs(self) -> int:
-        """Number of jobs in the workload."""
+        """Number of jobs in the workload (initial plus submitted batches)."""
         return len(self.jobs)
 
     @property
@@ -56,9 +73,28 @@ class JobManager:
         """Jobs already handed to the main server."""
         return self._released
 
-    def _feeder(self):
-        """Release each job into the inbox at its submission time."""
-        for job in self.jobs:
+    def submit(self, jobs: Iterable[Job]) -> List[Job]:
+        """Inject additional jobs into the running workload.
+
+        The batch is released by its own feeder process: each job enters the
+        main server's inbox at ``max(submission_time, now)`` (a submission
+        time already in the past means "submit now"), in submission-time
+        order within the batch.  Returns the ordered batch.
+
+        The caller is responsible for telling the main server to expect the
+        extra jobs (see :meth:`repro.core.server.MainServer.expect`);
+        :meth:`repro.core.session.SimulationSession.submit` does both.
+        """
+        batch = self._ordered_batch(jobs)
+        if not batch:
+            return batch
+        self.jobs.extend(batch)
+        self.env.process(self._feeder(batch))
+        return batch
+
+    def _feeder(self, batch: List[Job]):
+        """Release each job of one batch into the inbox at its submission time."""
+        for job in batch:
             delay = job.submission_time - self.env.now
             if delay > 0:
                 yield self.env.timeout(delay)

@@ -99,6 +99,14 @@ class MainServer:
         self.assignments: Dict[int, str] = {}
         #: Retry attempts created for failed jobs (included in the run output).
         self.retry_jobs: List[Job] = []
+        #: Observers called with each job after its completion bookkeeping
+        #: (retries, pending revisits, all_done accounting) has run; the seam
+        #: sessions use for progress counters and early-stop predicates.
+        self.completion_listeners: List = []
+        #: Callables invoked whenever :meth:`expect` re-arms a completed run
+        #: (fresh ``all_done``); the simulator uses this to restart its
+        #: snapshot loop for the new wave.
+        self.rearm_listeners: List = []
         #: Attempts consumed per original job id.
         self._attempts: Dict[int, int] = {}
         #: Event fired once every expected job is terminal.
@@ -136,13 +144,45 @@ class MainServer:
             )
         return ResourceView(statuses, time=self.env.now)
 
+    # -- lifecycle -----------------------------------------------------------------
+    def expect(self, count: int) -> None:
+        """Announce ``count`` additional jobs joining the workload mid-run.
+
+        Raises :attr:`total_jobs` so the completion accounting waits for the
+        newcomers.  If the run had already completed (:attr:`all_done`
+        triggered), a *fresh* ``all_done`` event is armed and the pending-list
+        sweeper restarted, so a finished session becomes runnable again --
+        the open-workload contract behind
+        :meth:`repro.core.session.SimulationSession.submit`.
+        """
+        count = int(count)
+        if count < 0:
+            raise SchedulingError("expect() count must be >= 0")
+        if count == 0:
+            return
+        self.total_jobs += count
+        if self.all_done.triggered:
+            self.all_done = self.env.event()
+            # The sweeper exits only when it *wakes* to a triggered all_done;
+            # if the old one is still parked on its next timeout it re-reads
+            # the fresh event and keeps serving -- spawning another here
+            # would leak one perpetual sweeper per re-arm.
+            if self._retry_process.triggered:
+                self._retry_process = self.env.process(self._pending_sweeper())
+            for listener in self.rearm_listeners:
+                listener()
+
     # -- actors --------------------------------------------------------------------
     def _sender(self):
-        """Main dispatch loop: take jobs from the inbox and place them."""
-        dispatched = 0
-        while dispatched < self.total_jobs:
+        """Main dispatch loop: take jobs from the inbox and place them.
+
+        Runs for the lifetime of the simulation (the workload is open-ended:
+        :meth:`expect` can raise the job count at any time), parking forever
+        on an empty inbox; a blocked process holds no calendar events, so it
+        never keeps the run loop alive on its own.
+        """
+        while True:
             job = yield self.inbox.get()
-            dispatched += 1
             if self.scheduling_overhead > 0:
                 yield self.env.timeout(self.scheduling_overhead)
             self._dispatch(job)
@@ -231,6 +271,8 @@ class MainServer:
         if len(self.completed) >= self.total_jobs and not self.all_done.triggered:
             self.policy.finalize()
             self.all_done.succeed(len(self.completed))
+        for listener in self.completion_listeners:
+            listener(job)
 
     def _maybe_retry(self, job: Job) -> None:
         """Resubmit a failed job as a fresh attempt while retries remain."""

@@ -2,19 +2,26 @@
 
 This is the top-level entry point a user of the library interacts with: give
 it the three configuration inputs (infrastructure, topology, execution
-parameters) and a workload, call :meth:`Simulator.run`, and read back a
-:class:`SimulationResult` containing the executed jobs, the grid-level
-metrics, the event-level monitoring dataset and the platform for further
-inspection.  It wires together every subsystem exactly as the paper's
-architecture figure describes: input layer -> simulation core (+ plugin) ->
-output layer.
+parameters) and a workload, then either
+
+* call :meth:`Simulator.run` for the classic one-shot batch run, or
+* open a :meth:`Simulator.session` for the stepped lifecycle
+  (:class:`~repro.core.session.SimulationSession`): advance the clock in
+  chunks, submit more jobs mid-run, watch live progress, stop early, and
+  finalize when done.
+
+``run()`` is a thin wrapper over a session -- build, advance to completion,
+finalize -- so both paths execute the same kernel calls and produce
+bit-identical results for closed workloads.  Either way the pieces are wired
+together exactly as the paper's architecture figure describes: input layer
+-> simulation core (+ plugin) -> output layer.
 """
 
 from __future__ import annotations
 
-import time as _wallclock
+import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Union
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.data.spec import DataCacheSpec
@@ -25,8 +32,9 @@ from repro.config.infrastructure import InfrastructureConfig
 from repro.config.topology import TopologyConfig
 from repro.core.data_manager import DataManager
 from repro.core.job_manager import JobManager
-from repro.core.metrics import SimulationMetrics, compute_metrics
+from repro.core.metrics import SimulationMetrics
 from repro.core.server import MainServer
+from repro.core.session import SimulationSession
 from repro.core.site import SiteRuntime
 from repro.des import Environment
 from repro.monitoring.collector import MonitoringCollector
@@ -42,9 +50,8 @@ from repro.platform.builder import build_platform
 from repro.platform.platform import Platform
 from repro.plugins.base import AllocationPolicy
 from repro.plugins.registry import create_policy
-from repro.utils.errors import SimulationError
 from repro.utils.logging import NullLogger, SimLogger
-from repro.workload.job import Job
+from repro.workload.job import Job, JobState
 
 __all__ = ["Simulator", "SimulationResult"]
 
@@ -59,6 +66,9 @@ class SimulationResult:
     so analyses can go from headline numbers (``result.metrics.makespan``)
     down to per-job state (``result.finished_jobs``) and raw monitoring rows
     (``result.collector.events``) without re-running anything.
+    ``stopped_reason`` is non-``None`` when the run's session ended early
+    (a stop condition, :meth:`~repro.core.session.SimulationSession.stop`,
+    or a simulated-time budget).
     """
 
     jobs: List[Job]
@@ -69,12 +79,11 @@ class SimulationResult:
     wallclock_seconds: float
     pending_jobs: int = 0
     assignments: Dict[int, str] = field(default_factory=dict)
+    stopped_reason: Optional[str] = None
 
     @property
     def finished_jobs(self) -> List[Job]:
         """Jobs that completed successfully."""
-        from repro.workload.job import JobState
-
         return [j for j in self.jobs if j.state is JobState.FINISHED]
 
     def __repr__(self) -> str:
@@ -123,11 +132,11 @@ class Simulator:
         :class:`~repro.faults.FaultInjector` (sites stop admitting jobs while
         a window is active).
     setup_hook:
-        Optional callable invoked with the simulator after the platform,
-        data manager and site runtimes have been built but before the run
-        starts.  Use it to pre-place dataset replicas (e.g. through
-        :class:`repro.atlas.RucioCatalog`), attach extra monitoring sinks, or
-        inject faults -- anything that needs the live run-time objects.
+        Deprecated alias for :meth:`on_build`: a callable invoked with the
+        simulator after the platform, data manager and site runtimes have
+        been built but before the run starts.  Still honored (routed through
+        the build-callback registry) but emits a :class:`DeprecationWarning`;
+        register with ``simulator.on_build(fn)`` instead.
     logger:
         Structured logger; silent when omitted.
     """
@@ -156,8 +165,20 @@ class Simulator:
         self.parallel_efficiency = parallel_efficiency
         self.failure_model = failure_model
         self.outages = list(outages) if outages is not None else []
-        self.setup_hook = setup_hook
         self.logger = logger or NullLogger()
+        #: Build-time lifecycle callbacks, invoked with the simulator after
+        #: every subsystem is wired but before the first event runs.
+        self._build_hooks: List[Callable[["Simulator"], None]] = []
+        self.setup_hook = setup_hook
+        if setup_hook is not None:
+            warnings.warn(
+                "Simulator(setup_hook=...) is deprecated; register build-time "
+                "callbacks with Simulator.on_build(fn) (the session lifecycle "
+                "API) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self._build_hooks.append(setup_hook)
 
         if policy is not None:
             self.policy = policy
@@ -166,15 +187,31 @@ class Simulator:
                 self.execution.plugin, **self.execution.plugin_options
             )
 
-        # Built lazily by run(); exposed for inspection afterwards.
+        # Built lazily by session()/run(); exposed for inspection afterwards.
         self.env: Optional[Environment] = None
         self.platform: Optional[Platform] = None
         self.sites: Dict[str, SiteRuntime] = {}
         self.server: Optional[MainServer] = None
+        self.job_manager: Optional[JobManager] = None
         self.collector: Optional[MonitoringCollector] = None
         self.data_manager: Optional[DataManager] = None
         self.fault_injector = None
         self._live_sinks: List = []
+        self._active_session: Optional[SimulationSession] = None
+        self._snapshot_process = None
+
+    # -- lifecycle callbacks ----------------------------------------------------
+    def on_build(self, fn: Callable[["Simulator"], None]) -> Callable:
+        """Register ``fn(simulator)`` to run after every build, before events.
+
+        The seam for anything that needs the live run-time objects: placing
+        dataset replicas (e.g. through :class:`repro.atlas.RucioCatalog`),
+        attaching extra monitoring sinks, injecting faults.  Callbacks run in
+        registration order each time a session (or ``run()``) builds the
+        platform.  Returns ``fn`` so it can be used as a decorator.
+        """
+        self._build_hooks.append(fn)
+        return fn
 
     # -- construction of one run -----------------------------------------------------
     def _build(self, jobs: List[Job]) -> None:
@@ -217,13 +254,13 @@ class Simulator:
                 streaming_io=self.streaming_io,
                 logger=self.logger,
             )
-        job_manager = JobManager(self.env, jobs)
+        self.job_manager = JobManager(self.env, jobs)
         self.server = MainServer(
             self.env,
             self.sites,
             self.policy,
-            inbox=job_manager.inbox,
-            total_jobs=job_manager.total_jobs,
+            inbox=self.job_manager.inbox,
+            total_jobs=self.job_manager.total_jobs,
             collector=self.collector if self.execution.monitoring.enable_events else None,
             data_manager=self.data_manager,
             scheduling_overhead=self.execution.scheduling_overhead,
@@ -239,9 +276,19 @@ class Simulator:
                 self.env, self.sites, self.outages, logger=self.logger
             )
         if self.execution.monitoring.snapshot_interval > 0:
-            self.env.process(self._snapshot_loop(self.execution.monitoring.snapshot_interval))
-        if self.setup_hook is not None:
-            self.setup_hook(self)
+            interval = self.execution.monitoring.snapshot_interval
+            self._snapshot_process = self.env.process(self._snapshot_loop(interval))
+
+            def restart_snapshots() -> None:
+                # The loop exits at its first wake after completion; when a
+                # later submit() re-arms the run, a fresh loop must cover the
+                # new wave (but never a second one while the old still runs).
+                if self._snapshot_process.triggered:
+                    self._snapshot_process = self.env.process(self._snapshot_loop(interval))
+
+            self.server.rearm_listeners.append(restart_snapshots)
+        for hook in self._build_hooks:
+            hook(self)
 
     def _snapshot_loop(self, interval: float):
         """Periodic site-level snapshot recording (dashboard / Table 1 context)."""
@@ -263,53 +310,42 @@ class Simulator:
                 )
 
     # -- running ------------------------------------------------------------------
+    def session(self, jobs: Iterable[Job]) -> SimulationSession:
+        """Build the run and return its stepped lifecycle handle.
+
+        Constructs the platform, actors and monitoring for ``jobs`` (running
+        every :meth:`on_build` callback) and hands back a
+        :class:`~repro.core.session.SimulationSession` with the clock parked
+        at 0 -- no event has run yet.  A simulator drives one session at a
+        time: opening a new session (or calling :meth:`run`) rebuilds the
+        run-time objects and detaches the previous session.
+        """
+        if self._active_session is not None:
+            self._active_session._detach()
+            self._active_session = None
+        session = SimulationSession(self, jobs)
+        self._active_session = session
+        return session
+
     def run(self, jobs: Iterable[Job]) -> SimulationResult:
         """Execute the workload and return the collected results.
 
         The simulation ends when every job has reached a terminal state or,
         if configured, when ``execution.max_simulation_time`` is reached.
+        This is a thin wrapper over the session lifecycle -- equivalent to
+        ``simulator.session(jobs).advance_to_completion().finalize()`` --
+        kept as the one-call front door for closed workloads.
         """
-        from repro.workload.job import JobState
-
-        jobs = [
-            job if job.state is JobState.CREATED else job.copy_for_replay() for job in jobs
-        ]
-        started = _wallclock.perf_counter()
-        self._build(jobs)
-        assert self.env is not None and self.server is not None
-
+        session = self.session(jobs)
         try:
-            if self.execution.max_simulation_time is not None:
-                self.env.run(until=self.execution.max_simulation_time)
-            else:
-                self.env.run(until=self.server.all_done)
+            session.advance_to_completion()
         except BaseException:
             # Persist what the streaming sinks already received (committing
             # the SQLite connection) instead of leaking open handles and
             # rolling the batches back.
             self._close_live_sinks()
             raise
-        wallclock = _wallclock.perf_counter() - started
-
-        # Retry attempts created by the main server are part of the run's
-        # output: they carry their own monitoring events and count towards
-        # the attempt-level metrics, exactly as PanDA resubmissions do.
-        jobs = jobs + list(self.server.retry_jobs)
-        metrics = compute_metrics(
-            jobs, collector=self.collector, data_manager=self.data_manager
-        )
-        result = SimulationResult(
-            jobs=jobs,
-            metrics=metrics,
-            collector=self.collector,
-            platform=self.platform,
-            simulated_time=self.env.now,
-            wallclock_seconds=wallclock,
-            pending_jobs=len(self.server.pending),
-            assignments=dict(self.server.assignments),
-        )
-        self._write_outputs(result)
-        return result
+        return session.finalize()
 
     def _close_live_sinks(self) -> None:
         """Flush pending monitoring batches and close the streaming sinks."""
@@ -349,7 +385,13 @@ class Simulator:
             export_jobs_csv(result.jobs, f"{base}/jobs.csv")
 
     def __repr__(self) -> str:
+        try:
+            sites = len(self.infrastructure)
+        except TypeError:
+            # A custom infrastructure object without __len__ must not make
+            # the repr itself raise (debuggers call it eagerly).
+            sites = "?"
         return (
-            f"<Simulator sites={len(self.infrastructure)} policy={self.policy.name!r} "
+            f"<Simulator sites={sites} policy={self.policy.name!r} "
             f"data_transfers={self.enable_data_transfers}>"
         )

@@ -110,6 +110,7 @@ class Environment:
         "_eid",
         "_active_process",
         "_timeout_pool",
+        "_until",
     )
 
     def __init__(self, initial_time: float = 0.0) -> None:
@@ -129,6 +130,12 @@ class Environment:
         self._active_process: Optional[Process] = None
         #: Free list of processed Timeout objects awaiting reuse.
         self._timeout_pool: List[Timeout] = []
+        #: The sentinel of the *currently executing* ``run(until=...)`` call.
+        #: A sentinel left on the calendar by an earlier run (aborted by an
+        #: exception, or simply a deadline beyond where that run stopped) no
+        #: longer matches and is ignored when it is eventually processed --
+        #: this is what makes stop/resume across repeated ``run`` calls safe.
+        self._until: Optional[Event] = None
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -337,6 +344,13 @@ class Environment:
             * a number -- run until the clock reaches that time.
             * an :class:`Event` -- run until that event is processed and
               return its value (re-raising its exception if it failed).
+
+        ``run`` is re-entrant: a stopped (or aborted) run can be resumed by
+        calling ``run`` again with a later deadline or another event.  Only
+        the sentinel belonging to the *current* call stops the loop; stale
+        sentinels left behind by earlier calls are processed as ordinary
+        no-op events (see :class:`repro.core.session.SimulationSession`,
+        which leans on exactly this to pause and resume a simulation).
         """
         until_event: Optional[Event] = None
         if until is not None:
@@ -361,6 +375,7 @@ class Environment:
 
         # The loop body is step() with the calendar bound to locals and the
         # failure/guard/urgent branches pushed out of line.
+        self._until = until_event
         pri_buckets = self._pri_buckets
         pool = self._timeout_pool
         refcount = _getrefcount
@@ -410,6 +425,8 @@ class Environment:
                     raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
         except StopSimulation as stop:
             return stop.value
+        finally:
+            self._until = None
 
         if until_event is not None and not until_event.processed:
             raise SimulationError("simulation ran out of events before reaching 'until'")
@@ -420,7 +437,14 @@ class Environment:
 
 
 def _stop_callback(event: Event) -> None:
-    """Callback attached to ``until`` events: stops the run loop."""
+    """Callback attached to ``until`` events: stops the run loop.
+
+    Only the sentinel of the run call currently executing may stop the loop;
+    a sentinel left behind by an earlier (stopped or aborted) run is ignored,
+    so resuming past an old deadline does not halt prematurely.
+    """
+    if event.env._until is not event:
+        return
     if event._ok:
         raise StopSimulation(event._value)
     raise event._value

@@ -31,7 +31,7 @@ from functools import partial
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.atlas.wlcg import wlcg_grid
-from repro.config.execution import ExecutionConfig, MonitoringConfig
+from repro.config.execution import ExecutionConfig, MonitoringConfig, StopConfig
 from repro.config.generators import generate_grid
 from repro.core.simulator import Simulator
 from repro.experiments.spec import RunResult, RunSpec
@@ -62,6 +62,12 @@ def execute_run(spec: RunSpec) -> RunResult:
     every replicate of a scenario (scenario-scoped seed), while the workload
     and fault streams vary per replicate (run-scoped seeds) -- so replication
     measures workload variance on a fixed infrastructure.
+
+    Each run executes through the session lifecycle
+    (:meth:`~repro.core.Simulator.session`): when the spec carries a
+    ``max_simulated_time`` budget the trial stops at whichever comes first,
+    workload completion or the budget, and records ``stopped_reason`` in its
+    :class:`~repro.experiments.spec.RunResult`.
     """
     started = time.perf_counter()
     try:
@@ -94,16 +100,26 @@ def execute_run(spec: RunSpec) -> RunResult:
             seed=spec.run_seed,
             max_retries=spec.max_retries,
             monitoring=MonitoringConfig(enable_events=False, snapshot_interval=0.0),
+            stop=(
+                StopConfig(max_simulated_time=spec.max_simulated_time)
+                if spec.max_simulated_time is not None
+                else None
+            ),
         )
         simulator = Simulator(
             infrastructure, topology, execution, failure_model=failure_model
         )
-        result = simulator.run(jobs)
+        try:
+            result = simulator.session(jobs).advance_to_completion().finalize()
+        except BaseException:
+            simulator._close_live_sinks()  # nobody resumes a sweep trial
+            raise
         return RunResult(
             spec=spec,
             metrics=result.metrics.to_dict(),
             simulated_time=result.simulated_time,
             wallclock_seconds=time.perf_counter() - started,
+            stopped_reason=result.stopped_reason,
         )
     except Exception as exc:  # noqa: BLE001 - a sweep must record, not crash
         return RunResult(

@@ -57,6 +57,13 @@ class RunSpec:
         fault injection).
     max_retries:
         PanDA-style automatic resubmission budget for failed jobs.
+    max_simulated_time:
+        Per-trial simulated-time budget in seconds (``None`` runs to
+        completion).  Enforced through the session lifecycle: the run stops
+        at whichever comes first -- workload completion or the budget -- and
+        a budget-bound trial records ``stopped_reason="max_simulated_time"``
+        in its :class:`RunResult`.  This is how sweeps bound the cost of
+        pathological axis combinations (the bounded-cost trial semantics).
     params:
         Free-form extras recorded verbatim into results (axis values of a
         custom sweep, notes, ...); must stay picklable.
@@ -74,6 +81,7 @@ class RunSpec:
     walltime_median: Optional[float] = None
     failure_rate: float = 0.0
     max_retries: int = 0
+    max_simulated_time: Optional[float] = None
     params: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -85,6 +93,8 @@ class RunSpec:
             raise CGSimError(f"unknown grid kind {self.grid!r} (synthetic|wlcg)")
         if not 0.0 <= self.failure_rate <= 1.0:
             raise CGSimError("RunSpec.failure_rate must lie in [0, 1]")
+        if self.max_simulated_time is not None and self.max_simulated_time <= 0:
+            raise CGSimError("RunSpec.max_simulated_time must be positive")
 
     @property
     def run_seed(self) -> int:
@@ -124,6 +134,9 @@ class RunResult:
     A failed run is a *recorded* outcome, not an exception: ``metrics`` is
     ``None`` and ``error`` holds the message (plus ``error_traceback`` for
     debugging), so one broken scenario cannot take down a thousand-run sweep.
+    ``stopped_reason`` is set when the run's session terminated early (a
+    simulated-time budget or a pack-level stop condition) -- such a run is
+    still a *successful* outcome, just a bounded one.
     """
 
     spec: RunSpec
@@ -132,6 +145,7 @@ class RunResult:
     wallclock_seconds: float = 0.0
     error: Optional[str] = None
     error_traceback: Optional[str] = None
+    stopped_reason: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -162,6 +176,7 @@ class RunResult:
             "simulated_time": self.simulated_time,
             "wallclock_seconds": self.wallclock_seconds,
             "error": self.error,
+            "stopped_reason": self.stopped_reason,
         }
 
 

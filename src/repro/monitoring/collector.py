@@ -92,11 +92,25 @@ class MonitoringCollector:
         #: Per-site cumulative counters maintained from transitions.
         self._finished: Dict[str, int] = {}
         self._failed: Dict[str, int] = {}
+        #: Live observers called on *every* transition (sampling exempt).
+        self._listeners: List = []
 
     # -- sink management -------------------------------------------------------
     def attach(self, sink: _Sink) -> None:
         """Attach a persistence back-end receiving batches of recorded rows."""
         self._sinks.append(sink)
+
+    def add_transition_listener(self, listener) -> None:
+        """Register ``listener(job, state, time, site)`` on every transition.
+
+        Listeners are the live-observation hook behind
+        :meth:`repro.core.session.SimulationSession.on_job_state`: they fire
+        synchronously for *every* recorded transition -- detail level and
+        ``sample_stride`` thin only the stored rows, never the listener
+        stream -- so progress displays and early-stop predicates always see
+        the true job flow.
+        """
+        self._listeners.append(listener)
 
     # -- recording -------------------------------------------------------------
     def record_transition(
@@ -123,6 +137,9 @@ class MonitoringCollector:
         elif state_value == "failed":
             if site:
                 self._failed[site] = self._failed.get(site, 0) + 1
+        if self._listeners:
+            for listener in self._listeners:
+                listener(job, state, time, site)
         seen = self._seen
         self._seen = seen + 1
         if self.detail == "aggregate" or seen % self.sample_stride:

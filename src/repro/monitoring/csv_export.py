@@ -144,6 +144,17 @@ class CSVSink:
         self._snapshot_writer.writerow([row[field] for field in SNAPSHOT_FIELDS])
 
     # -- lifecycle -----------------------------------------------------------
+    def flush(self) -> None:
+        """Push buffered rows to disk without closing the files.
+
+        Called when a session pauses or aborts mid-run so whatever the sink
+        already received survives, while the sink stays open for a resumed
+        session to keep appending.
+        """
+        for handle in (self._event_handle, self._snapshot_handle):
+            if handle is not None:
+                handle.flush()
+
     def close(self) -> None:
         """Flush and close any open files."""
         for handle in (self._event_handle, self._snapshot_handle):

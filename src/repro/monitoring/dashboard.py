@@ -87,6 +87,22 @@ class Dashboard:
         ]
 
     # -- rendering ---------------------------------------------------------------
+    @classmethod
+    def live_summary(cls, session) -> str:
+        """Render the state of a *running* session, mid-simulation.
+
+        The stepped-lifecycle counterpart of :meth:`render`: hand it a
+        :class:`~repro.core.session.SimulationSession` between advances (or
+        from an ``on_progress`` callback) and it returns the session's
+        progress line -- clock, terminal/total jobs, finished/failed/pending
+        counts, stop reason -- followed by the per-site board built from the
+        latest snapshots the collector has recorded so far.  Read-only: it
+        never flushes, finalises or otherwise perturbs the run.
+        """
+        progress = session.progress()
+        board = cls(session.simulator.collector).render(progress.time)
+        return f"session: {progress.describe()}\n{board}"
+
     def render(self, time: Optional[float] = None) -> str:
         """Render the multi-site view as a fixed-width text table."""
         rows = self.site_rows()

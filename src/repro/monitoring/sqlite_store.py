@@ -192,6 +192,15 @@ class SQLiteStore:
         """Flush pending writes."""
         self._conn.commit()
 
+    def flush(self) -> None:
+        """Commit pending writes, keeping the connection open.
+
+        Uniform sink-pause protocol (see :class:`~repro.monitoring.csv_export.CSVSink`):
+        a paused or aborted session flushes its live sinks without closing
+        them, so the data written so far is durable and the run can resume.
+        """
+        self._conn.commit()
+
     def close(self) -> None:
         """Commit and close the underlying connection."""
         self._conn.commit()

@@ -24,9 +24,10 @@ import time
 import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.metrics import SimulationMetrics
+from repro.core.session import SimulationSession
 from repro.core.simulator import SimulationResult, Simulator
 from repro.experiments.runner import SweepResult, SweepRunner
 from repro.experiments.spec import RunResult, RunSpec
@@ -49,7 +50,7 @@ def _build_simulator(pack: ScenarioPack) -> Tuple[Simulator, List]:
     if pack.faults is not None:
         failure_model, outages = pack.faults.build(infrastructure.site_names)
 
-    setup_hook = None
+    build_hook = None
     enable_data_transfers = False
     data_cache = None
     if pack.data is not None:
@@ -76,7 +77,7 @@ def _build_simulator(pack: ScenarioPack) -> Tuple[Simulator, List]:
         if data.cache is not None:
             data_cache = data.cache.build_spec()
 
-        def setup_hook(simulator: Simulator) -> None:
+        def build_hook(simulator: Simulator) -> None:
             if data_cache is None:
                 from repro.atlas.rucio import RucioCatalog
 
@@ -121,8 +122,9 @@ def _build_simulator(pack: ScenarioPack) -> Tuple[Simulator, List]:
         outages=outages,
         enable_data_transfers=enable_data_transfers,
         data_cache=data_cache,
-        setup_hook=setup_hook,
     )
+    if build_hook is not None:
+        simulator.on_build(build_hook)
     return simulator, jobs
 
 
@@ -196,11 +198,32 @@ def _data_extras(simulator: Simulator) -> Dict[str, float]:
     return extras
 
 
-def _run_single(pack: ScenarioPack) -> Tuple[SimulationMetrics, Dict[str, float], SimulationResult]:
-    """One simulation run of a (sweep-free) pack."""
+def _run_single(
+    pack: ScenarioPack,
+    progress: Optional[Callable[[SimulationSession], None]] = None,
+    progress_interval: float = 60.0,
+) -> Tuple[SimulationMetrics, Dict[str, float], SimulationResult]:
+    """One simulation run of a (sweep-free) pack, executed through a session.
+
+    The session lifecycle is what gives packs their ``execution.stop``
+    semantics (early termination on simulated-time budgets, job counts or
+    metric predicates -- the ``stopped_reason`` lands in the outcome) and,
+    when ``progress`` is given, live observation: the callback receives the
+    running session every ``progress_interval`` simulated seconds.
+    """
     simulator, jobs = _build_simulator(pack)
     original_jobs = list(jobs)
-    result = simulator.run(jobs)
+    session = simulator.session(jobs)
+    if progress is not None:
+        session.on_progress(progress_interval, lambda _snapshot: progress(session))
+    try:
+        result = session.advance_to_completion().finalize()
+    except BaseException:
+        # Nobody resumes this session: keep run()'s historical contract of
+        # not leaking open streaming-sink handles out of a crashed run
+        # (sweep workers record the error and keep executing trials).
+        simulator._close_live_sinks()
+        raise
     extras: Dict[str, float] = {}
     if pack.faults is not None or pack.execution.max_retries:
         extras.update(_reliability_extras(original_jobs, result))
@@ -260,6 +283,7 @@ def execute_scenario_spec(spec: RunSpec) -> RunResult:
             metrics=merged,
             simulated_time=result.simulated_time,
             wallclock_seconds=time.perf_counter() - started,
+            stopped_reason=result.stopped_reason,
         )
     except Exception as exc:  # noqa: BLE001 - a sweep must record, not crash
         return RunResult(
@@ -315,6 +339,9 @@ class ScenarioOutcome:
     ``mode`` is ``"single"`` (``metrics``/``extras`` hold the run),
     ``"sweep"`` (``sweep`` holds the per-run results and aggregates) or
     ``"calibration"`` (``calibration`` holds the per-site report).
+    ``stopped_reason`` is set when a single-mode run ended early through a
+    pack ``execution.stop`` condition (sweep runs carry theirs on each
+    :class:`~repro.experiments.spec.RunResult`).
     :meth:`render` returns the text view ``repro scenario run`` prints, and
     :meth:`to_dict` the JSON written by ``--output``.
     """
@@ -327,6 +354,7 @@ class ScenarioOutcome:
     sweep: Optional[SweepResult] = None
     calibration: Optional[object] = None  # CalibrationReport (import kept lazy)
     wallclock_seconds: float = 0.0
+    stopped_reason: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -387,6 +415,9 @@ class ScenarioOutcome:
         lines: List[str] = []
         if self.mode == "single":
             assert self.metrics is not None
+            if self.stopped_reason is not None:
+                lines.append(f"stopped early: {self.stopped_reason}")
+                lines.append("")
             lines.append(metrics_table(self.metrics))
             if self.metrics.cache_per_site:
                 from repro.analysis.reporting import cache_table
@@ -435,6 +466,8 @@ class ScenarioOutcome:
             data["metrics"] = self.metrics.to_dict()
             data["extras"] = dict(self.extras)
             data["simulated_time"] = self.simulated_time
+            if self.stopped_reason is not None:
+                data["stopped_reason"] = self.stopped_reason
         elif self.mode == "sweep":
             assert self.sweep is not None
             data["sweep"] = self.sweep.to_dict()
@@ -451,12 +484,18 @@ def run_scenario_pack(
     pack: Union[ScenarioPack, str],
     workers: Optional[int] = None,
     overrides: Optional[Dict[str, Any]] = None,
+    progress: Optional[Callable[[SimulationSession], None]] = None,
+    progress_interval: float = 60.0,
 ) -> ScenarioOutcome:
     """Run a scenario pack (by object or registry name) end-to-end.
 
     ``workers`` overrides the pack's worker count for sweep/calibration
     parallelism (``0`` means one per CPU); ``overrides`` are dotted-path
     pack overrides applied -- and revalidated -- before anything runs.
+    ``progress`` (single-run packs only) is called with the live
+    :class:`~repro.core.session.SimulationSession` every
+    ``progress_interval`` simulated seconds -- the hook behind
+    ``repro scenario run --progress``.
 
     >>> from repro.scenarios import run_scenario_pack
     >>> outcome = run_scenario_pack(
@@ -512,7 +551,9 @@ def run_scenario_pack(
             wallclock_seconds=time.perf_counter() - started,
         )
 
-    metrics, extras, result = _run_single(pack)
+    metrics, extras, result = _run_single(
+        pack, progress=progress, progress_interval=progress_interval
+    )
     return ScenarioOutcome(
         pack=pack,
         mode="single",
@@ -520,4 +561,5 @@ def run_scenario_pack(
         extras=extras,
         simulated_time=result.simulated_time,
         wallclock_seconds=time.perf_counter() - started,
+        stopped_reason=result.stopped_reason,
     )

@@ -71,6 +71,12 @@ EXAMPLE_CASES = [
         ["--jobs", "80", "--sites", "3", "--runs-per-scenario", "2", "--workers", "2"],
         ["Parallel sweep", "worker(s)", "scenario"],
     ),
+    (
+        "open_workload_session.py",
+        ["--jobs", "120", "--sites", "4"],
+        ["After one simulated hour", "second wave at t=3600s",
+         "Stopped early: 95% of attempts complete"],
+    ),
 ]
 
 
