@@ -1,0 +1,141 @@
+"""Cost of the checkpoint/restore layer (repro.state).
+
+The snapshottable-state redesign promises that freezing a run is cheap and
+that resuming one is never slower than redoing the work: a checkpoint is a
+compressed record of the run's inputs + op log + component snapshots, and a
+restore *replays* that log.  This bench measures the three quantities the
+docs quote:
+
+* **blob size** -- bytes of a mid-run checkpoint at half the workload's
+  makespan, and how it scales against job count;
+* **checkpoint / restore wall time** -- best-of-``ROUNDS`` time to freeze a
+  paused session and to rebuild + fast-forward + verify one from the blob
+  (both monitoring modes: ``replay`` re-records retained rows, ``muted``
+  trades them for speed);
+* **fast-forward vs cold run** -- restoring at t_half and finishing,
+  against running the whole workload from scratch.  The replay itself
+  re-executes the first half, so the contract is "comparable, never
+  pathological" rather than "free"; the recorded ratio feeds the
+  scalability notes.
+
+Semantics are asserted alongside the timings: the restored run's result
+fingerprint must equal the uninterrupted run's, which makes this bench a
+standing end-to-end regression for bit-identical resume at a size the unit
+tests do not reach.  Sizes scale with ``CGSIM_BENCH_SCALE``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config.execution import ExecutionConfig, MonitoringConfig
+from repro.config.generators import generate_grid
+from repro.core.session import SimulationSession
+from repro.core.simulator import Simulator
+from repro.experiments.bench import BENCH_SCALE
+from repro.state import decode_checkpoint, fingerprint_result
+from repro.workload.generator import SyntheticWorkloadGenerator
+from repro.workload.job import reset_job_id_counter
+
+#: Jobs in the measured workload (floored to stay above timer noise).
+N_JOBS = max(300, int(1500 * BENCH_SCALE))
+N_SITES = max(3, int(6 * BENCH_SCALE))
+#: Interleaved measurement rounds; best-of keeps scheduler noise out.
+ROUNDS = 3
+#: Job-id counter base so every compared run allocates identical ids.
+COUNTER_BASE = 900_000
+
+
+def _inputs():
+    infrastructure, topology = generate_grid(N_SITES, seed=11)
+    jobs = SyntheticWorkloadGenerator(infrastructure, seed=7).generate(N_JOBS)
+    execution = ExecutionConfig(
+        plugin="least_loaded", monitoring=MonitoringConfig(snapshot_interval=0.0)
+    )
+    return infrastructure, topology, execution, jobs
+
+
+def _session(infrastructure, topology, execution, jobs):
+    reset_job_id_counter(COUNTER_BASE)
+    return Simulator(infrastructure, topology, execution).session(
+        [job.copy_for_replay() for job in jobs]
+    )
+
+
+def test_checkpoint_restore_costs(record_result):
+    infrastructure, topology, execution, jobs = _inputs()
+
+    # Cold reference: the uninterrupted run, timed, and its fingerprint.
+    cold_times = []
+    cold_fp = None
+    makespan = 0.0
+    for _ in range(ROUNDS):
+        session = _session(infrastructure, topology, execution, jobs)
+        started = time.perf_counter()
+        session.advance_to_completion()
+        cold_times.append(time.perf_counter() - started)
+        result = session.finalize()
+        cold_fp = fingerprint_result(result)
+        makespan = result.simulated_time
+    t_half = makespan / 2.0
+
+    checkpoint_times, restore_times, muted_times, finish_times = [], [], [], []
+    blob = None
+    for _ in range(ROUNDS):
+        session = _session(infrastructure, topology, execution, jobs)
+        session.advance_until(t_half)
+        started = time.perf_counter()
+        blob = session.checkpoint()
+        checkpoint_times.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        restored = SimulationSession.restore(None, blob)
+        restore_times.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        SimulationSession.restore(None, blob, monitoring="muted")
+        muted_times.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        restored.advance_to_completion()
+        finish_times.append(time.perf_counter() - started)
+        # Bit-identity at bench scale: the restored half must finish into
+        # exactly the cold run's observable result.
+        assert fingerprint_result(restored.finalize()) == cold_fp
+
+    payload = decode_checkpoint(blob)
+    cold_best = min(cold_times)
+    fast_forward_best = min(restore_times) + min(finish_times)
+    record_result(
+        "checkpoint",
+        {
+            "jobs": N_JOBS,
+            "sites": N_SITES,
+            "rounds": ROUNDS,
+            "simulated_makespan_s": makespan,
+            "checkpoint_at_s": t_half,
+            "blob_bytes": len(blob),
+            "blob_bytes_per_job": len(blob) / N_JOBS,
+            "ops_recorded": len(payload["ops"]),
+            "checkpoint_best_s": min(checkpoint_times),
+            "restore_replay_best_s": min(restore_times),
+            "restore_muted_best_s": min(muted_times),
+            "resume_total_best_s": fast_forward_best,
+            "cold_run_best_s": cold_best,
+            "resume_vs_cold": fast_forward_best / cold_best,
+        },
+    )
+    print(
+        f"\ncheckpoint: blob {len(blob) / 1024:.1f} KiB for {N_JOBS} jobs, "
+        f"freeze {min(checkpoint_times) * 1e3:.1f} ms, "
+        f"restore(replay) {min(restore_times) * 1e3:.1f} ms, "
+        f"restore(muted) {min(muted_times) * 1e3:.1f} ms; "
+        f"resume-at-half {fast_forward_best:.3f}s vs cold {cold_best:.3f}s "
+        f"({fast_forward_best / cold_best:.2f}x)"
+    )
+
+    # Guard rails, generous enough for CI noise: freezing must stay far
+    # cheaper than running, and a half-way resume must never cost more than
+    # two cold runs (replaying the first half bounds it near ~1.5x).
+    assert min(checkpoint_times) < cold_best
+    assert fast_forward_best < 2.0 * cold_best

@@ -34,6 +34,7 @@ OUTPUT_DIR = REPO_ROOT / "docs" / "reference"
 MODULES = [
     "repro.des",
     "repro.core.session",
+    "repro.state",
     "repro.data",
     "repro.plugins",
     "repro.scenarios",

@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.calibration.objective import geometric_mean, relative_mae  # re-exported
 from repro.utils.errors import CGSimError
+from repro.utils.rng import spawn_rng
 
 __all__ = ["geometric_mean", "relative_mae", "bootstrap_ci", "speedup"]
 
@@ -30,7 +31,7 @@ def bootstrap_ci(
         raise CGSimError("bootstrap over an empty sample")
     if not 0 < confidence < 1:
         raise CGSimError("confidence must lie in (0, 1)")
-    rng = np.random.default_rng(seed)
+    rng = spawn_rng(seed, "analysis-bootstrap")
     point = float(statistic(array))
     resampled = np.empty(n_resamples)
     for i in range(n_resamples):

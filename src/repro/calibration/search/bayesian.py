@@ -16,6 +16,7 @@ from scipy.linalg import cho_factor, cho_solve
 from scipy.stats import norm
 
 from repro.calibration.search.base import Optimizer, OptimizationResult, register_optimizer
+from repro.utils.rng import spawn_rng
 
 __all__ = ["BayesianOptimizer"]
 
@@ -93,7 +94,7 @@ class BayesianOptimizer(Optimizer):
         box = self._validate(bounds, budget)
         dims = box.shape[0]
         span = box[:, 1] - box[:, 0]
-        rng = np.random.default_rng(self.seed)
+        rng = spawn_rng(self.seed, "calibration-bayesian")
 
         def denorm(u: np.ndarray) -> np.ndarray:
             return box[:, 0] + u * span

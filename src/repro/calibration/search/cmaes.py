@@ -15,6 +15,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.calibration.search.base import Optimizer, OptimizationResult, register_optimizer
+from repro.utils.rng import spawn_rng
 
 __all__ = ["CMAESOptimizer"]
 
@@ -43,7 +44,7 @@ class CMAESOptimizer(Optimizer):
         box = self._validate(bounds, budget)
         n = box.shape[0]
         span = box[:, 1] - box[:, 0]
-        rng = np.random.default_rng(self.seed)
+        rng = spawn_rng(self.seed, "calibration-cmaes")
 
         lam = self.population or (4 + int(3 * np.log(n)))
         lam = max(2, min(lam, budget))

@@ -13,6 +13,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.calibration.search.base import Optimizer, OptimizationResult, register_optimizer
+from repro.utils.rng import spawn_rng
 
 __all__ = ["RandomSearchOptimizer"]
 
@@ -23,7 +24,7 @@ class RandomSearchOptimizer(Optimizer):
 
     def minimize(self, objective, bounds, budget: int) -> OptimizationResult:
         box = self._validate(bounds, budget)
-        rng = np.random.default_rng(self.seed)
+        rng = spawn_rng(self.seed, "calibration-random-search")
         # Every trial is independent, so the whole budget is drawn up front
         # and evaluated as one batch (parallel when a batch_map is installed).
         candidates = [rng.uniform(box[:, 0], box[:, 1]) for _ in range(budget)]

@@ -112,6 +112,43 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="SECONDS",
                      help="print a live progress line to stderr, throttled to "
                      "at most one every SECONDS of wall-clock time (default 2)")
+    run.add_argument("--checkpoint-every", default=None, metavar="TIME",
+                     help="write a checkpoint blob every TIME simulated seconds "
+                     "(or a duration such as '6h'); requires --checkpoint-dir")
+    run.add_argument("--checkpoint-dir", type=Path, default=None, metavar="DIR",
+                     help="write checkpoint_t<time>.ckpt blobs plus latest.ckpt "
+                     "to DIR (resume with `cgsim resume DIR/latest.ckpt`); "
+                     "without --checkpoint-every a single blob freezes the "
+                     "final pre-finalize state")
+
+    res = sub.add_parser(
+        "resume",
+        help="restore a checkpoint blob written by `run`/`scenario run` "
+        "--checkpoint-dir, advance it (to completion or --until) and print "
+        "the metrics table; --checkpoint-dir keeps checkpointing the "
+        "resumed run",
+    )
+    res.add_argument("checkpoint", type=Path,
+                     help="checkpoint blob (.ckpt), e.g. DIR/latest.ckpt")
+    res.add_argument("--until", default=None, metavar="TIME",
+                     help="advance the simulated clock only to TIME (seconds, "
+                     "or a duration such as '12h') and report the partial run")
+    res.add_argument("--progress", nargs="?", const=2.0, default=None, type=float,
+                     metavar="SECONDS",
+                     help="print a live progress line to stderr, throttled to "
+                     "at most one every SECONDS of wall-clock time (default 2)")
+    res.add_argument("--per-site", action="store_true",
+                     help="print the per-site breakdown")
+    res.add_argument("--muted-replay", action="store_true",
+                     help="skip monitoring recording during the restore "
+                     "fast-forward (faster; counters are re-seated from the "
+                     "blob, but replayed event rows are not retained)")
+    res.add_argument("--checkpoint-every", default=None, metavar="TIME",
+                     help="keep writing checkpoints every TIME simulated "
+                     "seconds; requires --checkpoint-dir")
+    res.add_argument("--checkpoint-dir", type=Path, default=None, metavar="DIR",
+                     help="directory for further checkpoint blobs of the "
+                     "resumed run")
 
     cal = sub.add_parser(
         "calibrate",
@@ -253,6 +290,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="single-run packs: print a live progress line to "
                           "stderr, throttled to at most one every SECONDS of "
                           "wall-clock time (default 2)")
+    scen_run.add_argument("--checkpoint-every", default=None, metavar="TIME",
+                          help="single-run packs: write a checkpoint blob every "
+                          "TIME simulated seconds (or a duration such as '6h')")
+    scen_run.add_argument("--checkpoint-dir", type=Path, default=None,
+                          metavar="DIR",
+                          help="single-run packs: write checkpoint blobs to DIR "
+                          "and resume automatically from DIR/latest.ckpt when "
+                          "it matches this pack (crash-resumable studies)")
     return parser
 
 
@@ -313,30 +358,38 @@ def _throttled_progress_printer(min_interval: float):
     return printer
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _drive_session(args: argparse.Namespace, session, extra=None) -> None:
+    """Advance a CLI session per --until/--checkpoint-every/--checkpoint-dir."""
     from repro.utils.units import parse_duration
 
-    infrastructure = load_infrastructure(args.infrastructure)
-    topology = load_topology(args.topology)
-    execution = load_execution(args.execution)
-    jobs = load_trace(args.trace)
-    simulator = Simulator(infrastructure, topology, execution)
-    session = simulator.session(jobs)
-    printer = None
-    if args.progress is not None:
-        printer = _throttled_progress_printer(args.progress)
-        # The in-sim tick is deliberately fine-grained (60 simulated
-        # seconds); the wall-clock throttle above decides what actually
-        # prints.
-        session.on_progress(60.0, lambda _snapshot: printer(session))
-    if args.until is not None:
-        session.advance_until(parse_duration(args.until))
-    else:
-        session.advance_to_completion()
-    if printer is not None:
-        # Always end with one line, even for runs shorter than a tick.
-        printer(session, force=True)
-    result = session.finalize()
+    every = (
+        parse_duration(args.checkpoint_every)
+        if args.checkpoint_every is not None
+        else None
+    )
+    until = parse_duration(args.until) if args.until is not None else None
+    if args.checkpoint_dir is None:
+        if every is not None:
+            raise CGSimError("--checkpoint-every requires --checkpoint-dir")
+        if until is not None:
+            session.advance_until(until)
+        else:
+            session.advance_to_completion()
+        return
+    from repro.state import drive_with_checkpoints
+
+    written = drive_with_checkpoints(
+        session, args.checkpoint_dir, every=every, until=until, extra=extra
+    )
+    print(
+        f"wrote {len(written)} checkpoint(s) to {args.checkpoint_dir} "
+        f"(resume with `cgsim resume {args.checkpoint_dir / 'latest.ckpt'}`)",
+        file=sys.stderr,
+    )
+
+
+def _report_run(args: argparse.Namespace, session, result) -> None:
+    """Print the standard post-run report (metrics, pause note, breakdowns)."""
     print(metrics_table(result.metrics))
     if args.until is not None and not session.done:
         print()
@@ -353,9 +406,75 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(site_table(result.metrics))
         print()
         print(transition_table(result.metrics))
-    if args.dashboard:
+    if getattr(args, "dashboard", False):
         print()
         print(Dashboard(result.collector).render(result.simulated_time))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    infrastructure = load_infrastructure(args.infrastructure)
+    topology = load_topology(args.topology)
+    execution = load_execution(args.execution)
+    jobs = load_trace(args.trace)
+    simulator = Simulator(infrastructure, topology, execution)
+    session = simulator.session(jobs)
+    printer = None
+    if args.progress is not None:
+        printer = _throttled_progress_printer(args.progress)
+        # The in-sim tick is deliberately fine-grained (60 simulated
+        # seconds); the wall-clock throttle above decides what actually
+        # prints.
+        session.on_progress(60.0, lambda _snapshot: printer(session))
+    _drive_session(args, session)
+    if printer is not None:
+        # Always end with one line, even for runs shorter than a tick.
+        printer(session, force=True)
+    result = session.finalize()
+    _report_run(args, session, result)
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.core.session import SimulationSession
+    from repro.state import decode_checkpoint
+
+    if not args.checkpoint.exists():
+        raise CGSimError(f"checkpoint blob not found: {args.checkpoint}")
+    blob = args.checkpoint.read_bytes()
+    payload = decode_checkpoint(blob)
+    extra = payload.get("extra") or {}
+    factory = None
+    if isinstance(extra, dict) and extra.get("scenario_pack"):
+        # Scenario blobs carry their pack: rebuilding through the scenario
+        # runner re-registers the pack's build hooks (replica placement),
+        # which the embedded-config path cannot reconstruct.
+        from repro.scenarios.runner import _build_simulator
+        from repro.scenarios.schema import ScenarioPack
+
+        source = extra.get("scenario_source")
+        pack = ScenarioPack.from_dict(
+            extra["scenario_pack"], source=Path(source) if source else None
+        )
+
+        def factory():
+            return _build_simulator(pack)[0]
+
+    session = SimulationSession.restore(
+        factory, blob, monitoring="muted" if args.muted_replay else "replay"
+    )
+    print(
+        f"restored from {args.checkpoint}: {session.progress().describe()}",
+        file=sys.stderr,
+    )
+    printer = None
+    if args.progress is not None:
+        printer = _throttled_progress_printer(args.progress)
+        session.on_progress(60.0, lambda _snapshot: printer(session))
+    _drive_session(args, session, extra=extra if extra else None)
+    if printer is not None:
+        printer(session, force=True)
+    result = session.finalize()
+    _report_run(args, session, result)
     return 0
 
 
@@ -618,11 +737,28 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                 f"(this pack runs a {pack.mode()})",
                 file=sys.stderr,
             )
+    checkpoint_dir = args.checkpoint_dir
+    checkpoint_every = None
+    if checkpoint_dir is not None and pack.mode() != "single":
+        print(
+            f"note: --checkpoint-dir applies to single-run packs only "
+            f"(this pack runs a {pack.mode()})",
+            file=sys.stderr,
+        )
+        checkpoint_dir = None
+    if args.checkpoint_every is not None and checkpoint_dir is not None:
+        from repro.utils.units import parse_duration
+
+        checkpoint_every = parse_duration(args.checkpoint_every)
+    elif args.checkpoint_every is not None and args.checkpoint_dir is None:
+        raise CGSimError("--checkpoint-every requires --checkpoint-dir")
     outcome = run_scenario_pack(
         pack,
         workers=args.workers,
         overrides=_parse_overrides(args.overrides),
         progress=progress_fn,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
     )
     header = outcome.pack.title or outcome.pack.name
     print(f"scenario {outcome.pack.name} [{outcome.mode}]: {header}")
@@ -650,6 +786,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate-config": _cmd_generate_config,
         "generate-trace": _cmd_generate_trace,
         "run": _cmd_run,
+        "resume": _cmd_resume,
         "calibrate": _cmd_calibrate,
         "sensitivity": _cmd_sensitivity,
         "compare-policies": _cmd_compare_policies,

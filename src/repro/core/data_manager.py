@@ -230,6 +230,44 @@ class DataManager:
                 warmed += 1
         return warmed
 
+    # -- checkpoint support ----------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture the data subsystem's checkpointable state.
+
+        Part of the :class:`repro.state.Snapshottable` protocol: the replica
+        catalogue (dataset -> holding sites), the transfer-log length, the
+        number of in-flight fetches and every site cache's snapshot.  All of
+        it is replay-derived, so this is the verification record the data
+        layer of a restored run is compared against.
+        """
+        return {
+            "replicas": {
+                dataset: sorted(by_site) for dataset, by_site in self._replicas.items()
+            },
+            "transfers": len(self.transfer_log),
+            "inflight": sorted(
+                f"{dataset}->{destination}" for dataset, destination in self._inflight
+            ),
+            "caches": {site: cache.snapshot() for site, cache in sorted(self.caches.items())},
+        }
+
+    def restore(self, state: dict) -> None:
+        """Verify the replayed data subsystem matches a snapshot.
+
+        Catalogue content, transfer counts, in-flight bookkeeping and cache
+        state are rebuilt by replaying the event stream; divergence raises
+        :class:`~repro.utils.errors.CheckpointError` with the offending
+        paths rather than silently resuming a different data layout.
+        """
+        from repro.state.protocol import diff_states
+        from repro.utils.errors import CheckpointError
+
+        diffs = diff_states(state, self.snapshot())
+        if diffs:
+            raise CheckpointError(
+                "data manager diverged during replay: " + "; ".join(diffs)
+            )
+
     # -- data movement ---------------------------------------------------------
     def _route_cost(self, source: str, destination: str) -> Tuple[float, float]:
         """Cost of staging from ``source``: (route latency, -bottleneck bandwidth)."""

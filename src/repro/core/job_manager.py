@@ -92,6 +92,34 @@ class JobManager:
         self.env.process(self._feeder(batch))
         return batch
 
+    # -- checkpoint support ------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture the feeder's checkpointable counters (totals and releases).
+
+        Part of the :class:`repro.state.Snapshottable` protocol: the
+        workload itself is recorded by the session as pristine job waves, so
+        the manager only contributes the verification counters -- how many
+        jobs it holds and how many it has already fed to the main server.
+        """
+        return {"total": len(self.jobs), "released": self._released}
+
+    def restore(self, state: dict) -> None:
+        """Verify the replayed feeder matches a snapshot (replay-derived state).
+
+        The feeder processes are rebuilt by replay, so ``restore`` checks
+        the live counters against the snapshot and raises
+        :class:`~repro.utils.errors.CheckpointError` on divergence instead
+        of mutating anything.
+        """
+        from repro.state.protocol import diff_states
+        from repro.utils.errors import CheckpointError
+
+        diffs = diff_states(state, self.snapshot())
+        if diffs:
+            raise CheckpointError(
+                "job manager diverged during replay: " + "; ".join(diffs)
+            )
+
     def _feeder(self, batch: List[Job]):
         """Release each job of one batch into the inbox at its submission time."""
         for job in batch:

@@ -299,6 +299,43 @@ class MainServer:
         )
         self._dispatch(attempt)
 
+    # -- checkpoint support ------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture the dispatch state: totals, pending ids, assignments, retries.
+
+        Part of the :class:`repro.state.Snapshottable` protocol.  Everything
+        here is replay-derived (the sender/sweeper processes rebuild it when
+        the session re-executes its op log), so the snapshot serves as the
+        verification record a restore is checked against -- job ids in the
+        pending list keep arrival order, which replay must reproduce exactly.
+        """
+        return {
+            "total_jobs": self.total_jobs,
+            "completed": len(self.completed),
+            "pending": [int(job.job_id) for job in self.pending],
+            "assignments": {int(k): v for k, v in self.assignments.items()},
+            "attempts": {int(k): int(v) for k, v in self._attempts.items()},
+            "retry_jobs": [int(job.job_id) for job in self.retry_jobs],
+            "all_done": bool(self.all_done.triggered),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Verify the replayed server matches a snapshot (replay-derived state).
+
+        Raises :class:`~repro.utils.errors.CheckpointError` listing every
+        divergent field; a clean pass means the replay reproduced dispatch
+        decisions, pending order, retry accounting and completion state
+        bit-identically.
+        """
+        from repro.state.protocol import diff_states
+        from repro.utils.errors import CheckpointError
+
+        diffs = diff_states(state, self.snapshot())
+        if diffs:
+            raise CheckpointError(
+                "main server diverged during replay: " + "; ".join(diffs)
+            )
+
     # -- monitoring --------------------------------------------------------------------
     def _record(self, job: Job, state: JobState, site_name: str) -> None:
         if self.collector is None:

@@ -44,8 +44,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Tuple
 
 from repro.des.events import Event
-from repro.utils.errors import SimulationError
-from repro.workload.job import Job, JobState
+from repro.utils.errors import CheckpointError, SessionError, SimulationError
+from repro.workload.job import Job, JobState, job_id_counter, reset_job_id_counter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.metrics import SimulationMetrics
@@ -58,6 +58,11 @@ _ACTIVE = "active"
 _STOPPED = "stopped"
 _FINALIZED = "finalized"
 _DETACHED = "detached"
+#: A restore that raised partway leaves the session in this state: the
+#: replayed objects exist but were never verified, so every lifecycle entry
+#: point refuses with a clear :class:`SessionError` instead of an attribute
+#: error deep inside a half-restored object graph.
+_BROKEN = "broken"
 
 
 @dataclass
@@ -130,6 +135,10 @@ class SimulationSession:
 
     def __init__(self, simulator: "Simulator", jobs: Iterable[Job]) -> None:
         started = _wallclock.perf_counter()
+        #: Where the process-global job-id counter stood at construction;
+        #: recorded in checkpoints so a restore re-seats it before replaying
+        #: (retry attempts allocate ids from it).
+        self._job_counter_base = job_id_counter()
         self._simulator = simulator
         #: Jobs of this run in input order (grown by :meth:`submit`).
         self._jobs: List[Job] = [
@@ -151,6 +160,20 @@ class SimulationSession:
         self._failed_count = 0
         self._completions_since_check = 0
         self._wallclock = 0.0
+        #: Pristine copies of every submitted batch (wave 0 = construction);
+        #: together with :attr:`_ops` these are the checkpoint's replay inputs.
+        self._waves: List[List[Job]] = [[job.copy_for_replay() for job in self._jobs]]
+        #: Lifecycle op log: ["until", t] / ["completion"] / ["step", n] /
+        #: ["submit", wave_index] / ["stop", reason], in execution order.
+        self._ops: List[list] = []
+        #: An advance aborted by an exception leaves mid-bucket state replay
+        #: cannot reproduce; checkpointing is refused until then.
+        self._dirty = False
+        #: True while :meth:`restore` fast-forwards this session.
+        self._restoring = False
+        self._broken_reason: Optional[str] = None
+        #: Fork-branch index (None for a root session).
+        self._branch: Optional[int] = None
 
         simulator._build(self._jobs)
         assert simulator.env is not None and simulator.server is not None
@@ -199,10 +222,15 @@ class SimulationSession:
     # -- lifecycle guards -------------------------------------------------------
     def _require_open(self) -> None:
         if self._state == _FINALIZED:
-            raise SimulationError("session already finalized; create a new session")
+            raise SessionError("session already finalized; create a new session")
         if self._state == _DETACHED:
-            raise SimulationError(
+            raise SessionError(
                 "session detached: its Simulator started another session/run"
+            )
+        if self._state == _BROKEN:
+            raise SessionError(
+                "session restore did not complete "
+                f"({self._broken_reason}); restore again from the checkpoint blob"
             )
 
     def _detach(self) -> None:
@@ -361,7 +389,14 @@ class SimulationSession:
         ``stopped_reason``.
         """
         self._require_open()
+        # A stop issued between advances is part of the session's replayable
+        # history; one issued from inside a callback mid-advance is already
+        # implied by the surrounding advance op (and by the stop conditions
+        # reinstalled on restore), so only the former is logged.
+        outside_advance = self._sentinel is None
         self._request_stop(reason)
+        if outside_advance:
+            self._ops.append(["stop", reason])
         return self
 
     # -- stepping ----------------------------------------------------------------
@@ -378,8 +413,13 @@ class SimulationSession:
         except IndexError:
             return False
         except BaseException:
+            self._dirty = True
             self._pause_sinks()
             raise
+        if self._ops and self._ops[-1][0] == "step":
+            self._ops[-1][1] += 1
+        else:
+            self._ops.append(["step", 1])
         return True
 
     def advance_until(self, until: float) -> "SimulationSession":
@@ -405,8 +445,10 @@ class SimulationSession:
             effective, budget_bound = self._time_budget, True
             if effective <= now:
                 self._request_stop("max_simulated_time")
+                self._ops.append(["until", deadline])
                 return self
         self._advance(deadline=effective, budget_bound=budget_bound)
+        self._ops.append(["until", deadline])
         return self
 
     def advance_for(self, delta: float) -> "SimulationSession":
@@ -434,8 +476,10 @@ class SimulationSession:
             return self.advance_until(legacy_deadline)
         if self._time_budget is not None and self._time_budget <= self.now:
             self._request_stop("max_simulated_time")
+            self._ops.append(["completion"])
             return self
         self._advance(deadline=self._time_budget, budget_bound=True, to_completion=True)
+        self._ops.append(["completion"])
         return self
 
     # -- the advance engine -------------------------------------------------------
@@ -491,6 +535,7 @@ class SimulationSession:
                 server.all_done.callbacks.append(self._completion_hook)
             env.run(until=sentinel)
         except BaseException:
+            self._dirty = True
             self._pause_sinks()
             raise
         finally:
@@ -556,7 +601,7 @@ class SimulationSession:
         """
         self._require_open()
         if self._state == _STOPPED:
-            raise SimulationError(
+            raise SessionError(
                 f"session stopped ({self._stopped_reason}); finalize it instead"
             )
         batch = [
@@ -572,6 +617,8 @@ class SimulationSession:
         self._simulator.job_manager.submit(batch)
         self._simulator.server.expect(len(batch))
         self._jobs.extend(batch)
+        self._ops.append(["submit", len(self._waves)])
+        self._waves.append([job.copy_for_replay() for job in batch])
         return batch
 
     # -- live inspection ---------------------------------------------------------
@@ -612,6 +659,327 @@ class SimulationSession:
             data_manager=simulator.data_manager,
         )
 
+    # -- checkpoint / restore / fork ------------------------------------------------
+    @property
+    def branch(self) -> Optional[int]:
+        """Fork-branch index of this session (``None`` for a root session)."""
+        return self._branch
+
+    def snapshot(self) -> dict:
+        """Canonical state map of every stateful component of this run.
+
+        Part of the :class:`repro.state.Snapshottable` protocol.  The map
+        aggregates the kernel clock, job manager, main server, per-site
+        runtimes, allocation policy, monitoring counters, data subsystem and
+        failure model -- plus the session's own counters -- in canonical
+        (JSON-like, deterministically ordered) form.  A checkpoint stores
+        this map and :meth:`restore` verifies its replay reproduces it
+        bit-identically.
+        """
+        from repro.state.protocol import canonical_state
+
+        sim = self._simulator
+        components = {
+            "session": {
+                "state": self._state,
+                "stopped_reason": self._stopped_reason,
+                "finished": self._finished_count,
+                "failed": self._failed_count,
+                "completions_since_check": self._completions_since_check,
+                "jobs": len(self._jobs),
+            },
+            "kernel": sim.env.snapshot(),
+            "job_manager": sim.job_manager.snapshot(),
+            "server": sim.server.snapshot(),
+            "sites": {name: site.snapshot() for name, site in sorted(sim.sites.items())},
+            "policy": sim.policy.snapshot(),
+            "monitoring": sim.collector.snapshot() if sim.collector is not None else None,
+            "data": sim.data_manager.snapshot() if sim.data_manager is not None else None,
+            "faults": (
+                sim.failure_model.snapshot() if sim.failure_model is not None else None
+            ),
+        }
+        return canonical_state(components)
+
+    def checkpoint(self, extra: Optional[dict] = None) -> bytes:
+        """Freeze the session into a versioned, compressed, portable blob.
+
+        The blob records the run's *inputs* (simulator configuration, every
+        pristine job wave, the job-id counter base) plus the *op log* of
+        lifecycle calls executed so far and a canonical snapshot of every
+        component's state.  :meth:`restore` rebuilds a fresh simulator,
+        replays the op log deterministically and verifies the component
+        snapshots match bit-for-bit -- so a blob is self-validating.
+
+        Only callable at a replayable boundary: between advances (never from
+        inside a callback) and never after an advance was aborted by an
+        exception.  ``extra`` is an optional picklable dict stored verbatim
+        in the blob (e.g. scenario-pack provenance); read it back with
+        :func:`repro.state.decode_checkpoint`.
+
+        Raises
+        ------
+        SessionError
+            If the session is finalized, detached or broken.
+        CheckpointError
+            If called mid-advance, after an aborted advance, on a fork
+            branch, or when the payload cannot be pickled.
+        """
+        self._require_open()
+        if self._sentinel is not None:
+            raise CheckpointError(
+                "cannot checkpoint from inside a running advance (a progress or "
+                "job-state callback); checkpoint between advances instead"
+            )
+        if self._dirty:
+            raise CheckpointError(
+                "session is not at a replayable boundary: an advance was aborted "
+                "by an exception mid-event; restore from an earlier blob instead"
+            )
+        if self._branch is not None:
+            raise CheckpointError(
+                "fork branches cannot be re-checkpointed: their reseeded RNG "
+                "streams apply from the fork point, which a from-scratch replay "
+                "cannot reproduce; checkpoint the root session instead"
+            )
+        from repro.state.checkpoint import CHECKPOINT_VERSION, encode_checkpoint
+
+        sim = self._simulator
+        collector = sim.collector
+        payload = {
+            "format": CHECKPOINT_VERSION,
+            "time": self.now,
+            "job_counter": self._job_counter_base,
+            "waves": self._waves,
+            "ops": [list(op) for op in self._ops],
+            "components": self.snapshot(),
+            "site_names": sorted(sim.sites),
+            "simulator": sim._config_payload(),
+            "has_build_hooks": bool(sim._build_hooks),
+            "keep_in_memory": bool(collector.keep_in_memory) if collector else True,
+            "extra": dict(extra) if extra else {},
+        }
+        return encode_checkpoint(payload)
+
+    @classmethod
+    def restore(
+        cls,
+        simulator_factory,
+        blob: bytes,
+        *,
+        monitoring: str = "replay",
+        branch: Optional[int] = None,
+    ) -> "SimulationSession":
+        """Rebuild a session from a :meth:`checkpoint` blob, ready to advance.
+
+        ``simulator_factory`` may be ``None`` (rebuild from the configuration
+        embedded in the blob), a fresh unbuilt
+        :class:`~repro.core.Simulator`, or a zero-argument callable returning
+        one.  The restored session fast-forwards by deterministically
+        replaying the blob's op log against the rebuilt simulator, then
+        verifies every component's state matches the checkpoint snapshot
+        bit-for-bit; any divergence raises
+        :class:`~repro.utils.errors.CheckpointError` and marks the session
+        broken.
+
+        ``monitoring="replay"`` (default) keeps the collector recording
+        during the fast-forward -- retained rows and counters come out
+        identical to the original run -- but detaches sinks so existing
+        output files are not double-written; ``monitoring="muted"`` skips
+        all recording for speed and re-seats the counters from the blob
+        afterwards.
+
+        ``branch`` is used internally by :meth:`fork` to derive per-branch
+        RNG streams; leave it ``None`` to resume the original timeline.
+        """
+        from repro.state.checkpoint import checkpoint_fingerprint, decode_checkpoint
+
+        if monitoring not in ("replay", "muted"):
+            raise CheckpointError(
+                f"unknown monitoring mode {monitoring!r} (use 'replay' or 'muted')"
+            )
+        payload = decode_checkpoint(blob)
+        simulator = cls._resolve_simulator(simulator_factory, payload)
+        expected_sites = sorted(payload.get("site_names", []))
+        actual_sites = sorted(site.name for site in simulator.infrastructure.sites)
+        if actual_sites != expected_sites:
+            raise CheckpointError(
+                f"simulator sites {actual_sites} do not match the checkpoint's "
+                f"sites {expected_sites}"
+            )
+        reset_job_id_counter(int(payload["job_counter"]))
+        waves = payload["waves"]
+        session = simulator.session(job.copy_for_replay() for job in waves[0])
+        session._restoring = True
+        collector = simulator.collector
+        saved_sinks = None
+        try:
+            if collector is not None:
+                if monitoring == "muted":
+                    collector.muted = True
+                saved_sinks = collector._sinks
+                collector._sinks = []
+            try:
+                session._replay_ops(payload["ops"], waves)
+            finally:
+                if collector is not None:
+                    collector.muted = False
+                    collector._sinks = saved_sinks
+            session._verify_replay(payload, monitoring)
+            components = payload["components"]
+            if collector is not None and components.get("monitoring") is not None:
+                collector.restore(components["monitoring"])
+            simulator.policy.restore(components.get("policy") or {})
+            session._state = components["session"]["state"]
+            session._stopped_reason = components["session"]["stopped_reason"]
+        except BaseException as exc:
+            session._restoring = False
+            session._state = _BROKEN
+            session._broken_reason = f"{type(exc).__name__}: {exc}"
+            raise
+        session._restoring = False
+        if branch is not None:
+            session._apply_branch(int(branch), checkpoint_fingerprint(blob))
+        return session
+
+    @staticmethod
+    def _resolve_simulator(simulator_factory, payload: dict) -> "Simulator":
+        """Turn restore()'s factory argument into a fresh, unbuilt Simulator."""
+        from repro.core.simulator import Simulator
+
+        if simulator_factory is None:
+            spec = payload.get("simulator")
+            if payload.get("has_build_hooks"):
+                raise CheckpointError(
+                    "the checkpointed simulator used on_build hooks, which cannot "
+                    "be embedded in the blob; pass restore() a factory that "
+                    "re-registers them (e.g. rebuild the simulator from its "
+                    "scenario pack)"
+                )
+            if spec is None:
+                raise CheckpointError(
+                    "checkpoint has no embedded simulator configuration (it was "
+                    "not picklable); pass restore() a Simulator or a factory"
+                )
+            return Simulator.from_config_payload(spec)
+        if isinstance(simulator_factory, Simulator):
+            return simulator_factory
+        if callable(simulator_factory):
+            simulator = simulator_factory()
+            if not isinstance(simulator, Simulator):
+                raise CheckpointError(
+                    "simulator factory must return a repro.core.Simulator, got "
+                    f"{type(simulator).__name__}"
+                )
+            return simulator
+        raise CheckpointError(
+            "restore() needs None (embedded config), a Simulator, or a "
+            "zero-argument factory returning one"
+        )
+
+    def _replay_ops(self, ops: List[list], waves: List[List[Job]]) -> None:
+        """Re-execute a checkpoint's op log against this fresh session."""
+        from repro.utils.errors import CGSimError
+
+        try:
+            for op in ops:
+                kind = op[0]
+                if kind == "until":
+                    self.advance_until(op[1])
+                elif kind == "completion":
+                    self.advance_to_completion()
+                elif kind == "step":
+                    for _ in range(int(op[1])):
+                        if not self.step():
+                            break
+                elif kind == "submit":
+                    self.submit(job.copy_for_replay() for job in waves[int(op[1])])
+                elif kind == "stop":
+                    self.stop(str(op[1]))
+                else:
+                    raise CheckpointError(f"unknown checkpoint op {kind!r}")
+        except CheckpointError:
+            raise
+        except CGSimError as exc:
+            raise CheckpointError(
+                f"replay failed while re-executing the session's op log: {exc}"
+            ) from exc
+
+    def _verify_replay(self, payload: dict, monitoring_mode: str) -> None:
+        """Assert the replayed state matches the checkpoint bit-for-bit."""
+        from repro.state.protocol import diff_states
+
+        ignore: List[str] = []
+        if monitoring_mode == "muted":
+            # Nothing was recorded during the fast-forward; the counters are
+            # re-seated from the blob afterwards instead of compared.
+            ignore.append("monitoring")
+        elif not payload.get("keep_in_memory", True):
+            # Rows were streamed to (now detached) sinks in the original run
+            # but dropped unbuffered during replay, so only the exact
+            # transition/finished/failed counters are comparable.
+            ignore.extend(
+                ["monitoring.rows", "monitoring.flushed", "monitoring.next_event_id"]
+            )
+        diffs = diff_states(payload["components"], self.snapshot(), ignore=ignore)
+        if diffs:
+            raise CheckpointError(
+                "restored session failed bit-identity verification against the "
+                "checkpoint (the replay diverged); first differences: "
+                + "; ".join(diffs[:8])
+                + ". Note: programmatic add_stop_condition() predicates and "
+                "callbacks are not recorded in checkpoints -- re-register them "
+                "via a simulator factory, or checkpoint runs driven only by "
+                "declarative stop conditions."
+            )
+
+    def _apply_branch(self, branch: int, fingerprint_hex: str) -> None:
+        """Reseed this session's stochastic streams for fork branch ``branch``."""
+        from repro.utils.rng import derive_seed
+
+        root = int(fingerprint_hex[:16], 16)
+        branch_seed = derive_seed(root, "fork", branch)
+        self._simulator.policy.reseed(derive_seed(branch_seed, "policy"))
+        failure_model = self._simulator.failure_model
+        if failure_model is not None and hasattr(failure_model, "reseed"):
+            failure_model.reseed(derive_seed(branch_seed, "faults"))
+        self._branch = branch
+
+    def fork(
+        self,
+        n: int,
+        simulator_factory=None,
+        monitoring: str = "replay",
+    ) -> List["SimulationSession"]:
+        """Branch this session into ``n`` independent what-if futures.
+
+        Takes one checkpoint of the current state and restores it ``n``
+        times, giving each branch RNG streams deterministically derived from
+        the blob's fingerprint and the branch index: branch ``i`` of the same
+        blob always explores the same future, and different branches diverge
+        from each other the moment a stochastic decision (random/weighted
+        policies, injected failures) is drawn.  The parent session is left
+        untouched and remains usable.  ``simulator_factory``/``monitoring``
+        are forwarded to :meth:`restore` (by default each branch clones this
+        session's simulator configuration).
+        """
+        n = int(n)
+        if n < 1:
+            raise SessionError(f"fork(n) needs n >= 1, got {n}")
+        blob = self.checkpoint()
+        branches: List["SimulationSession"] = []
+        for index in range(n):
+            if simulator_factory is None:
+                simulator = self._simulator.clone()
+            else:
+                simulator = simulator_factory()
+            branches.append(
+                SimulationSession.restore(
+                    simulator, blob, monitoring=monitoring, branch=index
+                )
+            )
+        return branches
+
     # -- output layer ------------------------------------------------------------
     def finalize(self) -> "SimulationResult":
         """Close the session: metrics, sinks, outputs -- exactly once.
@@ -625,8 +993,13 @@ class SimulationSession:
         if self._result is not None:
             return self._result
         if self._state == _DETACHED:
-            raise SimulationError(
+            raise SessionError(
                 "session detached: its Simulator started another session/run"
+            )
+        if self._state == _BROKEN:
+            raise SessionError(
+                "session restore did not complete "
+                f"({self._broken_reason}); restore again from the checkpoint blob"
             )
         from repro.core.metrics import compute_metrics
         from repro.core.simulator import SimulationResult

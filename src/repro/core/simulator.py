@@ -182,10 +182,21 @@ class Simulator:
 
         if policy is not None:
             self.policy = policy
+            #: Non-None only when the policy came from the plugin registry;
+            #: lets clone()/checkpoints rebuild a pristine equivalent by name.
+            self._policy_spec: Optional[tuple] = None
         else:
             self.policy = create_policy(
                 self.execution.plugin, **self.execution.plugin_options
             )
+            self._policy_spec = (
+                self.execution.plugin,
+                dict(self.execution.plugin_options),
+            )
+        #: The policy's pristine state at construction, so clones and
+        #: checkpoint-embedded simulators replay from the same origin even
+        #: after this instance's policy has advanced its streams.
+        self._policy_initial = self.policy.snapshot()
 
         # Built lazily by session()/run(); exposed for inspection afterwards.
         self.env: Optional[Environment] = None
@@ -308,6 +319,98 @@ class Simulator:
                         failed_jobs=site.failed_jobs,
                     )
                 )
+
+    # -- checkpoint support -----------------------------------------------------
+    def clone(self) -> "Simulator":
+        """A fresh, unbuilt Simulator sharing this one's configuration.
+
+        Configuration objects (infrastructure, topology, execution) are
+        shared -- they are treated as immutable by the run -- while mutable
+        stochastic components are rebuilt pristine: the policy is recreated
+        from its registry spec (or deep-copied and re-seated on its initial
+        snapshot) and the failure model is copied with its injected-failure
+        counters cleared, so a replay through the clone re-draws exactly the
+        original decisions.  Build hooks are carried over.  This is what
+        :meth:`SimulationSession.fork` builds each branch on.
+        """
+        import copy
+
+        policy: Optional[AllocationPolicy] = None
+        if self._policy_spec is None:
+            policy = copy.deepcopy(self.policy)
+        failure_model = copy.deepcopy(self.failure_model)
+        if failure_model is not None:
+            failure_model.injected = {}
+        clone = Simulator(
+            self.infrastructure,
+            self.topology,
+            self.execution,
+            policy=policy,
+            enable_data_transfers=self.enable_data_transfers,
+            data_cache=self.data_cache,
+            streaming_io=self.streaming_io,
+            parallel_efficiency=self.parallel_efficiency,
+            failure_model=failure_model,
+            outages=list(self.outages),
+            logger=self.logger,
+        )
+        clone._build_hooks = list(self._build_hooks)
+        clone.policy.restore(copy.deepcopy(self._policy_initial))
+        clone._policy_initial = copy.deepcopy(self._policy_initial)
+        return clone
+
+    def _config_payload(self) -> Optional[dict]:
+        """Picklable constructor payload for checkpoint embedding, or ``None``.
+
+        Everything :meth:`from_config_payload` needs to rebuild an
+        equivalent pristine simulator.  Returns ``None`` when any part (a
+        custom policy, an exotic config object) does not pickle -- the
+        checkpoint then simply requires an explicit factory at restore time.
+        """
+        import pickle
+
+        payload = {
+            "infrastructure": self.infrastructure,
+            "topology": self.topology,
+            "execution": self.execution,
+            "policy": None if self._policy_spec is not None else self.policy,
+            "enable_data_transfers": self.enable_data_transfers,
+            "data_cache": self.data_cache,
+            "streaming_io": self.streaming_io,
+            "parallel_efficiency": self.parallel_efficiency,
+            "failure_model": self.failure_model,
+            "outages": list(self.outages),
+            "policy_initial": self._policy_initial,
+        }
+        try:
+            pickle.dumps(payload, protocol=4)
+        except Exception:
+            return None
+        return payload
+
+    @classmethod
+    def from_config_payload(cls, payload: dict) -> "Simulator":
+        """Rebuild a pristine simulator from a :meth:`_config_payload` dict.
+
+        The inverse of checkpoint embedding: constructs the simulator from
+        the pickled configuration, clears the failure model's
+        injected-failure counters (replay re-draws them) and re-seats the
+        policy on its recorded initial snapshot so the rebuilt run replays
+        the original's stochastic decisions exactly.
+        """
+        import copy
+
+        payload = dict(payload)
+        policy_initial = payload.pop("policy_initial", {})
+        failure_model = payload.get("failure_model")
+        if failure_model is not None:
+            failure_model = copy.deepcopy(failure_model)
+            failure_model.injected = {}
+            payload["failure_model"] = failure_model
+        simulator = cls(**payload)
+        simulator.policy.restore(copy.deepcopy(policy_initial))
+        simulator._policy_initial = copy.deepcopy(policy_initial)
+        return simulator
 
     # -- running ------------------------------------------------------------------
     def session(self, jobs: Iterable[Job]) -> SimulationSession:

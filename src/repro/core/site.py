@@ -138,6 +138,45 @@ class SiteRuntime:
         """Largest single-host core count (widest job the site can ever run)."""
         return max((host.cores for host in self.zone.hosts), default=0)
 
+    # -- checkpoint support -------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture the site's checkpointable counters and availability state.
+
+        Part of the :class:`repro.state.Snapshottable` protocol: queue
+        depth, per-state job counters, free cores and the outage bookkeeping
+        are all replay-derived, so this snapshot is the per-site
+        verification record a checkpoint restore is compared against.
+        """
+        return {
+            "queued": self.queued_jobs,
+            "assigned": self.assigned_jobs,
+            "running": self.running_jobs,
+            "finished": self.finished_jobs,
+            "failed": self.failed_jobs,
+            "completed": len(self.completed),
+            "available_cores": self.available_cores,
+            "online": bool(self.online),
+            "downtime_seconds": self.downtime_seconds,
+            "offline_since": self._offline_since,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Verify the replayed site matches a snapshot (replay-derived state).
+
+        The receiver/executor processes are rebuilt by replaying the event
+        stream; ``restore`` therefore checks the live counters against the
+        snapshot and raises :class:`~repro.utils.errors.CheckpointError`
+        naming every divergent field.
+        """
+        from repro.state.protocol import diff_states
+        from repro.utils.errors import CheckpointError
+
+        diffs = diff_states(state, self.snapshot())
+        if diffs:
+            raise CheckpointError(
+                f"site {self.name!r} diverged during replay: " + "; ".join(diffs)
+            )
+
     # -- availability (outage injection) -----------------------------------------
     def set_offline(self) -> None:
         """Stop admitting new jobs (running jobs drain normally)."""

@@ -128,6 +128,43 @@ class SiteCache:
         self._clock = 0  # monotonic access sequence (determinism anchor)
         self.stats = CacheStats(site=site)
 
+    # -- checkpoint support ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture the cache's checkpointable state: residents, usage, counters.
+
+        Part of the :class:`repro.state.Snapshottable` protocol.  Resident
+        datasets (with pin flags), occupied bytes, the deterministic access
+        clock and the full :class:`CacheStats` counter set are all rebuilt
+        by replaying the event stream, so this snapshot is what a restored
+        run's caches are verified against.
+        """
+        return {
+            "entries": {
+                name: {"size": entry.size, "pinned": bool(entry.pinned)}
+                for name, entry in sorted(self._entries.items())
+            },
+            "used": self._used,
+            "clock": self._clock,
+            "stats": self.stats.to_row(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Verify the replayed cache matches a snapshot (replay-derived state).
+
+        Residency, usage and counters are reconstructed by replay;
+        ``restore`` compares them against the snapshot and raises
+        :class:`~repro.utils.errors.CheckpointError` naming every divergent
+        field instead of mutating the cache.
+        """
+        from repro.state.protocol import diff_states
+        from repro.utils.errors import CheckpointError
+
+        diffs = diff_states(state, self.snapshot())
+        if diffs:
+            raise CheckpointError(
+                f"cache at {self.site!r} diverged during replay: " + "; ".join(diffs)
+            )
+
     # -- introspection --------------------------------------------------------------
     @property
     def used(self) -> float:

@@ -252,6 +252,37 @@ class Environment:
         count += sum(len(bucket) - bucket[0] for bucket in self._buckets.values())
         return count + sum(len(bucket) for bucket in self._pri_buckets.values())
 
+    # -- checkpoint support ----------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture the kernel's checkpointable state: the clock.
+
+        Part of the :class:`repro.state.Snapshottable` protocol.  The
+        calendar (bucketed FIFO queues), the pooled timeouts and the live
+        generator frames are deliberately *not* serialised: they cannot be
+        pickled meaningfully, so checkpoints use deterministic replay -- the
+        session re-executes its recorded inputs to rebuild them -- and the
+        clock is the kernel-level invariant replay is verified against.
+        """
+        return {"now": self._now}
+
+    def restore(self, state: dict) -> None:
+        """Verify the environment was replayed to the snapshotted clock.
+
+        The kernel's ``restore`` is a verification, not a mutation (see
+        :meth:`snapshot`): after the owning session fast-forwards by
+        replaying its op log, the clock must land exactly -- bit-identical
+        float -- on the recorded time, or the replay diverged and a
+        :class:`~repro.utils.errors.CheckpointError` is raised.
+        """
+        from repro.utils.errors import CheckpointError
+
+        expected = state.get("now")
+        if expected != self._now:
+            raise CheckpointError(
+                f"kernel clock diverged during replay: checkpoint recorded "
+                f"t={expected!r}, replay reached t={self._now!r}"
+            )
+
     def _pop_next(self) -> Optional[Event]:
         """Remove and return the next event in ``(time, priority, seq)`` order.
 

@@ -97,6 +97,45 @@ class JobFailureModel:
         self.injected[site] = self.injected.get(site, 0) + 1
         return float(fraction)
 
+    # -- checkpoint support ----------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture the model's seed and injected-failure counters.
+
+        Part of the :class:`repro.state.Snapshottable` protocol.  The
+        failure decisions themselves are stateless (pure functions of seed,
+        site and job identity), so the seed plus the observability counters
+        fully describe the model; both are verified after a checkpoint
+        replay.
+        """
+        return {"seed": self.seed, "injected": dict(self.injected)}
+
+    def restore(self, state: dict) -> None:
+        """Verify a replayed model matches a snapshot (seed and counters).
+
+        Replay regenerates the injected-failure counters from the same
+        deterministic draws; a mismatch (or a different seed) means the
+        restored simulator was configured differently and raises
+        :class:`~repro.utils.errors.CheckpointError`.
+        """
+        from repro.state.protocol import diff_states
+        from repro.utils.errors import CheckpointError
+
+        diffs = diff_states(state, self.snapshot())
+        if diffs:
+            raise CheckpointError(
+                "failure model diverged during replay: " + "; ".join(diffs)
+            )
+
+    def reseed(self, seed: int) -> None:
+        """Re-key all future failure draws from ``seed`` (fork-branch divergence).
+
+        Failure decisions are pure functions of ``(seed, site, job identity,
+        attempt)``; swapping the seed is therefore all a fork branch needs
+        for an independent future failure pattern, without touching the
+        already-materialised past.
+        """
+        self.seed = int(seed)
+
 
 @dataclass(frozen=True)
 class OutageWindow:

@@ -27,6 +27,7 @@ from repro.mldata.features import (
     job_features,
 )
 from repro.utils.errors import CGSimError
+from repro.utils.rng import spawn_rng
 from repro.workload.job import JobState
 
 __all__ = ["EventDataset", "JobDataset", "build_event_dataset", "build_job_dataset"]
@@ -74,7 +75,7 @@ class JobDataset:
         """Deterministic random split into (train, test) :class:`JobDataset` pairs."""
         if not 0 < test_fraction < 1:
             raise CGSimError("test_fraction must lie in (0, 1)")
-        rng = np.random.default_rng(seed)
+        rng = spawn_rng(seed, "mldata-train-test-split")
         n = len(self)
         order = rng.permutation(n)
         n_test = max(1, int(round(n * test_fraction)))

@@ -94,6 +94,8 @@ class MonitoringCollector:
         self._failed: Dict[str, int] = {}
         #: Live observers called on *every* transition (sampling exempt).
         self._listeners: List = []
+        #: When true, recording is a no-op (checkpoint fast-forward mode).
+        self.muted = False
 
     # -- sink management -------------------------------------------------------
     def attach(self, sink: _Sink) -> None:
@@ -130,6 +132,8 @@ class MonitoringCollector:
         only when the detail level and sampling stride say so, and sinks are
         fed whole batches, not single rows.
         """
+        if self.muted:
+            return
         state_value = state.value
         if state_value == "finished":
             if site:
@@ -170,6 +174,8 @@ class MonitoringCollector:
 
     def record_snapshot(self, snapshot: SiteSnapshot) -> SiteSnapshot:
         """Record one periodic site-level snapshot (low rate: written through)."""
+        if self.muted:
+            return snapshot
         if self.keep_in_memory:
             self._snapshots.append(snapshot)
         for sink in self._sinks:
@@ -201,6 +207,43 @@ class MonitoringCollector:
     def flush(self) -> None:
         """Force-flush pending rows to the sinks (call at end of run)."""
         self._flush_events()
+
+    # -- checkpoint support ------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture the collector's counters and buffer high-water marks.
+
+        Part of the :class:`repro.state.Snapshottable` protocol: total
+        transitions seen, the next event id (the :class:`TraceBuffer`
+        high-water mark), retained row/snapshot counts and the exact
+        per-site finished/failed counters.  These are what a restored run
+        needs to continue numbering and counting where the original left
+        off.
+        """
+        return {
+            "seen": self._seen,
+            "next_event_id": self._next_event_id,
+            "rows": len(self.buffer),
+            "snapshots": len(self._snapshots),
+            "flushed": self._flushed,
+            "finished": dict(self._finished),
+            "failed": dict(self._failed),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Re-seat the counters and high-water marks from a snapshot.
+
+        Unlike the replay-verified components, the collector's ``restore``
+        *stamps* state: a restore may legitimately fast-forward with sinks
+        detached (or fully muted), in which case the replayed counters
+        undercount -- re-seating them from the blob keeps event ids and
+        per-site counts continuing exactly where the original run stood.
+        Retained rows are not reconstructed here; the replay itself rebuilds
+        them when recording stays enabled.
+        """
+        self._seen = int(state["seen"])
+        self._next_event_id = int(state["next_event_id"])
+        self._finished = dict(state.get("finished", {}))
+        self._failed = dict(state.get("failed", {}))
 
     # -- queries -----------------------------------------------------------------
     @property

@@ -177,6 +177,34 @@ class AllocationPolicy(abc.ABC):
     def finalize(self) -> None:
         """Called once when the simulation completes."""
 
+    # -- checkpoint hooks -----------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture the policy's checkpointable state (default: none).
+
+        Part of the :class:`repro.state.Snapshottable` protocol.  Stateless
+        policies inherit this empty default; stateful ones (cursors, RNG
+        streams, learned weights) override it together with :meth:`restore`
+        so checkpoints can freeze and re-seat their decision state exactly.
+        """
+        return {}
+
+    def restore(self, state: dict) -> None:
+        """Re-seat the policy onto a :meth:`snapshot` payload (default: no-op).
+
+        Stateful subclasses override this to stamp their cursors/RNG state
+        back; the base implementation accepts any payload silently so
+        stateless policies satisfy the protocol without boilerplate.
+        """
+
+    def reseed(self, seed: int) -> None:
+        """Re-derive the policy's random streams from ``seed`` (default: no-op).
+
+        Called on fork branches so each branch explores an independent
+        future: subclasses owning generators rebuild them from the given
+        seed; deterministic policies have nothing to reseed and inherit this
+        no-op.
+        """
+
     # -- helpers -------------------------------------------------------------
     def __repr__(self) -> str:
         return f"<{type(self).__name__} name={self.name!r} options={self.options}>"

@@ -60,6 +60,14 @@ class RoundRobinPolicy(AllocationPolicy):
         self._cursor += 1
         return choice
 
+    def snapshot(self) -> dict:
+        """Capture the cyclic cursor so a restored run resumes the rotation."""
+        return {"cursor": self._cursor}
+
+    def restore(self, state: dict) -> None:
+        """Re-seat the cyclic cursor from a :meth:`snapshot` payload."""
+        self._cursor = int(state.get("cursor", 0))
+
 
 @register_policy("random")
 class RandomPolicy(AllocationPolicy):
@@ -74,6 +82,22 @@ class RandomPolicy(AllocationPolicy):
         if not eligible:
             return None
         return eligible[int(self._rng.integers(0, len(eligible)))]
+
+    def snapshot(self) -> dict:
+        """Capture the policy's RNG stream position for checkpointing."""
+        from repro.utils.rng import generator_state
+
+        return {"rng": generator_state(self._rng)}
+
+    def restore(self, state: dict) -> None:
+        """Re-seat the policy's RNG stream from a :meth:`snapshot` payload."""
+        from repro.utils.rng import restore_generator_state
+
+        restore_generator_state(self._rng, state["rng"])
+
+    def reseed(self, seed: int) -> None:
+        """Re-derive the choice stream from ``seed`` (fork-branch divergence)."""
+        self._rng = RandomSource(int(seed)).generator("random-policy")
 
 
 @register_policy("least_loaded")
@@ -111,6 +135,22 @@ class WeightedCapacityPolicy(AllocationPolicy):
             return eligible[0].name
         index = int(self._rng.choice(len(eligible), p=weights / total))
         return eligible[index].name
+
+    def snapshot(self) -> dict:
+        """Capture the policy's RNG stream position for checkpointing."""
+        from repro.utils.rng import generator_state
+
+        return {"rng": generator_state(self._rng)}
+
+    def restore(self, state: dict) -> None:
+        """Re-seat the policy's RNG stream from a :meth:`snapshot` payload."""
+        from repro.utils.rng import restore_generator_state
+
+        restore_generator_state(self._rng, state["rng"])
+
+    def reseed(self, seed: int) -> None:
+        """Re-derive the weighting stream from ``seed`` (fork-branch divergence)."""
+        self._rng = RandomSource(int(seed)).generator("weighted-capacity")
 
 
 @register_policy("data_aware")

@@ -198,10 +198,36 @@ def _data_extras(simulator: Simulator) -> Dict[str, float]:
     return extras
 
 
+def _resume_pack_session(
+    pack: ScenarioPack, pack_dict: Dict[str, Any], checkpoint_dir: Path
+) -> Optional[SimulationSession]:
+    """Restore the pack's session from ``checkpoint_dir/latest.ckpt`` if it matches.
+
+    The blob's embedded pack dict must equal this run's (overrides included)
+    -- a blob from a different pack or configuration is ignored and the study
+    starts cold rather than silently resuming the wrong run.  Rebuilding the
+    simulator through :func:`_build_simulator` re-registers the pack's build
+    hooks (replica placement), which the checkpoint itself cannot carry.
+    """
+    from repro.state import decode_checkpoint
+
+    latest = checkpoint_dir / "latest.ckpt"
+    if not latest.exists():
+        return None
+    payload = decode_checkpoint(latest.read_bytes())
+    extra = payload.get("extra") or {}
+    if extra.get("scenario_pack") != pack_dict:
+        return None
+    simulator, _ = _build_simulator(pack)
+    return SimulationSession.restore(simulator, latest.read_bytes())
+
+
 def _run_single(
     pack: ScenarioPack,
     progress: Optional[Callable[[SimulationSession], None]] = None,
     progress_interval: float = 60.0,
+    checkpoint_dir: Optional[Path] = None,
+    checkpoint_every: Optional[float] = None,
 ) -> Tuple[SimulationMetrics, Dict[str, float], SimulationResult]:
     """One simulation run of a (sweep-free) pack, executed through a session.
 
@@ -210,18 +236,51 @@ def _run_single(
     metric predicates -- the ``stopped_reason`` lands in the outcome) and,
     when ``progress`` is given, live observation: the callback receives the
     running session every ``progress_interval`` simulated seconds.
+
+    ``checkpoint_dir`` makes the study crash-resumable: checkpoint blobs
+    (stamped with the pack's canonical dict) are written there every
+    ``checkpoint_every`` simulated seconds, and an existing matching
+    ``latest.ckpt`` is restored instead of starting cold.
     """
-    simulator, jobs = _build_simulator(pack)
-    original_jobs = list(jobs)
-    session = simulator.session(jobs)
+    session: Optional[SimulationSession] = None
+    pack_dict = pack.to_dict()
+    if checkpoint_dir is not None:
+        checkpoint_dir = Path(checkpoint_dir)
+        session = _resume_pack_session(pack, pack_dict, checkpoint_dir)
+    if session is None:
+        simulator, jobs = _build_simulator(pack)
+        session = simulator.session(jobs)
+    else:
+        simulator = session.simulator
+    # The first wave (the session replays it on restore) is the original
+    # workload the reliability extras compare terminal attempts against.
+    original_jobs = session.jobs
     if progress is not None:
         session.on_progress(progress_interval, lambda _snapshot: progress(session))
     try:
-        result = session.advance_to_completion().finalize()
+        if checkpoint_dir is not None:
+            from repro.state import drive_with_checkpoints
+
+            drive_with_checkpoints(
+                session,
+                checkpoint_dir,
+                every=checkpoint_every,
+                extra={
+                    "scenario_pack": pack_dict,
+                    "scenario_source": (
+                        str(pack.source_path) if pack.source_path else None
+                    ),
+                },
+            )
+            result = session.finalize()
+        else:
+            result = session.advance_to_completion().finalize()
     except BaseException:
-        # Nobody resumes this session: keep run()'s historical contract of
-        # not leaking open streaming-sink handles out of a crashed run
-        # (sweep workers record the error and keep executing trials).
+        # Nobody resumes this session in-process: keep run()'s historical
+        # contract of not leaking open streaming-sink handles out of a
+        # crashed run (sweep workers record the error and keep executing
+        # trials).  With a checkpoint directory the run is still resumable
+        # from its last written blob.
         simulator._close_live_sinks()
         raise
     extras: Dict[str, float] = {}
@@ -486,6 +545,8 @@ def run_scenario_pack(
     overrides: Optional[Dict[str, Any]] = None,
     progress: Optional[Callable[[SimulationSession], None]] = None,
     progress_interval: float = 60.0,
+    checkpoint_dir: Optional[Path] = None,
+    checkpoint_every: Optional[float] = None,
 ) -> ScenarioOutcome:
     """Run a scenario pack (by object or registry name) end-to-end.
 
@@ -495,7 +556,11 @@ def run_scenario_pack(
     ``progress`` (single-run packs only) is called with the live
     :class:`~repro.core.session.SimulationSession` every
     ``progress_interval`` simulated seconds -- the hook behind
-    ``repro scenario run --progress``.
+    ``repro scenario run --progress``.  ``checkpoint_dir`` (single-run packs
+    only) makes the study crash-resumable: blobs land there every
+    ``checkpoint_every`` simulated seconds and a matching ``latest.ckpt``
+    is resumed instead of starting cold -- the hook behind
+    ``repro scenario run --checkpoint-dir``.
 
     >>> from repro.scenarios import run_scenario_pack
     >>> outcome = run_scenario_pack(
@@ -552,7 +617,11 @@ def run_scenario_pack(
         )
 
     metrics, extras, result = _run_single(
-        pack, progress=progress, progress_interval=progress_interval
+        pack,
+        progress=progress,
+        progress_interval=progress_interval,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
     )
     return ScenarioOutcome(
         pack=pack,

@@ -1,0 +1,116 @@
+"""The :class:`Snapshottable` protocol and state canonicalization helpers.
+
+Every stateful layer of the simulator (DES kernel, core actors, data
+subsystem, monitoring, RNG tree, policies) exposes the same two methods:
+``snapshot()`` returns a plain-data description of the component's semantic
+state, and ``restore(state)`` re-seats the component onto (or verifies it
+against) such a description.  Checkpoints are built from these snapshots;
+replay verification compares them.
+
+Two kinds of component implement ``restore`` differently, by design:
+
+* *directly restorable* state (RNG bit-generator positions, monitoring
+  counters, policy cursors) is stamped onto the live object;
+* *replay-derived* state (the server's pending list, site counters, the
+  replica catalogue) is **verified**: the component was rebuilt by
+  re-executing the event stream, so ``restore`` checks the live state
+  matches the snapshot and raises
+  :class:`~repro.utils.errors.CheckpointError` on divergence.
+
+:func:`canonical_state` normalises snapshots into plain Python data
+(numpy scalars to ints/floats, tuples to lists) so they pickle compactly,
+compare structurally, and never depend on hash randomization;
+:func:`diff_states` produces the human-readable path-level differences the
+verification errors report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Protocol, runtime_checkable
+
+__all__ = ["Snapshottable", "canonical_state", "diff_states"]
+
+
+@runtime_checkable
+class Snapshottable(Protocol):
+    """Structural protocol for components whose state can be captured/re-seated.
+
+    A component is snapshottable when it offers ``snapshot() -> dict``
+    (plain-data description of its semantic state) and ``restore(state)``
+    (stamp the state back, or verify the live state matches it -- see the
+    module docstring for which components do which).  The protocol is
+    ``runtime_checkable`` so tests can assert coverage with
+    ``isinstance(component, Snapshottable)``.
+    """
+
+    def snapshot(self) -> dict:
+        """Return a plain-data (picklable, comparable) view of the state."""
+        ...  # pragma: no cover - protocol definition
+
+    def restore(self, state: dict) -> None:
+        """Re-seat the component onto ``state`` or verify it already matches."""
+        ...  # pragma: no cover - protocol definition
+
+
+def canonical_state(value):
+    """Recursively normalise a snapshot payload into plain Python data.
+
+    Numpy scalars become ``int``/``float``, tuples and sets become (sorted,
+    for sets) lists, and dict values are canonicalised in place -- so two
+    snapshots of identical semantic state compare equal with ``==``
+    regardless of which numeric types or container flavours produced them,
+    and the result pickles without importing numpy on the reading side.
+    """
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {key: canonical_state(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical_state(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(canonical_state(item) for item in value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [canonical_state(item) for item in value.tolist()]
+    return value
+
+
+def _diff(path: str, expected, actual, out: List[str], ignore) -> None:
+    if any(path == prefix or path.startswith(prefix + ".") for prefix in ignore):
+        return
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual), key=str):
+            child = f"{path}.{key}" if path else str(key)
+            if key not in expected:
+                _diff(child, "<absent>", actual[key], out, ignore)
+            elif key not in actual:
+                _diff(child, expected[key], "<absent>", out, ignore)
+            else:
+                _diff(child, expected[key], actual[key], out, ignore)
+        return
+    if isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            out.append(f"{path}: expected {len(expected)} items, got {len(actual)}")
+            return
+        for index, (e_item, a_item) in enumerate(zip(expected, actual)):
+            _diff(f"{path}[{index}]", e_item, a_item, out, ignore)
+        return
+    if expected != actual:
+        out.append(f"{path}: expected {expected!r}, got {actual!r}")
+
+
+def diff_states(expected, actual, ignore: Iterable[str] = ()) -> List[str]:
+    """Structural differences between two canonical snapshots, as path strings.
+
+    Walks both payloads in parallel and returns one ``"path: expected X,
+    got Y"`` line per divergent leaf (an empty list means the snapshots
+    match).  ``ignore`` names dotted path prefixes to skip -- restore uses
+    it for state that is legitimately replay-variant, e.g. monitoring row
+    counts when the original streamed rows to sinks the replay detached.
+    """
+    out: List[str] = []
+    _diff("", canonical_state(expected), canonical_state(actual), out, tuple(ignore))
+    return out

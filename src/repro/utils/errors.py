@@ -54,6 +54,27 @@ class SimulationError(CGSimError):
     """
 
 
+class SessionError(SimulationError):
+    """Raised for invalid use of the stepped session lifecycle.
+
+    Examples: advancing or finalizing a session that was detached by its
+    simulator, finalizing twice, or touching a session whose restore from a
+    checkpoint blob did not complete.  Subclasses
+    :class:`SimulationError` so existing ``except SimulationError`` callers
+    keep working.
+    """
+
+
+class CheckpointError(SimulationError):
+    """Raised when a checkpoint blob cannot be produced, decoded or replayed.
+
+    Covers malformed/truncated blobs, version mismatches, restoring against
+    an incompatible simulator configuration, and replay divergence -- the
+    restored run failing the bit-identity verification against the component
+    snapshots recorded in the blob.
+    """
+
+
 class MonitoringError(CGSimError):
     """Raised for invalid use of the monitoring/output layer.
 

@@ -11,15 +11,48 @@ precise timestamps for every transition, from which the evaluation metrics
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.utils.errors import WorkloadError
 
-__all__ = ["JobState", "Job", "allocate_job_id"]
+__all__ = [
+    "JobState",
+    "Job",
+    "allocate_job_id",
+    "job_id_counter",
+    "reset_job_id_counter",
+]
 
-_job_counter = itertools.count(1)
+
+class _JobIdCounter:
+    """Resettable process-global job-id source (replaces ``itertools.count``).
+
+    Checkpoint/restore needs to observe and re-seat the counter: a restored
+    session replays retries that allocate fresh ids, so a blob records the
+    counter value at session construction and the restore process resets it
+    before replaying -- otherwise ids (and therefore fingerprints) would
+    depend on whatever else the process allocated first.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = int(start)
+
+    def __next__(self) -> int:
+        value = self._next
+        self._next = value + 1
+        return value
+
+    def peek(self) -> int:
+        return self._next
+
+    def reset(self, next_value: int) -> None:
+        self._next = int(next_value)
+
+
+_job_counter = _JobIdCounter(1)
 
 
 def allocate_job_id() -> int:
@@ -30,6 +63,30 @@ def allocate_job_id() -> int:
     the monitoring output.
     """
     return next(_job_counter)
+
+
+def job_id_counter() -> int:
+    """Return the id the process-global job counter would hand out next.
+
+    Checkpoints record this value at session construction so a restore in a
+    fresh process can re-seat the counter (see :func:`reset_job_id_counter`)
+    and replayed retry attempts receive the same ids as the original run.
+    """
+    return _job_counter.peek()
+
+
+def reset_job_id_counter(next_value: int) -> None:
+    """Re-seat the process-global job-id counter to hand out ``next_value`` next.
+
+    Only checkpoint restore should call this: replaying a blob in a fresh
+    process must allocate retry-attempt ids from the same point the original
+    session did, or the restored run's job ids (and output fingerprint)
+    would diverge.  Simulations are single-threaded per process; resetting
+    while another live session allocates ids is undefined.
+    """
+    if int(next_value) < 1:
+        raise WorkloadError(f"job id counter must be >= 1, got {next_value}")
+    _job_counter.reset(int(next_value))
 
 
 class JobState(str, enum.Enum):

@@ -141,8 +141,13 @@ class TestAnalyticCalibrationProperties:
         # Calibration never makes things worse and, with a noise-free trace,
         # random search with a 100-evaluation budget lands close to the hidden
         # speed (the residual reflects the sampling resolution, not noise).
+        # The bound must hold for *every* seed's draw sequence: for a small
+        # true speed (bias 0.3 -> 0.03e10 above the box floor 0.2e10), the
+        # probability that none of 100 uniform draws over (0.2, 4.0)e10 lands
+        # within 25% is a few percent, so 0.25 is flaky by construction; 0.5
+        # keeps the per-example miss probability below ~1e-4.
         assert result.error_after["overall"] <= result.error_before["overall"] + 1e-12
-        assert result.error_after["overall"] < 0.25
+        assert result.error_after["overall"] < 0.5
         if abs(bias - 1.0) > 0.3:
             assert result.calibrated_speed != site.core_speed
             assert result.error_after["overall"] < result.error_before["overall"]

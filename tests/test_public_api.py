@@ -43,6 +43,7 @@ class TestPublicAPI:
         import repro.monitoring
         import repro.plugins
         import repro.scenarios
+        import repro.state
 
         thin = []
         surfaces = [
@@ -53,6 +54,7 @@ class TestPublicAPI:
             (repro.monitoring, repro.monitoring.__all__),
             (repro.plugins, repro.plugins.__all__),
             (repro.scenarios, repro.scenarios.__all__),
+            (repro.state, repro.state.__all__),
         ]
         for module, names in surfaces:
             for name in names:

@@ -848,3 +848,78 @@ def _store(env):
     from repro.des import Store
 
     return Store(env)
+
+
+class TestBrokenRestoredSessions:
+    """A restore that dies partway must leave a clearly-unusable session."""
+
+    def _interrupt_restore(self, small_infrastructure, workload_generator, monkeypatch):
+        from repro.utils.errors import CheckpointError
+
+        jobs = workload_generator.generate(15)
+        session = Simulator(small_infrastructure, execution=_quiet()).session(jobs)
+        session.advance_until(500.0)
+        blob = session.checkpoint()
+
+        captured = []
+
+        def sabotaged(self, payload, monitoring_mode):
+            captured.append(self)
+            raise CheckpointError("verification interrupted (simulated crash)")
+
+        monkeypatch.setattr(SimulationSession, "_verify_replay", sabotaged)
+        with pytest.raises(CheckpointError, match="interrupted"):
+            SimulationSession.restore(None, blob)
+        monkeypatch.undo()
+        (broken,) = captured
+        return broken, blob
+
+    def test_finalize_raises_clear_session_error(
+        self, small_infrastructure, workload_generator, monkeypatch
+    ):
+        from repro.utils.errors import SessionError
+
+        broken, _ = self._interrupt_restore(
+            small_infrastructure, workload_generator, monkeypatch
+        )
+        with pytest.raises(SessionError, match="restore did not complete"):
+            broken.finalize()
+
+    def test_peek_metrics_and_advances_raise(
+        self, small_infrastructure, workload_generator, monkeypatch
+    ):
+        from repro.utils.errors import SessionError
+
+        broken, _ = self._interrupt_restore(
+            small_infrastructure, workload_generator, monkeypatch
+        )
+        for poke in (
+            broken.peek_metrics,
+            broken.step,
+            broken.advance_to_completion,
+            lambda: broken.advance_until(1000.0),
+            broken.checkpoint,
+        ):
+            with pytest.raises(SessionError, match="restore did not complete"):
+                poke()
+
+    def test_error_names_the_original_failure(
+        self, small_infrastructure, workload_generator, monkeypatch
+    ):
+        from repro.utils.errors import SessionError
+
+        broken, _ = self._interrupt_restore(
+            small_infrastructure, workload_generator, monkeypatch
+        )
+        with pytest.raises(SessionError, match="CheckpointError"):
+            broken.finalize()
+
+    def test_blob_remains_restorable_after_failed_attempt(
+        self, small_infrastructure, workload_generator, monkeypatch
+    ):
+        _, blob = self._interrupt_restore(
+            small_infrastructure, workload_generator, monkeypatch
+        )
+        restored = SimulationSession.restore(None, blob)
+        result = restored.advance_to_completion().finalize()
+        assert result.metrics.total_jobs == 15
