@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Bench-regression gate: fail CI when kernel throughput drops >20%.
+
+Runs the standard DES kernel workloads (:func:`repro.experiments.bench.run_kernel_benchmarks`),
+records the measured events/second into ``benchmarks/results/``, and compares
+against the committed baseline:
+
+* **Absolute gate** -- any workload slower than 80% of its baseline rate
+  fails.  Raw event rates are machine-dependent, so this check only runs
+  when the current machine matches the baseline's recorded CPU count;
+  otherwise it is skipped with a note (the usual case on CI runners, whose
+  core counts differ from the dev box that recorded the baseline).
+* **Ratio gate** -- machine-independent and never skipped: the columnar
+  macro-batch path (``timeout_churn_macro``) must stay at least
+  ``--min-macro-ratio`` times faster than the scalar ``timeout_churn`` on
+  the identical workload.  A regression that erases the macro-batch win
+  fails everywhere, regardless of hardware.
+
+Usage::
+
+    python scripts/check_bench_regression.py [--scale 0.05] [--repeat 2]
+    python scripts/check_bench_regression.py --write-baseline   # re-baseline
+
+Re-baseline (and commit ``benchmarks/results/baseline.json``) after any
+intentional kernel change that shifts throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+BASELINE_PATH = RESULTS_DIR / "baseline.json"
+LATEST_PATH = RESULTS_DIR / "bench_latest.json"
+
+#: Fractional throughput drop that fails the absolute gate.
+MAX_DROP = 0.20
+
+
+def measure(scale: float, repeat: int) -> dict:
+    """Run the kernel workloads; return a recordable measurement payload."""
+    from repro.experiments.bench import run_kernel_benchmarks
+
+    results = run_kernel_benchmarks(scale=scale, repeat=repeat)
+    return {
+        "scale": scale,
+        "repeat": repeat,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "rates": {r.workload: round(r.events_per_second, 1) for r in results},
+        "checks": {r.workload: r.check for r in results},
+    }
+
+
+def write_json(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def compare(current: dict, baseline: dict, min_macro_ratio: float) -> int:
+    failures = []
+    notes = []
+
+    # Machine-independent ratio gate (never skipped).
+    rates = current["rates"]
+    scalar = rates.get("timeout_churn", 0.0)
+    macro = rates.get("timeout_churn_macro", 0.0)
+    if scalar > 0:
+        ratio = macro / scalar
+        if ratio < min_macro_ratio:
+            failures.append(
+                f"macro/scalar ratio {ratio:.2f}x below the required "
+                f"{min_macro_ratio:.2f}x (macro {macro:,.0f} ev/s vs scalar {scalar:,.0f} ev/s)"
+            )
+        else:
+            notes.append(f"macro-batch ratio gate: {ratio:.2f}x >= {min_macro_ratio:.2f}x")
+
+    # Absolute gate, only on hardware comparable to the baseline.
+    if baseline.get("cpu_count") != current["cpu_count"]:
+        notes.append(
+            f"absolute gate skipped: baseline recorded on {baseline.get('cpu_count')} CPU(s), "
+            f"this machine has {current['cpu_count']} (rates not comparable)"
+        )
+    elif baseline.get("scale") != current["scale"]:
+        notes.append(
+            f"absolute gate skipped: baseline scale {baseline.get('scale')} != "
+            f"current scale {current['scale']}"
+        )
+    else:
+        floor = 1.0 - MAX_DROP
+        for workload, base_rate in sorted(baseline.get("rates", {}).items()):
+            rate = rates.get(workload)
+            if rate is None:
+                failures.append(f"{workload}: missing from current run (baseline has it)")
+                continue
+            if rate < floor * base_rate:
+                failures.append(
+                    f"{workload}: {rate:,.0f} ev/s is {1 - rate / base_rate:.0%} below "
+                    f"baseline {base_rate:,.0f} ev/s (max allowed drop {MAX_DROP:.0%})"
+                )
+            else:
+                notes.append(
+                    f"{workload}: {rate:,.0f} ev/s vs baseline {base_rate:,.0f} ev/s ok"
+                )
+
+    for note in notes:
+        print(f"  {note}")
+    if failures:
+        print(f"{len(failures)} bench regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("bench regression gate: pass")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=float(os.environ.get("CGSIM_BENCH_SCALE", "0.05")))
+    parser.add_argument("--repeat", type=int, default=2)
+    parser.add_argument(
+        "--min-macro-ratio",
+        type=float,
+        default=1.3,
+        help="required timeout_churn_macro / timeout_churn rate ratio (machine-independent)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record this run as the committed baseline instead of gating",
+    )
+    parser.add_argument(
+        "--baseline-margin",
+        type=float,
+        default=0.15,
+        help="deflate recorded baseline rates by this fraction so run-to-run "
+        "timer noise (significant on small scales / busy boxes) does not trip "
+        "the 20%% gate",
+    )
+    args = parser.parse_args()
+
+    current = measure(args.scale, args.repeat)
+    write_json(LATEST_PATH, current)
+    print(f"recorded {LATEST_PATH.relative_to(REPO_ROOT)}:")
+    for workload, rate in sorted(current["rates"].items()):
+        print(f"  {workload}: {rate:,.0f} events/s")
+
+    if args.write_baseline:
+        baseline = dict(current)
+        baseline["rates"] = {
+            workload: round(rate * (1.0 - args.baseline_margin), 1)
+            for workload, rate in current["rates"].items()
+        }
+        baseline["margin"] = args.baseline_margin
+        write_json(BASELINE_PATH, baseline)
+        print(
+            f"baseline written to {BASELINE_PATH.relative_to(REPO_ROOT)} "
+            f"(rates deflated by {args.baseline_margin:.0%} for noise headroom)"
+        )
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH.relative_to(REPO_ROOT)}; run --write-baseline first", file=sys.stderr)
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    return compare(current, baseline, args.min_macro_ratio)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

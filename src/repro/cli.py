@@ -112,6 +112,14 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="SECONDS",
                      help="print a live progress line to stderr, throttled to "
                      "at most one every SECONDS of wall-clock time (default 2)")
+    run.add_argument("--shards", type=int, default=None, metavar="N",
+                     help="run the sharded-clock engine across N site regions "
+                     "(overrides execution.shards; requires a shard-eligible "
+                     "workload, see the architecture docs)")
+    run.add_argument("--shards-verify", action="store_true",
+                     help="with shards > 1, cross-check the merged metrics "
+                     "bit-for-bit against a single-clock run of the same "
+                     "workload")
     run.add_argument("--checkpoint-every", default=None, metavar="TIME",
                      help="write a checkpoint blob every TIME simulated seconds "
                      "(or a duration such as '6h'); requires --checkpoint-dir")
@@ -237,7 +245,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeat", type=int, default=3,
                        help="runs per workload (best is reported)")
     bench.add_argument("--profile", action="store_true",
-                       help="dump a cProfile summary (top-20 cumulative functions)")
+                       help="dump a cProfile summary (top 20 functions)")
+    bench.add_argument("--sort", choices=["cumulative", "tottime"],
+                       default="cumulative",
+                       help="profile sort order (with --profile)")
+    bench.add_argument("--json", action="store_true",
+                       help="with --profile, print the flat profile as JSON "
+                       "rows instead of the pstats text block")
     bench.add_argument("--output", type=Path, default=None,
                        help="write the measured rates as JSON here")
 
@@ -416,6 +430,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     topology = load_topology(args.topology)
     execution = load_execution(args.execution)
     jobs = load_trace(args.trace)
+    if args.shards is not None:
+        from dataclasses import replace
+
+        if args.shards < 1:
+            raise CGSimError("--shards must be >= 1")
+        execution = replace(execution, shards=args.shards)
+    if execution.shards > 1:
+        return _run_sharded_cli(args, infrastructure, topology, execution, jobs)
+    if args.shards_verify:
+        raise CGSimError("--shards-verify requires --shards > 1")
     simulator = Simulator(infrastructure, topology, execution)
     session = simulator.session(jobs)
     printer = None
@@ -431,6 +455,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
         printer(session, force=True)
     result = session.finalize()
     _report_run(args, session, result)
+    return 0
+
+
+def _run_sharded_cli(args, infrastructure, topology, execution, jobs) -> int:
+    """The ``run --shards N`` path: sharded-clock engine, no session controls."""
+    from repro.des.sharded import run_sharded
+
+    for value, flag in (
+        (args.until, "--until"),
+        (args.progress, "--progress"),
+        (args.checkpoint_every, "--checkpoint-every"),
+        (args.checkpoint_dir, "--checkpoint-dir"),
+    ):
+        if value is not None:
+            raise CGSimError(f"{flag} drives a single-clock session; drop --shards")
+    simulator = Simulator(infrastructure, topology, execution)
+    result = run_sharded(simulator, list(jobs), verify=args.shards_verify)
+    if args.shards_verify:
+        print(
+            f"[shards] {execution.shards} regions verified against the "
+            "single-clock engine: metrics identical",
+            file=sys.stderr,
+        )
+    _report_run(args, None, result)
     return 0
 
 
@@ -633,22 +681,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.experiments.bench import profile_callable, run_kernel_benchmarks
+    from repro.experiments.bench import (
+        profile_callable,
+        profile_flat,
+        run_kernel_benchmarks,
+    )
 
     if args.scale <= 0:
         raise CGSimError("--scale must be positive")
     if args.repeat < 1:
         raise CGSimError("--repeat must be >= 1")
+    if args.json and not args.profile:
+        raise CGSimError("--json formats the flat profile; it requires --profile")
     results = run_kernel_benchmarks(scale=args.scale, repeat=args.repeat)
-    print(format_table([result.to_row() for result in results]))
+    if not args.json:
+        print(format_table([result.to_row() for result in results]))
     if args.profile:
-        print()
-        print("cProfile (one pass of all three workloads, top 20 by cumulative time):")
-        print(
-            profile_callable(
-                lambda: run_kernel_benchmarks(scale=args.scale, repeat=1), top=20
+        one_pass = lambda: run_kernel_benchmarks(scale=args.scale, repeat=1)
+        if args.json:
+            payload = {
+                "scale": args.scale,
+                "repeat": args.repeat,
+                "results": [result.to_row() for result in results],
+                "profile_sort": args.sort,
+                "profile": profile_flat(one_pass, top=20, sort=args.sort),
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            print()
+            print(
+                "cProfile (one pass of every kernel workload, "
+                f"top 20 by {args.sort} time):"
             )
-        )
+            print(profile_callable(one_pass, top=20, sort=args.sort))
     if args.output is not None:
         args.output.parent.mkdir(parents=True, exist_ok=True)
         payload = {

@@ -11,7 +11,7 @@ The simulation finishes once every job has been assigned and executed.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.des import Environment, Event, Store
 from repro.plugins.base import AllocationPolicy, ResourceView, SiteStatus
@@ -58,6 +58,12 @@ class MainServer:
         retry is a fresh attempt with the same static job record; the failed
         attempt stays in the output (so the failure-rate metric reflects
         attempts, as in production monitoring).
+    id_allocator:
+        Callable handing out ids for runtime-created jobs (retry attempts).
+        The simulator passes its scoped
+        :class:`~repro.workload.job.JobIdAllocator` so retry ids depend only
+        on the run's inputs; defaults to the process-global
+        :func:`~repro.workload.job.allocate_job_id` shim.
     """
 
     def __init__(
@@ -73,6 +79,7 @@ class MainServer:
         pending_retry_interval: float = 60.0,
         max_retries: int = 0,
         platform_description: Optional[dict] = None,
+        id_allocator: Optional[Callable[[], int]] = None,
         logger: Optional[SimLogger] = None,
     ) -> None:
         if total_jobs < 0:
@@ -89,6 +96,7 @@ class MainServer:
         self.scheduling_overhead = float(scheduling_overhead)
         self.pending_retry_interval = float(pending_retry_interval)
         self.max_retries = int(max_retries)
+        self._allocate_id = id_allocator if id_allocator is not None else allocate_job_id
         self.logger = logger or NullLogger()
 
         #: Jobs the policy could not place yet, in arrival order.
@@ -284,7 +292,7 @@ class MainServer:
             return
         self._attempts[original_id] = attempts + 1
         attempt = job.copy_for_replay()
-        attempt.job_id = allocate_job_id()  # every attempt is distinguishable downstream
+        attempt.job_id = self._allocate_id()  # every attempt is distinguishable downstream
         attempt.attributes["retry_of"] = original_id
         attempt.attributes["attempt"] = attempts + 2  # first attempt was #1
         # Resubmission happens "now": the retry enters the dispatch path at

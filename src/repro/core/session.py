@@ -45,7 +45,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Tuple
 
 from repro.des.events import Event
 from repro.utils.errors import CheckpointError, SessionError, SimulationError
-from repro.workload.job import Job, JobState, job_id_counter, reset_job_id_counter
+from repro.workload.job import Job, JobState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.metrics import SimulationMetrics
@@ -135,10 +135,6 @@ class SimulationSession:
 
     def __init__(self, simulator: "Simulator", jobs: Iterable[Job]) -> None:
         started = _wallclock.perf_counter()
-        #: Where the process-global job-id counter stood at construction;
-        #: recorded in checkpoints so a restore re-seats it before replaying
-        #: (retry attempts allocate ids from it).
-        self._job_counter_base = job_id_counter()
         self._simulator = simulator
         #: Jobs of this run in input order (grown by :meth:`submit`).
         self._jobs: List[Job] = [
@@ -177,6 +173,10 @@ class SimulationSession:
 
         simulator._build(self._jobs)
         assert simulator.env is not None and simulator.server is not None
+        #: Where the run's scoped job-id allocator starts (retry attempts
+        #: draw from it); recorded in checkpoints so a restore re-seats the
+        #: rebuilt allocator before replaying.
+        self._job_counter_base = simulator.job_ids.peek()
         simulator.server.completion_listeners.append(self._on_job_completed)
         stop = simulator.execution.stop
         if stop is not None and stop.enabled():
@@ -614,6 +614,8 @@ class SimulationSession:
         for job in batch:
             if job.submission_time < now:
                 job.submission_time = now
+        for job in batch:
+            self._simulator.job_ids.ensure_above(int(job.job_id))
         self._simulator.job_manager.submit(batch)
         self._simulator.server.expect(len(batch))
         self._jobs.extend(batch)
@@ -807,9 +809,13 @@ class SimulationSession:
                 f"simulator sites {actual_sites} do not match the checkpoint's "
                 f"sites {expected_sites}"
             )
-        reset_job_id_counter(int(payload["job_counter"]))
         waves = payload["waves"]
         session = simulator.session(job.copy_for_replay() for job in waves[0])
+        # Re-seat the run-scoped allocator so replayed retries mint the same
+        # ids the original run did (older blobs may predate the workload-
+        # seeded base the rebuilt simulator derived on its own).
+        simulator.job_ids.reset(int(payload["job_counter"]))
+        session._job_counter_base = int(payload["job_counter"])
         session._restoring = True
         collector = simulator.collector
         saved_sinks = None

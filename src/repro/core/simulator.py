@@ -51,7 +51,7 @@ from repro.platform.platform import Platform
 from repro.plugins.base import AllocationPolicy
 from repro.plugins.registry import create_policy
 from repro.utils.logging import NullLogger, SimLogger
-from repro.workload.job import Job, JobState
+from repro.workload.job import Job, JobIdAllocator, JobState
 
 __all__ = ["Simulator", "SimulationResult"]
 
@@ -210,6 +210,11 @@ class Simulator:
         self._live_sinks: List = []
         self._active_session: Optional[SimulationSession] = None
         self._snapshot_process = None
+        self._snapshot_lane = None
+        #: Scoped id source for runtime-created jobs (retry attempts); built
+        #: per run, seeded from the workload's own ids, so run outputs never
+        #: depend on the process-global counter's history.
+        self.job_ids: Optional[JobIdAllocator] = None
 
     # -- lifecycle callbacks ----------------------------------------------------
     def on_build(self, fn: Callable[["Simulator"], None]) -> Callable:
@@ -228,6 +233,13 @@ class Simulator:
     def _build(self, jobs: List[Job]) -> None:
         self.env = Environment()
         self.logger.bind_clock(lambda: self.env.now if self.env else 0.0)
+        # Retry-attempt ids start right above the workload's own ids: a
+        # deterministic function of the run's inputs, so two identical runs
+        # in one process hand out identical ids (and fingerprints) without
+        # any global-counter bookkeeping.
+        self.job_ids = JobIdAllocator(
+            start=max((int(job.job_id) for job in jobs), default=0) + 1
+        )
         self.platform = build_platform(self.env, self.infrastructure, self.topology)
         monitoring = self.execution.monitoring
         self.collector = MonitoringCollector(
@@ -252,6 +264,13 @@ class Simulator:
             if self.enable_data_transfers
             else None
         )
+        macro = self.execution.macro_batch
+        # One completion lane shared by every site: entries dispatch in
+        # (time, push order), which is the per-time FIFO order the scalar
+        # calendar gives completion timeouts scheduled in the same order.
+        completion_lane = (
+            self.env.macro_lane(SiteRuntime._macro_complete) if macro else None
+        )
         self.sites = {}
         for site_config in self.infrastructure.sites:
             self.sites[site_config.name] = SiteRuntime(
@@ -263,9 +282,10 @@ class Simulator:
                 parallel_efficiency=self.parallel_efficiency,
                 failure_model=self.failure_model,
                 streaming_io=self.streaming_io,
+                completion_lane=completion_lane,
                 logger=self.logger,
             )
-        self.job_manager = JobManager(self.env, jobs)
+        self.job_manager = JobManager(self.env, jobs, macro=macro)
         self.server = MainServer(
             self.env,
             self.sites,
@@ -278,6 +298,7 @@ class Simulator:
             pending_retry_interval=self.execution.pending_retry_interval,
             max_retries=self.execution.max_retries,
             platform_description=self.platform.describe(),
+            id_allocator=self.job_ids.allocate,
             logger=self.logger,
         )
         if self.outages:
@@ -288,14 +309,29 @@ class Simulator:
             )
         if self.execution.monitoring.snapshot_interval > 0:
             interval = self.execution.monitoring.snapshot_interval
-            self._snapshot_process = self.env.process(self._snapshot_loop(interval))
+            if macro:
+                # Macro mode: the monitoring ticker is a self-rearming lane
+                # entry instead of a perpetual process -- one lane entry per
+                # interval, no generator resume.
+                self._snapshot_lane = self.env.macro_lane(self._snapshot_tick)
+                self._snapshot_lane.push(interval, interval)
 
-            def restart_snapshots() -> None:
-                # The loop exits at its first wake after completion; when a
-                # later submit() re-arms the run, a fresh loop must cover the
-                # new wave (but never a second one while the old still runs).
-                if self._snapshot_process.triggered:
-                    self._snapshot_process = self.env.process(self._snapshot_loop(interval))
+                def restart_snapshots() -> None:
+                    # The ticker stops rearming at its first tick after
+                    # completion; a later submit() must restart it for the
+                    # new wave (but never double it while one still runs).
+                    if self._snapshot_lane.remaining == 0:
+                        self._snapshot_lane.push(interval, interval)
+
+            else:
+                self._snapshot_process = self.env.process(self._snapshot_loop(interval))
+
+                def restart_snapshots() -> None:
+                    # The loop exits at its first wake after completion; when a
+                    # later submit() re-arms the run, a fresh loop must cover the
+                    # new wave (but never a second one while the old still runs).
+                    if self._snapshot_process.triggered:
+                        self._snapshot_process = self.env.process(self._snapshot_loop(interval))
 
             self.server.rearm_listeners.append(restart_snapshots)
         for hook in self._build_hooks:
@@ -305,20 +341,34 @@ class Simulator:
         """Periodic site-level snapshot recording (dashboard / Table 1 context)."""
         while not self.server.all_done.triggered:
             yield self.env.timeout(interval)
-            for site in self.sites.values():
-                self.collector.record_snapshot(
-                    SiteSnapshot(
-                        time=self.env.now,
-                        site=site.name,
-                        total_cores=site.total_cores,
-                        available_cores=site.available_cores,
-                        running_jobs=site.running_jobs,
-                        queued_jobs=site.queued_jobs,
-                        pending_jobs=len(self.server.pending),
-                        finished_jobs=site.finished_jobs,
-                        failed_jobs=site.failed_jobs,
-                    )
+            self._record_snapshots()
+
+    def _snapshot_tick(self, interval: float) -> None:
+        """Macro-lane ticker body: record, then rearm unless the run is done.
+
+        Matches the scalar loop exactly: the wake that lands after
+        completion still records (the loop body runs before the condition is
+        re-checked), and only the rearm is skipped.
+        """
+        self._record_snapshots()
+        if not self.server.all_done.triggered:
+            self._snapshot_lane.push(interval, interval)
+
+    def _record_snapshots(self) -> None:
+        for site in self.sites.values():
+            self.collector.record_snapshot(
+                SiteSnapshot(
+                    time=self.env.now,
+                    site=site.name,
+                    total_cores=site.total_cores,
+                    available_cores=site.available_cores,
+                    running_jobs=site.running_jobs,
+                    queued_jobs=site.queued_jobs,
+                    pending_jobs=len(self.server.pending),
+                    finished_jobs=site.finished_jobs,
+                    failed_jobs=site.failed_jobs,
                 )
+            )
 
     # -- checkpoint support -----------------------------------------------------
     def clone(self) -> "Simulator":
@@ -423,6 +473,14 @@ class Simulator:
         time: opening a new session (or calling :meth:`run`) rebuilds the
         run-time objects and detaches the previous session.
         """
+        if self.execution.shards > 1:
+            from repro.utils.errors import SimulationError
+
+            raise SimulationError(
+                "stepped sessions are single-clock; with execution.shards > 1 "
+                "use Simulator.run() (the sharded engine drives one session "
+                "per region internally)"
+            )
         if self._active_session is not None:
             self._active_session._detach()
             self._active_session = None
@@ -437,8 +495,17 @@ class Simulator:
         if configured, when ``execution.max_simulation_time`` is reached.
         This is a thin wrapper over the session lifecycle -- equivalent to
         ``simulator.session(jobs).advance_to_completion().finalize()`` --
-        kept as the one-call front door for closed workloads.
+        kept as the one-call front door for closed workloads.  With
+        ``execution.shards > 1`` the run is instead routed through the
+        sharded-clock engine (:func:`repro.des.sharded.run_sharded`): sites
+        are partitioned into regions, each simulated in its own worker
+        process, and the merged result carries identical metrics for
+        shard-eligible workloads.
         """
+        if self.execution.shards > 1:
+            from repro.des.sharded import run_sharded
+
+            return run_sharded(self, list(jobs))
         session = self.session(jobs)
         try:
             session.advance_to_completion()

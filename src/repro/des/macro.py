@@ -1,0 +1,198 @@
+"""Columnar macro-event lanes: batched timeout dispatch without event objects.
+
+A *macro lane* is the kernel's vectorized fast path for the dominant event
+pattern simulations produce: large numbers of independent "at time *t*, run
+this small callback" entries with no kernel interaction between them (job
+completions, workload release times, monitoring ticks).  The scalar path
+pays one pooled :class:`~repro.des.events.Timeout` plus one generator resume
+per such event; a macro lane stores the same schedule as **columnar data**
+-- a sorted array of times and an aligned list of payload values, one shared
+callback -- and the run loop drains whole runs of consecutive entries in a
+tight loop (:meth:`repro.des.core.Environment._advance_macro`).
+
+Two lane flavours cover the two scheduling shapes:
+
+* :class:`MacroBatch` -- the whole schedule is known up front
+  (:meth:`repro.des.core.Environment.schedule_macro`).  Times go through one
+  ``numpy`` stable argsort, so entries dispatch in ``(time, seq)`` order
+  where ``seq`` is the input position; after sorting the columns are kept as
+  plain Python lists because per-element access is what the dispatch loop
+  does.
+* :class:`DynamicMacroLane` -- entries arrive one at a time while the
+  simulation runs (:meth:`repro.des.core.Environment.macro_lane`).  Entries
+  live in a ``(time, seq, value)`` tuple heap: same ``(time, push-order)``
+  dispatch order, which is exactly the order the scalar calendar's per-time
+  FIFO buckets would have produced for timeouts scheduled in push order.
+
+Ordering contract
+-----------------
+Macro entries due at time *t* run **after** urgent/priority events at *t*
+(process initialisation, interrupts, ``until`` sentinels -- so a deadline
+still stops the clock before any same-time activity) and **before** the
+normal-priority bucket at *t*.  Among lanes, ties break by lane
+registration order; within a lane, by ``(time, seq)``.  This equals the
+scalar calendar's insertion-order semantics whenever the batch is scheduled
+before any colliding normal event -- the pattern every bundled consumer
+follows -- and it is what the macro/scalar bit-identity property tests pin.
+
+Callbacks may do anything a normal event callback may, including scheduling
+regular events or new macro entries; the drain loop yields back to the main
+run loop as soon as a callback makes same-time work runnable, so causality
+within a timestamp is preserved.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.des.core import Environment
+
+__all__ = ["MacroBatch", "DynamicMacroLane"]
+
+#: Head time reported by an exhausted/cancelled lane.
+_INF = float("inf")
+
+
+class MacroBatch:
+    """A precomputed columnar batch of timed callback entries.
+
+    Create through :meth:`repro.des.core.Environment.schedule_macro`; the
+    constructor sorts the entry times (stable, so equal times keep input
+    order) and registers the lane with the environment's macro heap.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    times:
+        Absolute dispatch times, one per entry (already validated >= now).
+    callback:
+        Called as ``callback(value)`` for every entry, in ``(time, seq)``
+        order.  ``None`` values are passed for batches without payloads.
+    values:
+        Optional payloads aligned with ``times`` (pre-sort input order).
+    """
+
+    __slots__ = ("env", "callback", "_times", "_values", "_cursor", "_cancelled")
+
+    def __init__(
+        self,
+        env: "Environment",
+        times: np.ndarray,
+        callback: Callable[[Any], None],
+        values: Optional[Sequence[Any]] = None,
+    ) -> None:
+        self.env = env
+        self.callback = callback
+        if values is not None and len(values) != len(times):
+            raise SimulationError(
+                f"macro batch values length {len(values)} != times length {len(times)}"
+            )
+        order = np.argsort(times, kind="stable")
+        # Columns are kept as plain lists: the dispatch loop touches one
+        # element at a time, and unboxing numpy scalars per entry costs more
+        # than the one-time conversion.
+        self._times: List[float] = times[order].tolist()
+        if values is None:
+            self._values: Optional[list] = None
+        else:
+            values = list(values)
+            self._values = [values[index] for index in order.tolist()]
+        self._cursor = 0
+        self._cancelled = False
+
+    # -- lane protocol (used by Environment._advance_macro) -----------------
+    def head_time(self) -> float:
+        """Time of the next undispatched entry (``inf`` when exhausted)."""
+        if self._cancelled or self._cursor >= len(self._times):
+            return _INF
+        return self._times[self._cursor]
+
+    @property
+    def remaining(self) -> int:
+        """Entries not yet dispatched."""
+        if self._cancelled:
+            return 0
+        return len(self._times) - self._cursor
+
+    def cancel(self) -> None:
+        """Drop every undispatched entry (already-dispatched ones stand)."""
+        self._cancelled = True
+
+    def __repr__(self) -> str:
+        return (
+            f"<MacroBatch remaining={self.remaining}/{len(self._times)} "
+            f"{'cancelled' if self._cancelled else 'active'}>"
+        )
+
+
+class DynamicMacroLane:
+    """A push-based macro lane for entries whose times arrive incrementally.
+
+    Create through :meth:`repro.des.core.Environment.macro_lane`.  Entries
+    are ``(time, seq, value)`` tuples in a heap: dispatch order is
+    ``(time, push order)``, which matches the per-time FIFO order the scalar
+    calendar gives timeouts scheduled in the same order.  The lane
+    re-registers itself with the environment whenever a push creates a new
+    earliest head (lazy re-registration; stale heap entries are discarded at
+    dispatch time).
+
+    The main consumer is the simulation core's shared job-completion lane:
+    every site pushes ``(duration, completion-record)`` at admission time and
+    one shared callback finishes the job, replacing a pooled ``Timeout`` plus
+    a generator resume per completion.
+    """
+
+    __slots__ = ("env", "callback", "_heap", "_seq")
+
+    def __init__(self, env: "Environment", callback: Callable[[Any], None]) -> None:
+        self.env = env
+        self.callback = callback
+        self._heap: List[tuple] = []
+        self._seq = 0
+
+    def push(self, delay: float, value: Any = None) -> None:
+        """Schedule ``callback(value)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative macro delay {delay!r}")
+        when = self.env._now + delay
+        heap = self._heap
+        previous_head = heap[0][0] if heap else _INF
+        heappush(heap, (when, self._seq, value))
+        self._seq += 1
+        if when < previous_head:
+            # New earliest entry: (re-)announce the lane to the environment.
+            # An already-registered later head becomes a stale heap entry the
+            # dispatcher discards when it surfaces.
+            self.env._register_macro_lane(self)
+
+    def push_at(self, when: float, value: Any = None) -> None:
+        """Schedule ``callback(value)`` at absolute time ``when``."""
+        self.push(when - self.env._now, value)
+
+    # -- lane protocol ------------------------------------------------------
+    def head_time(self) -> float:
+        """Time of the earliest pending entry (``inf`` when empty)."""
+        return self._heap[0][0] if self._heap else _INF
+
+    @property
+    def remaining(self) -> int:
+        """Entries not yet dispatched."""
+        return len(self._heap)
+
+    def cancel(self) -> None:
+        """Drop every pending entry."""
+        self._heap.clear()
+
+    def _pop_value(self) -> Any:
+        """Remove and return the payload of the earliest entry."""
+        return heappop(self._heap)[2]
+
+    def __repr__(self) -> str:
+        return f"<DynamicMacroLane remaining={len(self._heap)}>"

@@ -1,0 +1,594 @@
+"""Sharded-clock parallel engine: conservatively synchronized site regions.
+
+The single-clock kernel processes every event of the grid on one calendar.
+For workloads whose jobs are pinned to sites *a priori* (trace replays under
+the ``follow_trace`` policy -- the paper's calibration workloads -- and the
+synthetic generators, which stamp every job's ``target_site``), the event
+graph decomposes cleanly: nothing that happens at one site can influence
+another site's timeline.  This module exploits that structure by
+partitioning the sites into ``execution.shards`` *regions*, simulating each
+region on its own :class:`~repro.des.core.Environment` in a separate worker
+process, and merging the per-region outputs into one
+:class:`~repro.core.simulator.SimulationResult`.
+
+Synchronization model
+---------------------
+Regions advance their clocks in *windows*, conservatively synchronized by a
+coordinator in the parent process:
+
+1. every worker reports the timestamp of its next event
+   (:meth:`Environment.peek`);
+2. the coordinator picks ``target = min(peeks) + window`` and tells every
+   region to :meth:`~repro.core.session.SimulationSession.advance_until` it;
+3. each worker replies with its clock, next-event time, completion flag and
+   a state digest drawn from the checkpoint machinery
+   (:meth:`MainServer.snapshot`), which the coordinator folds into its
+   progress view of the whole grid.
+
+The *lookahead* that makes the windows safe is the WAN latency of the
+topology: an event at one site cannot affect another region sooner than the
+smallest cross-region link latency, and for shard-eligible workloads (no
+data transfers, pinned placement) no event crosses regions at all -- the
+windows bound clock skew between regions rather than correctness.  The
+window defaults to ``max(pending_retry_interval, 64 x lookahead)`` and can
+be pinned with ``execution.shard_window``.
+
+When shards cannot help
+-----------------------
+:func:`check_shardable` refuses (with an explanation per problem) whenever
+region independence cannot be guaranteed:
+
+* the allocation policy is not pinning (anything but ``follow_trace``), or a
+  job lacks a ``target_site`` -- placement would depend on global state;
+* a job's core count exceeds its target site's widest host -- the
+  single-clock engine parks or fails such jobs against the *global* pending
+  machinery;
+* data transfers (or streaming I/O / caches) are enabled -- stage-ins share
+  WAN links across regions;
+* declarative stop conditions are configured -- "first condition to fire"
+  is a global race;
+* output files are configured -- regions would race on the same paths;
+* build hooks are registered -- they cannot be shipped to workers.
+
+Verification
+------------
+``run_sharded(..., verify=True)`` (surfaced as ``repro run --shards-verify``)
+re-runs the workload on a pristine single-clock clone and compares the two
+metric sets bit-for-bit via :func:`repro.state.protocol.diff_states`, after
+re-ordering both job lists into a canonical engine-independent order (wave
+jobs by id, retry attempts by ``(original id, attempt)``).  Any divergence
+raises :class:`~repro.utils.errors.SimulationError` listing the differing
+fields.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import pickle
+import time as _wallclock
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.utils.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.simulator import SimulationResult, Simulator
+    from repro.workload.job import Job
+
+__all__ = [
+    "ShardPlan",
+    "plan_shards",
+    "cross_region_lookahead",
+    "check_shardable",
+    "run_sharded",
+]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Deterministic partition of the grid's sites into clock regions.
+
+    ``regions`` maps region index to a tuple of site names; ``lookahead`` is
+    the smallest cross-region link latency (the conservative-synchronization
+    bound) and ``window`` the synchronization-window size actually used.
+    """
+
+    regions: Tuple[Tuple[str, ...], ...]
+    lookahead: float
+    window: float
+
+    def region_of(self, site: str) -> int:
+        """Index of the region holding ``site`` (raises on unknown sites)."""
+        for index, names in enumerate(self.regions):
+            if site in names:
+                return index
+        raise SimulationError(f"site {site!r} is not in any shard region")
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+
+def plan_shards(site_names: List[str], shards: int) -> Tuple[Tuple[str, ...], ...]:
+    """Partition ``site_names`` into at most ``shards`` regions, round-robin.
+
+    Sites are sorted by name first, so the partition depends only on the
+    site set -- never on declaration order or hash seeds.  With more shards
+    than sites, the empty tail regions are dropped.
+    """
+    if shards < 1:
+        raise SimulationError(f"shards must be >= 1, got {shards}")
+    ordered = sorted(site_names)
+    regions: List[List[str]] = [[] for _ in range(min(shards, len(ordered)))]
+    for index, name in enumerate(ordered):
+        regions[index % len(regions)].append(name)
+    return tuple(tuple(region) for region in regions)
+
+
+def cross_region_lookahead(topology, regions: Tuple[Tuple[str, ...], ...]) -> float:
+    """Smallest latency of any link joining two different regions.
+
+    This is the conservative-synchronization bound: no event can propagate
+    between regions faster than the fastest cross-region link.  Falls back
+    to the topology's implicit server-link latency when no explicit link
+    crosses regions (every site then reaches the rest of the grid only
+    through the main-server star).
+    """
+    region_of: Dict[str, int] = {}
+    for index, names in enumerate(regions):
+        for name in names:
+            region_of[name] = index
+    crossing = [
+        link.latency
+        for link in topology.links
+        if region_of.get(link.source) is not None
+        and region_of.get(link.destination) is not None
+        and region_of[link.source] != region_of[link.destination]
+    ]
+    if crossing:
+        return float(min(crossing))
+    return float(topology.server_latency)
+
+
+def check_shardable(simulator: "Simulator", jobs: List["Job"]) -> List[str]:
+    """Explain everything that makes this run ineligible for sharding.
+
+    Returns an empty list when the workload decomposes into independent
+    regions (see the module docstring for the rules); otherwise one
+    human-readable reason per problem.  :func:`run_sharded` raises with the
+    joined reasons, so callers can pre-flight eligibility cheaply.
+    """
+    from repro.plugins.bundled import FollowTracePolicy
+
+    problems: List[str] = []
+    site_names = set(simulator.infrastructure.site_names)
+    if len(site_names) < 2:
+        problems.append("sharding needs at least 2 sites")
+    if not isinstance(simulator.policy, FollowTracePolicy):
+        problems.append(
+            f"policy {simulator.policy.name!r} is not pinning; only "
+            "'follow_trace' (jobs pre-assigned to their target_site) "
+            "guarantees region independence"
+        )
+    if simulator.enable_data_transfers:
+        problems.append(
+            "data transfers share WAN links across regions; disable "
+            "enable_data_transfers (and caches/streaming) to shard"
+        )
+    if simulator._build_hooks:
+        problems.append("on_build hooks cannot be shipped to shard workers")
+    execution = simulator.execution
+    if execution.stop is not None and execution.stop.enabled():
+        problems.append(
+            "declarative stop conditions race globally; remove execution.stop"
+        )
+    output = execution.output
+    if output.sqlite_path or output.csv_directory or output.ml_dataset:
+        problems.append(
+            "configured outputs would be written by every region; disable "
+            "execution.output for sharded runs"
+        )
+    widest: Dict[str, int] = {
+        site.name: max(site.cores_per_host()) for site in simulator.infrastructure.sites
+    }
+    unpinned = 0
+    too_wide = 0
+    for job in jobs:
+        target = job.target_site
+        if target is None or target not in site_names:
+            unpinned += 1
+        elif int(job.cores) > widest[target]:
+            too_wide += 1
+    if unpinned:
+        problems.append(
+            f"{unpinned} job(s) lack a target_site naming a known site; "
+            "placement would depend on global grid state"
+        )
+    if too_wide:
+        problems.append(
+            f"{too_wide} job(s) need more cores than their target site's "
+            "widest host; their pending/unplaceable handling is global"
+        )
+    return problems
+
+
+def _shard_window(execution, lookahead: float) -> float:
+    """Window size: explicit override, or a multiple of the lookahead."""
+    if execution.shard_window is not None:
+        return float(execution.shard_window)
+    return max(float(execution.pending_retry_interval), 64.0 * lookahead)
+
+
+def _region_execution(execution):
+    """The execution config a region worker runs under.
+
+    Single-clock (``shards=1``), no output files, and monitoring muted: the
+    merged result recomputes its metrics purely from the jobs, so per-region
+    transition rows would be discarded anyway.
+    """
+    from repro.config.execution import MonitoringConfig, OutputConfig
+
+    return replace(
+        execution,
+        shards=1,
+        shard_window=None,
+        monitoring=MonitoringConfig(enable_events=False, snapshot_interval=0.0),
+        output=OutputConfig(),
+        stop=None,
+    )
+
+
+def _region_payload(
+    simulator: "Simulator",
+    region_sites: Tuple[str, ...],
+    region_index: int,
+    shards: int,
+    id_base: int,
+    indexed_jobs: List[Tuple[int, "Job"]],
+) -> dict:
+    """Everything one worker needs, as a picklable dict."""
+    from repro.config.infrastructure import InfrastructureConfig
+    from repro.config.topology import TopologyConfig
+
+    region = set(region_sites)
+    topology = simulator.topology
+    endpoints = region | {topology.server_zone}
+    config = {
+        "infrastructure": InfrastructureConfig(
+            sites=[
+                site
+                for site in simulator.infrastructure.sites
+                if site.name in region
+            ]
+        ),
+        "topology": TopologyConfig(
+            links=[
+                link
+                for link in topology.links
+                if link.source in endpoints and link.destination in endpoints
+            ],
+            server_zone=topology.server_zone,
+            server_bandwidth=topology.server_bandwidth,
+            server_latency=topology.server_latency,
+            routing_weight=topology.routing_weight,
+        ),
+        "execution": _region_execution(simulator.execution),
+        "policy": (
+            None if simulator._policy_spec is not None else copy.deepcopy(simulator.policy)
+        ),
+        "enable_data_transfers": False,
+        "data_cache": None,
+        "streaming_io": False,
+        "parallel_efficiency": simulator.parallel_efficiency,
+        "failure_model": copy.deepcopy(simulator.failure_model),
+        "outages": [w for w in simulator.outages if w.site in region],
+        "policy_initial": copy.deepcopy(simulator._policy_initial),
+    }
+    return {
+        "config": config,
+        "region_index": region_index,
+        "shards": shards,
+        "id_base": id_base,
+        "indices": [index for index, _ in indexed_jobs],
+        "jobs": [job for _, job in indexed_jobs],
+    }
+
+
+def _region_worker(conn) -> None:
+    """Worker-process entry point: one region, one Environment, one session.
+
+    Speaks a tiny message protocol with the coordinator::
+
+        <- payload (first message: the region's configuration and jobs)
+        -> ("ready", peek, done)
+        <- ("advance", target)    -> ("state", now, peek, done, digest)
+        <- ("finalize",)          -> ("result", {...})
+        <- ("abort",)             (silent exit)
+
+    Any exception is reported as ``("error", traceback)`` instead of dying
+    silently, so the coordinator can surface the region's failure.
+    """
+    try:
+        from repro.core.simulator import Simulator
+
+        payload = conn.recv()
+        simulator = Simulator.from_config_payload(payload["config"])
+
+        def _pin_allocator(sim: "Simulator") -> None:
+            # Region k of N mints runtime ids base+k, base+k+N, ...: disjoint
+            # congruence classes, so merged outputs never collide.
+            sim.job_ids.reset(payload["id_base"] + payload["region_index"])
+            sim.job_ids.step = payload["shards"]
+
+        simulator.on_build(_pin_allocator)
+        session = simulator.session(payload["jobs"])
+        env = simulator.env
+        deadline = simulator.execution.max_simulation_time
+        conn.send(("ready", env.peek(), session.done))
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "advance":
+                target = float(message[1])
+                if deadline is not None:
+                    target = min(target, deadline)
+                if not session.done and target > session.now:
+                    session.advance_until(target)
+                done = session.done or (
+                    deadline is not None and session.now >= deadline
+                )
+                conn.send(
+                    ("state", env.now, env.peek(), done, simulator.server.snapshot())
+                )
+            elif kind == "finalize":
+                session.advance_to_completion()
+                result = session.finalize()
+                conn.send(
+                    (
+                        "result",
+                        {
+                            "jobs": result.jobs,
+                            "simulated_time": result.simulated_time,
+                            "pending_jobs": result.pending_jobs,
+                            "assignments": result.assignments,
+                            "wallclock": result.wallclock_seconds,
+                        },
+                    )
+                )
+                conn.close()
+                return
+            else:  # "abort" or anything unknown: exit quietly
+                conn.close()
+                return
+    except BaseException:  # pragma: no cover - transported to the parent
+        import traceback
+
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+
+
+def _canonical_order(jobs: List["Job"]) -> List["Job"]:
+    """Engine-independent job order: by (original id, attempt).
+
+    Retry attempts carry ``retry_of``/``attempt`` attributes and sort right
+    after their original; runtime-minted attempt ids differ between the
+    single-clock and sharded engines (and between shard counts), so ids
+    alone cannot anchor a cross-engine comparison.
+    """
+    return sorted(
+        jobs,
+        key=lambda job: (
+            int(job.attributes.get("retry_of", job.job_id)),
+            int(job.attributes.get("attempt", 1)),
+        ),
+    )
+
+
+def comparable_metrics(jobs: List["Job"]) -> dict:
+    """Metrics dict for cross-engine comparison (canonical job order).
+
+    Re-derives the metrics from the jobs alone -- no collector, so the
+    ``transitions`` summary (which sharded runs do not retain) never
+    contributes -- after canonical re-ordering, making the floating-point
+    reductions bit-identical whenever the underlying jobs are.
+    """
+    from repro.core.metrics import compute_metrics
+
+    data = compute_metrics(_canonical_order(jobs)).to_dict()
+    data.pop("transitions", None)
+    return data
+
+
+def run_sharded(
+    simulator: "Simulator",
+    jobs: List["Job"],
+    verify: bool = False,
+) -> "SimulationResult":
+    """Run ``jobs`` across ``execution.shards`` clock regions and merge.
+
+    The entry point behind ``Simulator.run()`` when ``execution.shards > 1``
+    (and ``repro run --shards``).  Raises
+    :class:`~repro.utils.errors.SimulationError` with every eligibility
+    problem when the workload cannot be sharded (see
+    :func:`check_shardable`).  With ``verify=True`` the merged metrics are
+    additionally cross-checked bit-for-bit against a pristine single-clock
+    run of the same workload.
+    """
+    from repro.core.metrics import compute_metrics
+    from repro.core.simulator import SimulationResult
+    from repro.des import Environment
+    from repro.monitoring.collector import MonitoringCollector
+    from repro.platform.builder import build_platform
+    from repro.workload.job import JobState
+
+    started = _wallclock.perf_counter()
+    execution = simulator.execution
+    shards = int(execution.shards)
+    if shards < 2:
+        raise SimulationError("run_sharded needs execution.shards >= 2")
+    problems = check_shardable(simulator, jobs)
+    if problems:
+        raise SimulationError(
+            "workload is not shard-eligible: " + "; ".join(problems)
+        )
+    # Mirror the session contract: terminal inputs are replayed as copies.
+    jobs = [
+        job if job.state is JobState.CREATED else job.copy_for_replay()
+        for job in jobs
+    ]
+    regions = plan_shards(simulator.infrastructure.site_names, shards)
+    lookahead = cross_region_lookahead(simulator.topology, regions)
+    window = _shard_window(execution, lookahead)
+    plan = ShardPlan(regions=regions, lookahead=lookahead, window=window)
+    if len(plan) < shards:
+        simulator.logger.info(
+            "sharded",
+            f"only {len(plan)} region(s) for {shards} shards "
+            f"({len(simulator.infrastructure.site_names)} sites)",
+        )
+
+    by_region: List[List[Tuple[int, "Job"]]] = [[] for _ in range(len(plan))]
+    for index, job in enumerate(jobs):
+        by_region[plan.region_of(job.target_site)].append((index, job))
+    id_base = max((int(job.job_id) for job in jobs), default=0) + 1
+    payloads = [
+        _region_payload(simulator, plan.regions[k], k, len(plan), id_base, by_region[k])
+        for k in range(len(plan))
+    ]
+    for payload in payloads:
+        try:
+            pickle.dumps(payload, protocol=4)
+        except Exception as exc:
+            raise SimulationError(
+                "simulator configuration cannot be shipped to shard workers "
+                f"(not picklable: {exc})"
+            ) from exc
+
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    workers = []
+    try:
+        for payload in payloads:
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_region_worker, args=(child_conn,), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            parent_conn.send(payload)
+            workers.append((process, parent_conn))
+
+        peeks: List[float] = [_INF] * len(workers)
+        done: List[bool] = [False] * len(workers)
+        for index, (_, conn) in enumerate(workers):
+            peeks[index], done[index] = _expect(conn, "ready")[1:3]
+        rounds = 0
+        while not all(done):
+            horizon = min(peek for index, peek in enumerate(peeks) if not done[index])
+            if horizon == _INF:
+                stuck = [k for k in range(len(workers)) if not done[k]]
+                raise SimulationError(
+                    f"sharded regions {stuck} have no scheduled events but "
+                    "incomplete workloads (deadlock)"
+                )
+            target = horizon + window
+            active = [k for k in range(len(workers)) if not done[k]]
+            for k in active:
+                workers[k][1].send(("advance", target))
+            completed_jobs = 0
+            for k in active:
+                _, _, peeks[k], done[k], digest = _expect(workers[k][1], "state")
+                completed_jobs += int(digest.get("completed", 0))
+            rounds += 1
+            simulator.logger.debug(
+                "sharded",
+                f"window {rounds}: target={target:.0f}s "
+                f"active={len(active)} completed~{completed_jobs}",
+            )
+
+        for _, conn in workers:
+            conn.send(("finalize",))
+        region_results = [_expect(conn, "result")[1] for _, conn in workers]
+    finally:
+        for process, conn in workers:
+            try:
+                conn.close()
+            except Exception:
+                pass
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - crash cleanup
+                process.terminate()
+                process.join()
+
+    merged: List[Optional["Job"]] = [None] * len(jobs)
+    retries: List["Job"] = []
+    assignments: Dict[int, str] = {}
+    pending_jobs = 0
+    simulated_time = 0.0
+    for k, data in enumerate(region_results):
+        indices = payloads[k]["indices"]
+        region_jobs = data["jobs"]
+        for index, job in zip(indices, region_jobs[: len(indices)]):
+            merged[index] = job
+        retries.extend(region_jobs[len(indices) :])
+        assignments.update(data["assignments"])
+        pending_jobs += int(data["pending_jobs"])
+        simulated_time = max(simulated_time, float(data["simulated_time"]))
+    all_jobs = list(merged) + _canonical_order(retries)
+
+    metrics = compute_metrics(all_jobs)
+    platform = build_platform(Environment(), simulator.infrastructure, simulator.topology)
+    result = SimulationResult(
+        jobs=all_jobs,
+        metrics=metrics,
+        collector=MonitoringCollector(),
+        platform=platform,
+        simulated_time=simulated_time,
+        wallclock_seconds=_wallclock.perf_counter() - started,
+        pending_jobs=pending_jobs,
+        assignments=assignments,
+        stopped_reason=None,
+    )
+    if verify:
+        _verify_against_single_clock(simulator, jobs, result)
+    return result
+
+
+def _expect(conn, kind: str):
+    """Receive one worker message, translating errors and wrong kinds."""
+    message = conn.recv()
+    if message[0] == "error":
+        raise SimulationError(f"shard worker failed:\n{message[1]}")
+    if message[0] != kind:
+        raise SimulationError(
+            f"shard worker protocol error: expected {kind!r}, got {message[0]!r}"
+        )
+    return message
+
+
+def _verify_against_single_clock(
+    simulator: "Simulator", jobs: List["Job"], result: "SimulationResult"
+) -> None:
+    """Assert the merged metrics equal a pristine single-clock run's.
+
+    Uses the checkpoint machinery's :func:`~repro.state.protocol.diff_states`
+    for the comparison, so a mismatch reports every divergent field (exactly
+    as a failed checkpoint replay would).
+    """
+    from repro.state.protocol import diff_states
+
+    reference = simulator.clone()
+    reference.execution = _region_execution(simulator.execution)
+    reference_result = reference.run([job.copy_for_replay() for job in jobs])
+    expected = comparable_metrics(reference_result.jobs)
+    actual = comparable_metrics(result.jobs)
+    diffs = diff_states(expected, actual)
+    if diffs:
+        raise SimulationError(
+            "sharded run diverged from the single-clock engine: "
+            + "; ".join(diffs)
+        )

@@ -1,8 +1,10 @@
 """Kernel micro-benchmarks: raw event throughput of the DES engine.
 
-The three workloads mirror the hot patterns the simulation core produces --
-timeout churn (job executions), resource contention (site admission) and
-store ping-pong (sender/receiver messaging).  They are shared between the
+The micro-workloads mirror the hot patterns the simulation core produces --
+timeout churn (job executions, in scalar and columnar macro-batch form),
+resource contention (site admission) and store ping-pong (sender/receiver
+messaging); :func:`grid_end_to_end` measures the full component stack on a
+synthetic grid.  They are shared between the
 pytest benchmark harness (``benchmarks/bench_des_engine.py``) and the
 ``repro bench`` CLI subcommand, which measures events/second and can dump a
 cProfile summary of where a run spends its time.
@@ -16,7 +18,7 @@ import os
 import pstats
 import time
 from dataclasses import dataclass
-from typing import Callable, List, NamedTuple, Tuple
+from typing import Callable, List, NamedTuple, Optional, Tuple
 
 from repro.des import Environment, Resource, Store
 
@@ -26,11 +28,14 @@ __all__ = [
     "KernelBenchResult",
     "scaled",
     "timeout_churn",
+    "timeout_churn_macro",
     "resource_contention",
     "store_pingpong",
+    "grid_end_to_end",
     "kernel_workloads",
     "run_kernel_benchmarks",
     "profile_callable",
+    "profile_flat",
 ]
 
 #: Ambient size multiplier for benchmark workloads; the CI smoke job sets
@@ -68,6 +73,45 @@ def timeout_churn(process_count: int, hops: int) -> WorkloadOutcome:
         env.process(sleeper(1.0 + (index % 7) * 0.1))
     env.run()
     return WorkloadOutcome(process_count, env.now)
+
+
+def timeout_churn_macro(process_count: int, hops: int) -> WorkloadOutcome:
+    """The same workload as :func:`timeout_churn` through a columnar macro batch.
+
+    All hop times are known up front, so the whole workload collapses into
+    one :meth:`~repro.des.core.Environment.schedule_macro` call -- the fast
+    path the macro-batch engine gives the simulation core's own timeout
+    churn.  Hop times are accumulated with the same ``t = t + delay``
+    float chain the scalar clock performs, so the outcome (count and final
+    clock) is bit-identical to :func:`timeout_churn`.
+    """
+    env = Environment()
+    # Delays depend only on index % 7: accumulate the 7 distinct hop
+    # sequences once and replicate, instead of process_count * hops sums.
+    bases = []
+    for k in range(7):
+        delay = 1.0 + k * 0.1
+        t = 0.0
+        seq = []
+        for _ in range(hops):
+            t = t + delay
+            seq.append(t)
+        bases.append(seq)
+    last_hop = [False] * (hops - 1) + [True]
+    times: List[float] = []
+    values: List[bool] = []
+    for index in range(process_count):
+        times.extend(bases[index % 7])
+        values.extend(last_hop)
+    finished = [0]
+
+    def on_hop(is_last: bool) -> None:
+        if is_last:
+            finished[0] += 1
+
+    env.schedule_macro(times, on_hop, values=values, absolute=True)
+    env.run()
+    return WorkloadOutcome(finished[0], env.now)
 
 
 def resource_contention(process_count: int, capacity: int) -> WorkloadOutcome:
@@ -113,6 +157,46 @@ def store_pingpong(pairs: int, messages: int) -> WorkloadOutcome:
     return WorkloadOutcome(len(received), env.now)
 
 
+def grid_end_to_end(
+    job_count: int,
+    macro: bool = False,
+    shards: int = 1,
+    sites: int = 8,
+    shard_window: Optional[float] = None,
+) -> WorkloadOutcome:
+    """One full simulator run: synthetic workload on a synthetic grid.
+
+    The end-to-end counterpart of the kernel micro-workloads -- job release,
+    dispatch, admission, execution and completion all exercise the engine
+    through the real component stack.  ``macro`` routes the hot timeouts
+    through the columnar macro-batch lanes; ``shards`` runs the sharded-clock
+    engine.  For sharded benchmark runs pass a wide ``shard_window``: the
+    workload's regions are fully independent, so windows only bound clock
+    skew, and the default conservative window (~60 simulated seconds) would
+    cost hundreds of thousands of coordinator round-trips on a
+    multi-week-makespan workload -- the measurement would time the IPC, not
+    the engine.  Monitoring is muted (the throughput of the *engine* is what
+    is being measured).  The outcome counts finished jobs, so rates derived
+    from it read as jobs/second.
+    """
+    from repro.config.execution import ExecutionConfig, MonitoringConfig
+    from repro.config.generators import generate_grid
+    from repro.core.simulator import Simulator
+    from repro.workload.generator import SyntheticWorkloadGenerator
+
+    infrastructure, topology = generate_grid(sites, seed=1)
+    jobs = SyntheticWorkloadGenerator(infrastructure, seed=2).generate(job_count)
+    execution = ExecutionConfig(
+        plugin="follow_trace",
+        macro_batch=macro,
+        shards=shards,
+        shard_window=shard_window,
+        monitoring=MonitoringConfig(enable_events=False, snapshot_interval=0.0),
+    )
+    result = Simulator(infrastructure, topology, execution).run(jobs)
+    return WorkloadOutcome(result.metrics.finished_jobs, result.metrics.makespan)
+
+
 @dataclass
 class KernelBenchResult:
     """Measured throughput of one DES-kernel benchmark workload.
@@ -141,7 +225,7 @@ class KernelBenchResult:
 
 
 def kernel_workloads(scale: float = 1.0) -> List[Tuple[str, Callable, Tuple, int]]:
-    """The three standard workloads as ``(name, fn, args, events)`` tuples.
+    """The standard kernel workloads as ``(name, fn, args, events)`` tuples.
 
     Single source of truth for the base sizes and the scaling formula --
     the pytest benchmark harness derives its cases from here too, so the
@@ -152,6 +236,8 @@ def kernel_workloads(scale: float = 1.0) -> List[Tuple[str, Callable, Tuple, int
     pairs, messages = scaled(500, scale=scale), scaled(40, minimum=2, scale=scale)
     return [
         ("timeout_churn", timeout_churn, (processes, hops), processes * hops),
+        # The identical workload through the columnar macro-batch fast path.
+        ("timeout_churn_macro", timeout_churn_macro, (processes, hops), processes * hops),
         # Each acquisition is a request + a timeout event.
         ("resource_contention", resource_contention, (workers, pool), workers * 5 * 2),
         # Each message is a put + a get event.
@@ -183,12 +269,54 @@ def run_kernel_benchmarks(scale: float = 1.0, repeat: int = 3) -> List[KernelBen
     return results
 
 
-def profile_callable(fn: Callable[[], object], top: int = 20) -> str:
-    """Run ``fn`` under cProfile; return the top-``top`` cumulative functions."""
+#: Sort orders the profiling helpers accept (cProfile's own keys).
+PROFILE_SORTS = ("cumulative", "tottime")
+
+
+def _profile(fn: Callable[[], object]) -> cProfile.Profile:
     profiler = cProfile.Profile()
     profiler.enable()
     fn()
     profiler.disable()
+    return profiler
+
+
+def _check_sort(sort: str) -> str:
+    if sort not in PROFILE_SORTS:
+        raise ValueError(f"sort must be one of {PROFILE_SORTS}, got {sort!r}")
+    return sort
+
+
+def profile_callable(fn: Callable[[], object], top: int = 20, sort: str = "cumulative") -> str:
+    """Run ``fn`` under cProfile; return the top-``top`` functions by ``sort``."""
     stream = io.StringIO()
-    pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(top)
+    stats = pstats.Stats(_profile(fn), stream=stream)
+    stats.sort_stats(_check_sort(sort)).print_stats(top)
     return stream.getvalue()
+
+
+def profile_flat(
+    fn: Callable[[], object], top: int = 20, sort: str = "cumulative"
+) -> List[dict]:
+    """Run ``fn`` under cProfile; return the flat profile as structured rows.
+
+    Each row carries ``function`` (``file:line(name)``), call counts and the
+    tottime/cumtime seconds -- the machine-readable counterpart of
+    :func:`profile_callable`, used by ``repro bench --profile --json``.
+    """
+    stats = pstats.Stats(_profile(fn))
+    stats.sort_stats(_check_sort(sort))
+    rows: List[dict] = []
+    for func in (stats.fcn_list or [])[:top]:
+        primitive_calls, total_calls, tottime, cumtime, _callers = stats.stats[func]
+        filename, lineno, name = func
+        rows.append(
+            {
+                "function": f"{filename}:{lineno}({name})",
+                "ncalls": int(total_calls),
+                "primitive_calls": int(primitive_calls),
+                "tottime": float(tottime),
+                "cumtime": float(cumtime),
+            }
+        )
+    return rows

@@ -19,48 +19,77 @@ from repro.utils.errors import WorkloadError
 __all__ = [
     "JobState",
     "Job",
+    "JobIdAllocator",
     "allocate_job_id",
     "job_id_counter",
     "reset_job_id_counter",
 ]
 
 
-class _JobIdCounter:
-    """Resettable process-global job-id source (replaces ``itertools.count``).
+class JobIdAllocator:
+    """Resettable job-id source, scoped to whatever owns it.
 
-    Checkpoint/restore needs to observe and re-seat the counter: a restored
-    session replays retries that allocate fresh ids, so a blob records the
-    counter value at session construction and the restore process resets it
-    before replaying -- otherwise ids (and therefore fingerprints) would
-    depend on whatever else the process allocated first.
+    Two instances exist in practice:
+
+    * the module-global counter backing ``Job`` auto-ids and the
+      :func:`allocate_job_id` compatibility shim;
+    * one per built :class:`~repro.core.simulator.Simulator` run
+      (``simulator.job_ids``), seeded deterministically from the workload's
+      own ids.  Runtime-derived jobs (the main server's automatic retries)
+      allocate from the per-simulator instance, so the ids a run hands out
+      -- and therefore its result fingerprint -- depend only on the run's
+      inputs, never on how many jobs the process created beforehand.
     """
 
-    __slots__ = ("_next",)
+    __slots__ = ("_next", "step")
 
-    def __init__(self, start: int = 1) -> None:
+    def __init__(self, start: int = 1, step: int = 1) -> None:
         self._next = int(start)
+        #: Increment between consecutive ids.  The sharded-clock engine
+        #: gives region ``k`` of ``N`` the allocator ``(base + k, step=N)``
+        #: so regions mint from disjoint congruence classes and merged
+        #: outputs never carry colliding retry ids.
+        self.step = int(step)
 
     def __next__(self) -> int:
         value = self._next
-        self._next = value + 1
+        self._next = value + self.step
         return value
 
+    def allocate(self) -> int:
+        """Hand out the next unique id."""
+        return next(self)
+
     def peek(self) -> int:
+        """The id :meth:`allocate` would hand out next."""
         return self._next
 
     def reset(self, next_value: int) -> None:
         self._next = int(next_value)
 
+    def ensure_above(self, job_id: int) -> None:
+        """Guarantee future allocations exceed ``job_id`` (no collisions)."""
+        if int(job_id) >= self._next:
+            self._next = int(job_id) + 1
 
-_job_counter = _JobIdCounter(1)
+    def __repr__(self) -> str:
+        return f"<JobIdAllocator next={self._next}>"
+
+
+#: Backwards-compatible private alias (pre-existing callers).
+_JobIdCounter = JobIdAllocator
+
+_job_counter = JobIdAllocator(1)
 
 
 def allocate_job_id() -> int:
-    """Hand out the next unique job id (the same counter auto-ids use).
+    """Hand out the next id from the *process-global* counter (legacy shim).
 
-    Used by components that create derived jobs at runtime -- e.g. the main
-    server's automatic retries -- so that every attempt is distinguishable in
-    the monitoring output.
+    Auto-assigned ``Job`` ids come from this counter.  Runtime components
+    that create derived jobs (the main server's automatic retries) no longer
+    call it -- they allocate from the owning simulator's scoped
+    :class:`JobIdAllocator` -- but the function remains for compatibility
+    with external callers.
     """
     return next(_job_counter)
 
@@ -68,9 +97,8 @@ def allocate_job_id() -> int:
 def job_id_counter() -> int:
     """Return the id the process-global job counter would hand out next.
 
-    Checkpoints record this value at session construction so a restore in a
-    fresh process can re-seat the counter (see :func:`reset_job_id_counter`)
-    and replayed retry attempts receive the same ids as the original run.
+    Kept for compatibility: with retry ids now allocated per simulator,
+    cross-run fingerprint comparisons no longer depend on this counter.
     """
     return _job_counter.peek()
 
@@ -78,10 +106,10 @@ def job_id_counter() -> int:
 def reset_job_id_counter(next_value: int) -> None:
     """Re-seat the process-global job-id counter to hand out ``next_value`` next.
 
-    Only checkpoint restore should call this: replaying a blob in a fresh
-    process must allocate retry-attempt ids from the same point the original
-    session did, or the restored run's job ids (and output fingerprint)
-    would diverge.  Simulations are single-threaded per process; resetting
+    A compatibility shim: per-simulator id allocation made the global
+    counter irrelevant to run reproducibility, so nothing in the library
+    needs this anymore.  It remains for external code that pinned auto-ids
+    through it.  Simulations are single-threaded per process; resetting
     while another live session allocates ids is undefined.
     """
     if int(next_value) < 1:

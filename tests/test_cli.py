@@ -303,7 +303,12 @@ class TestBenchCommand:
         assert "events_per_s" in out
         payload = json.loads(out_path.read_text())
         workloads = {row["workload"] for row in payload["results"]}
-        assert workloads == {"timeout_churn", "resource_contention", "store_pingpong"}
+        assert workloads == {
+            "timeout_churn",
+            "timeout_churn_macro",
+            "resource_contention",
+            "store_pingpong",
+        }
         assert all(row["events_per_s"] > 0 for row in payload["results"])
 
     def test_bench_profile_dumps_cumulative_summary(self, capsys):
@@ -312,6 +317,31 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         assert "cProfile" in out
         assert "cumulative" in out
+
+    def test_bench_profile_sort_tottime(self, capsys):
+        code = main([
+            "bench", "--scale", "0.01", "--repeat", "1", "--profile", "--sort", "tottime",
+        ])
+        assert code == 0
+        assert "tottime" in capsys.readouterr().out
+
+    def test_bench_profile_json_is_machine_readable(self, capsys):
+        import json
+
+        code = main([
+            "bench", "--scale", "0.01", "--repeat", "1", "--profile", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["profile_sort"] == "cumulative"
+        assert {row["workload"] for row in payload["results"]} >= {"timeout_churn"}
+        assert payload["profile"], "flat profile rows expected"
+        first = payload["profile"][0]
+        assert {"function", "ncalls", "tottime", "cumtime"} <= set(first)
+
+    def test_bench_json_requires_profile(self, capsys):
+        assert main(["bench", "--scale", "0.01", "--json"]) == 1
+        assert "requires --profile" in capsys.readouterr().err
 
     def test_bench_rejects_bad_scale(self, capsys):
         assert main(["bench", "--scale", "0"]) == 1

@@ -1,0 +1,302 @@
+"""Contract tests for the columnar macro-event lanes (repro.des.macro).
+
+The ordering contract documented in :mod:`repro.des.macro` is what makes
+``execution.macro_batch`` bit-identical to the scalar engine, so every clause
+is pinned here: stable sort within a batch, ties against urgent / normal
+calendar events, cross-lane registration order, the per-entry bail-out that
+preserves same-timestamp causality, and the bookkeeping surface
+(``peek``, ``queue_length``, ``cancel``, ``step``).
+"""
+
+import pytest
+
+from repro.des import Environment
+from repro.des.macro import DynamicMacroLane, MacroBatch
+from repro.utils.errors import SimulationError
+
+
+class TestMacroBatchDispatch:
+    def test_entries_dispatch_in_time_order(self):
+        env = Environment()
+        seen = []
+        env.schedule_macro([3.0, 1.0, 2.0], seen.append, values=["c", "a", "b"])
+        env.run()
+        assert seen == ["a", "b", "c"]
+        assert env.now == 3.0
+
+    def test_equal_times_keep_input_order(self):
+        """The sort is stable: ties dispatch in input position order."""
+        env = Environment()
+        seen = []
+        env.schedule_macro(
+            [2.0, 1.0, 2.0, 1.0, 2.0], seen.append, values=[0, 1, 2, 3, 4]
+        )
+        env.run()
+        assert seen == [1, 3, 0, 2, 4]
+
+    def test_values_default_to_none(self):
+        env = Environment()
+        seen = []
+        env.schedule_macro([1.0, 2.0], seen.append)
+        env.run()
+        assert seen == [None, None]
+
+    def test_absolute_times(self):
+        env = Environment()
+
+        def mover():
+            yield env.timeout(5.0)
+            env.schedule_macro([7.0, 6.0], seen.append, values=["b", "a"], absolute=True)
+
+        seen = []
+        env.process(mover())
+        env.run()
+        assert seen == ["a", "b"]
+        assert env.now == 7.0
+
+    def test_matches_scalar_timeouts_bitwise(self):
+        """A batch equals the same schedule as independent scalar timeouts."""
+        delays = [1.1 + (index % 7) * 0.1 for index in range(200)]
+
+        scalar_env = Environment()
+        scalar_seen = []
+
+        def waiter(delay):
+            yield scalar_env.timeout(delay)
+            scalar_seen.append((delay, scalar_env.now))
+
+        for delay in delays:
+            scalar_env.process(waiter(delay))
+        scalar_env.run()
+
+        macro_env = Environment()
+        macro_seen = []
+        macro_env.schedule_macro(
+            delays, lambda d: macro_seen.append((d, macro_env.now)), values=delays
+        )
+        macro_env.run()
+
+        assert macro_seen == scalar_seen
+        assert macro_env.now == scalar_env.now
+
+
+class TestOrderingAgainstCalendar:
+    def test_until_deadline_stops_before_same_time_entries(self):
+        """run(until=t) is urgent at t: the clock stops before macro work at t."""
+        env = Environment()
+        seen = []
+        env.schedule_macro([5.0, 6.0], seen.append, values=["at5", "at6"])
+        env.run(until=5.0)
+        assert env.now == 5.0
+        assert seen == []
+        env.run()
+        assert seen == ["at5", "at6"]
+
+    def test_macro_runs_before_normal_bucket_at_same_time(self):
+        env = Environment()
+        seen = []
+
+        def sleeper():
+            yield env.timeout(5.0)
+            seen.append("normal")
+
+        env.process(sleeper())
+        env.schedule_macro([5.0], seen.append, values=["macro"])
+        env.run()
+        assert seen == ["macro", "normal"]
+
+    def test_lanes_tie_break_by_registration_order(self):
+        env = Environment()
+        seen = []
+        env.schedule_macro([4.0], seen.append, values=["first-registered"])
+        env.schedule_macro([4.0], seen.append, values=["second-registered"])
+        env.run()
+        assert seen == ["first-registered", "second-registered"]
+
+    def test_callback_spawned_process_runs_before_next_entry(self):
+        """The drain bails out when a callback makes same-time work runnable."""
+        env = Environment()
+        seen = []
+
+        def spawned():
+            seen.append("process")
+            yield env.timeout(0.0)
+
+        def first(_):
+            seen.append("entry-1")
+            env.process(spawned())
+
+        env.schedule_macro([3.0, 3.0], first, values=[None, None])
+
+        # Second entry goes through a second lane so "entry-1"'s callback is
+        # the only one in its lane at t=3; the spawned process's urgent init
+        # must run before the second lane's same-time entry.
+        env.schedule_macro([3.0], seen.append, values=["entry-2"])
+        env.run()
+        assert seen[0] == "entry-1"
+        assert seen.index("process") < seen.index("entry-2")
+
+
+class TestBatchBookkeeping:
+    def test_peek_reports_macro_head(self):
+        env = Environment()
+        env.schedule_macro([2.5, 9.0], lambda _value: None)
+        assert env.peek() == 2.5
+
+    def test_queue_length_counts_remaining_entries(self):
+        env = Environment()
+        batch = env.schedule_macro([1.0, 2.0, 3.0], lambda _value: None)
+        assert env.queue_length == 3
+        env.run(until=1.5)
+        assert batch.remaining == 2
+        assert env.queue_length == 2
+
+    def test_step_dispatches_one_entry(self):
+        env = Environment()
+        seen = []
+        env.schedule_macro([1.0, 1.0, 2.0], seen.append, values=[0, 1, 2])
+        env.step()
+        assert seen == [0]
+        assert env.now == 1.0
+        env.step()
+        assert seen == [0, 1]
+
+    def test_cancel_drops_undispatched_entries_only(self):
+        env = Environment()
+        seen = []
+        batch = env.schedule_macro([1.0, 5.0, 6.0], seen.append, values=[0, 1, 2])
+        env.run(until=2.0)
+        batch.cancel()
+        env.run()
+        assert seen == [0]
+        assert batch.remaining == 0
+        assert batch.head_time() == float("inf")
+        assert env.queue_length == 0
+
+    def test_empty_batch_is_inert(self):
+        env = Environment()
+        batch = env.schedule_macro([], lambda _value: None)
+        assert batch.remaining == 0
+        assert env.peek() == float("inf")
+        env.run()
+        assert env.now == 0
+
+    def test_misaligned_values_raise(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.schedule_macro([1.0, 2.0], lambda _value: None, values=["only-one"])
+
+    def test_past_entry_raises(self):
+        env = Environment()
+
+        def mover():
+            yield env.timeout(5.0)
+            env.schedule_macro([1.0], lambda _value: None, absolute=True)
+
+        env.process(mover())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_non_1d_schedule_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.schedule_macro([[1.0, 2.0]], lambda _value: None)
+
+    def test_repr_shows_progress(self):
+        env = Environment()
+        batch = env.schedule_macro([1.0, 2.0], lambda _value: None)
+        assert isinstance(batch, MacroBatch)
+        assert "2/2" in repr(batch)
+        batch.cancel()
+        assert "cancelled" in repr(batch)
+
+
+class TestDynamicMacroLane:
+    def test_push_dispatches_in_time_then_push_order(self):
+        env = Environment()
+        seen = []
+        lane = env.macro_lane(seen.append)
+        lane.push(2.0, "late")
+        lane.push(1.0, "early")
+        lane.push(2.0, "late-again")
+        env.run()
+        assert seen == ["early", "late", "late-again"]
+        assert env.now == 2.0
+
+    def test_lazy_reregistration_on_earlier_head(self):
+        """A push below the registered head re-announces the lane."""
+        env = Environment()
+        seen = []
+        lane = env.macro_lane(seen.append)
+        lane.push(10.0, "late")
+        lane.push(1.0, "early")  # beats the registered head of 10.0
+        assert env.peek() == 1.0
+        env.run()
+        assert seen == ["early", "late"]
+
+    def test_pushes_from_callback_extend_the_run(self):
+        """Lane callbacks may push new entries (the completion-lane pattern)."""
+        env = Environment()
+        seen = []
+        lane = env.macro_lane(lambda value: _relay(value))
+
+        def _relay(value):
+            seen.append((value, env.now))
+            if value < 3:
+                lane.push(1.0, value + 1)
+
+        lane.push(1.0, 1)
+        env.run()
+        assert seen == [(1, 1.0), (2, 2.0), (3, 3.0)]
+
+    def test_push_at_absolute_time(self):
+        env = Environment()
+        seen = []
+        lane = env.macro_lane(seen.append)
+        lane.push_at(4.0, "abs")
+        env.run()
+        assert seen == ["abs"]
+        assert env.now == 4.0
+
+    def test_negative_delay_raises(self):
+        env = Environment()
+        lane = env.macro_lane(lambda _value: None)
+        with pytest.raises(SimulationError):
+            lane.push(-0.5)
+
+    def test_cancel_clears_pending(self):
+        env = Environment()
+        lane = env.macro_lane(lambda _value: None)
+        lane.push(1.0)
+        lane.push(2.0)
+        lane.cancel()
+        assert lane.remaining == 0
+        assert lane.head_time() == float("inf")
+        env.run()
+        assert env.now == 0
+
+    def test_matches_scalar_timeouts_bitwise(self):
+        delays = [0.3 * (index % 11) + 0.05 for index in range(150)]
+
+        scalar_env = Environment()
+        scalar_seen = []
+
+        def waiter(delay):
+            yield scalar_env.timeout(delay)
+            scalar_seen.append((delay, scalar_env.now))
+
+        for delay in delays:
+            scalar_env.process(waiter(delay))
+        scalar_env.run()
+
+        macro_env = Environment()
+        macro_seen = []
+        lane = DynamicMacroLane(macro_env, lambda d: macro_seen.append((d, macro_env.now)))
+        for delay in delays:
+            lane.push(delay, delay)
+        env_registered = macro_env.peek()
+        assert env_registered == min(delays)
+        macro_env.run()
+
+        assert macro_seen == scalar_seen
+        assert macro_env.now == scalar_env.now

@@ -692,3 +692,57 @@ class TestRngHygiene:
         expected = gen.random(3).tolist()
         source.restore(state)
         assert source.generator("stream-a").random(3).tolist() == expected
+
+
+class TestScopedAllocatorCheckpoint:
+    """Checkpoint/restore with the per-simulator job-id allocator.
+
+    With retry ids allocated per simulator (seeded from the workload's own
+    ids), checkpoint round trips no longer need the process-global counter
+    pinned at all -- fingerprints depend only on the run's inputs.
+    """
+
+    def _build(self, small_infrastructure) -> Simulator:
+        from repro.faults.models import JobFailureModel
+
+        return Simulator(
+            small_infrastructure,
+            execution=_quiet(plugin="random", plugin_options={"seed": 11}),
+            failure_model=JobFailureModel(default_rate=0.3, seed=5),
+        )
+
+    def test_restore_without_global_counter_reset(
+        self, small_infrastructure, workload_generator
+    ):
+        from repro.workload.job import Job
+
+        jobs = workload_generator.generate(30)
+        expected = fingerprint_result(
+            _finish(self._build(small_infrastructure).session([j.copy_for_replay() for j in jobs]))
+        )
+
+        # Churn the process-global counter between every step: none of it
+        # may leak into the run's retry ids any more.
+        Job(work=1.0)
+        session = self._build(small_infrastructure).session(
+            [j.copy_for_replay() for j in jobs]
+        )
+        session.advance_until(1500.0)
+        blob = session.checkpoint()
+        for _ in range(5):
+            Job(work=1.0)
+        restored = SimulationSession.restore(None, blob)
+        assert fingerprint_result(_finish(restored)) == expected
+
+    def test_restore_reseats_the_simulator_allocator(
+        self, small_infrastructure, workload_generator
+    ):
+        jobs = workload_generator.generate(20)
+        session = self._build(small_infrastructure).session(
+            [j.copy_for_replay() for j in jobs]
+        )
+        expected_base = max(int(j.job_id) for j in jobs) + 1
+        assert session._simulator.job_ids.peek() >= expected_base
+        blob = session.checkpoint()
+        restored = SimulationSession.restore(None, blob)
+        assert restored._simulator.job_ids.peek() == session._job_counter_base

@@ -116,3 +116,76 @@ class TestJobHelpers:
         assert JobState.FAILED.is_terminal()
         assert not JobState.RUNNING.is_terminal()
         assert not JobState.PENDING.is_terminal()
+
+
+class TestJobIdAllocator:
+    """The scoped allocator behind per-simulator (and per-region) run ids."""
+
+    def test_allocate_peek_reset(self):
+        from repro.workload.job import JobIdAllocator
+
+        allocator = JobIdAllocator(10)
+        assert allocator.peek() == 10
+        assert allocator.allocate() == 10
+        assert allocator.allocate() == 11
+        allocator.reset(5)
+        assert allocator.allocate() == 5
+
+    def test_stride_gives_disjoint_congruence_classes(self):
+        from repro.workload.job import JobIdAllocator
+
+        regions = [JobIdAllocator(100 + k, step=3) for k in range(3)]
+        minted = [[region.allocate() for _ in range(4)] for region in regions]
+        assert minted[0] == [100, 103, 106, 109]
+        assert minted[1] == [101, 104, 107, 110]
+        flat = [value for row in minted for value in row]
+        assert len(flat) == len(set(flat))
+
+    def test_ensure_above_only_raises(self):
+        from repro.workload.job import JobIdAllocator
+
+        allocator = JobIdAllocator(50)
+        allocator.ensure_above(49)  # below: no effect
+        assert allocator.peek() == 50
+        allocator.ensure_above(80)
+        assert allocator.peek() == 81
+
+    def test_identical_runs_in_one_process_mint_identical_ids(self):
+        """Run-scoped allocation: retry ids depend only on the run's inputs.
+
+        Two identical retry-bearing runs back to back in one process must
+        produce identical job-id sets and metric fingerprints *without* any
+        global counter reset in between -- the regression the process-global
+        counter used to cause (PR 6's known caveat).
+        """
+        from repro.config.execution import ExecutionConfig, MonitoringConfig
+        from repro.config.generators import generate_grid
+        from repro.core.simulator import Simulator
+        from repro.faults.models import JobFailureModel
+        from repro.workload.generator import SyntheticWorkloadGenerator
+
+        infrastructure, topology = generate_grid(3, seed=1)
+        jobs = SyntheticWorkloadGenerator(infrastructure, seed=4).generate(80)
+        execution = ExecutionConfig(
+            plugin="follow_trace",
+            max_retries=2,
+            monitoring=MonitoringConfig(enable_events=False, snapshot_interval=0.0),
+        )
+        model = JobFailureModel(default_rate=0.25, seed=9)
+
+        def run_once():
+            # A throwaway Job in between would have advanced the old global
+            # counter and shifted the second run's retry ids.
+            Job(work=1.0)
+            simulator = Simulator(infrastructure, topology, execution, failure_model=model)
+            result = simulator.run([job.copy_for_replay() for job in jobs])
+            return (
+                [job.job_id for job in result.jobs],
+                result.metrics.to_dict(),
+            )
+
+        first_ids, first_metrics = run_once()
+        second_ids, second_metrics = run_once()
+        assert len(first_ids) > len(jobs)  # retries actually minted new ids
+        assert first_ids == second_ids
+        assert first_metrics == second_metrics
