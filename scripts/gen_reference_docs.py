@@ -39,6 +39,8 @@ MODULES = [
     "repro.data",
     "repro.plugins",
     "repro.scenarios",
+    "repro.schema",
+    "repro.conformance",
     "repro.experiments",
 ]
 

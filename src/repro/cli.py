@@ -312,6 +312,63 @@ def build_parser() -> argparse.ArgumentParser:
                           help="single-run packs: write checkpoint blobs to DIR "
                           "and resume automatically from DIR/latest.ckpt when "
                           "it matches this pack (crash-resumable studies)")
+
+    schema = sub.add_parser(
+        "schema",
+        help="work with the published scenario-pack JSON Schema: print the "
+        "generated document, check the committed copy for drift, or "
+        "validate pack files against it",
+    )
+    schema_sub = schema.add_subparsers(dest="schema_command", required=True)
+    schema_emit = schema_sub.add_parser(
+        "emit",
+        help="print the generated schema JSON to stdout, or write it to "
+        "--output / the committed docs/schema location with --update",
+    )
+    schema_emit.add_argument("--output", type=Path, default=None,
+                             help="write the schema JSON to this file instead "
+                             "of stdout")
+    schema_emit.add_argument("--update", action="store_true",
+                             help="write the schema to its committed location "
+                             "(docs/schema/scenario-pack.schema.json)")
+    schema_sub.add_parser(
+        "check",
+        help="regenerate the schema and print a drift verdict against the "
+        "committed copy (non-zero exit when they differ; CI runs this)",
+    )
+    schema_validate = schema_sub.add_parser(
+        "validate",
+        help="validate pack files/names against the JSON Schema and print "
+        "one verdict per pack, each error carrying its JSON-pointer path",
+    )
+    schema_validate.add_argument("packs", nargs="+",
+                                 help="pack names or YAML/JSON file paths")
+
+    conformance = sub.add_parser(
+        "conformance",
+        help="exercise registered plugins against the golden conformance "
+        "invariants and print per-plugin pass/fail reports",
+    )
+    conf_sub = conformance.add_subparsers(dest="conformance_command", required=True)
+    conf_run = conf_sub.add_parser(
+        "run",
+        help="run the conformance battery and print one report per plugin "
+        "(non-zero exit when any plugin fails an invariant)",
+    )
+    conf_run.add_argument("--family", default="all",
+                          choices=["all", "allocation", "policy", "eviction",
+                                   "replication"],
+                          help="plugin family to exercise ('policy' is an "
+                          "alias for allocation; default: all)")
+    conf_run.add_argument("--plugin", default=None,
+                          help="single plugin: a registered name or a "
+                          "'module.path:ClassName' spec")
+    conf_run.add_argument("--json", action="store_true", dest="as_json",
+                          help="print the reports as a JSON document instead "
+                          "of text blocks")
+    conf_run.add_argument("--no-subprocess", action="store_true",
+                          help="skip the PYTHONHASHSEED subprocess sweep "
+                          "(faster, but misses iteration-order bugs)")
     return parser
 
 
@@ -843,6 +900,80 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_schema(args: argparse.Namespace) -> int:
+    from repro.schema import schema_json, schema_path, validate_pack_dict
+
+    if args.schema_command == "emit":
+        if args.update and args.output is not None:
+            raise CGSimError("--update writes the committed path; drop --output")
+        target = schema_path() if args.update else args.output
+        if target is None:
+            print(schema_json(), end="")
+            return 0
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(schema_json(), encoding="utf-8")
+        print(f"wrote schema to {target}")
+        return 0
+
+    if args.schema_command == "check":
+        committed_path = schema_path()
+        if not committed_path.exists():
+            raise CGSimError(
+                f"committed schema missing at {committed_path}; "
+                "run `cgsim schema emit --update`")
+        committed = committed_path.read_text(encoding="utf-8")
+        if committed != schema_json():
+            print(
+                f"DRIFT  {committed_path} no longer matches the generated "
+                "schema; run `cgsim schema emit --update` and commit the result",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK     {committed_path} matches the generated schema")
+        return 0
+
+    from repro.config.loaders import read_structured_file
+
+    failures = 0
+    for reference in args.packs:
+        path = Path(reference)
+        try:
+            if path.exists():
+                data = read_structured_file(path, "scenario pack")
+            else:
+                from repro.scenarios import get_scenario_pack
+
+                data = get_scenario_pack(reference).to_dict()
+        except CGSimError as exc:
+            failures += 1
+            print(f"FAIL  {reference}: {exc}")
+            continue
+        errors = validate_pack_dict(data)
+        if errors:
+            failures += 1
+            print(f"FAIL  {reference}: {len(errors)} schema violation(s)")
+            for error in errors:
+                print(f"        {error}")
+        else:
+            print(f"OK    {reference}")
+    return 1 if failures else 0
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.conformance import render_reports, run_conformance
+
+    reports = run_conformance(
+        family=args.family,
+        plugin=args.plugin,
+        subprocess_checks=not args.no_subprocess,
+    )
+    if args.as_json:
+        print(json.dumps([report.to_dict() for report in reports], indent=2))
+    else:
+        print(render_reports(reports))
+    return 0 if all(report.ok for report in reports) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``cgsim`` command."""
     parser = build_parser()
@@ -859,6 +990,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "bench": _cmd_bench,
         "scenario": _cmd_scenario,
+        "schema": _cmd_schema,
+        "conformance": _cmd_conformance,
     }
     try:
         return handlers[args.command](args)

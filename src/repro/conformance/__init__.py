@@ -1,0 +1,31 @@
+"""Plugin conformance suite: golden invariants for third-party extensions.
+
+The plugin registry (:mod:`repro.plugins.registry`) is a published
+extension surface -- anyone can ship an allocation policy, eviction policy
+or replication strategy.  This package is the executable contract those
+plugins must honour: :func:`run_conformance` drives any registered plugin
+(or a dynamic ``module:Class`` spec) through a battery of checks --
+repeat determinism, determinism under multiple ``PYTHONHASHSEED`` values
+(fresh subprocesses), cache capacity/accounting bounds, victim and
+placement contracts, metric-contract shape, snapshot/restore bit-identity
+and a global-RNG watchdog -- and returns structured
+:class:`ConformanceReport` objects that render as text or JSON.
+
+Exposed via ``repro conformance run``; see ``docs/conformance.md`` for the
+plugin-author guide and :mod:`repro.conformance.demo` for deliberately
+broken examples every invariant catches.
+"""
+
+from repro.conformance.checks import CONFORMANCE_FAMILIES, behaviour_digest, family_checks
+from repro.conformance.harness import run_conformance
+from repro.conformance.report import CheckOutcome, ConformanceReport, render_reports
+
+__all__ = [
+    "CONFORMANCE_FAMILIES",
+    "CheckOutcome",
+    "ConformanceReport",
+    "behaviour_digest",
+    "family_checks",
+    "render_reports",
+    "run_conformance",
+]

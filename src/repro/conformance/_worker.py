@@ -1,0 +1,45 @@
+"""Subprocess entry point recomputing behaviour digests in a fresh interpreter.
+
+The conformance harness launches ``python -m repro.conformance._worker`` once
+per ``PYTHONHASHSEED`` value, feeding a JSON document on stdin::
+
+    {"targets": [{"family": "eviction", "spec": "lru", "options": {}}, ...]}
+
+and reading one on stdout::
+
+    {"results": [{"digest": "<sha256>", "error": null}, ...]}
+
+One subprocess covers *all* targets for a given hash seed -- interpreter
+start-up dominates the fixture drives, so batching keeps the whole
+hash-randomisation sweep to three subprocess launches.  A target whose
+plugin cannot be loaded in a fresh interpreter (e.g. a class registered
+only in the parent process) reports an ``error`` string instead of a
+digest; the harness converts that into a ``skip``, not a failure.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def main() -> int:
+    """Compute digests for every stdin target; always exit 0 with a report."""
+    from repro.conformance.checks import behaviour_digest
+
+    request = json.load(sys.stdin)
+    results = []
+    for target in request["targets"]:
+        try:
+            digest = behaviour_digest(
+                target["family"], target["spec"], target.get("options") or {})
+            results.append({"digest": digest, "error": None})
+        except Exception as exc:  # noqa: BLE001 - reported per-target, not fatal
+            results.append({"digest": None, "error": f"{type(exc).__name__}: {exc}"})
+    json.dump({"results": results}, sys.stdout)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

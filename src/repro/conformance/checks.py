@@ -1,0 +1,434 @@
+"""The golden-invariant checks a conforming plugin must uphold.
+
+Each plugin family gets a fixed battery of checks driven by deterministic
+fixture workloads (all randomness flows through
+:class:`repro.utils.rng.RandomSource`, never the global RNGs):
+
+* **behaviour digest** -- every family has a canonical fixture drive whose
+  full observable behaviour (decisions, snapshots, counters, metrics) is
+  hashed into one SHA-256 digest.  Repeat-determinism compares two
+  in-process digests; the harness additionally recomputes the digest in
+  fresh subprocesses under several ``PYTHONHASHSEED`` values and compares
+  them all, which catches iteration-order bugs invisible inside a single
+  interpreter.
+* **contract checks** -- family-specific: eviction victims must be resident
+  and unpinned and the cache's capacity/accounting bounds must hold;
+  replication placements must cover every dataset with unique known sites
+  independent of input iteration order; allocation policies must yield a
+  complete, sane metrics object from a real simulation run.
+* **snapshot/restore** -- the PR 6 checkpoint contract: replaying the first
+  half of the fixture drive must reproduce the mid-point snapshot
+  bit-identically (verified via :func:`repro.state.diff_states`), and for
+  allocation policies a full session checkpoint/restore must finish with an
+  identical result fingerprint.
+* **no stray global RNG** -- the fixture drive must leave ``random`` and
+  ``numpy.random`` global state untouched; plugins must draw from seeded
+  generators they own.
+
+This module intentionally imports :mod:`random` -- it *reads* the global
+RNG state to detect plugins that draw from it; the RNG-hygiene lint in
+``tests/test_state.py`` allow-lists it for exactly that reason.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.conformance.report import CheckOutcome
+from repro.state.protocol import canonical_state
+from repro.utils.rng import RandomSource
+
+__all__ = ["CONFORMANCE_FAMILIES", "behaviour_digest", "family_checks"]
+
+#: Plugin families the conformance suite knows how to exercise.
+CONFORMANCE_FAMILIES = ("allocation", "eviction", "replication")
+
+#: Job-id counter base for allocation fixture runs (mirrors tests/test_state.py:
+#: fingerprint-compared runs must allocate identical retry ids).
+_COUNTER_BASE = 900_000
+
+
+def _digest(payload: Any) -> str:
+    """SHA-256 over the canonical JSON form of ``payload``."""
+    blob = json.dumps(canonical_state(payload), sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _make(family: str, spec: str, options: Dict[str, Any]):
+    from repro.plugins.registry import create_plugin
+
+    return create_plugin(family, spec, **options)
+
+
+def _global_rng_fingerprint() -> Tuple[Any, ...]:
+    """Comparable fingerprint of both global RNGs (stdlib and NumPy legacy)."""
+    np_state = np.random.get_state(legacy=True)
+    return (random.getstate(), (np_state[0], np_state[1].tobytes()) + tuple(np_state[2:]))
+
+
+# -- eviction fixtures -----------------------------------------------------------
+
+
+def _drive_cache(policy, steps: int = 200, invariant_hook: Optional[Callable] = None):
+    """Run the canonical mixed lookup/insert/touch workload against ``policy``.
+
+    Returns ``(cache, trace)`` where the trace holds the full behaviour
+    (event list + final cache snapshot); ``invariant_hook(cache)`` runs
+    after every operation so the capacity check can assert bounds step-wise
+    without re-driving.
+    """
+    from repro.data.cache import SiteCache
+
+    cache = SiteCache("conformance", capacity=120.0, policy=policy)
+    cache.insert("replica_a", 12.0, pinned=True)
+    cache.insert("replica_b", 18.0, pinned=True)
+    rng = RandomSource(2024).generator("conformance-eviction")
+    datasets = [f"ds{i:02d}" for i in range(14)]
+    sizes = [7.0 + 4.0 * (i % 5) for i in range(14)]
+    events: List[List[Any]] = []
+    for _ in range(steps):
+        index = int(rng.integers(0, len(datasets)))
+        dataset, size = datasets[index], sizes[index]
+        if cache.lookup(dataset):
+            events.append(["hit", dataset])
+        else:
+            accepted = cache.insert(dataset, size)
+            events.append(["insert", dataset, bool(accepted)])
+        if float(rng.random()) < 0.1:
+            other = datasets[int(rng.integers(0, len(datasets)))]
+            cache.touch(other)
+            events.append(["touch", other])
+        if invariant_hook is not None:
+            invariant_hook(cache)
+    return cache, {"events": events, "snapshot": cache.snapshot()}
+
+
+def _eviction_digest(spec: str, options: Dict[str, Any]) -> str:
+    return _digest(_drive_cache(_make("eviction", spec, options))[1])
+
+
+def _check_eviction_victim_contract(spec: str, options: Dict[str, Any]) -> CheckOutcome:
+    from repro.data.cache import SiteCache
+
+    policy = _make("eviction", spec, options)
+    cache = SiteCache("conformance", capacity=60.0, policy=policy)
+    cache.insert("pinned_replica", 10.0, pinned=True)
+    for index in range(5):
+        cache.insert(f"ds{index:02d}", 10.0)
+    for _ in range(4):
+        victim = policy.victim(cache)
+        if victim is None:
+            break
+        if victim not in cache:
+            return CheckOutcome(
+                "victim_contract", "fail",
+                f"victim {victim!r} is not resident in the cache")
+        if cache.entry(victim).pinned:
+            return CheckOutcome(
+                "victim_contract", "fail",
+                f"victim {victim!r} is pinned (replicas of record are not evictable)")
+        cache.evict(victim)
+    return CheckOutcome("victim_contract", "pass")
+
+
+def _check_eviction_capacity(spec: str, options: Dict[str, Any]) -> CheckOutcome:
+    violations: List[str] = []
+
+    def invariant(cache) -> None:
+        resident = sum(entry.size for entry in (cache.entry(d) for d in cache.datasets()))
+        if cache.used > cache.capacity + 1e-9:
+            violations.append(f"used {cache.used:g} exceeds capacity {cache.capacity:g}")
+        if abs(resident - cache.used) > 1e-9:
+            violations.append(f"accounting drift: entries total {resident:g}, used {cache.used:g}")
+        stats = cache.stats
+        if len(cache) != stats.insertions - stats.evictions:
+            violations.append(
+                f"{len(cache)} residents but insertions-evictions = "
+                f"{stats.insertions - stats.evictions}")
+
+    _, trace = _drive_cache(_make("eviction", spec, options), invariant_hook=invariant)
+    entries = trace["snapshot"]["entries"]
+    for name in ("replica_a", "replica_b"):
+        if name not in entries or not entries[name]["pinned"]:
+            violations.append(f"pinned replica {name!r} was evicted")
+    if violations:
+        return CheckOutcome("capacity_bounds", "fail", violations[0])
+    return CheckOutcome("capacity_bounds", "pass")
+
+
+def _check_eviction_snapshot(spec: str, options: Dict[str, Any]) -> CheckOutcome:
+    from repro.utils.errors import CheckpointError
+
+    # PR 6 checkpoint contract: a cache rebuilt by replaying the same drive
+    # must verify bit-identically against the mid-run snapshot.
+    half = 100
+    _, trace = _drive_cache(_make("eviction", spec, options), steps=half)
+    replayed, _ = _drive_cache(_make("eviction", spec, options), steps=half)
+    try:
+        replayed.restore(trace["snapshot"])
+    except CheckpointError as exc:
+        return CheckOutcome("snapshot_restore", "fail", str(exc))
+    return CheckOutcome("snapshot_restore", "pass")
+
+
+# -- replication fixtures --------------------------------------------------------
+
+
+def _replication_fixture(shuffled: bool = False) -> Tuple[List[str], Dict[str, float], Dict]:
+    sites = [f"site_{i:02d}" for i in range(6)]
+    datasets = {f"ds{i:02d}": float(i + 1) * 1e9 for i in range(10)}
+    rng = RandomSource(7).generator("conformance-replication")
+    demand: Dict[str, Dict[str, int]] = {}
+    for dataset in datasets:
+        demand[dataset] = {
+            sites[int(rng.integers(0, len(sites)))]: int(rng.integers(1, 20))
+            for _ in range(3)
+        }
+    if shuffled:
+        # Same content, reversed insertion order: a strategy that depends on
+        # dict/set iteration order produces a different placement here.
+        # (Site *list* order stays fixed -- registration order is contractual.)
+        datasets = dict(reversed(list(datasets.items())))
+        demand = {k: dict(reversed(list(v.items()))) for k, v in reversed(list(demand.items()))}
+    return sites, datasets, demand
+
+
+def _place(strategy, shuffled: bool = False) -> Dict[str, List[str]]:
+    from repro.data.replication import PlacementContext
+
+    sites, datasets, demand = _replication_fixture(shuffled)
+    context = PlacementContext(sites=sites, platform=None, demand=demand, seed=13)
+    return strategy.place(datasets, context)
+
+
+def _replication_digest(spec: str, options: Dict[str, Any]) -> str:
+    return _digest(_place(_make("replication", spec, options)))
+
+
+def _check_placement_contract(spec: str, options: Dict[str, Any]) -> CheckOutcome:
+    sites, datasets, _ = _replication_fixture()
+    placement = _place(_make("replication", spec, options))
+    if set(placement) != set(datasets):
+        missing = sorted(set(datasets) - set(placement))
+        extra = sorted(set(placement) - set(datasets))
+        return CheckOutcome(
+            "placement_contract", "fail",
+            f"placement keys mismatch (missing {missing}, extra {extra})")
+    for dataset, replica_sites in placement.items():
+        if not replica_sites:
+            return CheckOutcome(
+                "placement_contract", "fail", f"dataset {dataset!r} received no replicas")
+        if len(set(replica_sites)) != len(replica_sites):
+            return CheckOutcome(
+                "placement_contract", "fail", f"duplicate replica sites for {dataset!r}")
+        unknown = sorted(set(replica_sites) - set(sites))
+        if unknown:
+            return CheckOutcome(
+                "placement_contract", "fail",
+                f"dataset {dataset!r} placed on unknown sites {unknown}")
+    return CheckOutcome("placement_contract", "pass")
+
+
+def _check_order_independence(spec: str, options: Dict[str, Any]) -> CheckOutcome:
+    straight = _place(_make("replication", spec, options))
+    reversed_input = _place(_make("replication", spec, options), shuffled=True)
+    if straight != reversed_input:
+        changed = sorted(d for d in straight if straight[d] != reversed_input.get(d))[:3]
+        return CheckOutcome(
+            "order_independence", "fail",
+            f"placement depends on input iteration order (differs for {changed})")
+    return CheckOutcome("order_independence", "pass")
+
+
+# -- allocation fixtures ---------------------------------------------------------
+
+
+def _allocation_session(spec: str, options: Dict[str, Any]):
+    from repro.config.execution import ExecutionConfig, MonitoringConfig
+    from repro.config.generators import generate_grid
+    from repro.core import Simulator
+    from repro.workload.generator import SyntheticWorkloadGenerator
+    from repro.workload.job import reset_job_id_counter
+
+    reset_job_id_counter(_COUNTER_BASE)
+    infrastructure, topology = generate_grid(3, seed=5)
+    jobs = SyntheticWorkloadGenerator(infrastructure, seed=11).generate(40)
+    execution = ExecutionConfig(
+        plugin=spec,
+        plugin_options=dict(options),
+        seed=17,
+        max_simulation_time=30 * 24 * 3600.0,  # bound runaway never-assigning plugins
+        monitoring=MonitoringConfig(snapshot_interval=0.0),
+    )
+    simulator = Simulator(infrastructure, topology, execution)
+    return simulator.session(jobs)
+
+
+def _allocation_result(spec: str, options: Dict[str, Any]):
+    session = _allocation_session(spec, options)
+    session.advance_to_completion()
+    return session.finalize()
+
+
+def _allocation_digest(spec: str, options: Dict[str, Any]) -> str:
+    from repro.state import fingerprint_result
+
+    return fingerprint_result(_allocation_result(spec, options))
+
+
+#: Metric keys every allocation run must report with finite numeric values.
+_REQUIRED_METRICS = (
+    "total_jobs", "finished_jobs", "failed_jobs", "makespan", "mean_walltime",
+    "median_walltime", "mean_queue_time", "median_queue_time", "mean_total_time",
+    "throughput", "failure_rate", "cpu_time",
+)
+
+
+def _check_metric_contract(spec: str, options: Dict[str, Any]) -> CheckOutcome:
+    metrics = _allocation_result(spec, options).metrics.to_dict()
+    for key in _REQUIRED_METRICS:
+        if key not in metrics:
+            return CheckOutcome("metric_contract", "fail", f"metrics missing {key!r}")
+        value = metrics[key]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return CheckOutcome(
+                "metric_contract", "fail", f"metric {key!r} is not numeric: {value!r}")
+        if not np.isfinite(value) or value < 0:
+            return CheckOutcome(
+                "metric_contract", "fail", f"metric {key!r} is not a finite >= 0 number: {value!r}")
+    if metrics["total_jobs"] != 40:
+        return CheckOutcome(
+            "metric_contract", "fail",
+            f"total_jobs is {metrics['total_jobs']}, expected the 40 submitted jobs")
+    if not 0.0 <= metrics["failure_rate"] <= 1.0:
+        return CheckOutcome(
+            "metric_contract", "fail", f"failure_rate {metrics['failure_rate']!r} outside [0, 1]")
+    return CheckOutcome("metric_contract", "pass")
+
+
+def _check_allocation_snapshot(spec: str, options: Dict[str, Any]) -> CheckOutcome:
+    from repro.core import SimulationSession
+    from repro.state import fingerprint_result
+    from repro.utils.errors import CheckpointError
+
+    expected = _allocation_digest(spec, options)
+    session = _allocation_session(spec, options)
+    session.advance_until(2000.0)
+    try:
+        restored = SimulationSession.restore(None, session.checkpoint())
+        restored.advance_to_completion()
+        digest = fingerprint_result(restored.finalize())
+    except CheckpointError as exc:
+        return CheckOutcome("snapshot_restore", "fail", f"restore verification failed: {exc}")
+    if digest != expected:
+        return CheckOutcome(
+            "snapshot_restore", "fail",
+            "checkpoint/restore run fingerprint differs from the uninterrupted run")
+    return CheckOutcome("snapshot_restore", "pass")
+
+
+# -- family dispatch -------------------------------------------------------------
+
+_DIGESTS: Dict[str, Callable[[str, Dict[str, Any]], str]] = {
+    "allocation": _allocation_digest,
+    "eviction": _eviction_digest,
+    "replication": _replication_digest,
+}
+
+
+def behaviour_digest(family: str, spec: str, options: Optional[Dict[str, Any]] = None) -> str:
+    """The canonical behaviour digest of one plugin on its fixture workload.
+
+    A SHA-256 hex digest over the plugin's full observable behaviour:
+    eviction policies hash the cache event trace and final snapshot,
+    replication strategies the placement mapping, allocation policies the
+    result fingerprint of a real 40-job simulation.  Equal digests across
+    repeats, fresh interpreters and ``PYTHONHASHSEED`` values are the
+    determinism contract.
+    """
+    if family not in _DIGESTS:
+        from repro.utils.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown conformance family {family!r}; expected one of {CONFORMANCE_FAMILIES}")
+    return _DIGESTS[family](spec, dict(options or {}))
+
+
+def _check_repeat_determinism(family: str, spec: str, options: Dict[str, Any]) -> CheckOutcome:
+    first = behaviour_digest(family, spec, options)
+    second = behaviour_digest(family, spec, options)
+    if first != second:
+        return CheckOutcome(
+            "repeat_determinism", "fail",
+            "two identical in-process fixture runs produced different behaviour "
+            f"digests ({first[:12]} vs {second[:12]}); the plugin draws on "
+            "uncontrolled state")
+    return CheckOutcome("repeat_determinism", "pass")
+
+
+def _check_no_global_rng(family: str, spec: str, options: Dict[str, Any]) -> CheckOutcome:
+    before = _global_rng_fingerprint()
+    behaviour_digest(family, spec, options)
+    if _global_rng_fingerprint() != before:
+        return CheckOutcome(
+            "no_global_rng", "fail",
+            "the fixture run mutated global RNG state (random/numpy.random); "
+            "plugins must draw from seeded generators they own "
+            "(see repro.utils.rng.RandomSource)")
+    return CheckOutcome("no_global_rng", "pass")
+
+
+def _skip_stateless(spec: str, options: Dict[str, Any]) -> CheckOutcome:
+    return CheckOutcome(
+        "snapshot_restore", "skip",
+        "replication strategies are stateless (placement happens once, before "
+        "the run); there is no snapshot()/restore() surface to verify")
+
+
+#: Ordered family-specific checks; each entry maps a check callable taking
+#: ``(spec, options)``.  Family-agnostic checks are added by
+#: :func:`family_checks`.
+_FAMILY_CHECKS: Dict[str, List[Callable[[str, Dict[str, Any]], CheckOutcome]]] = {
+    "eviction": [
+        _check_eviction_victim_contract,
+        _check_eviction_capacity,
+        _check_eviction_snapshot,
+    ],
+    "replication": [
+        _check_placement_contract,
+        _check_order_independence,
+        _skip_stateless,
+    ],
+    "allocation": [
+        _check_metric_contract,
+        _check_allocation_snapshot,
+    ],
+}
+
+
+def family_checks(family: str) -> List[Callable[[str, Dict[str, Any]], CheckOutcome]]:
+    """The ordered in-process check battery for ``family``.
+
+    Every battery starts with repeat-determinism and ends with the
+    global-RNG watchdog; the family-specific contract and snapshot checks
+    sit in between.  The harness prepends instantiation and appends the
+    subprocess ``PYTHONHASHSEED`` comparison itself.
+    """
+    if family not in _FAMILY_CHECKS:
+        from repro.utils.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown conformance family {family!r}; expected one of {CONFORMANCE_FAMILIES}")
+
+    def repeat(spec: str, options: Dict[str, Any]) -> CheckOutcome:
+        return _check_repeat_determinism(family, spec, options)
+
+    def no_global(spec: str, options: Dict[str, Any]) -> CheckOutcome:
+        return _check_no_global_rng(family, spec, options)
+
+    return [repeat, *_FAMILY_CHECKS[family], no_global]

@@ -1,0 +1,63 @@
+"""Deliberately non-conforming demo plugins the conformance suite must catch.
+
+These classes are **not** registered -- they are reached only through the
+dynamic ``module:Class`` spec (``repro.conformance.demo:WobblyEviction``),
+so bundled conformance runs stay green while the test suite and the docs
+use them to demonstrate what a failing report looks like:
+
+* :class:`WobblyEviction` draws its victim from the *global* NumPy RNG --
+  two identical runs evict different datasets, so ``repeat_determinism``
+  and ``no_global_rng`` both fail with reports naming the invariant.
+  (Deliberately invisible to the static RNG-hygiene lint, which scans for
+  ``default_rng``/``seed`` call patterns: the conformance suite is the
+  dynamic complement that catches what the lint cannot.)
+* :class:`HashOrderedEviction` evicts the first element of a ``set`` --
+  stable inside one interpreter, different across ``PYTHONHASHSEED``
+  values, so only the subprocess ``hashseed_determinism`` sweep flags it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.eviction import EvictionPolicy
+
+__all__ = ["WobblyEviction", "HashOrderedEviction"]
+
+
+class WobblyEviction(EvictionPolicy):
+    """Demo policy that evicts a victim drawn from the global NumPy RNG.
+
+    Fails ``repeat_determinism`` (two fixture runs disagree) and
+    ``no_global_rng`` (the run advances ``numpy.random``'s global state);
+    kept as the canonical "what a broken plugin looks like" example for
+    ``docs/conformance.md`` and the conformance test suite.
+    """
+
+    name = "wobbly_demo"
+
+    def victim(self, cache) -> Optional[str]:
+        candidates = cache.evictable()
+        if not candidates:
+            return None
+        return candidates[int(np.random.rand() * len(candidates))]
+
+
+class HashOrderedEviction(EvictionPolicy):
+    """Demo policy whose victim choice leaks Python hash-iteration order.
+
+    ``set`` iteration order over strings depends on ``PYTHONHASHSEED``, so
+    this policy is perfectly repeatable inside one interpreter and still
+    fails ``hashseed_determinism``: the subprocess sweep recomputes the
+    behaviour digest under several hash seeds and watches it change.
+    """
+
+    name = "hash_ordered_demo"
+
+    def victim(self, cache) -> Optional[str]:
+        candidates = set(cache.evictable())
+        if not candidates:
+            return None
+        return next(iter(candidates))

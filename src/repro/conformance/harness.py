@@ -1,0 +1,234 @@
+"""Run the conformance battery over registered plugins and collect reports.
+
+:func:`run_conformance` is the engine behind ``repro conformance run``: it
+resolves the requested family/plugin selection against the live registry,
+runs the in-process checks from :mod:`repro.conformance.checks` for every
+target, then launches one fresh subprocess per ``PYTHONHASHSEED`` value
+(covering *all* targets each) and compares the recomputed behaviour digests
+-- the check that actually catches iteration-order bugs, which are
+invisible inside a single interpreter.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.conformance.checks import CONFORMANCE_FAMILIES, family_checks
+from repro.conformance.report import CheckOutcome, ConformanceReport
+from repro.utils.errors import ConfigurationError
+
+__all__ = ["run_conformance"]
+
+#: Accepted spellings for the family selector (CLI ``--family``).
+FAMILY_ALIASES = {"policy": "allocation", "scheduler": "allocation"}
+
+#: Hash seeds the subprocess determinism sweep recomputes digests under.
+DEFAULT_HASH_SEEDS = ("0", "1", "2")
+
+#: Checks that cannot run when the plugin does not even instantiate.
+_SKIP_ON_INSTANTIATION_FAILURE = "skipped: plugin failed to instantiate"
+
+
+def _resolve_families(family: str) -> List[str]:
+    if family == "all":
+        return list(CONFORMANCE_FAMILIES)
+    resolved = FAMILY_ALIASES.get(family, family)
+    if resolved not in CONFORMANCE_FAMILIES:
+        known = sorted(set(CONFORMANCE_FAMILIES) | set(FAMILY_ALIASES))
+        raise ConfigurationError(
+            f"unknown conformance family {family!r}; expected 'all' or one of {known}")
+    return [resolved]
+
+
+def _resolve_targets(
+    families: List[str], plugin: Optional[str]
+) -> List[Tuple[str, str]]:
+    from repro.plugins.registry import available_plugins, load_plugin_class
+
+    targets: List[Tuple[str, str]] = []
+    for fam in families:
+        names = available_plugins(fam)
+        if plugin is None:
+            targets.extend((fam, name) for name in names)
+        elif plugin in names:
+            targets.append((fam, plugin))
+        elif ":" in plugin:
+            # A "module.path:ClassName" spec; probe which family accepts it.
+            try:
+                load_plugin_class(fam, plugin)
+            except Exception:
+                continue
+            targets.append((fam, plugin))
+    if plugin is not None and not targets:
+        registered = {fam: available_plugins(fam) for fam in families}
+        raise ConfigurationError(
+            f"unknown plugin {plugin!r} in families {families}; "
+            f"registered plugins: {registered} (or use 'module.path:ClassName')")
+    return targets
+
+
+def _instantiation_check(family: str, spec: str) -> CheckOutcome:
+    from repro.plugins.registry import create_plugin
+
+    try:
+        create_plugin(family, spec)
+    except Exception as exc:  # noqa: BLE001 - any constructor error is a finding
+        return CheckOutcome(
+            "instantiation", "fail", f"{type(exc).__name__}: {exc}")
+    return CheckOutcome("instantiation", "pass")
+
+
+def _subprocess_digests(
+    targets: Sequence[Tuple[str, str]], hash_seed: str
+) -> List[Dict[str, Any]]:
+    """Recompute all target digests in one fresh interpreter under ``hash_seed``."""
+    import repro
+
+    src_root = Path(repro.__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src_root)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    env["PYTHONHASHSEED"] = hash_seed
+    request = json.dumps({
+        "targets": [
+            {"family": family, "spec": spec, "options": {}}
+            for family, spec in targets
+        ]
+    })
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.conformance._worker"],
+        input=request, capture_output=True, text=True, env=env, check=False,
+    )
+    if proc.returncode != 0:
+        raise ConfigurationError(
+            f"conformance worker crashed under PYTHONHASHSEED={hash_seed}: "
+            f"{proc.stderr.strip()[-500:]}")
+    return json.loads(proc.stdout)["results"]
+
+
+def _hashseed_outcomes(
+    targets: Sequence[Tuple[str, str]],
+    baselines: Sequence[Optional[str]],
+    hash_seeds: Sequence[str],
+) -> List[CheckOutcome]:
+    """One ``hashseed_determinism`` outcome per target, batched per seed."""
+    live = [i for i, digest in enumerate(baselines) if digest is not None]
+    outcomes: List[Optional[CheckOutcome]] = [None] * len(targets)
+    for i, digest in enumerate(baselines):
+        if digest is None:
+            outcomes[i] = CheckOutcome(
+                "hashseed_determinism", "skip",
+                "skipped: no baseline digest (earlier checks failed)")
+    per_seed: Dict[int, List[Tuple[str, Optional[str], Optional[str]]]] = {
+        i: [] for i in live}
+    for seed in hash_seeds:
+        results = _subprocess_digests([targets[i] for i in live], seed)
+        for slot, result in zip(live, results):
+            per_seed[slot].append((seed, result["digest"], result["error"]))
+    for i in live:
+        errors = [(seed, err) for seed, _, err in per_seed[i] if err]
+        if errors:
+            seed, err = errors[0]
+            outcomes[i] = CheckOutcome(
+                "hashseed_determinism", "skip",
+                f"skipped: plugin not loadable in a fresh interpreter "
+                f"(PYTHONHASHSEED={seed}: {err})")
+            continue
+        mismatched = [
+            (seed, digest) for seed, digest, _ in per_seed[i]
+            if digest != baselines[i]
+        ]
+        if mismatched:
+            seed, digest = mismatched[0]
+            outcomes[i] = CheckOutcome(
+                "hashseed_determinism", "fail",
+                f"behaviour digest changed under PYTHONHASHSEED={seed} "
+                f"({baselines[i][:12]} -> {str(digest)[:12]}); the plugin "
+                "depends on hash/iteration order")
+        else:
+            outcomes[i] = CheckOutcome("hashseed_determinism", "pass")
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+def run_conformance(
+    family: str = "all",
+    plugin: Optional[str] = None,
+    hash_seeds: Sequence[str] = DEFAULT_HASH_SEEDS,
+    subprocess_checks: bool = True,
+) -> List[ConformanceReport]:
+    """Exercise every selected plugin against the golden invariants.
+
+    ``family`` is one of ``all``/``allocation``/``eviction``/``replication``
+    (``policy`` aliases ``allocation``); ``plugin`` narrows the run to one
+    registered name or ``module.path:ClassName`` spec.  Returns one
+    :class:`~repro.conformance.report.ConformanceReport` per (family,
+    plugin) target; unknown selections raise
+    :class:`~repro.utils.errors.ConfigurationError`.  Set
+    ``subprocess_checks=False`` to drop the ``PYTHONHASHSEED`` sweep (three
+    interpreter launches) when iterating interactively.
+    """
+    from repro.conformance.checks import behaviour_digest
+
+    targets = _resolve_targets(_resolve_families(family), plugin)
+    reports: List[ConformanceReport] = []
+    baselines: List[Optional[str]] = []
+    for fam, spec in targets:
+        report = ConformanceReport(family=fam, plugin=spec)
+        reports.append(report)
+        first = _instantiation_check(fam, spec)
+        report.checks.append(first)
+        if first.status == "fail":
+            baselines.append(None)
+            for check_name in _battery_names(fam):
+                report.checks.append(
+                    CheckOutcome(check_name, "skip", _SKIP_ON_INSTANTIATION_FAILURE))
+            continue
+        failed = False
+        for check in family_checks(fam):
+            try:
+                outcome = check(spec, {})
+            except Exception as exc:  # noqa: BLE001 - crash inside a check = fail
+                outcome = CheckOutcome(
+                    _check_name(check), "fail",
+                    f"check crashed: {type(exc).__name__}: {exc}")
+            report.checks.append(outcome)
+            failed = failed or outcome.status == "fail"
+        if failed:
+            baselines.append(None)
+        else:
+            baselines.append(behaviour_digest(fam, spec))
+    if subprocess_checks:
+        for report, outcome in zip(
+            reports, _hashseed_outcomes(targets, baselines, hash_seeds)
+        ):
+            report.checks.append(outcome)
+    return reports
+
+
+def _check_name(check) -> str:
+    """Best-effort stable identifier for a check callable that crashed."""
+    name = getattr(check, "__name__", "check")
+    for prefix in ("_check_eviction_", "_check_allocation_", "_check_"):
+        if name.startswith(prefix):
+            return name[len(prefix):]
+    return name
+
+
+#: Check identifiers per family, used to emit skip rows for plugins that
+#: never instantiated (their battery cannot run, but the report should
+#: still show which invariants went unexercised).
+def _battery_names(family: str) -> List[str]:
+    names = {
+        "eviction": ["repeat_determinism", "victim_contract", "capacity_bounds",
+                     "snapshot_restore", "no_global_rng"],
+        "replication": ["repeat_determinism", "placement_contract",
+                        "order_independence", "snapshot_restore", "no_global_rng"],
+        "allocation": ["repeat_determinism", "metric_contract",
+                       "snapshot_restore", "no_global_rng"],
+    }
+    return names[family]

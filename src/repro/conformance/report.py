@@ -1,0 +1,109 @@
+"""Structured results of a plugin conformance run.
+
+A conformance run produces one :class:`ConformanceReport` per (family,
+plugin) pair, holding one :class:`CheckOutcome` per golden invariant with a
+``pass``/``fail``/``skip`` status and a human-readable reason.  Reports
+render both as text tables (``repro conformance run``) and as JSON
+(``--json``), so CI and third-party plugin authors consume the same data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["CheckOutcome", "ConformanceReport", "render_reports"]
+
+#: The statuses a check may report.
+STATUSES = ("pass", "fail", "skip")
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """Result of one conformance check against one plugin.
+
+    ``check`` is the stable invariant identifier (``repeat_determinism``,
+    ``capacity_bounds``, ...), ``status`` one of ``pass``/``fail``/``skip``
+    and ``detail`` the reason -- mandatory for failures and skips, empty for
+    ordinary passes.
+    """
+
+    check: str
+    status: str
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ValueError(f"invalid check status {self.status!r}; expected {STATUSES}")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation of this single check outcome."""
+        return {"check": self.check, "status": self.status, "detail": self.detail}
+
+
+@dataclass
+class ConformanceReport:
+    """All check outcomes for one plugin of one family.
+
+    ``ok`` is True when no check failed (skips do not fail a plugin: a
+    stateless replication strategy legitimately skips the snapshot check).
+    :meth:`render` produces the human-readable block the CLI prints;
+    :meth:`to_dict` the JSON document ``--json`` emits.
+    """
+
+    family: str
+    plugin: str
+    checks: List[CheckOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no check failed (skipped checks are not failures)."""
+        return all(outcome.status != "fail" for outcome in self.checks)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Number of checks per status (``{"pass": 5, "fail": 0, "skip": 1}``)."""
+        return {
+            status: sum(1 for outcome in self.checks if outcome.status == status)
+            for status in STATUSES
+        }
+
+    def failures(self) -> List[CheckOutcome]:
+        """The failed checks only, in execution order."""
+        return [outcome for outcome in self.checks if outcome.status == "fail"]
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (what ``--json`` emits per plugin)."""
+        return {
+            "family": self.family,
+            "plugin": self.plugin,
+            "ok": self.ok,
+            "counts": self.counts,
+            "checks": [outcome.to_dict() for outcome in self.checks],
+        }
+
+    def render(self) -> str:
+        """Human-readable block: verdict line plus one line per check."""
+        verdict = "PASS" if self.ok else "FAIL"
+        lines = [f"{verdict}  {self.family}/{self.plugin}"]
+        for outcome in self.checks:
+            marker = {"pass": "ok", "fail": "FAIL", "skip": "skip"}[outcome.status]
+            line = f"  [{marker:>4}] {outcome.check}"
+            if outcome.detail:
+                line += f": {outcome.detail}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def render_reports(reports: List[ConformanceReport]) -> str:
+    """Render a full conformance run: per-plugin blocks plus a summary line.
+
+    The summary counts plugins, not checks, and names every failing plugin
+    so a red CI log leads straight to the offender.
+    """
+    blocks = [report.render() for report in reports]
+    failed = [f"{r.family}/{r.plugin}" for r in reports if not r.ok]
+    summary = f"{len(reports) - len(failed)}/{len(reports)} plugins conform"
+    if failed:
+        summary += "; failing: " + ", ".join(failed)
+    return "\n\n".join(blocks + [summary])

@@ -30,6 +30,7 @@ from repro.config.infrastructure import InfrastructureConfig
 from repro.config.topology import TopologyConfig
 from repro.faults.models import JobFailureModel, OutageWindow, SiteOutageModel
 from repro.utils.errors import ConfigurationError
+from repro.utils.jsonpointer import join_pointer
 from repro.utils.units import parse_bytes, parse_duration
 from repro.workload.generator import WorkloadSpec
 from repro.workload.job import Job
@@ -51,9 +52,56 @@ __all__ = [
 DEFAULT_SWEEP_METRICS = ("makespan", "mean_queue_time", "throughput", "failure_rate")
 
 
+class _Ctx(str):
+    """Validation context: the human-readable label plus a JSON pointer.
+
+    Behaves exactly like the plain context string it always was (callers
+    interpolate it into messages with ``f"{ctx}: ..."``), but additionally
+    carries the RFC 6901 pointer of the pack field being validated, so error
+    messages can end with a machine-matchable ``(at /workload/jobs)`` suffix
+    -- the same addressing scheme the generated JSON Schema validator in
+    :mod:`repro.schema` reports.  External callers that pass a plain ``str``
+    context still work; their messages simply omit the pointer suffix.
+    """
+
+    __slots__ = ("pointer",)
+
+    pointer: str
+
+    def __new__(cls, label: str, pointer: str = "") -> "_Ctx":
+        self = super().__new__(cls, label)
+        self.pointer = pointer
+        return self
+
+    def child(self, label: str, *parts: Any) -> "_Ctx":
+        """Context for a sub-field: label appended, pointer tokens joined."""
+        return _Ctx(f"{self}: {label}", self.pointer + join_pointer(parts))
+
+
+def _at(ctx: str, *parts: Any) -> str:
+    """The ``" (at /json/pointer)"`` suffix for an error raised under ``ctx``.
+
+    Empty when ``ctx`` is a plain string (no pointer available); the
+    whole-document pointer renders as ``/`` for readability.
+    """
+    pointer = getattr(ctx, "pointer", None)
+    if pointer is None:
+        return ""
+    return f" (at {pointer + join_pointer(parts) or '/'})"
+
+
+def _child(ctx: str, label: str, *parts: Any) -> str:
+    """Sub-field context: pointer-carrying when ``ctx`` is, plain otherwise."""
+    if isinstance(ctx, _Ctx):
+        return ctx.child(label, *parts)
+    return f"{ctx}: {label}"
+
+
 def _require_mapping(data: Any, ctx: str) -> dict:
     if not isinstance(data, dict):
-        raise ConfigurationError(f"{ctx} must be a mapping, got {type(data).__name__}")
+        raise ConfigurationError(
+            f"{ctx} must be a mapping, got {type(data).__name__}{_at(ctx)}"
+        )
     return data
 
 
@@ -62,22 +110,29 @@ def _reject_unknown(data: dict, known: Sequence[str], ctx: str) -> None:
     if unknown:
         raise ConfigurationError(
             f"{ctx}: unknown fields {unknown}; known fields: {sorted(known)}"
+            f"{_at(ctx, unknown[0])}"
         )
 
 
 def _float_field(data: dict, name: str, default: float, ctx: str) -> float:
     value = data.get(name, default)
     if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise ConfigurationError(f"{ctx}: {name} must be a number, got {value!r}")
+        raise ConfigurationError(
+            f"{ctx}: {name} must be a number, got {value!r}{_at(ctx, name)}"
+        )
     return float(value)
 
 
 def _int_field(data: dict, name: str, default: int, ctx: str, minimum: int) -> int:
     value = data.get(name, default)
     if isinstance(value, bool) or not isinstance(value, int):
-        raise ConfigurationError(f"{ctx}: {name} must be an integer, got {value!r}")
+        raise ConfigurationError(
+            f"{ctx}: {name} must be an integer, got {value!r}{_at(ctx, name)}"
+        )
     if value < minimum:
-        raise ConfigurationError(f"{ctx}: {name} must be >= {minimum}, got {value}")
+        raise ConfigurationError(
+            f"{ctx}: {name} must be >= {minimum}, got {value}{_at(ctx, name)}"
+        )
     return value
 
 
@@ -115,6 +170,7 @@ class GridSection:
         if kind not in ("synthetic", "wlcg", "files"):
             raise ConfigurationError(
                 f"{ctx}: kind must be one of synthetic|wlcg|files, got {kind!r}"
+                f"{_at(ctx, 'kind')}"
             )
         section = cls(
             kind=kind,
@@ -127,18 +183,19 @@ class GridSection:
         if section.layout not in ("star", "tiered"):
             raise ConfigurationError(
                 f"{ctx}: layout must be star|tiered, got {section.layout!r}"
+                f"{_at(ctx, 'layout')}"
             )
         if kind == "files":
             for name in ("infrastructure", "topology"):
                 if not getattr(section, name):
                     raise ConfigurationError(
-                        f"{ctx}: kind 'files' requires the {name!r} path"
+                        f"{ctx}: kind 'files' requires the {name!r} path{_at(ctx, name)}"
                     )
         else:
             for name in ("infrastructure", "topology"):
                 if data.get(name) is not None:
                     raise ConfigurationError(
-                        f"{ctx}: {name!r} is only valid with kind 'files'"
+                        f"{ctx}: {name!r} is only valid with kind 'files'{_at(ctx, name)}"
                     )
         return section
 
@@ -216,14 +273,16 @@ class WorkloadSection:
         if generator not in ("synthetic", "panda"):
             raise ConfigurationError(
                 f"{ctx}: generator must be synthetic|panda, got {generator!r}"
+                f"{_at(ctx, 'generator')}"
             )
-        spec = _require_mapping(data.get("spec", {}), f"{ctx}: spec")
+        spec_ctx = _child(ctx, "spec", "spec")
+        spec = _require_mapping(data.get("spec", {}), spec_ctx)
         valid_spec = set(WorkloadSpec.__dataclass_fields__)
-        _reject_unknown(spec, sorted(valid_spec), f"{ctx}: spec")
+        _reject_unknown(spec, sorted(valid_spec), spec_ctx)
         try:
             WorkloadSpec(**spec)  # eager validation with WorkloadSpec's messages
         except Exception as exc:
-            raise ConfigurationError(f"{ctx}: spec: {exc}") from exc
+            raise ConfigurationError(f"{spec_ctx}: {exc}{_at(spec_ctx)}") from exc
         section = cls(
             generator=generator,
             jobs=_int_field(data, "jobs", 1000, ctx, minimum=1),
@@ -236,18 +295,23 @@ class WorkloadSection:
         if section.mean_task_size < 1:
             raise ConfigurationError(
                 f"{ctx}: mean_task_size must be >= 1, got {section.mean_task_size}"
+                f"{_at(ctx, 'mean_task_size')}"
             )
         if section.per_site_jobs is not None:
             if generator != "synthetic":
                 raise ConfigurationError(
                     f"{ctx}: per_site_jobs requires the synthetic generator"
+                    f"{_at(ctx, 'per_site_jobs')}"
                 )
             if not isinstance(section.per_site_jobs, int) or section.per_site_jobs < 1:
                 raise ConfigurationError(
                     f"{ctx}: per_site_jobs must be a positive integer"
+                    f"{_at(ctx, 'per_site_jobs')}"
                 )
         if section.trace is not None and section.per_site_jobs is not None:
-            raise ConfigurationError(f"{ctx}: trace and per_site_jobs are exclusive")
+            raise ConfigurationError(
+                f"{ctx}: trace and per_site_jobs are exclusive{_at(ctx, 'trace')}"
+            )
         return section
 
     def build(self, infrastructure: InfrastructureConfig, base_dir: Optional[Path]) -> List[Job]:
@@ -311,22 +375,28 @@ class FaultsSection:
             outage_model=data.get("outage_model"),
         )
         if section.job_failures is not None:
-            failures = _require_mapping(section.job_failures, f"{ctx}: job_failures")
+            failures_ctx = _child(ctx, "job_failures", "job_failures")
+            failures = _require_mapping(section.job_failures, failures_ctx)
             _reject_unknown(
                 failures,
                 ["default_rate", "site_rates", "mean_failure_fraction", "seed"],
-                f"{ctx}: job_failures",
+                failures_ctx,
             )
             try:
                 JobFailureModel(**failures)
             except Exception as exc:
-                raise ConfigurationError(f"{ctx}: job_failures: {exc}") from exc
+                raise ConfigurationError(
+                    f"{failures_ctx}: {exc}{_at(failures_ctx)}"
+                ) from exc
         for index, window in enumerate(section.outages):
-            window = _require_mapping(window, f"{ctx}: outages[{index}]")
-            _reject_unknown(window, ["site", "start", "end"], f"{ctx}: outages[{index}]")
+            window_ctx = _child(ctx, f"outages[{index}]", "outages", index)
+            window = _require_mapping(window, window_ctx)
+            _reject_unknown(window, ["site", "start", "end"], window_ctx)
             for key in ("site", "start", "end"):
                 if key not in window:
-                    raise ConfigurationError(f"{ctx}: outages[{index}] requires {key!r}")
+                    raise ConfigurationError(
+                        f"{window_ctx} requires {key!r}{_at(window_ctx, key)}"
+                    )
             try:
                 OutageWindow(
                     site=window["site"],
@@ -334,16 +404,21 @@ class FaultsSection:
                     end=parse_duration(window["end"]),
                 )
             except Exception as exc:
-                raise ConfigurationError(f"{ctx}: outages[{index}]: {exc}") from exc
+                raise ConfigurationError(
+                    f"{window_ctx}: {exc}{_at(window_ctx)}"
+                ) from exc
         if section.outage_model is not None:
-            model = _require_mapping(section.outage_model, f"{ctx}: outage_model")
+            model_ctx = _child(ctx, "outage_model", "outage_model")
+            model = _require_mapping(section.outage_model, model_ctx)
             _reject_unknown(
                 model,
                 ["mean_time_between_failures", "mean_time_to_repair", "horizon", "seed"],
-                f"{ctx}: outage_model",
+                model_ctx,
             )
             if "horizon" not in model:
-                raise ConfigurationError(f"{ctx}: outage_model requires 'horizon'")
+                raise ConfigurationError(
+                    f"{ctx}: outage_model requires 'horizon'{_at(model_ctx, 'horizon')}"
+                )
             try:
                 params = {k: v for k, v in model.items() if k != "horizon"}
                 for key in ("mean_time_between_failures", "mean_time_to_repair"):
@@ -351,11 +426,15 @@ class FaultsSection:
                         params[key] = parse_duration(params[key])
                 SiteOutageModel(**params)
                 if parse_duration(model["horizon"]) <= 0:
-                    raise ConfigurationError("horizon must be positive")
+                    raise ConfigurationError(
+                        f"horizon must be positive{_at(model_ctx, 'horizon')}"
+                    )
             except ConfigurationError:
                 raise
             except Exception as exc:
-                raise ConfigurationError(f"{ctx}: outage_model: {exc}") from exc
+                raise ConfigurationError(
+                    f"{model_ctx}: {exc}{_at(model_ctx)}"
+                ) from exc
         return section
 
     def build(
@@ -431,23 +510,32 @@ class CacheSection:
             try:
                 capacity = parse_bytes(capacity)
             except Exception as exc:
-                raise ConfigurationError(f"{ctx}: capacity: {exc}") from exc
+                raise ConfigurationError(
+                    f"{ctx}: capacity: {exc}{_at(ctx, 'capacity')}"
+                ) from exc
             if capacity <= 0:
-                raise ConfigurationError(f"{ctx}: capacity must be positive")
+                raise ConfigurationError(
+                    f"{ctx}: capacity must be positive{_at(ctx, 'capacity')}"
+                )
         policy = data.get("policy", "lru")
         replication = data.get("replication", "static_n")
         for name, value in (("policy", policy), ("replication", replication)):
             if not isinstance(value, str) or not value:
-                raise ConfigurationError(f"{ctx}: {name} must be a non-empty string")
+                raise ConfigurationError(
+                    f"{ctx}: {name} must be a non-empty string{_at(ctx, name)}"
+                )
         policy_options = _require_mapping(
-            data.get("policy_options", {}), f"{ctx}: policy_options"
+            data.get("policy_options", {}), _child(ctx, "policy_options", "policy_options")
         )
         replication_options = _require_mapping(
-            data.get("replication_options", {}), f"{ctx}: replication_options"
+            data.get("replication_options", {}),
+            _child(ctx, "replication_options", "replication_options"),
         )
         prewarm = data.get("prewarm", False)
         if not isinstance(prewarm, bool):
-            raise ConfigurationError(f"{ctx}: prewarm must be a boolean, got {prewarm!r}")
+            raise ConfigurationError(
+                f"{ctx}: prewarm must be a boolean, got {prewarm!r}{_at(ctx, 'prewarm')}"
+            )
         section = cls(
             capacity=capacity,
             policy=policy,
@@ -459,7 +547,7 @@ class CacheSection:
         try:
             section.build_spec().validate()
         except Exception as exc:
-            raise ConfigurationError(f"{ctx}: {exc}") from exc
+            raise ConfigurationError(f"{ctx}: {exc}{_at(ctx)}") from exc
         return section
 
     def build_spec(self):
@@ -536,11 +624,14 @@ class DataSection:
         try:
             size = parse_bytes(data.get("dataset_size", 50e9))
         except Exception as exc:
-            raise ConfigurationError(f"{ctx}: dataset_size: {exc}") from exc
+            raise ConfigurationError(
+                f"{ctx}: dataset_size: {exc}{_at(ctx, 'dataset_size')}"
+            ) from exc
         assignment = data.get("assignment", "round_robin")
         if assignment not in ("round_robin", "zipf"):
             raise ConfigurationError(
                 f"{ctx}: assignment must be round_robin|zipf, got {assignment!r}"
+                f"{_at(ctx, 'assignment')}"
             )
         section = cls(
             datasets=_int_field(data, "datasets", 20, ctx, minimum=1),
@@ -550,15 +641,19 @@ class DataSection:
             assignment=assignment,
             zipf_exponent=_float_field(data, "zipf_exponent", 1.2, ctx),
             cache=(
-                CacheSection.from_dict(data["cache"], f"{ctx}: cache")
+                CacheSection.from_dict(data["cache"], _child(ctx, "cache", "cache"))
                 if data.get("cache") is not None
                 else None
             ),
         )
         if section.dataset_size <= 0:
-            raise ConfigurationError(f"{ctx}: dataset_size must be positive")
+            raise ConfigurationError(
+                f"{ctx}: dataset_size must be positive{_at(ctx, 'dataset_size')}"
+            )
         if section.zipf_exponent <= 0:
-            raise ConfigurationError(f"{ctx}: zipf_exponent must be positive")
+            raise ConfigurationError(
+                f"{ctx}: zipf_exponent must be positive{_at(ctx, 'zipf_exponent')}"
+            )
         return section
 
     def dataset_catalog(self) -> Dict[str, float]:
@@ -618,11 +713,12 @@ class CalibrationSection:
         if section.optimizer not in ("random", "bayesian", "cmaes", "brute_force"):
             raise ConfigurationError(
                 f"{ctx}: optimizer must be one of random|bayesian|cmaes|brute_force, "
-                f"got {section.optimizer!r}"
+                f"got {section.optimizer!r}{_at(ctx, 'optimizer')}"
             )
         if section.mode not in ("simulate", "analytic"):
             raise ConfigurationError(
                 f"{ctx}: mode must be simulate|analytic, got {section.mode!r}"
+                f"{_at(ctx, 'mode')}"
             )
         return section
 
@@ -658,19 +754,27 @@ class SweepSection:
     def from_dict(cls, data: Any, ctx: str) -> "SweepSection":
         data = _require_mapping(data, ctx)
         _reject_unknown(data, ["axes", "replications", "workers", "metrics"], ctx)
-        axes = _require_mapping(data.get("axes", {}), f"{ctx}: axes")
+        axes_ctx = _child(ctx, "axes", "axes")
+        axes = _require_mapping(data.get("axes", {}), axes_ctx)
         if not axes:
-            raise ConfigurationError(f"{ctx}: axes must name at least one sweep axis")
+            raise ConfigurationError(
+                f"{ctx}: axes must name at least one sweep axis{_at(axes_ctx)}"
+            )
         for path, values in axes.items():
             if not isinstance(path, str) or not path:
-                raise ConfigurationError(f"{ctx}: axis names must be dotted paths")
+                raise ConfigurationError(
+                    f"{ctx}: axis names must be dotted paths{_at(axes_ctx)}"
+                )
             if not isinstance(values, list) or not values:
                 raise ConfigurationError(
                     f"{ctx}: axis {path!r} must list at least one value"
+                    f"{_at(axes_ctx, path)}"
                 )
         metrics = data.get("metrics", list(DEFAULT_SWEEP_METRICS))
         if not isinstance(metrics, list) or not all(isinstance(m, str) for m in metrics):
-            raise ConfigurationError(f"{ctx}: metrics must be a list of metric names")
+            raise ConfigurationError(
+                f"{ctx}: metrics must be a list of metric names{_at(ctx, 'metrics')}"
+            )
         return cls(
             axes={path: list(values) for path, values in axes.items()},
             replications=_int_field(data, "replications", 1, ctx, minimum=1),
@@ -809,12 +913,15 @@ class ScenarioPack:
             where = f" ({source})" if source else ""
             raise ConfigurationError(
                 f"scenario pack{where}: 'name' is required and must be a string"
+                " (at /name)"
             )
-        ctx = f"scenario pack {name!r}"
+        ctx = _Ctx(f"scenario pack {name!r}")
         _reject_unknown(data, cls.KNOWN_FIELDS, ctx)
         tags = data.get("tags", [])
         if not isinstance(tags, list) or not all(isinstance(t, str) for t in tags):
-            raise ConfigurationError(f"{ctx}: tags must be a list of strings")
+            raise ConfigurationError(
+                f"{ctx}: tags must be a list of strings{_at(ctx, 'tags')}"
+            )
 
         execution_data = data.get("execution", {})
         if isinstance(execution_data, str):
@@ -823,37 +930,43 @@ class ScenarioPack:
 
             execution = load_execution(_resolve(base, execution_data))
         else:
-            _require_mapping(execution_data, f"{ctx}: execution")
+            _require_mapping(execution_data, ctx.child("execution", "execution"))
             try:
                 execution = ExecutionConfig.from_dict(execution_data)
             except ConfigurationError as exc:
-                raise ConfigurationError(f"{ctx}: {exc}") from exc
+                raise ConfigurationError(
+                    f"{ctx}: {exc}{_at(ctx, 'execution')}"
+                ) from exc
 
         pack = cls(
             name=name,
             title=str(data.get("title", "")),
             description=str(data.get("description", "")),
             tags=list(tags),
-            grid=GridSection.from_dict(data.get("grid", {}), f"{ctx}: grid"),
-            workload=WorkloadSection.from_dict(data.get("workload", {}), f"{ctx}: workload"),
+            grid=GridSection.from_dict(data.get("grid", {}), ctx.child("grid", "grid")),
+            workload=WorkloadSection.from_dict(
+                data.get("workload", {}), ctx.child("workload", "workload")
+            ),
             execution=execution,
             faults=(
-                FaultsSection.from_dict(data["faults"], f"{ctx}: faults")
+                FaultsSection.from_dict(data["faults"], ctx.child("faults", "faults"))
                 if data.get("faults") is not None
                 else None
             ),
             data=(
-                DataSection.from_dict(data["data"], f"{ctx}: data")
+                DataSection.from_dict(data["data"], ctx.child("data", "data"))
                 if data.get("data") is not None
                 else None
             ),
             calibration=(
-                CalibrationSection.from_dict(data["calibration"], f"{ctx}: calibration")
+                CalibrationSection.from_dict(
+                    data["calibration"], ctx.child("calibration", "calibration")
+                )
                 if data.get("calibration") is not None
                 else None
             ),
             sweep=(
-                SweepSection.from_dict(data["sweep"], f"{ctx}: sweep")
+                SweepSection.from_dict(data["sweep"], ctx.child("sweep", "sweep"))
                 if data.get("sweep") is not None
                 else None
             ),
@@ -862,10 +975,12 @@ class ScenarioPack:
         if pack.calibration is not None and pack.sweep is not None:
             raise ConfigurationError(
                 f"{ctx}: 'calibration' and 'sweep' are mutually exclusive"
+                f"{_at(ctx, 'sweep')}"
             )
         if pack.calibration is not None and (pack.faults or pack.data):
             raise ConfigurationError(
                 f"{ctx}: calibration packs do not support 'faults' or 'data' sections"
+                f"{_at(ctx, 'calibration')}"
             )
         if pack.sweep is not None:
             pack._validate_sweep_axes(data)
@@ -875,13 +990,16 @@ class ScenarioPack:
         """Dry-apply every axis value so a bad one fails at validate time."""
         assert self.sweep is not None
         base = {k: v for k, v in data.items() if k != "sweep"}
+        axes_pointer = join_pointer(["sweep", "axes"])
         for path, values in self.sweep.axes.items():
+            pointer = axes_pointer + join_pointer([path])
             if path.split(".")[0] in ("name", "title", "description", "tags", "sweep"):
                 raise ConfigurationError(
                     f"scenario pack {self.name!r}: sweep: axis {path!r} must target "
                     "a simulation field (grid/workload/execution/faults/data)"
+                    f" (at {pointer})"
                 )
-            for value in values:
+            for index, value in enumerate(values):
                 try:
                     candidate = apply_overrides(base, {path: value})
                     ScenarioPack.from_dict(candidate, source=self.source_path)
@@ -889,6 +1007,7 @@ class ScenarioPack:
                     raise ConfigurationError(
                         f"scenario pack {self.name!r}: sweep: axis {path!r} "
                         f"value {value!r} is invalid: {exc}"
+                        f" (at {pointer + join_pointer([index])})"
                     ) from None
 
     def with_overrides(self, overrides: Dict[str, Any]) -> "ScenarioPack":

@@ -1,0 +1,319 @@
+"""Dependency-free validator for the generated scenario-pack JSON Schema.
+
+The container ships no ``jsonschema`` package, so the project validates
+against its own schema with this module: a deliberate *subset* of JSON
+Schema draft 2020-12 covering exactly the keywords
+:func:`repro.schema.generator.build_schema` emits (``type``, ``enum``,
+``const``, ``properties``/``required``/``additionalProperties``/
+``propertyNames``, ``items``, numeric and string bounds, ``anyOf``/
+``allOf``/``not``, ``if``/``then``/``else`` and internal ``$ref``).  An
+unknown constraint keyword raises instead of being silently ignored, so the
+generator cannot outgrow the validator unnoticed.
+
+Every violation is reported as a :class:`SchemaError` carrying the RFC 6901
+JSON pointer of the offending value -- the same addressing scheme the eager
+:class:`~repro.scenarios.ScenarioPack` validation uses in its
+``(at /workload/jobs)`` error suffixes -- so editors, CI annotations and
+tests consume one path syntax regardless of which validator fired.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.jsonpointer import join_pointer
+
+__all__ = ["SchemaError", "validate_instance", "validate_pack_dict"]
+
+#: Constraint keywords this validator understands.  ``$ref`` resolution and
+#: annotation keywords (title/description/default/...) are handled separately.
+_SUPPORTED = {
+    "type", "enum", "const", "pattern", "minLength", "maxLength",
+    "minimum", "maximum", "exclusiveMinimum", "exclusiveMaximum",
+    "multipleOf", "properties", "required", "additionalProperties",
+    "patternProperties", "propertyNames", "minProperties", "maxProperties",
+    "dependentRequired", "items", "minItems", "maxItems", "uniqueItems",
+    "anyOf", "allOf", "oneOf", "not", "if", "then", "else",
+}
+
+#: Annotation-only keywords (ignored for validation).
+_ANNOTATIONS = {
+    "$schema", "$id", "$defs", "$comment", "title", "description",
+    "default", "version", "examples", "deprecated",
+}
+
+
+@dataclass(frozen=True)
+class SchemaError:
+    """One schema violation: a JSON pointer plus a human-readable message.
+
+    ``pointer`` addresses the offending value inside the validated instance
+    (RFC 6901, ``""`` for the document root); ``message`` explains the
+    violated constraint.  ``str()`` renders the canonical ``message (at
+    /pointer)`` form that matches the eager validator's error suffixes.
+    """
+
+    pointer: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.message} (at {self.pointer or '/'})"
+
+
+def _type_name(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, int):
+        return "integer"
+    if isinstance(value, float):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, list):
+        return "array"
+    if isinstance(value, dict):
+        return "object"
+    return type(value).__name__
+
+
+def _matches_type(value: Any, expected: str) -> bool:
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    return _type_name(value) == expected
+
+
+def _resolve_ref(ref: str, root: Dict[str, Any]) -> Dict[str, Any]:
+    if not ref.startswith("#/"):
+        raise ConfigurationError(f"unsupported external $ref {ref!r}")
+    node: Any = root
+    for token in ref[2:].split("/"):
+        token = token.replace("~1", "/").replace("~0", "~")
+        if not isinstance(node, dict) or token not in node:
+            raise ConfigurationError(f"unresolvable $ref {ref!r}")
+        node = node[token]
+    return node
+
+
+def _comment(schema: Dict[str, Any], fallback: str) -> str:
+    """Prefer the schema's ``$comment`` as the violation message when present."""
+    return schema.get("$comment", fallback)
+
+
+def _validate(value: Any, schema: Any, root: Dict[str, Any], pointer: str,
+              errors: List[SchemaError]) -> None:
+    if schema is True or schema == {}:
+        return
+    if schema is False:
+        errors.append(SchemaError(pointer, "value is not allowed here"))
+        return
+    if not isinstance(schema, dict):
+        raise ConfigurationError(f"invalid schema node at {pointer or '/'}: {schema!r}")
+
+    unknown = set(schema) - _SUPPORTED - _ANNOTATIONS - {"$ref"}
+    if unknown:
+        raise ConfigurationError(
+            f"schema uses unsupported keywords {sorted(unknown)} (at {pointer or '/'})"
+        )
+
+    if "$ref" in schema:
+        _validate(value, _resolve_ref(schema["$ref"], root), root, pointer, errors)
+
+    if "type" in schema:
+        expected = schema["type"]
+        options = expected if isinstance(expected, list) else [expected]
+        if not any(_matches_type(value, option) for option in options):
+            errors.append(SchemaError(
+                pointer,
+                f"expected {' or '.join(options)}, got {_type_name(value)}",
+            ))
+            return  # further constraints assume the right type
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(SchemaError(
+            pointer, f"{value!r} is not one of {schema['enum']}"))
+    if "const" in schema and value != schema["const"]:
+        errors.append(SchemaError(pointer, f"expected {schema['const']!r}, got {value!r}"))
+
+    if isinstance(value, str):
+        if "pattern" in schema and not re.search(schema["pattern"], value):
+            errors.append(SchemaError(
+                pointer, _comment(schema, f"{value!r} does not match {schema['pattern']!r}")))
+        if "minLength" in schema and len(value) < schema["minLength"]:
+            errors.append(SchemaError(
+                pointer, f"string shorter than {schema['minLength']} characters"))
+        if "maxLength" in schema and len(value) > schema["maxLength"]:
+            errors.append(SchemaError(
+                pointer, f"string longer than {schema['maxLength']} characters"))
+
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(SchemaError(pointer, f"{value!r} is less than minimum {schema['minimum']}"))
+        if "maximum" in schema and value > schema["maximum"]:
+            errors.append(SchemaError(pointer, f"{value!r} is greater than maximum {schema['maximum']}"))
+        if "exclusiveMinimum" in schema and value <= schema["exclusiveMinimum"]:
+            errors.append(SchemaError(
+                pointer, f"{value!r} must be greater than {schema['exclusiveMinimum']}"))
+        if "exclusiveMaximum" in schema and value >= schema["exclusiveMaximum"]:
+            errors.append(SchemaError(
+                pointer, f"{value!r} must be less than {schema['exclusiveMaximum']}"))
+        if "multipleOf" in schema and value % schema["multipleOf"] != 0:
+            errors.append(SchemaError(pointer, f"{value!r} is not a multiple of {schema['multipleOf']}"))
+
+    if isinstance(value, dict):
+        _validate_object(value, schema, root, pointer, errors)
+    if isinstance(value, list):
+        _validate_array(value, schema, root, pointer, errors)
+
+    for keyword in ("anyOf", "oneOf"):
+        if keyword in schema:
+            matches, branch_errors = 0, []
+            for branch in schema[keyword]:
+                candidate: List[SchemaError] = []
+                _validate(value, branch, root, pointer, candidate)
+                if not candidate:
+                    matches += 1
+                else:
+                    branch_errors.append(candidate)
+            if matches == 0:
+                errors.extend(_best_branch(pointer, branch_errors))
+            elif keyword == "oneOf" and matches > 1:
+                errors.append(SchemaError(pointer, f"matches {matches} oneOf branches, expected 1"))
+    if "allOf" in schema:
+        for branch in schema["allOf"]:
+            _validate(value, branch, root, pointer, errors)
+    if "not" in schema:
+        candidate = []
+        _validate(value, schema["not"], root, pointer, candidate)
+        if not candidate:
+            errors.append(SchemaError(
+                pointer, _comment(schema, _comment(schema["not"], "matches a forbidden form"))))
+    if "if" in schema:
+        candidate = []
+        _validate(value, schema["if"], root, pointer, candidate)
+        branch = schema.get("then") if not candidate else schema.get("else")
+        if branch is not None:
+            before = len(errors)
+            _validate(value, branch, root, pointer, errors)
+            comment = _comment(branch, "") if isinstance(branch, dict) else ""
+            if comment and len(errors) > before:
+                errors[before:] = [
+                    SchemaError(err.pointer, f"{err.message} ({comment})")
+                    for err in errors[before:]
+                ]
+
+
+def _validate_object(value: Dict[str, Any], schema: Dict[str, Any], root: Dict[str, Any],
+                     pointer: str, errors: List[SchemaError]) -> None:
+    properties = schema.get("properties", {})
+    pattern_properties = schema.get("patternProperties", {})
+    for name in schema.get("required", []):
+        if name not in value:
+            errors.append(SchemaError(
+                pointer + join_pointer([name]), f"required field {name!r} is missing"))
+    for name, required in schema.get("dependentRequired", {}).items():
+        if name in value:
+            for other in required:
+                if other not in value:
+                    errors.append(SchemaError(
+                        pointer + join_pointer([other]),
+                        f"field {other!r} is required when {name!r} is present"))
+    if "minProperties" in schema and len(value) < schema["minProperties"]:
+        errors.append(SchemaError(
+            pointer, f"object needs at least {schema['minProperties']} entries"))
+    if "maxProperties" in schema and len(value) > schema["maxProperties"]:
+        errors.append(SchemaError(
+            pointer, f"object allows at most {schema['maxProperties']} entries"))
+    for name, item in value.items():
+        child = pointer + join_pointer([name])
+        if "propertyNames" in schema:
+            name_errors: List[SchemaError] = []
+            _validate(name, schema["propertyNames"], root, child, name_errors)
+            if name_errors:
+                errors.append(SchemaError(
+                    child,
+                    _comment(schema["propertyNames"], f"invalid property name {name!r}")))
+        matched = False
+        if name in properties:
+            matched = True
+            _validate(item, properties[name], root, child, errors)
+        for pattern, subschema in pattern_properties.items():
+            if re.search(pattern, name):
+                matched = True
+                _validate(item, subschema, root, child, errors)
+        if not matched:
+            additional = schema.get("additionalProperties", True)
+            if additional is False:
+                known = sorted(properties)
+                errors.append(SchemaError(
+                    child, f"unknown field {name!r}; known fields: {known}"))
+            elif additional is not True:
+                _validate(item, additional, root, child, errors)
+
+
+def _validate_array(value: List[Any], schema: Dict[str, Any], root: Dict[str, Any],
+                    pointer: str, errors: List[SchemaError]) -> None:
+    if "minItems" in schema and len(value) < schema["minItems"]:
+        errors.append(SchemaError(pointer, f"array needs at least {schema['minItems']} items"))
+    if "maxItems" in schema and len(value) > schema["maxItems"]:
+        errors.append(SchemaError(pointer, f"array allows at most {schema['maxItems']} items"))
+    if schema.get("uniqueItems") and any(
+        value[i] == value[j] for i in range(len(value)) for j in range(i + 1, len(value))
+    ):
+        errors.append(SchemaError(pointer, "array items must be unique"))
+    if "items" in schema:
+        for index, item in enumerate(value):
+            _validate(item, schema["items"], root, pointer + join_pointer([index]), errors)
+
+
+def _best_branch(pointer: str, branch_errors: List[List[SchemaError]]) -> List[SchemaError]:
+    """Errors of the anyOf branch that matched deepest (fewest, then deepest).
+
+    Reporting every branch's failures for a simple type mismatch buries the
+    signal; the branch whose errors sit deepest in the instance is the one
+    the author most plausibly intended.
+    """
+    if not branch_errors:
+        return [SchemaError(pointer, "matches no allowed form")]
+    def depth(errs: List[SchemaError]) -> int:
+        return max(err.pointer.count("/") for err in errs)
+    best = max(branch_errors, key=lambda errs: (depth(errs), -len(errs)))
+    if len(branch_errors) > 1 and depth(best) == pointer.count("/"):
+        # No branch got past the top level: summarise instead of listing
+        # one arbitrary branch's type complaint.
+        summaries = sorted({err.message for errs in branch_errors for err in errs})
+        return [SchemaError(pointer, "matches no allowed form: " + "; ".join(summaries))]
+    return best
+
+
+def validate_instance(instance: Any, schema: Dict[str, Any]) -> List[SchemaError]:
+    """Validate ``instance`` against ``schema``; return every violation found.
+
+    Returns an empty list when the instance conforms.  Violations carry
+    JSON-pointer paths into the instance; the list is ordered
+    document-first.  Raises :class:`~repro.utils.errors.ConfigurationError`
+    if the schema itself uses a keyword outside the supported subset.
+    """
+    errors: List[SchemaError] = []
+    _validate(instance, schema, schema, "", errors)
+    return errors
+
+
+def validate_pack_dict(data: Any, schema: Optional[Dict[str, Any]] = None) -> List[SchemaError]:
+    """Validate a parsed scenario-pack mapping against the generated schema.
+
+    Convenience wrapper used by ``repro schema validate`` and the tests:
+    builds the current schema via :func:`repro.schema.build_schema` unless
+    one is passed in, and returns the :class:`SchemaError` list from
+    :func:`validate_instance`.
+    """
+    if schema is None:
+        from repro.schema.generator import build_schema
+
+        schema = build_schema()
+    return validate_instance(instance=data, schema=schema)

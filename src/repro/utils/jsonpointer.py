@@ -1,0 +1,60 @@
+"""RFC 6901 JSON-pointer helpers shared by validation and schema tooling.
+
+Scenario-pack validation (:mod:`repro.scenarios.schema`), the generated
+JSON Schema validator (:mod:`repro.schema`) and the CLI all address fields
+inside a pack document with the same syntax -- a JSON pointer such as
+``/workload/spec/multicore_fraction`` -- so an error reported by any one of
+them can be matched verbatim against the others (and consumed by editors or
+CI annotations).  This module is the single implementation of the escaping
+and joining rules; it deliberately has no imports from either consumer to
+keep the dependency graph acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Union
+
+__all__ = ["escape_token", "unescape_token", "join_pointer", "split_pointer"]
+
+
+def escape_token(token: Union[str, int]) -> str:
+    """Escape one reference token per RFC 6901 (``~`` -> ``~0``, ``/`` -> ``~1``).
+
+    Integer tokens (array indices) pass through as their decimal form.
+    """
+    if isinstance(token, int):
+        return str(token)
+    return token.replace("~", "~0").replace("/", "~1")
+
+
+def unescape_token(token: str) -> str:
+    """Invert :func:`escape_token` (``~1`` -> ``/`` then ``~0`` -> ``~``).
+
+    The replacement order matters: ``~01`` must decode to ``~1`` (a literal
+    tilde followed by ``1``), not to ``/``.
+    """
+    return token.replace("~1", "/").replace("~0", "~")
+
+
+def join_pointer(parts: Iterable[Union[str, int]]) -> str:
+    """Build a JSON pointer from unescaped reference tokens.
+
+    An empty iterable yields ``""`` -- the pointer addressing the whole
+    document, per the RFC.  Each part is escaped individually, so tokens
+    containing ``/`` or ``~`` round-trip through :func:`split_pointer`.
+    """
+    return "".join("/" + escape_token(part) for part in parts)
+
+
+def split_pointer(pointer: str) -> List[str]:
+    """Split a JSON pointer into its unescaped reference tokens.
+
+    The empty pointer maps to ``[]``; any other pointer must start with
+    ``/``.  Raises :class:`ValueError` for syntactically invalid pointers
+    rather than guessing, since pointers here come from our own tooling.
+    """
+    if pointer == "":
+        return []
+    if not pointer.startswith("/"):
+        raise ValueError(f"invalid JSON pointer (must start with '/'): {pointer!r}")
+    return [unescape_token(token) for token in pointer.split("/")[1:]]

@@ -370,3 +370,119 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         assert "transitions" in out
         assert "finished" in out
+
+
+class TestSchemaCommand:
+    """`cgsim schema emit/check/validate` and its error paths."""
+
+    def test_emit_prints_schema_json(self, capsys):
+        assert main(["schema", "emit"]) == 0
+        out = capsys.readouterr().out
+        data = json.loads(out)
+        assert data["$schema"].endswith("2020-12/schema")
+        assert data["required"] == ["name"]
+
+    def test_emit_writes_output_file(self, tmp_path, capsys):
+        target = tmp_path / "out" / "schema.json"
+        assert main(["schema", "emit", "--output", str(target)]) == 0
+        assert json.loads(target.read_text())["type"] == "object"
+        assert str(target) in capsys.readouterr().out
+
+    def test_emit_update_conflicts_with_output(self, tmp_path, capsys):
+        code = main(["schema", "emit", "--update", "--output", str(tmp_path / "x")])
+        assert code == 1
+        assert "drop --output" in capsys.readouterr().err
+
+    def test_check_green_when_committed_copy_matches(self, tmp_path, capsys, monkeypatch):
+        from repro.schema import schema_json
+
+        committed = tmp_path / "schema.json"
+        committed.write_text(schema_json(), encoding="utf-8")
+        monkeypatch.setattr("repro.schema.schema_path", lambda: committed)
+        assert main(["schema", "check"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_check_detects_drift_and_names_remedy(self, tmp_path, capsys, monkeypatch):
+        committed = tmp_path / "schema.json"
+        committed.write_text("{\"stale\": true}\n", encoding="utf-8")
+        monkeypatch.setattr("repro.schema.schema_path", lambda: committed)
+        assert main(["schema", "check"]) == 1
+        err = capsys.readouterr().err
+        assert "DRIFT" in err
+        assert "schema.json" in err
+        assert "emit --update" in err
+
+    def test_check_missing_committed_copy_is_an_error(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setattr("repro.schema.schema_path", lambda: tmp_path / "gone.json")
+        assert main(["schema", "check"]) == 1
+        assert "gone.json" in capsys.readouterr().err
+
+    def test_validate_accepts_bundled_pack_by_name(self, capsys):
+        assert main(["schema", "validate", "wlcg-baseline"]) == 0
+        assert "OK    wlcg-baseline" in capsys.readouterr().out
+
+    def test_validate_malformed_pack_names_file_and_pointer(self, tmp_path, capsys):
+        bad = tmp_path / "bad-pack.json"
+        bad.write_text(json.dumps({
+            "name": "bad",
+            "grid": {"kind": "synthetic", "sites": 3},
+            "workload": {"generator": "synthetic", "jobs": 0},
+            "execution": {"plugin": "least_loaded"},
+        }), encoding="utf-8")
+        assert main(["schema", "validate", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "bad-pack.json" in out
+        assert "(at /workload/jobs)" in out
+
+    def test_validate_unparseable_file_fails_naming_it(self, tmp_path, capsys):
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json", encoding="utf-8")
+        assert main(["schema", "validate", str(broken)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "broken.json" in out
+
+    def test_validate_unknown_pack_name_fails_naming_it(self, capsys):
+        assert main(["schema", "validate", "no-such-pack"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "no-such-pack" in out
+
+
+class TestConformanceCommand:
+    """`cgsim conformance run` happy path and error paths."""
+
+    def test_single_plugin_text_report(self, capsys):
+        code = main(["conformance", "run", "--family", "eviction",
+                     "--plugin", "lru", "--no-subprocess"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS  eviction/lru" in out
+        assert "1/1 plugins conform" in out
+
+    def test_json_output_is_parseable(self, capsys):
+        code = main(["conformance", "run", "--family", "replication",
+                     "--plugin", "static_n", "--json", "--no-subprocess"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["plugin"] == "static_n"
+        assert data[0]["ok"] is True
+
+    def test_failing_plugin_exits_nonzero_naming_invariant(self, capsys):
+        code = main(["conformance", "run", "--family", "eviction",
+                     "--plugin", "repro.conformance.demo:WobblyEviction",
+                     "--no-subprocess"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "repeat_determinism" in out and "no_global_rng" in out
+
+    def test_unknown_plugin_exits_nonzero_naming_it(self, capsys):
+        code = main(["conformance", "run", "--family", "eviction",
+                     "--plugin", "definitely_absent"])
+        assert code == 1
+        assert "definitely_absent" in capsys.readouterr().err
+
+    def test_unknown_family_is_rejected_by_the_parser(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["conformance", "run", "--family", "bogus"])
+        assert excinfo.value.code != 0
+        assert "bogus" in capsys.readouterr().err

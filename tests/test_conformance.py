@@ -1,0 +1,191 @@
+"""Tests for the plugin conformance suite (repro.conformance).
+
+The acceptance contract: every bundled plugin passes the full battery
+(including the subprocess ``PYTHONHASHSEED`` sweep), and the deliberately
+broken demo plugins fail with reports naming the violated invariant --
+``WobblyEviction`` trips ``repeat_determinism``/``no_global_rng`` (it draws
+from the global NumPy RNG), ``HashOrderedEviction`` trips only
+``hashseed_determinism`` (it leaks ``set`` iteration order, invisible
+inside one interpreter).  Plus report-shape, selection-error and
+skip-semantics coverage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance import (
+    CONFORMANCE_FAMILIES,
+    CheckOutcome,
+    ConformanceReport,
+    behaviour_digest,
+    family_checks,
+    render_reports,
+    run_conformance,
+)
+from repro.plugins.registry import available_plugins
+from repro.utils.errors import ConfigurationError
+
+WOBBLY = "repro.conformance.demo:WobblyEviction"
+HASH_ORDERED = "repro.conformance.demo:HashOrderedEviction"
+
+
+def _by_plugin(reports):
+    return {(r.family, r.plugin): r for r in reports}
+
+
+class TestReportShape:
+    def test_outcome_rejects_bad_status(self):
+        with pytest.raises(ValueError, match="invalid check status"):
+            CheckOutcome("x", "maybe")
+
+    def test_report_ok_and_counts(self):
+        report = ConformanceReport("eviction", "lru", [
+            CheckOutcome("a", "pass"),
+            CheckOutcome("b", "skip", "stateless"),
+        ])
+        assert report.ok
+        assert report.counts == {"pass": 1, "fail": 0, "skip": 1}
+        assert report.failures() == []
+        report.checks.append(CheckOutcome("c", "fail", "broke"))
+        assert not report.ok
+        assert [o.check for o in report.failures()] == ["c"]
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        report = ConformanceReport("eviction", "lru", [CheckOutcome("a", "pass")])
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["family"] == "eviction"
+        assert data["ok"] is True
+        assert data["checks"][0] == {"check": "a", "status": "pass", "detail": ""}
+
+    def test_render_names_verdict_and_checks(self):
+        report = ConformanceReport("eviction", "lru", [
+            CheckOutcome("capacity_bounds", "fail", "used > capacity"),
+        ])
+        text = report.render()
+        assert text.startswith("FAIL  eviction/lru")
+        assert "capacity_bounds" in text and "used > capacity" in text
+
+    def test_summary_names_failing_plugins(self):
+        good = ConformanceReport("eviction", "lru", [CheckOutcome("a", "pass")])
+        bad = ConformanceReport("eviction", "wobbly", [CheckOutcome("a", "fail", "x")])
+        text = render_reports([good, bad])
+        assert "1/2 plugins conform" in text
+        assert "failing: eviction/wobbly" in text
+
+
+class TestSelectionErrors:
+    def test_unknown_family_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown conformance family 'bogus'"):
+            run_conformance(family="bogus")
+
+    def test_unknown_plugin_raises_naming_it(self):
+        with pytest.raises(ConfigurationError, match="unknown plugin 'nope'"):
+            run_conformance(family="eviction", plugin="nope", subprocess_checks=False)
+
+    def test_policy_aliases_allocation(self):
+        reports = run_conformance(
+            family="policy", plugin="least_loaded", subprocess_checks=False)
+        assert [(r.family, r.plugin) for r in reports] == [("allocation", "least_loaded")]
+
+    def test_behaviour_digest_unknown_family(self):
+        with pytest.raises(ConfigurationError, match="unknown conformance family"):
+            behaviour_digest("nope", "lru")
+
+    def test_family_checks_unknown_family(self):
+        with pytest.raises(ConfigurationError, match="unknown conformance family"):
+            family_checks("nope")
+
+
+class TestBundledPluginsConform:
+    """The acceptance gate: `--family all` is green for every bundled plugin."""
+
+    def test_full_battery_passes_for_all_bundled_plugins(self):
+        bundled = {
+            (family, name)
+            for family in CONFORMANCE_FAMILIES
+            for name in available_plugins(family)
+        }
+        reports = _by_plugin(run_conformance(family="all"))
+        assert bundled <= set(reports), "some bundled plugin was never exercised"
+        failing = {
+            key: reports[key].failures()
+            for key in bundled
+            if not reports[key].ok
+        }
+        assert not failing, render_reports(
+            [reports[key] for key in sorted(failing)])
+        # Every bundled plugin ran the subprocess hash-seed sweep for real.
+        for key in sorted(bundled):
+            checks = {o.check: o.status for o in reports[key].checks}
+            assert checks.get("hashseed_determinism") == "pass", (key, checks)
+
+    def test_replication_snapshot_check_is_skipped_not_failed(self):
+        reports = run_conformance(
+            family="replication", plugin="static_n", subprocess_checks=False)
+        (report,) = reports
+        assert report.ok
+        (skip,) = [o for o in report.checks if o.status == "skip"]
+        assert skip.check == "snapshot_restore"
+        assert "stateless" in skip.detail
+
+
+class TestDemoPluginsFail:
+    """The other acceptance gate: broken plugins fail, naming the invariant."""
+
+    def test_wobbly_eviction_fails_determinism_and_rng_watchdog(self):
+        (report,) = run_conformance(
+            family="eviction", plugin=WOBBLY, subprocess_checks=False)
+        assert not report.ok
+        failed = {o.check for o in report.failures()}
+        assert "repeat_determinism" in failed
+        assert "no_global_rng" in failed
+        detail = next(o.detail for o in report.failures()
+                      if o.check == "repeat_determinism")
+        assert "different behaviour digests" in detail
+
+    def test_hash_ordered_eviction_fails_only_across_hash_seeds(self):
+        (report,) = run_conformance(family="eviction", plugin=HASH_ORDERED)
+        assert not report.ok
+        failed = [o for o in report.failures()]
+        assert [o.check for o in failed] == ["hashseed_determinism"]
+        assert "PYTHONHASHSEED" in failed[0].detail
+        # ... and is otherwise indistinguishable from a healthy plugin.
+        in_process = {o.check: o.status for o in report.checks
+                      if o.check != "hashseed_determinism"}
+        assert set(in_process.values()) == {"pass"}
+
+
+class TestHarnessMechanics:
+    def test_instantiation_failure_skips_downstream_checks(self, monkeypatch):
+        import repro.plugins.registry as registry
+
+        real = registry.create_plugin
+
+        def exploding(family, spec, **options):
+            if spec == "lru":
+                raise RuntimeError("constructor exploded")
+            return real(family, spec, **options)
+
+        monkeypatch.setattr(registry, "create_plugin", exploding)
+        (report,) = run_conformance(
+            family="eviction", plugin="lru", subprocess_checks=False)
+        assert not report.ok
+        assert report.checks[0].check == "instantiation"
+        assert report.checks[0].status == "fail"
+        assert "constructor exploded" in report.checks[0].detail
+        assert report.checks[1:], "downstream checks must still be reported"
+        assert all(o.status == "skip" for o in report.checks[1:])
+
+    def test_digest_is_stable_across_calls(self):
+        assert behaviour_digest("eviction", "lru") == behaviour_digest("eviction", "lru")
+        assert (behaviour_digest("replication", "static_n")
+                != behaviour_digest("replication", "popularity"))
+
+    def test_dynamic_spec_unresolvable_anywhere_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown plugin"):
+            run_conformance(
+                family="all", plugin="no.such.module:Nothing",
+                subprocess_checks=False)

@@ -219,7 +219,7 @@ class TestCacheAblationPackParity:
                 for site in placement[dataset]:
                     simulator.data_manager.register_replica(dataset, site, 10e9)
 
-        manual = Simulator(
+        manual_simulator = Simulator(
             infrastructure,
             topology,
             ExecutionConfig(
@@ -228,8 +228,9 @@ class TestCacheAblationPackParity:
             ),
             enable_data_transfers=True,
             data_cache=cache_spec,
-            setup_hook=setup_hook,
-        ).run([job.copy_for_replay() for job in jobs])
+        )
+        manual_simulator.on_build(setup_hook)
+        manual = manual_simulator.run([job.copy_for_replay() for job in jobs])
 
         outcome = run_scenario_pack(
             "cache-ablation", workers=1, overrides=dict(SHRINK_OVERRIDES)

@@ -86,7 +86,8 @@ class TestGeneratedReference:
 
     def test_reference_covers_the_promised_packages(self):
         for module in ("repro.des", "repro.data", "repro.plugins",
-                       "repro.scenarios", "repro.experiments"):
+                       "repro.scenarios", "repro.schema", "repro.conformance",
+                       "repro.experiments"):
             page = DOCS_DIR / "reference" / f"{module.split('.', 1)[1]}.md"
             assert page.exists(), f"missing reference page for {module}"
             text = page.read_text(encoding="utf-8")
@@ -98,7 +99,8 @@ class TestGeneratedReference:
         import importlib
 
         for module_name in ("repro.des", "repro.data", "repro.plugins",
-                            "repro.scenarios", "repro.experiments"):
+                            "repro.scenarios", "repro.schema",
+                            "repro.conformance", "repro.experiments"):
             module = importlib.import_module(module_name)
             page = DOCS_DIR / "reference" / f"{module_name.split('.', 1)[1]}.md"
             listed = re.findall(r"^        - (\w+)$", page.read_text(encoding="utf-8"),

@@ -76,9 +76,12 @@ class TestSetupHook:
                 )
             )
 
-        simulator = Simulator(
-            two_site_infrastructure, execution=_quiet("least_loaded"), setup_hook=hook
-        )
+        # The deprecated keyword still works; it must warn exactly once at
+        # construction and then behave like an on_build callback.
+        with pytest.warns(DeprecationWarning, match="on_build"):
+            simulator = Simulator(
+                two_site_infrastructure, execution=_quiet("least_loaded"), setup_hook=hook
+            )
         simulator.run([Job(work=1e10)])
         assert seen == [(["FAR", "NEAR"], True, True)]
 
@@ -93,8 +96,8 @@ class TestSetupHook:
             slow_topology,
             _quiet(),
             enable_data_transfers=True,
-            setup_hook=hook,
         )
+        simulator.on_build(hook)
         result = simulator.run([_remote_input_job(compute_seconds=10.0, input_gb=2.0)])
         job = result.jobs[0]
         assert job.state is JobState.FINISHED
@@ -115,8 +118,8 @@ class TestStreamingIO:
             _quiet(),
             enable_data_transfers=True,
             streaming_io=streaming,
-            setup_hook=hook,
         )
+        simulator.on_build(hook)
         result = simulator.run([_remote_input_job(compute_seconds=150.0, input_gb=2.0)])
         assert result.metrics.finished_jobs == 1
         return result.jobs[0]

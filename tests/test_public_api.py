@@ -37,23 +37,27 @@ class TestPublicAPI:
         a paragraph, not a stub -- so `help()` and the docs site always have
         something to say.
         """
+        import repro.conformance
         import repro.data
         import repro.des
         import repro.experiments
         import repro.monitoring
         import repro.plugins
         import repro.scenarios
+        import repro.schema
         import repro.state
 
         thin = []
         surfaces = [
             (repro, repro.__all__),
+            (repro.conformance, repro.conformance.__all__),
             (repro.data, repro.data.__all__),
             (repro.des, repro.des.__all__),
             (repro.experiments, repro.experiments.__all__),
             (repro.monitoring, repro.monitoring.__all__),
             (repro.plugins, repro.plugins.__all__),
             (repro.scenarios, repro.scenarios.__all__),
+            (repro.schema, repro.schema.__all__),
             (repro.state, repro.state.__all__),
         ]
         for module, names in surfaces:

@@ -320,9 +320,8 @@ class TestReviewRegressions:
 
             sim.env.process(crasher())
 
-        simulator = Simulator(
-            infrastructure, topology, execution, setup_hook=sabotage
-        )
+        simulator = Simulator(infrastructure, topology, execution)
+        simulator.on_build(sabotage)
         with pytest.raises(RuntimeError, match="boom"):
             simulator.run(jobs)
         # The live sink was flushed, committed and closed on the way out.
