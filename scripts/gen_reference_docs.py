@@ -42,6 +42,7 @@ MODULES = [
     "repro.schema",
     "repro.conformance",
     "repro.experiments",
+    "repro.service",
 ]
 
 MARKER = (

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Refresh the generated WebSocket message reference in docs/service.md.
+
+docs/service.md is a hand-written page with one *generated block*: the
+WebSocket message reference, rendered from the wire dataclasses by
+:func:`repro.service.ws_message_reference` so the docs cannot drift from
+the models.  This script rewrites the text between the BEGIN/END markers
+in place; ``--check`` mode (used by CI's docs-build job and
+tests/test_docs.py) exits non-zero with a regeneration hint when the
+committed block is stale.
+
+Usage::
+
+    python scripts/gen_service_docs.py          # refresh the block
+    python scripts/gen_service_docs.py --check  # verify it is in sync
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+OUTPUT = REPO_ROOT / "docs" / "service.md"
+
+BEGIN = (
+    "<!-- BEGIN GENERATED FILE SECTION: ws-message-reference - do not edit\n"
+    "     by hand. Regenerate with: python scripts/gen_service_docs.py -->"
+)
+END = "<!-- END GENERATED FILE SECTION: ws-message-reference -->"
+
+
+def render_page(current: str) -> str:
+    """``current`` with the marker-delimited block regenerated."""
+    from repro.service import ws_message_reference
+
+    begin = current.find(BEGIN)
+    end = current.find(END)
+    if begin == -1 or end == -1 or end < begin:
+        raise SystemExit(
+            f"{OUTPUT} is missing the ws-message-reference markers; "
+            "restore the BEGIN/END GENERATED FILE SECTION comments"
+        )
+    block = BEGIN + "\n\n" + ws_message_reference().rstrip() + "\n\n"
+    return current[:begin] + block + current[end:]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if the committed block is out of sync")
+    args = parser.parse_args(argv)
+
+    current = OUTPUT.read_text(encoding="utf-8") if OUTPUT.exists() else ""
+    if not current:
+        print(f"{OUTPUT} does not exist", file=sys.stderr)
+        return 1
+    rendered = render_page(current)
+    if args.check:
+        if current != rendered:
+            print(
+                f"{OUTPUT} WS message reference is out of sync with "
+                "repro.service.models; "
+                "regenerate with: python scripts/gen_service_docs.py",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{OUTPUT} is in sync ({len(current.splitlines())} lines)")
+        return 0
+    OUTPUT.write_text(rendered, encoding="utf-8")
+    print(f"wrote {OUTPUT} ({len(rendered.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -305,13 +305,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "stderr, throttled to at most one every SECONDS of "
                           "wall-clock time (default 2)")
     scen_run.add_argument("--checkpoint-every", default=None, metavar="TIME",
-                          help="single-run packs: write a checkpoint blob every "
-                          "TIME simulated seconds (or a duration such as '6h')")
+                          help="write a checkpoint blob every TIME simulated "
+                          "seconds (or a duration such as '6h')")
     scen_run.add_argument("--checkpoint-dir", type=Path, default=None,
                           metavar="DIR",
-                          help="single-run packs: write checkpoint blobs to DIR "
-                          "and resume automatically from DIR/latest.ckpt when "
-                          "it matches this pack (crash-resumable studies)")
+                          help="write checkpoint blobs to DIR and resume "
+                          "automatically from its latest.ckpt when the blob "
+                          "matches this pack; sweep packs checkpoint each "
+                          "combination into its own DIR subdirectory "
+                          "(crash-resumable studies)")
 
     schema = sub.add_parser(
         "schema",
@@ -369,6 +371,86 @@ def build_parser() -> argparse.ArgumentParser:
     conf_run.add_argument("--no-subprocess", action="store_true",
                           help="skip the PYTHONHASHSEED subprocess sweep "
                           "(faster, but misses iteration-order bugs)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation service: an HTTP + WebSocket session server "
+        "that queues submitted scenario packs onto a pool of worker "
+        "processes, writes periodic checkpoint blobs to its artifact store "
+        "and prints the bound address on startup",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8641,
+                       help="TCP port to bind; 0 picks an ephemeral port "
+                       "(the bound port is printed on startup)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="size of the worker-process pool (default: 2)")
+    serve.add_argument("--store-root", type=Path, default=None, metavar="DIR",
+                       help="artifact-store directory for checkpoint blobs; "
+                       "default is a fresh temporary directory (printed on "
+                       "startup)")
+    serve.add_argument("--checkpoint-every", default=None, metavar="TIME",
+                       help="default checkpoint cadence in simulated seconds "
+                       "(or a duration such as '1h') for sessions that do "
+                       "not choose their own")
+    serve.add_argument("--max-attempts", type=int, default=5,
+                       help="per-session retry budget when workers die "
+                       "(default: 5)")
+
+    client = sub.add_parser(
+        "client",
+        help="talk to a running `cgsim serve` instance: submit scenario "
+        "packs, print session status, watch live event streams, stop "
+        "sessions",
+    )
+    client_sub = client.add_subparsers(dest="client_command", required=True)
+    connection = argparse.ArgumentParser(add_help=False)
+    connection.add_argument("--host", default="127.0.0.1",
+                            help="service host (default: 127.0.0.1)")
+    connection.add_argument("--port", type=int, default=8641,
+                            help="service port (default: 8641)")
+    cl_submit = client_sub.add_parser(
+        "submit", parents=[connection],
+        help="submit a scenario pack (file path or registry name) and print "
+        "the assigned session id; --watch streams its events until the "
+        "session ends",
+    )
+    cl_submit.add_argument("pack", help="pack file path or registry name")
+    cl_submit.add_argument("--priority", type=int, default=0,
+                           help="queue priority; higher runs first "
+                           "(default: 0)")
+    cl_submit.add_argument("--checkpoint-every", default=None, metavar="TIME",
+                           help="checkpoint cadence for this session in "
+                           "simulated seconds (or a duration such as '1h')")
+    cl_submit.add_argument("--label", default=None,
+                           help="free-form label echoed back in status output")
+    cl_submit.add_argument("--watch", action="store_true",
+                           help="after submitting, print the session's event "
+                           "stream until it reaches a terminal state")
+    cl_status = client_sub.add_parser(
+        "status", parents=[connection],
+        help="print one session's status document, or a one-line-per-session "
+        "table of every session the server knows",
+    )
+    cl_status.add_argument("session", nargs="?", default=None,
+                           help="session id; omit to list every session")
+    cl_status.add_argument("--json", action="store_true", dest="as_json",
+                           help="print the raw JSON document(s) instead of "
+                           "the table")
+    cl_watch = client_sub.add_parser(
+        "watch", parents=[connection],
+        help="subscribe to a session's WebSocket event stream and print one "
+        "line per state change, progress report, checkpoint and result",
+    )
+    cl_watch.add_argument("session", help="session id to watch")
+    cl_stop = client_sub.add_parser(
+        "stop", parents=[connection],
+        help="ask the service to stop a session (queued sessions stop "
+        "immediately, running ones at the next chunk boundary) and print "
+        "the resulting state",
+    )
+    cl_stop.add_argument("session", help="session id to stop")
     return parser
 
 
@@ -540,33 +622,15 @@ def _run_sharded_cli(args, infrastructure, topology, execution, jobs) -> int:
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
-    from repro.core.session import SimulationSession
-    from repro.state import decode_checkpoint
+    from repro.state import restore_session_from_blob
 
     if not args.checkpoint.exists():
         raise CGSimError(f"checkpoint blob not found: {args.checkpoint}")
     blob = args.checkpoint.read_bytes()
-    payload = decode_checkpoint(blob)
-    extra = payload.get("extra") or {}
-    factory = None
-    if isinstance(extra, dict) and extra.get("scenario_pack"):
-        # Scenario blobs carry their pack: rebuilding through the scenario
-        # runner re-registers the pack's build hooks (replica placement),
-        # which the embedded-config path cannot reconstruct.
-        from repro.scenarios.runner import _build_simulator
-        from repro.scenarios.schema import ScenarioPack
-
-        source = extra.get("scenario_source")
-        pack = ScenarioPack.from_dict(
-            extra["scenario_pack"], source=Path(source) if source else None
-        )
-
-        def factory():
-            return _build_simulator(pack)[0]
-
-    session = SimulationSession.restore(
-        factory, blob, monitoring="muted" if args.muted_replay else "replay"
+    session, payload = restore_session_from_blob(
+        blob, monitoring="muted" if args.muted_replay else "replay"
     )
+    extra = payload.get("extra") or {}
     print(
         f"restored from {args.checkpoint}: {session.progress().describe()}",
         file=sys.stderr,
@@ -861,10 +925,10 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             )
     checkpoint_dir = args.checkpoint_dir
     checkpoint_every = None
-    if checkpoint_dir is not None and pack.mode() != "single":
+    if checkpoint_dir is not None and pack.mode() == "calibration":
         print(
-            f"note: --checkpoint-dir applies to single-run packs only "
-            f"(this pack runs a {pack.mode()})",
+            "note: --checkpoint-dir applies to single-run and sweep packs "
+            "only (this pack runs a calibration)",
             file=sys.stderr,
         )
         checkpoint_dir = None
@@ -974,6 +1038,146 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     return 0 if all(report.ok for report in reports) else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation service in the foreground until SIGINT/SIGTERM."""
+    import asyncio
+    import signal
+
+    from repro.service import ServiceConfig, ServiceServer
+
+    checkpoint_every = None
+    if args.checkpoint_every is not None:
+        from repro.utils.units import parse_duration
+
+        checkpoint_every = parse_duration(args.checkpoint_every)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        store_root=str(args.store_root) if args.store_root is not None else None,
+        checkpoint_every=checkpoint_every,
+        max_attempts=args.max_attempts,
+    )
+
+    async def _serve() -> None:
+        server = ServiceServer(config)
+        await server.start()
+        print(
+            f"serving on http://{config.host}:{server.port} "
+            f"(workers={config.workers}, store={server.store.root})",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("shutting down: draining active sessions ...", flush=True)
+        await server.shutdown(drain=True)
+
+    asyncio.run(_serve())
+    print("service stopped")
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.host, args.port)
+
+
+def _watch_session(client, session_id: str) -> int:
+    """Print a session's event stream line by line until a terminal message."""
+    from repro.service.models import (
+        CheckpointMessage,
+        ErrorMessage,
+        ProgressMessage,
+        ResultMessage,
+        StateMessage,
+    )
+
+    status = 0
+    for message in client.watch(session_id):
+        if isinstance(message, StateMessage):
+            line = f"state={message.state} attempts={message.attempts}"
+            if message.detail:
+                line += f" ({message.detail})"
+        elif isinstance(message, ProgressMessage):
+            line = (
+                f"progress t={message.time:.0f}s "
+                f"{message.completed_jobs}/{message.total_jobs} jobs done"
+            )
+        elif isinstance(message, CheckpointMessage):
+            line = f"checkpoint {message.digest[:12]} t={message.time:.0f}s"
+        elif isinstance(message, ResultMessage):
+            line = (
+                f"result state={message.state} "
+                f"fingerprint={message.fingerprint} "
+                f"simulated_time={message.simulated_time}"
+            )
+        elif isinstance(message, ErrorMessage):
+            line = f"error {message.error}"
+            status = 1
+        else:  # pragma: no cover - future message kinds print their type
+            line = message.TYPE
+        print(f"[{session_id}] {line}", flush=True)
+    return status
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """Dispatch ``cgsim client submit/status/watch/stop`` against a server."""
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.client_command == "submit":
+            pack = _resolve_pack(args.pack)
+            view = client.submit(
+                pack.to_dict(),
+                priority=args.priority,
+                checkpoint_every=args.checkpoint_every,
+                label=args.label,
+            )
+            print(f"submitted {view['id']} state={view['state']}")
+            if args.watch:
+                return _watch_session(client, view["id"])
+            return 0
+        if args.client_command == "status":
+            if args.session is not None:
+                views = [client.status(args.session)]
+            else:
+                views = client.sessions()
+            if args.as_json:
+                print(json.dumps(views if args.session is None else views[0],
+                                 indent=2))
+                return 0
+            if not views:
+                print("no sessions")
+                return 0
+            for view in views:
+                fingerprint = view.get("fingerprint") or ""
+                print(
+                    f"{view['id']}  state={view['state']:<8} "
+                    f"attempts={view['attempts']} "
+                    f"checkpoints={view['checkpoints']}"
+                    + (f"  fingerprint={fingerprint}" if fingerprint else "")
+                )
+            return 0
+        if args.client_command == "watch":
+            return _watch_session(client, args.session)
+        if args.client_command == "stop":
+            view = client.stop(args.session)
+            print(f"{view['id']} state={view['state']}")
+            return 0
+        raise CGSimError(f"unknown client command {args.client_command!r}")
+    except ServiceError as exc:
+        raise CGSimError(f"service request failed: {exc}") from exc
+    except ConnectionError as exc:
+        raise CGSimError(
+            f"cannot reach service at {args.host}:{args.port}: {exc}"
+        ) from exc
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``cgsim`` command."""
     parser = build_parser()
@@ -992,6 +1196,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scenario": _cmd_scenario,
         "schema": _cmd_schema,
         "conformance": _cmd_conformance,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
     }
     try:
         return handlers[args.command](args)

@@ -334,7 +334,12 @@ def execute_scenario_spec(spec: RunSpec) -> RunResult:
         pack = ScenarioPack.from_dict(data, source=source)
         if spec.replicate:
             pack = pack.with_overrides(_replicate_seed_overrides(pack, spec))
-        metrics, extras, result = _run_single(pack)
+        checkpoint_dir = spec.params.get("checkpoint_dir")
+        metrics, extras, result = _run_single(
+            pack,
+            checkpoint_dir=Path(checkpoint_dir) if checkpoint_dir else None,
+            checkpoint_every=spec.params.get("checkpoint_every"),
+        )
         merged = metrics.to_dict()
         merged.update(extras)
         return RunResult(
@@ -362,13 +367,34 @@ def _axis_labels(axes: List[str]) -> Dict[str, str]:
     }
 
 
-def sweep_specs(pack: ScenarioPack) -> List[RunSpec]:
+def _spec_checkpoint_dir(base: Path, scenario: str, replicate: int) -> str:
+    """Per-spec checkpoint subdirectory: ``<base>/<sanitized scenario>/r<n>``.
+
+    Each axis combination x replicate gets its own directory so its
+    ``latest.ckpt`` can only ever be matched -- and resumed -- by the same
+    combination: the provenance guard in :func:`_resume_pack_session`
+    compares the blob's embedded pack dict against the *overridden* per-spec
+    pack, so even a blob planted in the wrong subdirectory starts the run
+    cold instead of replaying a different combination.
+    """
+    safe = "".join(c if c.isalnum() or c in "=.-" else "_" for c in scenario)
+    return str(Path(base) / (safe or "scenario") / f"r{replicate}")
+
+
+def sweep_specs(
+    pack: ScenarioPack,
+    checkpoint_dir: Optional[Path] = None,
+    checkpoint_every: Optional[float] = None,
+) -> List[RunSpec]:
     """Expand a sweep pack into the concrete :class:`RunSpec` list it runs.
 
     Scenario names join ``axis=value`` pairs (axis leaf names when
     unambiguous), and every scenario is replicated ``sweep.replications``
     times -- exactly the :func:`repro.experiments.scenario_grid` convention,
-    applied to pack paths instead of :class:`RunSpec` fields.
+    applied to pack paths instead of :class:`RunSpec` fields.  With
+    ``checkpoint_dir`` every spec checkpoints into -- and resumes from --
+    its own :func:`_spec_checkpoint_dir` subdirectory, making interrupted
+    sweeps crash-resumable run by run.
     """
     if pack.sweep is None:
         raise CGSimError(f"scenario pack {pack.name!r} declares no sweep section")
@@ -380,12 +406,18 @@ def sweep_specs(pack: ScenarioPack) -> List[RunSpec]:
     for combo in pack.sweep.combinations():
         scenario = ",".join(f"{labels[path]}={value}" for path, value in combo.items())
         for replicate in range(pack.sweep.replications):
+            params = {"pack": pack_dict, "overrides": dict(combo), "source": source}
+            if checkpoint_dir is not None:
+                params["checkpoint_dir"] = _spec_checkpoint_dir(
+                    checkpoint_dir, scenario, replicate
+                )
+                params["checkpoint_every"] = checkpoint_every
             specs.append(
                 RunSpec(
                     scenario=scenario,
                     replicate=replicate,
                     seed=pack.workload.seed,
-                    params={"pack": pack_dict, "overrides": dict(combo), "source": source},
+                    params=params,
                 )
             )
     return specs
@@ -608,7 +640,11 @@ def run_scenario_pack(
     if pack.sweep is not None:
         n_workers = pack.sweep.workers if workers is None else workers
         runner = SweepRunner(run_fn=execute_scenario_spec, n_workers=n_workers or None)
-        sweep = runner.run(sweep_specs(pack))
+        sweep = runner.run(
+            sweep_specs(
+                pack, checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every
+            )
+        )
         return ScenarioOutcome(
             pack=pack,
             mode="sweep",

@@ -22,7 +22,13 @@ This package pins that surface as a machine-readable contract:
   Hypothesis round-trip property tests).
 """
 
-from repro.schema.generator import SCHEMA_VERSION, build_schema, schema_json, schema_path
+from repro.schema.generator import (
+    SCHEMA_VERSION,
+    build_schema,
+    dataclass_schema,
+    schema_json,
+    schema_path,
+)
 from repro.schema.sampler import sample_pack
 from repro.schema.validator import SchemaError, validate_instance, validate_pack_dict
 
@@ -31,6 +37,7 @@ __all__ = [
     "build_schema",
     "schema_json",
     "schema_path",
+    "dataclass_schema",
     "SchemaError",
     "validate_instance",
     "validate_pack_dict",

@@ -30,7 +30,14 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
-__all__ = ["SCHEMA_VERSION", "SCHEMA_ID", "build_schema", "schema_json", "schema_path"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "SCHEMA_ID",
+    "build_schema",
+    "schema_json",
+    "schema_path",
+    "dataclass_schema",
+]
 
 #: Version of the scenario-pack schema document.  Bump the major part for
 #: breaking changes to the pack format, the minor part for additive ones.
@@ -629,3 +636,80 @@ def schema_json() -> str:
     compare the committed file byte-for-byte.
     """
     return json.dumps(build_schema(), indent=2) + "\n"
+
+
+def dataclass_schema(cls: Any) -> Dict[str, Any]:
+    """Generic dataclass -> JSON Schema object translation.
+
+    Powers the *service* wire-model schemas (:mod:`repro.service.models`):
+    every request/response dataclass becomes a closed object schema
+    (``additionalProperties: false``) whose property types come from the
+    field annotations -- ``int``/``float``/``str``/``bool``, ``Optional``
+    (an ``anyOf`` with ``null``), ``List``/``Dict`` containers and nested
+    dataclasses (inlined recursively).  Fields without defaults are
+    ``required``; JSON-encodable defaults are recorded; a field's
+    ``metadata={"description": ...}`` becomes its ``description`` and the
+    class docstring's first paragraph the object's.  The scenario-pack
+    schema itself stays hand-assembled (:func:`build_schema`) because it
+    encodes cross-field rules; this helper covers the plain-record shapes.
+    """
+    import typing
+
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"dataclass_schema needs a dataclass, got {cls!r}")
+    hints = typing.get_type_hints(cls)
+    defaults = _defaults(cls)
+    properties: Dict[str, Any] = {}
+    required: List[str] = []
+    for f in dataclasses.fields(cls):
+        schema = _annotation_schema(hints.get(f.name, Any))
+        description = f.metadata.get("description") if f.metadata else None
+        if description:
+            schema = {**schema, "description": str(description)}
+        properties[f.name] = _with_default(schema, defaults, f.name)
+        if (
+            f.default is dataclasses.MISSING
+            and f.default_factory is dataclasses.MISSING
+        ):
+            required.append(f.name)
+    document: Dict[str, Any] = {"type": "object"}
+    doc = _doc(cls)
+    if doc:
+        document["description"] = doc
+    document["properties"] = properties
+    if required:
+        document["required"] = required
+    document["additionalProperties"] = False
+    return document
+
+
+def _annotation_schema(annotation: Any) -> Dict[str, Any]:
+    """Schema fragment for one type annotation (the dataclass_schema walker)."""
+    import typing
+
+    if annotation is Any:
+        return {}
+    if dataclasses.is_dataclass(annotation):
+        return dataclass_schema(annotation)
+    origin = typing.get_origin(annotation)
+    args = typing.get_args(annotation)
+    if origin is typing.Union:
+        branches = []
+        for arg in args:
+            if arg is type(None):
+                branches.append({"type": "null"})
+            else:
+                branches.append(_annotation_schema(arg))
+        return branches[0] if len(branches) == 1 else {"anyOf": branches}
+    if origin in (list, tuple):
+        items = _annotation_schema(args[0]) if args else {}
+        return {"type": "array", "items": items} if items else {"type": "array"}
+    if origin is dict:
+        return {"type": "object"}
+    scalar = {bool: "boolean", int: "integer", float: "number", str: "string"}
+    if annotation in scalar:
+        return {"type": scalar[annotation]}
+    if annotation in (dict, list):
+        return {"type": "object" if annotation is dict else "array"}
+    # Unknown/exotic annotations stay unconstrained rather than guessed.
+    return {}

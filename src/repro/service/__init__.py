@@ -1,0 +1,72 @@
+"""Simulation-as-a-service: the multi-tenant session server layer.
+
+This package turns the reproduction's scenario runner into a long-lived
+service: an asyncio HTTP + WebSocket server (:mod:`repro.service.server`)
+accepts scenario-pack submissions, validates them against the published
+JSON Schema, queues them with strict-priority / FIFO-within-priority
+ordering (:mod:`repro.service.queue`) and executes them on a bounded pool
+of spawned worker processes (:mod:`repro.service.supervisor` /
+:mod:`repro.service.workers`).  Workers drive each study through the
+checkpoint loop of :mod:`repro.state`, writing periodic blobs into a
+content-addressed :class:`ArtifactStore` -- so a SIGKILLed worker's study
+resumes from its latest checkpoint on another worker with a bit-identical
+final :func:`~repro.state.fingerprint_result`, and a paused session can
+resume on a different process, or a different host sharing the store.
+
+Clients consume it through :class:`ServiceClient` (blocking REST + WS
+watch; ``cgsim serve`` / ``cgsim client`` wrap it on the command line),
+and tests boot the whole stack in-process through
+:class:`ServiceUnderTest` -- real sockets, real worker processes, zero
+sleeps.  Every wire document is a dataclass in
+:mod:`repro.service.models` whose JSON Schema is generated from the class
+itself; ``docs/service.md`` embeds the generated WebSocket message
+reference.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.harness import ServiceUnderTest, tiny_pack
+from repro.service.models import (
+    SESSION_STATES,
+    WS_MESSAGE_TYPES,
+    CheckpointMessage,
+    ErrorMessage,
+    ProgressMessage,
+    ResultMessage,
+    ServiceError,
+    SessionView,
+    StateMessage,
+    SubmitRequest,
+    WsMessage,
+    parse_ws_message,
+    ws_message_reference,
+)
+from repro.service.queue import JobQueue, JobRecord
+from repro.service.server import ServiceConfig, ServiceServer
+from repro.service.store import ArtifactError, ArtifactStore
+from repro.service.supervisor import WorkerSupervisor
+
+__all__ = [
+    "ServiceServer",
+    "ServiceConfig",
+    "ServiceClient",
+    "ServiceUnderTest",
+    "tiny_pack",
+    "ServiceError",
+    "SubmitRequest",
+    "SessionView",
+    "WsMessage",
+    "StateMessage",
+    "ProgressMessage",
+    "CheckpointMessage",
+    "ResultMessage",
+    "ErrorMessage",
+    "parse_ws_message",
+    "ws_message_reference",
+    "WS_MESSAGE_TYPES",
+    "SESSION_STATES",
+    "JobQueue",
+    "JobRecord",
+    "WorkerSupervisor",
+    "ArtifactStore",
+    "ArtifactError",
+]

@@ -1,0 +1,248 @@
+"""Blocking client of the simulation service: HTTP calls + WS event watch.
+
+:class:`ServiceClient` is the reference consumer of the service API --
+``cgsim client`` drives it from the command line, the in-process test
+harness (:mod:`repro.service.harness`) hands one to every test, and the
+throughput benchmark submits its fleet through it.  It is deliberately
+synchronous and dependency-free: plain :mod:`http.client` for the REST
+endpoints and a small socket-level WebSocket client (built on the same
+sans-IO codec in :mod:`repro.service.wire` the server uses) for
+:meth:`watch`.  Server-side :class:`~repro.service.models.ServiceError`
+responses are re-raised client-side with their status and details intact.
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import os
+import socket
+import struct
+from typing import Any, Dict, Iterator, List, Optional, Union
+from urllib.parse import urlencode
+
+from repro.service import wire
+from repro.service.models import (
+    ErrorMessage,
+    ResultMessage,
+    ServiceError,
+    WsMessage,
+    parse_ws_message,
+)
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to one running service at ``host:port`` (see module docstring).
+
+    Every call opens a fresh connection (the server is ``Connection:
+    close``), so a client instance is cheap, stateless and safe to share
+    across threads -- the concurrency tests submit from many threads
+    through one instance.  ``timeout`` bounds each socket operation;
+    long-polling :meth:`wait` extends it by the poll window.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    # -- REST ------------------------------------------------------------
+
+    def health(self) -> dict:
+        """``GET /v1/healthz``: liveness plus queue/worker headcounts."""
+        return self._request("GET", "/v1/healthz")
+
+    def submit(
+        self,
+        pack: dict,
+        *,
+        priority: int = 0,
+        checkpoint_every: Union[float, str, None] = None,
+        label: Optional[str] = None,
+    ) -> dict:
+        """``POST /v1/sessions``: queue a pack, return the session view."""
+        body: Dict[str, Any] = {"pack": pack, "priority": priority}
+        if checkpoint_every is not None:
+            body["checkpoint_every"] = checkpoint_every
+        if label is not None:
+            body["label"] = label
+        return self._request("POST", "/v1/sessions", body=body)
+
+    def sessions(self) -> List[dict]:
+        """``GET /v1/sessions``: every session view, in submission order."""
+        return self._request("GET", "/v1/sessions")["sessions"]
+
+    def status(self, session_id: str) -> dict:
+        """``GET /v1/sessions/{id}``: the current session view."""
+        return self._request("GET", f"/v1/sessions/{session_id}")
+
+    def wait(self, session_id: str, states: str = "terminal", timeout: float = 30.0) -> dict:
+        """Long-poll until the session reaches one of ``states`` (no sleeps).
+
+        ``states`` is a comma-separated list of session states or the
+        ``terminal`` alias.  Returns the view with ``wait_satisfied`` set;
+        raises :class:`ServiceError` when the verdict is negative so tests
+        fail loudly instead of asserting on a stale view.
+        """
+        query = urlencode({"wait": states, "timeout": timeout})
+        view = self._request(
+            "GET", f"/v1/sessions/{session_id}?{query}",
+            read_timeout=self.timeout + timeout,
+        )
+        if not view.get("wait_satisfied"):
+            raise ServiceError(
+                f"session {session_id} did not reach {states!r} within "
+                f"{timeout}s (state: {view.get('state')})",
+                status=409,
+            )
+        return view
+
+    def pause(self, session_id: str) -> dict:
+        """``POST /v1/sessions/{id}/pause``: checkpoint-and-yield the run."""
+        return self._request("POST", f"/v1/sessions/{session_id}/pause")
+
+    def resume(self, session_id: str) -> dict:
+        """``POST /v1/sessions/{id}/resume``: re-queue a paused session."""
+        return self._request("POST", f"/v1/sessions/{session_id}/resume")
+
+    def stop(self, session_id: str) -> dict:
+        """``POST /v1/sessions/{id}/stop``: stop the session (idempotent)."""
+        return self._request("POST", f"/v1/sessions/{session_id}/stop")
+
+    def finalize(self, session_id: str) -> dict:
+        """``POST /v1/sessions/{id}/finalize``: the full result document."""
+        return self._request("POST", f"/v1/sessions/{session_id}/finalize")
+
+    def hold(self) -> dict:
+        """``POST /v1/queue/hold``: freeze dispatch (testing hook)."""
+        return self._request("POST", "/v1/queue/hold")
+
+    def release(self) -> dict:
+        """``POST /v1/queue/release``: thaw dispatch and drain the queue."""
+        return self._request("POST", "/v1/queue/release")
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None,
+                 read_timeout: Optional[float] = None) -> dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=read_timeout or self.timeout
+        )
+        try:
+            payload = None if body is None else json.dumps(body).encode("utf-8")
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            document = json.loads(response.read().decode("utf-8"))
+        finally:
+            conn.close()
+        if response.status >= 400:
+            raise ServiceError(
+                document.get("error", f"HTTP {response.status}"),
+                status=response.status,
+                details=document.get("details"),
+            )
+        return document
+
+    # -- WebSocket -------------------------------------------------------
+
+    def watch(self, session_id: str, *, until_terminal: bool = True) -> Iterator[WsMessage]:
+        """Subscribe to ``/v1/sessions/{id}/events`` and yield messages.
+
+        New subscribers receive the session's full message history first
+        (the server replays it), then live events -- so a watcher attached
+        after the run ended still sees every state/checkpoint/result
+        message, which is what makes event-based tests deterministic.
+        With ``until_terminal`` the generator closes the socket and ends
+        after the ``result`` or ``error`` message.
+        """
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        try:
+            self._ws_handshake(sock, f"/v1/sessions/{session_id}/events")
+            while True:
+                frame = self._read_frame(sock)
+                if frame is None:
+                    return
+                opcode, payload = frame
+                if opcode == wire.OP_CLOSE:
+                    return
+                if opcode == wire.OP_PONG:
+                    continue
+                if opcode == wire.OP_PING:
+                    sock.sendall(
+                        wire.encode_frame(payload, opcode=wire.OP_PONG, mask=True)
+                    )
+                    continue
+                message = parse_ws_message(payload.decode("utf-8"))
+                yield message
+                if until_terminal and isinstance(message, (ResultMessage, ErrorMessage)):
+                    sock.sendall(
+                        wire.encode_frame(b"", opcode=wire.OP_CLOSE, mask=True)
+                    )
+                    return
+        finally:
+            sock.close()
+
+    def _ws_handshake(self, sock: socket.socket, path: str) -> None:
+        key = base64.b64encode(os.urandom(16)).decode("latin-1")
+        request = (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Upgrade: websocket\r\nConnection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\nSec-WebSocket-Version: 13\r\n\r\n"
+        )
+        sock.sendall(request.encode("latin-1"))
+        status_line = self._read_line(sock)
+        if b" 101 " not in status_line:
+            raise ServiceError(
+                f"websocket handshake refused: {status_line.decode('latin-1').strip()}",
+                status=502,
+            )
+        accept = None
+        while True:
+            line = self._read_line(sock)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "sec-websocket-accept":
+                accept = value.strip()
+        if accept != wire.websocket_accept(key):
+            raise ServiceError("websocket handshake accept-key mismatch", status=502)
+
+    def _read_line(self, sock: socket.socket) -> bytes:
+        line = bytearray()
+        while not line.endswith(b"\n"):
+            chunk = sock.recv(1)
+            if not chunk:
+                break
+            line.extend(chunk)
+        return bytes(line)
+
+    def _read_exact(self, sock: socket.socket, count: int) -> Optional[bytes]:
+        data = bytearray()
+        while len(data) < count:
+            chunk = sock.recv(count - len(data))
+            if not chunk:
+                return None
+            data.extend(chunk)
+        return bytes(data)
+
+    def _read_frame(self, sock: socket.socket):
+        head = self._read_exact(sock, 2)
+        if head is None:
+            return None
+        opcode, masked, length_code = wire.parse_frame_header(head)
+        if length_code == 126:
+            (length,) = struct.unpack("!H", self._read_exact(sock, 2))
+        elif length_code == 127:
+            (length,) = struct.unpack("!Q", self._read_exact(sock, 8))
+        else:
+            length = length_code
+        mask_key = self._read_exact(sock, 4) if masked else b""
+        payload = self._read_exact(sock, length) if length else b""
+        if payload is None or (masked and mask_key is None):
+            return None
+        if masked:
+            payload = wire.unmask(payload, mask_key)
+        return opcode, payload

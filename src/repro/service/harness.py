@@ -1,0 +1,172 @@
+"""Deterministic in-process test harness for the simulation service.
+
+:class:`ServiceUnderTest` boots a real :class:`~repro.service.server
+.ServiceServer` -- real socket on an ephemeral port, real spawned worker
+processes -- inside the current test process, with the event loop running
+on a background thread so synchronous test code can drive it through the
+blocking :class:`~repro.service.client.ServiceClient`.  Nothing in the
+harness sleeps-and-polls: readiness is observed through the server's own
+event-based hooks (``wait_for_idle_workers``), state transitions through
+long-poll ``?wait=`` requests, and execution milestones through the WS
+event stream -- which is what keeps the service test layer fast and
+timing-independent.
+
+:func:`tiny_pack` builds the minimal synthetic scenario pack the service
+tests and the throughput benchmark submit by the dozen.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Callable, Optional, TypeVar
+
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceConfig, ServiceServer
+
+__all__ = ["ServiceUnderTest", "tiny_pack"]
+
+T = TypeVar("T")
+
+
+def tiny_pack(
+    name: str = "tiny",
+    *,
+    jobs: int = 6,
+    sites: int = 2,
+    seed: int = 7,
+    plugin: str = "least_loaded",
+) -> dict:
+    """A minimal single-mode scenario pack: synthetic grid, tiny workload.
+
+    Small enough that a session completes in well under a second, yet a
+    full real study -- deterministic for a given ``(jobs, sites, seed)``,
+    so two submissions of the same pack must produce bit-identical result
+    fingerprints (the property the service e2e tests assert).
+    """
+    return {
+        "name": name,
+        "grid": {"kind": "synthetic", "sites": sites, "seed": seed},
+        "workload": {"jobs": jobs, "seed": seed + 1},
+        "execution": {"plugin": plugin},
+    }
+
+
+class ServiceUnderTest:
+    """A live service instance owned by one test (see module docstring).
+
+    Use as a context manager: entering starts the loop thread, the server
+    socket and the worker pool; leaving drains and shuts everything down
+    (the harness asserts nothing about your session states -- stop or
+    finish them yourself, or pass ``drain=False`` to ``close``).  Test
+    code talks to it three ways: :attr:`client` for the public API,
+    :meth:`submit_and_wait` for the common happy path, and :meth:`call` /
+    :meth:`run` to execute code on the server's loop thread when a test
+    needs to reach into server internals in a race-free way.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 timeout: float = 60.0) -> None:
+        self.config = config or ServiceConfig()
+        self.timeout = float(timeout)
+        self.server = ServiceServer(self.config)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def __enter__(self) -> "ServiceUnderTest":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    def start(self) -> None:
+        """Start the loop thread, bind the server, spawn the worker pool."""
+        self._thread = threading.Thread(
+            target=self._thread_main, name="cgsim-service-test", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(self.timeout):
+            raise RuntimeError("service harness event loop failed to start")
+        self.run(self.server.start())
+
+    def close(self, *, drain: bool = True) -> None:
+        """Shut the service down and join the loop thread (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop is not None and self._loop.is_running():
+            self.run(self.server.shutdown(drain=drain, timeout=self.timeout))
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(self.timeout)
+
+    def _thread_main(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    # -- plumbing --------------------------------------------------------
+
+    def run(self, coro) -> Any:
+        """Await ``coro`` on the server's loop thread; return its result."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(self.timeout)
+
+    def call(self, fn: Callable[..., T], *args: Any) -> T:
+        """Run a plain callable on the loop thread (single-writer safe)."""
+
+        async def _invoke() -> T:
+            return fn(*args)
+
+        return self.run(_invoke())
+
+    # -- conveniences ----------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The ephemeral port the server bound (ready after ``start``)."""
+        return self.server.port
+
+    @property
+    def client(self) -> ServiceClient:
+        """A fresh blocking client pointed at this server."""
+        return ServiceClient(self.config.host, self.port, timeout=self.timeout)
+
+    def wait_idle_workers(self, count: int) -> None:
+        """Block until ``count`` workers are online and idle (event-based)."""
+        ok = self.run(self.server.wait_for_idle_workers(count, timeout=self.timeout))
+        if not ok:
+            raise RuntimeError(f"{count} idle workers never materialised")
+
+    def submit_and_wait(self, pack: dict, timeout: float = 30.0, **kwargs: Any) -> dict:
+        """Submit a pack and long-poll it to a terminal state; return the view."""
+        view = self.client.submit(pack, **kwargs)
+        return self.client.wait(view["id"], "terminal", timeout=timeout)
+
+    def worker_for(self, session_id: str) -> Optional[int]:
+        """The worker id currently assigned to a session (or None)."""
+
+        def lookup() -> Optional[int]:
+            for worker, sid in self.server._assignments.items():
+                if sid == session_id:
+                    return worker
+            return None
+
+        return self.call(lookup)
+
+    def kill_worker_for(self, session_id: str) -> int:
+        """SIGKILL the worker running ``session_id``; returns its worker id."""
+        worker = self.worker_for(session_id)
+        if worker is None:
+            raise RuntimeError(f"no worker is running session {session_id}")
+        if not self.server.supervisor.kill(worker):
+            raise RuntimeError(f"worker {worker} could not be killed")
+        return worker

@@ -1,0 +1,356 @@
+"""Wire models of the simulation service: requests, views and WS messages.
+
+Every JSON document that crosses the service's HTTP or WebSocket boundary
+is declared here as a dataclass, and each one's JSON Schema is generated
+from the dataclass itself via :func:`repro.schema.dataclass_schema` -- the
+same code-is-the-contract idiom the scenario-pack schema uses.  The server
+validates request bodies against these schemas before acting (schema
+violations come back as 422 responses carrying RFC 6901 pointers), the
+blocking client parses event frames through :func:`parse_ws_message`, and
+``docs/service.md``'s WebSocket message reference is rendered from the same
+declarations by :func:`ws_message_reference` (kept in sync by
+``scripts/gen_service_docs.py --check``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, List, Optional, Union
+
+from repro.schema import SchemaError, dataclass_schema, validate_instance
+from repro.utils.errors import CGSimError
+
+__all__ = [
+    "ServiceError",
+    "SubmitRequest",
+    "SessionView",
+    "WsMessage",
+    "StateMessage",
+    "ProgressMessage",
+    "CheckpointMessage",
+    "ResultMessage",
+    "ErrorMessage",
+    "WS_MESSAGE_TYPES",
+    "SUBMIT_REQUEST_SCHEMA",
+    "parse_ws_message",
+    "ws_message_reference",
+    "SESSION_STATES",
+]
+
+#: Every state a service session can be in.  ``queued``, ``running`` and
+#: ``paused`` are live; ``done``, ``stopped`` and ``failed`` are terminal.
+SESSION_STATES = ("queued", "running", "paused", "done", "stopped", "failed")
+
+
+class ServiceError(CGSimError):
+    """A service request could not be honored.
+
+    Carries an HTTP-ish ``status`` (400 malformed, 404 unknown session,
+    409 invalid lifecycle transition, 422 schema violation, 503 shutting
+    down) plus an optional list of field-level detail strings -- the server
+    renders it as the JSON error body, and :class:`~repro.service.client
+    .ServiceClient` re-raises it on the caller's side.
+    """
+
+    def __init__(self, message: str, status: int = 400, details: Optional[List[str]] = None):
+        super().__init__(message)
+        self.status = int(status)
+        self.details = [str(d) for d in details or []]
+
+
+def _meta(description: str) -> Dict[str, str]:
+    return {"description": description}
+
+
+@dataclass
+class SubmitRequest:
+    """Body of ``POST /v1/sessions``: one scenario pack to queue and run.
+
+    The pack must be a *single-mode* scenario pack (no ``sweep`` /
+    ``calibration`` section -- submit each combination as its own session)
+    and is validated against the published scenario-pack JSON Schema plus
+    the eager :class:`~repro.scenarios.ScenarioPack` loader before the
+    session is created.  Higher ``priority`` drains first; within one
+    priority, sessions run in submission (FIFO) order.
+    """
+
+    pack: dict = field(metadata=_meta("single-mode scenario pack document"))
+    priority: int = field(
+        default=0, metadata=_meta("higher drains first; FIFO within a priority")
+    )
+    checkpoint_every: Union[float, str, None] = field(
+        default=None,
+        metadata=_meta(
+            "simulated seconds (or a duration string such as '6h') between "
+            "checkpoints; default: the server's --checkpoint-every"
+        ),
+    )
+    label: Optional[str] = field(
+        default=None, metadata=_meta("free-form client tag echoed in views")
+    )
+
+    @classmethod
+    def from_body(cls, body: Any) -> "SubmitRequest":
+        """Validate a decoded request body and build the dataclass.
+
+        Schema violations raise :class:`ServiceError` with status 422 and
+        one JSON-pointer-addressed detail line per violation.
+        """
+        errors = validate_instance(body, SUBMIT_REQUEST_SCHEMA)
+        if errors:
+            raise ServiceError(
+                "submit request failed schema validation",
+                status=422,
+                details=[str(e) for e in errors],
+            )
+        return cls(
+            pack=body["pack"],
+            priority=int(body.get("priority", 0)),
+            checkpoint_every=body.get("checkpoint_every"),
+            label=body.get("label"),
+        )
+
+
+@dataclass
+class SessionView:
+    """The status document of one service session (``GET /v1/sessions/{id}``).
+
+    A point-in-time view assembled from the server's job record: lifecycle
+    ``state``, queue position facts (``priority``, ``submit_seq``,
+    ``dispatch_seq``), execution facts (``attempts``, ``worker_pid``,
+    checkpoint counters, latest digest) and -- once terminal -- the result
+    summary (``fingerprint``, ``stopped_reason``, ``error``).  ``metrics``
+    holds the most recent live snapshot streamed by the worker.
+    """
+
+    id: str = field(metadata=_meta("service-assigned session id"))
+    state: str = field(metadata=_meta("one of SESSION_STATES"))
+    priority: int = field(metadata=_meta("submit priority"))
+    submit_seq: int = field(metadata=_meta("global submission sequence number"))
+    label: Optional[str] = field(default=None, metadata=_meta("client-supplied tag"))
+    dispatch_seq: Optional[int] = field(
+        default=None, metadata=_meta("global dispatch order (None until first run)")
+    )
+    attempts: int = field(default=0, metadata=_meta("times dispatched to a worker"))
+    worker_pid: Optional[int] = field(
+        default=None, metadata=_meta("pid of the worker running it (while running)")
+    )
+    checkpoints: int = field(default=0, metadata=_meta("checkpoint blobs written"))
+    latest_checkpoint: Optional[str] = field(
+        default=None, metadata=_meta("digest of the newest checkpoint blob")
+    )
+    progress: Optional[dict] = field(
+        default=None, metadata=_meta("latest progress counters from the worker")
+    )
+    metrics: Optional[dict] = field(
+        default=None, metadata=_meta("latest live metrics snapshot")
+    )
+    fingerprint: Optional[str] = field(
+        default=None, metadata=_meta("sha256 fingerprint_result of the final run")
+    )
+    simulated_time: Optional[float] = field(
+        default=None, metadata=_meta("final simulated time (terminal states)")
+    )
+    stopped_reason: Optional[str] = field(
+        default=None, metadata=_meta("why the run ended early, if it did")
+    )
+    error: Optional[str] = field(
+        default=None, metadata=_meta("failure description (state 'failed')")
+    )
+    finalized: bool = field(default=False, metadata=_meta("finalize was called"))
+    wait_satisfied: Optional[bool] = field(
+        default=None, metadata=_meta("long-poll verdict (only with ?wait=...)")
+    )
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (``None`` fields included for a stable shape)."""
+        return dataclasses.asdict(self)
+
+
+# -- WebSocket messages ----------------------------------------------------------
+
+
+@dataclass
+class WsMessage:
+    """Common envelope of every WebSocket event message.
+
+    Every frame on ``GET /v1/sessions/{id}/events`` is a JSON object with a
+    ``type`` tag (the concrete class's ``TYPE``), the ``session`` id it
+    belongs to (stream isolation: a subscription only ever carries its own
+    session's messages) and a per-session monotonically increasing ``seq``.
+    """
+
+    TYPE: ClassVar[str] = ""
+
+    session: str = field(metadata=_meta("session id the event belongs to"))
+    seq: int = field(metadata=_meta("per-session monotonic sequence number"))
+
+    def encode(self) -> str:
+        """Render the message as its JSON wire form (with the ``type`` tag)."""
+        payload = {"type": self.TYPE, **dataclasses.asdict(self)}
+        return json.dumps(payload, sort_keys=False)
+
+
+@dataclass
+class StateMessage(WsMessage):
+    """Lifecycle transition: the session entered ``state``.
+
+    Emitted on every transition (queued, running, paused, ..., including
+    the initial snapshot a new subscriber receives), with ``detail``
+    explaining the cause when there is one (e.g. ``"resumed from
+    checkpoint <digest>"`` after a worker crash).
+    """
+
+    TYPE: ClassVar[str] = "state"
+
+    state: str = field(default="", metadata=_meta("the state just entered"))
+    attempts: int = field(default=0, metadata=_meta("dispatch attempts so far"))
+    detail: Optional[str] = field(default=None, metadata=_meta("transition cause"))
+
+
+@dataclass
+class ProgressMessage(WsMessage):
+    """Live progress counters plus a headline metrics snapshot.
+
+    Streamed at every checkpoint boundary from the worker's
+    :meth:`~repro.core.session.SimulationSession.progress` and
+    :meth:`~repro.core.session.SimulationSession.peek_metrics` calls.
+    """
+
+    TYPE: ClassVar[str] = "progress"
+
+    time: float = field(default=0.0, metadata=_meta("simulated clock"))
+    total_jobs: int = field(default=0, metadata=_meta("jobs expected"))
+    completed_jobs: int = field(default=0, metadata=_meta("terminal jobs"))
+    finished_jobs: int = field(default=0, metadata=_meta("successful jobs"))
+    failed_jobs: int = field(default=0, metadata=_meta("failed attempts"))
+    pending_jobs: int = field(default=0, metadata=_meta("jobs awaiting dispatch"))
+    metrics: Optional[dict] = field(
+        default=None, metadata=_meta("headline peek_metrics numbers")
+    )
+
+
+@dataclass
+class CheckpointMessage(WsMessage):
+    """A checkpoint blob was written to the artifact store.
+
+    ``digest`` is the content address a crashed worker's successor resumes
+    from; ``time`` the simulated clock the blob froze.
+    """
+
+    TYPE: ClassVar[str] = "checkpoint"
+
+    digest: str = field(default="", metadata=_meta("sha256 blob address"))
+    time: float = field(default=0.0, metadata=_meta("simulated clock of the blob"))
+
+
+@dataclass
+class ResultMessage(WsMessage):
+    """Terminal result of the session's study.
+
+    Sent exactly once when the session reaches ``done`` or ``stopped``:
+    the full metrics document, the scenario extras, the result
+    ``fingerprint`` (:func:`repro.state.fingerprint_result` -- bit-identical
+    runs share it) and the ``stopped_reason`` when the run ended early.
+    """
+
+    TYPE: ClassVar[str] = "result"
+
+    state: str = field(default="done", metadata=_meta("'done' or 'stopped'"))
+    fingerprint: str = field(default="", metadata=_meta("sha256 of the run's outputs"))
+    simulated_time: float = field(default=0.0, metadata=_meta("final simulated time"))
+    stopped_reason: Optional[str] = field(
+        default=None, metadata=_meta("why the run ended early, if it did")
+    )
+    metrics: Optional[dict] = field(default=None, metadata=_meta("final metrics"))
+    extras: Optional[dict] = field(
+        default=None, metadata=_meta("scenario extras (faults/data bookkeeping)")
+    )
+
+
+@dataclass
+class ErrorMessage(WsMessage):
+    """The session failed: the study raised, or retries were exhausted."""
+
+    TYPE: ClassVar[str] = "error"
+
+    error: str = field(default="", metadata=_meta("failure description"))
+    detail: Optional[str] = field(default=None, metadata=_meta("traceback tail"))
+
+
+#: The WS message catalogue, in documentation order.
+WS_MESSAGE_TYPES = (
+    StateMessage,
+    ProgressMessage,
+    CheckpointMessage,
+    ResultMessage,
+    ErrorMessage,
+)
+
+_BY_TYPE = {cls.TYPE: cls for cls in WS_MESSAGE_TYPES}
+
+#: Generated JSON Schema of the submit request body.
+SUBMIT_REQUEST_SCHEMA = dataclass_schema(SubmitRequest)
+
+
+def parse_ws_message(text: str) -> WsMessage:
+    """Decode one WebSocket text frame back into its message dataclass.
+
+    The inverse of :meth:`WsMessage.encode`; unknown ``type`` tags and
+    missing required fields raise :class:`ServiceError` (the stream is
+    misbehaving, not merely stale).
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"WS frame is not JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ServiceError("WS frame is not a JSON object")
+    tag = payload.pop("type", None)
+    cls = _BY_TYPE.get(tag)
+    if cls is None:
+        raise ServiceError(f"unknown WS message type {tag!r}")
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - names)
+    if unknown:
+        raise ServiceError(f"WS {tag} message carries unknown fields {unknown}")
+    try:
+        return cls(**payload)
+    except TypeError as exc:
+        raise ServiceError(f"malformed WS {tag} message: {exc}") from exc
+
+
+def ws_message_reference() -> str:
+    """Markdown reference of the WebSocket messages, rendered from the models.
+
+    One section per message type: the first docstring paragraph, then a
+    field table (name, JSON type, description) derived from the dataclass
+    schema.  ``docs/service.md`` embeds this text between generated-block
+    markers; ``scripts/gen_service_docs.py --check`` keeps it in sync.
+    """
+    lines: List[str] = []
+    for cls in WS_MESSAGE_TYPES:
+        schema = dataclass_schema(cls)
+        doc = (schema.get("description") or "").strip()
+        lines.append(f"### `{cls.TYPE}`")
+        lines.append("")
+        if doc:
+            lines.append(doc)
+            lines.append("")
+        lines.append("| field | type | description |")
+        lines.append("| --- | --- | --- |")
+        for name, prop in schema["properties"].items():
+            lines.append(
+                f"| `{name}` | {_schema_type(prop)} | {prop.get('description', '')} |"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _schema_type(prop: Dict[str, Any]) -> str:
+    """Compact human rendering of a property schema's type."""
+    if "anyOf" in prop:
+        return " \\| ".join(_schema_type(b) for b in prop["anyOf"])
+    return str(prop.get("type", "any"))

@@ -1,0 +1,134 @@
+"""Priority job queue and per-session records of the simulation service.
+
+The queue is the multi-tenant heart of the server: every submitted scenario
+pack becomes a :class:`JobRecord`, and :class:`JobQueue` decides which
+record the next free worker runs.  Ordering is **strict priority, FIFO
+within a priority**: the heap key is ``(-priority, submit_seq)``, where
+``submit_seq`` is the global submission sequence number -- so a session
+that pauses and resumes keeps its original queue position among its peers.
+Removal (pause/stop of a queued session) is lazy: the entry stays in the
+heap and is skipped at pop time, which keeps every operation O(log n).
+
+The queue itself is plain data with no locking -- the server only touches
+it from the event-loop thread, which is the service's single-writer
+concurrency rule.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.service.models import SessionView
+
+__all__ = ["JobRecord", "JobQueue"]
+
+
+@dataclass
+class JobRecord:
+    """Everything the server knows about one submitted session.
+
+    The mutable server-side counterpart of the wire-level
+    :class:`~repro.service.models.SessionView` (which :meth:`view` renders):
+    the validated pack dict, queue bookkeeping (priority, sequence numbers,
+    attempts), the latest checkpoint digest crash recovery resumes from,
+    live progress/metrics snapshots, and -- once terminal -- the result
+    document.
+    """
+
+    id: str
+    pack: Dict[str, Any]
+    priority: int = 0
+    submit_seq: int = 0
+    label: Optional[str] = None
+    checkpoint_every: Optional[float] = None
+    state: str = "queued"
+    dispatch_seq: Optional[int] = None
+    attempts: int = 0
+    worker: Optional[int] = None
+    worker_pid: Optional[int] = None
+    checkpoints: int = 0
+    latest_checkpoint: Optional[str] = None
+    progress: Optional[dict] = None
+    metrics: Optional[dict] = None
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    error_detail: Optional[str] = None
+    stop_requested: bool = False
+    pause_requested: bool = False
+    finalized: bool = False
+    event_seq: int = 0
+    waiters: List[Any] = field(default_factory=list, repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the session reached ``done``, ``stopped`` or ``failed``."""
+        return self.state in ("done", "stopped", "failed")
+
+    def next_seq(self) -> int:
+        """Allocate the next per-session WS message sequence number."""
+        self.event_seq += 1
+        return self.event_seq
+
+    def view(self, wait_satisfied: Optional[bool] = None) -> SessionView:
+        """Render the record as its wire-level status document."""
+        result = self.result or {}
+        return SessionView(
+            id=self.id,
+            state=self.state,
+            priority=self.priority,
+            submit_seq=self.submit_seq,
+            label=self.label,
+            dispatch_seq=self.dispatch_seq,
+            attempts=self.attempts,
+            worker_pid=self.worker_pid,
+            checkpoints=self.checkpoints,
+            latest_checkpoint=self.latest_checkpoint,
+            progress=self.progress,
+            metrics=self.metrics,
+            fingerprint=result.get("fingerprint"),
+            simulated_time=result.get("simulated_time"),
+            stopped_reason=result.get("stopped_reason"),
+            error=self.error,
+            finalized=self.finalized,
+            wait_satisfied=wait_satisfied,
+        )
+
+
+class JobQueue:
+    """Strict-priority, FIFO-within-priority queue of runnable records.
+
+    ``push`` enqueues a record under ``(-priority, submit_seq)``; ``pop``
+    returns the next record whose state is still ``queued`` (lazily
+    discarding entries that were paused or stopped while waiting).  A record
+    re-pushed after pause keeps its original ``submit_seq``, so resuming
+    never lets a session jump its peers.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+
+    def __len__(self) -> int:
+        return sum(1 for _, _, record in self._heap if record.state == "queued")
+
+    def push(self, record: JobRecord) -> None:
+        """Enqueue a record (its state must already be ``queued``)."""
+        heapq.heappush(self._heap, (-record.priority, record.submit_seq, record))
+
+    def pop(self) -> Optional[JobRecord]:
+        """Next queued record by (priority desc, submission order), or None."""
+        while self._heap:
+            _, _, record = heapq.heappop(self._heap)
+            if record.state == "queued":
+                return record
+        return None
+
+    def peek(self) -> Optional[JobRecord]:
+        """Like :meth:`pop` without removing the record."""
+        while self._heap:
+            _, _, record = self._heap[0]
+            if record.state == "queued":
+                return record
+            heapq.heappop(self._heap)
+        return None

@@ -1,0 +1,790 @@
+"""The simulation-as-a-service server: asyncio HTTP + WebSocket front end.
+
+:class:`ServiceServer` is the multi-tenant session server of the
+reproduction: clients ``POST`` scenario packs to ``/v1/sessions``, the
+server validates them against the published JSON Schema, queues them
+(strict priority, FIFO within a priority) and executes them on a bounded
+pool of worker processes (:mod:`repro.service.supervisor`) that drive each
+study through the PR-6 checkpoint loop -- periodic blobs land in a
+content-addressed :class:`~repro.service.store.ArtifactStore`, so a
+SIGKILLed worker's study resumes from its latest blob on the next free
+worker instead of failing.
+
+Everything is stdlib: HTTP/1.1 is parsed directly off ``asyncio``
+streams, WebSocket framing comes from the sans-IO codec in
+:mod:`repro.service.wire`.  The server follows a single-writer rule --
+all queue/record mutation happens on the event-loop thread (worker events
+hop threads via ``call_soon_threadsafe``) -- which is why the queue needs
+no locks and why every observable ordering (session ids, dispatch order,
+WS sequence numbers) is deterministic.  Status reads support long-polling
+(``GET /v1/sessions/{id}?wait=done&timeout=30``) so tests and clients
+never sleep-and-retry, and ``POST /v1/queue/hold`` freezes dispatch so
+concurrency tests can stage a queue and observe the exact drain order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service import wire
+from repro.service.models import (
+    SESSION_STATES,
+    CheckpointMessage,
+    ErrorMessage,
+    ProgressMessage,
+    ResultMessage,
+    ServiceError,
+    StateMessage,
+    SubmitRequest,
+)
+from repro.service.queue import JobQueue, JobRecord
+from repro.service.store import ArtifactStore
+from repro.service.supervisor import WorkerSupervisor
+
+__all__ = ["ServiceConfig", "ServiceServer"]
+
+_TERMINAL = ("done", "stopped", "failed")
+_REASONS = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 422: "Unprocessable Entity",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+@dataclass
+class ServiceConfig:
+    """Tunable knobs of one :class:`ServiceServer` instance.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`ServiceServer.port` -- the test harness relies on this).
+    ``store_root=None`` creates a throwaway artifact store under the system
+    temp directory; real deployments point it at durable storage so
+    resumes survive server restarts too.  ``hold_dispatch`` starts the
+    server with dispatch frozen (tests stage the queue first and release
+    it explicitly via ``POST /v1/queue/release``).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    store_root: Optional[str] = None
+    checkpoint_every: Optional[float] = None
+    max_attempts: int = 5
+    hold_dispatch: bool = False
+    max_body_bytes: int = 8 * 1024 * 1024
+    long_poll_cap: float = 120.0
+
+
+class ServiceServer:
+    """One running multi-tenant simulation service (see module docstring).
+
+    Lifecycle: construct with a :class:`ServiceConfig`, ``await start()``
+    inside a running event loop (binds the socket, spawns the worker
+    pool), then either ``await serve_until(event)`` or drive requests some
+    other way, and finally ``await shutdown(drain=True)`` -- drain waits
+    for every queued/running session to settle, asks the workers to exit,
+    and joins (reaps) every child so no orphan processes survive.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.records: Dict[str, JobRecord] = {}
+        self.queue = JobQueue()
+        self.accepting = True
+        self.hold_dispatch = bool(self.config.hold_dispatch)
+        self.port: Optional[int] = None
+        self.store: Optional[ArtifactStore] = None
+        self.supervisor: Optional[WorkerSupervisor] = None
+        self._history: Dict[str, List[str]] = {}
+        self._subscribers: Dict[str, List[asyncio.Queue]] = {}
+        self._idle: List[int] = []
+        self._assignments: Dict[int, str] = {}
+        self._submit_seq = 0
+        self._dispatch_seq = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._settle_waiters: List[asyncio.Event] = []
+        self._pool_waiters: List[asyncio.Event] = []
+        self._ws_tasks: Set[asyncio.Task] = set()
+        self._shut_down = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and spawn the worker pool."""
+        self._loop = asyncio.get_running_loop()
+        root = self.config.store_root or tempfile.mkdtemp(prefix="cgsim-service-")
+        self.store = ArtifactStore(root)
+        self.supervisor = WorkerSupervisor(
+            str(self.store.root), self.config.workers, self._emit_from_pump
+        )
+        self.supervisor.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Serve requests until ``stop`` is set, then shut down gracefully."""
+        await stop.wait()
+        await self.shutdown(drain=False)
+
+    async def shutdown(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the service: optionally drain, then reap every worker.
+
+        With ``drain`` the server first refuses new submissions (503) and
+        waits until no session is ``queued`` or ``running`` (paused
+        sessions stay paused -- they are checkpointed, not orphaned).  The
+        worker pool is then shut down gracefully and every child joined,
+        so after this returns none of ``supervisor.all_pids_ever`` exists.
+        """
+        if self._shut_down:
+            return
+        self.accepting = False
+        if drain:
+            self.hold_dispatch = False
+            self._dispatch()
+            await self._wait_settled(timeout)
+        self._shut_down = True
+        if self.supervisor is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: self.supervisor.stop(graceful=True)
+            )
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for queues in self._subscribers.values():
+            for q in list(queues):
+                q.put_nowait(None)
+        if self._ws_tasks:
+            await asyncio.gather(*self._ws_tasks, return_exceptions=True)
+
+    async def _wait_settled(self, timeout: Optional[float]) -> None:
+        def busy() -> bool:
+            return any(r.state in ("queued", "running") for r in self.records.values())
+
+        deadline = None if timeout is None else self._loop.time() + timeout
+        while busy():
+            event = asyncio.Event()
+            self._settle_waiters.append(event)
+            if deadline is None:
+                await event.wait()
+            else:
+                remaining = deadline - self._loop.time()
+                if remaining <= 0:
+                    return
+                try:
+                    await asyncio.wait_for(event.wait(), remaining)
+                except asyncio.TimeoutError:
+                    return
+
+    def _settled(self) -> None:
+        waiters, self._settle_waiters = self._settle_waiters, []
+        for event in waiters:
+            event.set()
+
+    # -- worker events (loop thread) ---------------------------------------
+
+    def _emit_from_pump(self, event: Dict[str, Any]) -> None:
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(self._handle_worker_event, event)
+        except RuntimeError:
+            pass  # loop already closed during teardown
+
+    def _handle_worker_event(self, event: Dict[str, Any]) -> None:
+        kind = event.get("type")
+        if kind in ("worker-online", "idle"):
+            worker = event["worker"]
+            self._assignments.pop(worker, None)
+            if worker not in self._idle:
+                self._idle.append(worker)
+            self._dispatch()
+            waiters, self._pool_waiters = self._pool_waiters, []
+            for waiter in waiters:
+                waiter.set()
+            return
+        if kind == "worker-died":
+            self._on_worker_died(event)
+            return
+        record = self.records.get(event.get("session", ""))
+        if record is None or record.terminal:
+            return
+        if kind == "started":
+            record.worker_pid = event["pid"]
+        elif kind == "progress":
+            record.progress = {
+                k: event[k]
+                for k in ("time", "total_jobs", "completed_jobs",
+                          "finished_jobs", "failed_jobs", "pending_jobs")
+            }
+            record.metrics = event.get("metrics")
+            self._publish(record, ProgressMessage(
+                session=record.id, seq=record.next_seq(), **record.progress,
+                metrics=record.metrics,
+            ))
+        elif kind == "checkpoint":
+            record.checkpoints += 1
+            record.latest_checkpoint = event["digest"]
+            self._publish(record, CheckpointMessage(
+                session=record.id, seq=record.next_seq(),
+                digest=event["digest"], time=event["time"],
+            ))
+        elif kind == "yielded":
+            record.latest_checkpoint = event["digest"]
+            if record.stop_requested:
+                self._finish_stopped(record, "stopped while paused")
+            else:
+                record.pause_requested = False
+                self._transition(record, "paused", detail="paused by client")
+        elif kind == "result":
+            record.result = {
+                "fingerprint": event["fingerprint"],
+                "simulated_time": event["simulated_time"],
+                "stopped_reason": event["stopped_reason"],
+                "metrics": event["metrics"],
+                "extras": event["extras"],
+            }
+            record.metrics = event["metrics"]
+            state = "stopped" if record.stop_requested else "done"
+            record.state = state
+            record.worker = None
+            self._publish(record, ResultMessage(
+                session=record.id, seq=record.next_seq(), state=state,
+                fingerprint=event["fingerprint"],
+                simulated_time=event["simulated_time"],
+                stopped_reason=event["stopped_reason"],
+                metrics=event["metrics"], extras=event["extras"],
+            ))
+            self._notify(record)
+            self._settled()
+        elif kind == "job-error":
+            record.error = event["error"]
+            record.error_detail = event.get("detail")
+            record.state = "failed"
+            record.worker = None
+            self._publish(record, ErrorMessage(
+                session=record.id, seq=record.next_seq(),
+                error=record.error, detail=record.error_detail,
+            ))
+            self._notify(record)
+            self._settled()
+
+    def _on_worker_died(self, event: Dict[str, Any]) -> None:
+        worker = event["worker"]
+        if worker in self._idle:
+            self._idle.remove(worker)
+        session_id = self._assignments.pop(worker, None)
+        record = self.records.get(session_id) if session_id else None
+        if record is None or record.state != "running":
+            return
+        record.worker = None
+        record.worker_pid = None
+        if record.stop_requested:
+            self._finish_stopped(record, "stopped (worker died first)")
+            return
+        exitcode = event.get("exitcode")
+        if record.attempts >= self.config.max_attempts:
+            record.error = (
+                f"worker died (exit {exitcode}) and the retry budget of "
+                f"{self.config.max_attempts} attempts is exhausted"
+            )
+            record.state = "failed"
+            self._publish(record, ErrorMessage(
+                session=record.id, seq=record.next_seq(), error=record.error,
+            ))
+            self._notify(record)
+            self._settled()
+            return
+        detail = (
+            f"worker died (exit {exitcode}); will resume from checkpoint "
+            f"{record.latest_checkpoint[:12]}" if record.latest_checkpoint
+            else f"worker died (exit {exitcode}); will restart from scratch"
+        )
+        record.state = "queued"
+        self.queue.push(record)
+        self._publish(record, StateMessage(
+            session=record.id, seq=record.next_seq(), state="queued",
+            attempts=record.attempts, detail=detail,
+        ))
+        self._notify(record)
+        self._dispatch()
+
+    def _finish_stopped(self, record: JobRecord, reason: str) -> None:
+        record.result = record.result or {
+            "fingerprint": None, "simulated_time": None,
+            "stopped_reason": reason, "metrics": None, "extras": None,
+        }
+        record.worker = None
+        self._transition(record, "stopped", detail=reason)
+        self._settled()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        if self.hold_dispatch or self._shut_down:
+            return
+        while self._idle and len(self.queue):
+            record = self.queue.pop()
+            if record is None:
+                return
+            worker = self._idle.pop(0)
+            self._dispatch_seq += 1
+            record.dispatch_seq = self._dispatch_seq
+            record.attempts += 1
+            record.state = "running"
+            record.worker = worker
+            record.worker_pid = self.supervisor.pid(worker)
+            self._assignments[worker] = record.id
+            sent = self.supervisor.send(worker, {
+                "cmd": "run",
+                "job": {
+                    "id": record.id,
+                    "pack": record.pack,
+                    "checkpoint_every": record.checkpoint_every,
+                    "resume": record.latest_checkpoint,
+                    "attempt": record.attempts,
+                },
+            })
+            if not sent:
+                self._assignments.pop(worker, None)
+                record.state = "queued"
+                record.attempts -= 1
+                record.worker = None
+                self.queue.push(record)
+                continue
+            detail = (
+                f"resuming from checkpoint {record.latest_checkpoint[:12]}"
+                if record.latest_checkpoint else None
+            )
+            self._publish(record, StateMessage(
+                session=record.id, seq=record.next_seq(), state="running",
+                attempts=record.attempts, detail=detail,
+            ))
+            self._notify(record)
+
+    # -- record plumbing ---------------------------------------------------
+
+    def _transition(self, record: JobRecord, state: str, detail: Optional[str] = None) -> None:
+        record.state = state
+        self._publish(record, StateMessage(
+            session=record.id, seq=record.next_seq(), state=state,
+            attempts=record.attempts, detail=detail,
+        ))
+        self._notify(record)
+
+    def _publish(self, record: JobRecord, message) -> None:
+        text = message.encode()
+        self._history[record.id].append(text)
+        for q in self._subscribers.get(record.id, []):
+            q.put_nowait(text)
+
+    def _notify(self, record: JobRecord) -> None:
+        waiters, record.waiters = record.waiters, []
+        for event in waiters:
+            event.set()
+
+    def _get_record(self, session_id: str) -> JobRecord:
+        record = self.records.get(session_id)
+        if record is None:
+            raise ServiceError(f"unknown session {session_id!r}", status=404)
+        return record
+
+    # -- API operations (loop thread) --------------------------------------
+
+    def submit(self, body: Any) -> JobRecord:
+        """Validate a submit body and enqueue it as a new session record."""
+        if not self.accepting:
+            raise ServiceError("service is shutting down", status=503)
+        request = SubmitRequest.from_body(body)
+        every = self._parse_every(request.checkpoint_every)
+        from repro.scenarios.schema import ScenarioPack
+
+        try:
+            pack = ScenarioPack.from_dict(request.pack)
+        except Exception as exc:
+            raise ServiceError(
+                f"scenario pack rejected: {exc}", status=422
+            ) from exc
+        if pack.mode() != "single":
+            raise ServiceError(
+                f"only single-mode packs can run as service sessions, got a "
+                f"{pack.mode()!r} pack; submit each combination separately",
+                status=422,
+            )
+        self._submit_seq += 1
+        record = JobRecord(
+            id=f"s{self._submit_seq:06d}",
+            pack=pack.to_dict(),
+            priority=request.priority,
+            submit_seq=self._submit_seq,
+            label=request.label,
+            checkpoint_every=every,
+        )
+        self.records[record.id] = record
+        self._history[record.id] = []
+        self._subscribers[record.id] = []
+        self._publish(record, StateMessage(
+            session=record.id, seq=record.next_seq(), state="queued",
+            attempts=0, detail="submitted",
+        ))
+        self.queue.push(record)
+        self._dispatch()
+        return record
+
+    def _parse_every(self, value) -> Optional[float]:
+        if value is None:
+            return self.config.checkpoint_every
+        if isinstance(value, str):
+            from repro.utils.units import parse_duration
+
+            try:
+                value = parse_duration(value)
+            except Exception as exc:
+                raise ServiceError(
+                    f"invalid checkpoint_every: {exc}", status=422
+                ) from exc
+        value = float(value)
+        if value <= 0:
+            raise ServiceError(
+                f"checkpoint_every must be positive, got {value}", status=422
+            )
+        return value
+
+    def pause(self, session_id: str) -> JobRecord:
+        """Pause a session: dequeue it, or ask its worker to yield."""
+        record = self._get_record(session_id)
+        if record.state == "queued":
+            self._transition(record, "paused", detail="paused while queued")
+            self._settled()
+        elif record.state == "running":
+            if not record.pause_requested:
+                record.pause_requested = True
+                self.supervisor.send(
+                    record.worker, {"cmd": "pause", "session": record.id}
+                )
+        elif record.state != "paused":
+            raise ServiceError(
+                f"cannot pause a {record.state} session", status=409
+            )
+        return record
+
+    def resume(self, session_id: str) -> JobRecord:
+        """Re-queue a paused session at its original queue position."""
+        record = self._get_record(session_id)
+        if record.state == "paused":
+            record.state = "queued"
+            self.queue.push(record)
+            self._publish(record, StateMessage(
+                session=record.id, seq=record.next_seq(), state="queued",
+                attempts=record.attempts, detail="resumed by client",
+            ))
+            self._notify(record)
+            self._dispatch()
+        elif record.terminal:
+            raise ServiceError(
+                f"cannot resume a {record.state} session", status=409
+            )
+        return record
+
+    def stop(self, session_id: str) -> JobRecord:
+        """Stop a session (idempotent): cancel it, or stop the live run."""
+        record = self._get_record(session_id)
+        if record.terminal:
+            return record
+        record.stop_requested = True
+        if record.state == "queued":
+            self._finish_stopped(record, "stopped before start")
+        elif record.state == "paused":
+            self._finish_stopped(record, "stopped while paused")
+        elif record.state == "running":
+            self.supervisor.send(
+                record.worker, {"cmd": "stop", "session": record.id}
+            )
+        return record
+
+    def finalize(self, session_id: str) -> dict:
+        """Return the full result document of a terminal session."""
+        record = self._get_record(session_id)
+        if not record.terminal:
+            raise ServiceError(
+                f"session is {record.state}; finalize requires a terminal "
+                "state (done/stopped/failed)", status=409,
+            )
+        record.finalized = True
+        return {
+            "session": record.view().to_dict(),
+            "result": record.result,
+            "error": record.error,
+            "error_detail": record.error_detail,
+        }
+
+    async def wait_for(self, record: JobRecord, states: Tuple[str, ...], timeout: float) -> bool:
+        """Long-poll helper: true once the record reaches one of ``states``."""
+        deadline = self._loop.time() + timeout
+        while record.state not in states:
+            remaining = deadline - self._loop.time()
+            if remaining <= 0 or record.terminal:
+                return record.state in states
+            event = asyncio.Event()
+            record.waiters.append(event)
+            try:
+                await asyncio.wait_for(event.wait(), remaining)
+            except asyncio.TimeoutError:
+                if event in record.waiters:
+                    record.waiters.remove(event)
+                return record.state in states
+        return True
+
+    async def wait_for_idle_workers(self, count: int, timeout: float = 30.0) -> bool:
+        """Event-based wait until ``count`` workers are online and idle.
+
+        The harness uses this instead of sleep-polling before staging
+        deterministic dispatch-order tests; returns False on timeout.
+        """
+        deadline = self._loop.time() + timeout
+        while len(self._idle) < count:
+            remaining = deadline - self._loop.time()
+            if remaining <= 0:
+                return False
+            event = asyncio.Event()
+            self._pool_waiters.append(event)
+            try:
+                await asyncio.wait_for(event.wait(), remaining)
+            except asyncio.TimeoutError:
+                return len(self._idle) >= count
+        return True
+
+    # -- HTTP --------------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, target, headers, body = request
+            if headers.get("upgrade", "").lower() == "websocket":
+                await self._handle_websocket(reader, writer, target, headers)
+                return
+            status, payload = await self._route(method, target, body)
+            self._write_response(writer, status, payload)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        except ServiceError as exc:
+            try:
+                self._write_response(writer, exc.status, {"error": str(exc)})
+                await writer.drain()
+            except Exception:
+                pass
+        except Exception as exc:  # noqa: BLE001 - a request must not kill the server
+            try:
+                self._write_response(writer, 500, {"error": f"{type(exc).__name__}: {exc}"})
+                await writer.drain()
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read_request(self, reader) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        line = await reader.readline()
+        if not line.strip():
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split(None, 2)
+        except ValueError:
+            raise ServiceError("malformed request line", status=400) from None
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > self.config.max_body_bytes:
+            raise ServiceError("request body too large", status=400)
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    async def _route(self, method: str, target: str, body: bytes) -> Tuple[int, dict]:
+        parts = urlsplit(target)
+        path = [p for p in parts.path.split("/") if p]
+        query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+        try:
+            return await self._dispatch_route(method, path, query, body)
+        except ServiceError as exc:
+            return exc.status, {"error": str(exc), "details": exc.details}
+
+    async def _dispatch_route(self, method: str, path: List[str], query: Dict[str, str],
+                              body: bytes) -> Tuple[int, dict]:
+        if not path or path[0] != "v1":
+            raise ServiceError("unknown endpoint", status=404)
+        path = path[1:]
+        if path == ["healthz"] and method == "GET":
+            return 200, {
+                "status": "ok" if self.accepting else "shutting-down",
+                "workers": self.config.workers,
+                "queued": len(self.queue),
+                "sessions": len(self.records),
+            }
+        if path == ["queue", "hold"] and method == "POST":
+            self.hold_dispatch = True
+            return 200, {"hold": True, "queued": len(self.queue)}
+        if path == ["queue", "release"] and method == "POST":
+            self.hold_dispatch = False
+            self._dispatch()
+            return 200, {"hold": False, "queued": len(self.queue)}
+        if path == ["sessions"]:
+            if method == "POST":
+                record = self.submit(self._decode_json(body))
+                return 201, record.view().to_dict()
+            if method == "GET":
+                views = [
+                    r.view().to_dict()
+                    for r in sorted(self.records.values(), key=lambda r: r.submit_seq)
+                ]
+                return 200, {"sessions": views}
+            raise ServiceError("method not allowed", status=405)
+        if len(path) == 2 and path[0] == "sessions" and method == "GET":
+            record = self._get_record(path[1])
+            if "wait" in query:
+                states = self._parse_wait(query["wait"])
+                timeout = min(
+                    float(query.get("timeout", "30")), self.config.long_poll_cap
+                )
+                satisfied = await self.wait_for(record, states, timeout)
+                return 200, record.view(wait_satisfied=satisfied).to_dict()
+            return 200, record.view().to_dict()
+        if len(path) == 3 and path[0] == "sessions" and method == "POST":
+            action, session_id = path[2], path[1]
+            if action == "pause":
+                return 200, self.pause(session_id).view().to_dict()
+            if action == "resume":
+                return 200, self.resume(session_id).view().to_dict()
+            if action == "stop":
+                return 200, self.stop(session_id).view().to_dict()
+            if action == "finalize":
+                return 200, self.finalize(session_id)
+            raise ServiceError(f"unknown action {action!r}", status=404)
+        raise ServiceError("unknown endpoint", status=404)
+
+    def _parse_wait(self, raw: str) -> Tuple[str, ...]:
+        states: List[str] = []
+        for token in raw.split(","):
+            token = token.strip()
+            if token == "terminal":
+                states.extend(_TERMINAL)
+            elif token in SESSION_STATES:
+                states.append(token)
+            elif token:
+                raise ServiceError(f"unknown wait state {token!r}", status=400)
+        if not states:
+            raise ServiceError("wait= requires at least one state", status=400)
+        return tuple(states)
+
+    def _decode_json(self, body: bytes) -> Any:
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not JSON: {exc}", status=400) from exc
+
+    def _write_response(self, writer, status: int, payload: dict) -> None:
+        data = json.dumps(payload, sort_keys=False).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + data)
+
+    # -- WebSocket ---------------------------------------------------------
+
+    async def _handle_websocket(self, reader, writer, target: str,
+                                headers: Dict[str, str]) -> None:
+        path = [p for p in urlsplit(target).path.split("/") if p]
+        valid = (
+            len(path) == 4 and path[0] == "v1" and path[1] == "sessions"
+            and path[3] == "events" and path[2] in self.records
+        )
+        key = headers.get("sec-websocket-key")
+        if not valid or not key:
+            status = 404 if key else 400
+            self._write_response(writer, status, {"error": "bad websocket request"})
+            await writer.drain()
+            return
+        session_id = path[2]
+        accept = wire.websocket_accept(key)
+        writer.write(
+            b"HTTP/1.1 101 Switching Protocols\r\n"
+            b"Upgrade: websocket\r\nConnection: Upgrade\r\n"
+            b"Sec-WebSocket-Accept: " + accept.encode("latin-1") + b"\r\n\r\n"
+        )
+        await writer.drain()
+        queue: asyncio.Queue = asyncio.Queue()
+        for text in self._history[session_id]:
+            queue.put_nowait(text)
+        self._subscribers[session_id].append(queue)
+        reader_task = asyncio.create_task(self._ws_reader(reader, writer, queue))
+        self._ws_tasks.add(reader_task)
+        reader_task.add_done_callback(self._ws_tasks.discard)
+        try:
+            while True:
+                text = await queue.get()
+                if text is None:
+                    writer.write(wire.encode_frame(b"", opcode=wire.OP_CLOSE))
+                    await writer.drain()
+                    break
+                writer.write(wire.encode_frame(text.encode("utf-8")))
+                await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            subscribers = self._subscribers.get(session_id, [])
+            if queue in subscribers:
+                subscribers.remove(queue)
+            reader_task.cancel()
+            try:
+                await reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    async def _ws_reader(self, reader, writer, queue: asyncio.Queue) -> None:
+        """Consume client frames: answer pings, end the stream on close."""
+        try:
+            while True:
+                head = await reader.readexactly(2)
+                opcode, masked, length_code = wire.parse_frame_header(head)
+                if length_code == 126:
+                    (length,) = struct.unpack("!H", await reader.readexactly(2))
+                elif length_code == 127:
+                    (length,) = struct.unpack("!Q", await reader.readexactly(8))
+                else:
+                    length = length_code
+                mask_key = await reader.readexactly(4) if masked else b""
+                payload = await reader.readexactly(length) if length else b""
+                if masked:
+                    payload = wire.unmask(payload, mask_key)
+                if opcode == wire.OP_CLOSE:
+                    queue.put_nowait(None)
+                    return
+                if opcode == wire.OP_PING:
+                    writer.write(wire.encode_frame(payload, opcode=wire.OP_PONG))
+                    await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionError, wire.WireError):
+            queue.put_nowait(None)

@@ -1,0 +1,142 @@
+"""Content-addressed artifact store for checkpoint blobs and results.
+
+Workers freeze their sessions into checkpoint blobs (:mod:`repro.state`)
+and put them here; the server records the returned digest so a killed
+worker's study can be resumed from its latest blob by the next free worker
+-- possibly in a different process, or on a different host when the store
+root sits on shared storage.  Addressing is by content (sha256 of the blob),
+so identical states deduplicate, a digest can be handed across process
+boundaries as a plain string, and a read verifies integrity by re-hashing.
+
+Layout under the store root::
+
+    objects/<aa>/<sha256-hex>     the blobs, sharded by their first byte
+    sessions/<id>.latest          one-line pointer: a session's newest digest
+
+Writes are atomic (temp file + ``os.replace``) so a SIGKILL mid-write never
+leaves a torn object behind -- at worst an orphaned temp file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from repro.utils.errors import CGSimError
+
+__all__ = ["ArtifactStore", "ArtifactError"]
+
+
+class ArtifactError(CGSimError):
+    """A blob was missing, unreadable, or failed its content-hash check.
+
+    Raised by :meth:`ArtifactStore.get` when the requested digest has no
+    object file or the file's sha256 no longer matches its address (torn
+    write, bit rot, manual tampering) -- the caller must treat the blob as
+    lost rather than resume a corrupt study from it.
+    """
+
+
+class ArtifactStore:
+    """Content-addressed blob store rooted at a directory.
+
+    ``put(blob)`` hashes the blob, writes it atomically under its digest and
+    returns the digest; ``get(digest)`` reads it back and verifies the hash.
+    ``set_latest``/``latest`` maintain a per-session pointer to the newest
+    checkpoint digest so crash recovery needs no directory scans.  Safe for
+    concurrent use from many processes: objects are immutable once written
+    and every write goes through an atomic rename.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        (self.root / "objects").mkdir(parents=True, exist_ok=True)
+        (self.root / "sessions").mkdir(parents=True, exist_ok=True)
+
+    # -- objects ---------------------------------------------------------------
+    def path_for(self, digest: str) -> Path:
+        """Filesystem path of a digest's object (existing or not)."""
+        digest = self._check_digest(digest)
+        return self.root / "objects" / digest[:2] / digest
+
+    def put(self, blob: bytes) -> str:
+        """Store ``blob``; return its sha256 hex digest (the address)."""
+        if not isinstance(blob, (bytes, bytearray)):
+            raise ArtifactError(f"artifact must be bytes, got {type(blob).__name__}")
+        blob = bytes(blob)
+        digest = hashlib.sha256(blob).hexdigest()
+        path = self.path_for(digest)
+        if path.exists():
+            return digest
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(path, blob)
+        return digest
+
+    def get(self, digest: str) -> bytes:
+        """Read the blob at ``digest`` back, verifying its content hash."""
+        path = self.path_for(digest)
+        if not path.exists():
+            raise ArtifactError(f"no artifact with digest {digest}")
+        blob = path.read_bytes()
+        actual = hashlib.sha256(blob).hexdigest()
+        if actual != digest:
+            raise ArtifactError(
+                f"artifact {digest} failed its integrity check "
+                f"(content hashes to {actual}); refusing to return corrupt data"
+            )
+        return blob
+
+    def has(self, digest: str) -> bool:
+        """Whether an object with this digest exists."""
+        return self.path_for(digest).exists()
+
+    def digests(self) -> List[str]:
+        """Every stored object digest, sorted (mainly for tests/inspection)."""
+        objects = self.root / "objects"
+        return sorted(p.name for p in objects.glob("??/*") if p.is_file())
+
+    # -- per-session latest pointers -------------------------------------------
+    def set_latest(self, session_id: str, digest: str) -> None:
+        """Point ``session_id``'s latest-checkpoint pointer at ``digest``."""
+        digest = self._check_digest(digest)
+        path = self.root / "sessions" / f"{self._check_id(session_id)}.latest"
+        self._atomic_write(path, (digest + "\n").encode("ascii"))
+
+    def latest(self, session_id: str) -> Optional[str]:
+        """The session's newest checkpoint digest, or ``None`` if never set."""
+        path = self.root / "sessions" / f"{self._check_id(session_id)}.latest"
+        if not path.exists():
+            return None
+        return path.read_text(encoding="ascii").strip() or None
+
+    # -- internals -------------------------------------------------------------
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _check_digest(digest: str) -> str:
+        digest = str(digest).lower()
+        if len(digest) != 64 or any(c not in "0123456789abcdef" for c in digest):
+            raise ArtifactError(f"not a sha256 hex digest: {digest!r}")
+        return digest
+
+    @staticmethod
+    def _check_id(session_id: str) -> str:
+        session_id = str(session_id)
+        if not session_id or any(c in session_id for c in "/\\\0"):
+            raise ArtifactError(f"invalid session id {session_id!r}")
+        return session_id

@@ -1,0 +1,250 @@
+"""Worker-process pool supervision for the simulation service.
+
+:class:`WorkerSupervisor` owns the bounded pool of worker processes the
+server dispatches studies to: it spawns them (always with the ``spawn``
+start method -- forking a process that already runs the server's pump
+thread is exactly the hazard the stdlib deprecated), relays their event
+pipes to a single callback, detects death via process sentinels (a
+SIGKILLed worker produces a ``worker-died`` event, not a hung queue), and
+respawns casualties so pool capacity survives crashes.
+
+Each worker gets two one-way pipes: commands parent->worker, events
+worker->parent.  Per-worker pipes mean a worker dying mid-``send`` can
+only corrupt its own channel -- unlike a shared ``multiprocessing.Queue``,
+whose feeder lock a SIGKILL can take to the grave.  A single pump *thread*
+multiplexes every event pipe and every sentinel through
+:func:`multiprocessing.connection.wait`; the supervisor itself is
+loop-agnostic and delivers events on that thread, so callers decide how to
+hop threads (the server wraps the callback in ``call_soon_threadsafe``).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from multiprocessing import connection, get_context
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.service.workers import worker_main
+
+__all__ = ["WorkerSupervisor", "WorkerHandle"]
+
+
+class WorkerHandle:
+    """One live worker process: its pipes, pid and assignment bookkeeping."""
+
+    def __init__(self, worker_id: int, process, cmd_conn, event_conn) -> None:
+        self.id = worker_id
+        self.process = process
+        self.cmd_conn = cmd_conn
+        self.event_conn = event_conn
+        self.pid: int = process.pid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkerHandle(id={self.id}, pid={self.pid})"
+
+
+class WorkerSupervisor:
+    """Spawn, monitor and replace the service's pool of worker processes.
+
+    ``emit`` receives every worker event dict (``worker-online``, ``idle``,
+    ``started``, ``progress``, ``checkpoint``, ``yielded``, ``result``,
+    ``job-error`` -- see :mod:`repro.service.workers`) plus the synthesized
+    ``worker-died`` event, **on the pump thread**.  ``all_pids_ever``
+    records every pid the pool ever spawned, which is what the
+    graceful-shutdown tests sweep ``/proc`` with to prove no orphans
+    survive.
+    """
+
+    def __init__(
+        self,
+        store_root: str,
+        size: int,
+        emit: Callable[[Dict[str, Any]], None],
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"worker pool size must be >= 1, got {size}")
+        self._store_root = str(store_root)
+        self._size = size
+        self._emit = emit
+        self._ctx = get_context("spawn")
+        self._handles: Dict[int, WorkerHandle] = {}
+        self._next_id = 0
+        self._lock = threading.Lock()
+        self._stopping = False
+        self._wake_r, self._wake_w = os.pipe()
+        self._thread: Optional[threading.Thread] = None
+        self._respawn_budget = size * 50
+        self.all_pids_ever: List[int] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the initial pool and the event pump thread."""
+        for _ in range(self._size):
+            self._spawn_locked()
+        self._thread = threading.Thread(
+            target=self._pump, name="cgsim-service-pump", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, *, graceful: bool = True, timeout: float = 10.0) -> None:
+        """Shut the pool down: ``shutdown`` commands, join, escalate, reap.
+
+        With ``graceful`` the workers are asked to exit (they finish --
+        checkpoint-and-yield -- any in-flight chunk first); stragglers past
+        ``timeout`` are terminated, then killed.  Every child is joined, so
+        after this returns no worker pid exists in ``/proc``.
+        """
+        with self._lock:
+            self._stopping = True
+            handles = list(self._handles.values())
+        if graceful:
+            for handle in handles:
+                self._safe_send(handle, {"cmd": "shutdown"})
+        for handle in handles:
+            handle.process.join(timeout if graceful else 0.1)
+        for handle in handles:
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(2.0)
+            if handle.process.is_alive():  # pragma: no cover - last resort
+                handle.process.kill()
+                handle.process.join(2.0)
+        self._wake()
+        if self._thread is not None:
+            self._thread.join(5.0)
+        with self._lock:
+            for handle in self._handles.values():
+                handle.cmd_conn.close()
+                handle.event_conn.close()
+            self._handles.clear()
+        for fd in (self._wake_r, self._wake_w):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+    # -- commands ----------------------------------------------------------
+
+    def send(self, worker_id: int, msg: Dict[str, Any]) -> bool:
+        """Send a command dict to one worker; False if it is gone."""
+        with self._lock:
+            handle = self._handles.get(worker_id)
+        if handle is None:
+            return False
+        return self._safe_send(handle, msg)
+
+    def kill(self, worker_id: int) -> bool:
+        """SIGKILL a worker (crash-recovery tests); False if unknown."""
+        with self._lock:
+            handle = self._handles.get(worker_id)
+        if handle is None:
+            return False
+        try:
+            os.kill(handle.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            return False
+        return True
+
+    def pid(self, worker_id: int) -> Optional[int]:
+        """The pid of a live worker, or None."""
+        with self._lock:
+            handle = self._handles.get(worker_id)
+        return None if handle is None else handle.pid
+
+    def live_pids(self) -> List[int]:
+        """Pids of workers the supervisor currently believes alive."""
+        with self._lock:
+            return [h.pid for h in self._handles.values()]
+
+    # -- internals ---------------------------------------------------------
+
+    def _spawn_locked(self) -> WorkerHandle:
+        worker_id = self._next_id
+        self._next_id += 1
+        cmd_r, cmd_w = self._ctx.Pipe(duplex=False)
+        event_r, event_w = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(worker_id, cmd_r, event_w, self._store_root),
+            name=f"cgsim-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        # Close the child's pipe ends in this process so a dead child reads
+        # as EOF instead of a silently idle connection.
+        cmd_r.close()
+        event_w.close()
+        handle = WorkerHandle(worker_id, process, cmd_w, event_r)
+        self._handles[worker_id] = handle
+        self.all_pids_ever.append(handle.pid)
+        self._wake()
+        return handle
+
+    def _safe_send(self, handle: WorkerHandle, msg: Dict[str, Any]) -> bool:
+        try:
+            handle.cmd_conn.send(msg)
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
+    def _wake(self) -> None:
+        try:
+            os.write(self._wake_w, b"x")
+        except OSError:
+            pass
+
+    def _pump(self) -> None:
+        """Multiplex every event pipe + sentinel until the pool stops."""
+        while True:
+            with self._lock:
+                if self._stopping and not self._handles:
+                    return
+                handles = list(self._handles.values())
+            waitables: List[Any] = [self._wake_r]
+            by_event = {h.event_conn: h for h in handles}
+            by_sentinel = {h.process.sentinel: h for h in handles}
+            waitables.extend(by_event)
+            waitables.extend(by_sentinel)
+            for ready in connection.wait(waitables, timeout=1.0):
+                if ready == self._wake_r:
+                    try:
+                        os.read(self._wake_r, 4096)
+                    except OSError:
+                        return
+                    if self._stopping:
+                        return
+                elif ready in by_event:
+                    self._drain_events(by_event[ready])
+                elif ready in by_sentinel:
+                    self._reap(by_sentinel[ready])
+
+    def _drain_events(self, handle: WorkerHandle) -> None:
+        try:
+            while handle.event_conn.poll():
+                self._emit(handle.event_conn.recv())
+        except Exception:
+            # EOF, a torn pipe, or a half-written pickle from a worker that
+            # was SIGKILLed mid-send: death is reported by the sentinel.
+            pass
+
+    def _reap(self, handle: WorkerHandle) -> None:
+        """A sentinel fired: flush its last events, reap, report, respawn."""
+        self._drain_events(handle)
+        handle.process.join(2.0)
+        exitcode = handle.process.exitcode
+        with self._lock:
+            self._handles.pop(handle.id, None)
+            stopping = self._stopping
+        handle.cmd_conn.close()
+        handle.event_conn.close()
+        self._emit({"type": "worker-died", "worker": handle.id, "exitcode": exitcode})
+        if not stopping:
+            with self._lock:
+                # The budget is a backstop against a respawn storm when the
+                # environment itself is broken (every child dies at import).
+                if not self._stopping and self._respawn_budget > 0:
+                    self._respawn_budget -= 1
+                    self._spawn_locked()

@@ -1,0 +1,120 @@
+"""Sans-IO WebSocket framing and handshake helpers (RFC 6455 subset).
+
+The service speaks WebSocket for its live event streams without any
+third-party dependency, so the frame codec lives here as pure functions
+shared by the asyncio server (:mod:`repro.service.server`) and the blocking
+client (:mod:`repro.service.client`).  The subset is deliberately small --
+unfragmented text/binary/control frames, client-to-server masking, 16- and
+64-bit extended lengths -- which is exactly what the service's own peers
+produce; anything outside it raises :class:`WireError` instead of being
+guessed at.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import struct
+from typing import Tuple
+
+from repro.utils.errors import CGSimError
+
+__all__ = [
+    "WireError",
+    "OP_TEXT",
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "websocket_accept",
+    "encode_frame",
+    "parse_frame_header",
+    "unmask",
+]
+
+#: RFC 6455 handshake GUID appended to the client key before hashing.
+_WS_GUID = b"258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+_KNOWN_OPCODES = frozenset({0x0, OP_TEXT, OP_BINARY, OP_CLOSE, OP_PING, OP_PONG})
+
+
+class WireError(CGSimError):
+    """A WebSocket frame or handshake violated the supported RFC 6455 subset.
+
+    Raised on malformed frame headers, unknown opcodes, fragmented messages
+    (which the service never produces) and handshake responses missing the
+    computed ``Sec-WebSocket-Accept`` value.  Both the server and the client
+    close the connection on it rather than resynchronise a corrupt stream.
+    """
+
+
+def websocket_accept(key: str) -> str:
+    """Compute the ``Sec-WebSocket-Accept`` value for a handshake ``key``.
+
+    The RFC 6455 construction: base64 of the SHA-1 of the client-supplied
+    ``Sec-WebSocket-Key`` concatenated with the protocol GUID.  Used by the
+    server to answer an upgrade and by the client to verify the answer.
+    """
+    digest = hashlib.sha1(key.strip().encode("ascii") + _WS_GUID).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def encode_frame(payload: bytes, opcode: int = OP_TEXT, mask: bool = False) -> bytes:
+    """Encode one final (FIN=1, unfragmented) WebSocket frame.
+
+    Servers send unmasked frames (``mask=False``); clients must mask
+    (``mask=True``, with a fresh random masking key per frame, as the RFC
+    requires).  ``payload`` is the raw frame body -- encode text as UTF-8
+    before calling.
+    """
+    if opcode not in _KNOWN_OPCODES:
+        raise WireError(f"cannot encode unknown WebSocket opcode {opcode:#x}")
+    header = bytearray([0x80 | opcode])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0x00
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < 1 << 16:
+        header.append(mask_bit | 126)
+        header += struct.pack(">H", length)
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack(">Q", length)
+    if not mask:
+        return bytes(header) + payload
+    key = os.urandom(4)
+    return bytes(header) + key + unmask(payload, key)
+
+
+def parse_frame_header(first_two: bytes) -> Tuple[int, bool, int]:
+    """Parse the fixed two-byte frame header.
+
+    Returns ``(opcode, masked, length_code)`` where ``length_code`` is the
+    7-bit payload length field: a literal length below 126, or the sentinel
+    126/127 announcing a 16-/64-bit extended length to be read next.
+    Fragmented frames (FIN=0 or continuation opcode) and reserved bits are
+    rejected -- the service's peers never produce them.
+    """
+    if len(first_two) != 2:
+        raise WireError("truncated WebSocket frame header")
+    b0, b1 = first_two[0], first_two[1]
+    if not b0 & 0x80 or b0 & 0x70:
+        raise WireError("fragmented or reserved-bit WebSocket frames are not supported")
+    opcode = b0 & 0x0F
+    if opcode not in _KNOWN_OPCODES or opcode == 0x0:
+        raise WireError(f"unsupported WebSocket opcode {opcode:#x}")
+    return opcode, bool(b1 & 0x80), b1 & 0x7F
+
+
+def unmask(payload: bytes, key: bytes) -> bytes:
+    """Apply (or remove -- XOR is its own inverse) a 4-byte masking key."""
+    if len(key) != 4:
+        raise WireError("WebSocket masking key must be 4 bytes")
+    return bytes(b ^ key[i % 4] for i, b in enumerate(payload))

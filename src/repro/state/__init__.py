@@ -31,7 +31,11 @@ from repro.state.checkpoint import (
     encode_checkpoint,
     fingerprint_result,
 )
-from repro.state.driver import drive_with_checkpoints
+from repro.state.driver import (
+    drive_with_checkpoints,
+    restore_session_from_blob,
+    session_factory_for_payload,
+)
 from repro.state.protocol import Snapshottable, canonical_state, diff_states
 from repro.utils.errors import CheckpointError, SessionError
 
@@ -44,6 +48,8 @@ __all__ = [
     "checkpoint_fingerprint",
     "fingerprint_result",
     "drive_with_checkpoints",
+    "session_factory_for_payload",
+    "restore_session_from_blob",
     "CheckpointError",
     "SessionError",
     "CHECKPOINT_MAGIC",

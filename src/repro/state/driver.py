@@ -18,11 +18,83 @@ any of its blobs and still land on the same final state.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.utils.errors import CheckpointError
 
-__all__ = ["drive_with_checkpoints"]
+__all__ = [
+    "drive_with_checkpoints",
+    "session_factory_for_payload",
+    "restore_session_from_blob",
+]
+
+
+def session_factory_for_payload(payload: dict):
+    """Simulator factory rebuilt from a blob's embedded scenario provenance.
+
+    Checkpoints written by scenario runs stamp the pack's canonical dict
+    (and source path) into the blob's ``extra``; this helper turns that
+    provenance back into a zero-argument factory that rebuilds the
+    simulator through the scenario runner -- re-registering the pack's
+    build hooks (replica placement), which the embedded-config restore
+    path cannot reconstruct.  Returns ``None`` for blobs without scenario
+    provenance (``SimulationSession.restore`` then uses the embedded
+    simulator configuration).
+    """
+    extra = payload.get("extra") or {}
+    if not (isinstance(extra, dict) and extra.get("scenario_pack")):
+        return None
+    from repro.scenarios.runner import _build_simulator
+    from repro.scenarios.schema import ScenarioPack
+
+    source = extra.get("scenario_source")
+    pack = ScenarioPack.from_dict(
+        extra["scenario_pack"], source=Path(source) if source else None
+    )
+
+    def factory():
+        return _build_simulator(pack)[0]
+
+    return factory
+
+
+def restore_session_from_blob(
+    blob: bytes,
+    *,
+    monitoring: str = "replay",
+    expected_pack: Optional[dict] = None,
+) -> Tuple[object, dict]:
+    """Resume a checkpoint blob in *this* process, wherever it was written.
+
+    The cross-process/cross-host resume front door shared by ``cgsim
+    resume`` and the service workers: decode the blob, rebuild a simulator
+    factory from its embedded scenario-pack provenance when present
+    (:func:`session_factory_for_payload`), and hand both to
+    :meth:`~repro.core.session.SimulationSession.restore`, which replays
+    and bit-verifies the state.  Returns ``(session, payload)`` -- the
+    payload gives callers access to ``extra`` provenance without decoding
+    twice.
+
+    ``expected_pack`` guards against resuming the wrong study: when given,
+    the blob's embedded pack dict must equal it exactly (overrides
+    included) or :class:`~repro.utils.errors.CheckpointError` is raised
+    instead of silently replaying a different run.
+    """
+    from repro.core.session import SimulationSession
+    from repro.state.checkpoint import decode_checkpoint
+
+    payload = decode_checkpoint(blob)
+    if expected_pack is not None:
+        extra = payload.get("extra") or {}
+        if extra.get("scenario_pack") != expected_pack:
+            raise CheckpointError(
+                "checkpoint provenance mismatch: the blob was written by a "
+                "different scenario pack (or different overrides) than the "
+                "one being resumed; refusing to replay it"
+            )
+    factory = session_factory_for_payload(payload)
+    session = SimulationSession.restore(factory, blob, monitoring=monitoring)
+    return session, payload
 
 
 def drive_with_checkpoints(

@@ -486,3 +486,64 @@ class TestConformanceCommand:
             main(["conformance", "run", "--family", "bogus"])
         assert excinfo.value.code != 0
         assert "bogus" in capsys.readouterr().err
+
+
+class TestServiceCommands:
+    """`cgsim serve` / `cgsim client`: parser wiring and a live round trip."""
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8641
+        assert args.workers == 2
+        assert args.store_root is None
+
+    def test_client_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["client"])
+
+    def test_client_round_trip_against_a_live_server(self, tmp_path, capsys):
+        """submit --watch, status table, status --json, stop-after-done."""
+        from repro.service import ServiceConfig, ServiceUnderTest, tiny_pack
+
+        pack_file = tmp_path / "tiny.pack.json"
+        pack_file.write_text(json.dumps(tiny_pack()))
+        with ServiceUnderTest(
+            ServiceConfig(workers=1, checkpoint_every=10000.0)
+        ) as sut:
+            sut.wait_idle_workers(1)
+            port = str(sut.port)
+
+            code = main([
+                "client", "submit", str(pack_file), "--port", port, "--watch",
+            ])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "submitted s000001" in out
+            assert "result state=done fingerprint=" in out
+
+            assert main(["client", "status", "--port", port]) == 0
+            table = capsys.readouterr().out
+            assert "s000001" in table and "state=done" in table
+
+            assert main([
+                "client", "status", "s000001", "--port", port, "--json",
+            ]) == 0
+            document = json.loads(capsys.readouterr().out)
+            assert document["state"] == "done"
+            assert document["fingerprint"]
+
+            assert main(["client", "stop", "s000001", "--port", port]) == 0
+            assert "state=done" in capsys.readouterr().out
+
+    def test_client_errors_are_reported_not_raised(self, capsys):
+        from repro.service import ServiceConfig, ServiceUnderTest
+
+        with ServiceUnderTest(ServiceConfig(workers=1)) as sut:
+            sut.wait_idle_workers(1)
+            code = main([
+                "client", "status", "s999999", "--port", str(sut.port),
+            ])
+            err = capsys.readouterr().err
+            assert code == 1
+            assert "error:" in err

@@ -87,7 +87,7 @@ class TestGeneratedReference:
     def test_reference_covers_the_promised_packages(self):
         for module in ("repro.des", "repro.data", "repro.plugins",
                        "repro.scenarios", "repro.schema", "repro.conformance",
-                       "repro.experiments"):
+                       "repro.experiments", "repro.service"):
             page = DOCS_DIR / "reference" / f"{module.split('.', 1)[1]}.md"
             assert page.exists(), f"missing reference page for {module}"
             text = page.read_text(encoding="utf-8")
@@ -100,7 +100,8 @@ class TestGeneratedReference:
 
         for module_name in ("repro.des", "repro.data", "repro.plugins",
                             "repro.scenarios", "repro.schema",
-                            "repro.conformance", "repro.experiments"):
+                            "repro.conformance", "repro.experiments",
+                            "repro.service"):
             module = importlib.import_module(module_name)
             page = DOCS_DIR / "reference" / f"{module_name.split('.', 1)[1]}.md"
             listed = re.findall(r"^        - (\w+)$", page.read_text(encoding="utf-8"),
@@ -108,6 +109,32 @@ class TestGeneratedReference:
             assert listed == list(module.__all__), (
                 f"{page.name} members drifted from {module_name}.__all__"
             )
+
+
+class TestGeneratedServicePage:
+    def test_ws_message_reference_is_in_sync_with_the_wire_models(self):
+        result = _run_script("gen_service_docs.py", "--check")
+        assert result.returncode == 0, (
+            f"service page out of sync:\n{result.stdout}\n{result.stderr}"
+        )
+
+    def test_service_page_documents_every_ws_message_type(self):
+        from repro.service import WS_MESSAGE_TYPES
+
+        page = (DOCS_DIR / "service.md").read_text(encoding="utf-8")
+        assert "GENERATED FILE" in page
+        for message_class in WS_MESSAGE_TYPES:
+            assert f"### `{message_class.TYPE}`" in page, (
+                f"service.md misses WS message {message_class.TYPE!r}"
+            )
+
+    def test_service_page_documents_every_http_route(self):
+        page = (DOCS_DIR / "service.md").read_text(encoding="utf-8")
+        for route in ("/v1/healthz", "POST /v1/sessions",
+                      "/v1/sessions/{id}/pause", "/v1/sessions/{id}/resume",
+                      "/v1/sessions/{id}/stop", "/v1/sessions/{id}/finalize",
+                      "/v1/queue/hold", "/v1/sessions/{id}/events"):
+            assert route in page, f"service.md misses route {route}"
 
 
 class TestPluginGuideExamples:

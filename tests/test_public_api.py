@@ -45,6 +45,7 @@ class TestPublicAPI:
         import repro.plugins
         import repro.scenarios
         import repro.schema
+        import repro.service
         import repro.state
 
         thin = []
@@ -58,6 +59,7 @@ class TestPublicAPI:
             (repro.plugins, repro.plugins.__all__),
             (repro.scenarios, repro.scenarios.__all__),
             (repro.schema, repro.schema.__all__),
+            (repro.service, repro.service.__all__),
             (repro.state, repro.state.__all__),
         ]
         for module, names in surfaces:

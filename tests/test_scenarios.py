@@ -480,3 +480,133 @@ class TestRunner:
         outcome = run_scenario_pack(pack)
         with pytest.raises(CGSimError, match="no simulation metrics"):
             outcome.scenario_metrics()
+
+
+class TestSweepCheckpoints:
+    """Sweep-mode `--checkpoint-dir`: per-spec blobs, provenance-guarded resume."""
+
+    def _sweep_pack(self) -> ScenarioPack:
+        return ScenarioPack.from_dict(
+            tiny(
+                workload={"jobs": 6, "seed": 4},
+                sweep={"axes": {"grid.sites": [2, 3]}, "replications": 2},
+            )
+        )
+
+    @staticmethod
+    def _rows(outcome) -> dict:
+        return {
+            (r.spec.scenario, r.spec.replicate): (r.metrics, r.simulated_time)
+            for r in outcome.sweep.results
+        }
+
+    def test_each_spec_checkpoints_into_its_own_subdirectory(self, tmp_path):
+        pack = self._sweep_pack()
+        specs = sweep_specs(pack, checkpoint_dir=tmp_path, checkpoint_every=5000.0)
+        dirs = [spec.params["checkpoint_dir"] for spec in specs]
+        assert len(set(dirs)) == len(specs) == 4
+        assert all(d.startswith(str(tmp_path)) for d in dirs)
+        assert all(spec.params["checkpoint_every"] == 5000.0 for spec in specs)
+        outcome = run_scenario_pack(
+            pack, workers=1, checkpoint_dir=tmp_path, checkpoint_every=5000.0
+        )
+        assert outcome.ok
+        from pathlib import Path
+
+        for directory in dirs:
+            assert (Path(directory) / "latest.ckpt").exists()
+
+    def test_rerunning_resumes_every_spec_with_identical_results(self, tmp_path):
+        pack = self._sweep_pack()
+        first = run_scenario_pack(
+            pack, workers=1, checkpoint_dir=tmp_path, checkpoint_every=5000.0
+        )
+        second = run_scenario_pack(
+            pack, workers=1, checkpoint_dir=tmp_path, checkpoint_every=5000.0
+        )
+        assert self._rows(first) == self._rows(second)
+
+    def test_a_foreign_blob_is_ignored_and_the_spec_starts_cold(self, tmp_path):
+        """The provenance guard: a blob from a different pack (or different
+        axis combination) in a spec's directory must not be resumed."""
+        from pathlib import Path
+        import shutil
+
+        from repro.scenarios.runner import _run_single
+
+        pack = self._sweep_pack()
+        baseline = run_scenario_pack(
+            pack, workers=1, checkpoint_dir=tmp_path / "clean",
+            checkpoint_every=5000.0,
+        )
+        # Write a latest.ckpt from an unrelated pack into one spec's slot.
+        foreign = ScenarioPack.from_dict(
+            tiny(name="foreign", workload={"jobs": 4, "seed": 9})
+        )
+        _run_single(
+            foreign, checkpoint_dir=tmp_path / "foreign", checkpoint_every=5000.0
+        )
+        specs = sweep_specs(
+            pack, checkpoint_dir=tmp_path / "poisoned", checkpoint_every=5000.0
+        )
+        target = Path(specs[0].params["checkpoint_dir"])
+        target.mkdir(parents=True)
+        shutil.copy(tmp_path / "foreign" / "latest.ckpt", target / "latest.ckpt")
+        poisoned = run_scenario_pack(
+            pack, workers=1, checkpoint_dir=tmp_path / "poisoned",
+            checkpoint_every=5000.0,
+        )
+        assert self._rows(poisoned) == self._rows(baseline)
+
+    def test_cross_combination_blobs_do_not_leak_between_spec_dirs(self, tmp_path):
+        """Even a sibling combination's blob is rejected: the guard compares
+        the overridden per-spec pack dict, not just the pack name."""
+        from pathlib import Path
+        import shutil
+
+        pack = self._sweep_pack()
+        baseline = run_scenario_pack(
+            pack, workers=1, checkpoint_dir=tmp_path / "clean",
+            checkpoint_every=5000.0,
+        )
+        run_scenario_pack(
+            pack, workers=1, checkpoint_dir=tmp_path / "swapped",
+            checkpoint_every=5000.0,
+        )
+        specs = sweep_specs(
+            pack, checkpoint_dir=tmp_path / "swapped", checkpoint_every=5000.0
+        )
+        # Swap the sites=2 and sites=3 blobs for replicate 0.
+        dir_a = Path(specs[0].params["checkpoint_dir"])
+        dir_b = Path(specs[2].params["checkpoint_dir"])
+        assert dir_a != dir_b
+        blob_a = (dir_a / "latest.ckpt").read_bytes()
+        shutil.copy(dir_b / "latest.ckpt", dir_a / "latest.ckpt")
+        (dir_b / "latest.ckpt").write_bytes(blob_a)
+        rerun = run_scenario_pack(
+            pack, workers=1, checkpoint_dir=tmp_path / "swapped",
+            checkpoint_every=5000.0,
+        )
+        assert self._rows(rerun) == self._rows(baseline)
+
+    def test_sweep_without_checkpoint_dir_gets_no_checkpoint_params(self):
+        specs = sweep_specs(self._sweep_pack())
+        assert all("checkpoint_dir" not in spec.params for spec in specs)
+
+    def test_cli_scenario_run_accepts_checkpoint_dir_for_sweeps(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        pack_file = tmp_path / "sweepy.pack.json"
+        pack_file.write_text(json.dumps(self._sweep_pack().to_dict()))
+        checkpoint_dir = tmp_path / "ck"
+        code = main([
+            "scenario", "run", str(pack_file),
+            "--checkpoint-dir", str(checkpoint_dir),
+            "--checkpoint-every", "5000",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "single-run packs only" not in captured.err
+        assert list(checkpoint_dir.rglob("latest.ckpt"))

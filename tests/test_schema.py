@@ -18,7 +18,9 @@ Covers four fronts:
 
 from __future__ import annotations
 
+import dataclasses
 import json
+from typing import List, Optional
 
 import numpy as np
 import pytest
@@ -300,3 +302,66 @@ class TestValidatorKeywords:
         errors = validate_instance([], schema)
         assert len(errors) == 1
         assert "no allowed form" in errors[0].message
+
+
+# Sample dataclasses for TestDataclassSchema: module-level because
+# typing.get_type_hints resolves annotations in module scope.
+@dataclasses.dataclass
+class _SchemaInner:
+    count: int
+
+
+@dataclasses.dataclass
+class _SchemaOuter:
+    name: str
+    inner: _SchemaInner
+    tags: List[str] = dataclasses.field(default_factory=list)
+    note: Optional[str] = None
+
+
+@dataclasses.dataclass
+class _SchemaDoc:
+    title: str
+    pages: int = 1
+    author: Optional[str] = None
+
+
+class TestDataclassSchema:
+    """`dataclass_schema`: generic dataclass -> JSON Schema translation."""
+
+    def test_service_submit_request_schema_shape(self):
+        from repro.schema import dataclass_schema
+        from repro.service.models import SubmitRequest
+
+        schema = dataclass_schema(SubmitRequest)
+        assert schema["type"] == "object"
+        assert schema["required"] == ["pack"]
+        assert schema["additionalProperties"] is False
+        assert "drains first" in schema["properties"]["priority"]["description"]
+
+    def test_optional_list_and_nested_dataclass_annotations(self):
+        from repro.schema import dataclass_schema
+
+        schema = dataclass_schema(_SchemaOuter)
+        assert schema["required"] == ["name", "inner"]
+        assert schema["properties"]["inner"]["type"] == "object"
+        assert schema["properties"]["inner"]["required"] == ["count"]
+        assert schema["properties"]["tags"]["type"] == "array"
+        note = schema["properties"]["note"]
+        assert {"type": "null"} in note["anyOf"]
+
+    def test_generated_schema_drives_the_subset_validator(self):
+        from repro.schema import dataclass_schema, validate_instance
+
+        schema = dataclass_schema(_SchemaDoc)
+        assert validate_instance({"title": "ok", "pages": 3}, schema) == []
+        errors = validate_instance({"pages": "three"}, schema)
+        rendered = [str(e) for e in errors]
+        assert any("title" in line for line in rendered)
+        assert any("pages" in line for line in rendered)
+
+    def test_non_dataclasses_are_rejected(self):
+        from repro.schema import dataclass_schema
+
+        with pytest.raises(TypeError, match="needs a dataclass"):
+            dataclass_schema(dict)

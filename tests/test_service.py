@@ -1,0 +1,245 @@
+"""Unit tests for the service building blocks (no sockets, no processes).
+
+Covers the sans-IO WebSocket codec (`repro.service.wire`), the
+content-addressed artifact store (`repro.service.store`), the priority
+queue ordering contract (`repro.service.queue`) and the wire-level
+dataclasses plus their generated schema (`repro.service.models`).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import (
+    SESSION_STATES,
+    WS_MESSAGE_TYPES,
+    ArtifactError,
+    ArtifactStore,
+    CheckpointMessage,
+    ErrorMessage,
+    JobQueue,
+    JobRecord,
+    ProgressMessage,
+    ResultMessage,
+    ServiceError,
+    StateMessage,
+    SubmitRequest,
+    parse_ws_message,
+    tiny_pack,
+    ws_message_reference,
+)
+from repro.service.wire import (
+    OP_BINARY,
+    OP_CLOSE,
+    OP_PING,
+    OP_TEXT,
+    WireError,
+    encode_frame,
+    parse_frame_header,
+    unmask,
+    websocket_accept,
+)
+
+
+class TestWire:
+    def test_websocket_accept_matches_the_rfc_6455_worked_example(self):
+        """RFC 6455 section 1.3 gives the canonical key/accept pair."""
+        assert (
+            websocket_accept("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
+
+    @pytest.mark.parametrize("length", [0, 5, 125, 126, 200, 65535, 65536, 70000])
+    def test_frame_roundtrip_across_length_encodings(self, length):
+        """Literal, 16-bit and 64-bit payload lengths all round-trip."""
+        payload = bytes(i % 251 for i in range(length))
+        frame = encode_frame(payload, OP_BINARY)
+        opcode, masked, code = parse_frame_header(frame[:2])
+        assert opcode == OP_BINARY and not masked
+        offset = 2
+        if code == 126:
+            size = int.from_bytes(frame[2:4], "big")
+            offset = 4
+        elif code == 127:
+            size = int.from_bytes(frame[2:10], "big")
+            offset = 10
+        else:
+            size = code
+        assert size == length
+        assert frame[offset:] == payload
+
+    def test_masked_client_frame_unmasks_back_to_the_payload(self):
+        payload = b"hello service"
+        frame = encode_frame(payload, OP_TEXT, mask=True)
+        opcode, masked, code = parse_frame_header(frame[:2])
+        assert opcode == OP_TEXT and masked and code == len(payload)
+        key, body = frame[2:6], frame[6:]
+        assert unmask(body, key) == payload
+
+    def test_control_opcodes_are_encodable(self):
+        for opcode in (OP_CLOSE, OP_PING):
+            opcode_parsed, _, _ = parse_frame_header(encode_frame(b"", opcode)[:2])
+            assert opcode_parsed == opcode
+
+    def test_unknown_opcode_is_rejected_on_encode_and_parse(self):
+        with pytest.raises(WireError):
+            encode_frame(b"", 0x3)
+        with pytest.raises(WireError):
+            parse_frame_header(bytes([0x83, 0x00]))  # FIN + reserved opcode 0x3
+
+    def test_fragmented_frames_are_rejected(self):
+        with pytest.raises(WireError):
+            parse_frame_header(bytes([0x01, 0x00]))  # FIN=0 text fragment
+
+    def test_truncated_header_and_bad_mask_key_are_rejected(self):
+        with pytest.raises(WireError):
+            parse_frame_header(b"\x81")
+        with pytest.raises(WireError):
+            unmask(b"data", b"\x00\x01")
+
+
+class TestArtifactStore:
+    def test_put_returns_the_sha256_address_and_get_roundtrips(self, tmp_path):
+        import hashlib
+
+        store = ArtifactStore(tmp_path)
+        blob = b"checkpoint bytes"
+        digest = store.put(blob)
+        assert digest == hashlib.sha256(blob).hexdigest()
+        assert store.get(digest) == blob
+        assert store.has(digest)
+
+    def test_identical_blobs_deduplicate_to_one_object(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        first = store.put(b"same")
+        second = store.put(b"same")
+        assert first == second
+        assert store.digests() == [first]
+
+    def test_get_of_an_unknown_digest_raises(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ArtifactError, match="no artifact"):
+            store.get("0" * 64)
+
+    def test_get_detects_a_corrupted_object(self, tmp_path):
+        """A blob whose bytes no longer hash to its address is refused."""
+        store = ArtifactStore(tmp_path)
+        digest = store.put(b"pristine")
+        store.path_for(digest).write_bytes(b"tampered")
+        with pytest.raises(ArtifactError, match="integrity"):
+            store.get(digest)
+
+    def test_latest_pointer_roundtrip_and_default(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.latest("s000001") is None
+        digest = store.put(b"blob")
+        store.set_latest("s000001", digest)
+        assert store.latest("s000001") == digest
+
+    def test_malformed_digests_and_session_ids_are_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ArtifactError):
+            store.get("not-a-digest")
+        with pytest.raises(ArtifactError):
+            store.set_latest("../escape", "0" * 64)
+        with pytest.raises(ArtifactError):
+            store.put("not bytes")  # type: ignore[arg-type]
+
+
+def _record(session_id: str, priority: int = 0, submit_seq: int = 0) -> JobRecord:
+    return JobRecord(
+        id=session_id, pack=tiny_pack(), priority=priority, submit_seq=submit_seq
+    )
+
+
+class TestJobQueue:
+    def test_fifo_within_a_priority(self):
+        queue = JobQueue()
+        records = [_record(f"s{i}", submit_seq=i) for i in range(5)]
+        for record in records:
+            queue.push(record)
+        assert [queue.pop().id for _ in range(5)] == [r.id for r in records]
+
+    def test_strict_priority_beats_submission_order(self):
+        queue = JobQueue()
+        low = _record("low", priority=0, submit_seq=1)
+        high = _record("high", priority=5, submit_seq=2)
+        queue.push(low)
+        queue.push(high)
+        assert queue.pop().id == "high"
+        assert queue.pop().id == "low"
+
+    def test_pop_lazily_skips_records_that_left_the_queued_state(self):
+        queue = JobQueue()
+        stopped = _record("gone", submit_seq=1)
+        alive = _record("alive", submit_seq=2)
+        queue.push(stopped)
+        queue.push(alive)
+        stopped.state = "stopped"
+        assert len(queue) == 1
+        assert queue.pop().id == "alive"
+        assert queue.pop() is None
+
+    def test_a_repushed_record_keeps_its_original_position(self):
+        """Pause/resume must not let a session jump its peers."""
+        queue = JobQueue()
+        early = _record("early", submit_seq=1)
+        late = _record("late", submit_seq=2)
+        queue.push(late)
+        queue.push(early)  # re-push after a pause: original submit_seq
+        assert queue.pop().id == "early"
+
+
+class TestModels:
+    def test_submit_request_accepts_a_minimal_valid_body(self):
+        request = SubmitRequest.from_body({"pack": tiny_pack()})
+        assert request.priority == 0
+        assert request.checkpoint_every is None
+
+    def test_submit_request_schema_violations_carry_pointer_details(self):
+        with pytest.raises(ServiceError) as excinfo:
+            SubmitRequest.from_body({"pack": tiny_pack(), "priority": "high"})
+        assert excinfo.value.status == 422
+        assert any("priority" in detail for detail in excinfo.value.details)
+
+    def test_submit_request_requires_a_pack(self):
+        with pytest.raises(ServiceError) as excinfo:
+            SubmitRequest.from_body({})
+        assert excinfo.value.status == 422
+
+    def test_every_ws_message_type_roundtrips_through_its_wire_form(self):
+        messages = [
+            StateMessage(session="s1", seq=1, state="queued", attempts=0,
+                         detail="submitted"),
+            ProgressMessage(session="s1", seq=2, time=10.0, total_jobs=6,
+                            completed_jobs=1, finished_jobs=1, failed_jobs=0,
+                            pending_jobs=5, metrics={"makespan": 1.0}),
+            CheckpointMessage(session="s1", seq=3, digest="ab" * 32, time=10.0),
+            ResultMessage(session="s1", seq=4, state="done", fingerprint="cd" * 32,
+                          simulated_time=44.0, stopped_reason=None,
+                          metrics={}, extras={}),
+            ErrorMessage(session="s1", seq=5, error="boom", detail="trace"),
+        ]
+        for message in messages:
+            parsed = parse_ws_message(message.encode())
+            assert type(parsed) is type(message)
+            assert parsed == message
+            assert json.loads(message.encode())["type"] == message.TYPE
+
+    def test_parse_rejects_unknown_types_and_garbage(self):
+        with pytest.raises(ServiceError):
+            parse_ws_message(json.dumps({"type": "no-such-type"}))
+        with pytest.raises(ServiceError):
+            parse_ws_message("{not json")
+
+    def test_the_generated_reference_documents_every_message_type(self):
+        reference = ws_message_reference()
+        for message_class in WS_MESSAGE_TYPES:
+            assert f"`{message_class.TYPE}`" in reference
+
+    def test_session_states_cover_live_and_terminal_lifecycles(self):
+        assert set(SESSION_STATES) == {
+            "queued", "running", "paused", "done", "stopped", "failed"
+        }

@@ -1,0 +1,105 @@
+"""Concurrency properties of the session server.
+
+Many client threads hammer one server while dispatch is frozen via
+``POST /v1/queue/hold``, which makes the queue contents -- and therefore
+the dispatch order after ``release`` -- fully deterministic: strict
+priority first, FIFO within a priority, session ids unique, streams
+isolated, and a graceful shutdown drains everything.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service import (
+    ResultMessage,
+    ServiceConfig,
+    ServiceUnderTest,
+    tiny_pack,
+)
+
+SUBMITTERS = 8
+PER_SUBMITTER = 4
+
+
+@pytest.fixture()
+def sut():
+    with ServiceUnderTest(ServiceConfig(workers=2, checkpoint_every=20000.0)) as service:
+        service.wait_idle_workers(2)
+        yield service
+
+
+class TestConcurrentSubmission:
+    def test_concurrent_submitters_get_unique_ids_and_all_drain(self, sut):
+        client = sut.client
+        client.hold()
+
+        def submit_batch(submitter: int) -> list:
+            # Each thread its own client: one connection per request anyway.
+            local = sut.client
+            return [
+                local.submit(tiny_pack(f"c{submitter}x{i}"), label=f"t{submitter}")
+                for i in range(PER_SUBMITTER)
+            ]
+
+        with ThreadPoolExecutor(max_workers=SUBMITTERS) as pool:
+            batches = list(pool.map(submit_batch, range(SUBMITTERS)))
+        views = [view for batch in batches for view in batch]
+        ids = [view["id"] for view in views]
+        assert len(set(ids)) == SUBMITTERS * PER_SUBMITTER
+        assert all(view["state"] == "queued" for view in views)
+        client.release()
+        finals = {sid: client.wait(sid, "terminal", timeout=60.0) for sid in ids}
+        assert all(view["state"] == "done" for view in finals.values())
+        fingerprints = {view["fingerprint"] for view in finals.values()}
+        assert None not in fingerprints
+
+    def test_dispatch_order_is_fifo_within_strict_priority(self, sut):
+        client = sut.client
+        client.hold()
+        submitted = []
+        for i, priority in enumerate([0, 2, 1, 2, 0, 1]):
+            view = client.submit(tiny_pack(f"p{i}"), priority=priority)
+            submitted.append((priority, view["submit_seq"], view["id"]))
+        client.release()
+        finals = [
+            client.wait(sid, "terminal", timeout=60.0)
+            for _, _, sid in submitted
+        ]
+        assert all(view["state"] == "done" for view in finals)
+        expected = [sid for _, _, sid in sorted(
+            submitted, key=lambda item: (-item[0], item[1])
+        )]
+        dispatched = sorted(finals, key=lambda view: view["dispatch_seq"])
+        assert [view["id"] for view in dispatched] == expected
+
+    def test_streams_stay_isolated_under_concurrent_sessions(self, sut):
+        client = sut.client
+        views = [client.submit(tiny_pack(f"iso{i}")) for i in range(6)]
+        for view in views:
+            client.wait(view["id"], "terminal", timeout=60.0)
+
+        def collect(session_id: str) -> list:
+            return list(sut.client.watch(session_id))
+
+        with ThreadPoolExecutor(max_workers=len(views)) as pool:
+            streams = list(pool.map(collect, [view["id"] for view in views]))
+        for view, messages in zip(views, streams):
+            assert messages, f"empty stream for {view['id']}"
+            assert all(m.session == view["id"] for m in messages)
+            assert isinstance(messages[-1], ResultMessage)
+
+    def test_submissions_during_shutdown_are_refused_with_503(self, sut):
+        from repro.service import ServiceError
+
+        client = sut.client
+        views = [client.submit(tiny_pack(f"drain{i}")) for i in range(3)]
+        sut.call(setattr, sut.server, "accepting", False)
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(tiny_pack("late"))
+        assert excinfo.value.status == 503
+        sut.call(setattr, sut.server, "accepting", True)
+        for view in views:
+            client.wait(view["id"], "terminal", timeout=60.0)

@@ -1,0 +1,154 @@
+"""Crash-recovery and shutdown-hygiene tests for the service.
+
+The headline property: SIGKILL the worker process running a study and the
+service resumes the study from its latest checkpoint blob on another
+worker, finishing with a result bit-identical to an uninterrupted
+sequential run -- without the client ever seeing a failure.  Shutdown
+hygiene is proved by sweeping ``/proc`` for every pid the pool ever
+spawned (no psutil).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.service import (
+    CheckpointMessage,
+    ResultMessage,
+    ServiceConfig,
+    ServiceUnderTest,
+    StateMessage,
+    tiny_pack,
+)
+from test_service_server import sequential_fingerprint
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` is a live (non-zombie) process, via /proc only."""
+    try:
+        with open(f"/proc/{pid}/stat", "r", encoding="ascii") as handle:
+            fields = handle.read()
+    except OSError:
+        return False
+    # /proc/<pid>/stat field 3 is the state letter; comm may contain spaces
+    # but never a ')', so split on the last one.
+    return fields.rpartition(")")[2].split()[0] != "Z"
+
+
+#: A workload big enough that the study is still mid-run when the test
+#: reacts to its early checkpoints (~2 wall-clock seconds of simulation).
+CRASH_PACK = tiny_pack("crashy", jobs=60, sites=3)
+
+
+class TestCrashRecovery:
+    def test_sigkilled_worker_study_resumes_and_matches_sequential(self):
+        """The acceptance scenario: kill mid-run, resume, bit-identical."""
+        expected = sequential_fingerprint(CRASH_PACK)
+        with ServiceUnderTest(ServiceConfig(workers=2)) as sut:
+            sut.wait_idle_workers(2)
+            client = sut.client
+            view = client.submit(CRASH_PACK, checkpoint_every=1000.0)
+            session_id = view["id"]
+            killed = False
+            final_message = None
+            for message in client.watch(session_id):
+                if (
+                    not killed
+                    and isinstance(message, CheckpointMessage)
+                    and message.seq >= 4
+                ):
+                    sut.kill_worker_for(session_id)
+                    killed = True
+                if isinstance(message, ResultMessage):
+                    final_message = message
+            assert killed, "study finished before the test could kill it"
+            assert final_message is not None
+            assert final_message.state == "done"
+            assert final_message.fingerprint == expected
+            final = client.status(session_id)
+            assert final["attempts"] == 2
+            assert final["state"] == "done"
+
+    def test_the_stream_narrates_the_crash_and_the_resume(self):
+        with ServiceUnderTest(ServiceConfig(workers=1)) as sut:
+            sut.wait_idle_workers(1)
+            client = sut.client
+            view = client.submit(CRASH_PACK, checkpoint_every=1000.0)
+            session_id = view["id"]
+            killed = False
+            messages = []
+            for message in client.watch(session_id):
+                messages.append(message)
+                if (
+                    not killed
+                    and isinstance(message, CheckpointMessage)
+                    and message.seq >= 4
+                ):
+                    sut.kill_worker_for(session_id)
+                    killed = True
+            assert killed
+            details = [
+                m.detail or ""
+                for m in messages
+                if isinstance(m, StateMessage)
+            ]
+            assert any("worker died" in detail for detail in details)
+            assert any("resum" in detail for detail in details)
+
+    def test_a_session_with_no_checkpoint_yet_restarts_from_scratch(self):
+        """Killing before the first checkpoint restarts the study cold."""
+        pack = tiny_pack("coldstart", jobs=60, sites=3)
+        expected = sequential_fingerprint(pack)
+        with ServiceUnderTest(ServiceConfig(workers=1)) as sut:
+            sut.wait_idle_workers(1)
+            client = sut.client
+            # A cadence beyond the study's end: no checkpoint ever lands.
+            view = client.submit(pack, checkpoint_every=10_000_000.0)
+            session_id = view["id"]
+            client.wait(session_id, "running", timeout=30.0)
+            sut.kill_worker_for(session_id)
+            final = client.wait(session_id, "terminal", timeout=60.0)
+            assert final["state"] == "done"
+            assert final["attempts"] == 2
+            assert final["fingerprint"] == expected
+
+
+class TestShutdownHygiene:
+    def test_graceful_shutdown_drains_and_leaves_no_orphan_processes(self):
+        """Every queued session finishes, then every pool pid is gone."""
+        with ServiceUnderTest(ServiceConfig(workers=2)) as sut:
+            sut.wait_idle_workers(2)
+            client = sut.client
+            views = [client.submit(tiny_pack(f"drain{i}")) for i in range(5)]
+            ids = [v["id"] for v in views]
+            all_pids = list(sut.server.supervisor.all_pids_ever)
+            sut.close(drain=True)
+            # After shutdown nothing mutates the records; plain reads are safe.
+            final_states = {
+                record_id: sut.server.records[record_id].state
+                for record_id in ids
+            }
+        assert all(state == "done" for state in final_states.values()), final_states
+        assert all_pids, "the pool never spawned a worker?"
+        survivors = [pid for pid in all_pids if pid_alive(pid)]
+        assert not survivors, f"orphaned worker processes: {survivors}"
+
+    def test_crashed_and_respawned_workers_are_also_reaped(self):
+        """Pids from pre-crash workers must not outlive the supervisor."""
+        with ServiceUnderTest(ServiceConfig(workers=1)) as sut:
+            sut.wait_idle_workers(1)
+            client = sut.client
+            view = client.submit(CRASH_PACK, checkpoint_every=1000.0)
+            session_id = view["id"]
+            for message in client.watch(session_id):
+                if isinstance(message, CheckpointMessage) and message.seq >= 4:
+                    sut.kill_worker_for(session_id)
+                    break
+            client.wait(session_id, "terminal", timeout=60.0)
+            all_pids = list(sut.server.supervisor.all_pids_ever)
+            sut.close(drain=True)
+        assert len(all_pids) >= 2, "the kill never produced a respawn"
+        survivors = [pid for pid in all_pids if pid_alive(pid)]
+        assert not survivors, f"orphaned worker processes: {survivors}"

@@ -1,0 +1,201 @@
+"""End-to-end tests of the session server over real HTTP + WebSocket.
+
+One module-scoped :class:`~repro.service.ServiceUnderTest` (real ephemeral
+socket, two spawned worker processes) serves every test here -- the server
+is multi-tenant, so tests isolate by session id, never by instance.  No
+test sleeps: waits are long-poll ``?wait=`` requests, event-based idle
+hooks, or the WS stream itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import (
+    CheckpointMessage,
+    ProgressMessage,
+    ResultMessage,
+    ServiceConfig,
+    ServiceError,
+    ServiceUnderTest,
+    StateMessage,
+    tiny_pack,
+)
+
+#: Chunk length giving a tiny_pack() study (~45k simulated seconds) a
+#: handful of checkpoints without flooding the store.
+CHECKPOINT_EVERY = 5000.0
+
+
+def sequential_fingerprint(pack_dict: dict) -> str:
+    """The fingerprint an uninterrupted `repro scenario run` produces.
+
+    Resets the process-global job-id counter first, exactly as a fresh CLI
+    process would start, so the baseline does not depend on which tests ran
+    earlier in this interpreter.
+    """
+    from repro.scenarios.runner import _build_simulator
+    from repro.scenarios.schema import ScenarioPack
+    from repro.state import fingerprint_result
+    from repro.workload.job import reset_job_id_counter
+
+    reset_job_id_counter(1)
+    simulator, jobs = _build_simulator(ScenarioPack.from_dict(pack_dict))
+    session = simulator.session(jobs)
+    session.advance_to_completion()
+    return fingerprint_result(session.finalize())
+
+
+@pytest.fixture(scope="module")
+def sut():
+    with ServiceUnderTest(
+        ServiceConfig(workers=2, checkpoint_every=CHECKPOINT_EVERY)
+    ) as service:
+        service.wait_idle_workers(2)
+        yield service
+
+
+@pytest.fixture(scope="module")
+def baseline_fingerprint():
+    return sequential_fingerprint(tiny_pack())
+
+
+class TestLifecycle:
+    def test_submit_runs_to_done_with_the_sequential_fingerprint(
+        self, sut, baseline_fingerprint
+    ):
+        """The tentpole identity: service result == `repro scenario run`."""
+        view = sut.submit_and_wait(tiny_pack())
+        assert view["state"] == "done"
+        assert view["fingerprint"] == baseline_fingerprint
+        assert view["attempts"] == 1
+        assert view["checkpoints"] > 0
+
+    def test_finalize_returns_the_result_document_once_terminal(self, sut):
+        view = sut.submit_and_wait(tiny_pack())
+        final = sut.client.finalize(view["id"])
+        assert final["session"]["finalized"] is True
+        assert final["result"]["fingerprint"] == view["fingerprint"]
+        assert final["result"]["metrics"]["finished_jobs"] == 6
+
+    def test_finalize_before_terminal_is_a_409(self, sut):
+        sut.client.hold()
+        try:
+            view = sut.client.submit(tiny_pack())
+            with pytest.raises(ServiceError) as excinfo:
+                sut.client.finalize(view["id"])
+            assert excinfo.value.status == 409
+            sut.client.stop(view["id"])
+        finally:
+            sut.client.release()
+
+    def test_stop_of_a_queued_session_is_immediate(self, sut):
+        sut.client.hold()
+        try:
+            view = sut.client.submit(tiny_pack())
+            stopped = sut.client.stop(view["id"])
+            assert stopped["state"] == "stopped"
+        finally:
+            sut.client.release()
+
+    def test_long_poll_wait_reports_satisfaction(self, sut):
+        view = sut.client.submit(tiny_pack())
+        final = sut.client.wait(view["id"], "terminal", timeout=30.0)
+        assert final["wait_satisfied"] is True
+        assert final["state"] == "done"
+
+    def test_status_of_an_unknown_session_is_a_404(self, sut):
+        with pytest.raises(ServiceError) as excinfo:
+            sut.client.status("s999999")
+        assert excinfo.value.status == 404
+
+    def test_health_reports_the_pool(self, sut):
+        health = sut.client.health()
+        assert health["workers"] == 2
+
+
+class TestValidation:
+    def test_a_sweep_pack_is_rejected_with_422(self, sut):
+        pack = tiny_pack()
+        pack["sweep"] = {"axes": {"grid.sites": [2, 3]}}
+        with pytest.raises(ServiceError) as excinfo:
+            sut.client.submit(pack)
+        assert excinfo.value.status == 422
+
+    def test_a_schema_invalid_pack_is_rejected_with_422(self, sut):
+        pack = tiny_pack()
+        pack["grid"] = {"kind": "no-such-kind"}
+        with pytest.raises(ServiceError) as excinfo:
+            sut.client.submit(pack)
+        assert excinfo.value.status == 422
+
+    def test_a_duration_string_checkpoint_cadence_is_accepted(
+        self, sut, baseline_fingerprint
+    ):
+        view = sut.submit_and_wait(tiny_pack(), checkpoint_every="2h")
+        assert view["state"] == "done"
+        assert view["fingerprint"] == baseline_fingerprint
+
+    def test_a_non_positive_cadence_is_rejected(self, sut):
+        with pytest.raises(ServiceError) as excinfo:
+            sut.client.submit(tiny_pack(), checkpoint_every=0)
+        assert excinfo.value.status == 422
+
+
+class TestEventStream:
+    def test_the_stream_replays_history_and_ends_with_the_result(
+        self, sut, baseline_fingerprint
+    ):
+        """A subscriber joining after completion still sees the full story."""
+        view = sut.submit_and_wait(tiny_pack())
+        messages = list(sut.client.watch(view["id"]))
+        assert isinstance(messages[0], StateMessage)
+        assert messages[0].state == "queued"
+        states = [m.state for m in messages if isinstance(m, StateMessage)]
+        assert states[:2] == ["queued", "running"]
+        assert any(isinstance(m, CheckpointMessage) for m in messages)
+        assert any(isinstance(m, ProgressMessage) for m in messages)
+        result = messages[-1]
+        assert isinstance(result, ResultMessage)
+        assert result.fingerprint == baseline_fingerprint
+        sequence = [m.seq for m in messages]
+        assert sequence == sorted(sequence)
+        assert len(set(sequence)) == len(sequence)
+
+    def test_streams_are_isolated_per_session(self, sut):
+        first = sut.submit_and_wait(tiny_pack("alpha"))
+        second = sut.submit_and_wait(tiny_pack("beta", jobs=5))
+        for view in (first, second):
+            for message in sut.client.watch(view["id"]):
+                assert message.session == view["id"]
+
+
+class TestPauseResume:
+    def test_pause_resume_preserves_the_fingerprint(
+        self, sut, baseline_fingerprint
+    ):
+        """A session paused at a chunk boundary and resumed later (possibly
+        on the other worker) must still match the sequential run exactly."""
+        client = sut.client
+        view = client.submit(tiny_pack(), checkpoint_every=2000.0)
+        session_id = view["id"]
+        try:
+            client.pause(session_id)
+        except ServiceError as exc:
+            # The study can finish before the pause request lands; pausing
+            # a terminal session is a 409 and the identity check still runs.
+            assert exc.status == 409
+        else:
+            paused = client.wait(session_id, "paused,done", timeout=30.0)
+            if paused["state"] == "paused":
+                assert paused["latest_checkpoint"] is not None
+                client.resume(session_id)
+        final = client.wait(session_id, "terminal", timeout=30.0)
+        assert final["state"] == "done"
+        assert final["fingerprint"] == baseline_fingerprint
+
+    def test_resume_of_a_terminal_session_is_a_409(self, sut):
+        view = sut.submit_and_wait(tiny_pack())
+        with pytest.raises(ServiceError) as excinfo:
+            sut.client.resume(view["id"])
+        assert excinfo.value.status == 409

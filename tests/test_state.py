@@ -753,3 +753,71 @@ class TestScopedAllocatorCheckpoint:
         blob = session.checkpoint()
         restored = SimulationSession.restore(None, blob)
         assert restored._simulator.job_ids.peek() == session._job_counter_base
+
+
+class TestRestoreSessionFromBlob:
+    """The cross-process resume front door (`restore_session_from_blob`)."""
+
+    def _pack(self, sites: int = 2):
+        from repro.scenarios.schema import ScenarioPack
+        from repro.service.harness import tiny_pack
+
+        return ScenarioPack.from_dict(tiny_pack(sites=sites))
+
+    def _mid_run_blob(self, pack) -> bytes:
+        from repro.scenarios.runner import _build_simulator
+
+        reset_job_id_counter(COUNTER_BASE)
+        simulator, jobs = _build_simulator(pack)
+        session = simulator.session(jobs)
+        session.advance_until(5000.0)
+        return session.checkpoint(extra={"scenario_pack": pack.to_dict()})
+
+    def _sequential_fingerprint(self, pack) -> str:
+        from repro.scenarios.runner import _build_simulator
+
+        reset_job_id_counter(COUNTER_BASE)
+        simulator, jobs = _build_simulator(pack)
+        return fingerprint_result(_finish(simulator.session(jobs)))
+
+    def test_resume_finishes_bit_identical_to_a_straight_run(self):
+        from repro.state import restore_session_from_blob
+
+        pack = self._pack()
+        expected = self._sequential_fingerprint(pack)
+        blob = self._mid_run_blob(pack)
+        reset_job_id_counter(COUNTER_BASE)
+        session, payload = restore_session_from_blob(blob)
+        assert payload["extra"]["scenario_pack"] == pack.to_dict()
+        assert fingerprint_result(_finish(session)) == expected
+
+    def test_expected_pack_guard_accepts_the_matching_pack(self):
+        from repro.state import restore_session_from_blob
+
+        pack = self._pack()
+        blob = self._mid_run_blob(pack)
+        reset_job_id_counter(COUNTER_BASE)
+        session, _ = restore_session_from_blob(blob, expected_pack=pack.to_dict())
+        assert session.now == pytest.approx(5000.0)
+
+    def test_expected_pack_guard_rejects_a_different_pack(self):
+        from repro.state import restore_session_from_blob
+
+        blob = self._mid_run_blob(self._pack(sites=2))
+        with pytest.raises(CheckpointError, match="provenance mismatch"):
+            restore_session_from_blob(
+                blob, expected_pack=self._pack(sites=3).to_dict()
+            )
+
+    def test_factory_helper_requires_scenario_provenance(self):
+        from repro.core import Simulator
+        from repro.state import session_factory_for_payload
+
+        pack = self._pack()
+        payload = decode_checkpoint(self._mid_run_blob(pack))
+        factory = session_factory_for_payload(payload)
+        assert factory is not None
+        reset_job_id_counter(COUNTER_BASE)
+        assert isinstance(factory(), Simulator)
+        payload["extra"] = {}
+        assert session_factory_for_payload(payload) is None
