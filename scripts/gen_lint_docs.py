@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Refresh the generated rule catalogue in docs/lint.md.
+
+docs/lint.md is a hand-written guide with one *generated block*: the rule
+catalogue, rendered from the rule docstrings registered in
+:data:`repro.lint.RULE_FAMILIES` -- the docstring on each rule class IS
+the published rationale, so the page cannot drift from the analyzer.
+This script rewrites the text between the BEGIN/END markers in place;
+``--check`` mode (used by CI's docs-build job and tests/test_docs.py)
+exits non-zero with a regeneration hint when the committed block is
+stale.
+
+Usage::
+
+    python scripts/gen_lint_docs.py          # refresh the block
+    python scripts/gen_lint_docs.py --check  # verify it is in sync
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+OUTPUT = REPO_ROOT / "docs" / "lint.md"
+
+BEGIN = (
+    "<!-- BEGIN GENERATED FILE SECTION: lint-rule-catalogue - do not edit\n"
+    "     by hand. Regenerate with: python scripts/gen_lint_docs.py -->"
+)
+END = "<!-- END GENERATED FILE SECTION: lint-rule-catalogue -->"
+
+#: One-line intro per family, shown under its H3 before the rules.
+FAMILY_BLURBS = {
+    "determinism": (
+        "Bit-identical replay is the headline guarantee; these rules catch "
+        "the source patterns that break it before any test runs."
+    ),
+    "snapshot": (
+        "The static complement of the checkpoint layer's runtime "
+        "`diff_states` verification."
+    ),
+    "async": (
+        "The service layer runs on one event loop; one blocking call "
+        "freezes every session."
+    ),
+    "pickle": (
+        "Everything crossing a worker boundary is pickled under the "
+        "`spawn` start method."
+    ),
+    "hygiene": (
+        "Findings the engine emits about the lint run itself; none of "
+        "these can be suppressed."
+    ),
+}
+
+
+def render_catalogue() -> str:
+    """The full rule catalogue, one section per family, from docstrings."""
+    from repro.lint import RULE_FAMILIES
+
+    lines = []
+    for family, rules in RULE_FAMILIES.items():
+        lines.append(f"### Family `{family}`")
+        lines.append("")
+        blurb = FAMILY_BLURBS.get(family)
+        if blurb:
+            lines.append(blurb)
+            lines.append("")
+        for rule in rules:
+            doc = inspect.cleandoc(rule.__doc__ or "").strip()
+            lines.append(f"#### `{rule.id}`")
+            lines.append("")
+            lines.append(f"*{rule.short}*")
+            lines.append("")
+            lines.append(doc)
+            lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_page(current: str) -> str:
+    """``current`` with the marker-delimited block regenerated."""
+    begin = current.find(BEGIN)
+    end = current.find(END)
+    if begin == -1 or end == -1 or end < begin:
+        raise SystemExit(
+            f"{OUTPUT} is missing the lint-rule-catalogue markers; "
+            "restore the BEGIN/END GENERATED FILE SECTION comments"
+        )
+    block = BEGIN + "\n\n" + render_catalogue() + "\n\n"
+    return current[:begin] + block + current[end:]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if the committed block is out of sync")
+    args = parser.parse_args(argv)
+
+    current = OUTPUT.read_text(encoding="utf-8") if OUTPUT.exists() else ""
+    if not current:
+        print(f"{OUTPUT} does not exist", file=sys.stderr)
+        return 1
+    rendered = render_page(current)
+    if args.check:
+        if current != rendered:
+            print(
+                f"{OUTPUT} rule catalogue is out of sync with the "
+                "repro.lint rule docstrings; "
+                "regenerate with: python scripts/gen_lint_docs.py",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{OUTPUT} is in sync ({len(current.splitlines())} lines)")
+        return 0
+    OUTPUT.write_text(rendered, encoding="utf-8")
+    print(f"wrote {OUTPUT} ({len(rendered.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

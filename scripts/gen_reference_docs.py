@@ -43,6 +43,7 @@ MODULES = [
     "repro.conformance",
     "repro.experiments",
     "repro.service",
+    "repro.lint",
 ]
 
 MARKER = (

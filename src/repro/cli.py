@@ -23,7 +23,9 @@ writing any Python:
   standard workloads, optionally dumping a cProfile summary (``--profile``);
 * ``cgsim scenario {list,show,validate,run}`` -- the declarative front door:
   discover, inspect, validate and execute scenario packs (single YAML/JSON
-  files describing whole studies, run in parallel when they sweep).
+  files describing whole studies, run in parallel when they sweep);
+* ``cgsim lint`` -- run the static determinism & correctness analyzer
+  (:mod:`repro.lint`) over source trees and print its findings.
 
 Every subcommand's help string names the artifacts it prints or writes, so
 ``cgsim <command> --help`` is an accurate contract of what comes out.
@@ -371,6 +373,36 @@ def build_parser() -> argparse.ArgumentParser:
     conf_run.add_argument("--no-subprocess", action="store_true",
                           help="skip the PYTHONHASHSEED subprocess sweep "
                           "(faster, but misses iteration-order bugs)")
+    conf_run.add_argument("--lint", action="store_true", dest="static_lint",
+                          help="also run the static determinism/pickle lint "
+                          "over each plugin's source module (no baseline) "
+                          "and include the findings in the printed reports")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the static determinism & correctness analyzer over "
+        "source trees and print one finding per line plus a summary "
+        "(non-zero exit on findings or a stale baseline; CI runs this "
+        "over src/repro)",
+    )
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories to scan "
+                      "(default: src/repro)")
+    lint.add_argument("--rule", action="append", default=[], metavar="ID",
+                      help="rule id or family name to run (repeatable; "
+                      "default: every rule -- see docs/lint.md)")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="print the report as a JSON document instead of "
+                      "text lines")
+    lint.add_argument("--baseline", type=Path, default=None, metavar="FILE",
+                      help="baseline file to apply (default: discover a "
+                      "committed lint-baseline.json near the scanned paths)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="zero-tolerance mode: ignore any baseline file")
+    lint.add_argument("--write-baseline", type=Path, default=None,
+                      metavar="FILE", nargs="?", const=Path("lint-baseline.json"),
+                      help="write the surviving findings as a new baseline "
+                      "file (default path: lint-baseline.json) and exit 0")
 
     serve = sub.add_parser(
         "serve",
@@ -1030,12 +1062,43 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         family=args.family,
         plugin=args.plugin,
         subprocess_checks=not args.no_subprocess,
+        static_lint=args.static_lint,
     )
     if args.as_json:
         print(json.dumps([report.to_dict() for report in reports], indent=2))
     else:
         print(render_reports(reports))
     return 0 if all(report.ok for report in reports) else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run :mod:`repro.lint` per the CLI flags and print its report."""
+    from repro.lint import run_lint
+    from repro.lint.baseline import Baseline
+
+    if args.no_baseline and args.baseline is not None:
+        raise CGSimError("--no-baseline contradicts --baseline FILE")
+    try:
+        rules = list(args.rule)
+        baseline = None if args.no_baseline else (args.baseline or "auto")
+        if args.write_baseline is not None:
+            baseline = None
+        report = run_lint(args.paths, rules=rules, baseline=baseline)
+    except (ValueError, FileNotFoundError) as exc:
+        raise CGSimError(str(exc)) from exc
+    if args.write_baseline is not None:
+        target = args.write_baseline
+        Baseline.from_findings(report.findings, root=target.parent).dump(target)
+        print(
+            f"wrote baseline with {len(report.findings)} finding(s) "
+            f"to {target}"
+        )
+        return 0
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -1196,6 +1259,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scenario": _cmd_scenario,
         "schema": _cmd_schema,
         "conformance": _cmd_conformance,
+        "lint": _cmd_lint,
         "serve": _cmd_serve,
         "client": _cmd_client,
     }

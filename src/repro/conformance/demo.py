@@ -8,12 +8,17 @@ use them to demonstrate what a failing report looks like:
 * :class:`WobblyEviction` draws its victim from the *global* NumPy RNG --
   two identical runs evict different datasets, so ``repeat_determinism``
   and ``no_global_rng`` both fail with reports naming the invariant.
-  (Deliberately invisible to the static RNG-hygiene lint, which scans for
-  ``default_rng``/``seed`` call patterns: the conformance suite is the
-  dynamic complement that catches what the lint cannot.)
 * :class:`HashOrderedEviction` evicts the first element of a ``set`` --
   stable inside one interpreter, different across ``PYTHONHASHSEED``
   values, so only the subprocess ``hashseed_determinism`` sweep flags it.
+
+Both patterns are also visible to the static analyzer: ``repro.lint``
+flags the global-RNG call (``det-global-rng``) and the hash-ordered pick
+(``det-set-iter``), which is exactly what ``cgsim conformance run --lint``
+demonstrates against these plugins.  The repo's committed
+``lint-baseline.json`` absorbs these two deliberate findings so
+``cgsim lint src/repro`` stays at zero, while a baseline-free run (like
+the conformance static pass) still reports them.
 """
 
 from __future__ import annotations

@@ -72,6 +72,43 @@ def _resolve_targets(
     return targets
 
 
+def _static_lint_check(family: str, spec: str) -> CheckOutcome:
+    """Run the static determinism/pickle lint over the plugin's source module.
+
+    The ``--lint`` pass resolves the plugin class back to its source file
+    and runs :mod:`repro.lint`'s determinism and pickle families over it
+    with *no* baseline -- the static complement of the dynamic battery, so
+    a plugin drawing from the global RNG or picking from a ``set`` is
+    flagged with file:line before any simulation runs.  Plugins without a
+    reachable source file (e.g. defined in a REPL) are skipped.
+    """
+    import inspect
+
+    from repro.plugins.registry import load_plugin_class
+
+    try:
+        cls = load_plugin_class(family, spec)
+        source = inspect.getsourcefile(cls)
+    except Exception as exc:  # noqa: BLE001 - unresolvable source = skip
+        return CheckOutcome(
+            "static_lint", "skip",
+            f"skipped: cannot locate plugin source "
+            f"({type(exc).__name__}: {exc})")
+    if source is None:
+        return CheckOutcome(
+            "static_lint", "skip", "skipped: plugin has no source file")
+    from repro.lint import run_lint
+
+    report = run_lint([source], rules=["determinism", "pickle"], baseline=None)
+    if report.findings:
+        details = "; ".join(
+            f"{f.location}: {f.rule} {f.message}" for f in report.findings)
+        return CheckOutcome(
+            "static_lint", "fail",
+            f"{len(report.findings)} static finding(s): {details}")
+    return CheckOutcome("static_lint", "pass")
+
+
 def _instantiation_check(family: str, spec: str) -> CheckOutcome:
     from repro.plugins.registry import create_plugin
 
@@ -160,6 +197,7 @@ def run_conformance(
     plugin: Optional[str] = None,
     hash_seeds: Sequence[str] = DEFAULT_HASH_SEEDS,
     subprocess_checks: bool = True,
+    static_lint: bool = False,
 ) -> List[ConformanceReport]:
     """Exercise every selected plugin against the golden invariants.
 
@@ -170,7 +208,10 @@ def run_conformance(
     plugin) target; unknown selections raise
     :class:`~repro.utils.errors.ConfigurationError`.  Set
     ``subprocess_checks=False`` to drop the ``PYTHONHASHSEED`` sweep (three
-    interpreter launches) when iterating interactively.
+    interpreter launches) when iterating interactively; set
+    ``static_lint=True`` (CLI ``--lint``) to add a ``static_lint`` outcome
+    per plugin from :mod:`repro.lint`'s determinism + pickle rules over
+    the plugin's source module (no baseline applied).
     """
     from repro.conformance.checks import behaviour_digest
 
@@ -207,6 +248,9 @@ def run_conformance(
             reports, _hashseed_outcomes(targets, baselines, hash_seeds)
         ):
             report.checks.append(outcome)
+    if static_lint:
+        for report, (fam, spec) in zip(reports, targets):
+            report.checks.append(_static_lint_check(fam, spec))
     return reports
 
 

@@ -308,6 +308,7 @@ class MainServer:
         self._dispatch(attempt)
 
     # -- checkpoint support ------------------------------------------------------------
+    # cgsim: lint-ignore[snap-field-coverage] the retry sweeper process is rebuilt by replay
     def snapshot(self) -> dict:
         """Capture the dispatch state: totals, pending ids, assignments, retries.
 

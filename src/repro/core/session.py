@@ -667,6 +667,7 @@ class SimulationSession:
         """Fork-branch index of this session (``None`` for a root session)."""
         return self._branch
 
+    # cgsim: lint-ignore[snap-field-coverage] lifecycle handles (simulator, op log, locks) are rebuilt by replaying the op log, not serialised
     def snapshot(self) -> dict:
         """Canonical state map of every stateful component of this run.
 

@@ -328,6 +328,7 @@ class Environment:
         return count
 
     # -- checkpoint support ----------------------------------------------------
+    # cgsim: lint-ignore[snap-field-coverage] the calendar, timeout pool and generator frames cannot be pickled; replay rebuilds them (see docstring)
     def snapshot(self) -> dict:
         """Capture the kernel's checkpointable state: the clock.
 

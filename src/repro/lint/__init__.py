@@ -1,0 +1,60 @@
+"""Static determinism & correctness analyzer for the whole stack.
+
+``repro.lint`` is an AST-based analyzer (stdlib ``ast`` only) that
+enforces, *before* any test runs, the guarantees the rest of the
+reproduction enforces dynamically: bit-identical replay (PR 6's
+checkpoints), hash-seed-independent plugins (PR 8's conformance suite)
+and responsive service sessions (PR 9's asyncio server).  Rules are
+grouped into named families --
+
+* **determinism** -- global/ad-hoc RNG use, hash-ordered ``set``
+  iteration feeding ordered decisions, wall-clock reads in simulation
+  logic; the scope- and alias-aware replacement for the grep-based RNG
+  lint that used to live in the test suite;
+* **snapshot** -- mutable fields of ``Snapshottable`` classes missing
+  from their ``snapshot()``/``restore()`` (the static complement of the
+  checkpoint layer's ``diff_states`` runtime verification);
+* **async** -- blocking calls (``time.sleep``, synchronous subprocess /
+  socket / file I/O) inside ``async def`` bodies;
+* **pickle** -- lambdas and closures handed across process-spawn
+  boundaries (executors, ``parallel_map``, ``RunSpec``);
+* **hygiene** -- suppression comments without a reason or naming unknown
+  rule ids, and unparseable files.
+
+Exposed as ``cgsim lint [PATHS] [--rule ...] [--json] [--baseline ...]``
+and as the ``--lint`` static pass of ``cgsim conformance run``; CI runs
+it over ``src/repro`` with zero findings required.  Intentional patterns
+are suppressed per line with ``# cgsim: lint-ignore[rule-id] reason``
+(the reason is mandatory), and a committed ``lint-baseline.json`` with a
+shrink-only ratchet absorbs the deliberately-broken conformance demo
+plugins.  See ``docs/lint.md`` for the full rule catalogue.
+"""
+
+from repro.lint.baseline import Baseline, discover_baseline, load_baseline
+from repro.lint.engine import collect_files, run_lint
+from repro.lint.findings import Finding, LintReport
+from repro.lint.rules import (
+    DEFAULT_RNG_ALLOWLIST,
+    RULE_FAMILIES,
+    Rule,
+    all_rules,
+    select_rules,
+)
+from repro.lint.suppressions import Suppression, parse_suppressions
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_RNG_ALLOWLIST",
+    "Finding",
+    "LintReport",
+    "RULE_FAMILIES",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "collect_files",
+    "discover_baseline",
+    "load_baseline",
+    "parse_suppressions",
+    "run_lint",
+    "select_rules",
+]

@@ -1,0 +1,146 @@
+"""The committed findings baseline and its one-way ratchet.
+
+A baseline lets intentionally-unfixable findings (the deliberately broken
+conformance demo plugins being the canonical case) land without blocking
+CI, while still failing the build the moment anyone adds a *new* finding.
+The file is plain JSON mapping ``"rule-id::path"`` to a count; paths are
+stored ``/``-separated and relative to the baseline file's own directory,
+so the file is portable across checkouts.  The ratchet is enforced in
+both directions: findings beyond a key's count fail the run, and a key
+whose count exceeds what the tree actually contains is reported as
+*stale* -- the baseline may only shrink, and ``cgsim lint
+--write-baseline`` rewrites it from the current findings when it does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "load_baseline", "discover_baseline"]
+
+#: Default file name looked up by :func:`discover_baseline`.
+BASELINE_FILENAME = "lint-baseline.json"
+
+_FORMAT = "cgsim-lint-baseline/1"
+
+
+class Baseline:
+    """In-memory view of a baseline file: entry counts plus its anchor dir.
+
+    ``entries`` maps ``"rule::relative/path.py"`` to the number of findings
+    the baseline absorbs for that rule in that file; ``root`` is the
+    directory paths are relative to (the baseline file's directory, or the
+    current directory for a fresh in-memory baseline).
+    """
+
+    def __init__(self, entries: Optional[Dict[str, int]] = None,
+                 root: Optional[Path] = None) -> None:
+        self.entries: Dict[str, int] = dict(entries or {})
+        self.root = (root or Path.cwd()).resolve()
+
+    def key_for(self, finding: Finding) -> str:
+        """The baseline key a finding files under: ``rule::relative-path``."""
+        path = Path(finding.path)
+        resolved = path if path.is_absolute() else Path.cwd() / path
+        try:
+            relative = resolved.resolve().relative_to(self.root)
+        except ValueError:
+            relative = path
+        return f"{finding.rule}::{relative.as_posix()}"
+
+    def apply(
+        self,
+        findings: Iterable[Finding],
+        scanned: Optional[Iterable[str]] = None,
+    ) -> Tuple[List[Finding], int, List[str]]:
+        """Split findings into (new, absorbed-count, stale-entries).
+
+        For each baseline key the first ``count`` findings (in source
+        order) are absorbed; the rest are new and fail the run.  Keys whose
+        recorded count exceeds the tree's actual findings come back in the
+        stale list -- the ratchet demanding the baseline shrink.
+        ``scanned`` (root-relative ``/``-separated paths) limits the
+        ratchet to files this run actually looked at: linting a subtree
+        must not demand the baseline shrink for files outside it.
+        """
+        remaining = dict(self.entries)
+        new: List[Finding] = []
+        absorbed = 0
+        for finding in sorted(findings):
+            key = self.key_for(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                absorbed += 1
+            else:
+                new.append(finding)
+        covered = None if scanned is None else set(scanned)
+        stale = [
+            f"{key} (recorded {self.entries[key]}, {self.entries[key] - left} found)"
+            for key, left in sorted(remaining.items())
+            if left > 0 and (
+                covered is None or key.split("::", 1)[1] in covered)
+        ]
+        return new, absorbed, stale
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding],
+                      root: Path) -> "Baseline":
+        """Build the baseline that exactly absorbs ``findings``."""
+        baseline = cls(root=root)
+        for finding in findings:
+            key = baseline.key_for(finding)
+            baseline.entries[key] = baseline.entries.get(key, 0) + 1
+        return baseline
+
+    def dump(self, path: Path) -> None:
+        """Write the baseline to ``path`` as stable, diff-friendly JSON."""
+        document = {
+            "format": _FORMAT,
+            "entries": {key: self.entries[key] for key in sorted(self.entries)},
+        }
+        path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load a baseline file, refusing unknown formats with a clear error."""
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(document, dict) or document.get("format") != _FORMAT:
+        raise ValueError(
+            f"{path} is not a cgsim lint baseline (expected format "
+            f"{_FORMAT!r}, got {document.get('format')!r})"
+        )
+    entries = document.get("entries", {})
+    if not all(isinstance(v, int) and v >= 0 for v in entries.values()):
+        raise ValueError(f"{path} has non-integer baseline counts")
+    return Baseline(entries=entries, root=path.resolve().parent)
+
+
+def discover_baseline(paths: Iterable[Path]) -> Optional[Path]:
+    """Find the nearest committed baseline for a set of scanned paths.
+
+    Walks up from the first scanned path through its ancestors (nearest
+    wins -- a baseline next to the scanned tree beats one further out),
+    then falls back to the current directory.  Returns ``None`` when no
+    baseline exists (zero-tolerance mode).
+    """
+    candidates: List[Path] = []
+    for scanned in paths:
+        resolved = scanned.resolve()
+        start = resolved if resolved.is_dir() else resolved.parent
+        candidates.append(start)
+        candidates.extend(start.parents)
+        break
+    candidates.append(Path.cwd())
+    seen = set()
+    for directory in candidates:
+        if directory in seen:
+            continue
+        seen.add(directory)
+        candidate = directory / BASELINE_FILENAME
+        if candidate.is_file():
+            return candidate
+    return None

@@ -1,0 +1,198 @@
+"""The lint engine: walk files, run rules, apply suppressions and baseline.
+
+:func:`run_lint` is the single entry point behind ``cgsim lint``, the
+conformance suite's static pass and the test suite's hygiene assertions.
+It collects ``.py`` files from the given paths (directories recurse,
+``__pycache__`` and hidden directories are skipped), parses each file once
+into a shared :class:`~repro.lint.rules.base.FileContext`, runs the
+selected rules, then applies the two filtering layers in order: per-line
+``# cgsim: lint-ignore[rule-id] reason`` suppressions (reason mandatory --
+see :mod:`repro.lint.suppressions`), and the committed baseline with its
+shrink-only ratchet (see :mod:`repro.lint.baseline`).  A file that does
+not parse is reported as a ``lint-parse-error`` finding rather than
+crashing the run, so one broken file never hides the rest of the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.lint.baseline import Baseline, discover_baseline, load_baseline
+from repro.lint.findings import Finding, LintReport
+from repro.lint.rules import Rule, select_rules
+from repro.lint.rules.base import FileContext
+from repro.lint.suppressions import parse_suppressions
+
+__all__ = ["run_lint", "collect_files"]
+
+#: Rule ids the engine emits itself and that can never be suppressed.
+_ENGINE_RULES = ("lint-bare-ignore", "lint-unknown-rule", "lint-parse-error")
+
+
+def collect_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into the sorted list of ``.py`` files to scan.
+
+    Directories recurse; ``__pycache__`` and dot-directories are skipped.
+    Paths are kept as given (relative in, relative out) so findings render
+    with stable, checkout-independent locations.  A path that exists but
+    matches nothing (or does not exist) raises ``FileNotFoundError`` --
+    linting nothing silently is how CI rots.
+    """
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            files.append(path)
+        elif path.is_dir():
+            found = sorted(
+                candidate for candidate in path.rglob("*.py")
+                if not any(
+                    part == "__pycache__" or part.startswith(".")
+                    for part in candidate.relative_to(path).parts
+                )
+            )
+            files.extend(found)
+        else:
+            raise FileNotFoundError(f"lint path does not exist: {path}")
+    unique: List[Path] = []
+    seen = set()
+    for file in files:
+        key = file.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(file)
+    return unique
+
+
+def _known_ids(rules: Sequence[Rule]) -> List[str]:
+    from repro.lint.rules import known_rule_ids
+
+    ids = list(known_rule_ids())
+    for rule in rules:
+        if rule.id not in ids:
+            ids.append(rule.id)
+    return ids
+
+
+def run_lint(
+    paths: Iterable[Union[str, Path]],
+    rules: Sequence[Union[str, Rule]] = (),
+    baseline: Union[None, str, Path, Baseline] = "auto",
+) -> LintReport:
+    """Lint ``paths`` and return the :class:`~repro.lint.findings.LintReport`.
+
+    ``rules`` selects what runs: rule ids, family names, or pre-built
+    :class:`~repro.lint.rules.base.Rule` instances (for custom allow-lists);
+    empty means every registered rule.  ``baseline`` is ``"auto"`` (walk up
+    from the scanned paths for a committed ``lint-baseline.json``), ``None``
+    (zero tolerance), a path, or a loaded
+    :class:`~repro.lint.baseline.Baseline`.  The report's ``ok`` is the
+    pass/fail verdict: no findings outside suppressions+baseline, and no
+    stale baseline entries (the ratchet).
+    """
+    selected: List[Rule] = []
+    names: List[str] = []
+    for item in rules:
+        if isinstance(item, Rule):
+            selected.append(item)
+        else:
+            names.append(item)
+    if names or not selected:
+        for rule in select_rules(names):
+            if all(rule.id != existing.id for existing in selected):
+                selected.append(rule)
+    known = _known_ids(selected)
+
+    files = collect_files(paths)
+    raw_findings: List[Finding] = []
+    suppressed = 0
+    for file in files:
+        source = file.read_text(encoding="utf-8")
+        display = str(file)
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            raw_findings.append(Finding(
+                path=display, line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+                rule="lint-parse-error",
+                message=f"file does not parse: {exc.msg}",
+                hint="fix the syntax error; nothing else in this file "
+                     "was checked",
+            ))
+            continue
+        ctx = FileContext(display, source, tree)
+        file_findings: List[Finding] = []
+        for rule in selected:
+            if rule.id in _ENGINE_RULES:
+                continue
+            file_findings.extend(rule.check(ctx))
+        ignores = parse_suppressions(source)
+        for ignore in ignores.values():
+            unknown = [r for r in ignore.rules if r not in known]
+            if unknown:
+                raw_findings.append(Finding(
+                    path=display, line=ignore.line, col=1,
+                    rule="lint-unknown-rule",
+                    message=f"lint-ignore names unknown rule id(s) "
+                            f"{', '.join(unknown)}",
+                    hint="fix the rule id; see `cgsim lint --help` or "
+                         "docs/lint.md for the catalogue",
+                ))
+            if not ignore.rules or not ignore.reason:
+                raw_findings.append(Finding(
+                    path=display, line=ignore.line, col=1,
+                    rule="lint-bare-ignore",
+                    message="lint-ignore without "
+                            + ("a [rule-id]" if not ignore.rules
+                               else "a reason"),
+                    hint="write `# cgsim: lint-ignore[rule-id] <why this "
+                         "is intentional>`",
+                ))
+        for finding in file_findings:
+            # A trailing comment on the finding line, or a comment-only
+            # line directly above it, both silence the finding.
+            ignore = ignores.get(finding.line)
+            above = ignores.get(finding.line - 1)
+            if above is not None and not above.own_line:
+                above = None
+            candidates = [c for c in (ignore, above) if c is not None]
+            if any(c.reason and finding.rule in c.rules for c in candidates):
+                suppressed += 1
+            else:
+                raw_findings.append(finding)
+
+    resolved_baseline: Optional[Baseline] = None
+    if isinstance(baseline, Baseline):
+        resolved_baseline = baseline
+    elif baseline == "auto":
+        found = discover_baseline([Path(p) for p in paths])
+        if found is not None:
+            resolved_baseline = load_baseline(found)
+    elif baseline is not None:
+        resolved_baseline = load_baseline(Path(baseline))
+
+    if resolved_baseline is not None:
+        scanned = []
+        for file in files:
+            try:
+                scanned.append(
+                    file.resolve().relative_to(resolved_baseline.root).as_posix()
+                )
+            except ValueError:
+                scanned.append(str(file))
+        findings, absorbed, stale = resolved_baseline.apply(
+            raw_findings, scanned=scanned
+        )
+    else:
+        findings, absorbed, stale = sorted(raw_findings), 0, []
+
+    return LintReport(
+        findings=list(findings),
+        files_scanned=len(files),
+        suppressed=suppressed,
+        baselined=absorbed,
+        stale_baseline=stale,
+        rules_run=[rule.id for rule in selected],
+    )

@@ -1,0 +1,122 @@
+"""Finding records and report rendering for the static analyzer.
+
+A :class:`Finding` is one rule violation anchored to a ``file:line``
+location; a :class:`LintReport` is the outcome of one engine run -- the
+findings that survived suppression and baseline filtering, plus the
+bookkeeping (files scanned, suppressions honoured, baseline coverage) the
+CLI renders as text or ``--json``.  Findings are plain frozen dataclasses
+so they sort stably, compare structurally in tests, and serialise without
+custom encoders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["Finding", "LintReport"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    Sort order is ``(path, line, col, rule)`` so reports group naturally by
+    file.  ``message`` states what the rule saw; ``hint`` says how to fix
+    it (or how to suppress it with a reason when the pattern is
+    intentional).  ``path`` is kept exactly as the engine scanned it --
+    relative paths in, relative paths out -- so output is stable across
+    machines.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = field(default="", compare=False)
+
+    @property
+    def location(self) -> str:
+        """The clickable ``file:line`` anchor used in text output."""
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> dict:
+        """Plain-JSON view of the finding (the ``--json`` output row)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        """One text-report line: ``file:line:col: rule-id message``."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class LintReport:
+    """Everything one engine run produced, ready for rendering or asserting.
+
+    ``findings`` are the violations still standing after per-line
+    suppressions and the baseline were applied -- a non-empty list means
+    the run fails.  ``baselined`` counts findings absorbed by the baseline
+    file, ``suppressed`` counts findings silenced by inline
+    ``cgsim: lint-ignore`` comments, and ``stale_baseline`` lists baseline
+    entries whose recorded count exceeds what the tree actually contains
+    (the ratchet: shrink the baseline, never grow it).
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    stale_baseline: List[str] = field(default_factory=list)
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing fails: no findings and no stale baseline."""
+        return not self.findings and not self.stale_baseline
+
+    def to_dict(self) -> dict:
+        """Plain-JSON view of the whole report (the ``--json`` document)."""
+        return {
+            "ok": self.ok,
+            "findings": [finding.to_dict() for finding in sorted(self.findings)],
+            "files_scanned": self.files_scanned,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "stale_baseline": list(self.stale_baseline),
+            "rules_run": list(self.rules_run),
+        }
+
+    def render(self) -> str:
+        """Multi-line text report: findings, stale entries, then the summary."""
+        lines: List[str] = []
+        for finding in sorted(self.findings):
+            lines.append(finding.render())
+        for entry in self.stale_baseline:
+            lines.append(f"stale baseline entry: {entry}")
+        if self.stale_baseline:
+            lines.append(
+                "the baseline records more findings than the tree contains; "
+                "shrink it with: cgsim lint --write-baseline"
+            )
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        by_rule = ", ".join(f"{rule}={n}" for rule, n in sorted(counts.items()))
+        summary = (
+            f"{len(self.findings)} finding(s) in {self.files_scanned} file(s)"
+            + (f" [{by_rule}]" if by_rule else "")
+            + f"; {self.suppressed} suppressed, {self.baselined} baselined"
+        )
+        lines.append(summary)
+        return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Rule registry: every lint rule, grouped into named families.
+
+The registry is the single source of truth three consumers share: the
+engine (which rules to run), the CLI (what ``--rule`` accepts -- rule ids
+or whole family names), and the docs generator (``scripts/gen_lint_docs.py``
+renders the catalogue in ``docs/lint.md`` from the rule docstrings
+registered here).  Two engine-level pseudo-rules -- the suppression-hygiene
+findings ``lint-bare-ignore`` and ``lint-unknown-rule`` -- are registered
+as metadata so they appear in the catalogue and can be selected, even
+though the engine itself emits them while parsing suppression comments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.lint.rules.async_hygiene import AsyncBlockingCallRule
+from repro.lint.rules.base import FileContext, ImportMap, Rule
+from repro.lint.rules.determinism import (
+    DEFAULT_RNG_ALLOWLIST,
+    GlobalRngRule,
+    RandomImportRule,
+    SetIterationRule,
+    WallClockRule,
+)
+from repro.lint.rules.pickle_safety import PickleSafetyRule
+from repro.lint.rules.snapshot import SnapshotCoverageRule
+
+__all__ = [
+    "DEFAULT_RNG_ALLOWLIST",
+    "FileContext",
+    "ImportMap",
+    "Rule",
+    "RULE_FAMILIES",
+    "all_rules",
+    "select_rules",
+]
+
+
+class _BareIgnoreRule(Rule):
+    """Suppression comments must say *why* the finding is intentional.
+
+    A ``# cgsim: lint-ignore[rule-id]`` with no trailing reason silences a
+    finding without recording the justification -- six months later nobody
+    knows whether the pattern is still deliberate or just grandfathered.
+    The engine turns every reason-less (or rule-less) ignore comment into
+    a finding of its own, so suppressions stay self-documenting.  This
+    rule cannot itself be suppressed.
+    """
+
+    id = "lint-bare-ignore"
+    family = "hygiene"
+    short = "lint-ignore comment without a reason"
+
+    def check(self, ctx):  # pragma: no cover - emitted by the engine
+        return iter(())
+
+
+class _UnknownRuleRule(Rule):
+    """Suppression comments must name rule ids the linter actually has.
+
+    An ignore comment naming a misspelled or removed rule id suppresses
+    nothing while looking like it does; the engine reports it so typos
+    surface immediately instead of silently leaving the real finding
+    active (or, worse, the comment rotting after a rule rename).  This
+    rule cannot itself be suppressed.
+    """
+
+    id = "lint-unknown-rule"
+    family = "hygiene"
+    short = "lint-ignore comment naming an unknown rule id"
+
+    def check(self, ctx):  # pragma: no cover - emitted by the engine
+        return iter(())
+
+
+class _ParseErrorRule(Rule):
+    """Every scanned file must parse; a broken file hides all its findings.
+
+    When ``ast.parse`` fails the engine reports the syntax error as a
+    finding at its location instead of crashing the run -- the rest of the
+    tree still gets linted, and the broken file is impossible to miss.
+    Nothing else in an unparseable file is checked, so this finding can
+    mask others until the syntax is fixed.  This rule cannot be
+    suppressed.
+    """
+
+    id = "lint-parse-error"
+    family = "hygiene"
+    short = "file fails to parse (nothing in it was checked)"
+
+    def check(self, ctx):  # pragma: no cover - emitted by the engine
+        return iter(())
+
+
+#: Every rule family, in catalogue order, mapping to its rule instances.
+RULE_FAMILIES: Dict[str, List[Rule]] = {
+    "determinism": [
+        GlobalRngRule(),
+        RandomImportRule(),
+        SetIterationRule(),
+        WallClockRule(),
+    ],
+    "snapshot": [SnapshotCoverageRule()],
+    "async": [AsyncBlockingCallRule()],
+    "pickle": [PickleSafetyRule()],
+    "hygiene": [_BareIgnoreRule(), _UnknownRuleRule(), _ParseErrorRule()],
+}
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule instance, iterated in catalogue (family) order.
+
+    This is the default selection the engine runs when ``--rule`` names
+    nothing, and the iteration order the docs generator renders the rule
+    catalogue in -- determinism first, then snapshot, async, pickle, and
+    the engine's own hygiene pseudo-rules last.
+    """
+    return [rule for rules in RULE_FAMILIES.values() for rule in rules]
+
+
+def known_rule_ids() -> List[str]:
+    """Every registered rule id, in family order."""
+    return [rule.id for rule in all_rules()]
+
+
+def select_rules(selection: Sequence[str]) -> List[Rule]:
+    """Resolve ``--rule`` selections (rule ids or family names) to rules.
+
+    An empty selection means *everything*.  Unknown tokens raise
+    ``ValueError`` naming the known families and ids, so a typo in CI
+    configuration fails loudly instead of silently linting nothing.
+    """
+    if not selection:
+        return all_rules()
+    by_id = {rule.id: rule for rule in all_rules()}
+    chosen: List[Rule] = []
+    for token in selection:
+        if token in RULE_FAMILIES:
+            for rule in RULE_FAMILIES[token]:
+                if rule not in chosen:
+                    chosen.append(rule)
+        elif token in by_id:
+            if by_id[token] not in chosen:
+                chosen.append(by_id[token])
+        else:
+            raise ValueError(
+                f"unknown rule or family {token!r}; families: "
+                f"{sorted(RULE_FAMILIES)}, rules: {sorted(by_id)}"
+            )
+    return chosen

@@ -1,0 +1,116 @@
+"""Async-hygiene rule family: no blocking calls on the event loop.
+
+The service layer (:mod:`repro.service`) is a single-threaded asyncio
+server: every coroutine shares one event loop, and one synchronous
+``time.sleep`` or blocking file/subprocess call inside an ``async def``
+freezes *every* session's long-polls, WebSocket streams and worker pumps
+for its duration.  These bugs pass every fast unit test (the block is
+milliseconds on a developer laptop) and surface only under production
+load as mysterious latency cliffs -- exactly the class a static pass
+catches for free.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, Rule
+
+__all__ = ["AsyncBlockingCallRule"]
+
+#: Dotted call paths that block the calling thread.
+_BLOCKING_CALLS = {
+    "time.sleep": "asyncio.sleep (awaited)",
+    "subprocess.run": "asyncio.create_subprocess_exec",
+    "subprocess.call": "asyncio.create_subprocess_exec",
+    "subprocess.check_call": "asyncio.create_subprocess_exec",
+    "subprocess.check_output": "asyncio.create_subprocess_exec",
+    "subprocess.getoutput": "asyncio.create_subprocess_exec",
+    "subprocess.getstatusoutput": "asyncio.create_subprocess_exec",
+    "subprocess.Popen": "asyncio.create_subprocess_exec",
+    "os.system": "asyncio.create_subprocess_exec",
+    "os.popen": "asyncio.create_subprocess_exec",
+    "os.waitpid": "loop.run_in_executor",
+    "socket.create_connection": "asyncio.open_connection",
+    "socket.getaddrinfo": "loop.getaddrinfo",
+    "urllib.request.urlopen": "an async HTTP client or loop.run_in_executor",
+    "requests.get": "an async HTTP client or loop.run_in_executor",
+    "requests.post": "an async HTTP client or loop.run_in_executor",
+    "requests.request": "an async HTTP client or loop.run_in_executor",
+}
+
+#: Method names that perform synchronous file I/O on their receiver
+#: (``pathlib.Path`` reads/writes being the common case in this codebase).
+_BLOCKING_METHODS = {"read_text", "read_bytes", "write_text", "write_bytes"}
+
+
+class AsyncBlockingCallRule(Rule):
+    """``async def`` bodies must not call blocking synchronous primitives.
+
+    Flags, directly inside any ``async def`` (nested synchronous ``def``
+    bodies are exempt -- they may legitimately run in an executor):
+    ``time.sleep``, the synchronous ``subprocess`` entry points,
+    ``os.system``/``os.popen``, blocking socket constructors
+    (``socket.create_connection``, ``socket.getaddrinfo``), synchronous
+    HTTP fetches (``urllib.request.urlopen``, ``requests.*``), the builtin
+    ``open``, and ``pathlib``-style ``read_text``/``write_bytes`` method
+    calls.  Each blocks the one thread the whole event loop -- and with it
+    every concurrent session -- runs on.  The fix hint names the async
+    counterpart (``await asyncio.sleep``, ``asyncio.create_subprocess_exec``,
+    ``loop.run_in_executor`` for irreducibly-synchronous work).
+    """
+
+    id = "async-blocking-call"
+    family = "async"
+    short = "blocking call (sleep/subprocess/file/socket) inside async def"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_body(ctx, node)
+
+    def _check_async_body(self, ctx: FileContext,
+                          coroutine: ast.AsyncFunctionDef) -> Iterator[Finding]:
+        stack = list(coroutine.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                # A nested def is its own execution context; nested async
+                # defs are visited by the outer walk anyway.
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.imports.resolve(node.func)
+            if resolved is not None:
+                root = resolved.split(".", 1)[0]
+                if not ctx.is_shadowed(root, node) and (
+                        resolved in _BLOCKING_CALLS):
+                    yield self.finding(
+                        ctx, node,
+                        f"blocking call {resolved}(...) inside "
+                        f"'async def {coroutine.name}'",
+                        f"use {_BLOCKING_CALLS[resolved]} instead",
+                    )
+                    continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open" and (
+                    not ctx.is_shadowed("open", node)):
+                yield self.finding(
+                    ctx, node,
+                    f"blocking open(...) inside 'async def {coroutine.name}'",
+                    "read/write the file via loop.run_in_executor, or "
+                    "outside the coroutine",
+                )
+            elif isinstance(func, ast.Attribute) and (
+                    func.attr in _BLOCKING_METHODS):
+                yield self.finding(
+                    ctx, node,
+                    f"blocking file I/O .{func.attr}(...) inside "
+                    f"'async def {coroutine.name}'",
+                    "move the I/O off the event loop "
+                    "(loop.run_in_executor) or out of the coroutine",
+                )

@@ -1,0 +1,202 @@
+"""Shared AST machinery for lint rules: contexts, import maps, scopes.
+
+Every rule sees a :class:`FileContext` -- the parsed tree plus the
+pre-computed cross-references rules keep needing: parent links (``ast``
+gives none), an alias-aware :class:`ImportMap` that resolves ``npr.seed``
+back to ``numpy.random.seed`` through any chain of ``import``/``from``
+aliases, and scope-aware shadow detection so a local variable or parameter
+named ``random`` is never mistaken for the stdlib module.  Rules subclass
+:class:`Rule` and yield :class:`~repro.lint.findings.Finding` objects from
+``check``; the rule's docstring doubles as its documentation -- the first
+line is the catalogue summary, the body is the rationale rendered into
+``docs/lint.md`` by ``scripts/gen_lint_docs.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.lint.findings import Finding
+
+__all__ = ["FileContext", "ImportMap", "Rule"]
+
+#: Node types that open a new variable scope.
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+class ImportMap:
+    """Alias-aware resolution of names back to their imported dotted origin.
+
+    Built once per file from every ``import``/``from ... import``
+    statement: ``import numpy.random as npr`` maps ``npr`` to
+    ``numpy.random``; ``from numpy.random import default_rng as mk`` maps
+    ``mk`` to ``numpy.random.default_rng``.  :meth:`resolve` walks a
+    ``Name``/``Attribute`` chain and substitutes the origin, so call sites
+    can match on canonical dotted paths no matter how the module was
+    aliased in.  Names re-bound locally (parameters, assignments) are the
+    caller's problem -- see :meth:`FileContext.is_shadowed`.
+    """
+
+    def __init__(self) -> None:
+        self.aliases: Dict[str, str] = {}
+
+    def collect(self, tree: ast.AST) -> None:
+        """Record every import binding found anywhere in ``tree``."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".", 1)[0]
+                    origin = alias.name if alias.asname else bound
+                    self.aliases[bound] = origin
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.aliases[bound] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted path of a ``Name``/``Attribute`` chain, if imported.
+
+        Returns e.g. ``"numpy.random.default_rng"`` for ``npr.default_rng``
+        after ``import numpy.random as npr``, or ``None`` when the chain
+        does not start at an imported name (attribute access on ``self``,
+        locals, call results, ...).
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        origin = self.aliases.get(node.id)
+        if origin is None:
+            return None
+        parts.append(origin)
+        return ".".join(reversed(parts))
+
+
+class FileContext:
+    """One scanned file: source, tree, and the cross-references rules share.
+
+    Carries the display ``path`` (kept relative when the engine was given
+    relative paths), the raw ``source`` and split ``lines``, the parsed
+    ``tree``, parent links for upward walks, and the file's
+    :class:`ImportMap`.  Built once per file by the engine and handed to
+    every selected rule, so the per-file AST work is never repeated.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.imports = ImportMap()
+        self.imports.collect(tree)
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+
+    def scope_chain(self, node: ast.AST) -> List[ast.AST]:
+        """Enclosing scope nodes of ``node``, innermost first."""
+        chain: List[ast.AST] = []
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, _SCOPE_NODES):
+                chain.append(current)
+            current = self.parents.get(current)
+        return chain
+
+    def is_shadowed(self, name: str, node: ast.AST) -> bool:
+        """True when ``name`` is re-bound by an enclosing scope of ``node``.
+
+        A parameter or local assignment named ``random`` means uses of
+        ``random`` inside that function are *not* the stdlib module; rules
+        must check this before trusting :meth:`ImportMap.resolve`.
+        """
+        for scope in self.scope_chain(node):
+            if name in _local_bindings(scope):
+                return True
+        return False
+
+
+def _local_bindings(scope: ast.AST) -> Set[str]:
+    """Names bound locally by a function scope: parameters and assignments."""
+    cached = getattr(scope, "_cgsim_bindings", None)
+    if cached is not None:
+        return cached
+    bound: Set[str] = set()
+    args = scope.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        bound.add(arg.arg)
+    body = scope.body if isinstance(scope.body, list) else []
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, _SCOPE_NODES) and node is not stmt:
+                continue
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    bound.update(_target_names(target))
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                bound.update(_target_names(node.target))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                bound.update(_target_names(node.target))
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        bound.update(_target_names(item.optional_vars))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+    scope._cgsim_bindings = bound  # type: ignore[attr-defined]
+    return bound
+
+
+def _target_names(target: ast.AST) -> Set[str]:
+    """Plain names bound by an assignment target (tuples recursed)."""
+    names: Set[str] = set()
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            names.update(_target_names(element))
+    elif isinstance(target, ast.Starred):
+        names.update(_target_names(target.value))
+    return names
+
+
+class Rule:
+    """Base class every lint rule derives from.
+
+    Subclasses set ``id`` (the stable kebab-case identifier suppression
+    comments and ``--rule`` selections use), ``family`` (the rule group a
+    whole family selection enables), and ``short`` (the one-line catalogue
+    summary); the class docstring is the published rationale.  ``check``
+    receives a :class:`FileContext` and yields findings; it must not
+    mutate the context.
+    """
+
+    id: str = ""
+    family: str = ""
+    short: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield every violation of this rule found in ``ctx``."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str,
+                hint: str = "") -> Finding:
+        """Construct a finding for ``node`` at its source location."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            message=message,
+            hint=hint,
+        )

@@ -1,0 +1,409 @@
+"""Determinism rule family: global RNG, unordered iteration, wall clocks.
+
+The reproduction's headline guarantee is bit-identical replay: the same
+inputs produce the same events, metrics and checkpoint fingerprints on any
+machine, under any ``PYTHONHASHSEED``, in any process.  Three source-level
+patterns break that guarantee long before a test can catch them -- drawing
+from process-global RNG state, letting hash-ordered iteration feed an
+ordered decision, and reading the wall clock inside simulation logic.
+This family is the scope-aware AST replacement for the grep-based RNG lint
+that used to live in ``tests/test_state.py``: it tracks import aliases
+(``import numpy.random as npr`` does not escape it) and local shadowing
+(a parameter named ``random`` is not the stdlib module).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, Rule
+
+__all__ = [
+    "DEFAULT_RNG_ALLOWLIST",
+    "GlobalRngRule",
+    "RandomImportRule",
+    "SetIterationRule",
+    "WallClockRule",
+]
+
+#: Module paths (relative to the package root, ``/``-separated) allowed to
+#: touch global RNG state: the RNG utility itself constructs generators by
+#: design, and the conformance checks read global state to catch plugins
+#: that draw from it.
+DEFAULT_RNG_ALLOWLIST: Tuple[str, ...] = (
+    "repro/utils/rng.py",
+    "repro/conformance/checks.py",
+)
+
+
+def _is_allowed(ctx: FileContext, allowlist: Sequence[str]) -> bool:
+    normalized = ctx.path.replace("\\", "/")
+    return any(normalized.endswith(entry) for entry in allowlist)
+
+
+class GlobalRngRule(Rule):
+    """Stochastic draws must flow through named ``repro.utils.rng`` streams.
+
+    Any call reaching the process-global stdlib ``random`` module or
+    ``numpy.random`` -- ``random.random()``, ``random.Random(0)``,
+    ``np.random.rand()``, ``np.random.default_rng()``, ``np.random.seed()``
+    -- either draws from or reseeds state shared by the whole process.
+    Two runs of the "same" simulation then disagree whenever anything else
+    (another component, a test, an imported library) touched that state in
+    between, and checkpoint replay cannot reproduce the stream.  Every draw
+    must come from a named stream handed down by
+    :func:`repro.utils.rng.spawn_rng` / :class:`~repro.utils.rng.RandomSource`,
+    which snapshot and restore with the simulation.  Resolution is
+    alias-aware (``import numpy.random as npr`` is still caught) and
+    scope-aware (a local variable named ``random`` is not the module).
+    """
+
+    id = "det-global-rng"
+    family = "determinism"
+    short = "call into global/ad-hoc RNG state (random.*, numpy.random.*)"
+
+    def __init__(self, allowlist: Sequence[str] = DEFAULT_RNG_ALLOWLIST) -> None:
+        self.allowlist = tuple(allowlist)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if _is_allowed(ctx, self.allowlist):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.imports.resolve(node.func)
+            if resolved is None:
+                continue
+            root = resolved.split(".", 1)[0]
+            if ctx.is_shadowed(root, node):
+                continue
+            if resolved == "random" or resolved.startswith("random."):
+                yield self.finding(
+                    ctx, node,
+                    f"call into the process-global stdlib RNG ({resolved})",
+                    "draw from a named stream: repro.utils.rng.spawn_rng / "
+                    "RandomSource.generator(...)",
+                )
+            elif resolved.startswith("numpy.random."):
+                yield self.finding(
+                    ctx, node,
+                    f"call into global/ad-hoc numpy RNG state ({resolved})",
+                    "draw from a named stream: repro.utils.rng.spawn_rng / "
+                    "RandomSource.generator(...)",
+                )
+
+
+class RandomImportRule(Rule):
+    """The stdlib ``random`` module must not be imported outside the RNG layer.
+
+    ``import random`` (or ``from random import ...``) is the gateway to
+    process-global, hash-seed-entangled randomness: even a "harmless"
+    ``random.choice`` in a helper makes replay depend on everything else
+    that touched the interpreter-wide Mersenne state.  The only modules
+    allowed to import it are the allow-listed RNG utility (which wraps it
+    behind seeded, snapshot-aware streams) and the conformance checks
+    (which read global state to police plugins).  Everything else receives
+    its randomness as an injected generator.
+    """
+
+    id = "det-random-import"
+    family = "determinism"
+    short = "import of the stdlib random module outside the RNG layer"
+
+    def __init__(self, allowlist: Sequence[str] = DEFAULT_RNG_ALLOWLIST) -> None:
+        self.allowlist = tuple(allowlist)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if _is_allowed(ctx, self.allowlist):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx, node,
+                            f"import of the stdlib random module "
+                            f"('import {alias.name}')",
+                            "accept a numpy Generator argument instead "
+                            "(repro.utils.rng.spawn_rng)",
+                        )
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                if node.module == "random" or (
+                    node.module or "").startswith("random."):
+                    yield self.finding(
+                        ctx, node,
+                        f"import from the stdlib random module "
+                        f"('from {node.module} import ...')",
+                        "accept a numpy Generator argument instead "
+                        "(repro.utils.rng.spawn_rng)",
+                    )
+
+
+#: Call names whose iteration order over their argument is irrelevant.
+_ORDER_INSENSITIVE = {"sorted", "len", "sum", "min", "max", "any", "all",
+                      "frozenset", "set", "bool"}
+
+#: ``set`` methods that return another set (propagate set-ness).
+_SET_RETURNING_METHODS = {"union", "intersection", "difference",
+                          "symmetric_difference", "copy"}
+
+
+class SetIterationRule(Rule):
+    """Ordered decisions must not consume ``set`` iteration order.
+
+    ``set`` iteration order over strings (site names, dataset ids, plugin
+    names) depends on ``PYTHONHASHSEED``: a loop, ``list(...)``,
+    ``next(iter(...))`` or ``.pop()`` over a set is perfectly repeatable
+    inside one interpreter and silently different in the next -- the class
+    of bug only the conformance suite's subprocess hash-seed sweep could
+    catch dynamically, and the hardest to bisect after the fact.  The rule
+    tracks set-ness statically (literals, ``set()``/``frozenset()`` calls,
+    comprehensions, set operators, annotated parameters, and local names
+    assigned from any of those) and flags ordered consumers; wrap the set
+    in ``sorted(...)`` to fix, which also documents the intended order.
+    Order-insensitive consumers (``len``, ``min``, ``sum``, ``any``,
+    membership tests) pass untouched.  ``dict`` views are insertion-ordered
+    in supported Pythons and are deliberately not flagged -- the hazard is
+    the *keys'* provenance, which this rule catches where the set is built.
+    """
+
+    id = "det-set-iter"
+    family = "determinism"
+    short = "iteration/pop over a set feeding an ordered decision"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        sets_by_scope: dict = {}
+
+        def set_names(scope: Optional[ast.AST]) -> Set[str]:
+            if scope not in sets_by_scope:
+                sets_by_scope[scope] = _collect_set_names(ctx, scope)
+            return sets_by_scope[scope]
+
+        def is_set(expr: ast.AST, node: ast.AST) -> bool:
+            return _is_set_expr(ctx, expr, node, set_names)
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if is_set(node.iter, node):
+                    yield self.finding(
+                        ctx, node.iter,
+                        "for-loop iterates over a set (hash-seed-dependent "
+                        "order)",
+                        "iterate over sorted(<set>) to pin the order",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp,
+                                   ast.SetComp)):
+                ordered = not isinstance(node, ast.SetComp)
+                for gen in node.generators:
+                    if ordered and is_set(gen.iter, node):
+                        yield self.finding(
+                            ctx, gen.iter,
+                            "comprehension iterates over a set "
+                            "(hash-seed-dependent order)",
+                            "iterate over sorted(<set>) to pin the order",
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, is_set)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, (ast.Tuple, ast.List)) and is_set(
+                            node.value, node):
+                        yield self.finding(
+                            ctx, node.value,
+                            "unpacking a set assigns elements in "
+                            "hash-seed-dependent order",
+                            "unpack sorted(<set>) instead",
+                        )
+
+    def _check_call(self, ctx: FileContext, node: ast.Call,
+                    is_set) -> Iterator[Finding]:
+        func = node.func
+        # <set>.pop() -- removes an arbitrary, hash-ordered element.
+        if (isinstance(func, ast.Attribute) and func.attr == "pop"
+                and not node.args and is_set(func.value, node)):
+            yield self.finding(
+                ctx, node,
+                "set.pop() removes a hash-seed-dependent element",
+                "choose the victim explicitly, e.g. min(<set>) or "
+                "sorted(<set>)[0]",
+            )
+            return
+        if not isinstance(func, ast.Name) or ctx.is_shadowed(func.id, node):
+            return
+        if func.id in ("list", "tuple", "iter", "enumerate", "reversed"):
+            # iter(<set>) directly inside next(...) is reported (better) by
+            # the next(iter(...)) branch below; don't double-report.
+            parent = ctx.parents.get(node)
+            if (func.id == "iter" and isinstance(parent, ast.Call)
+                    and isinstance(parent.func, ast.Name)
+                    and parent.func.id == "next"):
+                return
+            if node.args and is_set(node.args[0], node):
+                yield self.finding(
+                    ctx, node,
+                    f"{func.id}(...) materialises a set in "
+                    "hash-seed-dependent order",
+                    "use sorted(<set>) to pin the order",
+                )
+        elif func.id == "next":
+            # next(iter(<set>)) -- "pick any element", hash-ordered.
+            if (node.args and isinstance(node.args[0], ast.Call)
+                    and isinstance(node.args[0].func, ast.Name)
+                    and node.args[0].func.id == "iter"
+                    and node.args[0].args
+                    and is_set(node.args[0].args[0], node)):
+                yield self.finding(
+                    ctx, node,
+                    "next(iter(<set>)) picks a hash-seed-dependent element",
+                    "pick deterministically, e.g. min(<set>)",
+                )
+
+
+def _collect_set_names(ctx: FileContext, scope: Optional[ast.AST]) -> Set[str]:
+    """Names bound to set-typed values within one scope (conservatively).
+
+    A name counts only when *every* visible assignment to it in the scope
+    is set-typed -- one non-set rebinding removes it, keeping false
+    positives out at the cost of missing some true positives.
+    """
+    if scope is None:
+        body = ctx.tree.body
+    elif isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        body = scope.body
+    else:
+        return set()
+    set_bound: Set[str] = set()
+    other_bound: Set[str] = set()
+
+    def shallow_literal_set(expr: ast.AST) -> bool:
+        return isinstance(expr, (ast.Set, ast.SetComp)) or (
+            isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name)
+            and expr.func.id in ("set", "frozenset"))
+
+    # Walk the scope's own statements without descending into nested
+    # scopes: a `x = set(...)` inside another function must not make `x`
+    # set-typed here.
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and (
+                isinstance(node.targets[0], ast.Name)):
+            name = node.targets[0].id
+            if shallow_literal_set(node.value):
+                set_bound.add(name)
+            else:
+                other_bound.add(name)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name):
+            if _annotation_is_set(node.annotation):
+                set_bound.add(node.target.id)
+            else:
+                other_bound.add(node.target.id)
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        for arg in scope.args.args + scope.args.posonlyargs + scope.args.kwonlyargs:
+            if arg.annotation is not None and _annotation_is_set(arg.annotation):
+                set_bound.add(arg.arg)
+    return set_bound - other_bound
+
+
+def _annotation_is_set(annotation: ast.AST) -> bool:
+    """True for ``set``/``frozenset``/``Set[...]``/``FrozenSet[...]`` annotations."""
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Name):
+        return target.id in ("set", "frozenset", "Set", "FrozenSet",
+                             "AbstractSet", "MutableSet")
+    if isinstance(target, ast.Attribute):
+        return target.attr in ("Set", "FrozenSet", "AbstractSet", "MutableSet")
+    return False
+
+
+def _is_set_expr(ctx: FileContext, expr: ast.AST, node: ast.AST,
+                 set_names) -> bool:
+    """Conservative static test: does ``expr`` evaluate to a set?"""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return not ctx.is_shadowed(func.id, node)
+        if isinstance(func, ast.Attribute) and (
+                func.attr in _SET_RETURNING_METHODS):
+            return _is_set_expr(ctx, func.value, node, set_names)
+        return False
+    if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+        return (_is_set_expr(ctx, expr.left, node, set_names)
+                or _is_set_expr(ctx, expr.right, node, set_names))
+    if isinstance(expr, ast.Name):
+        scope_chain = ctx.scope_chain(node)
+        scope = scope_chain[0] if scope_chain else None
+        while isinstance(scope, ast.Lambda):
+            # Lambdas cannot bind sets by assignment; look outward.
+            remaining = ctx.scope_chain(scope)
+            scope = remaining[0] if remaining else None
+        return expr.id in set_names(scope) or expr.id in set_names(None)
+    return False
+
+
+#: Dotted call paths that read the wall clock.
+_WALL_CLOCK_CALLS = {
+    "time.time": "time.time()",
+    "time.time_ns": "time.time_ns()",
+    "datetime.datetime.now": "datetime.now()",
+    "datetime.datetime.utcnow": "datetime.utcnow()",
+    "datetime.datetime.today": "datetime.today()",
+    "datetime.date.today": "date.today()",
+}
+
+
+class WallClockRule(Rule):
+    """Simulation logic must read the simulated clock, never the wall clock.
+
+    ``time.time()``, ``datetime.now()`` and friends leak the host's real
+    time into the run: any decision, identifier, seed or recorded value
+    derived from them differs on every execution, breaking replay and
+    making checkpoint fingerprints unverifiable.  Simulation code reads
+    ``env.now`` (the deterministic simulated clock); telemetry that
+    genuinely measures *elapsed host effort* uses ``time.monotonic()`` /
+    ``time.perf_counter()``, which this rule deliberately exempts -- those
+    report durations alongside results without ever feeding back into
+    simulation decisions.  Resolution is alias-aware, including
+    ``from time import time`` and ``from datetime import datetime``.
+    """
+
+    id = "det-wall-clock"
+    family = "determinism"
+    short = "wall-clock read (time.time / datetime.now) in simulation logic"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.imports.resolve(node.func)
+            if resolved is None:
+                continue
+            root = resolved.split(".", 1)[0]
+            if ctx.is_shadowed(root, node):
+                continue
+            # ``from datetime import datetime`` resolves now() to
+            # ``datetime.datetime.now`` already; plain ``datetime.now`` can
+            # only appear via ``import datetime`` + ``datetime.now`` misuse.
+            canonical = resolved
+            if canonical in ("datetime.now", "datetime.utcnow", "datetime.today"):
+                canonical = "datetime.datetime." + canonical.split(".", 1)[1]
+            if canonical in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock read ({_WALL_CLOCK_CALLS[canonical]}) in "
+                    "simulation logic",
+                    "use the simulated clock (env.now); for host-effort "
+                    "telemetry use time.monotonic()/perf_counter()",
+                )

@@ -1,0 +1,157 @@
+"""Worker-boundary pickle-safety rule family: what crosses must pickle.
+
+Everything handed to a worker process -- via
+:class:`concurrent.futures.ProcessPoolExecutor`,
+``multiprocessing.Process``, the experiment runner's ``parallel_map`` or a
+:class:`repro.experiments.RunSpec` -- is pickled on the way out.  Lambdas
+and functions defined inside another function do not pickle; under the
+``spawn`` start method (the default on macOS/Windows, and what the
+service's worker supervisor uses deliberately) the failure is a runtime
+``PicklingError`` that unit tests running under ``fork`` never see.  This
+family flags the non-portable callable at the call site that ships it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, Rule
+
+__all__ = ["PickleSafetyRule"]
+
+#: Executor/pool method names whose first positional argument is shipped
+#: to a worker process.
+_SUBMIT_METHODS = {"submit", "map", "starmap", "imap", "imap_unordered",
+                   "apply", "apply_async", "map_async", "starmap_async"}
+
+#: Dotted constructor paths that create process pools / processes.
+_POOL_CONSTRUCTORS = {
+    "concurrent.futures.ProcessPoolExecutor",
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+}
+
+#: Call names (resolved or bare) whose callable arguments cross a worker
+#: boundary in this codebase's own published surfaces.
+_SPAWN_FUNCTIONS = {
+    "parallel_map", "repro.experiments.parallel_map",
+    "repro.experiments.runner.parallel_map",
+    "RunSpec", "repro.experiments.RunSpec", "repro.experiments.spec.RunSpec",
+}
+
+
+class PickleSafetyRule(Rule):
+    """Lambdas and local functions must not cross a process boundary.
+
+    Tracks process-pool objects through the file (names assigned from --
+    or ``with ... as`` bound to -- ``ProcessPoolExecutor(...)`` /
+    ``multiprocessing.Pool(...)``, plus a name heuristic for receivers
+    called ``pool``/``executor``) and flags ``submit``/``map``-style calls
+    whose shipped callable is a ``lambda``, a function defined inside the
+    enclosing function (closures do not pickle), or a
+    ``functools.partial`` wrapping either.  The same check applies to
+    ``multiprocessing.Process(target=...)`` and to this codebase's own
+    spawn surfaces: ``parallel_map`` and ``RunSpec``.  Module-level
+    functions pickle by qualified name and pass; bound methods of picklable
+    objects pass too (their failure modes are dynamic, not structural).
+    """
+
+    id = "pickle-unsafe-callable"
+    family = "pickle"
+    short = "lambda/closure handed across a process (spawn) boundary"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        pools = self._pool_names(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_call(ctx, node, pools)
+
+    def _pool_names(self, ctx: FileContext) -> Set[str]:
+        """Names statically bound to a process pool anywhere in the file."""
+        pools: Set[str] = set()
+
+        def is_pool_ctor(expr: ast.AST) -> bool:
+            if not isinstance(expr, ast.Call):
+                return False
+            resolved = ctx.imports.resolve(expr.func)
+            if resolved in _POOL_CONSTRUCTORS:
+                return True
+            return (isinstance(expr.func, ast.Name)
+                    and expr.func.id == "ProcessPoolExecutor")
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and is_pool_ctor(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        pools.add(target.id)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if is_pool_ctor(item.context_expr) and isinstance(
+                            item.optional_vars, ast.Name):
+                        pools.add(item.optional_vars.id)
+        return pools
+
+    def _check_call(self, ctx: FileContext, node: ast.Call,
+                    pools: Set[str]) -> Iterator[Finding]:
+        func = node.func
+        shipped: List[ast.AST] = []
+        surface = ""
+        if isinstance(func, ast.Attribute) and func.attr in _SUBMIT_METHODS:
+            receiver = func.value
+            receiver_name = receiver.id if isinstance(receiver, ast.Name) else ""
+            looks_like_pool = (
+                receiver_name in pools
+                or "pool" in receiver_name.lower()
+                or "executor" in receiver_name.lower()
+            )
+            if looks_like_pool and node.args:
+                shipped = [node.args[0]]
+                surface = f"{receiver_name or '<pool>'}.{func.attr}(...)"
+        else:
+            resolved = ctx.imports.resolve(func) or (
+                func.id if isinstance(func, ast.Name) else None)
+            if resolved in _SPAWN_FUNCTIONS:
+                shipped = list(node.args) + [kw.value for kw in node.keywords]
+                surface = f"{resolved.rsplit('.', 1)[-1]}(...)"
+            elif resolved in ("multiprocessing.Process",
+                              "multiprocessing.context.Process", "Process"):
+                shipped = [kw.value for kw in node.keywords
+                           if kw.arg == "target"]
+                surface = "Process(target=...)"
+        for arg in shipped:
+            verdict = self._unpicklable(ctx, arg)
+            if verdict:
+                yield self.finding(
+                    ctx, arg,
+                    f"{verdict} handed to {surface} crosses a process "
+                    "boundary and cannot be pickled under spawn",
+                    "ship a module-level function (parameterise via "
+                    "arguments or functools.partial over one) instead",
+                )
+
+    def _unpicklable(self, ctx: FileContext, arg: ast.AST) -> Optional[str]:
+        """Why ``arg`` cannot cross a spawn boundary, or ``None`` if it can."""
+        if isinstance(arg, ast.Lambda):
+            return "lambda"
+        if isinstance(arg, ast.Name):
+            for scope in ctx.scope_chain(arg):
+                if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    for stmt in ast.walk(scope):
+                        if (isinstance(stmt, (ast.FunctionDef,
+                                              ast.AsyncFunctionDef))
+                                and stmt is not scope
+                                and stmt.name == arg.id):
+                            return f"locally-defined function {arg.id!r}"
+            return None
+        if isinstance(arg, ast.Call):
+            resolved = ctx.imports.resolve(arg.func) or (
+                arg.func.id if isinstance(arg.func, ast.Name) else None)
+            if resolved in ("functools.partial", "partial"):
+                for inner in list(arg.args) + [kw.value for kw in arg.keywords]:
+                    verdict = self._unpicklable(ctx, inner)
+                    if verdict:
+                        return f"functools.partial over a {verdict}"
+        return None

@@ -1,0 +1,215 @@
+"""Snapshot-completeness rule family: static coverage of checkpoint state.
+
+PR 6's checkpoint layer verifies replay *dynamically*: ``diff_states``
+compares every component snapshot against the replayed tree and raises on
+divergence.  That check can only see state the component's ``snapshot()``
+actually captures -- a mutable field the author forgot to include is
+invisible to it, and the resulting checkpoint silently under-describes the
+simulation.  This family is the static complement: for every class that
+implements the :class:`repro.state.Snapshottable` pair it proves each
+piece of *mutable* per-instance state is at least mentioned by the
+snapshot/restore implementation, and flags the ones that fell through.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, Rule
+
+__all__ = ["SnapshotCoverageRule"]
+
+#: Method names that mutate their receiver in place.
+_MUTATOR_METHODS = {
+    "append", "appendleft", "add", "insert", "extend", "extendleft",
+    "remove", "discard", "pop", "popleft", "popitem", "push", "put",
+    "update", "clear", "setdefault", "rotate", "sort", "reverse",
+}
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """Attribute name when ``node`` is ``self.<name>``, else ``None``."""
+    if (isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+                stmt.name == name):
+            return stmt
+    return None
+
+
+def _param_names(fn: ast.FunctionDef) -> Set[str]:
+    args = fn.args
+    names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+class SnapshotCoverageRule(Rule):
+    """Every mutable field of a ``Snapshottable`` class must be snapshotted.
+
+    For each class defining the ``snapshot(self)`` / ``restore(self,
+    state)`` pair, the rule gathers its per-instance fields (``__slots__``
+    entries plus ``self.x = ...`` assignments in ``__init__``) and keeps
+    only the *mutable simulation state*: fields the class reassigns,
+    augments, subscript-assigns or calls an in-place mutator on
+    (``append``/``add``/``put``/...) outside ``__init__``.  Fields bound
+    once from a constructor parameter or never mutated afterwards are
+    configuration, not state, and are exempt.  Each surviving field must be
+    mentioned inside ``snapshot``/``restore`` -- as a ``self.<field>``
+    access or as a string key (leading underscores ignored, so
+    ``self._now`` matched by ``"now"``).  Unmentioned fields produce one
+    finding per class listing them all, anchored at the ``snapshot``
+    definition.  Replay-derived designs that *deliberately* rebuild a field
+    instead of serialising it (the kernel calendar, site queues) suppress
+    with a reason -- which is exactly the documentation the next reader
+    needs.
+    """
+
+    id = "snap-field-coverage"
+    family = "snapshot"
+    short = "mutable field missing from a Snapshottable snapshot/restore"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: FileContext,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        snapshot = _method(cls, "snapshot")
+        restore = _method(cls, "restore")
+        if snapshot is None or restore is None:
+            return
+        if len(snapshot.args.args) != 1 or snapshot.args.posonlyargs:
+            # A snapshot(self, extra...) is a different concept, not the
+            # Snapshottable protocol.
+            return
+        fields = self._fields(cls)
+        if not fields:
+            return
+        config = self._parameter_bound(cls)
+        mutated = self._mutated_fields(cls)
+        mentioned = self._mentions(snapshot) | self._mentions(restore)
+        missing = sorted(
+            field for field in fields
+            if field not in config
+            and field in mutated
+            and field.lstrip("_") not in mentioned
+            and field not in mentioned
+        )
+        if missing:
+            yield self.finding(
+                ctx, snapshot,
+                f"class {cls.name}: mutable field(s) "
+                f"{', '.join(missing)} never mentioned in snapshot()/restore()",
+                "capture the field in snapshot(), verify it in restore(), "
+                "or suppress with the reason it is replay-derived",
+            )
+
+    def _fields(self, cls: ast.ClassDef) -> Set[str]:
+        """Per-instance fields: ``__slots__`` strings + ``__init__`` targets."""
+        fields: Set[str] = set()
+        for stmt in cls.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and target.id == "__slots__":
+                        for element in getattr(stmt.value, "elts", []):
+                            if isinstance(element, ast.Constant) and isinstance(
+                                    element.value, str):
+                                fields.add(element.value)
+        init = _method(cls, "__init__")
+        if init is not None:
+            for node in ast.walk(init):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        name = _self_attr(target)
+                        if name:
+                            fields.add(name)
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    name = _self_attr(node.target)
+                    if name:
+                        fields.add(name)
+        return {f for f in fields if not f.startswith("__")}
+
+    def _parameter_bound(self, cls: ast.ClassDef) -> Set[str]:
+        """Fields assigned directly from an ``__init__`` parameter (config)."""
+        init = _method(cls, "__init__")
+        if init is None:
+            return set()
+        params = _param_names(init)
+        bound: Set[str] = set()
+        for node in ast.walk(init):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                name = _self_attr(node.targets[0])
+                if name and isinstance(node.value, ast.Name) and (
+                        node.value.id in params):
+                    bound.add(name)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                name = _self_attr(node.target)
+                if name and isinstance(node.value, ast.Name) and (
+                        node.value.id in params):
+                    bound.add(name)
+        return bound
+
+    def _mutated_fields(self, cls: ast.ClassDef) -> Set[str]:
+        """Fields the class mutates outside ``__init__`` (real state)."""
+        mutated: Set[str] = set()
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name == "__init__":
+                continue
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        self._mutation_target(target, mutated)
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    self._mutation_target(node.target, mutated)
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    if isinstance(func, ast.Attribute) and (
+                            func.attr in _MUTATOR_METHODS):
+                        name = _self_attr(func.value)
+                        if name:
+                            mutated.add(name)
+                elif isinstance(node, ast.Delete):
+                    for target in node.targets:
+                        self._mutation_target(target, mutated)
+        return mutated
+
+    def _mutation_target(self, target: ast.AST, mutated: Set[str]) -> None:
+        name = _self_attr(target)
+        if name:
+            mutated.add(name)
+            return
+        # self.x[...] = ... / del self.x[...] mutate the container self.x.
+        if isinstance(target, ast.Subscript):
+            name = _self_attr(target.value)
+            if name:
+                mutated.add(name)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._mutation_target(element, mutated)
+
+    def _mentions(self, fn: ast.FunctionDef) -> Set[str]:
+        """Names a method body mentions: ``self.<x>`` reads and string keys."""
+        mentioned: Set[str] = set()
+        for node in ast.walk(fn):
+            name = _self_attr(node)
+            if name:
+                mentioned.add(name)
+                mentioned.add(name.lstrip("_"))
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                mentioned.add(node.value)
+        return mentioned

@@ -209,6 +209,7 @@ class MonitoringCollector:
         self._flush_events()
 
     # -- checkpoint support ------------------------------------------------------
+    # cgsim: lint-ignore[snap-field-coverage] listener callbacks and sink objects are re-registered by the restoring session
     def snapshot(self) -> dict:
         """Capture the collector's counters and buffer high-water marks.
 

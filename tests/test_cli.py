@@ -487,6 +487,105 @@ class TestConformanceCommand:
         assert excinfo.value.code != 0
         assert "bogus" in capsys.readouterr().err
 
+    def test_lint_flag_adds_static_pass_naming_the_findings(self, capsys):
+        code = main(["conformance", "run", "--family", "eviction",
+                     "--plugin", "repro.conformance.demo:WobblyEviction",
+                     "--no-subprocess", "--lint"])
+        assert code == 1
+        out = capsys.readouterr().out
+        # The static pass runs with no baseline, so the demo plugin's
+        # deliberate findings surface with rule ids and locations.
+        assert "static_lint" in out
+        assert "det-global-rng" in out
+        assert "demo.py" in out
+
+    def test_lint_flag_passes_for_a_clean_plugin(self, capsys):
+        code = main(["conformance", "run", "--family", "eviction",
+                     "--plugin", "lru", "--no-subprocess", "--lint"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "static_lint" in out
+
+
+class TestLintCommand:
+    """`cgsim lint`: text/JSON reports, rule selection, baseline flags."""
+
+    def seed(self, tmp_path):
+        target = tmp_path / "seeded.py"
+        target.write_text(
+            "import random\n"
+            "def pick(items):\n"
+            "    return items[random.randrange(len(items))]\n",
+            encoding="utf-8",
+        )
+        return target
+
+    def test_clean_tree_exits_zero_with_summary(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("X = 1\n", encoding="utf-8")
+        assert main(["lint", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s) in 1 file(s)" in out
+
+    def test_findings_print_location_rule_and_hint(self, tmp_path, capsys):
+        target = self.seed(tmp_path)
+        assert main(["lint", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert f"{target}:1:1: det-random-import" in out
+        assert f"{target}:3:" in out and "det-global-rng" in out
+        assert "hint:" in out
+
+    def test_json_document_is_machine_readable(self, tmp_path, capsys):
+        target = self.seed(tmp_path)
+        assert main(["lint", str(target), "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is False
+        assert {"path", "line", "col", "rule", "message", "hint"} <= set(
+            document["findings"][0]
+        )
+        assert document["files_scanned"] == 1
+
+    def test_rule_selection_narrows_the_run(self, tmp_path, capsys):
+        target = self.seed(tmp_path)
+        assert main(["lint", str(target), "--rule", "det-random-import"]) == 1
+        out = capsys.readouterr().out
+        assert "det-random-import" in out
+        assert "det-global-rng" not in out
+
+    def test_unknown_rule_is_a_clean_error(self, tmp_path, capsys):
+        target = self.seed(tmp_path)
+        assert main(["lint", str(target), "--rule", "det-tpyo"]) == 1
+        assert "unknown rule or family" in capsys.readouterr().err
+
+    def test_missing_path_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_write_baseline_then_green_then_stale_ratchet(
+        self, tmp_path, capsys
+    ):
+        target = self.seed(tmp_path)
+        baseline = tmp_path / "lint-baseline.json"
+        assert main(["lint", str(target), "--write-baseline",
+                     str(baseline)]) == 0
+        assert "wrote baseline" in capsys.readouterr().out
+        assert main(["lint", str(target), "--baseline", str(baseline)]) == 0
+        assert "baselined" in capsys.readouterr().out
+        # Fixing the findings makes the recorded entries stale: the
+        # shrink-only ratchet demands the baseline be rewritten.
+        target.write_text("X = 1\n", encoding="utf-8")
+        assert main(["lint", str(target), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "stale baseline entry" in out
+
+    def test_no_baseline_contradicts_baseline_file(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path), "--no-baseline",
+                     "--baseline", "x.json"]) == 1
+        assert "contradicts" in capsys.readouterr().err
+
+    def test_committed_tree_is_clean(self, capsys):
+        assert main(["lint", "src/repro"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
 
 class TestServiceCommands:
     """`cgsim serve` / `cgsim client`: parser wiring and a live round trip."""

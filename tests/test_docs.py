@@ -87,7 +87,7 @@ class TestGeneratedReference:
     def test_reference_covers_the_promised_packages(self):
         for module in ("repro.des", "repro.data", "repro.plugins",
                        "repro.scenarios", "repro.schema", "repro.conformance",
-                       "repro.experiments", "repro.service"):
+                       "repro.experiments", "repro.service", "repro.lint"):
             page = DOCS_DIR / "reference" / f"{module.split('.', 1)[1]}.md"
             assert page.exists(), f"missing reference page for {module}"
             text = page.read_text(encoding="utf-8")
@@ -101,7 +101,7 @@ class TestGeneratedReference:
         for module_name in ("repro.des", "repro.data", "repro.plugins",
                             "repro.scenarios", "repro.schema",
                             "repro.conformance", "repro.experiments",
-                            "repro.service"):
+                            "repro.service", "repro.lint"):
             module = importlib.import_module(module_name)
             page = DOCS_DIR / "reference" / f"{module_name.split('.', 1)[1]}.md"
             listed = re.findall(r"^        - (\w+)$", page.read_text(encoding="utf-8"),
@@ -135,6 +135,33 @@ class TestGeneratedServicePage:
                       "/v1/sessions/{id}/stop", "/v1/sessions/{id}/finalize",
                       "/v1/queue/hold", "/v1/sessions/{id}/events"):
             assert route in page, f"service.md misses route {route}"
+
+
+class TestGeneratedLintPage:
+    def test_rule_catalogue_is_in_sync_with_the_rule_docstrings(self):
+        result = _run_script("gen_lint_docs.py", "--check")
+        assert result.returncode == 0, (
+            f"lint page out of sync:\n{result.stdout}\n{result.stderr}"
+        )
+
+    def test_lint_page_documents_every_rule(self):
+        from repro.lint import RULE_FAMILIES
+
+        page = (DOCS_DIR / "lint.md").read_text(encoding="utf-8")
+        assert "GENERATED FILE SECTION" in page
+        for family, rules in RULE_FAMILIES.items():
+            assert f"### Family `{family}`" in page, (
+                f"lint.md misses family {family!r}"
+            )
+            for rule in rules:
+                assert f"#### `{rule.id}`" in page, (
+                    f"lint.md misses rule {rule.id!r}"
+                )
+
+    def test_lint_page_documents_the_suppression_syntax(self):
+        page = (DOCS_DIR / "lint.md").read_text(encoding="utf-8")
+        assert "cgsim: lint-ignore[" in page
+        assert "baseline" in page
 
 
 class TestPluginGuideExamples:

@@ -41,6 +41,7 @@ class TestPublicAPI:
         import repro.data
         import repro.des
         import repro.experiments
+        import repro.lint
         import repro.monitoring
         import repro.plugins
         import repro.scenarios
@@ -55,6 +56,7 @@ class TestPublicAPI:
             (repro.data, repro.data.__all__),
             (repro.des, repro.des.__all__),
             (repro.experiments, repro.experiments.__all__),
+            (repro.lint, repro.lint.__all__),
             (repro.monitoring, repro.monitoring.__all__),
             (repro.plugins, repro.plugins.__all__),
             (repro.scenarios, repro.scenarios.__all__),

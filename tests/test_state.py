@@ -7,7 +7,6 @@ checkpointing drive loop, and an RNG-hygiene lint over the source tree.
 
 from __future__ import annotations
 
-import re
 import subprocess
 import sys
 from pathlib import Path
@@ -642,54 +641,45 @@ class TestScenarioPackCheckpoints:
 
 
 class TestRngHygiene:
-    """Every stochastic component must draw from a named RngTree stream."""
+    """Every stochastic component must draw from a named RngTree stream.
 
-    #: Only the RNG utility module itself may construct generators directly.
-    #: The conformance checks read (never draw from) global RNG state to catch
-    #: plugins that use it, and the demo module ships a deliberately broken
-    #: plugin the conformance suite must flag.
-    ALLOWED = {
-        Path("utils") / "rng.py",
-        Path("conformance") / "checks.py",
-        Path("conformance") / "demo.py",
-    }
+    The old grep-based lint lived here; the scope- and alias-aware AST
+    analyzer in :mod:`repro.lint` replaced it, so these tests now assert
+    *through* its determinism family.  The allow-list moved with it:
+    only ``utils/rng.py`` (the generator factory) and
+    ``conformance/checks.py`` (reads global RNG state to catch plugins
+    that use it) are rule-level exemptions, while the deliberately
+    broken ``conformance/demo.py`` plugins are absorbed by the committed
+    ``lint-baseline.json`` instead -- so a baseline-free run (like
+    ``cgsim conformance run --lint``) still flags them.
+    """
 
-    STRAY = re.compile(
-        r"""
-        np\.random\.default_rng\(      # ad-hoc numpy generator
-        | numpy\.random\.default_rng\(
-        | \brandom\.Random\(           # ad-hoc stdlib generator
-        | \brandom\.seed\(             # reseeding global stdlib state
-        | np\.random\.seed\(           # reseeding global numpy state
-        """,
-        re.VERBOSE,
-    )
+    def test_source_tree_has_no_stray_rng_use(self):
+        from repro.lint import run_lint
 
-    def test_no_stray_generators_in_source_tree(self):
-        offenders = []
-        for path in sorted(SRC_ROOT.rglob("*.py")):
-            relative = path.relative_to(SRC_ROOT)
-            if relative in self.ALLOWED:
-                continue
-            for number, line in enumerate(path.read_text().splitlines(), start=1):
-                if self.STRAY.search(line):
-                    offenders.append(f"{relative}:{number}: {line.strip()}")
+        report = run_lint([SRC_ROOT], rules=["determinism"])
+        offenders = [finding.render() for finding in report.findings]
         assert not offenders, (
             "stochastic draws must flow through repro.utils.rng "
             "(spawn_rng / RandomSource streams):\n" + "\n".join(offenders)
         )
 
-    def test_no_bare_random_module_imports(self):
-        pattern = re.compile(r"^\s*(import random\b|from random import)")
-        offenders = []
-        for path in sorted(SRC_ROOT.rglob("*.py")):
-            relative = path.relative_to(SRC_ROOT)
-            if relative in self.ALLOWED:
-                continue
-            for number, line in enumerate(path.read_text().splitlines(), start=1):
-                if pattern.search(line):
-                    offenders.append(f"{relative}:{number}: {line.strip()}")
-        assert not offenders, "\n".join(offenders)
+    def test_allowlist_matches_the_old_grep_lint(self):
+        from repro.lint import DEFAULT_RNG_ALLOWLIST
+
+        assert DEFAULT_RNG_ALLOWLIST == (
+            "repro/utils/rng.py",
+            "repro/conformance/checks.py",
+        )
+
+    def test_demo_plugins_are_baselined_not_allowlisted(self):
+        from repro.lint import run_lint
+
+        report = run_lint(
+            [SRC_ROOT / "conformance" / "demo.py"], baseline=None
+        )
+        rules = sorted({finding.rule for finding in report.findings})
+        assert rules == ["det-global-rng", "det-set-iter"]
 
     def test_rng_tree_snapshot_round_trip(self):
         source = RandomSource(99)
